@@ -1,0 +1,348 @@
+(* FlipTracker benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation:
+
+     fig4  LLVM parallel tracing overhead        (Section V-B)
+     fig5  per-code-region success rates         (Section V-C)
+     fig6  per-iteration success rates           (Section V-C)
+     fig7  the LULESH ACL time series            (Sections II/VI)
+     tab1  region inventory + patterns found     (Section VI)
+     tab2  repeated additions vs error magnitude (Section VI)
+     tab3  Use Case 1: hardened CG               (Section VII-A)
+     tab4  Use Case 2: resilience prediction     (Section VII-B)
+     perf  bechamel micro-benchmarks of the framework itself
+
+   Usage: main.exe [--effort quick|default|paper | --quick | --paper]
+                   [experiment ...]
+   With no experiment arguments, everything runs. *)
+
+let bar width frac =
+  let n = int_of_float (frac *. float_of_int width) in
+  String.make (max 0 (min width n)) '#'
+
+let hr () = print_endline (String.make 78 '-')
+
+let header title =
+  hr ();
+  print_endline title;
+  hr ()
+
+let rate = Campaign.success_rate
+
+(* --- Figure 4 ---------------------------------------------------------- *)
+
+let fig4 effort =
+  header "Figure 4: parallel tracing overhead (simulated MPI ranks)";
+  Printf.printf "%-8s %6s %14s %14s %10s\n" "app" "ranks" "untraced(s)"
+    "traced(s)" "overhead";
+  let rows = Experiments.fig4 ~effort () in
+  List.iter
+    (fun (r : Experiments.fig4_row) ->
+      Printf.printf "%-8s %6d %14.3f %14.3f %9.1f%%\n" r.f4_app r.f4_ranks
+        r.f4_untraced_s r.f4_traced_s (100.0 *. r.f4_overhead))
+    rows;
+  let avg =
+    List.fold_left (fun a (r : Experiments.fig4_row) -> a +. r.f4_overhead)
+      0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  Printf.printf
+    "average tracing overhead: %.1f%% (paper: 45%% average at 64 ranks)\n"
+    (100.0 *. avg)
+
+(* --- Figure 5 ---------------------------------------------------------- *)
+
+let fig5 effort =
+  header
+    "Figure 5: success rate per code region (instance 0), internal vs input";
+  Printf.printf "%-8s %-8s %28s %28s\n" "app" "region" "internal" "input";
+  List.iter
+    (fun app ->
+      List.iter
+        (fun (r : Experiments.region_rates_row) ->
+          Printf.printf "%-8s %-8s  %5.2f |%-20s %5.2f |%-20s\n" r.rr_app
+            r.rr_region (rate r.rr_internal)
+            (bar 20 (rate r.rr_internal))
+            (rate r.rr_input)
+            (bar 20 (rate r.rr_input)))
+        (Experiments.fig5 ~effort app))
+    Registry.analyzed
+
+(* --- Figure 6 ---------------------------------------------------------- *)
+
+let fig6 effort =
+  header "Figure 6: success rate per main-loop iteration, internal vs input";
+  Printf.printf "%-8s %5s %28s %28s\n" "app" "iter" "internal" "input";
+  List.iter
+    (fun app ->
+      List.iter
+        (fun (r : Experiments.iteration_rates_row) ->
+          Printf.printf "%-8s %5d  %5.2f |%-20s %5.2f |%-20s\n" r.ir_app
+            r.ir_iteration (rate r.ir_internal)
+            (bar 20 (rate r.ir_internal))
+            (rate r.ir_input)
+            (bar 20 (rate r.ir_input)))
+        (Experiments.fig6 ~effort app))
+    Registry.analyzed
+
+(* --- Figure 7 ---------------------------------------------------------- *)
+
+let fig7 _effort =
+  header "Figure 7: alive corrupted locations over time (LULESH)";
+  let s = Experiments.fig7 Lulesh.app in
+  (match s.Experiments.as_fault with
+  | Machine.Flip_write { seq; bit } ->
+      Printf.printf
+        "fault: bit %d of the value written by dynamic instruction %d\n" bit seq
+  | Machine.Flip_mem { seq; addr; bit } ->
+      Printf.printf "fault: bit %d of memory word %d before instruction %d\n"
+        bit addr seq);
+  let acl = s.Experiments.as_result in
+  Printf.printf "ACL peak %d; %d death events; %d masking events; %s\n\n"
+    acl.Acl.peak
+    (List.length acl.Acl.deaths)
+    (List.length acl.Acl.maskings)
+    (match acl.Acl.divergence with
+    | Some i -> Printf.sprintf "control diverged at event %d" i
+    | None -> "no control divergence");
+  let n = Array.length acl.Acl.series in
+  let step = max 1 (n / 50) in
+  Printf.printf "%12s %6s\n" "instruction" "ACL";
+  Array.iteri
+    (fun i (seq, count) ->
+      if i mod step = 0 || i = n - 1 then
+        Printf.printf "%12d %6d |%s\n" seq count
+          (bar 40 (float_of_int count /. float_of_int (max 1 acl.Acl.peak))))
+    acl.Acl.series;
+  print_endline
+    "(expected shape: rises as the error spreads, falls as temporaries die \
+     at region boundaries - cf. paper Figure 7)"
+
+(* --- Table I ------------------------------------------------------------ *)
+
+let tab1 effort =
+  header "Table I: resilience patterns observed per code region";
+  Printf.printf "%-8s %-8s %-10s %10s   %s\n" "program" "region" "lines"
+    "#instr/it" "patterns found (instances)";
+  List.iter
+    (fun app ->
+      List.iter
+        (fun (r : Experiments.table1_row) ->
+          let lo, hi = r.t1_lines in
+          let pats =
+            r.t1_counts
+            |> List.filter (fun (_, n) -> n > 0)
+            |> List.map (fun (p, n) ->
+                   Printf.sprintf "%s(%d)" (Pattern.to_string p) n)
+            |> String.concat " "
+          in
+          Printf.printf "%-8s %-8s %4d-%-5d %10d   %s\n" r.t1_app r.t1_region
+            lo hi r.t1_instr_per_iter
+            (if String.equal pats "" then "none observed" else pats))
+        (Experiments.table1 ~effort app))
+    Registry.analyzed
+
+(* --- Table II ----------------------------------------------------------- *)
+
+let tab2 _effort =
+  header "Table II: repeated additions shrink the error magnitude (MG)";
+  Printf.printf "%5s %22s %22s %16s\n" "itr" "original value"
+    "corrupted value" "error magnitude";
+  List.iter
+    (fun (r : Experiments.table2_row) ->
+      Printf.printf "%5d %22.15f %22.15f %16.6e\n" (r.t2_iteration + 1)
+        r.t2_correct r.t2_faulty r.t2_magnitude)
+    (Experiments.table2 ());
+  print_endline
+    "(expected shape: strictly decreasing error magnitude across V-cycles, \
+     as in paper Table II)"
+
+(* --- Table III ---------------------------------------------------------- *)
+
+let tab3 effort =
+  header "Table III: resilience patterns applied to CG (Use Case 1)";
+  Printf.printf "%-10s %12s %14s %26s\n" "variant" "app resi."
+    "v/iv@sprnvc" "exe time (s) min-max/avg";
+  List.iter
+    (fun (r : Experiments.table3_row) ->
+      Printf.printf "%-10s %12.3f %14.3f %12.4f-%.4f/%.4f\n" r.t3_variant
+        (rate r.t3_counts) (rate r.t3_sprnvc) r.t3_time_min r.t3_time_max
+        r.t3_time_avg)
+    (Experiments.table3 ~effort ());
+  print_endline
+    "(expected shape: the DCL+overwriting transformation raises the \
+     resilience of the code it modifies (sprnvc column) sharply and the \
+     whole-app rate slightly - its dilution is proportional to sprnvc's \
+     share of execution - with ~no runtime cost; cf. paper Table III)"
+
+(* --- Table IV ----------------------------------------------------------- *)
+
+let tab4 effort =
+  header "Table IV: pattern rates and resilience prediction (Use Case 2)";
+  let t = Experiments.table4 ~effort () in
+  Printf.printf "%-8s %9s %9s %9s %9s %9s %9s | %8s %8s %7s %8s %7s\n" "app"
+    "cond" "shift" "trunc" "dead" "radd" "overwr" "meas.SR" "pred.SR" "err"
+    "w-pred" "w-err";
+  List.iter
+    (fun (r : Experiments.table4_row) ->
+      let x = r.t4_rates in
+      Printf.printf
+        "%-8s %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f | %8.3f %8.3f %6.1f%% %8.3f %6.1f%%\n"
+        r.t4_app x.Rates.condition x.Rates.shift x.Rates.truncation
+        x.Rates.dead_location x.Rates.repeated_addition x.Rates.overwrite
+        r.t4_measured r.t4_predicted (100.0 *. r.t4_error)
+        r.t4_weighted_predicted
+        (100.0 *. r.t4_weighted_error))
+    t.Experiments.rows;
+  Printf.printf "\nfull-fit R-square: %.3f (paper: 0.964)\n"
+    t.Experiments.r_square;
+  Printf.printf
+    "mean leave-one-out prediction error: %.1f%% (paper: 14.3%% excl. DC)\n"
+    (100.0 *. t.Experiments.unweighted_loo_error);
+  Printf.printf
+    "with masking-probability-weighted features (paper future work): %.1f%%\n"
+    (100.0 *. t.Experiments.weighted_loo_error);
+  Printf.printf "standardized coefficients:";
+  Array.iteri
+    (fun i c -> Printf.printf " %s=%.2f" Rates.feature_names.(i) c)
+    t.Experiments.std_coefficients;
+  print_newline ()
+
+(* --- ablations ----------------------------------------------------------- *)
+
+let ablate _effort =
+  header "Ablations: effect of the framework's own design choices";
+  let pair (p : Ablation.campaign_pair) =
+    Printf.printf "%s\n" p.Ablation.label;
+    let line name (c : Campaign.counts) =
+      Printf.printf "  %-22s rate %.3f (success %d, failed %d, crashed %d)\n"
+        name (rate c) c.Campaign.success c.Campaign.failed c.Campaign.crashed
+    in
+    line p.Ablation.variant_a p.Ablation.counts_a;
+    line p.Ablation.variant_b p.Ablation.counts_b
+  in
+  pair (Ablation.typed_bits ());
+  print_newline ();
+  pair (Ablation.heap_slack ());
+  print_newline ();
+  let t = Ablation.acl_vs_taint () in
+  Printf.printf "ACL (liveness-aware) vs plain taint counting on %s:\n"
+    t.Ablation.at_app;
+  Printf.printf "  ACL   peak %5d, final %5d\n" t.Ablation.acl_peak
+    t.Ablation.acl_final;
+  Printf.printf "  taint peak %5d, final %5d\n" t.Ablation.taint_peak
+    t.Ablation.taint_final;
+  print_endline
+    "  (taint overstates the error footprint by counting corrupted-but-dead \
+     locations; liveness tracking is what lets the ACL series fall)"
+
+(* --- bechamel perf suite ------------------------------------------------ *)
+
+let perf _effort =
+  header "perf: framework micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let cg_prog = App.program Cg.app in
+  let _, cg_trace = App.trace Cg.app in
+  let is_prog = App.program Is.app in
+  let cg_access = Access.build cg_trace in
+  let cg_inst = List.hd (Region.instances cg_trace) in
+  let _, mg_clean = App.trace Mg.app in
+  let mg_fault = Machine.Flip_write { seq = 100_000; bit = 40 } in
+  let _, mg_faulty = App.trace_with_fault Mg.app mg_fault ~budget:10_000_000 in
+  let reg_rng = Rng.create ~seed:1 in
+  let reg_x =
+    Array.init 64 (fun _ -> Array.init 6 (fun _ -> Rng.float reg_rng))
+  in
+  let reg_y =
+    Array.map (fun row -> Linalg.dot row [| 1.; 2.; 3.; 4.; 5.; 6. |]) reg_x
+  in
+  let tests =
+    [
+      Test.make ~name:"vm-run-IS"
+        (Staged.stage (fun () -> ignore (Machine.run_plain is_prog)));
+      Test.make ~name:"vm-run-CG"
+        (Staged.stage (fun () -> ignore (Machine.run_plain cg_prog)));
+      Test.make ~name:"tracer-run-IS"
+        (Staged.stage (fun () ->
+             let t = Trace.create () in
+             ignore
+               (Machine.run is_prog
+                  { Machine.default_config with trace = Some t })));
+      Test.make ~name:"access-index-CG"
+        (Staged.stage (fun () -> ignore (Access.build cg_trace)));
+      Test.make ~name:"dddg-region-CG"
+        (Staged.stage (fun () ->
+             ignore
+               (Dddg.build cg_trace cg_access ~lo:cg_inst.Region.lo
+                  ~hi:cg_inst.Region.hi)));
+      Test.make ~name:"acl-analysis-MG"
+        (Staged.stage (fun () ->
+             ignore
+               (Acl.analyze ~fault:mg_fault ~clean:mg_clean ~faulty:mg_faulty
+                  ())));
+      Test.make ~name:"pattern-rates-CG"
+        (Staged.stage (fun () -> ignore (Rates.compute cg_trace cg_access)));
+      Test.make ~name:"regression-fit"
+        (Staged.stage (fun () -> ignore (Regression.fit reg_x reg_y)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"fliptracker" tests)
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold (fun name est acc -> (name, est) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (t :: _) ->
+          Printf.printf "%-36s %14.1f ns/run (%9.3f ms)\n" name t (t /. 1e6)
+      | Some [] | None -> Printf.printf "%-36s (no estimate)\n" name)
+    rows
+
+(* --- driver ------------------------------------------------------------- *)
+
+let all_experiments =
+  [
+    ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
+    ("tab1", tab1); ("tab2", tab2); ("tab3", tab3); ("tab4", tab4);
+    ("ablate", ablate); ("perf", perf);
+  ]
+
+let () =
+  let effort = ref Effort.default in
+  let chosen = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--effort" :: e :: rest ->
+        effort := Effort.of_string e;
+        parse rest
+    | "--quick" :: rest ->
+        effort := Effort.quick;
+        parse rest
+    | "--paper" :: rest ->
+        effort := Effort.paper;
+        parse rest
+    | name :: rest ->
+        (match List.assoc_opt name all_experiments with
+        | Some f -> chosen := !chosen @ [ (name, f) ]
+        | None ->
+            Printf.eprintf "unknown experiment %S; known: %s\n" name
+              (String.concat " " (List.map fst all_experiments));
+            exit 2);
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let todo = if !chosen = [] then all_experiments else !chosen in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f !effort) todo;
+  hr ();
+  Printf.printf "done in %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,245 @@
+(* The fliptracker command-line tool.
+
+   Subcommands, all operating on the registered benchmark programs:
+
+     list                         the registered programs and their regions
+     trace APP                    run fault-free, save/split the trace
+     inject APP --seq N --bit B   one fault, full analysis report
+     campaign APP [--region R]    fault-injection campaign, success rate
+     patterns APP                 mine resilience patterns per region
+     rates APP                    the six pattern-rate features
+     acl APP [--iter K]           ACL series of one injection, CSV/SVG export
+
+   Examples:
+     fliptracker_cli list
+     fliptracker_cli inject MG --seq 120000 --bit 40
+     fliptracker_cli campaign CG --region cg_c --trials 200
+     fliptracker_cli acl LULESH --out /tmp/lulesh *)
+
+open Cmdliner
+
+let app_arg =
+  let doc = "Benchmark program (see `list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let find_app name =
+  try Registry.find name
+  with Invalid_argument msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+(* --- list -------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (app : App.t) ->
+        Printf.printf "%-10s %s\n" app.App.name app.App.description;
+        Printf.printf "           regions: %s; %d main-loop iterations\n"
+          (String.concat ", " app.App.region_names)
+          app.App.main_iterations)
+      (Registry.all @ Registry.cg_variants)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the registered benchmark programs.")
+    Term.(const run $ const ())
+
+(* --- trace ------------------------------------------------------------- *)
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR"
+           ~doc:"Directory to write the trace and its per-region split into.")
+  in
+  let run name out =
+    let app = find_app name in
+    let r, t = App.trace app in
+    Printf.printf "%s: %d dynamic instructions, %d trace events\n" app.App.name
+      r.Machine.instructions (Trace.length t);
+    List.iter
+      (fun (inst : Region.instance) ->
+        if inst.Region.number = 0 then
+          Printf.printf "  region %d instance 0: %d events\n" inst.Region.rid
+            (Region.size inst))
+      (Region.instances t);
+    match out with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let path = Filename.concat dir (app.App.name ^ ".trace") in
+        Trace_io.save path t;
+        let parts = Trace_io.split_by_region_instance ~dir ~prefix:app.App.name t in
+        Printf.printf "wrote %s and %d region-instance pieces under %s\n" path
+          (List.length parts) dir
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run fault-free and optionally save/split the trace.")
+    Term.(const run $ app_arg $ out)
+
+(* --- inject ------------------------------------------------------------ *)
+
+let inject_cmd =
+  let seq =
+    Arg.(value & opt int 10_000 & info [ "seq" ] ~docv:"N"
+           ~doc:"Dynamic instruction to corrupt.")
+  in
+  let bit =
+    Arg.(value & opt int 40 & info [ "bit" ] ~docv:"B" ~doc:"Bit to flip (0-63).")
+  in
+  let run name seq bit =
+    let app = find_app name in
+    let report =
+      Fliptracker.inject_and_analyze app (Machine.Flip_write { seq; bit })
+    in
+    Fmt.pr "%a@." Fliptracker.pp_injection_report report
+  in
+  Cmd.v
+    (Cmd.info "inject" ~doc:"Inject one bit flip and print the full analysis.")
+    Term.(const run $ app_arg $ seq $ bit)
+
+(* --- campaign ----------------------------------------------------------- *)
+
+let campaign_cmd =
+  let region =
+    Arg.(value & opt (some string) None & info [ "region" ] ~docv:"R"
+           ~doc:"Restrict to one code region (first instance), e.g. cg_c.")
+  in
+  let kind =
+    Arg.(value & opt (enum [ ("internal", `Internal); ("input", `Input) ])
+           `Internal
+         & info [ "kind" ] ~doc:"Injection target kind for --region.")
+  in
+  let trials =
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N"
+           ~doc:"Number of injections (default: statistical design, capped).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign RNG seed.")
+  in
+  let run name region kind trials seed =
+    let app = find_app name in
+    let clean, trace = App.trace app in
+    let prog = App.program app in
+    let target =
+      match region with
+      | None -> Campaign.whole_program_target prog trace
+      | Some rname -> (
+          let rid = (Prog.region_by_name prog rname).Prog.rid in
+          match Region.find_instance trace ~rid ~number:0 with
+          | None ->
+              Printf.eprintf "region %s has no instance\n" rname;
+              exit 2
+          | Some inst -> (
+              match kind with
+              | `Internal -> Campaign.internal_target prog trace inst
+              | `Input ->
+                  Campaign.input_target prog trace (Access.build trace) inst))
+    in
+    let cfg =
+      { Campaign.default_config with seed; max_trials = (match trials with Some _ -> trials | None -> Some 500) }
+    in
+    let counts =
+      Campaign.run prog ~verify:(App.verify app)
+        ~clean_instructions:clean.Machine.instructions ~cfg target
+    in
+    let lo, hi =
+      Stats.wilson_interval ~successes:counts.Campaign.success
+        ~trials:counts.Campaign.trials ~confidence:0.95
+    in
+    Fmt.pr "%a@." Campaign.pp_counts counts;
+    Printf.printf "95%% Wilson interval on the success rate: [%.3f, %.3f]\n" lo hi
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run a fault-injection campaign.")
+    Term.(const run $ app_arg $ region $ kind $ trials $ seed)
+
+(* --- patterns ------------------------------------------------------------ *)
+
+let patterns_cmd =
+  let injections =
+    Arg.(value & opt int 6 & info [ "injections"; "n" ]
+           ~doc:"Analyzed injections per region.")
+  in
+  let run name injections =
+    let app = find_app name in
+    let effort =
+      { Effort.default with Effort.acl_injections = injections }
+    in
+    List.iter
+      (fun (r : Experiments.table1_row) ->
+        let lo, hi = r.Experiments.t1_lines in
+        Printf.printf "%-8s lines %4d-%-5d %8d instr/instance\n"
+          r.Experiments.t1_region lo hi r.Experiments.t1_instr_per_iter;
+        List.iter
+          (fun (p, n) ->
+            if n > 0 then
+              Printf.printf "    %-28s %6d instances\n" (Pattern.describe p) n)
+          r.Experiments.t1_counts)
+      (Experiments.table1 ~effort app)
+  in
+  Cmd.v
+    (Cmd.info "patterns" ~doc:"Mine resilience computation patterns per region.")
+    Term.(const run $ app_arg $ injections)
+
+(* --- rates ---------------------------------------------------------------- *)
+
+let rates_cmd =
+  let run name =
+    let app = find_app name in
+    let rates = Fliptracker.pattern_rates app in
+    let v = Rates.to_vector rates in
+    Array.iteri
+      (fun i x -> Printf.printf "%-18s %10.6f\n" Rates.feature_names.(i) x)
+      v
+  in
+  Cmd.v
+    (Cmd.info "rates" ~doc:"Print the six pattern-rate features of a program.")
+    Term.(const run $ app_arg)
+
+(* --- acl ------------------------------------------------------------------ *)
+
+let acl_cmd =
+  let iter =
+    Arg.(value & opt int (-3) & info [ "iter" ] ~docv:"K"
+           ~doc:"Main-loop iteration to inject into (negative = from the end).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PREFIX"
+           ~doc:"Write PREFIX.csv, PREFIX-events.csv and PREFIX.svg.")
+  in
+  let run name iter out =
+    let app = find_app name in
+    let s = Experiments.fig7 ~target_iter:iter app in
+    let acl = s.Experiments.as_result in
+    Printf.printf "ACL peak %d, %d deaths, %d maskings, %d change points%s\n"
+      acl.Acl.peak
+      (List.length acl.Acl.deaths)
+      (List.length acl.Acl.maskings)
+      (Array.length acl.Acl.series)
+      (match acl.Acl.divergence with
+      | Some i -> Printf.sprintf ", diverged at %d" i
+      | None -> "");
+    match out with
+    | None -> ()
+    | Some prefix ->
+        Export.write_file (prefix ^ ".csv") (Export.acl_to_csv acl);
+        Export.write_file (prefix ^ "-events.csv") (Export.events_to_csv acl);
+        Export.write_file (prefix ^ ".svg")
+          (Export.series_to_svg
+             ~title:(Printf.sprintf "%s: alive corrupted locations" app.App.name)
+             acl.Acl.series);
+        Printf.printf "wrote %s.csv, %s-events.csv, %s.svg\n" prefix prefix prefix
+  in
+  Cmd.v
+    (Cmd.info "acl" ~doc:"ACL time series of one injection, with CSV/SVG export.")
+    Term.(const run $ app_arg $ iter $ out)
+
+let () =
+  let doc = "fine-grained error-propagation and resilience analysis" in
+  let info = Cmd.info "fliptracker" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; trace_cmd; inject_cmd; campaign_cmd; patterns_cmd;
+            rates_cmd; acl_cmd;
+          ]))

@@ -1,0 +1,11 @@
+(* Scratch driver kept for interactive exploration during development;
+   the real entry points are bin/fliptracker_cli.exe, bench/main.exe
+   and the examples.  Prints a pipeline sanity line. *)
+
+let () =
+  let app = Registry.find "IS" in
+  let r = App.reference app in
+  Printf.printf
+    "fliptracker dev: %s runs %d instructions, verified=%b; see bin/fliptracker_cli.exe --help\n"
+    app.App.name r.Machine.instructions
+    (App.verified r.Machine.output)

@@ -1,0 +1,1 @@
+examples/harden_cg.ml: App Array Campaign Float List Machine Printf Registry Stats Sys Unix

@@ -1,0 +1,1 @@
+examples/mpi_tracing.ml: App Array Compile Demo List Machine Printf Registry Runner Sys

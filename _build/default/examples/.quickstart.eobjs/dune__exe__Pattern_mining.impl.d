@@ -1,0 +1,1 @@
+examples/pattern_mining.ml: Acl App Array Campaign Dynamic_detect List Machine Pattern Printf Prog Region Registry Rng Static_detect String Sys

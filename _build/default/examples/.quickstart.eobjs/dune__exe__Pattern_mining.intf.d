@@ -1,0 +1,1 @@
+examples/pattern_mining.mli:

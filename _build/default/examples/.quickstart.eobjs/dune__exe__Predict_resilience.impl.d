@@ -1,0 +1,1 @@
+examples/predict_resilience.ml: Access App Array Campaign Fmt List Machine Printf Rates Registry Regression Sys

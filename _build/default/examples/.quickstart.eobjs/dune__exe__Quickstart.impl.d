@@ -1,0 +1,1 @@
+examples/quickstart.ml: Access Acl Array Ast Compile Dddg Dynamic_detect Fmt List Machine Printf Prog Region String Trace Ty

@@ -1,0 +1,1 @@
+examples/resilience_scan.ml: Access App Array Campaign Fmt Machine Printf Prog Region Registry Stats Sys

@@ -1,0 +1,41 @@
+(* The simulated MPI runtime: communication-bearing programs on many
+   ranks, nondeterminism control by record-and-replay, and the
+   per-process tracing overhead of Figure 4.
+
+   Run with: dune exec examples/mpi_tracing.exe -- [RANKS] *)
+
+let () =
+  let ranks = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8 in
+
+  (* 1. a token ring: every rank ends with rounds * sum(ranks) *)
+  let ring = Compile.compile (Demo.ring ~rounds:3) in
+  let b = Runner.run ~size:ranks ring in
+  Printf.printf "ring on %d ranks: %s" ranks b.Runner.results.(0).Runner.result.Machine.output;
+
+  (* 2. halo-exchange Jacobi with record-and-replay *)
+  let jac = Compile.compile (Demo.halo_jacobi ~cells:8 ~iters:25) in
+  let rec_run = Runner.run ~record:true ~size:ranks jac in
+  Printf.printf "jacobi (recorded %d receives): %s"
+    (List.length rec_run.Runner.recorded)
+    rec_run.Runner.results.(0).Runner.result.Machine.output;
+  let rep_run =
+    Runner.run ~replay:(Array.of_list rec_run.Runner.recorded) ~size:ranks jac
+  in
+  Printf.printf "jacobi replayed:              %s"
+    rep_run.Runner.results.(0).Runner.result.Machine.output;
+
+  (* 3. per-process tracing overhead (Figure 4) on one benchmark *)
+  let app = Registry.find "IS" in
+  let prog = App.program app in
+  let untraced = Runner.run ~traced:false ~size:ranks prog in
+  let traced = Runner.run ~traced:true ~size:ranks prog in
+  Printf.printf
+    "\nIS on %d ranks: untraced %.2fs, traced %.2fs -> overhead %.0f%%\n" ranks
+    untraced.Runner.wall_seconds traced.Runner.wall_seconds
+    (100.0
+    *. ((traced.Runner.wall_seconds /. untraced.Runner.wall_seconds) -. 1.0));
+  Array.iter
+    (fun (r : Runner.rank_result) ->
+      if r.Runner.rank = 0 then
+        Printf.printf "rank 0 trace: %d events\n" r.Runner.trace_len)
+    traced.Runner.results

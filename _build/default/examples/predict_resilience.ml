@@ -1,0 +1,55 @@
+(* Use Case 2 (Section VII-B): predict application resilience from
+   pattern rates with a linear model — the Table IV experiment as a
+   standalone tool, with per-feature diagnostics.
+
+   Run with: dune exec examples/predict_resilience.exe -- [TRIALS] *)
+
+let () =
+  let trials =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 80
+  in
+  Printf.printf
+    "measuring pattern rates and success rates for %d programs (%d trials each)\n\n"
+    (List.length Registry.all) trials;
+  let cfg = { Campaign.default_config with max_trials = Some trials } in
+  let data =
+    List.map
+      (fun (app : App.t) ->
+        let clean, trace = App.trace app in
+        let prog = App.program app in
+        let rates = Rates.compute trace (Access.build trace) in
+        let counts =
+          Campaign.run prog ~verify:(App.verify app)
+            ~clean_instructions:clean.Machine.instructions ~cfg
+            (Campaign.whole_program_target prog trace)
+        in
+        Printf.printf "  %-8s measured SR %.3f   rates: %s\n" app.App.name
+          (Campaign.success_rate counts)
+          (Fmt.str "%a" Rates.pp rates);
+        (app.App.name, rates, Campaign.success_rate counts))
+      Registry.all
+  in
+  let x = Array.of_list (List.map (fun (_, r, _) -> Rates.to_vector r) data) in
+  let y = Array.of_list (List.map (fun (_, _, s) -> s) data) in
+  let lambda = 1e-4 in
+  let model = Regression.fit ~lambda x y in
+  Printf.printf "\nfull fit: R-square = %.3f, intercept = %.3f\n"
+    (Regression.r_square model x y)
+    model.Regression.intercept;
+  Array.iteri
+    (fun j c ->
+      Printf.printf "  beta[%-17s] = %+10.3f\n" Rates.feature_names.(j) c)
+    model.Regression.coeffs;
+  print_endline "\nleave-one-out cross-validation:";
+  let loo = Regression.leave_one_out ~lambda x y in
+  List.iteri
+    (fun i (name, _, measured) ->
+      Printf.printf "  %-8s measured %.3f predicted %.3f error %5.1f%%\n" name
+        measured loo.(i)
+        (100.0 *. Regression.relative_error ~measured ~predicted:loo.(i)))
+    data;
+  print_endline "\nstandardized coefficients (feature importance, Bring 1994):";
+  let sc = Regression.standardized_coefficients model x y in
+  Array.iteri
+    (fun j c -> Printf.printf "  %-17s %+7.2f\n" Rates.feature_names.(j) c)
+    sc

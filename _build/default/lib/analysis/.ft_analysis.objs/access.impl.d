@@ -1,0 +1,1 @@
+lib/analysis/access.ml: Array List Loc Trace

@@ -1,0 +1,1 @@
+lib/analysis/acl.ml: Access Align Array Bool Float Hashtbl List Loc Machine Op String Trace

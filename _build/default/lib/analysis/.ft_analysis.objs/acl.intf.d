@@ -1,0 +1,1 @@
+lib/analysis/acl.mli: Loc Machine Trace

@@ -1,0 +1,1 @@
+lib/analysis/align.ml: Array List Loc Machine Trace Value

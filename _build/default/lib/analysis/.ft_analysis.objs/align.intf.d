@@ -1,0 +1,1 @@
+lib/analysis/align.mli: Loc Machine Trace Value

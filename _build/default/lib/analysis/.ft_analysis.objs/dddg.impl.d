@@ -1,0 +1,1 @@
+lib/analysis/dddg.ml: Access Array Buffer Fmt Int List Loc Printf Trace Value

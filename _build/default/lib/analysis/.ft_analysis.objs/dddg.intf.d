@@ -1,0 +1,1 @@
+lib/analysis/dddg.mli: Access Loc Trace Value

@@ -1,0 +1,1 @@
+lib/analysis/export.ml: Acl Array Buffer Fun List Printf String

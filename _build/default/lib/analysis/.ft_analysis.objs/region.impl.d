@@ -1,0 +1,1 @@
+lib/analysis/region.ml: Fmt Hashtbl Int List Trace

@@ -1,0 +1,1 @@
+lib/analysis/tolerance.ml: Align Float List Loc Printf Trace Value

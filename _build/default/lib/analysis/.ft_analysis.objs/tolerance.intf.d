@@ -1,0 +1,1 @@
+lib/analysis/tolerance.mli: Loc Machine Trace Value

@@ -1,0 +1,1 @@
+lib/analysis/trace_io.ml: Array Buffer Char Filename Fun Int64 List Loc Op Printf Region String Sys Trace

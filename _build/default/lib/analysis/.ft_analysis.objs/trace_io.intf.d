@@ -1,0 +1,1 @@
+lib/analysis/trace_io.mli: Buffer Trace

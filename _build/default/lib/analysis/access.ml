@@ -1,0 +1,100 @@
+(** Per-location access index over a trace.
+
+    For every location, the sorted sequence of (event index, read/write)
+    accesses.  This is the substrate of the liveness side of the ACL
+    table: a corrupted location is *alive* at time [t] if it will be
+    read again after [t] before being overwritten. *)
+
+type kind = Read | Write
+
+type t = { tbl : (int * kind) array Loc.Tbl.t }
+
+let build (tr : Trace.t) : t =
+  let tmp : (int * kind) list ref Loc.Tbl.t = Loc.Tbl.create 4096 in
+  let add loc entry =
+    match Loc.Tbl.find_opt tmp loc with
+    | Some l -> l := entry :: !l
+    | None -> Loc.Tbl.add tmp loc (ref [ entry ])
+  in
+  Trace.iteri
+    (fun i (e : Trace.event) ->
+      Array.iter (fun (loc, _) -> add loc (i, Read)) e.reads;
+      Array.iter (fun (loc, _) -> add loc (i, Write)) e.writes)
+    tr;
+  let tbl = Loc.Tbl.create (Loc.Tbl.length tmp) in
+  Loc.Tbl.iter
+    (fun loc l -> Loc.Tbl.add tbl loc (Array.of_list (List.rev !l)))
+    tmp;
+  { tbl }
+
+let accesses (t : t) (loc : Loc.t) : (int * kind) array =
+  match Loc.Tbl.find_opt t.tbl loc with Some a -> a | None -> [||]
+
+(* first access index in [a] with event index strictly greater than [i] *)
+let first_after (a : (int * kind) array) (i : int) : int =
+  let n = Array.length a in
+  let rec bs lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst a.(mid) <= i then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 n
+
+(** The fate of a location's current value established at event [t]:
+    scanning forward, reads keep it alive; the first write ends it.
+    Returns [`Dies_at r] where [r] is the event index of the *last read*
+    before the next write (the value is referenced up to [r], dead
+    after), [`Overwritten_at w] if a write at [w] comes before any read,
+    or [`Never_used] if there are no further accesses at all. *)
+let fate (t : t) (loc : Loc.t) ~(after : int) :
+    [ `Dies_after_read of int * int option
+      (** last read, then index of following write if any *)
+    | `Overwritten_at of int
+    | `Never_used ] =
+  let a = accesses t loc in
+  let n = Array.length a in
+  let start = first_after a after in
+  if start >= n then `Never_used
+  else
+    let rec scan i last_read =
+      if i >= n then
+        match last_read with
+        | Some r -> `Dies_after_read (r, None)
+        | None -> `Never_used
+      else
+        match snd a.(i) with
+        | Read -> scan (i + 1) (Some (fst a.(i)))
+        | Write -> (
+            match last_read with
+            | Some r -> `Dies_after_read (r, Some (fst a.(i)))
+            | None -> `Overwritten_at (fst a.(i)))
+    in
+    scan start None
+
+(** Is the value in [loc] established at event [after] referenced again
+    before being overwritten? *)
+let alive (t : t) (loc : Loc.t) ~(after : int) : bool =
+  match fate t loc ~after with
+  | `Dies_after_read _ -> true
+  | `Overwritten_at _ | `Never_used -> false
+
+(** Is [loc] read anywhere in the event interval [lo, hi)? *)
+let read_in (t : t) (loc : Loc.t) ~(lo : int) ~(hi : int) : bool =
+  let a = accesses t loc in
+  let n = Array.length a in
+  let rec scan i =
+    if i >= n || fst a.(i) >= hi then false
+    else match snd a.(i) with Read -> true | Write -> scan (i + 1)
+  in
+  scan (first_after a (lo - 1))
+
+(** Is [loc] written anywhere in the event interval [lo, hi)? *)
+let written_in (t : t) (loc : Loc.t) ~(lo : int) ~(hi : int) : bool =
+  let a = accesses t loc in
+  let n = Array.length a in
+  let rec scan i =
+    if i >= n || fst a.(i) >= hi then false
+    else match snd a.(i) with Write -> true | Read -> scan (i + 1)
+  in
+  scan (first_after a (lo - 1))

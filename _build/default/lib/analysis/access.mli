@@ -1,0 +1,30 @@
+(** Per-location access index: for every location, the ordered sequence
+    of reads and writes.  The liveness side of the ACL table — a
+    corrupted location is {e alive} at time [t] iff it is read again
+    after [t] before being overwritten. *)
+
+type kind = Read | Write
+
+type t
+
+val build : Trace.t -> t
+
+val accesses : t -> Loc.t -> (int * kind) array
+(** Sorted (event index, kind) accesses; [| |] for untouched locations. *)
+
+val fate :
+  t ->
+  Loc.t ->
+  after:int ->
+  [ `Dies_after_read of int * int option
+    (** last read before the next write, and that write if any *)
+  | `Overwritten_at of int  (** a write comes before any read *)
+  | `Never_used ]
+(** The fate of the value established in [loc] at event [after]. *)
+
+val alive : t -> Loc.t -> after:int -> bool
+(** Will the value established at [after] be read again before being
+    overwritten? *)
+
+val read_in : t -> Loc.t -> lo:int -> hi:int -> bool
+val written_in : t -> Loc.t -> lo:int -> hi:int -> bool

@@ -1,0 +1,147 @@
+(** Lockstep alignment of a faulty trace against its fault-free twin.
+
+    While the two traces execute the same control path (same function
+    and pc per event), the walker maintains shadow machine states for
+    both runs and the set of *corrupted* locations — locations whose
+    faulty-run value differs from the fault-free value.  This is the
+    value-based notion of corruption from the paper (stricter than
+    taint: a masked value is clean again even though it depends on the
+    fault).
+
+    When the control paths diverge, alignment stops; analyses treat the
+    remainder as control-flow divergence, which the paper detects the
+    same way (by comparing operations between the two DDDGs). *)
+
+type t = {
+  clean : Trace.t;
+  faulty : Trace.t;
+  mutable pos : int;  (** next event index to process *)
+  shadow_clean : Value.t Loc.Tbl.t;
+  shadow_faulty : Value.t Loc.Tbl.t;
+  corrupted : Value.t Loc.Tbl.t;
+      (** corrupted locations, mapped to their current *clean* value *)
+  fault : Machine.fault option;
+  mutable fault_applied : bool;
+  mutable diverged_at : int option;
+}
+
+let create ?fault ~(clean : Trace.t) ~(faulty : Trace.t) () : t =
+  {
+    clean;
+    faulty;
+    pos = 0;
+    shadow_clean = Loc.Tbl.create 4096;
+    shadow_faulty = Loc.Tbl.create 4096;
+    corrupted = Loc.Tbl.create 64;
+    fault;
+    fault_applied = false;
+    diverged_at = None;
+  }
+
+let shadow_value tbl loc =
+  match Loc.Tbl.find_opt tbl loc with Some v -> v | None -> Value.zero
+
+let clean_value (w : t) loc = shadow_value w.shadow_clean loc
+let faulty_value (w : t) loc = shadow_value w.shadow_faulty loc
+let is_corrupted (w : t) loc = Loc.Tbl.mem w.corrupted loc
+let corrupted_count (w : t) = Loc.Tbl.length w.corrupted
+
+let corrupted_locs (w : t) : Loc.t list =
+  Loc.Tbl.fold (fun loc _ acc -> loc :: acc) w.corrupted []
+
+(** Error magnitude (Equation 2) of a corrupted location right now. *)
+let magnitude (w : t) loc : float option =
+  match Loc.Tbl.find_opt w.corrupted loc with
+  | None -> None
+  | Some clean ->
+      Some (Value.error_magnitude ~correct:clean ~faulty:(faulty_value w loc))
+
+let update_corruption (w : t) loc =
+  let cv = clean_value w loc and fv = faulty_value w loc in
+  if Value.equal cv fv then Loc.Tbl.remove w.corrupted loc
+  else Loc.Tbl.replace w.corrupted loc cv
+
+(** Force a pending [Flip_mem] fault whose trigger sequence has been
+    reached into the faulty shadow state.  [Align.step] does this
+    automatically before each event; analyses that snapshot state
+    between events (e.g. at a region entry) call it explicitly with the
+    next event's sequence number. *)
+let apply_pending_fault (w : t) ~(next_seq : int) : unit =
+  match w.fault with
+  | Some (Machine.Flip_mem { seq; addr; bit })
+    when (not w.fault_applied) && next_seq >= seq ->
+      w.fault_applied <- true;
+      let loc = Loc.Mem addr in
+      let v = Value.flip_bit (faulty_value w loc) bit in
+      Loc.Tbl.replace w.shadow_faulty loc v;
+      update_corruption w loc
+  | Some (Machine.Flip_mem _ | Machine.Flip_write _) | None -> ()
+
+type step =
+  | Step of {
+      index : int;  (** event index that was just processed *)
+      clean_ev : Trace.event;
+      faulty_ev : Trace.event;
+      changed : Loc.t list;  (** locations written this step (either run) *)
+    }
+  | Diverged of int  (** control paths differ starting at this index *)
+  | End
+
+(** Advance by one event.  Must not be called again after [Diverged] or
+    [End]. *)
+let step (w : t) : step =
+  match w.diverged_at with
+  | Some i -> Diverged i
+  | None ->
+      if w.pos >= Trace.length w.faulty || w.pos >= Trace.length w.clean then
+        (* If the faulty run is shorter/longer (crash or hang), the
+           common prefix has been consumed. *)
+        if Trace.length w.faulty <> Trace.length w.clean
+           && w.pos < max (Trace.length w.faulty) (Trace.length w.clean)
+        then begin
+          w.diverged_at <- Some w.pos;
+          Diverged w.pos
+        end
+        else End
+      else
+        let ec = Trace.get w.clean w.pos in
+        let ef = Trace.get w.faulty w.pos in
+        if Trace.control_signature ec <> Trace.control_signature ef then begin
+          w.diverged_at <- Some w.pos;
+          Diverged w.pos
+        end
+        else begin
+          (* a pending memory-flip fault lands before its trigger event *)
+          apply_pending_fault w ~next_seq:ef.seq;
+          let changed = ref [] in
+          Array.iter
+            (fun (loc, v) ->
+              Loc.Tbl.replace w.shadow_clean loc v;
+              changed := loc :: !changed)
+            ec.writes;
+          Array.iter
+            (fun (loc, v) ->
+              Loc.Tbl.replace w.shadow_faulty loc v;
+              if not (List.exists (Loc.equal loc) !changed) then
+                changed := loc :: !changed)
+            ef.writes;
+          List.iter (update_corruption w) !changed;
+          w.pos <- w.pos + 1;
+          Step { index = w.pos - 1; clean_ev = ec; faulty_ev = ef; changed = !changed }
+        end
+
+(** Run the walker to completion, invoking [f] on every aligned step.
+    Returns the divergence index, if control flow diverged. *)
+let walk ?fault ~clean ~faulty (f : step -> unit) : int option =
+  let w = create ?fault ~clean ~faulty () in
+  let rec go () =
+    match step w with
+    | Step _ as s ->
+        f s;
+        go ()
+    | Diverged i ->
+        f (Diverged i);
+        Some i
+    | End -> None
+  in
+  go ()

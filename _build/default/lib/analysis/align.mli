@@ -1,0 +1,56 @@
+(** Lockstep alignment of a faulty trace against its fault-free twin,
+    maintaining shadow machine states for both runs and the set of
+    {e corrupted} locations — locations whose faulty-run value differs
+    from the fault-free value (value-based corruption, stricter than
+    taint: a masked value is clean again).  Alignment stops at the
+    first control-flow divergence. *)
+
+type t = {
+  clean : Trace.t;
+  faulty : Trace.t;
+  mutable pos : int;  (** next event index to process *)
+  shadow_clean : Value.t Loc.Tbl.t;
+  shadow_faulty : Value.t Loc.Tbl.t;
+  corrupted : Value.t Loc.Tbl.t;
+      (** corrupted locations, mapped to their current clean value *)
+  fault : Machine.fault option;
+  mutable fault_applied : bool;
+  mutable diverged_at : int option;
+}
+
+val create : ?fault:Machine.fault -> clean:Trace.t -> faulty:Trace.t -> unit -> t
+
+val clean_value : t -> Loc.t -> Value.t
+val faulty_value : t -> Loc.t -> Value.t
+val is_corrupted : t -> Loc.t -> bool
+val corrupted_count : t -> int
+val corrupted_locs : t -> Loc.t list
+
+val magnitude : t -> Loc.t -> float option
+(** Error magnitude (Equation 2) of a corrupted location right now. *)
+
+val apply_pending_fault : t -> next_seq:int -> unit
+(** Force a pending [Flip_mem] whose trigger has been reached into the
+    faulty shadow state.  [step] does this automatically; analyses that
+    snapshot state between events (e.g. at a region entry) call it
+    explicitly. *)
+
+type step =
+  | Step of {
+      index : int;
+      clean_ev : Trace.event;
+      faulty_ev : Trace.event;
+      changed : Loc.t list;  (** locations written this step *)
+    }
+  | Diverged of int  (** control paths differ from this event on *)
+  | End
+
+val step : t -> step
+
+val walk :
+  ?fault:Machine.fault ->
+  clean:Trace.t ->
+  faulty:Trace.t ->
+  (step -> unit) ->
+  int option
+(** Run to completion; returns the divergence index, if any. *)

@@ -1,0 +1,134 @@
+(** Dynamic Data Dependency Graphs.
+
+    Built per code-region instance from the trace slice of that
+    instance, after Holewinski et al.: vertices are dynamic values —
+    one version of a location per write — and edges connect the values
+    read by an instruction to the value it writes.
+
+    Roots (values read before ever being written inside the region) are
+    the region's {e input locations}; final versions that are read
+    again after the region ends are its {e output locations}; the rest
+    are internals.  This classification drives both the isolated
+    fault-injection campaigns (inputs are the injection targets) and
+    the Case-1/Case-2 tolerance tests. *)
+
+type node = {
+  id : int;
+  loc : Loc.t;
+  version : int;
+  value : Value.t;  (** value carried by this version *)
+  def_index : int option;
+      (** trace event that produced it; [None] for region inputs *)
+  def_op : Trace.opclass option;
+  def_line : int;
+}
+
+type t = {
+  nodes : node array;
+  edges : (int * int) list;  (** producer -> consumer, by node id *)
+  inputs : node list;   (** root nodes *)
+  outputs : node list;  (** final versions still referenced after [hi] *)
+  lo : int;
+  hi : int;
+}
+
+(** Build the DDDG of the event slice [lo, hi) of [trace].  [access]
+    must be the access index of the same trace (used to decide which
+    final values are read after the region, i.e. are outputs). *)
+let build (trace : Trace.t) (access : Access.t) ~(lo : int) ~(hi : int) : t =
+  let nodes = ref [] in
+  let nnodes = ref 0 in
+  let edges = ref [] in
+  let current : node Loc.Tbl.t = Loc.Tbl.create 256 in
+  let inputs = ref [] in
+  let add_node loc version value def_index def_op def_line =
+    let n = { id = !nnodes; loc; version; value; def_index; def_op; def_line } in
+    incr nnodes;
+    nodes := n :: !nodes;
+    Loc.Tbl.replace current loc n;
+    n
+  in
+  for i = lo to hi - 1 do
+    let e = Trace.get trace i in
+    let read_nodes =
+      Array.to_list e.reads
+      |> List.map (fun (loc, v) ->
+             match Loc.Tbl.find_opt current loc with
+             | Some n -> n
+             | None ->
+                 (* first touch is a read: the value flowed in from
+                    outside the region *)
+                 let n = add_node loc 0 v None None e.line in
+                 inputs := n :: !inputs;
+                 n)
+    in
+    Array.iter
+      (fun (loc, v) ->
+        let version =
+          match Loc.Tbl.find_opt current loc with
+          | Some n -> n.version + 1
+          | None -> 1
+        in
+        let n = add_node loc version v (Some i) (Some e.op) e.line in
+        List.iter (fun src -> edges := (src.id, n.id) :: !edges) read_nodes)
+      e.writes
+  done;
+  let outputs =
+    Loc.Tbl.fold
+      (fun loc n acc ->
+        if n.def_index = None then acc
+        else
+          match Access.fate access loc ~after:(hi - 1) with
+          | `Dies_after_read _ -> n :: acc
+          | `Overwritten_at _ | `Never_used -> acc)
+      current []
+  in
+  let nodes = Array.of_list (List.rev !nodes) in
+  { nodes; edges = !edges; inputs = !inputs; outputs; lo; hi }
+
+(** Memory locations among the region inputs — the natural targets for
+    input-location fault injection (registers of enclosing frames are
+    inputs too, but the paper injects into program state, which our
+    compiler keeps in memory). *)
+let input_mem_addrs (g : t) : int list =
+  List.filter_map
+    (fun n -> match n.loc with Loc.Mem a -> Some a | Loc.Reg _ -> None)
+    g.inputs
+  |> List.sort_uniq Int.compare
+
+let output_mem_addrs (g : t) : int list =
+  List.filter_map
+    (fun n -> match n.loc with Loc.Mem a -> Some a | Loc.Reg _ -> None)
+    g.outputs
+  |> List.sort_uniq Int.compare
+
+let internal_count (g : t) : int =
+  Array.length g.nodes - List.length g.inputs - List.length g.outputs
+
+(** Graphviz rendering, for inspection (the paper used Graphviz for the
+    same purpose). *)
+let to_dot ?(max_nodes = 2000) (g : t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph dddg {\n  rankdir=TB;\n";
+  let is_input n = n.def_index = None in
+  let is_output n = List.exists (fun o -> o.id = n.id) g.outputs in
+  let n = min max_nodes (Array.length g.nodes) in
+  for i = 0 to n - 1 do
+    let node = g.nodes.(i) in
+    let shape =
+      if is_input node then "box" else if is_output node then "doubleoctagon"
+      else "ellipse"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [shape=%s,label=\"%s v%d\\n0x%Lx\"];\n" node.id
+         shape
+         (Fmt.str "%a" Loc.pp node.loc)
+         node.version node.value)
+  done;
+  List.iter
+    (fun (a, b) ->
+      if a < n && b < n then
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" a b))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Dynamic Data Dependency Graphs, built per code-region instance:
+    vertices are dynamic values (one version of a location per write),
+    edges connect the values an instruction reads to the value it
+    writes.  Roots are the region's input locations, final versions
+    read after the region are its outputs. *)
+
+type node = {
+  id : int;
+  loc : Loc.t;
+  version : int;
+  value : Value.t;
+  def_index : int option;  (** producing event; [None] for inputs *)
+  def_op : Trace.opclass option;
+  def_line : int;
+}
+
+type t = {
+  nodes : node array;
+  edges : (int * int) list;  (** producer -> consumer, by node id *)
+  inputs : node list;
+  outputs : node list;
+  lo : int;
+  hi : int;
+}
+
+val build : Trace.t -> Access.t -> lo:int -> hi:int -> t
+(** DDDG of the event slice [lo, hi); [access] must index the same
+    trace (used to classify outputs). *)
+
+val input_mem_addrs : t -> int list
+(** Memory words among the region inputs — the input-injection targets. *)
+
+val output_mem_addrs : t -> int list
+val internal_count : t -> int
+
+val to_dot : ?max_nodes:int -> t -> string
+(** Graphviz rendering (inputs boxed, outputs double-octagons). *)

@@ -1,0 +1,117 @@
+(** Exporters for the analysis artifacts: CSV series for external
+    plotting, and a dependency-free SVG line chart good enough to
+    eyeball an ACL series (the paper's Figure 7 rendering). *)
+
+(** Write an (x, y) integer series as two-column CSV. *)
+let series_to_csv ?(header = ("instruction", "acl")) (series : (int * int) array)
+    : string =
+  let buf = Buffer.create 4096 in
+  let hx, hy = header in
+  Buffer.add_string buf (Printf.sprintf "%s,%s\n" hx hy);
+  Array.iter
+    (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "%d,%d\n" x y))
+    series;
+  Buffer.contents buf
+
+(** The ACL change-point series as a step-function CSV. *)
+let acl_to_csv (acl : Acl.result) : string = series_to_csv acl.Acl.series
+
+(** Death and masking events as CSV (kind, event index, line, region). *)
+let events_to_csv (acl : Acl.result) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "kind,index,line,region\n";
+  List.iter
+    (fun (d : Acl.death) ->
+      Buffer.add_string buf
+        (Printf.sprintf "death-%s,%d,%d,%d\n"
+           (match d.Acl.d_cause with
+           | Acl.Overwritten -> "overwritten"
+           | Acl.Dead -> "dead")
+           d.Acl.d_index d.Acl.d_line d.Acl.d_region))
+    acl.Acl.deaths;
+  List.iter
+    (fun (m : Acl.masking) ->
+      Buffer.add_string buf
+        (Printf.sprintf "mask-%s,%d,%d,%d\n"
+           (Acl.mask_kind_to_string m.Acl.m_kind)
+           m.Acl.m_index m.Acl.m_line m.Acl.m_region))
+    acl.Acl.maskings;
+  Buffer.contents buf
+
+(** A minimal self-contained SVG step chart of an integer series. *)
+let series_to_svg ?(width = 800) ?(height = 240) ?(title = "")
+    (series : (int * int) array) : string =
+  let n = Array.length series in
+  if n = 0 then
+    Printf.sprintf
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\"/>"
+      width height
+  else begin
+    let margin = 40 in
+    let xmin = fst series.(0) and xmax = fst series.(n - 1) in
+    let ymax = Array.fold_left (fun a (_, y) -> max a y) 1 series in
+    let fx x =
+      if xmax = xmin then float_of_int margin
+      else
+        float_of_int margin
+        +. float_of_int (x - xmin)
+           /. float_of_int (xmax - xmin)
+           *. float_of_int (width - (2 * margin))
+    in
+    let fy y =
+      float_of_int (height - margin)
+      -. (float_of_int y /. float_of_int ymax
+         *. float_of_int (height - (2 * margin)))
+    in
+    let buf = Buffer.create 8192 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+          viewBox=\"0 0 %d %d\">\n"
+         width height width height);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height);
+    if not (String.equal title "") then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%d\" y=\"20\" font-family=\"monospace\" font-size=\"13\">%s</text>\n"
+           margin title);
+    (* axes *)
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"black\"/>\n"
+         margin (height - margin) (width - margin) (height - margin));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"black\"/>\n"
+         margin margin margin (height - margin));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"4\" y=\"%d\" font-family=\"monospace\" font-size=\"11\">%d</text>\n"
+         (margin + 4) ymax);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%d\" y=\"%d\" font-family=\"monospace\" font-size=\"11\">%d</text>\n"
+         (width - margin - 40)
+         (height - margin + 14)
+         xmax);
+    (* step polyline *)
+    Buffer.add_string buf "<polyline fill=\"none\" stroke=\"#0a5fbf\" stroke-width=\"1.2\" points=\"";
+    let prev_y = ref (snd series.(0)) in
+    Array.iter
+      (fun (x, y) ->
+        (* horizontal then vertical: a step function *)
+        Buffer.add_string buf (Printf.sprintf "%.1f,%.1f " (fx x) (fy !prev_y));
+        Buffer.add_string buf (Printf.sprintf "%.1f,%.1f " (fx x) (fy y));
+        prev_y := y)
+      series;
+    Buffer.add_string buf "\"/>\n</svg>\n";
+    Buffer.contents buf
+  end
+
+let write_file (path : string) (contents : string) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,16 @@
+(** Exporters for the analysis artifacts: CSV for external plotting and
+    a dependency-free SVG step chart for the ACL series (the paper's
+    Figure 7 rendering). *)
+
+val series_to_csv : ?header:string * string -> (int * int) array -> string
+val acl_to_csv : Acl.result -> string
+
+val events_to_csv : Acl.result -> string
+(** Death and masking events: kind, event index, source line, region. *)
+
+val series_to_svg :
+  ?width:int -> ?height:int -> ?title:string -> (int * int) array -> string
+(** A self-contained SVG step chart; valid (empty) SVG for an empty
+    series. *)
+
+val write_file : string -> string -> unit

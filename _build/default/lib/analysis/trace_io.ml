@@ -1,0 +1,233 @@
+(** Trace serialization.
+
+    The paper's tracer (LLVM-Tracer) writes one text trace file per MPI
+    process, and FlipTracker's implementation splits those files into
+    per-code-region-instance pieces for parallel analysis
+    (Section IV-A).  This module provides the same artifacts: a compact
+    line-oriented text format with one line per dynamic instruction,
+    readers/writers over channels, and region-instance splitting.
+
+    Format, one event per line, space-separated:
+
+    {v seq fidx pc act line region instance iter op #reads r... #writes w... v}
+
+    where each read/write is [loc:hexvalue] and a location is [rA.R]
+    (register R of activation A) or [mADDR] (memory word). *)
+
+let pp_loc_compact buf (loc : Loc.t) =
+  match loc with
+  | Loc.Reg (a, r) -> Buffer.add_string buf (Printf.sprintf "r%d.%d" a r)
+  | Loc.Mem m -> Buffer.add_string buf (Printf.sprintf "m%d" m)
+
+let parse_loc (s : string) : Loc.t =
+  if String.length s < 2 then failwith ("Trace_io.parse_loc: " ^ s)
+  else if Char.equal s.[0] 'm' then
+    Loc.Mem (int_of_string (String.sub s 1 (String.length s - 1)))
+  else
+    match String.index_opt s '.' with
+    | Some dot ->
+        Loc.Reg
+          ( int_of_string (String.sub s 1 (dot - 1)),
+            int_of_string (String.sub s (dot + 1) (String.length s - dot - 1)) )
+    | None -> failwith ("Trace_io.parse_loc: " ^ s)
+
+let opclass_code : Trace.opclass -> string = function
+  | Trace.OConst -> "c"
+  | Trace.OBin op -> "b:" ^ Op.bin_to_string op
+  | Trace.OUn op -> "u:" ^ Op.un_to_string op
+  | Trace.OLoad -> "l"
+  | Trace.OStore -> "s"
+  | Trace.OJmp -> "j"
+  | Trace.OBr true -> "t"
+  | Trace.OBr false -> "f"
+  | Trace.OCall -> "C"
+  | Trace.ORet -> "R"
+  | Trace.OIntr s ->
+      (* percent-encode so arbitrary format strings survive the
+         line-oriented representation *)
+      let buf = Buffer.create (String.length s + 8) in
+      String.iter
+        (fun c ->
+          match c with
+          | ' ' -> Buffer.add_string buf "%20"
+          | '\n' -> Buffer.add_string buf "%0A"
+          | '%' -> Buffer.add_string buf "%25"
+          | c -> Buffer.add_char buf c)
+        s;
+      "i:" ^ Buffer.contents buf
+  | Trace.OMark m -> "M:" ^ string_of_int m
+
+let parse_opclass (s : string) : Trace.opclass =
+  let tail () = String.sub s 2 (String.length s - 2) in
+  match s.[0] with
+  | 'c' -> Trace.OConst
+  | 'l' -> Trace.OLoad
+  | 's' -> Trace.OStore
+  | 'j' -> Trace.OJmp
+  | 't' -> Trace.OBr true
+  | 'f' -> Trace.OBr false
+  | 'C' -> Trace.OCall
+  | 'R' -> Trace.ORet
+  | 'M' -> Trace.OMark (int_of_string (tail ()))
+  | 'i' ->
+      let enc = tail () in
+      let buf = Buffer.create (String.length enc) in
+      let n = String.length enc in
+      let rec decode i =
+        if i >= n then ()
+        else if Char.equal enc.[i] '%' && i + 2 < n then begin
+          (match String.sub enc i 3 with
+          | "%20" -> Buffer.add_char buf ' '
+          | "%0A" -> Buffer.add_char buf '\n'
+          | "%25" -> Buffer.add_char buf '%'
+          | other -> Buffer.add_string buf other);
+          decode (i + 3)
+        end
+        else begin
+          Buffer.add_char buf enc.[i];
+          decode (i + 1)
+        end
+      in
+      decode 0;
+      Trace.OIntr (Buffer.contents buf)
+  | 'b' ->
+      let name = tail () in
+      let all =
+        [
+          Op.Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Lshr; Ashr; Fadd;
+          Fsub; Fmul; Fdiv; Eq; Ne; Lt; Le; Gt; Ge; Feq; Fne; Flt; Fle; Fgt;
+          Fge; Imin; Imax; Fmin; Fmax;
+        ]
+      in
+      Trace.OBin
+        (List.find (fun o -> String.equal (Op.bin_to_string o) name) all)
+  | 'u' ->
+      let name = tail () in
+      let all =
+        [
+          Op.Neg; Not; Fneg; Fabs; Fsqrt; Fsin; Fcos; Trunc32; FloatOfInt;
+          IntOfFloat; F32round;
+        ]
+      in
+      Trace.OUn (List.find (fun o -> String.equal (Op.un_to_string o) name) all)
+  | _ -> failwith ("Trace_io.parse_opclass: " ^ s)
+
+let write_event (buf : Buffer.t) (e : Trace.event) : unit =
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d %d %d %d %d %d %s %d" e.seq e.fidx e.pc e.act
+       e.line e.region e.instance e.iter (opclass_code e.op)
+       (Array.length e.reads));
+  Array.iter
+    (fun (loc, v) ->
+      Buffer.add_char buf ' ';
+      pp_loc_compact buf loc;
+      Buffer.add_string buf (Printf.sprintf ":%Lx" v))
+    e.reads;
+  Buffer.add_string buf (Printf.sprintf " %d" (Array.length e.writes));
+  Array.iter
+    (fun (loc, v) ->
+      Buffer.add_char buf ' ';
+      pp_loc_compact buf loc;
+      Buffer.add_string buf (Printf.sprintf ":%Lx" v))
+    e.writes;
+  Buffer.add_char buf '\n'
+
+let parse_event (line : string) : Trace.event =
+  let toks = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+  match toks with
+  | seq :: fidx :: pc :: act :: ln :: region :: instance :: iter :: op
+    :: nreads :: rest ->
+      let nreads = int_of_string nreads in
+      let parse_access tok =
+        match String.index_opt tok ':' with
+        | Some i ->
+            ( parse_loc (String.sub tok 0 i),
+              Int64.of_string
+                ("0x" ^ String.sub tok (i + 1) (String.length tok - i - 1)) )
+        | None -> failwith ("Trace_io.parse_event: access " ^ tok)
+      in
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> failwith "Trace_io.parse_event: truncated"
+        | t :: rest -> take (n - 1) (parse_access t :: acc) rest
+      in
+      let reads, rest = take nreads [] rest in
+      let writes =
+        match rest with
+        | nw :: rest ->
+            let nw = int_of_string nw in
+            fst (take nw [] rest)
+        | [] -> failwith "Trace_io.parse_event: missing writes"
+      in
+      {
+        Trace.seq = int_of_string seq;
+        fidx = int_of_string fidx;
+        pc = int_of_string pc;
+        act = int_of_string act;
+        line = int_of_string ln;
+        region = int_of_string region;
+        instance = int_of_string instance;
+        iter = int_of_string iter;
+        op = parse_opclass op;
+        reads = Array.of_list reads;
+        writes = Array.of_list writes;
+      }
+  | _ -> failwith ("Trace_io.parse_event: bad line " ^ line)
+
+(** Serialize a whole trace to a channel. *)
+let write_channel (oc : out_channel) (t : Trace.t) : unit =
+  let buf = Buffer.create 65536 in
+  Trace.iter
+    (fun e ->
+      write_event buf e;
+      if Buffer.length buf > 1 lsl 20 then begin
+        Buffer.output_buffer oc buf;
+        Buffer.clear buf
+      end)
+    t;
+  Buffer.output_buffer oc buf
+
+let save (path : string) (t : Trace.t) : unit =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc t)
+
+(** Read a trace back from a channel. *)
+let read_channel (ic : in_channel) : Trace.t =
+  let t = Trace.create () in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.length line > 0 then Trace.push t (parse_event line)
+     done
+   with End_of_file -> ());
+  t
+
+let load (path : string) : Trace.t =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+
+(** Split a trace into one file per code-region instance under [dir]
+    (the paper's trace-splitting step), named
+    [<prefix>_r<region>_i<instance>.trace].  Returns the files
+    written. *)
+let split_by_region_instance ~(dir : string) ?(prefix = "trace") (t : Trace.t)
+    : string list =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun (inst : Region.instance) ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s_r%d_i%d.trace" prefix inst.Region.rid
+             inst.Region.number)
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let buf = Buffer.create 65536 in
+          for k = inst.Region.lo to inst.Region.hi - 1 do
+            write_event buf (Trace.get t k)
+          done;
+          Buffer.output_buffer oc buf);
+      path)
+    (Region.instances t)

@@ -1,0 +1,22 @@
+(** Trace serialization: a line-oriented text format (one event per
+    line, the LLVM-Tracer-file analog) and per-code-region-instance
+    splitting (the paper's trace-splitting step, Section IV-A). *)
+
+val opclass_code : Trace.opclass -> string
+val parse_opclass : string -> Trace.opclass
+
+val write_event : Buffer.t -> Trace.event -> unit
+(** Appends one line (terminated by a newline). *)
+
+val parse_event : string -> Trace.event
+(** @raise Failure on a malformed line. *)
+
+val write_channel : out_channel -> Trace.t -> unit
+val save : string -> Trace.t -> unit
+val read_channel : in_channel -> Trace.t
+val load : string -> Trace.t
+
+val split_by_region_instance :
+  dir:string -> ?prefix:string -> Trace.t -> string list
+(** One file per region instance under [dir] (created if needed), named
+    [<prefix>_r<region>_i<instance>.trace]; returns the paths. *)

@@ -1,0 +1,1 @@
+lib/apps/app.ml: Ast Compile Float Hashtbl List Machine Printf Prog Stdlib String Trace Ty

@@ -1,0 +1,1 @@
+lib/apps/bt.ml: App Ast Stdlib Ty

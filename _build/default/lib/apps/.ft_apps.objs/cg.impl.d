@@ -1,0 +1,1 @@
+lib/apps/cg.ml: App Array Ast Float List Machine Stdlib Ty

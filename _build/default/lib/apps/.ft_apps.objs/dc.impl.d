@@ -1,0 +1,1 @@
+lib/apps/dc.ml: App Array Ast Float Machine Stdlib Ty

@@ -1,0 +1,1 @@
+lib/apps/ft.ml: App Ast Float Stdlib Ty

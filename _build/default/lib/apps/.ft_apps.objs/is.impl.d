@@ -1,0 +1,1 @@
+lib/apps/is.ml: App Array Ast Float Machine Stdlib Ty

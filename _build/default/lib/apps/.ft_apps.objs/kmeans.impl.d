@@ -1,0 +1,1 @@
+lib/apps/kmeans.ml: App Array Ast Float Machine Stdlib Ty

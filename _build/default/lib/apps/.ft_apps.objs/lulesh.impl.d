@@ -1,0 +1,1 @@
+lib/apps/lulesh.ml: App Ast Stdlib Ty

@@ -1,0 +1,1 @@
+lib/apps/mg.ml: App Array Ast Float Machine Stdlib Ty

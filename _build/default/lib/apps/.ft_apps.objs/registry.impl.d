@@ -1,0 +1,1 @@
+lib/apps/registry.ml: App Bt Cg Dc Ft Is Kmeans List Lu Lulesh Mg Printf Sp String

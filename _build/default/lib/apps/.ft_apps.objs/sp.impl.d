@@ -1,0 +1,1 @@
+lib/apps/sp.ml: App Ast Stdlib Ty

@@ -1,0 +1,262 @@
+(** BT — ADI solver with tridiagonal line solves (NPB BT, reduced to a
+    scalar 2-D analog).
+
+    Each main-loop iteration computes the right-hand side from the
+    current solution, performs Thomas-algorithm line solves along x and
+    then along y (the analogs of NPB BT's [x_solve]/[y_solve] block
+    solves: forward elimination followed by back substitution), and
+    adds the update into the solution. *)
+
+let n = 12
+let niter = 5
+let dcoef = 0.4 (* diffusion number *)
+
+let make ~(ref_value : float option) : Ast.program =
+  let open Ast in
+  let nm = Stdlib.( - ) n 1 in
+  (* Thomas solve of (-c, b, -c) tridiagonal along one line; rhs in
+     "lrhs", result left in "lrhs". *)
+  let thomas_line =
+    [
+      (* forward elimination *)
+      Ast.SStore ("cp", [ i 1 ], f (-.dcoef) / f (1.0 +. (2.0 *. dcoef)));
+      Ast.SStore
+        ( "lrhs",
+          [ i 1 ],
+          idx1 "lrhs" (i 1) / f (1.0 +. (2.0 *. dcoef)) );
+      Ast.SFor
+        ( "k",
+          i 2,
+          i nm,
+          [
+            SAssign
+              ( "m",
+                f (1.0 +. (2.0 *. dcoef))
+                - (f (-.dcoef) * idx1 "cp" (v "k" - i 1)) );
+            SStore ("cp", [ v "k" ], f (-.dcoef) / v "m");
+            SStore
+              ( "lrhs",
+                [ v "k" ],
+                (idx1 "lrhs" (v "k")
+                - (f (-.dcoef) * idx1 "lrhs" (v "k" - i 1)))
+                / v "m" );
+          ] );
+      (* back substitution *)
+      Ast.SForStep
+        ( "kx",
+          i 0,
+          i (Stdlib.( - ) nm 2),
+          i 1,
+          [
+            SAssign ("k", i (Stdlib.( - ) nm 2) - v "kx");
+            SStore
+              ( "lrhs",
+                [ v "k" ],
+                idx1 "lrhs" (v "k")
+                - (idx1 "cp" (v "k") * idx1 "lrhs" (v "k" + i 1)) );
+          ] );
+    ]
+  in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [ DScalar ("rn", Ty.F64) ] @ App.verification_locals;
+      body =
+        [
+          SAssign ("tran", f 314159265.0);
+          SAssign ("amult", f 1220703125.0);
+          SFor
+            ( "i2",
+              i 0,
+              i n,
+              [
+                SFor
+                  ( "i1",
+                    i 0,
+                    i n,
+                    [
+                      SStore
+                        ("u", [ v "i2"; v "i1" ], Randlc ("tran", v "amult"));
+                      SStore ("rhs", [ v "i2"; v "i1" ], f 0.0);
+                    ] );
+              ] );
+          SFor
+            ( "it",
+              i 0,
+              i niter,
+              [
+                SMark App.iter_mark_name;
+                (* rhs from the 5-point stencil (compute_rhs analog) *)
+                SRegion
+                  ( "bt_a",
+                    252,
+                    301,
+                    [
+                      SFor
+                        ( "i2",
+                          i 1,
+                          i nm,
+                          [
+                            SFor
+                              ( "i1",
+                                i 1,
+                                i nm,
+                                [
+                                  SStore
+                                    ( "rhs",
+                                      [ v "i2"; v "i1" ],
+                                      f dcoef
+                                      * (idx2 "u" (v "i2" - i 1) (v "i1")
+                                        + idx2 "u" (v "i2" + i 1) (v "i1")
+                                        + idx2 "u" (v "i2") (v "i1" - i 1)
+                                        + idx2 "u" (v "i2") (v "i1" + i 1)
+                                        - (f 4.0 * idx2 "u" (v "i2") (v "i1"))
+                                        ) );
+                                ] );
+                          ] );
+                    ] );
+                (* x_solve: one tridiagonal solve per row *)
+                SRegion
+                  ( "bt_b",
+                    303,
+                    355,
+                    [
+                      SFor
+                        ( "i2",
+                          i 1,
+                          i nm,
+                          [
+                            SFor
+                              ( "k",
+                                i 0,
+                                i n,
+                                [
+                                  SStore
+                                    ("lrhs", [ v "k" ], idx2 "rhs" (v "i2") (v "k"));
+                                ] );
+                          ]
+                          @ thomas_line
+                          @ [
+                              SFor
+                                ( "k",
+                                  i 1,
+                                  i nm,
+                                  [
+                                    SStore
+                                      ( "rhs",
+                                        [ v "i2"; v "k" ],
+                                        idx1 "lrhs" (v "k") );
+                                  ] );
+                            ] );
+                    ] );
+                (* y_solve: one tridiagonal solve per column *)
+                SRegion
+                  ( "bt_c",
+                    357,
+                    409,
+                    [
+                      SFor
+                        ( "i1",
+                          i 1,
+                          i nm,
+                          [
+                            SFor
+                              ( "k",
+                                i 0,
+                                i n,
+                                [
+                                  SStore
+                                    ("lrhs", [ v "k" ], idx2 "rhs" (v "k") (v "i1"));
+                                ] );
+                          ]
+                          @ thomas_line
+                          @ [
+                              SFor
+                                ( "k",
+                                  i 1,
+                                  i nm,
+                                  [
+                                    SStore
+                                      ( "rhs",
+                                        [ v "k"; v "i1" ],
+                                        idx1 "lrhs" (v "k") );
+                                  ] );
+                            ] );
+                    ] );
+                (* add the update (add analog) *)
+                SRegion
+                  ( "bt_d",
+                    411,
+                    437,
+                    [
+                      SFor
+                        ( "i2",
+                          i 1,
+                          i nm,
+                          [
+                            SFor
+                              ( "i1",
+                                i 1,
+                                i nm,
+                                [
+                                  SStore
+                                    ( "u",
+                                      [ v "i2"; v "i1" ],
+                                      idx2 "u" (v "i2") (v "i1")
+                                      + idx2 "rhs" (v "i2") (v "i1") );
+                                ] );
+                          ] );
+                    ] );
+              ] );
+          (* verification: solution norm *)
+          SAssign ("rn", f 0.0);
+          SFor
+            ( "i2",
+              i 0,
+              i n,
+              [
+                SFor
+                  ( "i1",
+                    i 0,
+                    i n,
+                    [
+                      SAssign
+                        ( "rn",
+                          v "rn"
+                          + (idx2 "u" (v "i2") (v "i1")
+                            * idx2 "u" (v "i2") (v "i1")) );
+                    ] );
+              ] );
+          SAssign ("result", sqrt_ (v "rn"));
+        ]
+        @ App.verification_block ~ref_value ~tolerance:1e-9 ();
+    }
+  in
+  {
+    globals =
+      [
+        DArr ("u", Ty.F64, [ n; n ]);
+        DArr ("rhs", Ty.F64, [ n; n ]);
+        DArr ("lrhs", Ty.F64, [ n ]);
+        DArr ("cp", Ty.F64, [ n ]);
+        DScalar ("tran", Ty.F64);
+        DScalar ("amult", Ty.F64);
+        DScalar ("m", Ty.F64);
+        DScalar ("k", Ty.I64);
+      ];
+    funs = [ main ];
+    entry = "main";
+  }
+
+let app : App.t =
+  {
+    App.name = "BT";
+    description = "ADI tridiagonal line solver (NPB BT analog)";
+    build = (fun ~ref_value -> make ~ref_value);
+    tolerance = 1e-9;
+    main_iterations = niter;
+    region_names = [ "bt_a"; "bt_b"; "bt_c"; "bt_d" ];
+  }

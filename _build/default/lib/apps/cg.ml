@@ -1,0 +1,615 @@
+(** CG — conjugate-gradient solver (NPB CG, scaled to class-S-like
+    dimensions).
+
+    Solves A z = x for a sparse symmetric positive-definite matrix with
+    a fixed {-8,-1,0,+1,+8} stencil sparsity whose off-diagonal weights
+    come from [sprnvc] (the NPB random-sparse-vector generator, built
+    on [randlc], with the global [v]/[iv] arrays that Use Case 1 of the
+    paper hardens).  The main loop runs [niter] outer iterations; each
+    calls [conj_grad] (the five paper regions cg_a..cg_e live there)
+    and computes [zeta = shift + 1 / (x . z)].
+
+    Hardening switches (Use Case 1, Table III):
+    {ul
+    {- [harden_dcl]: [sprnvc] works on local temporary arrays and
+       copies back at the end — the Dead Corrupted Locations + Data
+       Overwriting transformation of Figure 12(b);}
+    {- [harden_trunc]: a window of the p.q dot product in cg_c is
+       computed in truncated 32-bit integer arithmetic — the Truncation
+       transformation of Figure 13(b).}} *)
+
+let n = 32
+let nonzer = 7
+let niter = 10
+let cgitmax = 5
+let shift = 10.0
+let nn1 = 32 (* smallest power of two >= n *)
+
+let offsets = [ -8; -1; 1; 8 ]
+
+let make ?(harden_dcl = false) ?(harden_trunc = false) ()
+    ~(ref_value : float option) : Ast.program =
+  (* plain-integer constants, computed before [Ast]'s operators shadow
+     the stdlib ones *)
+  let nz1 = Stdlib.( + ) nonzer 1 in
+  let nsegs = Stdlib.( / ) n nonzer in
+  let noffs = List.length offsets in
+  let open Ast in
+  let sprnvc_body_core ~v_arr ~iv_arr =
+    [
+      SAssign ("nzv", i 0);
+      SWhile
+        ( v "nzv" < v "nz_arg",
+          [
+            SAssign ("vecelt", Randlc ("tran", v "amult"));
+            SAssign ("vecloc", Randlc ("tran", v "amult"));
+            SAssign ("ivc", to_int (to_float (i nn1) * v "vecloc") + i 1);
+            SIf
+              ( v "ivc" <= v "n_arg",
+                [
+                  SAssign ("was_gen", i 0);
+                  SFor
+                    ( "ii",
+                      i 0,
+                      v "nzv",
+                      [
+                        SIf
+                          ( idx1 iv_arr (v "ii") = v "ivc",
+                            [ SAssign ("was_gen", i 1) ],
+                            [] );
+                      ] );
+                  SIf
+                    ( v "was_gen" = i 0,
+                      [
+                        SStore (v_arr, [ v "nzv" ], v "vecelt");
+                        SStore (iv_arr, [ v "nzv" ], v "ivc");
+                        SAssign ("nzv", v "nzv" + i 1);
+                      ],
+                      [] );
+                ],
+                [] );
+          ] );
+    ]
+  in
+  let sprnvc : fundef =
+    if harden_dcl then
+      {
+        fname = "sprnvc";
+        params =
+          [
+            { pname = "n_arg"; pty = Ty.I64; parr = false; pdims = [] };
+            { pname = "nz_arg"; pty = Ty.I64; parr = false; pdims = [] };
+          ];
+        ret = None;
+        locals =
+          [
+            DScalar ("nzv", Ty.I64);
+            DScalar ("vecelt", Ty.F64);
+            DScalar ("vecloc", Ty.F64);
+            DScalar ("ivc", Ty.I64);
+            DScalar ("was_gen", Ty.I64);
+            (* the hardened variant works on temporaries and copies
+               back, so errors in v/iv are overwritten and errors in
+               the temporaries die here (Figure 12b) *)
+            DArr ("v_tmp", Ty.F64, [ nz1 ]);
+            DArr ("iv_tmp", Ty.I64, [ nz1 ]);
+          ];
+        body =
+          List.concat
+            [
+              [
+                SFor
+                  ( "ii",
+                    i 0,
+                    i nz1,
+                    [
+                      SStore ("v_tmp", [ v "ii" ], idx1 "v" (v "ii"));
+                      SStore ("iv_tmp", [ v "ii" ], idx1 "iv" (v "ii"));
+                    ] );
+              ];
+              sprnvc_body_core ~v_arr:"v_tmp" ~iv_arr:"iv_tmp";
+              [
+                SFor
+                  ( "ii",
+                    i 0,
+                    i nz1,
+                    [
+                      SStore ("v", [ v "ii" ], idx1 "v_tmp" (v "ii"));
+                      SStore ("iv", [ v "ii" ], idx1 "iv_tmp" (v "ii"));
+                    ] );
+              ];
+            ];
+      }
+    else
+      {
+        fname = "sprnvc";
+        params =
+          [
+            { pname = "n_arg"; pty = Ty.I64; parr = false; pdims = [] };
+            { pname = "nz_arg"; pty = Ty.I64; parr = false; pdims = [] };
+          ];
+        ret = None;
+        locals =
+          [
+            DScalar ("nzv", Ty.I64);
+            DScalar ("vecelt", Ty.F64);
+            DScalar ("vecloc", Ty.F64);
+            DScalar ("ivc", Ty.I64);
+            DScalar ("was_gen", Ty.I64);
+          ];
+        body = sprnvc_body_core ~v_arr:"v" ~iv_arr:"iv";
+      }
+  in
+  (* q = A * src, into dst.  A is the stencil matrix with diagonal d[]
+     and off-diagonal 0.5*(w[i]+w[j]). *)
+  let spmv dst src =
+    [
+      SFor
+        ( "j",
+          i 0,
+          i n,
+          [
+            SAssign ("sum", idx1 "d" (v "j") * idx1 src (v "j"));
+            SFor
+              ( "k",
+                i 0,
+                i noffs,
+                [
+                  SAssign ("jo", v "j" + idx1 "off" (v "k"));
+                  SIf
+                    ( Bin (AndB, v "jo" >= i 0, v "jo" < i n),
+                      [
+                        SAssign
+                          ( "sum",
+                            v "sum"
+                            + f 0.5
+                              * (idx1 "w" (v "j") + idx1 "w" (v "jo"))
+                              * idx1 src (v "jo") );
+                      ],
+                      [] );
+                ] );
+            SStore (dst, [ v "j" ], v "sum");
+          ] );
+    ]
+  in
+  let dot_pq_body =
+    if harden_trunc then
+      [
+        SAssign ("dd", f 0.0);
+        SFor
+          ( "j",
+            i 0,
+            i n,
+            [
+              SIf
+                ( Bin (AndB, v "j" >= i 20, v "j" <= i 21),
+                  [
+                    (* truncation hardening: compute this window of the
+                       dot product in 32-bit integer arithmetic
+                       (Figure 13b) *)
+                    SAssign ("tmp", trunc32 (to_int (idx1 "p" (v "j"))));
+                    SAssign ("tmp1", trunc32 (to_int (idx1 "q" (v "j"))));
+                    SAssign ("dd", v "dd" + to_float (v "tmp" * v "tmp1"));
+                  ],
+                  [
+                    SAssign
+                      ("dd", v "dd" + (idx1 "p" (v "j") * idx1 "q" (v "j")));
+                  ] );
+            ] );
+      ]
+    else
+      [
+        SAssign ("dd", f 0.0);
+        SFor
+          ( "j",
+            i 0,
+            i n,
+            [ SAssign ("dd", v "dd" + (idx1 "p" (v "j") * idx1 "q" (v "j"))) ]
+          );
+      ]
+  in
+  let conj_grad : fundef =
+    {
+      fname = "conj_grad";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("sum", Ty.F64);
+          DScalar ("dd", Ty.F64);
+          DScalar ("dt", Ty.F64);
+          DScalar ("tmp", Ty.I64);
+          DScalar ("tmp1", Ty.I64);
+          DScalar ("jo", Ty.I64);
+        ];
+      body =
+        [
+          SRegion
+            ( "cg_a",
+              434,
+              439,
+              [
+                SFor
+                  ( "j",
+                    i 0,
+                    i n,
+                    [
+                      SStore ("q", [ v "j" ], f 0.0);
+                      SStore ("z", [ v "j" ], f 0.0);
+                      SStore ("r", [ v "j" ], idx1 "x" (v "j"));
+                      SStore ("p", [ v "j" ], idx1 "x" (v "j"));
+                    ] );
+              ] );
+          SRegion
+            ( "cg_b",
+              440,
+              453,
+              [
+                SAssign ("rho", f 0.0);
+                SFor
+                  ( "j",
+                    i 0,
+                    i n,
+                    [
+                      SAssign
+                        ("rho", v "rho" + (idx1 "r" (v "j") * idx1 "r" (v "j")));
+                    ] );
+              ] );
+          SRegion
+            ( "cg_c",
+              454,
+              460,
+              [
+                SFor
+                  ( "cgit",
+                    i 0,
+                    i cgitmax,
+                    List.concat
+                      [
+                        spmv "q" "p";
+                        dot_pq_body;
+                        [
+                          SAssign ("alpha", v "rho" / v "dd");
+                          SFor
+                            ( "j",
+                              i 0,
+                              i n,
+                              [
+                                SStore
+                                  ( "z",
+                                    [ v "j" ],
+                                    idx1 "z" (v "j")
+                                    + (v "alpha" * idx1 "p" (v "j")) );
+                                SStore
+                                  ( "r",
+                                    [ v "j" ],
+                                    idx1 "r" (v "j")
+                                    - (v "alpha" * idx1 "q" (v "j")) );
+                              ] );
+                          SAssign ("rho0", v "rho");
+                          SAssign ("rho", f 0.0);
+                          SFor
+                            ( "j",
+                              i 0,
+                              i n,
+                              [
+                                SAssign
+                                  ( "rho",
+                                    v "rho"
+                                    + (idx1 "r" (v "j") * idx1 "r" (v "j")) );
+                              ] );
+                          SAssign ("beta", v "rho" / v "rho0");
+                          SFor
+                            ( "j",
+                              i 0,
+                              i n,
+                              [
+                                SStore
+                                  ( "p",
+                                    [ v "j" ],
+                                    idx1 "r" (v "j")
+                                    + (v "beta" * idx1 "p" (v "j")) );
+                              ] );
+                        ];
+                      ] );
+              ] );
+          SRegion ("cg_d", 461, 574, spmv "r" "z");
+          SRegion
+            ( "cg_e",
+              575,
+              584,
+              [
+                SAssign ("sum", f 0.0);
+                SFor
+                  ( "j",
+                    i 0,
+                    i n,
+                    [
+                      SAssign ("dt", idx1 "x" (v "j") - idx1 "r" (v "j"));
+                      SAssign ("sum", v "sum" + (v "dt" * v "dt"));
+                    ] );
+                SAssign ("rnorm", sqrt_ (v "sum"));
+              ] );
+        ];
+    }
+  in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("xz", Ty.F64);
+          DScalar ("xn", Ty.F64);
+          DScalar ("norm", Ty.F64);
+          DScalar ("adiag", Ty.F64);
+          DScalar ("jo", Ty.I64);
+          DScalar ("seg", Ty.I64);
+        ]
+        @ App.verification_locals;
+      body =
+        [
+          (* setup: randlc seeds, stencil offsets, random row weights *)
+          SAssign ("tran", f 314159265.0);
+          SAssign ("amult", f 1220703125.0);
+          SStore ("off", [ i 0 ], i (-8));
+          SStore ("off", [ i 1 ], i (-1));
+          SStore ("off", [ i 2 ], i 1);
+          SStore ("off", [ i 3 ], i 8);
+          SFor ("j", i 0, i n, [ SStore ("w", [ v "j" ], f 0.0) ]);
+          (* makea: scatter sprnvc-generated sparse vectors into w *)
+          SFor
+            ( "seg",
+              i 0,
+              i nsegs,
+              [
+                SCall ("sprnvc", [ i n; i nonzer ]);
+                SFor
+                  ( "k",
+                    i 0,
+                    i nonzer,
+                    [
+                      SAssign ("jo", Bin (Rem, idx1 "iv" (v "k") - i 1, i n));
+                      SStore
+                        ( "w",
+                          [ v "jo" ],
+                          idx1 "w" (v "jo") + idx1 "v" (v "k") );
+                    ] );
+              ] );
+          (* diagonal: strictly dominant, so A is SPD *)
+          SFor
+            ( "j",
+              i 0,
+              i n,
+              [
+                SAssign ("adiag", f shift);
+                SFor
+                  ( "k",
+                    i 0,
+                    i noffs,
+                    [
+                      SAssign ("jo", v "j" + idx1 "off" (v "k"));
+                      SIf
+                        ( Bin (AndB, v "jo" >= i 0, v "jo" < i n),
+                          [
+                            SAssign
+                              ( "adiag",
+                                v "adiag"
+                                + abs_
+                                    (f 0.5
+                                    * (idx1 "w" (v "j") + idx1 "w" (v "jo")))
+                              );
+                          ],
+                          [] );
+                    ] );
+                SStore ("d", [ v "j" ], v "adiag");
+              ] );
+          SFor ("j", i 0, i n, [ SStore ("x", [ v "j" ], f 1.0) ]);
+          SAssign ("zeta", f 0.0);
+          (* main loop *)
+          SFor
+            ( "it",
+              i 0,
+              i niter,
+              [
+                SMark App.iter_mark_name;
+                SCall ("conj_grad", []);
+                SAssign ("xz", f 0.0);
+                SAssign ("xn", f 0.0);
+                SFor
+                  ( "j",
+                    i 0,
+                    i n,
+                    [
+                      SAssign
+                        ("xz", v "xz" + (idx1 "x" (v "j") * idx1 "z" (v "j")));
+                      SAssign
+                        ("xn", v "xn" + (idx1 "z" (v "j") * idx1 "z" (v "j")));
+                    ] );
+                SAssign ("zeta", f shift + (f 1.0 / v "xz"));
+                SAssign ("norm", f 1.0 / sqrt_ (v "xn"));
+                SFor
+                  ( "j",
+                    i 0,
+                    i n,
+                    [ SStore ("x", [ v "j" ], v "norm" * idx1 "z" (v "j")) ] );
+              ] );
+          SAssign ("result", v "zeta");
+        ]
+        @ App.verification_block ~ref_value ~tolerance:1e-10 ();
+    }
+  in
+  {
+    globals =
+      [
+        DArr ("x", Ty.F64, [ n ]);
+        DArr ("z", Ty.F64, [ n ]);
+        DArr ("p", Ty.F64, [ n ]);
+        DArr ("q", Ty.F64, [ n ]);
+        DArr ("r", Ty.F64, [ n ]);
+        DArr ("w", Ty.F64, [ n ]);
+        DArr ("d", Ty.F64, [ n ]);
+        DArr ("off", Ty.I64, [ List.length offsets ]);
+        DArr ("v", Ty.F64, [ nz1 ]);
+        DArr ("iv", Ty.I64, [ nz1 ]);
+        DScalar ("tran", Ty.F64);
+        DScalar ("amult", Ty.F64);
+        DScalar ("zeta", Ty.F64);
+        DScalar ("rho", Ty.F64);
+        DScalar ("rho0", Ty.F64);
+        DScalar ("alpha", Ty.F64);
+        DScalar ("beta", Ty.F64);
+        DScalar ("rnorm", Ty.F64);
+      ];
+    funs = [ sprnvc; conj_grad; main ];
+    entry = "main";
+  }
+
+let app : App.t =
+  {
+    App.name = "CG";
+    description = "conjugate gradient with random sparse SPD matrix (NPB CG)";
+    build = (fun ~ref_value -> make () ~ref_value);
+    tolerance = 1e-10;
+    main_iterations = niter;
+    region_names = [ "cg_a"; "cg_b"; "cg_c"; "cg_d"; "cg_e" ];
+  }
+
+(** Use Case 1 variants (Table III). *)
+let app_hardened_dcl : App.t =
+  {
+    app with
+    App.name = "CG+dcl";
+    description = "CG with DCL+overwriting hardening in sprnvc";
+    build = (fun ~ref_value -> make ~harden_dcl:true () ~ref_value);
+  }
+
+let app_hardened_trunc : App.t =
+  {
+    app with
+    App.name = "CG+trunc";
+    description = "CG with truncation hardening in the p.q dot product";
+    build = (fun ~ref_value -> make ~harden_trunc:true () ~ref_value);
+  }
+
+let app_hardened_all : App.t =
+  {
+    app with
+    App.name = "CG+all";
+    description = "CG with all three patterns applied";
+    build =
+      (fun ~ref_value -> make ~harden_dcl:true ~harden_trunc:true () ~ref_value);
+  }
+
+(** Pure-OCaml reference implementation of the same computation, used
+    to validate the compiler + VM pipeline end to end. *)
+let reference_zeta () : float =
+  let tran = ref 314159265.0 and amult = 1220703125.0 in
+  let randlc () =
+    let x', r = Machine.randlc_step !tran amult in
+    tran := x';
+    r
+  in
+  let w = Array.make n 0.0 in
+  let v = Array.make (nonzer + 1) 0.0 and iv = Array.make (nonzer + 1) 0 in
+  let sprnvc () =
+    let nzv = ref 0 in
+    while !nzv < nonzer do
+      let vecelt = randlc () in
+      let vecloc = randlc () in
+      let ivc = int_of_float (float_of_int nn1 *. vecloc) + 1 in
+      if ivc <= n then begin
+        let was_gen = ref false in
+        for ii = 0 to !nzv - 1 do
+          if iv.(ii) = ivc then was_gen := true
+        done;
+        if not !was_gen then begin
+          v.(!nzv) <- vecelt;
+          iv.(!nzv) <- ivc;
+          incr nzv
+        end
+      end
+    done
+  in
+  for _seg = 0 to (n / nonzer) - 1 do
+    sprnvc ();
+    for k = 0 to nonzer - 1 do
+      let jo = (iv.(k) - 1) mod n in
+      w.(jo) <- w.(jo) +. v.(k)
+    done
+  done;
+  let offs = Array.of_list offsets in
+  let d = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    let adiag = ref shift in
+    Array.iter
+      (fun o ->
+        let jo = j + o in
+        if jo >= 0 && jo < n then
+          adiag := !adiag +. Float.abs (0.5 *. (w.(j) +. w.(jo))))
+      offs;
+    d.(j) <- !adiag
+  done;
+  let x = Array.make n 1.0 in
+  let z = Array.make n 0.0 in
+  let p = Array.make n 0.0 in
+  let q = Array.make n 0.0 in
+  let r = Array.make n 0.0 in
+  let spmv dst src =
+    for j = 0 to n - 1 do
+      let sum = ref (d.(j) *. src.(j)) in
+      Array.iter
+        (fun o ->
+          let jo = j + o in
+          if jo >= 0 && jo < n then
+            sum := !sum +. (0.5 *. (w.(j) +. w.(jo)) *. src.(jo)))
+        offs;
+      dst.(j) <- !sum
+    done
+  in
+  let zeta = ref 0.0 in
+  for _it = 0 to niter - 1 do
+    for j = 0 to n - 1 do
+      q.(j) <- 0.0;
+      z.(j) <- 0.0;
+      r.(j) <- x.(j);
+      p.(j) <- x.(j)
+    done;
+    let rho = ref 0.0 in
+    for j = 0 to n - 1 do
+      rho := !rho +. (r.(j) *. r.(j))
+    done;
+    for _cgit = 0 to cgitmax - 1 do
+      spmv q p;
+      let dd = ref 0.0 in
+      for j = 0 to n - 1 do
+        dd := !dd +. (p.(j) *. q.(j))
+      done;
+      let alpha = !rho /. !dd in
+      for j = 0 to n - 1 do
+        z.(j) <- z.(j) +. (alpha *. p.(j));
+        r.(j) <- r.(j) -. (alpha *. q.(j))
+      done;
+      let rho0 = !rho in
+      rho := 0.0;
+      for j = 0 to n - 1 do
+        rho := !rho +. (r.(j) *. r.(j))
+      done;
+      let beta = !rho /. rho0 in
+      for j = 0 to n - 1 do
+        p.(j) <- r.(j) +. (beta *. p.(j))
+      done
+    done;
+    let xz = ref 0.0 and xn = ref 0.0 in
+    for j = 0 to n - 1 do
+      xz := !xz +. (x.(j) *. z.(j));
+      xn := !xn +. (z.(j) *. z.(j))
+    done;
+    zeta := shift +. (1.0 /. !xz);
+    let norm = 1.0 /. Float.sqrt !xn in
+    for j = 0 to n - 1 do
+      x.(j) <- norm *. z.(j)
+    done
+  done;
+  !zeta

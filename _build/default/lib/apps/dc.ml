@@ -1,0 +1,250 @@
+(** DC — data-cube aggregation (NPB DC, reduced).
+
+    Generates a fact table of tuples whose four dimension attributes
+    are bit-packed into one integer; the main loop materializes one
+    group-by view per iteration (four single-attribute views and two
+    pair views), extracting keys with shift-and-mask and maintaining
+    sum and max aggregates (the max is a conditional per tuple).  The
+    result is an exact integer checksum over all views.
+
+    DC has the highest shift and condition rates of the ten programs in
+    Table IV — the key extraction and max-aggregate comparisons here
+    are those sites. *)
+
+let ntuples = 256
+let nviews = 6
+let nvals = 16 (* attribute cardinality; 4 bits each *)
+
+let make ~(ref_value : float option) : Ast.program =
+  let open Ast in
+  let agg_sz = Stdlib.( * ) nvals nvals in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("a0", Ty.I64);
+          DScalar ("a1", Ty.I64);
+          DScalar ("a2", Ty.I64);
+          DScalar ("a3", Ty.I64);
+          DScalar ("keyv", Ty.I64);
+          DScalar ("meas", Ty.I64);
+          DScalar ("s1", Ty.I64);
+          DScalar ("s2", Ty.I64);
+          DScalar ("pairv", Ty.I64);
+          DScalar ("chk", Ty.I64);
+        ]
+        @ App.verification_locals;
+      body =
+        [
+          SAssign ("tran", f 314159265.0);
+          SAssign ("amult", f 1220703125.0);
+          (* fact-table generation: pack four 4-bit attributes *)
+          SRegion
+            ( "dc_a",
+              80,
+              118,
+              [
+                SFor
+                  ( "t",
+                    i 0,
+                    i ntuples,
+                    [
+                      SAssign
+                        ("a0", to_int (f (Float.of_int nvals) * Randlc ("tran", v "amult")));
+                      SAssign
+                        ("a1", to_int (f (Float.of_int nvals) * Randlc ("tran", v "amult")));
+                      SAssign
+                        ("a2", to_int (f (Float.of_int nvals) * Randlc ("tran", v "amult")));
+                      SAssign
+                        ("a3", to_int (f (Float.of_int nvals) * Randlc ("tran", v "amult")));
+                      SStore
+                        ( "packed",
+                          [ v "t" ],
+                          (v "a0" << i 12)
+                          ||| (v "a1" << i 8)
+                          ||| (v "a2" << i 4)
+                          ||| v "a3" );
+                      SStore
+                        ( "measure",
+                          [ v "t" ],
+                          to_int (f 1000.0 * Randlc ("tran", v "amult")) );
+                    ] );
+              ] );
+          SAssign ("chk", i 0);
+          (* one view per main-loop iteration *)
+          SFor
+            ( "view",
+              i 0,
+              i nviews,
+              [
+                SMark App.iter_mark_name;
+                SRegion
+                  ( "dc_b",
+                    160,
+                    214,
+                    [
+                      SFor
+                        ( "g",
+                          i 0,
+                          i agg_sz,
+                          [
+                            SStore ("agg_sum", [ v "g" ], i 0);
+                            SStore ("agg_max", [ v "g" ], i 0);
+                          ] );
+                      (* shift amounts for this view: views 0-3 project a
+                         single attribute, views 4-5 project a pair *)
+                      SIf
+                        ( v "view" < i 4,
+                          [
+                            SAssign ("s1", (i 3 - v "view") * i 4);
+                              SFor
+                                ( "t",
+                                  i 0,
+                                  i ntuples,
+                                  [
+                                    SAssign
+                                      ( "keyv",
+                                        Bin
+                                          ( AndB,
+                                            idx1 "packed" (v "t") >> v "s1",
+                                            i (Stdlib.( - ) nvals 1) ) );
+                                    SAssign ("meas", idx1 "measure" (v "t"));
+                                    SStore
+                                      ( "agg_sum",
+                                        [ v "keyv" ],
+                                        idx1 "agg_sum" (v "keyv") + v "meas" );
+                                    SIf
+                                      ( v "meas" > idx1 "agg_max" (v "keyv"),
+                                        [
+                                          SStore
+                                            ("agg_max", [ v "keyv" ], v "meas");
+                                        ],
+                                        [] );
+                                  ] );
+                            ],
+                          [
+                            (* pair views: (a0,a1) and (a2,a3) *)
+                            SAssign ("s1", (v "view" - i 4) * i 8);
+                              SAssign ("s2", v "s1" + i 4);
+                              SFor
+                                ( "t",
+                                  i 0,
+                                  i ntuples,
+                                  [
+                                    SAssign
+                                      ( "pairv",
+                                        Bin
+                                          ( AndB,
+                                            idx1 "packed" (v "t") >> v "s2",
+                                            i (Stdlib.( - ) nvals 1) ) );
+                                    SAssign
+                                      ( "keyv",
+                                        (v "pairv" * i nvals)
+                                        + Bin
+                                            ( AndB,
+                                              idx1 "packed" (v "t") >> v "s1",
+                                              i (Stdlib.( - ) nvals 1) ) );
+                                    SAssign ("meas", idx1 "measure" (v "t"));
+                                    SStore
+                                      ( "agg_sum",
+                                        [ v "keyv" ],
+                                        idx1 "agg_sum" (v "keyv") + v "meas" );
+                                    SIf
+                                      ( v "meas" > idx1 "agg_max" (v "keyv"),
+                                        [
+                                          SStore
+                                            ("agg_max", [ v "keyv" ], v "meas");
+                                        ],
+                                        [] );
+                                  ] );
+                            ] );
+                    ] );
+                SRegion
+                  ( "dc_c",
+                    216,
+                    240,
+                    [
+                      SFor
+                        ( "g",
+                          i 0,
+                          i agg_sz,
+                          [
+                            SAssign
+                              ( "chk",
+                                v "chk"
+                                + Bin (Rem, idx1 "agg_sum" (v "g"), i 997)
+                                + idx1 "agg_max" (v "g") );
+                          ] );
+                    ] );
+              ] );
+          SAssign ("result", to_float (v "chk"));
+        ]
+        @ App.verification_block ~ref_value ~tolerance:0.0 ();
+    }
+  in
+  {
+    globals =
+      [
+        DArr ("packed", Ty.I64, [ ntuples ]);
+        DArr ("measure", Ty.I64, [ ntuples ]);
+        DArr ("agg_sum", Ty.I64, [ agg_sz ]);
+        DArr ("agg_max", Ty.I64, [ agg_sz ]);
+        DScalar ("tran", Ty.F64);
+        DScalar ("amult", Ty.F64);
+      ];
+    funs = [ main ];
+    entry = "main";
+  }
+
+let app : App.t =
+  {
+    App.name = "DC";
+    description = "data-cube group-by aggregation (NPB DC analog)";
+    build = (fun ~ref_value -> make ~ref_value);
+    tolerance = 0.0;
+    main_iterations = nviews;
+    region_names = [ "dc_a"; "dc_b"; "dc_c" ];
+  }
+
+(** Pure-OCaml reference checksum. *)
+let reference_checksum () : float =
+  let tran = ref 314159265.0 and amult = 1220703125.0 in
+  let randlc () =
+    let x', r = Machine.randlc_step !tran amult in
+    tran := x';
+    r
+  in
+  let packed = Array.make ntuples 0 and measure = Array.make ntuples 0 in
+  for t = 0 to ntuples - 1 do
+    let a0 = int_of_float (Float.of_int nvals *. randlc ()) in
+    let a1 = int_of_float (Float.of_int nvals *. randlc ()) in
+    let a2 = int_of_float (Float.of_int nvals *. randlc ()) in
+    let a3 = int_of_float (Float.of_int nvals *. randlc ()) in
+    packed.(t) <- (a0 lsl 12) lor (a1 lsl 8) lor (a2 lsl 4) lor a3;
+    measure.(t) <- int_of_float (1000.0 *. randlc ())
+  done;
+  let chk = ref 0 in
+  for view = 0 to nviews - 1 do
+    let agg_sz = nvals * nvals in
+    let agg_sum = Array.make agg_sz 0 and agg_max = Array.make agg_sz 0 in
+    for t = 0 to ntuples - 1 do
+      let keyv =
+        if view < 4 then (packed.(t) lsr ((3 - view) * 4)) land (nvals - 1)
+        else begin
+          let s1 = (view - 4) * 8 in
+          let s2 = s1 + 4 in
+          (((packed.(t) lsr s2) land (nvals - 1)) * nvals)
+          + ((packed.(t) lsr s1) land (nvals - 1))
+        end
+      in
+      agg_sum.(keyv) <- agg_sum.(keyv) + measure.(t);
+      if measure.(t) > agg_max.(keyv) then agg_max.(keyv) <- measure.(t)
+    done;
+    for g = 0 to agg_sz - 1 do
+      chk := !chk + (agg_sum.(g) mod 997) + agg_max.(g)
+    done
+  done;
+  Float.of_int !chk

@@ -1,0 +1,390 @@
+(** FT — 3-D fast Fourier transform spectral solver (NPB FT, scaled).
+
+    Random initial data is transformed to frequency space once with a
+    radix-2 complex FFT applied along each of the three dimensions
+    (bit-reversal permutations are the shift sites of FT's Table-IV
+    profile).  Each main-loop iteration then {e evolves} the spectrum
+    by a smooth per-mode decay factor, inverse-transforms a work copy,
+    and accumulates the NPB-style strided checksum.
+
+    Substitution note: the IR has no [exp] primitive, so the spectral
+    decay factor exp(-4 pi^2 alpha |k|^2 t) is replaced by the rational
+    decay 1/(1 + alpha |k|^2) applied cumulatively per iteration —
+    positive, strictly less than one, and mode-dependent, which is the
+    property the evolve step needs. *)
+
+let nfft = 4
+let log2n = 2
+let niter = 4
+let alpha = 0.3
+
+(* One line-FFT function along a chosen dimension.  [order] builds the
+   3-D index from (line coordinates a,b and position t).  The line is
+   staged through lre/lim, bit-reversed, butterflied with the twiddle
+   tables, and stored back.  Inverse transforms use the conjugate
+   twiddles and scale by 1/n. *)
+let fft_fn ~(name : string) ~(re : string) ~(im : string) ~(inverse : bool)
+    ~(order : Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr list) : Ast.fundef =
+  let open Ast in
+  let wr = if inverse then "iwr" else "fwr" in
+  let wi = if inverse then "iwi" else "fwi" in
+  {
+    fname = name;
+    params = [];
+    ret = None;
+    locals =
+      [
+        DScalar ("rr", Ty.I64);
+        DScalar ("half", Ty.I64);
+        DScalar ("tw", Ty.I64);
+        DScalar ("tre", Ty.F64);
+        DScalar ("tim", Ty.F64);
+        DScalar ("ure", Ty.F64);
+        DScalar ("uim", Ty.F64);
+        DScalar ("swp", Ty.F64);
+      ];
+    body =
+      [
+        SFor
+          ( "la",
+            i 0,
+            i nfft,
+            [
+              SFor
+                ( "lb",
+                  i 0,
+                  i nfft,
+                  [
+                    (* gather the line *)
+                    SFor
+                      ( "t",
+                        i 0,
+                        i nfft,
+                        [
+                          SStore
+                            ("lre", [ v "t" ], Idx (re, order (v "la") (v "lb") (v "t")));
+                          SStore
+                            ("lim", [ v "t" ], Idx (im, order (v "la") (v "lb") (v "t")));
+                        ] );
+                    (* bit-reversal permutation (shift sites) *)
+                    SFor
+                      ( "t",
+                        i 0,
+                        i nfft,
+                        [
+                          SAssign ("rr", i 0);
+                          SFor
+                            ( "b",
+                              i 0,
+                              i log2n,
+                              [
+                                SAssign
+                                  ( "rr",
+                                    v "rr"
+                                    ||| (Bin (AndB, v "t" >> v "b", i 1)
+                                        << (i (Stdlib.( - ) log2n 1) - v "b"))
+                                  );
+                              ] );
+                          SIf
+                            ( v "rr" > v "t",
+                              [
+                                SAssign ("swp", idx1 "lre" (v "t"));
+                                SStore ("lre", [ v "t" ], idx1 "lre" (v "rr"));
+                                SStore ("lre", [ v "rr" ], v "swp");
+                                SAssign ("swp", idx1 "lim" (v "t"));
+                                SStore ("lim", [ v "t" ], idx1 "lim" (v "rr"));
+                                SStore ("lim", [ v "rr" ], v "swp");
+                              ],
+                              [] );
+                        ] );
+                    (* butterfly stages *)
+                    SFor
+                      ( "s",
+                        i 1,
+                        i (Stdlib.( + ) log2n 1),
+                        [
+                          SAssign ("m", i 1 << v "s");
+                          SAssign ("half", v "m" >> i 1);
+                          SForStep
+                            ( "k",
+                              i 0,
+                              i nfft,
+                              v "m",
+                              [
+                                SFor
+                                  ( "jj",
+                                    i 0,
+                                    v "half",
+                                    [
+                                      SAssign
+                                        ( "tw",
+                                          v "jj" * (i nfft / v "m") );
+                                      SAssign
+                                        ( "tre",
+                                          (idx1 wr (v "tw")
+                                           * idx1 "lre" (v "k" + v "jj" + v "half"))
+                                          - (idx1 wi (v "tw")
+                                            * idx1 "lim" (v "k" + v "jj" + v "half"))
+                                        );
+                                      SAssign
+                                        ( "tim",
+                                          (idx1 wr (v "tw")
+                                           * idx1 "lim" (v "k" + v "jj" + v "half"))
+                                          + (idx1 wi (v "tw")
+                                            * idx1 "lre" (v "k" + v "jj" + v "half"))
+                                        );
+                                      SAssign ("ure", idx1 "lre" (v "k" + v "jj"));
+                                      SAssign ("uim", idx1 "lim" (v "k" + v "jj"));
+                                      SStore
+                                        ("lre", [ v "k" + v "jj" ], v "ure" + v "tre");
+                                      SStore
+                                        ("lim", [ v "k" + v "jj" ], v "uim" + v "tim");
+                                      SStore
+                                        ( "lre",
+                                          [ v "k" + v "jj" + v "half" ],
+                                          v "ure" - v "tre" );
+                                      SStore
+                                        ( "lim",
+                                          [ v "k" + v "jj" + v "half" ],
+                                          v "uim" - v "tim" );
+                                    ] );
+                              ] );
+                        ] );
+                    (* scatter the line back (inverse scales by 1/n) *)
+                    SFor
+                      ( "t",
+                        i 0,
+                        i nfft,
+                        [
+                          SStore
+                            ( re,
+                              order (v "la") (v "lb") (v "t"),
+                              if inverse then
+                                idx1 "lre" (v "t") / f (Float.of_int nfft)
+                              else idx1 "lre" (v "t") );
+                          SStore
+                            ( im,
+                              order (v "la") (v "lb") (v "t"),
+                              if inverse then
+                                idx1 "lim" (v "t") / f (Float.of_int nfft)
+                              else idx1 "lim" (v "t") );
+                        ] );
+                  ] );
+            ] );
+      ];
+  }
+
+let make ~(ref_value : float option) : Ast.program =
+  let open Ast in
+  let d2 a b t = [ a; b; t ] in
+  let d1 a b t = [ a; t; b ] in
+  let d0 a b t = [ t; a; b ] in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("theta", Ty.F64);
+          DScalar ("kf", Ty.I64);
+          DScalar ("dk", Ty.F64);
+          DScalar ("csum", Ty.F64);
+          DScalar ("j1", Ty.I64);
+          DScalar ("j2", Ty.I64);
+          DScalar ("j3", Ty.I64);
+        ]
+        @ App.verification_locals;
+      body =
+        [
+          SAssign ("tran", f 314159265.0);
+          SAssign ("amult", f 1220703125.0);
+          (* twiddle tables: forward = exp(-2 pi i j / n), inverse = conj *)
+          SFor
+            ( "jj",
+              i 0,
+              i (Stdlib.( / ) nfft 2),
+              [
+                SAssign
+                  ( "theta",
+                    f (2.0 *. Float.pi /. Float.of_int nfft) * to_float (v "jj") );
+                SStore ("fwr", [ v "jj" ], cos_ (v "theta"));
+                SStore ("fwi", [ v "jj" ], f 0.0 - sin_ (v "theta"));
+                SStore ("iwr", [ v "jj" ], cos_ (v "theta"));
+                SStore ("iwi", [ v "jj" ], sin_ (v "theta"));
+              ] );
+          (* per-axis decay factors with folded frequencies *)
+          SFor
+            ( "jj",
+              i 0,
+              i nfft,
+              [
+                SAssign ("kf", Bin (Min, v "jj", i nfft - v "jj"));
+                SAssign ("dk", to_float (v "kf" * v "kf"));
+                SStore ("decay", [ v "jj" ], f 1.0 / (f 1.0 + (f alpha * v "dk")));
+              ] );
+          (* random initial field *)
+          SFor
+            ( "j3",
+              i 0,
+              i nfft,
+              [
+                SFor
+                  ( "j2",
+                    i 0,
+                    i nfft,
+                    [
+                      SFor
+                        ( "j1",
+                          i 0,
+                          i nfft,
+                          [
+                            SStore
+                              ( "fre",
+                                [ v "j3"; v "j2"; v "j1" ],
+                                Randlc ("tran", v "amult") - f 0.5 );
+                            SStore
+                              ( "fim",
+                                [ v "j3"; v "j2"; v "j1" ],
+                                Randlc ("tran", v "amult") - f 0.5 );
+                          ] );
+                    ] );
+              ] );
+          (* forward 3-D FFT of the initial data *)
+          SCall ("fft_fwd_d2", []);
+          SCall ("fft_fwd_d1", []);
+          SCall ("fft_fwd_d0", []);
+          SAssign ("result", f 0.0);
+          (* spectral evolution iterations *)
+          SFor
+            ( "it",
+              i 0,
+              i niter,
+              [
+                SMark App.iter_mark_name;
+                (* evolve: cumulative decay in frequency space *)
+                SRegion
+                  ( "ft_a",
+                    635,
+                    652,
+                    [
+                      SFor
+                        ( "j3",
+                          i 0,
+                          i nfft,
+                          [
+                            SFor
+                              ( "j2",
+                                i 0,
+                                i nfft,
+                                [
+                                  SFor
+                                    ( "j1",
+                                      i 0,
+                                      i nfft,
+                                      [
+                                        SAssign
+                                          ( "dk",
+                                            idx1 "decay" (v "j3")
+                                            * idx1 "decay" (v "j2")
+                                            * idx1 "decay" (v "j1") );
+                                        SStore
+                                          ( "fre",
+                                            [ v "j3"; v "j2"; v "j1" ],
+                                            idx3 "fre" (v "j3") (v "j2") (v "j1")
+                                            * v "dk" );
+                                        SStore
+                                          ( "fim",
+                                            [ v "j3"; v "j2"; v "j1" ],
+                                            idx3 "fim" (v "j3") (v "j2") (v "j1")
+                                            * v "dk" );
+                                        SStore
+                                          ( "wre",
+                                            [ v "j3"; v "j2"; v "j1" ],
+                                            idx3 "fre" (v "j3") (v "j2") (v "j1") );
+                                        SStore
+                                          ( "wim",
+                                            [ v "j3"; v "j2"; v "j1" ],
+                                            idx3 "fim" (v "j3") (v "j2") (v "j1") );
+                                      ] );
+                                ] );
+                          ] );
+                    ] );
+                (* inverse 3-D FFT of the work copy *)
+                SRegion
+                  ( "ft_b",
+                    654,
+                    680,
+                    [
+                      SCall ("fft_inv_d0", []);
+                      SCall ("fft_inv_d1", []);
+                      SCall ("fft_inv_d2", []);
+                    ] );
+                (* NPB-style strided checksum *)
+                SRegion
+                  ( "ft_c",
+                    682,
+                    700,
+                    [
+                      SAssign ("csum", f 0.0);
+                      SFor
+                        ( "jj",
+                          i 1,
+                          i 33,
+                          [
+                            SAssign ("j1", Bin (Rem, i 5 * v "jj", i nfft));
+                            SAssign ("j2", Bin (Rem, i 3 * v "jj", i nfft));
+                            SAssign ("j3", Bin (Rem, v "jj", i nfft));
+                            SAssign
+                              ( "csum",
+                                v "csum"
+                                + idx3 "wre" (v "j3") (v "j2") (v "j1")
+                                + idx3 "wim" (v "j3") (v "j2") (v "j1") );
+                          ] );
+                      SAssign ("result", v "result" + v "csum");
+                    ] );
+              ] );
+        ]
+        @ App.verification_block ~ref_value ~tolerance:1e-8 ();
+    }
+  in
+  {
+    globals =
+      [
+        DArr ("fre", Ty.F64, [ nfft; nfft; nfft ]);
+        DArr ("fim", Ty.F64, [ nfft; nfft; nfft ]);
+        DArr ("wre", Ty.F64, [ nfft; nfft; nfft ]);
+        DArr ("wim", Ty.F64, [ nfft; nfft; nfft ]);
+        DArr ("lre", Ty.F64, [ nfft ]);
+        DArr ("lim", Ty.F64, [ nfft ]);
+        DArr ("fwr", Ty.F64, [ Stdlib.( / ) nfft 2 ]);
+        DArr ("fwi", Ty.F64, [ Stdlib.( / ) nfft 2 ]);
+        DArr ("iwr", Ty.F64, [ Stdlib.( / ) nfft 2 ]);
+        DArr ("iwi", Ty.F64, [ Stdlib.( / ) nfft 2 ]);
+        DArr ("decay", Ty.F64, [ nfft ]);
+        DScalar ("tran", Ty.F64);
+        DScalar ("amult", Ty.F64);
+        DScalar ("m", Ty.I64);
+      ];
+    funs =
+      [
+        fft_fn ~name:"fft_fwd_d2" ~re:"fre" ~im:"fim" ~inverse:false ~order:d2;
+        fft_fn ~name:"fft_fwd_d1" ~re:"fre" ~im:"fim" ~inverse:false ~order:d1;
+        fft_fn ~name:"fft_fwd_d0" ~re:"fre" ~im:"fim" ~inverse:false ~order:d0;
+        fft_fn ~name:"fft_inv_d2" ~re:"wre" ~im:"wim" ~inverse:true ~order:d2;
+        fft_fn ~name:"fft_inv_d1" ~re:"wre" ~im:"wim" ~inverse:true ~order:d1;
+        fft_fn ~name:"fft_inv_d0" ~re:"wre" ~im:"wim" ~inverse:true ~order:d0;
+        main;
+      ];
+    entry = "main";
+  }
+
+let app : App.t =
+  {
+    App.name = "FT";
+    description = "3-D FFT spectral evolution (NPB FT analog)";
+    build = (fun ~ref_value -> make ~ref_value);
+    tolerance = 1e-8;
+    main_iterations = niter;
+    region_names = [ "ft_a"; "ft_b"; "ft_c" ];
+  }

@@ -1,0 +1,270 @@
+(** IS — integer bucket sort (NPB IS, scaled down).
+
+    Each of the [niter] main-loop iterations perturbs two keys, counts
+    keys per bucket using the significant-bit shift of Figure 11 (the
+    Shifting pattern: faults in the low [bshift] bits of a key cannot
+    change its bucket), scatters keys by bucket, and completes a
+    counting sort.  Verification follows NPB IS: partial ranks of the
+    perturbed test keys are accumulated across iterations and the final
+    array must be sorted; the headline result packs both, compared
+    exactly (integer data). *)
+
+let num_keys = 128
+let max_key = 256 (* 2^8 *)
+let nbuckets = 32
+let bshift = 3 (* 8 - 5: bucket = key >> bshift *)
+let niter = 10
+
+let make ~(ref_value : float option) : Ast.program =
+  let open Ast in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("kv", Ty.F64);
+          DScalar ("bk", Ty.I64);
+          DScalar ("pos", Ty.I64);
+          DScalar ("partial", Ty.I64);
+          DScalar ("sorted", Ty.I64);
+          DScalar ("acc", Ty.I64);
+        ]
+        @ App.verification_locals;
+      body =
+        [
+          SAssign ("tran", f 314159265.0);
+          SAssign ("amult", f 1220703125.0);
+          (* key generation: sum of four uniforms, NPB style *)
+          SFor
+            ( "j",
+              i 0,
+              i num_keys,
+              [
+                SAssign
+                  ( "kv",
+                    Randlc ("tran", v "amult")
+                    + Randlc ("tran", v "amult")
+                    + Randlc ("tran", v "amult")
+                    + Randlc ("tran", v "amult") );
+                SStore
+                  ( "key_array",
+                    [ v "j" ],
+                    to_int (f (Float.of_int max_key /. 4.0) * v "kv") );
+              ] );
+          SAssign ("partial", i 0);
+          (* ranking iterations *)
+          SFor
+            ( "it",
+              i 0,
+              i niter,
+              [
+                SMark App.iter_mark_name;
+                SRegion
+                  ( "is_a",
+                    435,
+                    472,
+                    [
+                      (* key perturbation, as in NPB rank() *)
+                      SStore ("key_array", [ v "it" ], v "it");
+                      SStore
+                        ( "key_array",
+                          [ v "it" + i niter ],
+                          i (Stdlib.( - ) max_key 1) - v "it" );
+                      SFor
+                        ( "j",
+                          i 0,
+                          i nbuckets,
+                          [ SStore ("bucket_size", [ v "j" ], i 0) ] );
+                    ] );
+                SRegion
+                  ( "is_b",
+                    473,
+                    478,
+                    [
+                      (* Figure 11: bucket counting by significant bits *)
+                      SFor
+                        ( "j",
+                          i 0,
+                          i num_keys,
+                          [
+                            SAssign ("bk", idx1 "key_array" (v "j") >> i bshift);
+                            SStore
+                              ( "bucket_size",
+                                [ v "bk" ],
+                                idx1 "bucket_size" (v "bk") + i 1 );
+                          ] );
+                    ] );
+                SRegion
+                  ( "is_c",
+                    500,
+                    638,
+                    [
+                      (* bucket pointers (exclusive prefix sum) *)
+                      SAssign ("acc", i 0);
+                      SFor
+                        ( "j",
+                          i 0,
+                          i nbuckets,
+                          [
+                            SStore ("bucket_ptr", [ v "j" ], v "acc");
+                            SAssign
+                              ("acc", v "acc" + idx1 "bucket_size" (v "j"));
+                          ] );
+                      (* scatter keys bucket-ordered *)
+                      SFor
+                        ( "j",
+                          i 0,
+                          i num_keys,
+                          [
+                            SAssign ("bk", idx1 "key_array" (v "j") >> i bshift);
+                            SAssign ("pos", idx1 "bucket_ptr" (v "bk"));
+                            SStore
+                              ("key_buff", [ v "pos" ], idx1 "key_array" (v "j"));
+                            SStore ("bucket_ptr", [ v "bk" ], v "pos" + i 1);
+                          ] );
+                      (* counting sort over the full key range *)
+                      SFor
+                        ( "j",
+                          i 0,
+                          i (Stdlib.( + ) max_key 1),
+                          [ SStore ("key_count", [ v "j" ], i 0) ] );
+                      SFor
+                        ( "j",
+                          i 0,
+                          i num_keys,
+                          [
+                            SAssign ("bk", idx1 "key_buff" (v "j"));
+                            SStore
+                              ( "key_count",
+                                [ v "bk" ],
+                                idx1 "key_count" (v "bk") + i 1 );
+                          ] );
+                      SAssign ("acc", i 0);
+                      SFor
+                        ( "j",
+                          i 0,
+                          i (Stdlib.( + ) max_key 1),
+                          [
+                            SAssign ("pos", idx1 "key_count" (v "j"));
+                            SStore ("key_count", [ v "j" ], v "acc");
+                            SAssign ("acc", v "acc" + v "pos");
+                          ] );
+                      SFor
+                        ( "j",
+                          i 0,
+                          i num_keys,
+                          [
+                            SAssign ("bk", idx1 "key_buff" (v "j"));
+                            SAssign ("pos", idx1 "key_count" (v "bk"));
+                            SStore ("key_sorted", [ v "pos" ], v "bk");
+                            SStore ("key_count", [ v "bk" ], v "pos" + i 1);
+                          ] );
+                      (* partial verification: ranks of the two test keys.
+                         rank(V) = #keys < V; after the counting pass,
+                         key_count.(V) holds rank(V) + count(V), so we
+                         recompute the rank from the sorted array. *)
+                      SAssign ("pos", i 0);
+                      SFor
+                        ( "j",
+                          i 0,
+                          i num_keys,
+                          [
+                            SIf
+                              ( idx1 "key_sorted" (v "j") < v "it",
+                                [ SAssign ("pos", v "pos" + i 1) ],
+                                [] );
+                          ] );
+                      SAssign ("partial", v "partial" + v "pos");
+                      SAssign ("pos", i 0);
+                      SFor
+                        ( "j",
+                          i 0,
+                          i num_keys,
+                          [
+                            SIf
+                              ( idx1 "key_sorted" (v "j")
+                                < i (Stdlib.( - ) max_key 1) - v "it",
+                                [ SAssign ("pos", v "pos" + i 1) ],
+                                [] );
+                          ] );
+                      SAssign ("partial", v "partial" + v "pos");
+                    ] );
+              ] );
+          (* full verification: sortedness + weighted checksum *)
+          SAssign ("sorted", i 1);
+          SFor
+            ( "j",
+              i 1,
+              i num_keys,
+              [
+                SIf
+                  ( idx1 "key_sorted" (v "j" - i 1) > idx1 "key_sorted" (v "j"),
+                    [ SAssign ("sorted", i 0) ],
+                    [] );
+              ] );
+          (* NPB IS verification: the accumulated partial ranks and the
+             final sortedness; key values themselves are not
+             checksummed, so value corruption that preserves both is a
+             Verification Success *)
+          SAssign
+            ( "result",
+              to_float (v "partial")
+              + (f 1e9 * to_float (i 1 - v "sorted")) );
+        ]
+        @ App.verification_block ~ref_value ~tolerance:0.0 ();
+    }
+  in
+  {
+    globals =
+      [
+        DArr ("key_array", Ty.I64, [ num_keys ]);
+        DArr ("key_buff", Ty.I64, [ num_keys ]);
+        DArr ("key_sorted", Ty.I64, [ num_keys ]);
+        DArr ("bucket_size", Ty.I64, [ nbuckets ]);
+        DArr ("bucket_ptr", Ty.I64, [ nbuckets ]);
+        DArr ("key_count", Ty.I64, [ Stdlib.( + ) max_key 1 ]);
+        DScalar ("tran", Ty.F64);
+        DScalar ("amult", Ty.F64);
+      ];
+    funs = [ main ];
+    entry = "main";
+  }
+
+let app : App.t =
+  {
+    App.name = "IS";
+    description = "integer bucket + counting sort (NPB IS)";
+    build = (fun ~ref_value -> make ~ref_value);
+    tolerance = 0.0;
+    main_iterations = niter;
+    region_names = [ "is_a"; "is_b"; "is_c" ];
+  }
+
+(** Pure-OCaml reference for the headline result. *)
+let reference_result () : float =
+  let tran = ref 314159265.0 and amult = 1220703125.0 in
+  let randlc () =
+    let x', r = Machine.randlc_step !tran amult in
+    tran := x';
+    r
+  in
+  let key = Array.make num_keys 0 in
+  for j = 0 to num_keys - 1 do
+    let kv = randlc () +. randlc () +. randlc () +. randlc () in
+    key.(j) <- int_of_float (Float.of_int max_key /. 4.0 *. kv)
+  done;
+  let partial = ref 0 in
+  let sorted_arr = ref [||] in
+  for it = 0 to niter - 1 do
+    key.(it) <- it;
+    key.(it + niter) <- max_key - 1 - it;
+    let s = Array.copy key in
+    Array.sort compare s;
+    sorted_arr := s;
+    let rank value = Array.fold_left (fun a k -> if k < value then a + 1 else a) 0 key in
+    partial := !partial + rank it + rank (max_key - 1 - it)
+  done;
+  assert (Array.length !sorted_arr > 0);
+  Float.of_int !partial

@@ -1,0 +1,302 @@
+(** KMEANS — k-means clustering (Rodinia KMEANS, scaled down).
+
+    Clusters [npts] points with [nfeat] features into [ncl] clusters,
+    running a fixed number of refinement passes.  The assignment loop
+    is the Figure-10 shape: [euclid_dist_2] per cluster and a min-
+    distance conditional — the Conditional Statement pattern that
+    tolerates faults in the feature array.  The update region [k_d]
+    overwrites the temporary accumulators (the paper's "free the
+    temporal corrupted locations" behaviour of k_d).
+
+    The paper's Figure 6 runs KMEANS for a single main-loop iteration;
+    the refinement passes are inner loops of that iteration. *)
+
+let npts = 128
+let nfeat = 4
+let ncl = 4
+let passes = 3
+
+let make ~(ref_value : float option) : Ast.program =
+  let open Ast in
+  let euclid : fundef =
+    {
+      fname = "euclid_dist_2";
+      params =
+        [
+          { pname = "pt"; pty = Ty.I64; parr = false; pdims = [] };
+          { pname = "cl"; pty = Ty.I64; parr = false; pdims = [] };
+        ];
+      ret = Some Ty.F64;
+      locals = [ DScalar ("dist", Ty.F64); DScalar ("dv", Ty.F64) ];
+      body =
+        [
+          SAssign ("dist", f 0.0);
+          SFor
+            ( "fj",
+              i 0,
+              i nfeat,
+              [
+                SAssign
+                  ( "dv",
+                    idx2 "feature" (v "pt") (v "fj")
+                    - idx2 "centroid" (v "cl") (v "fj") );
+                SAssign ("dist", v "dist" + (v "dv" * v "dv"));
+              ] );
+          SRet (Some (v "dist"));
+        ];
+    }
+  in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("min_dist", Ty.F64);
+          DScalar ("dist", Ty.F64);
+          DScalar ("index", Ty.I64);
+          DScalar ("inertia", Ty.F64);
+          DScalar ("cnt", Ty.I64);
+        ]
+        @ App.verification_locals;
+      body =
+        [
+          SAssign ("tran", f 314159265.0);
+          SAssign ("amult", f 1220703125.0);
+          (* k_a: read the input points and seed the centroids *)
+          SRegion
+            ( "k_a",
+              131,
+              142,
+              [
+                SFor
+                  ( "p",
+                    i 0,
+                    i npts,
+                    [
+                      SFor
+                        ( "fj",
+                          i 0,
+                          i nfeat,
+                          [
+                            SStore
+                              ( "feature",
+                                [ v "p"; v "fj" ],
+                                f 100.0 * Randlc ("tran", v "amult") );
+                          ] );
+                    ] );
+                SFor
+                  ( "c",
+                    i 0,
+                    i ncl,
+                    [
+                      SFor
+                        ( "fj",
+                          i 0,
+                          i nfeat,
+                          [
+                            SStore
+                              ( "centroid",
+                                [ v "c"; v "fj" ],
+                                idx2 "feature" (v "c" * i (Stdlib.( / ) npts ncl)) (v "fj") );
+                          ] );
+                    ] );
+              ] );
+          SMark App.iter_mark_name;
+          (* refinement passes *)
+          SFor
+            ( "lp",
+              i 0,
+              i passes,
+              [
+                SRegion
+                  ( "k_b",
+                    144,
+                    153,
+                    [
+                      SFor
+                        ( "c",
+                          i 0,
+                          i ncl,
+                          [
+                            SFor
+                              ( "fj",
+                                i 0,
+                                i nfeat,
+                                [ SStore ("new_sum", [ v "c"; v "fj" ], f 0.0) ]
+                              );
+                            SStore ("new_count", [ v "c" ], i 0);
+                          ] );
+                    ] );
+                SRegion
+                  ( "k_c",
+                    156,
+                    187,
+                    [ SAssign ("inertia", f 0.0) ]
+                    @ [
+                        SFor
+                          ( "p",
+                            i 0,
+                            i npts,
+                            [
+                              (* Figure 10: find the closest cluster *)
+                              SAssign
+                                ("min_dist", CallE ("euclid_dist_2", [ v "p"; i 0 ]));
+                              SAssign ("index", i 0);
+                              SFor
+                                ( "c",
+                                  i 1,
+                                  i ncl,
+                                  [
+                                    SAssign
+                                      ( "dist",
+                                        CallE ("euclid_dist_2", [ v "p"; v "c" ]) );
+                                    SIf
+                                      ( v "dist" < v "min_dist",
+                                        [
+                                          SAssign ("min_dist", v "dist");
+                                          SAssign ("index", v "c");
+                                        ],
+                                        [] );
+                                  ] );
+                              SStore ("membership", [ v "p" ], v "index");
+                              SFor
+                                ( "fj",
+                                  i 0,
+                                  i nfeat,
+                                  [
+                                    SStore
+                                      ( "new_sum",
+                                        [ v "index"; v "fj" ],
+                                        idx2 "new_sum" (v "index") (v "fj")
+                                        + idx2 "feature" (v "p") (v "fj") );
+                                  ] );
+                              SStore
+                                ( "new_count",
+                                  [ v "index" ],
+                                  idx1 "new_count" (v "index") + i 1 );
+                              SAssign ("inertia", v "inertia" + v "min_dist");
+                            ] );
+                      ] );
+                SRegion
+                  ( "k_d",
+                    190,
+                    194,
+                    [
+                      SFor
+                        ( "c",
+                          i 0,
+                          i ncl,
+                          [
+                            SAssign ("cnt", idx1 "new_count" (v "c"));
+                            SIf
+                              ( v "cnt" > i 0,
+                                [
+                                  SFor
+                                    ( "fj",
+                                      i 0,
+                                      i nfeat,
+                                      [
+                                        SStore
+                                          ( "centroid",
+                                            [ v "c"; v "fj" ],
+                                            idx2 "new_sum" (v "c") (v "fj")
+                                            / to_float (v "cnt") );
+                                        (* release the temporal
+                                           accumulator (the "free" of
+                                           Rodinia k_d) *)
+                                        SStore
+                                          ("new_sum", [ v "c"; v "fj" ], f 0.0);
+                                      ] );
+                                ],
+                                [] );
+                          ] );
+                    ] );
+              ] );
+          SAssign ("result", v "inertia");
+        ]
+        @ App.verification_block ~ref_value ~tolerance:1e-8 ();
+    }
+  in
+  {
+    globals =
+      [
+        DArr ("feature", Ty.F64, [ npts; nfeat ]);
+        DArr ("centroid", Ty.F64, [ ncl; nfeat ]);
+        DArr ("new_sum", Ty.F64, [ ncl; nfeat ]);
+        DArr ("new_count", Ty.I64, [ ncl ]);
+        DArr ("membership", Ty.I64, [ npts ]);
+        DScalar ("tran", Ty.F64);
+        DScalar ("amult", Ty.F64);
+      ];
+    funs = [ euclid; main ];
+    entry = "main";
+  }
+
+let app : App.t =
+  {
+    App.name = "KMEANS";
+    description = "k-means clustering (Rodinia KMEANS)";
+    build = (fun ~ref_value -> make ~ref_value);
+    tolerance = 1e-8;
+    main_iterations = 1;
+    region_names = [ "k_a"; "k_b"; "k_c"; "k_d" ];
+  }
+
+(** Pure-OCaml reference for the final inertia. *)
+let reference_inertia () : float =
+  let tran = ref 314159265.0 and amult = 1220703125.0 in
+  let randlc () =
+    let x', r = Machine.randlc_step !tran amult in
+    tran := x';
+    r
+  in
+  let feature = Array.make_matrix npts nfeat 0.0 in
+  for p = 0 to npts - 1 do
+    for fj = 0 to nfeat - 1 do
+      feature.(p).(fj) <- 100.0 *. randlc ()
+    done
+  done;
+  let centroid = Array.make_matrix ncl nfeat 0.0 in
+  for c = 0 to ncl - 1 do
+    for fj = 0 to nfeat - 1 do
+      centroid.(c).(fj) <- feature.(c * (npts / ncl)).(fj)
+    done
+  done;
+  let inertia = ref 0.0 in
+  for _lp = 0 to passes - 1 do
+    let sum = Array.make_matrix ncl nfeat 0.0 in
+    let count = Array.make ncl 0 in
+    inertia := 0.0;
+    for p = 0 to npts - 1 do
+      let dist c =
+        let d = ref 0.0 in
+        for fj = 0 to nfeat - 1 do
+          let dv = feature.(p).(fj) -. centroid.(c).(fj) in
+          d := !d +. (dv *. dv)
+        done;
+        !d
+      in
+      let min_dist = ref (dist 0) and index = ref 0 in
+      for c = 1 to ncl - 1 do
+        let d = dist c in
+        if d < !min_dist then begin
+          min_dist := d;
+          index := c
+        end
+      done;
+      for fj = 0 to nfeat - 1 do
+        sum.(!index).(fj) <- sum.(!index).(fj) +. feature.(p).(fj)
+      done;
+      count.(!index) <- count.(!index) + 1;
+      inertia := !inertia +. !min_dist
+    done;
+    for c = 0 to ncl - 1 do
+      if count.(c) > 0 then
+        for fj = 0 to nfeat - 1 do
+          centroid.(c).(fj) <- sum.(c).(fj) /. Float.of_int count.(c)
+        done
+    done
+  done;
+  !inertia

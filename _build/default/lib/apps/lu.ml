@@ -1,0 +1,211 @@
+(** LU — SSOR solver on a structured grid (NPB LU, reduced to a scalar
+    2-D analog).
+
+    Solves the 5-point Poisson system with symmetric successive
+    over-relaxation: each main-loop iteration performs a lower
+    (ascending) sweep, an upper (descending) sweep, and computes the
+    residual norm.  The sweeps are the analogs of NPB LU's [blts]/
+    [buts] triangular solves: heavily overwrite-dominated with almost
+    no shifts — the Table-IV profile of LU. *)
+
+let n = 12
+let niter = 5
+let omega = 1.2
+let h2 = 1.0 /. Float.of_int ((n - 1) * (n - 1))
+
+let make ~(ref_value : float option) : Ast.program =
+  let open Ast in
+  let nm = Stdlib.( - ) n 1 in
+  (* one Gauss-Seidel relaxation at (i2, i1): u += omega*(rhs - Au)/4 *)
+  let relax =
+    [
+      Ast.SAssign
+        ( "res",
+          (f h2 * idx2 "frc" (v "i2") (v "i1"))
+          - (f 4.0 * idx2 "u" (v "i2") (v "i1"))
+          + idx2 "u" (v "i2" - i 1) (v "i1")
+          + idx2 "u" (v "i2" + i 1) (v "i1")
+          + idx2 "u" (v "i2") (v "i1" - i 1)
+          + idx2 "u" (v "i2") (v "i1" + i 1) );
+      Ast.SStore
+        ( "u",
+          [ v "i2"; v "i1" ],
+          idx2 "u" (v "i2") (v "i1") + (f (omega /. 4.0) * v "res") );
+    ]
+  in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [ DScalar ("res", Ty.F64); DScalar ("rn", Ty.F64) ]
+        @ App.verification_locals;
+      body =
+        [
+          SAssign ("tran", f 314159265.0);
+          SAssign ("amult", f 1220703125.0);
+          SFor
+            ( "i2",
+              i 0,
+              i n,
+              [
+                SFor
+                  ( "i1",
+                    i 0,
+                    i n,
+                    [
+                      SStore ("u", [ v "i2"; v "i1" ], f 0.0);
+                      SStore
+                        ( "frc",
+                          [ v "i2"; v "i1" ],
+                          Randlc ("tran", v "amult") - f 0.5 );
+                    ] );
+              ] );
+          SFor
+            ( "it",
+              i 0,
+              i niter,
+              [
+                SMark App.iter_mark_name;
+                (* lower-triangular sweep (blts analog) *)
+                SRegion
+                  ( "lu_a",
+                    553,
+                    624,
+                    [
+                      SFor
+                        ( "i2",
+                          i 1,
+                          i nm,
+                          [ SFor ("i1", i 1, i nm, relax) ] );
+                    ] );
+                (* upper-triangular sweep (buts analog), descending *)
+                SRegion
+                  ( "lu_b",
+                    626,
+                    699,
+                    [
+                      SForStep
+                        ( "i2x",
+                          i 0,
+                          i (Stdlib.( - ) nm 1),
+                          i 1,
+                          [
+                            SAssign ("i2", i (Stdlib.( - ) nm 1) - v "i2x");
+                            SForStep
+                              ( "i1x",
+                                i 0,
+                                i (Stdlib.( - ) nm 1),
+                                i 1,
+                                [
+                                  SAssign
+                                    ("i1", i (Stdlib.( - ) nm 1) - v "i1x");
+                                ]
+                                @ relax );
+                          ] );
+                    ] );
+                (* residual norm (rhs/l2norm analog) *)
+                SRegion
+                  ( "lu_c",
+                    701,
+                    748,
+                    [
+                      SAssign ("rn", f 0.0);
+                      SFor
+                        ( "i2",
+                          i 1,
+                          i nm,
+                          [
+                            SFor
+                              ( "i1",
+                                i 1,
+                                i nm,
+                                [
+                                  SAssign
+                                    ( "res",
+                                      (f h2 * idx2 "frc" (v "i2") (v "i1"))
+                                      - (f 4.0 * idx2 "u" (v "i2") (v "i1"))
+                                      + idx2 "u" (v "i2" - i 1) (v "i1")
+                                      + idx2 "u" (v "i2" + i 1) (v "i1")
+                                      + idx2 "u" (v "i2") (v "i1" - i 1)
+                                      + idx2 "u" (v "i2") (v "i1" + i 1) );
+                                  SAssign ("rn", v "rn" + (v "res" * v "res"));
+                                ] );
+                          ] );
+                    ] );
+              ] );
+          SAssign ("result", sqrt_ (v "rn") );
+        ]
+        @ App.verification_block ~ref_value ~tolerance:1e-9 ();
+    }
+  in
+  {
+    globals =
+      [
+        DArr ("u", Ty.F64, [ n; n ]);
+        DArr ("frc", Ty.F64, [ n; n ]);
+        DScalar ("tran", Ty.F64);
+        DScalar ("amult", Ty.F64);
+        DScalar ("i2", Ty.I64);
+        DScalar ("i1", Ty.I64);
+      ];
+    funs = [ main ];
+    entry = "main";
+  }
+
+let app : App.t =
+  {
+    App.name = "LU";
+    description = "SSOR structured-grid solver (NPB LU analog)";
+    build = (fun ~ref_value -> make ~ref_value);
+    tolerance = 1e-9;
+    main_iterations = niter;
+    region_names = [ "lu_a"; "lu_b"; "lu_c" ];
+  }
+
+(** Pure-OCaml reference implementation of the same SSOR iteration. *)
+let reference_rnorm () : float =
+  let tran = ref 314159265.0 and amult = 1220703125.0 in
+  let randlc () =
+    let x', r = Machine.randlc_step !tran amult in
+    tran := x';
+    r
+  in
+  let u = Array.make_matrix n n 0.0 in
+  let frc = Array.make_matrix n n 0.0 in
+  for i2 = 0 to n - 1 do
+    for i1 = 0 to n - 1 do
+      u.(i2).(i1) <- 0.0;
+      frc.(i2).(i1) <- randlc () -. 0.5
+    done
+  done;
+  let residual i2 i1 =
+    (h2 *. frc.(i2).(i1))
+    -. (4.0 *. u.(i2).(i1))
+    +. u.(i2 - 1).(i1) +. u.(i2 + 1).(i1) +. u.(i2).(i1 - 1) +. u.(i2).(i1 + 1)
+  in
+  let relax i2 i1 = u.(i2).(i1) <- u.(i2).(i1) +. (omega /. 4.0 *. residual i2 i1) in
+  let rn = ref 0.0 in
+  for _it = 0 to niter - 1 do
+    for i2 = 1 to n - 2 do
+      for i1 = 1 to n - 2 do
+        relax i2 i1
+      done
+    done;
+    for i2x = 0 to n - 3 do
+      let i2 = n - 2 - i2x in
+      for i1x = 0 to n - 3 do
+        let i1 = n - 2 - i1x in
+        relax i2 i1
+      done
+    done;
+    rn := 0.0;
+    for i2 = 1 to n - 2 do
+      for i1 = 1 to n - 2 do
+        let r = residual i2 i1 in
+        rn := !rn +. (r *. r)
+      done
+    done
+  done;
+  Float.sqrt !rn

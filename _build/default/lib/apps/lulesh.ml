@@ -1,0 +1,312 @@
+(** LULESH proxy — Lagrangian hydrodynamics element kernel.
+
+    A scaled-down analog of the LULESH LagrangeNodal phase: a mesh of
+    [ne]^3 hexahedral elements; each main-loop iteration gathers nodal
+    velocities per element through the connectivity table, builds the
+    [hourgam] hourglass-mode array, aggregates it into [hxx] and then
+    into the hourglass forces [hgfz] — exactly the Figure-8 shape whose
+    temporaries die after the element (the Dead Corrupted Locations
+    pattern of Figure 7) — scatters forces, and integrates velocities,
+    positions and energy.
+
+    Crashes dominate this app's fault profile, as in the paper: the
+    gather/scatter indices come from the connectivity table, so a
+    corrupted index traps, and the timestep involves a square root and
+    a division.
+
+    The per-iteration energy is reported with a ["%12.6e"] print — the
+    Data Truncation site the paper finds in LULESH's output phase. *)
+
+let ne = 2 (* elements per edge; paper input "-s 3", scaled to fit *)
+let nn = Stdlib.( + ) ne 1 (* nodes per edge *)
+let nnode = nn * nn * nn
+let nelem = ne * ne * ne
+let niter = 10
+let hgcoef = 0.03
+let dt0 = 1e-2
+
+let make ~(ref_value : float option) : Ast.program =
+  let open Ast in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("nd", Ty.I64);
+          DScalar ("el", Ty.I64);
+          DScalar ("coefficient", Ty.F64);
+          DScalar ("volo", Ty.F64);
+          DScalar ("accel", Ty.F64);
+          DScalar ("maxv", Ty.F64);
+          DScalar ("dt", Ty.F64);
+          DScalar ("energy", Ty.F64);
+          DArr ("xdl", Ty.F64, [ 8 ]);
+          DArr ("hourgam", Ty.F64, [ 8; 4 ]);
+          DArr ("hxx", Ty.F64, [ 4 ]);
+          DArr ("hgfz", Ty.F64, [ 8 ]);
+        ]
+        @ App.verification_locals;
+      body =
+        [
+          SAssign ("tran", f 314159265.0);
+          SAssign ("amult", f 1220703125.0);
+          (* gamma hourglass base vectors (LULESH constants) *)
+          SFor
+            ( "g",
+              i 0,
+              i 4,
+              [
+                SFor
+                  ( "ln",
+                    i 0,
+                    i 8,
+                    [
+                      (* +-1 pattern: sign = parity of bit tricks *)
+                      SAssign
+                        ( "nd",
+                          Bin
+                            ( AndB,
+                              (v "ln" >> Bin (Rem, v "g", i 3)) ^| (v "ln" >> i 2),
+                              i 1 ) );
+                      SStore
+                        ( "gamma",
+                          [ v "g"; v "ln" ],
+                          to_float ((i 2 * v "nd") - i 1) );
+                    ] );
+              ] );
+          (* connectivity and nodal state *)
+          SFor
+            ( "ez",
+              i 0,
+              i ne,
+              [
+                SFor
+                  ( "ey",
+                    i 0,
+                    i ne,
+                    [
+                      SFor
+                        ( "ex",
+                          i 0,
+                          i ne,
+                          [
+                            SAssign
+                              ( "el",
+                                (((v "ez" * i ne) + v "ey") * i ne) + v "ex" );
+                            SFor
+                              ( "ln",
+                                i 0,
+                                i 8,
+                                [
+                                  SAssign
+                                    ( "nd",
+                                      ((v "ez" + Bin (AndB, v "ln" >> i 2, i 1))
+                                       * i nn
+                                      + (v "ey" + Bin (AndB, v "ln" >> i 1, i 1))
+                                      )
+                                      * i nn
+                                      + v "ex"
+                                      + Bin (AndB, v "ln", i 1) );
+                                  SStore ("e2n", [ v "el"; v "ln" ], v "nd");
+                                ] );
+                          ] );
+                    ] );
+              ] );
+          SFor
+            ( "j",
+              i 0,
+              i nnode,
+              [
+                SStore ("xm", [ v "j" ], f 1.0 + (f 0.1 * Randlc ("tran", v "amult")));
+                SStore ("zd", [ v "j" ], f 0.01 * Randlc ("tran", v "amult"));
+                SStore ("z", [ v "j" ], to_float (v "j"));
+              ] );
+          SAssign ("dt", f dt0);
+          SAssign ("energy", f 0.0);
+          (* main time-stepping loop: single region l_a as in Table I *)
+          SFor
+            ( "it",
+              i 0,
+              i niter,
+              [
+                SMark App.iter_mark_name;
+                SRegion
+                  ( "l_a",
+                    2652,
+                    2693,
+                    [
+                      SFor ("j", i 0, i nnode, [ SStore ("fz", [ v "j" ], f 0.0) ]);
+                      SFor
+                        ( "el",
+                          i 0,
+                          i nelem,
+                          [
+                            (* gather velocities through connectivity *)
+                            SFor
+                              ( "ln",
+                                i 0,
+                                i 8,
+                                [
+                                  SStore
+                                    ( "xdl",
+                                      [ v "ln" ],
+                                      idx1 "zd" (idx2 "e2n" (v "el") (v "ln"))
+                                    );
+                                ] );
+                            SAssign
+                              ("volo", f 1.0 + (f 0.01 * to_float (v "el")));
+                            SAssign
+                              ( "coefficient",
+                                f 0.0 - (f hgcoef * f 0.01 * v "volo") );
+                            (* hourgam: velocity-dependent hourglass modes *)
+                            SFor
+                              ( "ln",
+                                i 0,
+                                i 8,
+                                [
+                                  SFor
+                                    ( "g",
+                                      i 0,
+                                      i 4,
+                                      [
+                                        SStore
+                                          ( "hourgam",
+                                            [ v "ln"; v "g" ],
+                                            idx2 "gamma" (v "g") (v "ln")
+                                            * (f 1.0
+                                              + (f 0.001 * idx1 "xdl" (v "ln"))
+                                              ) );
+                                      ] );
+                                ] );
+                            (* Figure 8: aggregate hourgam x xd into hxx *)
+                            SFor
+                              ( "g",
+                                i 0,
+                                i 4,
+                                [
+                                  SStore
+                                    ( "hxx",
+                                      [ v "g" ],
+                                      (idx2 "hourgam" (i 0) (v "g")
+                                       * idx1 "xdl" (i 0))
+                                      + (idx2 "hourgam" (i 1) (v "g")
+                                        * idx1 "xdl" (i 1))
+                                      + (idx2 "hourgam" (i 2) (v "g")
+                                        * idx1 "xdl" (i 2))
+                                      + (idx2 "hourgam" (i 3) (v "g")
+                                        * idx1 "xdl" (i 3))
+                                      + (idx2 "hourgam" (i 4) (v "g")
+                                        * idx1 "xdl" (i 4))
+                                      + (idx2 "hourgam" (i 5) (v "g")
+                                        * idx1 "xdl" (i 5))
+                                      + (idx2 "hourgam" (i 6) (v "g")
+                                        * idx1 "xdl" (i 6))
+                                      + (idx2 "hourgam" (i 7) (v "g")
+                                        * idx1 "xdl" (i 7)) );
+                                ] );
+                            (* ... then into the hourglass forces hgfz *)
+                            SFor
+                              ( "ln",
+                                i 0,
+                                i 8,
+                                [
+                                  SStore
+                                    ( "hgfz",
+                                      [ v "ln" ],
+                                      v "coefficient"
+                                      * ((idx2 "hourgam" (v "ln") (i 0)
+                                          * idx1 "hxx" (i 0))
+                                        + (idx2 "hourgam" (v "ln") (i 1)
+                                          * idx1 "hxx" (i 1))
+                                        + (idx2 "hourgam" (v "ln") (i 2)
+                                          * idx1 "hxx" (i 2))
+                                        + (idx2 "hourgam" (v "ln") (i 3)
+                                          * idx1 "hxx" (i 3))) );
+                                ] );
+                            (* scatter forces through connectivity *)
+                            SFor
+                              ( "ln",
+                                i 0,
+                                i 8,
+                                [
+                                  SAssign ("nd", idx2 "e2n" (v "el") (v "ln"));
+                                  SStore
+                                    ( "fz",
+                                      [ v "nd" ],
+                                      idx1 "fz" (v "nd") + idx1 "hgfz" (v "ln")
+                                    );
+                                ] );
+                          ] );
+                      (* integrate nodal motion and track the timestep *)
+                      SAssign ("maxv", f 0.0);
+                      SFor
+                        ( "j",
+                          i 0,
+                          i nnode,
+                          [
+                            SAssign
+                              ("accel", idx1 "fz" (v "j") / idx1 "xm" (v "j"));
+                            SStore
+                              ( "zd",
+                                [ v "j" ],
+                                idx1 "zd" (v "j") + (v "dt" * v "accel") );
+                            SStore
+                              ( "z",
+                                [ v "j" ],
+                                idx1 "z" (v "j") + (v "dt" * idx1 "zd" (v "j"))
+                              );
+                            SAssign
+                              ("maxv", Bin (Max, v "maxv", abs_ (idx1 "zd" (v "j"))));
+                          ] );
+                      SAssign
+                        ( "dt",
+                          f dt0 / sqrt_ (f 1.0 + (v "maxv" * v "maxv")) );
+                      (* kinetic energy *)
+                      SAssign ("energy", f 0.0);
+                      SFor
+                        ( "j",
+                          i 0,
+                          i nnode,
+                          [
+                            SAssign
+                              ( "energy",
+                                v "energy"
+                                + (f 0.5 * idx1 "xm" (v "j")
+                                  * idx1 "zd" (v "j") * idx1 "zd" (v "j")) );
+                          ] );
+                    ] );
+                (* the LULESH-style truncated progress report *)
+                SPrint ("cycle %d dt=%12.6e e=%12.6e\n", [ v "it"; v "dt"; v "energy" ]);
+              ] );
+          SAssign ("result", v "energy");
+        ]
+        @ App.verification_block ~ref_value ~tolerance:1e-6 ();
+    }
+  in
+  {
+    globals =
+      [
+        DArr ("gamma", Ty.F64, [ 4; 8 ]);
+        DArr ("e2n", Ty.I64, [ nelem; 8 ]);
+        DArr ("xm", Ty.F64, [ nnode ]);
+        DArr ("zd", Ty.F64, [ nnode ]);
+        DArr ("z", Ty.F64, [ nnode ]);
+        DArr ("fz", Ty.F64, [ nnode ]);
+        DScalar ("tran", Ty.F64);
+        DScalar ("amult", Ty.F64);
+      ];
+    funs = [ main ];
+    entry = "main";
+  }
+
+let app : App.t =
+  {
+    App.name = "LULESH";
+    description = "Lagrangian hydrodynamics hourglass-force proxy (LULESH)";
+    build = (fun ~ref_value -> make ~ref_value);
+    tolerance = 1e-6;
+    main_iterations = niter;
+    region_names = [ "l_a" ];
+  }

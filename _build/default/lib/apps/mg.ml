@@ -1,0 +1,558 @@
+(** MG — 3-D multigrid V-cycle (NPB MG, scaled down).
+
+    Solves the scalar Poisson problem A u = v on an [n]^3 grid with
+    zero boundaries using V-cycles over three grid levels.  The
+    smoother [psinv] is implemented in the shape of Figure 9 of the
+    paper — the [c[0..2]]-weighted stencil with the [r1]/[r2] row
+    temporaries — which is where the paper finds the Repeated Additions
+    and Dead Corrupted Locations patterns in MG.
+
+    Regions follow Table I: [mg_a] = fine-grid residual, [mg_b] =
+    restriction + bottom solve (small), [mg_c] = prolongation +
+    mid-level smoothing, [mg_d] = finest-level smoothing (the biggest
+    region).  The main loop runs [niter] V-cycles. *)
+
+let n0 = 6 (* finest grid, including boundary; interior is (n0-2)^3 *)
+let n1 = 3
+let niter = 4
+
+(* smoother and residual stencil weights (NPB MG class-S flavor) *)
+let c0 = -3.0 /. 8.0
+let c1 = 1.0 /. 32.0
+let c2 = -1.0 /. 64.0
+let a0 = -8.0 /. 3.0
+let a1 = 0.0
+let a2 = 1.0 /. 6.0
+let a3 = 1.0 /. 12.0
+
+(* Builds, for one grid level, the psinv (smoother) function in the
+   Figure-9 shape: row temporaries r1/r2 hold the aggregated face and
+   edge neighbor sums, then u gets a repeated-addition update. *)
+let psinv_fn ~(suffix : string) ~(nsz : int) ~(u : string) ~(r : string) :
+    Ast.fundef =
+  let open Ast in
+  let nm = Stdlib.( - ) nsz 1 in
+  let at arr i3 i2 i1 = idx3 arr i3 i2 i1 in
+  {
+    fname = "psinv" ^ suffix;
+    params = [];
+    ret = None;
+    locals = [ DScalar ("ps_t", Ty.F64) ];
+    body =
+      [
+        SFor
+          ( "i3",
+            i 1,
+            i nm,
+            [
+              SFor
+                ( "i2",
+                  i 1,
+                  i nm,
+                  [
+                    (* row temporaries: aggregate neighbors, then die *)
+                    SFor
+                      ( "i1",
+                        i 0,
+                        i nsz,
+                        [
+                          SStore
+                            ( "r1",
+                              [ v "i1" ],
+                              at r (v "i3" - i 1) (v "i2") (v "i1")
+                              + at r (v "i3" + i 1) (v "i2") (v "i1")
+                              + at r (v "i3") (v "i2" - i 1) (v "i1")
+                              + at r (v "i3") (v "i2" + i 1) (v "i1") );
+                          SStore
+                            ( "r2",
+                              [ v "i1" ],
+                              at r (v "i3" - i 1) (v "i2" - i 1) (v "i1")
+                              + at r (v "i3" - i 1) (v "i2" + i 1) (v "i1")
+                              + at r (v "i3" + i 1) (v "i2" - i 1) (v "i1")
+                              + at r (v "i3" + i 1) (v "i2" + i 1) (v "i1") );
+                        ] );
+                    SFor
+                      ( "i1",
+                        i 1,
+                        i nm,
+                        [
+                          (* the Figure 9 repeated-addition update *)
+                          SStore
+                            ( u,
+                              [ v "i3"; v "i2"; v "i1" ],
+                              at u (v "i3") (v "i2") (v "i1")
+                              + (f c0 * at r (v "i3") (v "i2") (v "i1"))
+                              + (f c1
+                                * (at r (v "i3") (v "i2") (v "i1" - i 1)
+                                  + at r (v "i3") (v "i2") (v "i1" + i 1)
+                                  + idx1 "r1" (v "i1")))
+                              + (f c2
+                                * (idx1 "r2" (v "i1")
+                                  + idx1 "r1" (v "i1" - i 1)
+                                  + idx1 "r1" (v "i1" + i 1))) );
+                        ] );
+                  ] );
+            ] );
+      ];
+  }
+
+(* Residual r = v - A u for one level (same row-temporary shape). *)
+let resid_fn ~(suffix : string) ~(nsz : int) ~(u : string) ~(vv : string)
+    ~(r : string) : Ast.fundef =
+  let open Ast in
+  let nm = Stdlib.( - ) nsz 1 in
+  let at arr i3 i2 i1 = idx3 arr i3 i2 i1 in
+  {
+    fname = "resid" ^ suffix;
+    params = [];
+    ret = None;
+    locals = [];
+    body =
+      [
+        SFor
+          ( "i3",
+            i 1,
+            i nm,
+            [
+              SFor
+                ( "i2",
+                  i 1,
+                  i nm,
+                  [
+                    SFor
+                      ( "i1",
+                        i 0,
+                        i nsz,
+                        [
+                          SStore
+                            ( "r1",
+                              [ v "i1" ],
+                              at u (v "i3" - i 1) (v "i2") (v "i1")
+                              + at u (v "i3" + i 1) (v "i2") (v "i1")
+                              + at u (v "i3") (v "i2" - i 1) (v "i1")
+                              + at u (v "i3") (v "i2" + i 1) (v "i1") );
+                          SStore
+                            ( "r2",
+                              [ v "i1" ],
+                              at u (v "i3" - i 1) (v "i2" - i 1) (v "i1")
+                              + at u (v "i3" - i 1) (v "i2" + i 1) (v "i1")
+                              + at u (v "i3" + i 1) (v "i2" - i 1) (v "i1")
+                              + at u (v "i3" + i 1) (v "i2" + i 1) (v "i1") );
+                        ] );
+                    SFor
+                      ( "i1",
+                        i 1,
+                        i nm,
+                        [
+                          SStore
+                            ( r,
+                              [ v "i3"; v "i2"; v "i1" ],
+                              at vv (v "i3") (v "i2") (v "i1")
+                              - (f a0 * at u (v "i3") (v "i2") (v "i1"))
+                              - (f a2
+                                * (at u (v "i3") (v "i2") (v "i1" - i 1)
+                                  + at u (v "i3") (v "i2") (v "i1" + i 1)
+                                  + idx1 "r1" (v "i1")))
+                              - (f a3
+                                * (idx1 "r2" (v "i1")
+                                  + idx1 "r1" (v "i1" - i 1)
+                                  + idx1 "r1" (v "i1" + i 1))) );
+                        ] );
+                  ] );
+            ] );
+      ];
+  }
+  [@@warning "-27"]
+
+(* Restriction: coarse <- 8-point average of the 2x2x2 fine block. *)
+let rprj3_fn ~(suffix : string) ~(ncoarse : int) ~(fine : string)
+    ~(coarse : string) : Ast.fundef =
+  let open Ast in
+  let nm = Stdlib.( - ) ncoarse 1 in
+  {
+    fname = "rprj3" ^ suffix;
+    params = [];
+    ret = None;
+    locals = [ DScalar ("rp_s", Ty.F64) ];
+    body =
+      [
+        SFor
+          ( "i3",
+            i 1,
+            i nm,
+            [
+              SFor
+                ( "i2",
+                  i 1,
+                  i nm,
+                  [
+                    SFor
+                      ( "i1",
+                        i 1,
+                        i nm,
+                        [
+                          SAssign
+                            ( "rp_s",
+                              idx3 fine (i 2 * v "i3") (i 2 * v "i2")
+                                (i 2 * v "i1")
+                              + idx3 fine
+                                  ((i 2 * v "i3") + i 1)
+                                  (i 2 * v "i2") (i 2 * v "i1")
+                              + idx3 fine (i 2 * v "i3")
+                                  ((i 2 * v "i2") + i 1)
+                                  (i 2 * v "i1")
+                              + idx3 fine (i 2 * v "i3") (i 2 * v "i2")
+                                  ((i 2 * v "i1") + i 1)
+                              + idx3 fine
+                                  ((i 2 * v "i3") + i 1)
+                                  ((i 2 * v "i2") + i 1)
+                                  (i 2 * v "i1")
+                              + idx3 fine
+                                  ((i 2 * v "i3") + i 1)
+                                  (i 2 * v "i2")
+                                  ((i 2 * v "i1") + i 1)
+                              + idx3 fine (i 2 * v "i3")
+                                  ((i 2 * v "i2") + i 1)
+                                  ((i 2 * v "i1") + i 1)
+                              + idx3 fine
+                                  ((i 2 * v "i3") + i 1)
+                                  ((i 2 * v "i2") + i 1)
+                                  ((i 2 * v "i1") + i 1) );
+                          SStore
+                            ( coarse,
+                              [ v "i3"; v "i2"; v "i1" ],
+                              f 0.125 * v "rp_s" );
+                        ] );
+                  ] );
+            ] );
+      ];
+  }
+
+(* Prolongation: fine block += coarse value. *)
+let interp_fn ~(suffix : string) ~(ncoarse : int) ~(coarse : string)
+    ~(fine : string) : Ast.fundef =
+  let open Ast in
+  let nm = Stdlib.( - ) ncoarse 1 in
+  let add o3 o2 o1 =
+    Ast.SStore
+      ( fine,
+        [ (i 2 * v "i3") + i o3; (i 2 * v "i2") + i o2; (i 2 * v "i1") + i o1 ],
+        idx3 fine
+          ((i 2 * v "i3") + i o3)
+          ((i 2 * v "i2") + i o2)
+          ((i 2 * v "i1") + i o1)
+        + idx3 coarse (v "i3") (v "i2") (v "i1") )
+  in
+  {
+    fname = "interp" ^ suffix;
+    params = [];
+    ret = None;
+    locals = [];
+    body =
+      [
+        SFor
+          ( "i3",
+            i 1,
+            i nm,
+            [
+              SFor
+                ( "i2",
+                  i 1,
+                  i nm,
+                  [
+                    SFor
+                      ( "i1",
+                        i 1,
+                        i nm,
+                        [
+                          add 0 0 0; add 0 0 1; add 0 1 0; add 0 1 1;
+                          add 1 0 0; add 1 0 1; add 1 1 0; add 1 1 1;
+                        ] );
+                  ] );
+            ] );
+      ];
+  }
+
+let make ~(ref_value : float option) : Ast.program =
+  let open Ast in
+  let zero3 arr nsz =
+    SFor
+      ( "i3",
+        i 0,
+        i nsz,
+        [
+          SFor
+            ( "i2",
+              i 0,
+              i nsz,
+              [
+                SFor
+                  ("i1", i 0, i nsz, [ SStore (arr, [ v "i3"; v "i2"; v "i1" ], f 0.0) ]);
+              ] );
+        ] )
+  in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("charge", Ty.F64);
+          DScalar ("p3", Ty.I64);
+          DScalar ("p2", Ty.I64);
+          DScalar ("p1", Ty.I64);
+          DScalar ("rn", Ty.F64);
+        ]
+        @ App.verification_locals;
+      body =
+        [
+          (* setup: +-1 charges at randlc-chosen interior points *)
+          SAssign ("tran", f 314159265.0);
+          SAssign ("amult", f 1220703125.0);
+          zero3 "u0" n0;
+          zero3 "vv" n0;
+          zero3 "r0" n0;
+          zero3 "u1" n1;
+          zero3 "r1c" n1;
+          SAssign ("charge", f 1.0);
+          SFor
+            ( "k",
+              i 0,
+              i 8,
+              [
+                SAssign
+                  ( "p3",
+                    i 1 + to_int (to_float (i (Stdlib.( - ) n0 2)) * Randlc ("tran", v "amult")) );
+                SAssign
+                  ( "p2",
+                    i 1 + to_int (to_float (i (Stdlib.( - ) n0 2)) * Randlc ("tran", v "amult")) );
+                SAssign
+                  ( "p1",
+                    i 1 + to_int (to_float (i (Stdlib.( - ) n0 2)) * Randlc ("tran", v "amult")) );
+                SStore ("vv", [ v "p3"; v "p2"; v "p1" ], v "charge");
+                SAssign ("charge", f 0.0 - v "charge");
+              ] );
+          (* main loop: V-cycles (mg3P) *)
+          SFor
+            ( "it",
+              i 0,
+              i niter,
+              [
+                SMark App.iter_mark_name;
+                SRegion ("mg_a", 425, 429, [ SCall ("resid0", []) ]);
+                SRegion
+                  ( "mg_b",
+                    430,
+                    437,
+                    [
+                      SCall ("rprj30", []);
+                      zero3 "u1" n1;
+                      SCall ("psinv1", []);
+                    ] );
+                SRegion
+                  ( "mg_c",
+                    438,
+                    456,
+                    [ SCall ("interp0", []); SCall ("psinv0", []) ] );
+                SRegion
+                  ( "mg_d",
+                    457,
+                    462,
+                    [ SCall ("resid0", []); SCall ("psinv0", []) ] );
+              ] );
+          (* verification: L2 norm of the final residual *)
+          SCall ("resid0", []);
+          SAssign ("rn", f 0.0);
+          SFor
+            ( "i3",
+              i 0,
+              i n0,
+              [
+                SFor
+                  ( "i2",
+                    i 0,
+                    i n0,
+                    [
+                      SFor
+                        ( "i1",
+                          i 0,
+                          i n0,
+                          [
+                            SAssign
+                              ( "rn",
+                                v "rn"
+                                + (idx3 "r0" (v "i3") (v "i2") (v "i1")
+                                  * idx3 "r0" (v "i3") (v "i2") (v "i1")) );
+                          ] );
+                    ] );
+              ] );
+          SAssign
+            ( "result",
+              sqrt_ (v "rn" / to_float (i (Stdlib.( * ) n0 (Stdlib.( * ) n0 n0)))) );
+        ]
+        @ App.verification_block ~ref_value ~tolerance:1e-9 ();
+    }
+  in
+  {
+    globals =
+      [
+        DArr ("u0", Ty.F64, [ n0; n0; n0 ]);
+        DArr ("vv", Ty.F64, [ n0; n0; n0 ]);
+        DArr ("r0", Ty.F64, [ n0; n0; n0 ]);
+        DArr ("u1", Ty.F64, [ n1; n1; n1 ]);
+        DArr ("r1c", Ty.F64, [ n1; n1; n1 ]);
+        DArr ("r1", Ty.F64, [ n0 ]);
+        DArr ("r2", Ty.F64, [ n0 ]);
+        DScalar ("tran", Ty.F64);
+        DScalar ("amult", Ty.F64);
+      ];
+    funs =
+      [
+        psinv_fn ~suffix:"0" ~nsz:n0 ~u:"u0" ~r:"r0";
+        psinv_fn ~suffix:"1" ~nsz:n1 ~u:"u1" ~r:"r1c";
+        resid_fn ~suffix:"0" ~nsz:n0 ~u:"u0" ~vv:"vv" ~r:"r0";
+        rprj3_fn ~suffix:"0" ~ncoarse:n1 ~fine:"r0" ~coarse:"r1c";
+        interp_fn ~suffix:"0" ~ncoarse:n1 ~coarse:"u1" ~fine:"u0";
+        main;
+      ];
+    entry = "main";
+  }
+
+let app : App.t =
+  {
+    App.name = "MG";
+    description = "3-D multigrid V-cycle Poisson solver (NPB MG)";
+    build = (fun ~ref_value -> make ~ref_value);
+    tolerance = 1e-9;
+    main_iterations = niter;
+    region_names = [ "mg_a"; "mg_b"; "mg_c"; "mg_d" ];
+  }
+
+(** Pure-OCaml reference implementation of the same V-cycle, used to
+    validate the compiler + VM pipeline end to end. *)
+let reference_rnorm () : float =
+  let tran = ref 314159265.0 and amult = 1220703125.0 in
+  let randlc () =
+    let x', r = Machine.randlc_step !tran amult in
+    tran := x';
+    r
+  in
+  let mk n = Array.init n (fun _ -> Array.make_matrix n n 0.0) in
+  let u0 = mk n0 and vv = mk n0 and r0 = mk n0 in
+  let u1 = mk n1 and r1c = mk n1 in
+  let r1 = Array.make n0 0.0 and r2 = Array.make n0 0.0 in
+  (* charges *)
+  let charge = ref 1.0 in
+  for _k = 0 to 7 do
+    let p3 = 1 + int_of_float (float_of_int (n0 - 2) *. randlc ()) in
+    let p2 = 1 + int_of_float (float_of_int (n0 - 2) *. randlc ()) in
+    let p1 = 1 + int_of_float (float_of_int (n0 - 2) *. randlc ()) in
+    vv.(p3).(p2).(p1) <- !charge;
+    charge := 0.0 -. !charge
+  done;
+  let psinv nsz u r =
+    for i3 = 1 to nsz - 2 do
+      for i2 = 1 to nsz - 2 do
+        for i1 = 0 to nsz - 1 do
+          r1.(i1) <-
+            r.(i3 - 1).(i2).(i1) +. r.(i3 + 1).(i2).(i1)
+            +. r.(i3).(i2 - 1).(i1) +. r.(i3).(i2 + 1).(i1);
+          r2.(i1) <-
+            r.(i3 - 1).(i2 - 1).(i1) +. r.(i3 - 1).(i2 + 1).(i1)
+            +. r.(i3 + 1).(i2 - 1).(i1) +. r.(i3 + 1).(i2 + 1).(i1)
+        done;
+        for i1 = 1 to nsz - 2 do
+          u.(i3).(i2).(i1) <-
+            u.(i3).(i2).(i1)
+            +. (c0 *. r.(i3).(i2).(i1))
+            +. (c1 *. (r.(i3).(i2).(i1 - 1) +. r.(i3).(i2).(i1 + 1) +. r1.(i1)))
+            +. (c2 *. (r2.(i1) +. r1.(i1 - 1) +. r1.(i1 + 1)))
+        done
+      done
+    done
+  in
+  let resid nsz u vv r =
+    for i3 = 1 to nsz - 2 do
+      for i2 = 1 to nsz - 2 do
+        for i1 = 0 to nsz - 1 do
+          r1.(i1) <-
+            u.(i3 - 1).(i2).(i1) +. u.(i3 + 1).(i2).(i1)
+            +. u.(i3).(i2 - 1).(i1) +. u.(i3).(i2 + 1).(i1);
+          r2.(i1) <-
+            u.(i3 - 1).(i2 - 1).(i1) +. u.(i3 - 1).(i2 + 1).(i1)
+            +. u.(i3 + 1).(i2 - 1).(i1) +. u.(i3 + 1).(i2 + 1).(i1)
+        done;
+        for i1 = 1 to nsz - 2 do
+          r.(i3).(i2).(i1) <-
+            vv.(i3).(i2).(i1)
+            -. (a0 *. u.(i3).(i2).(i1))
+            -. (a2 *. (u.(i3).(i2).(i1 - 1) +. u.(i3).(i2).(i1 + 1) +. r1.(i1)))
+            -. (a3 *. (r2.(i1) +. r1.(i1 - 1) +. r1.(i1 + 1)))
+        done
+      done
+    done
+  in
+  ignore a1;
+  let rprj3 ncoarse fine coarse =
+    for i3 = 1 to ncoarse - 2 do
+      for i2 = 1 to ncoarse - 2 do
+        for i1 = 1 to ncoarse - 2 do
+          let s = ref 0.0 in
+          for d3 = 0 to 1 do
+            for d2 = 0 to 1 do
+              for d1 = 0 to 1 do
+                s := !s +. fine.((2 * i3) + d3).((2 * i2) + d2).((2 * i1) + d1)
+              done
+            done
+          done;
+          coarse.(i3).(i2).(i1) <- 0.125 *. !s
+        done
+      done
+    done
+  in
+  let interp ncoarse coarse fine =
+    for i3 = 1 to ncoarse - 2 do
+      for i2 = 1 to ncoarse - 2 do
+        for i1 = 1 to ncoarse - 2 do
+          for d3 = 0 to 1 do
+            for d2 = 0 to 1 do
+              for d1 = 0 to 1 do
+                let f3 = (2 * i3) + d3 and f2 = (2 * i2) + d2 and f1 = (2 * i1) + d1 in
+                fine.(f3).(f2).(f1) <- fine.(f3).(f2).(f1) +. coarse.(i3).(i2).(i1)
+              done
+            done
+          done
+        done
+      done
+    done
+  in
+  let zero3 a nsz =
+    for i3 = 0 to nsz - 1 do
+      for i2 = 0 to nsz - 1 do
+        for i1 = 0 to nsz - 1 do
+          a.(i3).(i2).(i1) <- 0.0
+        done
+      done
+    done
+  in
+  for _it = 0 to niter - 1 do
+    resid n0 u0 vv r0;
+    rprj3 n1 r0 r1c;
+    zero3 u1 n1;
+    psinv n1 u1 r1c;
+    interp n1 u1 u0;
+    psinv n0 u0 r0;
+    resid n0 u0 vv r0;
+    psinv n0 u0 r0
+  done;
+  resid n0 u0 vv r0;
+  let rn = ref 0.0 in
+  for i3 = 0 to n0 - 1 do
+    for i2 = 0 to n0 - 1 do
+      for i1 = 0 to n0 - 1 do
+        rn := !rn +. (r0.(i3).(i2).(i1) *. r0.(i3).(i2).(i1))
+      done
+    done
+  done;
+  Float.sqrt (!rn /. float_of_int (n0 * n0 * n0))

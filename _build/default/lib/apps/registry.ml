@@ -1,0 +1,26 @@
+(** The benchmark registry: the ten programs of the paper's evaluation
+    (Section V-A), plus the hardened CG variants of Use Case 1. *)
+
+(** The five programs analyzed region-by-region in Figures 5/6 and
+    Table I. *)
+let analyzed : App.t list = [ Cg.app; Mg.app; Kmeans.app; Is.app; Lulesh.app ]
+
+(** All ten programs of the prediction study (Table IV). *)
+let all : App.t list =
+  [
+    Cg.app; Mg.app; Lu.app; Bt.app; Is.app;
+    Dc.app; Sp.app; Ft.app; Kmeans.app; Lulesh.app;
+  ]
+
+(** Use Case 1 variants (Table III), in the paper's row order. *)
+let cg_variants : App.t list =
+  [ Cg.app; Cg.app_hardened_dcl; Cg.app_hardened_trunc; Cg.app_hardened_all ]
+
+let find (name : string) : App.t =
+  let pool = all @ cg_variants in
+  match List.find_opt (fun (a : App.t) -> String.equal a.App.name name) pool with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.find: unknown app %S (known: %s)" name
+           (String.concat ", " (List.map (fun (a : App.t) -> a.App.name) pool)))

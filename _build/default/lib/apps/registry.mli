@@ -1,0 +1,16 @@
+(** The benchmark registry: the ten programs of the paper's evaluation
+    and the hardened CG variants of Use Case 1. *)
+
+val analyzed : App.t list
+(** CG, MG, KMEANS, IS, LULESH — the five programs analyzed
+    region-by-region in Figures 5/6 and Table I. *)
+
+val all : App.t list
+(** All ten programs of the prediction study (Table IV). *)
+
+val cg_variants : App.t list
+(** CG and its hardened variants, in the paper's Table III row order. *)
+
+val find : string -> App.t
+(** @raise Invalid_argument for an unknown name (the message lists the
+    known ones). *)

@@ -1,0 +1,304 @@
+(** SP — ADI solver with scalar pentadiagonal line solves (NPB SP,
+    reduced to a 2-D analog).
+
+    Like BT, but the line systems are pentadiagonal (two sub- and two
+    super-diagonals), solved by the two-stage elimination NPB SP uses:
+    a forward pass that eliminates both lower diagonals, then a
+    two-term back substitution. *)
+
+let n = 12
+let niter = 5
+let d1 = 0.25
+let d2 = 0.05
+
+let make ~(ref_value : float option) : Ast.program =
+  let open Ast in
+  let nm = Stdlib.( - ) n 1 in
+  let diag = 1.0 +. (2.0 *. d1) +. (2.0 *. d2) in
+  (* pentadiagonal forward elimination + back substitution on
+     lrhs[1..nm-1].  Diagonals: -d2 -d1 diag -d1 -d2; work arrays bb
+     (pivot), c1p, c2p (normalized superdiagonals). *)
+  let solve_body =
+    [
+      (* initialize row 1 *)
+      Ast.SStore ("bb", [ i 1 ], f diag);
+      Ast.SStore ("c1p", [ i 1 ], f (-.d1) / idx1 "bb" (i 1));
+      Ast.SStore ("c2p", [ i 1 ], f (-.d2) / idx1 "bb" (i 1));
+      Ast.SStore ("lrhs", [ i 1 ], idx1 "lrhs" (i 1) / idx1 "bb" (i 1));
+      (* row 2 *)
+      Ast.SAssign ("l1", f (-.d1));
+      Ast.SStore ("bb", [ i 2 ], f diag - (v "l1" * idx1 "c1p" (i 1)));
+      Ast.SStore
+        ( "c1p",
+          [ i 2 ],
+          (f (-.d1) - (v "l1" * idx1 "c2p" (i 1))) / idx1 "bb" (i 2) );
+      Ast.SStore ("c2p", [ i 2 ], f (-.d2) / idx1 "bb" (i 2));
+      Ast.SStore
+        ( "lrhs",
+          [ i 2 ],
+          (idx1 "lrhs" (i 2) - (v "l1" * idx1 "lrhs" (i 1)))
+          / idx1 "bb" (i 2) );
+      (* rows 3..nm-1: eliminate both subdiagonals *)
+      Ast.SFor
+        ( "k",
+          i 3,
+          i nm,
+          [
+            (* first eliminate the second subdiagonal (-d2) using row k-2,
+               then the updated first subdiagonal using row k-1 *)
+            SAssign ("l2", f (-.d2));
+            SAssign ("l1", f (-.d1) - (v "l2" * idx1 "c1p" (v "k" - i 2)));
+            SStore
+              ( "bb",
+                [ v "k" ],
+                f diag
+                - (v "l2" * idx1 "c2p" (v "k" - i 2))
+                - (v "l1" * idx1 "c1p" (v "k" - i 1)) );
+            SStore
+              ( "c1p",
+                [ v "k" ],
+                (f (-.d1) - (v "l1" * idx1 "c2p" (v "k" - i 1)))
+                / idx1 "bb" (v "k") );
+            SStore ("c2p", [ v "k" ], f (-.d2) / idx1 "bb" (v "k"));
+            SStore
+              ( "lrhs",
+                [ v "k" ],
+                (idx1 "lrhs" (v "k")
+                - (v "l2" * idx1 "lrhs" (v "k" - i 2))
+                - (v "l1" * idx1 "lrhs" (v "k" - i 1)))
+                / idx1 "bb" (v "k") );
+          ] );
+      (* back substitution: two-term *)
+      Ast.SStore
+        ( "lrhs",
+          [ i (Stdlib.( - ) nm 2) ],
+          idx1 "lrhs" (i (Stdlib.( - ) nm 2))
+          - (idx1 "c1p" (i (Stdlib.( - ) nm 2))
+            * idx1 "lrhs" (i (Stdlib.( - ) nm 1))) );
+      Ast.SForStep
+        ( "kx",
+          i 0,
+          i (Stdlib.( - ) nm 3),
+          i 1,
+          [
+            SAssign ("k", i (Stdlib.( - ) nm 3) - v "kx");
+            SStore
+              ( "lrhs",
+                [ v "k" ],
+                idx1 "lrhs" (v "k")
+                - (idx1 "c1p" (v "k") * idx1 "lrhs" (v "k" + i 1))
+                - (idx1 "c2p" (v "k") * idx1 "lrhs" (v "k" + i 2)) );
+          ] );
+    ]
+  in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [ DScalar ("rn", Ty.F64) ] @ App.verification_locals;
+      body =
+        [
+          SAssign ("tran", f 314159265.0);
+          SAssign ("amult", f 1220703125.0);
+          SFor
+            ( "i2",
+              i 0,
+              i n,
+              [
+                SFor
+                  ( "i1",
+                    i 0,
+                    i n,
+                    [
+                      SStore
+                        ("u", [ v "i2"; v "i1" ], Randlc ("tran", v "amult"));
+                      SStore ("rhs", [ v "i2"; v "i1" ], f 0.0);
+                    ] );
+              ] );
+          SFor
+            ( "it",
+              i 0,
+              i niter,
+              [
+                SMark App.iter_mark_name;
+                (* rhs stencil (compute_rhs analog, wider stencil) *)
+                SRegion
+                  ( "sp_a",
+                    310,
+                    360,
+                    [
+                      SFor
+                        ( "i2",
+                          i 2,
+                          i (Stdlib.( - ) n 2),
+                          [
+                            SFor
+                              ( "i1",
+                                i 2,
+                                i (Stdlib.( - ) n 2),
+                                [
+                                  SStore
+                                    ( "rhs",
+                                      [ v "i2"; v "i1" ],
+                                      (f d1
+                                      * (idx2 "u" (v "i2" - i 1) (v "i1")
+                                        + idx2 "u" (v "i2" + i 1) (v "i1")
+                                        + idx2 "u" (v "i2") (v "i1" - i 1)
+                                        + idx2 "u" (v "i2") (v "i1" + i 1)))
+                                      + (f d2
+                                        * (idx2 "u" (v "i2" - i 2) (v "i1")
+                                          + idx2 "u" (v "i2" + i 2) (v "i1")
+                                          + idx2 "u" (v "i2") (v "i1" - i 2)
+                                          + idx2 "u" (v "i2") (v "i1" + i 2)))
+                                      - (f (4.0 *. (d1 +. d2))
+                                        * idx2 "u" (v "i2") (v "i1")) );
+                                ] );
+                          ] );
+                    ] );
+                (* x_solve: pentadiagonal per row *)
+                SRegion
+                  ( "sp_b",
+                    362,
+                    430,
+                    [
+                      SFor
+                        ( "i2",
+                          i 1,
+                          i nm,
+                          [
+                            SFor
+                              ( "k",
+                                i 0,
+                                i n,
+                                [
+                                  SStore
+                                    ("lrhs", [ v "k" ], idx2 "rhs" (v "i2") (v "k"));
+                                ] );
+                          ]
+                          @ solve_body
+                          @ [
+                              SFor
+                                ( "k",
+                                  i 1,
+                                  i nm,
+                                  [
+                                    SStore
+                                      ( "rhs",
+                                        [ v "i2"; v "k" ],
+                                        idx1 "lrhs" (v "k") );
+                                  ] );
+                            ] );
+                    ] );
+                (* y_solve: pentadiagonal per column *)
+                SRegion
+                  ( "sp_c",
+                    432,
+                    500,
+                    [
+                      SFor
+                        ( "i1",
+                          i 1,
+                          i nm,
+                          [
+                            SFor
+                              ( "k",
+                                i 0,
+                                i n,
+                                [
+                                  SStore
+                                    ("lrhs", [ v "k" ], idx2 "rhs" (v "k") (v "i1"));
+                                ] );
+                          ]
+                          @ solve_body
+                          @ [
+                              SFor
+                                ( "k",
+                                  i 1,
+                                  i nm,
+                                  [
+                                    SStore
+                                      ( "rhs",
+                                        [ v "k"; v "i1" ],
+                                        idx1 "lrhs" (v "k") );
+                                  ] );
+                            ] );
+                    ] );
+                (* add *)
+                SRegion
+                  ( "sp_d",
+                    502,
+                    528,
+                    [
+                      SFor
+                        ( "i2",
+                          i 1,
+                          i nm,
+                          [
+                            SFor
+                              ( "i1",
+                                i 1,
+                                i nm,
+                                [
+                                  SStore
+                                    ( "u",
+                                      [ v "i2"; v "i1" ],
+                                      idx2 "u" (v "i2") (v "i1")
+                                      + idx2 "rhs" (v "i2") (v "i1") );
+                                ] );
+                          ] );
+                    ] );
+              ] );
+          SAssign ("rn", f 0.0);
+          SFor
+            ( "i2",
+              i 0,
+              i n,
+              [
+                SFor
+                  ( "i1",
+                    i 0,
+                    i n,
+                    [
+                      SAssign
+                        ( "rn",
+                          v "rn"
+                          + (idx2 "u" (v "i2") (v "i1")
+                            * idx2 "u" (v "i2") (v "i1")) );
+                    ] );
+              ] );
+          SAssign ("result", sqrt_ (v "rn"));
+        ]
+        @ App.verification_block ~ref_value ~tolerance:1e-9 ();
+    }
+  in
+  {
+    globals =
+      [
+        DArr ("u", Ty.F64, [ n; n ]);
+        DArr ("rhs", Ty.F64, [ n; n ]);
+        DArr ("lrhs", Ty.F64, [ n ]);
+        DArr ("bb", Ty.F64, [ n ]);
+        DArr ("c1p", Ty.F64, [ n ]);
+        DArr ("c2p", Ty.F64, [ n ]);
+        DScalar ("tran", Ty.F64);
+        DScalar ("amult", Ty.F64);
+        DScalar ("l1", Ty.F64);
+        DScalar ("l2", Ty.F64);
+        DScalar ("fac", Ty.F64);
+        DScalar ("k", Ty.I64);
+      ];
+    funs = [ main ];
+    entry = "main";
+  }
+
+let app : App.t =
+  {
+    App.name = "SP";
+    description = "ADI pentadiagonal line solver (NPB SP analog)";
+    build = (fun ~ref_value -> make ~ref_value);
+    tolerance = 1e-9;
+    main_iterations = niter;
+    region_names = [ "sp_a"; "sp_b"; "sp_c"; "sp_d" ];
+  }

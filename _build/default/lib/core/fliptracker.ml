@@ -1,0 +1,100 @@
+(** FlipTracker — fine-grained tracking of error propagation and
+    natural resilience in HPC programs.
+
+    This facade groups the library's subsystems and offers the one-call
+    entry points most users need.  The full pipeline is:
+
+    {v
+    mini-C program --Compile--> IR --Machine(+Tracer)--> dynamic trace
+        |                                                     |
+        |  fault injection (Campaign)                         |
+        v                                                     v
+    faulty runs --Align/Acl--> alive-corrupted-location series
+                                    |
+                                    v
+              resilience patterns (Pattern/Dynamic_detect)
+                                    |
+                                    v
+              resilience prediction (Rates + Regression)
+    v}
+
+    Subsystem guide:
+    {ul
+    {- IR: {!Ty}, {!Value}, {!Loc}, {!Op}, {!Instr}, {!Prog}}
+    {- language + compiler: {!Ast}, {!Compile}}
+    {- execution: {!Machine}, {!Trace}}
+    {- analyses: {!Region}, {!Access}, {!Align}, {!Acl}, {!Dddg},
+       {!Tolerance}}
+    {- fault injection: {!Rng}, {!Stats}, {!Campaign}}
+    {- patterns: {!Pattern}, {!Static_detect}, {!Dynamic_detect},
+       {!Rates}}
+    {- prediction: {!Linalg}, {!Regression}}
+    {- benchmarks: {!App}, {!Registry} and the ten program modules}
+    {- simulated MPI: {!Comm}, {!Runner}, {!Demo}}
+    {- experiment drivers: {!Experiments}, {!Effort}}} *)
+
+(** Everything known about one fault injected into one program. *)
+type injection_report = {
+  fault : Machine.fault;
+  outcome : Machine.outcome;
+  verified : bool;
+  acl : Acl.result;
+  patterns : Dynamic_detect.region_patterns list;
+}
+
+(** Run one fault injection against [app] with full tracing and
+    analysis: outcome classification, the ACL series, and the
+    resilience patterns observed, per region. *)
+let inject_and_analyze (app : App.t) (fault : Machine.fault) :
+    injection_report =
+  let clean, clean_trace = App.trace app in
+  let budget = 10 * clean.Machine.instructions in
+  let result, faulty = App.trace_with_fault app fault ~budget in
+  let acl = Acl.analyze ~fault ~clean:clean_trace ~faulty () in
+  {
+    fault;
+    outcome = result.Machine.outcome;
+    verified = App.verified result.Machine.output;
+    acl;
+    patterns = Dynamic_detect.of_acl acl;
+  }
+
+(** Success rate of [app] under uniform whole-program injection. *)
+let measure_resilience ?(cfg = Campaign.default_config) (app : App.t) :
+    Campaign.counts =
+  let clean, trace = App.trace app in
+  let prog = App.program app in
+  let target = Campaign.whole_program_target prog trace in
+  Campaign.run prog ~verify:(App.verify app)
+    ~clean_instructions:clean.Machine.instructions ~cfg target
+
+(** The six pattern rates of [app] (features of the prediction model). *)
+let pattern_rates (app : App.t) : Rates.t =
+  let _, trace = App.trace app in
+  Rates.compute trace (Access.build trace)
+
+(** Pretty-print an injection report (for quick interactive use). *)
+let pp_injection_report ppf (r : injection_report) =
+  Fmt.pf ppf "@[<v>fault: %s@,outcome: %s, verified: %b@,"
+    (match r.fault with
+    | Machine.Flip_write { seq; bit } ->
+        Printf.sprintf "flip bit %d of the value written at instruction %d" bit seq
+    | Machine.Flip_mem { seq; addr; bit } ->
+        Printf.sprintf "flip bit %d of memory word %d before instruction %d" bit
+          addr seq)
+    (match r.outcome with
+    | Machine.Finished -> "finished"
+    | Machine.Trapped m -> "crashed (" ^ m ^ ")"
+    | Machine.Budget_exceeded -> "hung")
+    r.verified;
+  Fmt.pf ppf "ACL peak %d, %d deaths, %d maskings%s@,"
+    r.acl.Acl.peak
+    (List.length r.acl.Acl.deaths)
+    (List.length r.acl.Acl.maskings)
+    (match r.acl.Acl.divergence with
+    | Some i -> Printf.sprintf ", control diverged at event %d" i
+    | None -> "");
+  List.iter
+    (fun rp -> Fmt.pf ppf "%a@," Dynamic_detect.pp rp)
+    r.patterns;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Acl Align App Array Campaign Compile Experiments Is Lulesh Machine Trace

@@ -1,0 +1,1 @@
+lib/experiments/experiments.mli: Access Acl App Campaign Effort Machine Pattern Prog Rates Region Trace

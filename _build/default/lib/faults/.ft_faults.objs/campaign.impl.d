@@ -1,0 +1,1 @@
+lib/faults/campaign.ml: Access Array Dddg Float Fmt List Loc Machine Op Prog Region Rng Stats Trace Ty

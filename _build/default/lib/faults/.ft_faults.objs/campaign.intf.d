@@ -1,0 +1,1 @@
+lib/faults/campaign.mli: Access Format Machine Prog Region Rng Trace

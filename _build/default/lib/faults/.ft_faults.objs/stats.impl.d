@@ -1,0 +1,1 @@
+lib/faults/stats.ml: Array Float

@@ -1,0 +1,1 @@
+lib/faults/stats.mli:

@@ -1,0 +1,243 @@
+(** Fault-injection campaigns (the FlipIt substitute).
+
+    A campaign samples fault sites uniformly from a target population,
+    runs the program once per sampled fault, and classifies each run
+    under the paper's fault-manifestation model:
+    {ul
+    {- Verification Success — the run finishes and the application's
+       verification accepts the result (bit-exact or within the
+       application's own tolerance);}
+    {- Verification Failed — the run finishes but verification rejects
+       the result (silent data corruption);}
+    {- Crashed — trap, or hang detected by the instruction budget.}}
+
+    Targets: the {e internal locations} of a code-region instance are
+    the destinations of its dynamic instructions (a [Flip_write] at a
+    dynamic sequence number inside the instance); its {e input
+    locations} are the memory words the fault-free DDDG classifies as
+    region inputs (a [Flip_mem] at the instance entry). *)
+
+type outcome_class = Success | Failed | Crashed
+
+type counts = {
+  success : int;
+  failed : int;
+  crashed : int;
+  trials : int;
+}
+
+let zero_counts = { success = 0; failed = 0; crashed = 0; trials = 0 }
+
+let add_outcome (c : counts) = function
+  | Success -> { c with success = c.success + 1; trials = c.trials + 1 }
+  | Failed -> { c with failed = c.failed + 1; trials = c.trials + 1 }
+  | Crashed -> { c with crashed = c.crashed + 1; trials = c.trials + 1 }
+
+(** Success rate (Equation 1). *)
+let success_rate (c : counts) : float =
+  if c.trials = 0 then 0.0
+  else Float.of_int c.success /. Float.of_int c.trials
+
+let pp_counts ppf (c : counts) =
+  Fmt.pf ppf "success=%d failed=%d crashed=%d trials=%d rate=%.3f" c.success
+    c.failed c.crashed c.trials (success_rate c)
+
+(** Run one faulty execution and classify it.  [verify] receives the
+    machine result of a {e finished} run and decides Success/Failed;
+    traps and budget exhaustion classify as Crashed without consulting
+    it. *)
+let run_one (prog : Prog.t) ~(budget : int) ~(verify : Machine.result -> bool)
+    (fault : Machine.fault) : outcome_class =
+  let r =
+    Machine.run prog { Machine.default_config with budget; fault = Some fault }
+  in
+  match r.outcome with
+  | Machine.Finished -> if verify r then Success else Failed
+  | Machine.Trapped _ | Machine.Budget_exceeded -> Crashed
+
+(* --- fault-site populations ------------------------------------------ *)
+
+(** A fault site carries the width of the datum it corrupts: the
+    paper's subjects are C programs whose integers are 32-bit, so
+    integer-typed destinations expose 32 candidate bits while doubles
+    expose all 64. *)
+type site = { seq : int; bits : int }
+
+type input_site = { addr : int; bits : int }
+
+(* bit width of the value written by a trace event *)
+let event_bits (prog : Prog.t) (e : Trace.event) : int =
+  let of_ty = function Ty.F64 -> 64 | Ty.I64 -> 32 in
+  let of_addr a = match Prog.type_of_addr prog a with
+    | Some t -> of_ty t
+    | None -> 64
+  in
+  match e.op with
+  | Trace.OBin op -> if Op.bin_is_float op then 64 else 32
+  | Trace.OUn op -> (
+      match op with
+      | Op.Fneg | Op.Fabs | Op.Fsqrt | Op.Fsin | Op.Fcos | Op.FloatOfInt
+      | Op.F32round ->
+          64
+      | Op.Neg | Op.Not | Op.Trunc32 | Op.IntOfFloat -> 32)
+  | Trace.OStore -> (
+      match e.writes with
+      | [| (Loc.Mem a, _) |] -> of_addr a
+      | _ -> 64)
+  | Trace.OLoad -> (
+      (* the loaded value's width is that of its memory source *)
+      match
+        Array.find_opt (fun (l, _) -> Loc.is_mem l) e.reads
+      with
+      | Some (Loc.Mem a, _) -> of_addr a
+      | Some _ | None -> 64)
+  | Trace.OIntr _ -> 64
+  | Trace.OConst | Trace.OJmp | Trace.OBr _ | Trace.OCall | Trace.ORet
+  | Trace.OMark _ ->
+      64
+
+(** Fault sites of the value-writing instructions in the event-index
+    range [lo, hi) of [trace]. *)
+let writing_sites (prog : Prog.t) (trace : Trace.t) ~(lo : int) ~(hi : int) :
+    site array =
+  let acc = ref [] in
+  for i = hi - 1 downto lo do
+    let e = Trace.get trace i in
+    if Array.length e.writes > 0 then
+      acc := { seq = e.seq; bits = event_bits prog e } :: !acc
+  done;
+  Array.of_list !acc
+
+type target =
+  | Internal of { sites : site array }
+      (** flip a destination bit of one of these dynamic instructions *)
+  | Input of { entry_seq : int; sites : input_site array }
+      (** flip a bit of an input memory word at region entry *)
+  | Mem_over_time of { seqs : int array; sites : input_site array }
+      (** flip a bit of one of these memory words at a random point of
+          an execution window (soft errors in resident data) *)
+
+let target_population = function
+  | Internal { sites } ->
+      Array.fold_left (fun a (s : site) -> a + s.bits) 0 sites
+  | Input { sites; _ } ->
+      Array.fold_left (fun a (s : input_site) -> a + s.bits) 0 sites
+  | Mem_over_time { seqs; sites } ->
+      Array.length seqs
+      * Array.fold_left (fun a (s : input_site) -> a + s.bits) 0 sites
+
+let sample_fault (rng : Rng.t) (t : target) : Machine.fault =
+  match t with
+  | Internal { sites } ->
+      let s = Rng.choose rng sites in
+      Machine.Flip_write { seq = s.seq; bit = Rng.int rng s.bits }
+  | Input { entry_seq; sites } ->
+      let s = Rng.choose rng sites in
+      Machine.Flip_mem { seq = entry_seq; addr = s.addr; bit = Rng.int rng s.bits }
+  | Mem_over_time { seqs; sites } ->
+      let s = Rng.choose rng sites in
+      Machine.Flip_mem
+        { seq = Rng.choose rng seqs; addr = s.addr; bit = Rng.int rng s.bits }
+
+(** Derive the internal-location target of a region instance. *)
+let internal_target (prog : Prog.t) (trace : Trace.t)
+    (inst : Region.instance) : target =
+  Internal { sites = writing_sites prog trace ~lo:inst.lo ~hi:inst.hi }
+
+(** Derive the input-location target of a region instance, using the
+    fault-free DDDG for input classification. *)
+let input_target (prog : Prog.t) (trace : Trace.t) (access : Access.t)
+    (inst : Region.instance) : target =
+  let g = Dddg.build trace access ~lo:inst.lo ~hi:inst.hi in
+  let entry_seq = (Trace.get trace inst.lo).seq in
+  let sites =
+    Dddg.input_mem_addrs g
+    |> List.map (fun addr ->
+           let bits =
+             match Prog.type_of_addr prog addr with
+             | Some Ty.I64 -> 32
+             | Some Ty.F64 | None -> 64
+           in
+           { addr; bits })
+    |> Array.of_list
+  in
+  Input { entry_seq; sites }
+
+(** Whole-program target: every value-writing dynamic instruction. *)
+let whole_program_target (prog : Prog.t) (trace : Trace.t) : target =
+  Internal { sites = writing_sites prog trace ~lo:0 ~hi:(Trace.length trace) }
+
+(** Fault sites restricted to the dynamic instructions of one function
+    (all its activations).  Used to measure the resilience of a
+    specific routine, e.g. the hardened [sprnvc] of Use Case 1. *)
+let function_target (prog : Prog.t) (trace : Trace.t) (fname : string) :
+    target =
+  let fidx = Prog.func_index prog fname in
+  let sites = ref [] in
+  Trace.iter
+    (fun (e : Trace.event) ->
+      if e.fidx = fidx && Array.length e.writes > 0 then
+        sites := { seq = e.seq; bits = event_bits prog e } :: !sites)
+    trace;
+  Internal { sites = Array.of_list !sites }
+
+(** Soft errors in the memory of named variables while [fname] is
+    executing: the Use Case 1 scenario — corruption landing in the
+    global [v]/[iv] arrays during [sprnvc], which the hardened variant
+    overwrites at copy-back. *)
+let memory_during_function_target (prog : Prog.t) (trace : Trace.t)
+    ~(fname : string) ~(vars : string list) : target =
+  let fidx = Prog.func_index prog fname in
+  let seqs = ref [] in
+  Trace.iter
+    (fun (e : Trace.event) -> if e.fidx = fidx then seqs := e.seq :: !seqs)
+    trace;
+  let sites =
+    List.concat_map
+      (fun name ->
+        match Prog.find_symbol prog name with
+        | None -> invalid_arg ("memory target: unknown symbol " ^ name)
+        | Some s ->
+            let size = List.fold_left ( * ) 1 s.Prog.sym_dims in
+            let bits = match s.Prog.sym_ty with Ty.I64 -> 32 | Ty.F64 -> 64 in
+            List.init (max 1 size) (fun k -> { addr = s.Prog.sym_addr + k; bits }))
+      vars
+  in
+  Mem_over_time { seqs = Array.of_list !seqs; sites = Array.of_list sites }
+
+(* --- campaigns -------------------------------------------------------- *)
+
+type config = {
+  seed : int;
+  confidence : float;
+  margin : float;
+  max_trials : int option;  (** cap for quick runs; [None] = statistical n *)
+  budget_factor : int;      (** hang budget = factor * fault-free count *)
+}
+
+let default_config =
+  { seed = 42; confidence = 0.95; margin = 0.03; max_trials = None; budget_factor = 20 }
+
+(** Number of trials the configuration implies for a target. *)
+let trials_for (cfg : config) (t : target) : int =
+  let n =
+    Stats.sample_size ~population:(target_population t)
+      ~confidence:cfg.confidence ~margin:cfg.margin
+  in
+  match cfg.max_trials with Some m -> min m n | None -> n
+
+(** Run a campaign against one target.  [clean_instructions] is the
+    fault-free dynamic instruction count (for the hang budget). *)
+let run (prog : Prog.t) ~(verify : Machine.result -> bool)
+    ~(clean_instructions : int) ?(cfg = default_config) (t : target) : counts =
+  let trials = trials_for cfg t in
+  let budget = cfg.budget_factor * max 1 clean_instructions in
+  let rng = Rng.create ~seed:cfg.seed in
+  let rec go i acc =
+    if i >= trials then acc
+    else if target_population t = 0 then acc
+    else
+      let fault = sample_fault rng t in
+      go (i + 1) (add_outcome acc (run_one prog ~budget ~verify fault))
+  in
+  go 0 zero_counts

@@ -1,0 +1,82 @@
+(** Fault-injection campaigns (the FlipIt substitute): sample fault
+    sites uniformly from a target population, run once per fault, and
+    classify each run as Verification Success, Verification Failed
+    (SDC), or Crashed (trap or hang). *)
+
+type outcome_class = Success | Failed | Crashed
+
+type counts = { success : int; failed : int; crashed : int; trials : int }
+
+val zero_counts : counts
+val add_outcome : counts -> outcome_class -> counts
+
+val success_rate : counts -> float
+(** Equation 1 of the paper. *)
+
+val pp_counts : Format.formatter -> counts -> unit
+
+val run_one :
+  Prog.t ->
+  budget:int ->
+  verify:(Machine.result -> bool) ->
+  Machine.fault ->
+  outcome_class
+
+(** A fault site carries the width of the datum it corrupts: the
+    paper's subjects are C programs whose integers are 32-bit, so
+    integer-typed destinations expose 32 candidate bits while doubles
+    expose all 64. *)
+type site = { seq : int; bits : int }
+
+type input_site = { addr : int; bits : int }
+
+val event_bits : Prog.t -> Trace.event -> int
+(** Width of the value written by a trace event (from its opcode or the
+    symbol table's type of the touched memory). *)
+
+val writing_sites : Prog.t -> Trace.t -> lo:int -> hi:int -> site array
+
+type target =
+  | Internal of { sites : site array }
+      (** flip a destination bit of one of these dynamic instructions *)
+  | Input of { entry_seq : int; sites : input_site array }
+      (** flip a bit of an input memory word at region entry *)
+  | Mem_over_time of { seqs : int array; sites : input_site array }
+      (** flip a bit of one of these memory words at a random point of
+          an execution window (soft errors in resident data) *)
+
+val target_population : target -> int
+val sample_fault : Rng.t -> target -> Machine.fault
+
+val internal_target : Prog.t -> Trace.t -> Region.instance -> target
+val input_target : Prog.t -> Trace.t -> Access.t -> Region.instance -> target
+val whole_program_target : Prog.t -> Trace.t -> target
+
+val function_target : Prog.t -> Trace.t -> string -> target
+(** Sites restricted to one function's dynamic instructions. *)
+
+val memory_during_function_target :
+  Prog.t -> Trace.t -> fname:string -> vars:string list -> target
+(** Soft errors in the memory of named variables while [fname] runs —
+    the Use Case 1 scenario (v/iv corruption during sprnvc). *)
+
+type config = {
+  seed : int;
+  confidence : float;
+  margin : float;
+  max_trials : int option;  (** cap for quick runs; [None] = full design *)
+  budget_factor : int;      (** hang budget = factor x fault-free count *)
+}
+
+val default_config : config
+(** Seed 42, the paper's 95%/3% design, budget factor 20. *)
+
+val trials_for : config -> target -> int
+
+val run :
+  Prog.t ->
+  verify:(Machine.result -> bool) ->
+  clean_instructions:int ->
+  ?cfg:config ->
+  target ->
+  counts

@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Fault-injection campaigns must be reproducible run-to-run, so the
+    framework never uses the ambient [Random] state: every campaign
+    owns a [Rng.t] seeded explicitly. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 (t : t) : int64 =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform integer in [0, bound). *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's 63-bit native int *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+(** Uniform float in [0, 1). *)
+let float (t : t) : float =
+  let bits53 = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits53 *. (1.0 /. 9007199254740992.0)
+
+(** Pick a uniform element of a non-empty array. *)
+let choose (t : t) (a : 'a array) : 'a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+(** Fork an independent stream (for per-trial or per-domain use). *)
+let split (t : t) : t = { state = next_int64 t }

@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers (splitmix64).  Fault-injection
+    campaigns never touch the ambient [Random] state: every campaign
+    owns an explicitly seeded stream, so results reproduce exactly. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, bound).
+    @raise Invalid_argument if the bound is not positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val split : t -> t
+(** Fork an independent stream. *)

@@ -1,0 +1,67 @@
+(** Statistics for fault-injection campaigns.
+
+    The number of injections follows the statistical design of Leveugle
+    et al. (DATE 2009), which both the paper's Section IV-C (95%
+    confidence, 3% margin) and Section VII (99%, 1%) use. *)
+
+(** z-score of a two-sided confidence level.  The two levels used by
+    the paper are tabulated exactly; anything else is approximated by
+    the nearest of the supported levels. *)
+let z_of_confidence (c : float) : float =
+  if c >= 0.995 then 2.807
+  else if c >= 0.99 then 2.576
+  else if c >= 0.98 then 2.326
+  else if c >= 0.95 then 1.960
+  else if c >= 0.90 then 1.645
+  else 1.282
+
+(** [sample_size ~population ~confidence ~margin] — the number of fault
+    injections needed to estimate a proportion over [population] fault
+    sites at the given confidence level and margin of error, with the
+    conservative p = 0.5:
+
+    n = N / (1 + e^2 (N - 1) / (z^2 p (1 - p))) *)
+let sample_size ~(population : int) ~(confidence : float) ~(margin : float) :
+    int =
+  if population <= 0 then 0
+  else begin
+    let n = Float.of_int population in
+    let z = z_of_confidence confidence in
+    let p = 0.5 in
+    let e = margin in
+    let num = n in
+    let den = 1.0 +. (e *. e *. (n -. 1.0) /. (z *. z *. p *. (1.0 -. p))) in
+    let s = Float.to_int (Float.ceil (num /. den)) in
+    max 1 (min population s)
+  end
+
+(** Wilson score interval for a binomial proportion: a confidence
+    interval on a measured success rate. *)
+let wilson_interval ~(successes : int) ~(trials : int) ~(confidence : float) :
+    float * float =
+  if trials = 0 then (0.0, 1.0)
+  else begin
+    let z = z_of_confidence confidence in
+    let n = Float.of_int trials in
+    let p = Float.of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z /. denom *. Float.sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+    in
+    (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+  end
+
+let mean (xs : float array) : float =
+  if Array.length xs = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 xs /. Float.of_int (Array.length xs)
+
+let stddev (xs : float array) : float =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    Float.sqrt (ss /. Float.of_int (n - 1))
+  end

@@ -1,0 +1,20 @@
+(** Statistics for fault-injection campaigns: the Leveugle et al.
+    (DATE 2009) sample-size design the paper uses (95%/3% for the
+    evaluation, 99%/1% for the use cases), and confidence intervals on
+    measured success rates. *)
+
+val z_of_confidence : float -> float
+(** z-score of a two-sided confidence level (tabulated). *)
+
+val sample_size : population:int -> confidence:float -> margin:float -> int
+(** Injections needed to estimate a proportion over [population] fault
+    sites, with the conservative p = 0.5:
+    n = N / (1 + e^2 (N-1) / (z^2 p (1-p))). *)
+
+val wilson_interval :
+  successes:int -> trials:int -> confidence:float -> float * float
+(** Wilson score interval on a binomial proportion. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+(** Sample standard deviation (n-1); 0 for fewer than two samples. *)

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Fmt Instr List Option Printf String Ty

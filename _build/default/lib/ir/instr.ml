@@ -1,0 +1,81 @@
+(** IR instructions.
+
+    A function body is a flat array of instructions; control flow uses
+    absolute indices into that array (the compiler resolves labels).
+    Registers are per-activation virtual registers, freely reusable —
+    the IR is three-address code, not SSA, which mirrors the way the
+    paper treats machine state (a register is a location whose value
+    changes over time). *)
+
+type reg = int
+
+(** Intrinsic operations.  They are the only instructions with effects
+    outside the register file / memory words. *)
+type intr =
+  | Randlc
+      (** NPB linear congruential generator: args = [state_addr; a];
+          reads and updates the state word in memory, returns a double
+          in (0,1).  Deterministic, so faulty and fault-free runs stay
+          aligned. *)
+  | Print of string
+      (** C-style format print: the formatted text is appended to the
+          VM output buffer.  Formats with limited precision (["%12.6e"])
+          are where the Data Truncation pattern lives. *)
+  | MpiSend   (** args = [dest_rank; tag; value] *)
+  | MpiRecv   (** args = [src_rank; tag]; returns the received value *)
+  | MpiAllreduceSum  (** args = [value]; returns the sum across ranks *)
+  | MpiBarrier
+  | MpiRank   (** returns the executing rank *)
+  | MpiSize   (** returns the number of ranks *)
+
+type t =
+  | Const of reg * int64        (** dst <- immediate bit pattern *)
+  | Bin of Op.bin * reg * reg * reg  (** dst <- op a b *)
+  | Un of Op.un * reg * reg     (** dst <- op a *)
+  | Load of reg * reg           (** dst <- mem[addr] *)
+  | Store of reg * reg          (** mem[addr] <- src; [Store (src, addr)] *)
+  | Jmp of int
+  | Bnz of reg * int * int      (** if cond <> 0 then goto l1 else l2 *)
+  | Call of int * reg array * reg option
+      (** call function [fidx] with argument registers; optional result *)
+  | Ret of reg option
+  | Intr of intr * reg array * reg option
+  | Mark of int                 (** trace marker (e.g. main-loop iteration) *)
+
+let intr_to_string = function
+  | Randlc -> "randlc"
+  | Print f -> Printf.sprintf "print %S" f
+  | MpiSend -> "mpi_send"
+  | MpiRecv -> "mpi_recv"
+  | MpiAllreduceSum -> "mpi_allreduce_sum"
+  | MpiBarrier -> "mpi_barrier"
+  | MpiRank -> "mpi_rank"
+  | MpiSize -> "mpi_size"
+
+let pp ppf = function
+  | Const (d, v) -> Fmt.pf ppf "r%d <- const 0x%Lx" d v
+  | Bin (op, d, a, b) -> Fmt.pf ppf "r%d <- %a r%d r%d" d Op.pp_bin op a b
+  | Un (op, d, a) -> Fmt.pf ppf "r%d <- %a r%d" d Op.pp_un op a
+  | Load (d, a) -> Fmt.pf ppf "r%d <- load [r%d]" d a
+  | Store (s, a) -> Fmt.pf ppf "store r%d -> [r%d]" s a
+  | Jmp l -> Fmt.pf ppf "jmp %d" l
+  | Bnz (c, l1, l2) -> Fmt.pf ppf "bnz r%d %d %d" c l1 l2
+  | Call (f, args, ret) ->
+      Fmt.pf ppf "%acall f%d(%a)"
+        (fun ppf -> function
+          | Some r -> Fmt.pf ppf "r%d <- " r
+          | None -> ())
+        ret f
+        Fmt.(array ~sep:comma (fun ppf r -> Fmt.pf ppf "r%d" r))
+        args
+  | Ret None -> Fmt.string ppf "ret"
+  | Ret (Some r) -> Fmt.pf ppf "ret r%d" r
+  | Intr (i, args, ret) ->
+      Fmt.pf ppf "%a%s(%a)"
+        (fun ppf -> function
+          | Some r -> Fmt.pf ppf "r%d <- " r
+          | None -> ())
+        ret (intr_to_string i)
+        Fmt.(array ~sep:comma (fun ppf r -> Fmt.pf ppf "r%d" r))
+        args
+  | Mark m -> Fmt.pf ppf "mark %d" m

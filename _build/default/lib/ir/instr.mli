@@ -1,0 +1,38 @@
+(** IR instructions: three-address code over per-activation virtual
+    registers, with control flow as absolute indices into the enclosing
+    function's instruction array. *)
+
+type reg = int
+
+type intr =
+  | Randlc
+      (** NPB linear congruential generator; args = [state_addr; a].
+          Reads and updates the state word in memory, returns a double
+          in (0,1).  Deterministic, so faulty and fault-free runs stay
+          aligned. *)
+  | Print of string
+      (** C-style formatted print into the VM output buffer.  Formats
+          with limited precision (["%12.6e"]) are Data Truncation
+          sites. *)
+  | MpiSend            (** args = [dest_rank; tag; value] *)
+  | MpiRecv            (** args = [src_rank; tag]; returns the value *)
+  | MpiAllreduceSum    (** args = [value]; returns the global sum *)
+  | MpiBarrier
+  | MpiRank
+  | MpiSize
+
+type t =
+  | Const of reg * int64
+  | Bin of Op.bin * reg * reg * reg  (** dst <- op a b *)
+  | Un of Op.un * reg * reg
+  | Load of reg * reg                (** dst <- mem[addr] *)
+  | Store of reg * reg               (** [Store (src, addr)] *)
+  | Jmp of int
+  | Bnz of reg * int * int           (** if cond <> 0 goto l1 else l2 *)
+  | Call of int * reg array * reg option
+  | Ret of reg option
+  | Intr of intr * reg array * reg option
+  | Mark of int                      (** trace marker (e.g. iteration) *)
+
+val intr_to_string : intr -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** Data locations.
+
+    A location is anything a fault can corrupt and an analysis can track:
+    a virtual register inside one function activation, or a word of the
+    flat global memory.  Registers are qualified by an activation id so
+    that re-entrant calls of the same function do not alias in the
+    analyses (the tracer assigns a fresh activation id per call). *)
+
+type t =
+  | Reg of int * int  (** [Reg (activation, register_index)] *)
+  | Mem of int        (** [Mem address] — word address in global memory *)
+
+let equal a b =
+  match (a, b) with
+  | Reg (a1, r1), Reg (a2, r2) -> a1 = a2 && r1 = r2
+  | Mem m1, Mem m2 -> m1 = m2
+  | Reg _, Mem _ | Mem _, Reg _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Reg (a1, r1), Reg (a2, r2) ->
+      let c = Int.compare a1 a2 in
+      if c <> 0 then c else Int.compare r1 r2
+  | Mem m1, Mem m2 -> Int.compare m1 m2
+  | Reg _, Mem _ -> -1
+  | Mem _, Reg _ -> 1
+
+let hash = function
+  | Reg (a, r) -> (a * 8191) + r
+  | Mem m -> m lxor 0x55555555
+
+let is_mem = function Mem _ -> true | Reg _ -> false
+
+let pp ppf = function
+  | Reg (a, r) -> Fmt.pf ppf "r%d@%d" r a
+  | Mem m -> Fmt.pf ppf "[%d]" m
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

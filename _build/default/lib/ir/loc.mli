@@ -1,0 +1,19 @@
+(** Data locations: anything a fault can corrupt and an analysis can
+    track — a virtual register inside one function activation, or a
+    word of the flat global memory.  Registers carry an activation id
+    so re-entrant calls do not alias in the analyses. *)
+
+type t =
+  | Reg of int * int  (** [Reg (activation, register_index)] *)
+  | Mem of int        (** word address in global memory *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val is_mem : t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Ord : Set.OrderedType with type t = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

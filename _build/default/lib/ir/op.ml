@@ -1,0 +1,151 @@
+(** Opcodes and their bit-accurate semantics.
+
+    The evaluation functions are total except for the arithmetic traps
+    ([Division_by_zero]), which the VM converts into the Crashed outcome
+    of the fault-manifestation model. *)
+
+type bin =
+  (* integer arithmetic *)
+  | Add | Sub | Mul | Div | Rem
+  (* bitwise *)
+  | And | Or | Xor | Shl | Lshr | Ashr
+  (* float arithmetic *)
+  | Fadd | Fsub | Fmul | Fdiv
+  (* integer comparisons, result is 0/1 as i64 *)
+  | Eq | Ne | Lt | Le | Gt | Ge
+  (* float comparisons *)
+  | Feq | Fne | Flt | Fle | Fgt | Fge
+  (* min/max *)
+  | Imin | Imax | Fmin | Fmax
+
+type un =
+  | Neg        (** integer negation *)
+  | Not        (** bitwise complement *)
+  | Fneg
+  | Fabs
+  | Fsqrt
+  | Fsin
+  | Fcos
+  | Trunc32    (** keep the low 32 bits, sign-extended: the C [(int)] cast
+                   applied to an integer wider than 32 bits *)
+  | FloatOfInt (** signed i64 -> f64 *)
+  | IntOfFloat (** f64 -> i64, C truncation semantics; traps on NaN/overflow *)
+  | F32round   (** round f64 through binary32 and back: models computing in
+                   [float] instead of [double] *)
+
+exception Trap of string
+(** Raised on undefined arithmetic; the VM reports it as a crash. *)
+
+let bin_is_float = function
+  | Fadd | Fsub | Fmul | Fdiv | Feq | Fne | Flt | Fle | Fgt | Fge | Fmin | Fmax
+    ->
+      true
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Lshr | Ashr | Eq | Ne
+  | Lt | Le | Gt | Ge | Imin | Imax ->
+      false
+
+let bin_is_compare = function
+  | Eq | Ne | Lt | Le | Gt | Ge | Feq | Fne | Flt | Fle | Fgt | Fge -> true
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Lshr | Ashr | Fadd
+  | Fsub | Fmul | Fdiv | Imin | Imax | Fmin | Fmax ->
+      false
+
+let bin_is_shift = function
+  | Shl | Lshr | Ashr -> true
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Fadd | Fsub | Fmul | Fdiv
+  | Eq | Ne | Lt | Le | Gt | Ge | Feq | Fne | Flt | Fle | Fgt | Fge | Imin
+  | Imax | Fmin | Fmax ->
+      false
+
+let un_is_truncation = function
+  | Trunc32 | IntOfFloat | F32round -> true
+  | Neg | Not | Fneg | Fabs | Fsqrt | Fsin | Fcos | FloatOfInt -> false
+
+let eval_bin (op : bin) (a : Value.t) (b : Value.t) : Value.t =
+  let f2 g = Value.of_float (g (Value.to_float a) (Value.to_float b)) in
+  let cmpf g = Value.truth (g (Value.to_float a) (Value.to_float b)) in
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Div ->
+      if Int64.equal b 0L then raise (Trap "integer division by zero")
+      else Int64.div a b
+  | Rem ->
+      if Int64.equal b 0L then raise (Trap "integer remainder by zero")
+      else Int64.rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl ->
+      let s = Int64.to_int b land 63 in
+      Int64.shift_left a s
+  | Lshr ->
+      let s = Int64.to_int b land 63 in
+      Int64.shift_right_logical a s
+  | Ashr ->
+      let s = Int64.to_int b land 63 in
+      Int64.shift_right a s
+  | Fadd -> f2 ( +. )
+  | Fsub -> f2 ( -. )
+  | Fmul -> f2 ( *. )
+  | Fdiv -> f2 ( /. )
+  | Eq -> Value.truth (Int64.equal a b)
+  | Ne -> Value.truth (not (Int64.equal a b))
+  | Lt -> Value.truth (Int64.compare a b < 0)
+  | Le -> Value.truth (Int64.compare a b <= 0)
+  | Gt -> Value.truth (Int64.compare a b > 0)
+  | Ge -> Value.truth (Int64.compare a b >= 0)
+  | Feq -> cmpf (fun x y -> Float.compare x y = 0)
+  | Fne -> cmpf (fun x y -> Float.compare x y <> 0)
+  | Flt -> cmpf ( < )
+  | Fle -> cmpf ( <= )
+  | Fgt -> cmpf ( > )
+  | Fge -> cmpf ( >= )
+  | Imin -> if Int64.compare a b <= 0 then a else b
+  | Imax -> if Int64.compare a b >= 0 then a else b
+  | Fmin -> f2 Float.min
+  | Fmax -> f2 Float.max
+
+let eval_un (op : un) (a : Value.t) : Value.t =
+  match op with
+  | Neg -> Int64.neg a
+  | Not -> Int64.lognot a
+  | Fneg -> Value.of_float (-.Value.to_float a)
+  | Fabs -> Value.of_float (Float.abs (Value.to_float a))
+  | Fsqrt ->
+      let x = Value.to_float a in
+      if x < 0.0 then raise (Trap "sqrt of negative value")
+      else Value.of_float (Float.sqrt x)
+  | Fsin -> Value.of_float (Float.sin (Value.to_float a))
+  | Fcos -> Value.of_float (Float.cos (Value.to_float a))
+  | Trunc32 ->
+      (* sign-extend the low 32 bits *)
+      Int64.shift_right (Int64.shift_left a 32) 32
+  | FloatOfInt -> Value.of_float (Int64.to_float a)
+  | IntOfFloat ->
+      let x = Value.to_float a in
+      if Float.is_nan x then raise (Trap "int of NaN")
+      else if Float.abs x >= 9.3e18 then raise (Trap "int of float overflow")
+      else Int64.of_float x
+  | F32round ->
+      Value.of_float (Int32.float_of_bits (Int32.bits_of_float (Value.to_float a)))
+
+let bin_to_string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+  | Feq -> "feq" | Fne -> "fne" | Flt -> "flt" | Fle -> "fle"
+  | Fgt -> "fgt" | Fge -> "fge"
+  | Imin -> "imin" | Imax -> "imax" | Fmin -> "fmin" | Fmax -> "fmax"
+
+let un_to_string = function
+  | Neg -> "neg" | Not -> "not" | Fneg -> "fneg" | Fabs -> "fabs"
+  | Fsqrt -> "fsqrt" | Fsin -> "fsin" | Fcos -> "fcos"
+  | Trunc32 -> "trunc32" | FloatOfInt -> "sitofp"
+  | IntOfFloat -> "fptosi" | F32round -> "f32round"
+
+let pp_bin ppf op = Fmt.string ppf (bin_to_string op)
+let pp_un ppf op = Fmt.string ppf (un_to_string op)

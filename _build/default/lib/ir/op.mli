@@ -1,0 +1,51 @@
+(** Opcodes and their bit-accurate semantics.
+
+    Evaluation is total except for the arithmetic traps ({!Trap}),
+    which the VM converts into the Crashed outcome of the
+    fault-manifestation model. *)
+
+type bin =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Feq | Fne | Flt | Fle | Fgt | Fge
+  | Imin | Imax | Fmin | Fmax
+
+type un =
+  | Neg
+  | Not
+  | Fneg
+  | Fabs
+  | Fsqrt
+  | Fsin
+  | Fcos
+  | Trunc32     (** keep the low 32 bits, sign-extended: the C [(int)]
+                    cast on a wider integer *)
+  | FloatOfInt
+  | IntOfFloat  (** C truncation semantics; traps on NaN and overflow *)
+  | F32round    (** round through binary32 and back: computing in
+                    [float] instead of [double] *)
+
+exception Trap of string
+(** Undefined arithmetic: division by zero, sqrt of a negative value,
+    int-of-NaN.  Reported by the VM as a crash. *)
+
+val bin_is_float : bin -> bool
+val bin_is_compare : bin -> bool
+val bin_is_shift : bin -> bool
+
+val un_is_truncation : un -> bool
+(** The narrowing conversions that host the Data Truncation pattern. *)
+
+val eval_bin : bin -> Value.t -> Value.t -> Value.t
+(** Shift amounts are taken modulo 64, like hardware.
+    @raise Trap on integer division/remainder by zero. *)
+
+val eval_un : un -> Value.t -> Value.t
+(** @raise Trap on sqrt of a negative value or int-of-NaN/overflow. *)
+
+val bin_to_string : bin -> string
+val un_to_string : un -> string
+val pp_bin : Format.formatter -> bin -> unit
+val pp_un : Format.formatter -> un -> unit

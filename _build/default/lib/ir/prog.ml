@@ -1,0 +1,170 @@
+(** IR programs.
+
+    A program is a set of functions plus a static description of the
+    global memory image.  Each instruction carries parallel metadata:
+    the source line it was compiled from and the static code region it
+    belongs to (or -1).  Code regions are the unit of the paper's
+    analysis: a first-level inner loop, or a block between two such
+    loops, of the program's main loop. *)
+
+type func = {
+  fname : string;
+  nregs : int;  (** number of virtual registers used by the body *)
+  code : Instr.t array;
+  lines : int array;    (** source line per instruction *)
+  regions : int array;  (** static region id per instruction, or -1 *)
+}
+
+type region_info = {
+  rid : int;            (** dense region id, also index into [regions] *)
+  rname : string;       (** e.g. "cg_b" *)
+  line_lo : int;
+  line_hi : int;
+}
+
+type symbol = {
+  sym_name : string;
+  sym_addr : int;        (** base word address *)
+  sym_ty : Ty.t;
+  sym_dims : int list;   (** [] for scalars *)
+  sym_scope : string;    (** "" for globals, else the owning function *)
+}
+
+type t = {
+  funcs : func array;
+  entry : int;              (** index of the entry function *)
+  mem_size : int;           (** words of global memory *)
+  init_mem : (int * int64) list;  (** initial non-zero memory words *)
+  region_table : region_info array;
+  mark_names : string array;  (** names of trace markers, index = mark id *)
+  symbols : symbol list;    (** memory map of named variables *)
+}
+
+let func_index (p : t) (name : string) : int =
+  let rec find i =
+    if i >= Array.length p.funcs then
+      invalid_arg (Printf.sprintf "Prog.func_index: no function %S" name)
+    else if String.equal p.funcs.(i).fname name then i
+    else find (i + 1)
+  in
+  find 0
+
+let region_by_name (p : t) (name : string) : region_info =
+  let rec find i =
+    if i >= Array.length p.region_table then
+      invalid_arg (Printf.sprintf "Prog.region_by_name: no region %S" name)
+    else if String.equal p.region_table.(i).rname name then p.region_table.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let mark_id (p : t) (name : string) : int =
+  let rec find i =
+    if i >= Array.length p.mark_names then
+      invalid_arg (Printf.sprintf "Prog.mark_id: no mark %S" name)
+    else if String.equal p.mark_names.(i) name then i
+    else find (i + 1)
+  in
+  find 0
+
+(** Find a named variable's memory mapping.  [scope] narrows the search
+    to one function's frame; by default globals are searched first,
+    then every frame. *)
+let find_symbol ?(scope = "") (p : t) (name : string) : symbol option =
+  let matches (s : symbol) =
+    String.equal s.sym_name name
+    && (String.equal scope "" || String.equal s.sym_scope scope)
+  in
+  match List.find_opt (fun s -> matches s && String.equal s.sym_scope "") p.symbols with
+  | Some s -> Some s
+  | None -> List.find_opt matches p.symbols
+
+(** Declared type of the variable occupying a memory word, if any. *)
+let type_of_addr (p : t) (addr : int) : Ty.t option =
+  let covers (s : symbol) =
+    let size = List.fold_left ( * ) 1 s.sym_dims in
+    addr >= s.sym_addr && addr < s.sym_addr + size
+  in
+  Option.map (fun s -> s.sym_ty) (List.find_opt covers p.symbols)
+
+(** Word address of an array element, via the symbol table. *)
+let addr_of_element ?scope (p : t) (name : string) (indices : int list) : int =
+  match find_symbol ?scope p name with
+  | None -> invalid_arg (Printf.sprintf "addr_of_element: unknown symbol %s" name)
+  | Some s ->
+      if List.length indices <> List.length s.sym_dims then
+        invalid_arg (Printf.sprintf "addr_of_element: %s expects %d indices"
+                       name (List.length s.sym_dims));
+      let off =
+        List.fold_left2 (fun acc ix dim -> (acc * dim) + ix) 0
+          (0 :: indices)
+          (1 :: s.sym_dims)
+      in
+      s.sym_addr + off
+
+(** Total static instruction count over all functions. *)
+let static_size (p : t) : int =
+  Array.fold_left (fun acc f -> acc + Array.length f.code) 0 p.funcs
+
+let pp_func ppf (f : func) =
+  Fmt.pf ppf "@[<v2>func %s (%d regs):" f.fname f.nregs;
+  Array.iteri
+    (fun i ins ->
+      Fmt.pf ppf "@,%4d: %a  ; line %d region %d" i Instr.pp ins f.lines.(i)
+        f.regions.(i))
+    f.code;
+  Fmt.pf ppf "@]"
+
+let pp ppf (p : t) =
+  Fmt.pf ppf "@[<v>program: %d funcs, entry %d, mem %d words@,"
+    (Array.length p.funcs) p.entry p.mem_size;
+  Array.iter (fun f -> Fmt.pf ppf "%a@," pp_func f) p.funcs;
+  Fmt.pf ppf "@]"
+
+(** Structural sanity checks: branch targets in range, register indices
+    within [nregs], function indices valid, region ids within the region
+    table.  Raises [Invalid_argument] on the first violation. *)
+let validate (p : t) : unit =
+  let nfuncs = Array.length p.funcs in
+  let nregions = Array.length p.region_table in
+  if p.entry < 0 || p.entry >= nfuncs then invalid_arg "validate: bad entry";
+  Array.iter
+    (fun f ->
+      let n = Array.length f.code in
+      if Array.length f.lines <> n || Array.length f.regions <> n then
+        invalid_arg (f.fname ^ ": metadata length mismatch");
+      let chk_reg r =
+        if r < 0 || r >= f.nregs then
+          invalid_arg (Printf.sprintf "%s: register r%d out of range" f.fname r)
+      in
+      let chk_lbl l =
+        if l < 0 || l >= n then
+          invalid_arg (Printf.sprintf "%s: branch target %d out of range" f.fname l)
+      in
+      Array.iteri
+        (fun i ins ->
+          let r = f.regions.(i) in
+          if r < -1 || r >= nregions then
+            invalid_arg (Printf.sprintf "%s: bad region id %d" f.fname r);
+          match (ins : Instr.t) with
+          | Const (d, _) -> chk_reg d
+          | Bin (_, d, a, b) -> chk_reg d; chk_reg a; chk_reg b
+          | Un (_, d, a) -> chk_reg d; chk_reg a
+          | Load (d, a) -> chk_reg d; chk_reg a
+          | Store (s, a) -> chk_reg s; chk_reg a
+          | Jmp l -> chk_lbl l
+          | Bnz (c, l1, l2) -> chk_reg c; chk_lbl l1; chk_lbl l2
+          | Call (fi, args, ret) ->
+              if fi < 0 || fi >= nfuncs then
+                invalid_arg (f.fname ^ ": bad callee index");
+              Array.iter chk_reg args;
+              Option.iter chk_reg ret
+          | Ret r -> Option.iter chk_reg r
+          | Intr (_, args, ret) ->
+              Array.iter chk_reg args;
+              Option.iter chk_reg ret
+          | Mark m ->
+              if m < 0 || m >= Array.length p.mark_names then
+                invalid_arg (f.fname ^ ": bad mark id"))
+        f.code)
+    p.funcs

@@ -1,0 +1,67 @@
+(** IR programs: functions, the global memory image, and the metadata
+    the analyses consume — per-instruction source lines and code-region
+    tags, the region table, trace-marker names, and a symbol table
+    mapping variables to memory. *)
+
+type func = {
+  fname : string;
+  nregs : int;
+  code : Instr.t array;
+  lines : int array;    (** source line per instruction *)
+  regions : int array;  (** static region id per instruction, or -1 *)
+}
+
+type region_info = {
+  rid : int;      (** dense region id *)
+  rname : string; (** e.g. "cg_b" *)
+  line_lo : int;
+  line_hi : int;
+}
+
+type symbol = {
+  sym_name : string;
+  sym_addr : int;       (** base word address *)
+  sym_ty : Ty.t;
+  sym_dims : int list;  (** [] for scalars *)
+  sym_scope : string;   (** "" for globals, else the owning function *)
+}
+
+type t = {
+  funcs : func array;
+  entry : int;
+  mem_size : int;
+  init_mem : (int * int64) list;
+  region_table : region_info array;
+  mark_names : string array;
+  symbols : symbol list;
+}
+
+val func_index : t -> string -> int
+(** @raise Invalid_argument on an unknown function name. *)
+
+val region_by_name : t -> string -> region_info
+(** @raise Invalid_argument on an unknown region name. *)
+
+val mark_id : t -> string -> int
+(** @raise Invalid_argument on an unknown marker name. *)
+
+val find_symbol : ?scope:string -> t -> string -> symbol option
+(** Globals are preferred; [scope] narrows to one function's frame. *)
+
+val type_of_addr : t -> int -> Ty.t option
+(** Declared type of the variable occupying a memory word, if any. *)
+
+val addr_of_element : ?scope:string -> t -> string -> int list -> int
+(** Word address of an array element (row-major), via the symbol table.
+    @raise Invalid_argument on an unknown symbol or wrong arity. *)
+
+val static_size : t -> int
+(** Total static instruction count over all functions. *)
+
+val pp_func : Format.formatter -> func -> unit
+val pp : Format.formatter -> t -> unit
+
+val validate : t -> unit
+(** Structural sanity: register indices, branch targets, callee
+    indices, region ids, metadata lengths.
+    @raise Invalid_argument on the first violation. *)

@@ -1,0 +1,20 @@
+(** Value types of the FlipTracker IR.
+
+    The IR is deliberately small: 64-bit integers and 64-bit IEEE-754
+    floats.  Narrower widths (the i32 truncation pattern, float rounded
+    through binary32) are modelled by explicit conversion instructions
+    rather than by distinct storage types, which keeps every location a
+    single 64-bit pattern — the granularity at which bits are flipped. *)
+
+type t =
+  | I64  (** 64-bit two's-complement integer *)
+  | F64  (** IEEE-754 binary64 *)
+
+let equal a b =
+  match (a, b) with I64, I64 | F64, F64 -> true | I64, F64 | F64, I64 -> false
+
+let pp ppf = function
+  | I64 -> Fmt.string ppf "i64"
+  | F64 -> Fmt.string ppf "f64"
+
+let to_string = function I64 -> "i64" | F64 -> "f64"

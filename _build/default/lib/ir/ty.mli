@@ -1,0 +1,14 @@
+(** Value types of the FlipTracker IR.
+
+    Two storage types only: every location holds a 64-bit pattern that
+    an instruction interprets as an integer or an IEEE-754 double.
+    Narrower widths (C's 32-bit [int], binary32 floats) are modelled by
+    explicit conversion instructions, keeping bit flips well defined on
+    any location. *)
+
+type t = I64  (** 64-bit two's-complement integer *)
+       | F64  (** IEEE-754 binary64 *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

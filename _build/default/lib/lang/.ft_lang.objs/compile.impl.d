@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Array Ast Char Format Hashtbl Instr Int64 List Op Prog String Ty Value

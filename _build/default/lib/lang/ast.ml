@@ -1,0 +1,129 @@
+(** Abstract syntax of the mini-C language in which the benchmark
+    programs are written.
+
+    The language is a small imperative subset of C: typed scalars and
+    multi-dimensional arrays (row-major), arithmetic with explicit
+    conversions, [if]/[while]/[for], non-recursive functions with value
+    (scalar) and reference (array) parameters, C-style formatted
+    printing, and the NPB [randlc] generator as a primitive.
+
+    Two constructs carry the paper's methodology into the IR:
+    {ul
+    {- [SRegion (name, line_lo, line_hi, body)] marks a code region — a
+       first-level inner loop of the main loop, or the block between two
+       such loops.  The compiler stamps every instruction compiled from
+       [body] with the region id.}
+    {- [SMark name] emits a trace marker; apps place one at the top of
+       the main loop body so analyses can split the trace by
+       iteration.}} *)
+
+type ty = Ty.t
+
+type binop =
+  | Add | Sub | Mul | Div | Rem          (* arithmetic, overloaded on type *)
+  | Shl | Shr | AndB | OrB | XorB        (* integer-only bit operations *)
+  | Eq | Ne | Lt | Le | Gt | Ge          (* comparisons, result i64 0/1 *)
+  | Min | Max
+
+type unop =
+  | Neg
+  | Sqrt
+  | Abs
+  | Sin
+  | Cos
+  | NotB        (* integer-only bitwise complement *)
+  | Trunc32     (* C (int) cast on an integer value *)
+  | ToFloat     (* i64 -> f64 *)
+  | ToInt       (* f64 -> i64, truncating *)
+  | F32         (* round f64 through binary32 *)
+
+type expr =
+  | Int of int64
+  | Flt of float
+  | Var of string
+  | Idx of string * expr list       (* a[i], a[i][j], ... *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | CallE of string * expr list     (* call of a value-returning function *)
+  | Randlc of string * expr         (* randlc(&state_var, a) *)
+  | MpiRank
+  | MpiSize
+  | MpiRecv of expr * expr          (* src, tag *)
+  | MpiAllreduce of expr            (* sum across ranks *)
+
+type stmt =
+  | SAssign of string * expr
+  | SStore of string * expr list * expr   (* a[i..] = e *)
+  | SIf of expr * block * block
+  | SWhile of expr * block
+  | SFor of string * expr * expr * block  (* for v = lo; v < hi; v++ *)
+  | SForStep of string * expr * expr * expr * block  (* lo, hi, step *)
+  | SCall of string * expr list
+  | SRet of expr option
+  | SPrint of string * expr list
+  | SMark of string
+  | SRegion of string * int * int * block (* name, line_lo, line_hi *)
+  | SMpiSend of expr * expr * expr        (* dest, tag, value *)
+  | SMpiBarrier
+
+and block = stmt list
+
+type param = {
+  pname : string;
+  pty : ty;
+  parr : bool;  (** arrays are passed as a base address *)
+  pdims : int list;  (** declared dims for array params (for indexing) *)
+}
+
+type decl =
+  | DScalar of string * ty
+  | DArr of string * ty * int list  (* dims, row-major *)
+
+type fundef = {
+  fname : string;
+  params : param list;
+  ret : ty option;
+  locals : decl list;
+  body : block;
+}
+
+type program = {
+  globals : decl list;
+  funs : fundef list;
+  entry : string;
+}
+
+(* Convenience constructors, used pervasively by the benchmark apps. *)
+
+let i n = Int (Int64.of_int n)
+let f x = Flt x
+let v name = Var name
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( / ) a b = Bin (Div, a, b)
+let ( % ) a b = Bin (Rem, a, b)
+let ( << ) a b = Bin (Shl, a, b)
+let ( >> ) a b = Bin (Shr, a, b)
+let ( &| ) a b = Bin (AndB, a, b)
+let ( ||| ) a b = Bin (OrB, a, b)
+let ( ^| ) a b = Bin (XorB, a, b)
+let ( = ) a b = Bin (Eq, a, b)
+let ( <> ) a b = Bin (Ne, a, b)
+let ( < ) a b = Bin (Lt, a, b)
+let ( <= ) a b = Bin (Le, a, b)
+let ( > ) a b = Bin (Gt, a, b)
+let ( >= ) a b = Bin (Ge, a, b)
+let sqrt_ e = Un (Sqrt, e)
+let abs_ e = Un (Abs, e)
+let sin_ e = Un (Sin, e)
+let cos_ e = Un (Cos, e)
+let neg e = Un (Neg, e)
+let to_float e = Un (ToFloat, e)
+let to_int e = Un (ToInt, e)
+let trunc32 e = Un (Trunc32, e)
+let f32 e = Un (F32, e)
+let idx a es = Idx (a, es)
+let idx1 a e = Idx (a, [ e ])
+let idx2 a e1 e2 = Idx (a, [ e1; e2 ])
+let idx3 a e1 e2 e3 = Idx (a, [ e1; e2; e3 ])

@@ -1,0 +1,125 @@
+(** Abstract syntax of the mini-C language the benchmark programs are
+    written in: typed scalars and multi-dimensional row-major arrays,
+    arithmetic with explicit conversions, [if]/[while]/[for],
+    non-recursive functions (scalars by value, arrays by reference),
+    C-style formatted printing, and the NPB [randlc] generator.
+
+    Methodology hooks: [SRegion (name, line_lo, line_hi, body)] marks a
+    code region (every instruction compiled from [body] is stamped with
+    the region id), and [SMark name] emits a trace marker (apps place
+    one at the top of the main-loop body).
+
+    The convenience operators at the bottom make program construction
+    read like the original C; note that [open Ast] therefore shadows
+    the standard comparison and arithmetic operators — open it in the
+    smallest scope that builds the program. *)
+
+type ty = Ty.t
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr | AndB | OrB | XorB  (** integer-only *)
+  | Eq | Ne | Lt | Le | Gt | Ge    (** result is i64 0/1 *)
+  | Min | Max
+
+type unop =
+  | Neg
+  | Sqrt
+  | Abs
+  | Sin
+  | Cos
+  | NotB     (** integer-only *)
+  | Trunc32  (** C [(int)] cast on an integer value *)
+  | ToFloat
+  | ToInt    (** truncating *)
+  | F32      (** round through binary32 *)
+
+type expr =
+  | Int of int64
+  | Flt of float
+  | Var of string
+  | Idx of string * expr list  (** a[i], a[i][j], ... *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | CallE of string * expr list
+  | Randlc of string * expr    (** randlc(&state_var, a) *)
+  | MpiRank
+  | MpiSize
+  | MpiRecv of expr * expr     (** src, tag *)
+  | MpiAllreduce of expr       (** sum across ranks *)
+
+type stmt =
+  | SAssign of string * expr
+  | SStore of string * expr list * expr
+  | SIf of expr * block * block
+  | SWhile of expr * block
+  | SFor of string * expr * expr * block
+      (** for v = lo; v < hi; v++ — undeclared loop variables are
+          implicitly i64 locals *)
+  | SForStep of string * expr * expr * expr * block
+  | SCall of string * expr list
+  | SRet of expr option
+  | SPrint of string * expr list
+  | SMark of string
+  | SRegion of string * int * int * block  (** name, line_lo, line_hi *)
+  | SMpiSend of expr * expr * expr  (** dest, tag, value *)
+  | SMpiBarrier
+
+and block = stmt list
+
+type param = {
+  pname : string;
+  pty : ty;
+  parr : bool;       (** arrays pass their base address *)
+  pdims : int list;  (** [] declares an unchecked 1-D array parameter *)
+}
+
+type decl = DScalar of string * ty | DArr of string * ty * int list
+
+type fundef = {
+  fname : string;
+  params : param list;
+  ret : ty option;
+  locals : decl list;
+  body : block;
+}
+
+type program = { globals : decl list; funs : fundef list; entry : string }
+
+(** {2 Convenience constructors} *)
+
+val i : int -> expr
+val f : float -> expr
+val v : string -> expr
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( % ) : expr -> expr -> expr
+val ( << ) : expr -> expr -> expr
+val ( >> ) : expr -> expr -> expr
+val ( &| ) : expr -> expr -> expr
+val ( ||| ) : expr -> expr -> expr
+val ( ^| ) : expr -> expr -> expr
+val ( = ) : expr -> expr -> expr
+val ( <> ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+
+val sqrt_ : expr -> expr
+val abs_ : expr -> expr
+val sin_ : expr -> expr
+val cos_ : expr -> expr
+val neg : expr -> expr
+val to_float : expr -> expr
+val to_int : expr -> expr
+val trunc32 : expr -> expr
+val f32 : expr -> expr
+
+val idx : string -> expr list -> expr
+val idx1 : string -> expr -> expr
+val idx2 : string -> expr -> expr -> expr
+val idx3 : string -> expr -> expr -> expr -> expr

@@ -1,0 +1,683 @@
+(** Compiler from the mini-C AST to the FlipTracker IR.
+
+    Lowering decisions that matter for the analyses:
+    {ul
+    {- Every named variable (scalar or array element) lives in global
+       memory, at a statically assigned word address; virtual registers
+       hold only expression temporaries.  Region inputs/outputs are
+       therefore memory locations, as in the paper.}
+    {- There is no recursion (checked), so each function's frame can be
+       allocated statically.}
+    {- Scalar parameters are copied into frame slots on entry; array
+       parameters pass the base address of the caller's array.}
+    {- Instructions are stamped with the source line and the enclosing
+       code region declared by [SRegion].}} *)
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type binding =
+  | BScalar of int * Ty.t                 (* slot address *)
+  | BArr of int * Ty.t * int list         (* static base, elem ty, dims *)
+  | BArrParam of int * Ty.t * int list    (* slot holding base, elem ty, dims *)
+
+type fctx = {
+  fd : Ast.fundef;
+  mutable env : (string * binding) list;  (* locals + params, then globals *)
+  buf : Instr.t array ref;                (* growable code buffer *)
+  mutable len : int;
+  mutable line_buf : int list;            (* reversed *)
+  mutable region_buf : int list;          (* reversed *)
+  mutable nregs : int;
+  mutable rtop : int;
+  mutable cur_line : int;
+  mutable cur_region : int;
+  mutable fixups : (int * int) list;      (* instr index -> label id; patched *)
+  mutable labels : (int * int) list;      (* label id -> position *)
+  mutable next_label : int;
+}
+
+type gctx = {
+  mutable alloc : int;                    (* next free memory word *)
+  globals : (string * binding) list ref;
+  fun_names : string array;               (* name -> index by position *)
+  mutable regions : Prog.region_info list; (* reversed *)
+  mutable marks : string list;            (* insertion order *)
+  mutable symbols : Prog.symbol list;     (* reversed *)
+}
+
+let dims_size dims = List.fold_left (fun a d -> a * d) 1 dims
+
+let alloc_words (g : gctx) n =
+  let a = g.alloc in
+  g.alloc <- g.alloc + n;
+  a
+
+let fun_index (g : gctx) name =
+  let rec find i =
+    if i >= Array.length g.fun_names then err "call of unknown function %s" name
+    else if String.equal g.fun_names.(i) name then i
+    else find (i + 1)
+  in
+  find 0
+
+let mark_id (g : gctx) name =
+  (* [g.marks] is kept in insertion order *)
+  let rec find i = function
+    | [] ->
+        g.marks <- g.marks @ [ name ];
+        i
+    | m :: rest -> if String.equal m name then i else find (i + 1) rest
+  in
+  find 0 g.marks
+
+let add_symbol (g : gctx) ~scope name addr ty dims =
+  g.symbols <-
+    { Prog.sym_name = name; sym_addr = addr; sym_ty = ty; sym_dims = dims;
+      sym_scope = scope }
+    :: g.symbols
+
+let binding_of_decl ?(scope = "") (g : gctx) = function
+  | Ast.DScalar (n, ty) ->
+      let a = alloc_words g 1 in
+      add_symbol g ~scope n a ty [];
+      (n, BScalar (a, ty))
+  | Ast.DArr (n, ty, dims) ->
+      if List.exists (fun d -> d <= 0) dims then err "array %s: bad dims" n;
+      let a = alloc_words g (dims_size dims) in
+      add_symbol g ~scope n a ty dims;
+      (n, BArr (a, ty, dims))
+
+let lookup (c : fctx) name =
+  match List.assoc_opt name c.env with
+  | Some b -> b
+  | None -> err "%s: unbound variable %s" c.fd.fname name
+
+(* --- emission ------------------------------------------------------- *)
+
+let emit (c : fctx) (ins : Instr.t) =
+  let cap = Array.length !(c.buf) in
+  if c.len >= cap then begin
+    let nbuf = Array.make (max 64 (cap * 2)) (Instr.Jmp 0) in
+    Array.blit !(c.buf) 0 nbuf 0 c.len;
+    c.buf := nbuf
+  end;
+  !(c.buf).(c.len) <- ins;
+  c.line_buf <- c.cur_line :: c.line_buf;
+  c.region_buf <- c.cur_region :: c.region_buf;
+  c.len <- c.len + 1
+
+let fresh (c : fctx) =
+  let r = c.rtop in
+  c.rtop <- r + 1;
+  if c.rtop > c.nregs then c.nregs <- c.rtop;
+  r
+
+let new_label (c : fctx) =
+  let l = c.next_label in
+  c.next_label <- l + 1;
+  l
+
+let place (c : fctx) l = c.labels <- (l, c.len) :: c.labels
+
+(* Branches are emitted with the label id in the target field and fixed
+   up once all label positions are known. *)
+let emit_jmp (c : fctx) l =
+  c.fixups <- (c.len, l) :: c.fixups;
+  emit c (Instr.Jmp l)
+
+let emit_bnz (c : fctx) r l1 l2 =
+  c.fixups <- (c.len, -1) :: c.fixups;
+  emit c (Instr.Bnz (r, l1, l2))
+
+let const (c : fctx) bits =
+  let r = fresh c in
+  emit c (Instr.Const (r, bits));
+  r
+
+(* --- expressions ----------------------------------------------------- *)
+
+(* Side tables filled in by [compile] before any function body is
+   lowered, so that calls can be type-checked in one pass. *)
+let ret_types : (string, Ty.t option) Hashtbl.t = Hashtbl.create 16
+let param_types : (string, Ast.param list) Hashtbl.t = Hashtbl.create 16
+
+let bin_op_for (op : Ast.binop) (ty : Ty.t) : Op.bin =
+  match (op, ty) with
+  | Add, I64 -> Add | Add, F64 -> Fadd
+  | Sub, I64 -> Sub | Sub, F64 -> Fsub
+  | Mul, I64 -> Mul | Mul, F64 -> Fmul
+  | Div, I64 -> Div | Div, F64 -> Fdiv
+  | Rem, I64 -> Rem | Rem, F64 -> err "%% on float"
+  | Shl, I64 -> Shl | Shr, I64 -> Ashr
+  | AndB, I64 -> And | OrB, I64 -> Or | XorB, I64 -> Xor
+  | (Shl | Shr | AndB | OrB | XorB), F64 -> err "bit operation on float"
+  | Eq, I64 -> Eq | Ne, I64 -> Ne | Lt, I64 -> Lt
+  | Le, I64 -> Le | Gt, I64 -> Gt | Ge, I64 -> Ge
+  | Eq, F64 -> Feq | Ne, F64 -> Fne | Lt, F64 -> Flt
+  | Le, F64 -> Fle | Gt, F64 -> Fgt | Ge, F64 -> Fge
+  | Min, I64 -> Imin | Max, I64 -> Imax
+  | Min, F64 -> Fmin | Max, F64 -> Fmax
+
+let rec addr_of_index (c : fctx) (g : gctx) name (idxs : Ast.expr list) :
+    int * Ty.t =
+  (* returns (register holding the word address, element type) *)
+  let base_reg, ty, dims =
+    match lookup c name with
+    | BScalar _ -> err "%s: %s is a scalar, not an array" c.fd.fname name
+    | BArr (base, ty, dims) -> (const c (Int64.of_int base), ty, dims)
+    | BArrParam (slot, ty, dims) ->
+        let a = const c (Int64.of_int slot) in
+        let r = fresh c in
+        emit c (Instr.Load (r, a));
+        (r, ty, dims)
+  in
+  if List.length idxs <> List.length dims then
+    err "%s: array %s expects %d indices, got %d" c.fd.fname name
+      (List.length dims) (List.length idxs);
+  (* offset = ((i0 * d1 + i1) * d2 + i2) ... *)
+  let off =
+    List.fold_left2
+      (fun acc idx dim ->
+        let ir, ity = expr c g idx in
+        if not (Ty.equal ity I64) then
+          err "%s: non-integer index into %s" c.fd.fname name;
+        match acc with
+        | None -> Some ir
+        | Some acc ->
+            let dreg = const c (Int64.of_int dim) in
+            let m = fresh c in
+            emit c (Instr.Bin (Mul, m, acc, dreg));
+            let s = fresh c in
+            emit c (Instr.Bin (Add, s, m, ir));
+            Some s)
+      None idxs dims
+  in
+  let addr = fresh c in
+  (match off with
+  | None -> err "%s: empty index list for %s" c.fd.fname name
+  | Some off -> emit c (Instr.Bin (Add, addr, base_reg, off)));
+  (addr, ty)
+
+and expr (c : fctx) (g : gctx) (e : Ast.expr) : int * Ty.t =
+  match e with
+  | Int n ->
+      let r = fresh c in
+      emit c (Instr.Const (r, n));
+      (r, I64)
+  | Flt x ->
+      let r = fresh c in
+      emit c (Instr.Const (r, Value.of_float x));
+      (r, F64)
+  | Var name -> (
+      match lookup c name with
+      | BScalar (slot, ty) ->
+          let a = const c (Int64.of_int slot) in
+          let r = fresh c in
+          emit c (Instr.Load (r, a));
+          (r, ty)
+      | BArr _ | BArrParam _ ->
+          err "%s: array %s used as a scalar" c.fd.fname name)
+  | Idx (name, idxs) ->
+      let addr, ty = addr_of_index c g name idxs in
+      let r = fresh c in
+      emit c (Instr.Load (r, addr));
+      (r, ty)
+  | Bin (op, a, b) ->
+      let ra, ta = expr c g a in
+      let rb, tb = expr c g b in
+      if not (Ty.equal ta tb) then
+        err "%s: type mismatch in binary operation (%s vs %s)" c.fd.fname
+          (Ty.to_string ta) (Ty.to_string tb);
+      let irop = bin_op_for op ta in
+      let r = fresh c in
+      emit c (Instr.Bin (irop, r, ra, rb));
+      let rty = if Op.bin_is_compare irop then Ty.I64 else ta in
+      (r, rty)
+  | Un (op, a) ->
+      let ra, ta = expr c g a in
+      let irop, rty =
+        match (op, ta) with
+        | Ast.Neg, Ty.I64 -> (Op.Neg, Ty.I64)
+        | Ast.Neg, F64 -> (Op.Fneg, F64)
+        | Sqrt, F64 -> (Fsqrt, F64)
+        | Sqrt, I64 -> err "sqrt of integer"
+        | Sin, F64 -> (Fsin, F64)
+        | Cos, F64 -> (Fcos, F64)
+        | (Sin | Cos), I64 -> err "sin/cos of integer"
+        | Abs, F64 -> (Fabs, F64)
+        | Abs, I64 -> err "abs of integer (use max)"
+        | NotB, I64 -> (Not, I64)
+        | NotB, F64 -> err "~ on float"
+        | Trunc32, I64 -> (Trunc32, I64)
+        | Trunc32, F64 -> err "trunc32 on float (use to_int first)"
+        | ToFloat, I64 -> (FloatOfInt, F64)
+        | ToFloat, F64 -> err "to_float of float"
+        | ToInt, F64 -> (IntOfFloat, I64)
+        | ToInt, I64 -> err "to_int of int"
+        | F32, F64 -> (F32round, F64)
+        | F32, I64 -> err "f32 of integer"
+      in
+      let r = fresh c in
+      emit c (Instr.Un (irop, r, ra));
+      (r, rty)
+  | CallE (name, args) -> (
+      let fi = fun_index g name in
+      let rargs = compile_args c g name args in
+      match ret_type_of g name with
+      | None -> err "%s: function %s returns no value" c.fd.fname name
+      | Some rty ->
+          let r = fresh c in
+          emit c (Instr.Call (fi, rargs, Some r));
+          (r, rty))
+  | Randlc (state, a) -> (
+      match lookup c state with
+      | BScalar (slot, F64) ->
+          let sa = const c (Int64.of_int slot) in
+          let ra, ta = expr c g a in
+          if not (Ty.equal ta F64) then err "randlc: multiplier must be f64";
+          let r = fresh c in
+          emit c (Instr.Intr (Randlc, [| sa; ra |], Some r));
+          (r, F64)
+      | BScalar (_, I64) -> err "randlc: state %s must be f64" state
+      | BArr _ | BArrParam _ -> err "randlc: state %s must be a scalar" state)
+  | MpiRank ->
+      let r = fresh c in
+      emit c (Instr.Intr (MpiRank, [||], Some r));
+      (r, I64)
+  | MpiSize ->
+      let r = fresh c in
+      emit c (Instr.Intr (MpiSize, [||], Some r));
+      (r, I64)
+  | MpiRecv (src, tag) ->
+      let rs, ts = expr c g src in
+      let rt, tt = expr c g tag in
+      if not (Ty.equal ts I64 && Ty.equal tt I64) then
+        err "mpi_recv: src and tag must be integers";
+      let r = fresh c in
+      emit c (Instr.Intr (MpiRecv, [| rs; rt |], Some r));
+      (r, F64)
+  | MpiAllreduce e ->
+      let re, te = expr c g e in
+      if not (Ty.equal te F64) then err "mpi_allreduce: value must be f64";
+      let r = fresh c in
+      emit c (Instr.Intr (MpiAllreduceSum, [| re |], Some r));
+      (r, F64)
+
+and ret_type_of (g : gctx) name : Ty.t option =
+  ignore g;
+  match Hashtbl.find_opt ret_types name with
+  | Some t -> t
+  | None -> err "unknown function %s" name
+
+and compile_args (c : fctx) (g : gctx) name (args : Ast.expr list) : int array =
+  let fparams =
+    match Hashtbl.find_opt param_types name with
+    | Some ps -> ps
+    | None -> err "unknown function %s" name
+  in
+  if List.length fparams <> List.length args then
+    err "%s: call of %s with %d args, expected %d" c.fd.fname name
+      (List.length args) (List.length fparams);
+  let regs =
+    List.map2
+      (fun (p : Ast.param) arg ->
+        if p.parr then
+          match arg with
+          | Ast.Var an -> (
+              match lookup c an with
+              | BArr (base, ty, dims) ->
+                  check_arr_param c name p ty dims;
+                  const c (Int64.of_int base)
+              | BArrParam (slot, ty, dims) ->
+                  check_arr_param c name p ty dims;
+                  let a = const c (Int64.of_int slot) in
+                  let r = fresh c in
+                  emit c (Instr.Load (r, a));
+                  r
+              | BScalar _ ->
+                  err "%s: scalar %s passed to array parameter %s" c.fd.fname
+                    an p.pname)
+          | _ ->
+              err "%s: array parameter %s of %s needs an array name"
+                c.fd.fname p.pname name
+        else
+          let r, t = expr c g arg in
+          if not (Ty.equal t p.pty) then
+            err "%s: argument %s of %s has type %s, expected %s" c.fd.fname
+              p.pname name (Ty.to_string t) (Ty.to_string p.pty);
+          r)
+      fparams args
+  in
+  Array.of_list regs
+
+and check_arr_param (c : fctx) fname (p : Ast.param) ty dims =
+  if not (Ty.equal ty p.pty) then
+    err "%s: array element type mismatch for %s of %s" c.fd.fname p.pname fname;
+  match (p.pdims, dims) with
+  | [], _ -> ()  (* unchecked 1-D style parameter *)
+  | pd, d ->
+      let tail l = match l with [] -> [] | _ :: t -> t in
+      if tail pd <> tail d then
+        err "%s: array shape mismatch passing to %s of %s" c.fd.fname p.pname
+          fname
+
+(* --- statements ------------------------------------------------------ *)
+
+let advance_line (c : fctx) hi =
+  if c.cur_line < hi then c.cur_line <- c.cur_line + 1
+
+let rec stmt (c : fctx) (g : gctx) (s : Ast.stmt) : unit =
+  let saved = c.rtop in
+  (match s with
+  | SAssign (name, e) -> (
+      match lookup c name with
+      | BScalar (slot, ty) ->
+          let r, t = expr c g e in
+          if not (Ty.equal t ty) then
+            err "%s: assigning %s value to %s:%s" c.fd.fname (Ty.to_string t)
+              name (Ty.to_string ty);
+          let a = const c (Int64.of_int slot) in
+          emit c (Instr.Store (r, a))
+      | BArr _ | BArrParam _ ->
+          err "%s: assignment to array %s without index" c.fd.fname name)
+  | SStore (name, idxs, e) ->
+      let r, t = expr c g e in
+      let addr, ty = addr_of_index c g name idxs in
+      if not (Ty.equal t ty) then
+        err "%s: storing %s value into %s[]:%s" c.fd.fname (Ty.to_string t)
+          name (Ty.to_string ty);
+      emit c (Instr.Store (r, addr))
+  | SIf (cond, bt, bf) ->
+      let rc, _ = expr c g cond in
+      let lt = new_label c and lf = new_label c and lend = new_label c in
+      emit_bnz c rc lt lf;
+      place c lt;
+      block c g bt;
+      emit_jmp c lend;
+      place c lf;
+      block c g bf;
+      place c lend
+  | SWhile (cond, body) ->
+      let ltest = new_label c and lbody = new_label c and lend = new_label c in
+      place c ltest;
+      let rc, _ = expr c g cond in
+      emit_bnz c rc lbody lend;
+      place c lbody;
+      block c g body;
+      emit_jmp c ltest;
+      place c lend
+  | SFor (var, lo, hi, body) ->
+      stmt c g (SForStep (var, lo, hi, Int 1L, body))
+  | SForStep (var, lo, hi, step, body) ->
+      let slot = for_var_slot c g var in
+      let rlo, tlo = expr c g lo in
+      if not (Ty.equal tlo I64) then err "for %s: bound must be integer" var;
+      let a0 = const c (Int64.of_int slot) in
+      emit c (Instr.Store (rlo, a0));
+      let ltest = new_label c and lbody = new_label c and lend = new_label c in
+      place c ltest;
+      let av = const c (Int64.of_int slot) in
+      let rv = fresh c in
+      emit c (Instr.Load (rv, av));
+      let rhi, thi = expr c g hi in
+      if not (Ty.equal thi I64) then err "for %s: bound must be integer" var;
+      let rc = fresh c in
+      emit c (Instr.Bin (Lt, rc, rv, rhi));
+      emit_bnz c rc lbody lend;
+      place c lbody;
+      block c g body;
+      let av2 = const c (Int64.of_int slot) in
+      let rv2 = fresh c in
+      emit c (Instr.Load (rv2, av2));
+      let rs, ts = expr c g step in
+      if not (Ty.equal ts I64) then err "for %s: step must be integer" var;
+      let rnext = fresh c in
+      emit c (Instr.Bin (Add, rnext, rv2, rs));
+      emit c (Instr.Store (rnext, av2));
+      emit_jmp c ltest;
+      place c lend
+  | SCall (name, args) ->
+      let fi = fun_index g name in
+      let rargs = compile_args c g name args in
+      emit c (Instr.Call (fi, rargs, None))
+  | SRet None -> emit c (Instr.Ret None)
+  | SRet (Some e) ->
+      let r, t = expr c g e in
+      (match Hashtbl.find ret_types c.fd.fname with
+      | Some rt when Ty.equal rt t -> ()
+      | Some rt ->
+          err "%s: returning %s, declared %s" c.fd.fname (Ty.to_string t)
+            (Ty.to_string rt)
+      | None -> err "%s: return with value in void function" c.fd.fname);
+      emit c (Instr.Ret (Some r))
+  | SPrint (fmt, args) ->
+      check_format c fmt args g;
+      let regs = List.map (fun a -> fst (expr c g a)) args in
+      emit c (Instr.Intr (Print fmt, Array.of_list regs, None))
+  | SMark name -> emit c (Instr.Mark (mark_id g name))
+  | SRegion (name, lo, hi, body) ->
+      let rid = List.length g.regions in
+      g.regions <-
+        { Prog.rid; rname = name; line_lo = lo; line_hi = hi } :: g.regions;
+      let saved_region = c.cur_region and saved_line = c.cur_line in
+      c.cur_region <- rid;
+      c.cur_line <- lo;
+      block c g body;
+      c.cur_region <- saved_region;
+      c.cur_line <- saved_line
+  | SMpiSend (dst, tag, value) ->
+      let rd, td = expr c g dst in
+      let rt, tt = expr c g tag in
+      let rv, tv = expr c g value in
+      if not (Ty.equal td I64 && Ty.equal tt I64) then
+        err "mpi_send: dest and tag must be integers";
+      if not (Ty.equal tv F64) then err "mpi_send: value must be f64";
+      emit c (Instr.Intr (MpiSend, [| rd; rt; rv |], None))
+  | SMpiBarrier -> emit c (Instr.Intr (MpiBarrier, [||], None)));
+  c.rtop <- saved
+
+and block (c : fctx) (g : gctx) (b : Ast.block) : unit =
+  List.iter
+    (fun s ->
+      (match s with Ast.SRegion _ -> () | _ -> advance_line c max_int);
+      stmt c g s)
+    b
+
+and for_var_slot (c : fctx) (g : gctx) var : int =
+  match List.assoc_opt var c.env with
+  | Some (BScalar (slot, I64)) -> slot
+  | Some (BScalar (_, F64)) -> err "for variable %s is f64" var
+  | Some (BArr _ | BArrParam _) -> err "for variable %s is an array" var
+  | None ->
+      (* implicitly declare integer loop variables *)
+      let slot = alloc_words g 1 in
+      c.env <- (var, BScalar (slot, I64)) :: c.env;
+      slot
+
+and check_format (c : fctx) fmt args g =
+  ignore g;
+  (* every %-directive consumes one argument; d/x -> i64, e/f/g -> f64 *)
+  let dirs = ref [] in
+  let n = String.length fmt in
+  let rec scan i =
+    if i >= n - 1 then ()
+    else if Char.equal fmt.[i] '%' then begin
+      if Char.equal fmt.[i + 1] '%' then scan (i + 2)
+      else begin
+        let rec conv j =
+          if j >= n then err "%s: bad format %S" c.fd.fname fmt
+          else
+            match fmt.[j] with
+            | 'd' | 'x' ->
+                dirs := Ty.I64 :: !dirs;
+                scan (j + 1)
+            | 'e' | 'f' | 'g' ->
+                dirs := Ty.F64 :: !dirs;
+                scan (j + 1)
+            | '0' .. '9' | '.' | '-' | '+' | ' ' -> conv (j + 1)
+            | _ -> err "%s: unsupported format directive in %S" c.fd.fname fmt
+        in
+        conv (i + 1)
+      end
+    end
+    else scan (i + 1)
+  in
+  scan 0;
+  let dirs = List.rev !dirs in
+  if List.length dirs <> List.length args then
+    err "%s: format %S expects %d args, got %d" c.fd.fname fmt
+      (List.length dirs) (List.length args)
+
+(* --- whole programs --------------------------------------------------- *)
+
+let check_no_recursion (p : Ast.program) =
+  let callees fd =
+    let acc = ref [] in
+    let rec walk_e (e : Ast.expr) =
+      match e with
+      | CallE (n, args) ->
+          acc := n :: !acc;
+          List.iter walk_e args
+      | Bin (_, a, b) -> walk_e a; walk_e b
+      | Un (_, a) | Randlc (_, a) | MpiAllreduce a -> walk_e a
+      | MpiRecv (a, b) -> walk_e a; walk_e b
+      | Idx (_, es) -> List.iter walk_e es
+      | Int _ | Flt _ | Var _ | MpiRank | MpiSize -> ()
+    in
+    let rec walk_s (s : Ast.stmt) =
+      match s with
+      | SAssign (_, e) -> walk_e e
+      | SStore (_, es, e) -> List.iter walk_e es; walk_e e
+      | SIf (e, a, b) -> walk_e e; List.iter walk_s a; List.iter walk_s b
+      | SWhile (e, b) -> walk_e e; List.iter walk_s b
+      | SFor (_, a, b, body) -> walk_e a; walk_e b; List.iter walk_s body
+      | SForStep (_, a, b, st, body) ->
+          walk_e a; walk_e b; walk_e st; List.iter walk_s body
+      | SCall (n, args) ->
+          acc := n :: !acc;
+          List.iter walk_e args
+      | SRet (Some e) -> walk_e e
+      | SRet None | SMark _ | SMpiBarrier -> ()
+      | SPrint (_, es) -> List.iter walk_e es
+      | SRegion (_, _, _, b) -> List.iter walk_s b
+      | SMpiSend (a, b, v) -> walk_e a; walk_e b; walk_e v
+    in
+    List.iter walk_s fd.Ast.body;
+    !acc
+  in
+  let graph =
+    List.map (fun fd -> (fd.Ast.fname, callees fd)) p.Ast.funs
+  in
+  let rec dfs path name =
+    if List.mem name path then
+      err "recursion detected through %s" (String.concat " -> " (List.rev (name :: path)));
+    match List.assoc_opt name graph with
+    | None -> ()
+    | Some cs -> List.iter (dfs (name :: path)) cs
+  in
+  List.iter (fun fd -> dfs [] fd.Ast.fname) p.Ast.funs
+
+let compile ?(heap_slack = 65536) (p : Ast.program) : Prog.t =
+  check_no_recursion p;
+  Hashtbl.reset ret_types;
+  Hashtbl.reset param_types;
+  List.iter
+    (fun fd ->
+      if Hashtbl.mem ret_types fd.Ast.fname then
+        err "duplicate function %s" fd.Ast.fname;
+      Hashtbl.replace ret_types fd.Ast.fname fd.Ast.ret;
+      Hashtbl.replace param_types fd.Ast.fname fd.Ast.params)
+    p.funs;
+  let g =
+    {
+      alloc = 0;
+      globals = ref [];
+      fun_names = Array.of_list (List.map (fun fd -> fd.Ast.fname) p.funs);
+      regions = [];
+      marks = [];
+      symbols = [];
+    }
+  in
+  g.globals := List.map (binding_of_decl g) p.globals;
+  let compile_fun (fd : Ast.fundef) : Prog.func =
+    let param_bindings =
+      List.map
+        (fun (pr : Ast.param) ->
+          if pr.parr then
+            (* [pdims = []] declares an unchecked 1-D array parameter *)
+            let dims = match pr.pdims with [] -> [ 0 ] | d -> d in
+            (pr.pname, BArrParam (alloc_words g 1, pr.pty, dims))
+          else (pr.pname, BScalar (alloc_words g 1, pr.pty)))
+        fd.params
+    in
+    let local_bindings = List.map (binding_of_decl ~scope:fd.fname g) fd.locals in
+    let c =
+      {
+        fd;
+        env = local_bindings @ param_bindings @ !(g.globals);
+        buf = ref (Array.make 256 (Instr.Jmp 0));
+        len = 0;
+        line_buf = [];
+        region_buf = [];
+        nregs = List.length fd.params;
+        rtop = List.length fd.params;
+        cur_line = 0;
+        cur_region = -1;
+        fixups = [];
+        labels = [];
+        next_label = 0;
+      }
+    in
+    (* spill incoming parameter registers into their frame slots *)
+    List.iteri
+      (fun i (_, b) ->
+        match b with
+        | BScalar (slot, _) | BArrParam (slot, _, _) ->
+            let a = const c (Int64.of_int slot) in
+            emit c (Instr.Store (i, a))
+        | BArr _ -> assert false)
+      param_bindings;
+    block c g fd.body;
+    emit c (Instr.Ret None);
+    (* resolve labels *)
+    let pos_of l =
+      match List.assoc_opt l c.labels with
+      | Some p -> p
+      | None -> err "%s: unplaced label %d" fd.fname l
+    in
+    List.iter
+      (fun (i, _) ->
+        match !(c.buf).(i) with
+        | Instr.Jmp l -> !(c.buf).(i) <- Instr.Jmp (pos_of l)
+        | Instr.Bnz (r, l1, l2) ->
+            !(c.buf).(i) <- Instr.Bnz (r, pos_of l1, pos_of l2)
+        | _ -> assert false)
+      c.fixups;
+    {
+      Prog.fname = fd.fname;
+      nregs = max 1 c.nregs;
+      code = Array.sub !(c.buf) 0 c.len;
+      lines = Array.of_list (List.rev c.line_buf);
+      regions = Array.of_list (List.rev c.region_buf);
+    }
+  in
+  let funcs = Array.of_list (List.map compile_fun p.funs) in
+  let entry = fun_index g p.entry in
+  let prog =
+    {
+      Prog.funcs;
+      entry;
+      (* heap slack beyond the static data: moderately corrupted
+         indices then behave as in C — silent corruption of unrelated
+         memory — while wild ones still trap *)
+      mem_size = g.alloc + 16 + heap_slack;
+      init_mem = [];
+      region_table = Array.of_list (List.rev g.regions);
+      mark_names = Array.of_list g.marks;
+      symbols = List.rev g.symbols;
+    }
+  in
+  Prog.validate prog;
+  prog

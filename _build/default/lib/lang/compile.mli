@@ -1,0 +1,19 @@
+(** Compiler from the mini-C AST to the FlipTracker IR.
+
+    Lowering decisions that matter for the analyses: every named
+    variable lives at a statically assigned memory address (registers
+    hold only expression temporaries, so region inputs/outputs are
+    memory locations); recursion is rejected, so frames are static;
+    instructions carry source lines and code-region tags; a symbol
+    table maps variables to addresses and types. *)
+
+exception Error of string
+(** Name-resolution or type errors in the source program. *)
+
+val compile : ?heap_slack:int -> Ast.program -> Prog.t
+(** [heap_slack] (default 64Ki words) pads the address space beyond the
+    static data so that moderately corrupted indices behave as in C —
+    silent corruption of unrelated memory — while wild ones still trap.
+
+    The returned program passes {!Prog.validate}.
+    @raise Error on an ill-formed source program. *)

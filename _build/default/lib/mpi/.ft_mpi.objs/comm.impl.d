@@ -1,0 +1,1 @@
+lib/mpi/comm.ml: Array Condition List Machine Mutex Printf Queue Value

@@ -1,0 +1,1 @@
+lib/mpi/runner.ml: Array Comm Domain Machine Prog Trace Unix

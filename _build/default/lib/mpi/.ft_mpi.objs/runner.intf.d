@@ -1,0 +1,1 @@
+lib/mpi/runner.mli: Machine Prog

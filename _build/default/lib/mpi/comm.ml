@@ -1,0 +1,175 @@
+(** Simulated message-passing runtime.
+
+    Ranks are VM instances running on OCaml domains; this module gives
+    them point-to-point messaging, a sum all-reduce, and a barrier over
+    mutex-protected queues.  It also implements record-and-replay of
+    message receive order — the mechanism the paper borrows from
+    record-and-replay tools to keep faulty MPI runs aligned with their
+    fault-free twins when point-to-point nondeterminism exists. *)
+
+type msg = { src : int; tag : int; value : Value.t }
+
+(* one all-reduce/barrier rendezvous cell with generation counting *)
+type cell = {
+  mutable acc : float;
+  mutable arrived : int;
+  mutable result : float;
+  mutable generation : int;
+  m : Mutex.t;
+  c : Condition.t;
+}
+
+type mode =
+  | Free  (** no ordering constraints *)
+  | Record of (int * int * int) list ref
+      (** append (rank, src, tag) as receives complete *)
+  | Replay of { order : (int * int * int) array; mutable next : int }
+      (** receives must complete in the recorded order *)
+
+type t = {
+  size : int;
+  queues : msg Queue.t array array;  (** [queues.(dst).(src)] *)
+  locks : Mutex.t array;             (** one per destination rank *)
+  conds : Condition.t array;
+  reduce : cell;
+  barrier_cell : cell;
+  mode : mode;
+  order_lock : Mutex.t;
+  order_cond : Condition.t;
+}
+
+let create ?(mode = Free) ~(size : int) () : t =
+  if size <= 0 then invalid_arg "Comm.create: size must be positive";
+  let mkcell () =
+    { acc = 0.0; arrived = 0; result = 0.0; generation = 0;
+      m = Mutex.create (); c = Condition.create () }
+  in
+  {
+    size;
+    queues = Array.init size (fun _ -> Array.init size (fun _ -> Queue.create ()));
+    locks = Array.init size (fun _ -> Mutex.create ());
+    conds = Array.init size (fun _ -> Condition.create ());
+    reduce = mkcell ();
+    barrier_cell = mkcell ();
+    mode;
+    order_lock = Mutex.create ();
+    order_cond = Condition.create ();
+  }
+
+exception Comm_error of string
+
+let check_rank (t : t) r who =
+  if r < 0 || r >= t.size then
+    raise (Comm_error (Printf.sprintf "%s: rank %d out of range" who r))
+
+let send (t : t) ~(src : int) ~(dest : int) ~(tag : int) (value : Value.t) :
+    unit =
+  check_rank t dest "send";
+  check_rank t src "send";
+  Mutex.lock t.locks.(dest);
+  Queue.push { src; tag; value } t.queues.(dest).(src);
+  Condition.broadcast t.conds.(dest);
+  Mutex.unlock t.locks.(dest)
+
+(* In replay mode a receive may only complete when it is next in the
+   recorded order; this serializes racing receives exactly as the
+   fault-free recording saw them. *)
+let wait_turn (t : t) (rank : int) ~(src : int) ~(tag : int) =
+  match t.mode with
+  | Free | Record _ -> ()
+  | Replay r ->
+      Mutex.lock t.order_lock;
+      let rec loop () =
+        if r.next >= Array.length r.order then ()
+          (* past the recorded prefix: no constraint *)
+        else begin
+          let er, es, et = r.order.(r.next) in
+          if er = rank && es = src && et = tag then ()
+          else begin
+            Condition.wait t.order_cond t.order_lock;
+            loop ()
+          end
+        end
+      in
+      loop ();
+      Mutex.unlock t.order_lock
+
+let note_received (t : t) (rank : int) ~(src : int) ~(tag : int) =
+  match t.mode with
+  | Free -> ()
+  | Record log ->
+      Mutex.lock t.order_lock;
+      log := (rank, src, tag) :: !log;
+      Mutex.unlock t.order_lock
+  | Replay r ->
+      Mutex.lock t.order_lock;
+      if r.next < Array.length r.order then r.next <- r.next + 1;
+      Condition.broadcast t.order_cond;
+      Mutex.unlock t.order_lock
+
+let recv (t : t) ~(rank : int) ~(src : int) ~(tag : int) : Value.t =
+  check_rank t rank "recv";
+  check_rank t src "recv";
+  wait_turn t rank ~src ~tag;
+  Mutex.lock t.locks.(rank);
+  let q = t.queues.(rank).(src) in
+  let rec take () =
+    (* tags are matched in FIFO order per (src, dst) channel *)
+    match Queue.peek_opt q with
+    | Some m when m.tag = tag -> Queue.pop q
+    | Some m ->
+        raise
+          (Comm_error
+             (Printf.sprintf "recv rank %d: unexpected tag %d from %d (wanted %d)"
+                rank m.tag src tag))
+    | None ->
+        Condition.wait t.conds.(rank) t.locks.(rank);
+        take ()
+  in
+  let m = take () in
+  Mutex.unlock t.locks.(rank);
+  note_received t rank ~src ~tag;
+  m.value
+
+(* generation-counted rendezvous shared by allreduce and barrier *)
+let rendezvous (t : t) (cell : cell) (contribution : float) : float =
+  Mutex.lock cell.m;
+  let gen = cell.generation in
+  cell.acc <- cell.acc +. contribution;
+  cell.arrived <- cell.arrived + 1;
+  if cell.arrived = t.size then begin
+    cell.result <- cell.acc;
+    cell.acc <- 0.0;
+    cell.arrived <- 0;
+    cell.generation <- gen + 1;
+    Condition.broadcast cell.c
+  end
+  else
+    while cell.generation = gen do
+      Condition.wait cell.c cell.m
+    done;
+  let r = cell.result in
+  Mutex.unlock cell.m;
+  r
+
+let allreduce_sum (t : t) (v : Value.t) : Value.t =
+  Value.of_float (rendezvous t t.reduce (Value.to_float v))
+
+let barrier (t : t) : unit = ignore (rendezvous t t.barrier_cell 0.0)
+
+(** Machine hooks for one rank. *)
+let hooks (t : t) ~(rank : int) : Machine.mpi_hooks =
+  {
+    Machine.rank;
+    size = t.size;
+    send = (fun ~dest ~tag v -> send t ~src:rank ~dest ~tag v);
+    recv = (fun ~src ~tag -> recv t ~rank ~src ~tag);
+    allreduce_sum = (fun v -> allreduce_sum t v);
+    barrier = (fun () -> barrier t);
+  }
+
+(** Receive order recorded during a [Record]-mode run, oldest first. *)
+let recorded_order (t : t) : (int * int * int) list =
+  match t.mode with
+  | Record log -> List.rev !log
+  | Free | Replay _ -> []

@@ -1,0 +1,40 @@
+(** Simulated message-passing runtime: point-to-point messaging, a sum
+    all-reduce and a barrier between ranks running on OCaml domains,
+    with record-and-replay of receive order for nondeterminism control
+    (the mechanism the paper borrows from record-and-replay tools to
+    keep faulty MPI runs aligned with their fault-free twins). *)
+
+type msg = { src : int; tag : int; value : Value.t }
+
+type mode =
+  | Free
+  | Record of (int * int * int) list ref
+      (** (rank, src, tag) appended as receives complete *)
+  | Replay of { order : (int * int * int) array; mutable next : int }
+      (** receives must complete in the recorded order *)
+
+type t
+
+exception Comm_error of string
+
+val create : ?mode:mode -> size:int -> unit -> t
+(** @raise Invalid_argument on a non-positive size. *)
+
+val send : t -> src:int -> dest:int -> tag:int -> Value.t -> unit
+(** Buffered, non-blocking.
+    @raise Comm_error on an out-of-range rank. *)
+
+val recv : t -> rank:int -> src:int -> tag:int -> Value.t
+(** Blocking; messages on one (src, dst) channel match in FIFO order.
+    @raise Comm_error on a rank error or an unexpected tag. *)
+
+val allreduce_sum : t -> Value.t -> Value.t
+(** Generation-counted rendezvous; callable repeatedly. *)
+
+val barrier : t -> unit
+
+val hooks : t -> rank:int -> Machine.mpi_hooks
+(** Wire one rank's VM to this runtime. *)
+
+val recorded_order : t -> (int * int * int) list
+(** The receive order captured by a [Record]-mode run, oldest first. *)

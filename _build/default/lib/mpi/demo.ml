@@ -1,0 +1,181 @@
+(** Small MPI programs exercising the simulated runtime: a ring token
+    pass, a 1-D halo-exchange Jacobi relaxation, and an all-reduce
+    convergence loop.  These are the communication-bearing programs of
+    the test suite and of the Figure-4 harness. *)
+
+(** Each rank adds its rank to a token and passes it around the ring
+    [rounds] times; every rank ends with the same total, returned as
+    the RESULT.  Expected: rounds * size * (size - 1) / 2. *)
+let ring ~(rounds : int) : Ast.program =
+  let open Ast in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("token", Ty.F64);
+          DScalar ("right", Ty.I64);
+          DScalar ("left", Ty.I64);
+          DScalar ("me", Ty.I64);
+          DScalar ("np", Ty.I64);
+          DScalar ("result", Ty.F64);
+        ];
+      body =
+        [
+          SAssign ("me", MpiRank);
+          SAssign ("np", MpiSize);
+          SAssign ("right", Bin (Rem, v "me" + i 1, v "np"));
+          SAssign ("left", Bin (Rem, (v "me" - i 1) + v "np", v "np"));
+          SAssign ("token", f 0.0);
+          (* rank 0 owns the token; every hop adds the hop's rank, so a
+             full circuit gains size*(size-1)/2 *)
+          SFor
+            ( "r",
+              i 0,
+              i rounds,
+              [
+                SIf
+                  ( v "me" = i 0,
+                    [
+                      SMpiSend (v "right", v "r", v "token");
+                      SAssign ("token", MpiRecv (v "left", v "r"));
+                    ],
+                    [
+                      SAssign ("token", MpiRecv (v "left", v "r"));
+                      SAssign ("token", v "token" + to_float (v "me"));
+                      SMpiSend (v "right", v "r", v "token");
+                    ] );
+              ] );
+          (* broadcast rank 0's total so every rank prints the same *)
+          SIf (v "me" = i 0, [], [ SAssign ("token", f 0.0) ]);
+          SAssign ("result", MpiAllreduce (v "token"));
+          SPrint ("RESULT %.17g\n", [ v "result" ]);
+        ];
+    }
+  in
+  { globals = []; funs = [ main ]; entry = "main" }
+
+(** 1-D Jacobi relaxation with halo exchange: each rank owns [cells]
+    interior cells; boundary ranks hold fixed values 0 and 1; after
+    [iters] sweeps the profile approaches linear.  RESULT is the
+    all-reduced sum of local cells. *)
+let halo_jacobi ~(cells : int) ~(iters : int) : Ast.program =
+  let c1 = Stdlib.( + ) cells 1 in
+  let c2 = Stdlib.( + ) cells 2 in
+  let open Ast in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("me", Ty.I64);
+          DScalar ("np", Ty.I64);
+          DScalar ("lsum", Ty.F64);
+          DScalar ("result", Ty.F64);
+          DArr ("u", Ty.F64, [ c2 ]);
+          DArr ("unew", Ty.F64, [ c2 ]);
+        ];
+      body =
+        [
+          SAssign ("me", MpiRank);
+          SAssign ("np", MpiSize);
+          SFor ("j", i 0, i c2, [ SStore ("u", [ v "j" ], f 0.0) ]);
+          (* the last rank's right halo is pinned to 1 *)
+          SIf
+            ( v "me" = v "np" - i 1,
+              [ SStore ("u", [ i c1 ], f 1.0) ],
+              [] );
+          SFor
+            ( "it",
+              i 0,
+              i iters,
+              [
+                (* halo exchange: send right edge right, left edge left *)
+                SIf
+                  ( v "me" < v "np" - i 1,
+                    [ SMpiSend (v "me" + i 1, i 0, idx1 "u" (i cells)) ],
+                    [] );
+                SIf
+                  ( v "me" > i 0,
+                    [
+                      SMpiSend (v "me" - i 1, i 1, idx1 "u" (i 1));
+                      SStore ("u", [ i 0 ], MpiRecv (v "me" - i 1, i 0));
+                    ],
+                    [] );
+                SIf
+                  ( v "me" < v "np" - i 1,
+                    [
+                      SStore
+                        ("u", [ i c1 ], MpiRecv (v "me" + i 1, i 1));
+                    ],
+                    [] );
+                SFor
+                  ( "j",
+                    i 1,
+                    i c1,
+                    [
+                      SStore
+                        ( "unew",
+                          [ v "j" ],
+                          f 0.5 * (idx1 "u" (v "j" - i 1) + idx1 "u" (v "j" + i 1))
+                        );
+                    ] );
+                SFor
+                  ( "j",
+                    i 1,
+                    i c1,
+                    [ SStore ("u", [ v "j" ], idx1 "unew" (v "j")) ] );
+                SMpiBarrier;
+              ] );
+          SAssign ("lsum", f 0.0);
+          SFor
+            ( "j",
+              i 1,
+              i c1,
+              [ SAssign ("lsum", v "lsum" + idx1 "u" (v "j")) ] );
+          SAssign ("result", MpiAllreduce (v "lsum"));
+          SPrint ("RESULT %.17g\n", [ v "result" ]);
+        ];
+    }
+  in
+  { globals = []; funs = [ main ]; entry = "main" }
+
+(** All-reduce convergence loop: every rank iterates x <- (x + mean)/2
+    until the all-reduced spread falls below a threshold; converges to
+    the initial mean. *)
+let allreduce_converge ~(iters : int) : Ast.program =
+  let open Ast in
+  let main : fundef =
+    {
+      fname = "main";
+      params = [];
+      ret = None;
+      locals =
+        [
+          DScalar ("x", Ty.F64);
+          DScalar ("mean", Ty.F64);
+          DScalar ("np", Ty.I64);
+          DScalar ("result", Ty.F64);
+        ];
+      body =
+        [
+          SAssign ("np", MpiSize);
+          SAssign ("x", to_float (MpiRank));
+          SFor
+            ( "it",
+              i 0,
+              i iters,
+              [
+                SAssign ("mean", MpiAllreduce (v "x") / to_float (v "np"));
+                SAssign ("x", f 0.5 * (v "x" + v "mean"));
+              ] );
+          SAssign ("result", v "x");
+          SPrint ("RESULT %.17g\n", [ v "result" ]);
+        ];
+    }
+  in
+  { globals = []; funs = [ main ]; entry = "main" }

@@ -1,0 +1,13 @@
+(** Communication-bearing mini-programs for the simulated MPI runtime. *)
+
+val ring : rounds:int -> Ast.program
+(** A token circulates the ring [rounds] times, gaining each rank;
+    every rank prints RESULT = rounds * size * (size - 1) / 2. *)
+
+val halo_jacobi : cells:int -> iters:int -> Ast.program
+(** 1-D Jacobi relaxation with halo exchange between neighbor ranks;
+    RESULT is the all-reduced sum of interior cells. *)
+
+val allreduce_converge : iters:int -> Ast.program
+(** Every rank iterates x <- (x + mean)/2; converges to the mean of the
+    initial ranks. *)

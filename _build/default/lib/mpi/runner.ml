@@ -1,0 +1,84 @@
+(** Parallel execution of an IR program across simulated MPI ranks.
+
+    Each rank runs the program in its own VM on its own OCaml domain,
+    wired to the shared {!Comm} runtime.  Used by the Figure-4
+    experiment (per-process tracing overhead at scale) and by the MPI
+    demo programs. *)
+
+type rank_result = {
+  rank : int;
+  result : Machine.result;
+  trace_len : int;  (** 0 when tracing was off *)
+}
+
+type bundle = {
+  results : rank_result array;
+  wall_seconds : float;
+  recorded : (int * int * int) list;  (** receive order, if recording *)
+}
+
+(** Run [prog] on [size] ranks.  [traced] turns per-rank instruction
+    tracing on (traces are measured and discarded — the Figure 4
+    experiment needs the cost, not the artifact).  [record] records the
+    message receive order; [replay] enforces a previously recorded
+    order.
+
+    [max_live] bounds how many rank domains run at once.  It is only
+    safe for programs whose ranks do not communicate (rank-replicated
+    computation, as in the Figure 4 harness): a communicating program
+    would deadlock waiting for an unspawned peer.  It keeps at most
+    [max_live] in-memory traces alive at a time. *)
+let run ?(traced = false) ?(record = false) ?max_live
+    ?(replay : (int * int * int) array option) ~(size : int) (prog : Prog.t) :
+    bundle =
+  let mode =
+    match replay with
+    | Some order -> Comm.Replay { order; next = 0 }
+    | None -> if record then Comm.Record (ref []) else Comm.Free
+  in
+  let comm = Comm.create ~mode ~size () in
+  let t0 = Unix.gettimeofday () in
+  let run_rank rank () =
+    (* per-rank tracing streams events through a sink (the analog of
+       LLVM-Tracer writing a per-process file) rather than retaining
+       them: Figure 4 measures the instrumentation cost, not the
+       artifact *)
+    let events = ref 0 in
+    let sink = if traced then Some (fun (_ : Trace.event) -> incr events) else None in
+    let cfg =
+      {
+        Machine.default_config with
+        sink;
+        mpi = Some (Comm.hooks comm ~rank);
+      }
+    in
+    let result = Machine.run prog cfg in
+    { rank; result; trace_len = !events }
+  in
+  let results =
+    if size = 1 then [| run_rank 0 () |]
+    else begin
+      match max_live with
+      | None ->
+          let domains =
+            Array.init size (fun rank -> Domain.spawn (run_rank rank))
+          in
+          Array.map Domain.join domains
+      | Some cap ->
+          let cap = max 1 cap in
+          let out = Array.make size None in
+          let rank = ref 0 in
+          while !rank < size do
+            let wave = min cap (size - !rank) in
+            let base = !rank in
+            let domains =
+              Array.init wave (fun k -> Domain.spawn (run_rank (base + k)))
+            in
+            Array.iteri (fun k d -> out.(base + k) <- Some (Domain.join d)) domains;
+            rank := base + wave
+          done;
+          Array.map (function Some r -> r | None -> assert false) out
+    end
+  in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  { results; wall_seconds; recorded = Comm.recorded_order comm }

@@ -1,0 +1,27 @@
+(** Parallel execution of an IR program across simulated MPI ranks,
+    one VM per rank on its own OCaml domain. *)
+
+type rank_result = {
+  rank : int;
+  result : Machine.result;
+  trace_len : int;  (** events streamed, 0 when tracing was off *)
+}
+
+type bundle = {
+  results : rank_result array;
+  wall_seconds : float;
+  recorded : (int * int * int) list;  (** receive order, if recording *)
+}
+
+val run :
+  ?traced:bool ->
+  ?record:bool ->
+  ?max_live:int ->
+  ?replay:(int * int * int) array ->
+  size:int ->
+  Prog.t ->
+  bundle
+(** [traced] streams per-rank events through a counting sink (the
+    Figure 4 instrumentation-cost measurement).  [max_live] runs ranks
+    in bounded waves — only safe for programs whose ranks do not
+    communicate. *)

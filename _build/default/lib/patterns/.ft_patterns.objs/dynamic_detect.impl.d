@@ -1,0 +1,1 @@
+lib/patterns/dynamic_detect.ml: Acl Fmt Hashtbl Int List Pattern

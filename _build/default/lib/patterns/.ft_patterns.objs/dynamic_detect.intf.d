@@ -1,0 +1,1 @@
+lib/patterns/dynamic_detect.mli: Acl Format Pattern

@@ -1,0 +1,1 @@
+lib/patterns/rates.ml: Access Array Float Fmt Loc Op Pattern Static_detect String Trace

@@ -1,0 +1,1 @@
+lib/patterns/rates.mli: Access Format Pattern Trace

@@ -1,0 +1,1 @@
+lib/patterns/static_detect.mli: Pattern Prog

@@ -1,0 +1,1 @@
+lib/patterns/weighted_rates.ml: Access Array Char Float Fmt Int64 Loc Op String Trace Value

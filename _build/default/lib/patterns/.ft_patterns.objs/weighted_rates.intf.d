@@ -1,0 +1,1 @@
+lib/patterns/weighted_rates.mli: Access Format Trace Value

@@ -1,0 +1,100 @@
+(** Dynamic pattern attribution from ACL analyses (Table I).
+
+    Aggregates the death and masking events of one or more ACL analyses
+    into a per-region pattern inventory: which patterns were observed
+    acting in which code region, with instance counts and source
+    lines. *)
+
+type region_patterns = {
+  rid : int;
+  counts : (Pattern.t * int) list;  (** instances observed per pattern *)
+  lines : (Pattern.t * int list) list;  (** source lines per pattern *)
+}
+
+(** Patterns observed in [acl], grouped by region.  Region -1 (code
+    outside any region) is included under rid -1. *)
+let of_acl (acl : Acl.result) : region_patterns list =
+  let tbl : (int * Pattern.t, int * int list) Hashtbl.t = Hashtbl.create 32 in
+  let bump region p line =
+    let key = (region, p) in
+    let n, lines =
+      match Hashtbl.find_opt tbl key with Some x -> x | None -> (0, [])
+    in
+    Hashtbl.replace tbl key (n + 1, line :: lines)
+  in
+  List.iter
+    (fun (d : Acl.death) ->
+      bump d.d_region (Pattern.of_death_cause d.d_cause) d.d_line)
+    acl.deaths;
+  List.iter
+    (fun (m : Acl.masking) ->
+      match Pattern.of_mask_kind m.m_kind with
+      | Some p -> bump m.m_region p m.m_line
+      | None -> ())
+    acl.maskings;
+  let regions =
+    Hashtbl.fold (fun (r, _) _ acc -> if List.mem r acc then acc else r :: acc)
+      tbl []
+    |> List.sort Int.compare
+  in
+  List.map
+    (fun rid ->
+      let counts, lines =
+        List.fold_left
+          (fun (cs, ls) p ->
+            match Hashtbl.find_opt tbl (rid, p) with
+            | Some (n, lns) ->
+                ((p, n) :: cs, (p, List.sort_uniq Int.compare lns) :: ls)
+            | None -> (cs, ls))
+          ([], []) Pattern.all
+      in
+      { rid; counts = List.rev counts; lines = List.rev lines })
+    regions
+
+(** Merge inventories from several injection experiments (union of
+    patterns, sum of counts). *)
+let merge (xs : region_patterns list list) : region_patterns list =
+  let tbl : (int * Pattern.t, int * int list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (List.iter (fun rp ->
+         List.iter
+           (fun (p, n) ->
+             let lines = try List.assoc p rp.lines with Not_found -> [] in
+             let n0, l0 =
+               match Hashtbl.find_opt tbl (rp.rid, p) with
+               | Some x -> x
+               | None -> (0, [])
+             in
+             Hashtbl.replace tbl (rp.rid, p) (n0 + n, lines @ l0))
+           rp.counts))
+    xs;
+  let regions =
+    Hashtbl.fold (fun (r, _) _ acc -> if List.mem r acc then acc else r :: acc)
+      tbl []
+    |> List.sort Int.compare
+  in
+  List.map
+    (fun rid ->
+      let counts, lines =
+        List.fold_left
+          (fun (cs, ls) p ->
+            match Hashtbl.find_opt tbl (rid, p) with
+            | Some (n, lns) ->
+                ((p, n) :: cs, (p, List.sort_uniq Int.compare lns) :: ls)
+            | None -> (cs, ls))
+          ([], []) Pattern.all
+      in
+      { rid; counts = List.rev counts; lines = List.rev lines })
+    regions
+
+(** Did this region exhibit pattern [p] (with at least [threshold]
+    instances)? *)
+let found ?(threshold = 1) (rp : region_patterns) (p : Pattern.t) : bool =
+  match List.assoc_opt p rp.counts with
+  | Some n -> n >= threshold
+  | None -> false
+
+let pp ppf (rp : region_patterns) =
+  Fmt.pf ppf "region %d: %a" rp.rid
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") Pattern.pp int))
+    rp.counts

@@ -1,0 +1,14 @@
+(** Dynamic pattern attribution: aggregate the death and masking events
+    of ACL analyses into a per-region pattern inventory (Table I). *)
+
+type region_patterns = {
+  rid : int;  (** -1 for code outside all regions *)
+  counts : (Pattern.t * int) list;  (** observed instances *)
+  lines : (Pattern.t * int list) list;  (** source lines per pattern *)
+}
+
+val of_acl : Acl.result -> region_patterns list
+val merge : region_patterns list list -> region_patterns list
+
+val found : ?threshold:int -> region_patterns -> Pattern.t -> bool
+val pp : Format.formatter -> region_patterns -> unit

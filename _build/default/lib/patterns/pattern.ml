@@ -1,0 +1,68 @@
+(** The six resilience computation patterns (Section VI of the paper).
+
+    A resilience computation pattern is a series (or combination of
+    series) of computations responsible for decreasing the number of
+    alive corrupted locations, or the error magnitude of corrupted
+    values, ultimately helping the program tolerate a fault. *)
+
+type t =
+  | Dead_corrupted_locations
+      (** corrupted inputs are aggregated into fewer outputs and the
+          corrupted temporaries are never used again *)
+  | Repeated_additions
+      (** a corrupted value is repeatedly added to correct values,
+          amortizing the error until it is acceptable *)
+  | Conditional_statement
+      (** a compare consumes a corrupted value but resolves to the same
+          branch direction as the fault-free run *)
+  | Shifting
+      (** corrupted bits are shifted out of the value *)
+  | Truncation
+      (** corrupted bits are removed by a narrowing conversion or never
+          shown to the user because of a limited-precision output
+          format *)
+  | Data_overwriting
+      (** a clean value is stored over the corruption *)
+
+let all =
+  [
+    Dead_corrupted_locations;
+    Repeated_additions;
+    Conditional_statement;
+    Shifting;
+    Truncation;
+    Data_overwriting;
+  ]
+
+let to_string = function
+  | Dead_corrupted_locations -> "DCL"
+  | Repeated_additions -> "RA"
+  | Conditional_statement -> "CS"
+  | Shifting -> "Shifting"
+  | Truncation -> "Trunc"
+  | Data_overwriting -> "DO"
+
+let describe = function
+  | Dead_corrupted_locations -> "dead corrupted locations"
+  | Repeated_additions -> "repeated additions"
+  | Conditional_statement -> "conditional statement"
+  | Shifting -> "shifting"
+  | Truncation -> "data truncation"
+  | Data_overwriting -> "data overwriting"
+
+let pp ppf p = Fmt.string ppf (to_string p)
+
+let equal (a : t) (b : t) = a = b
+
+(** Classify an ACL masking event as a pattern. *)
+let of_mask_kind : Acl.mask_kind -> t option = function
+  | Acl.Shift_mask -> Some Shifting
+  | Acl.Trunc_mask | Acl.Print_mask -> Some Truncation
+  | Acl.Cond_mask -> Some Conditional_statement
+  | Acl.Repeated_add _ -> Some Repeated_additions
+  | Acl.Other_mask -> None
+
+(** Classify an ACL death event as a pattern. *)
+let of_death_cause : Acl.death_cause -> t = function
+  | Acl.Overwritten -> Data_overwriting
+  | Acl.Dead -> Dead_corrupted_locations

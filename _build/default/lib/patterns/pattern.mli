@@ -1,0 +1,28 @@
+(** The six resilience computation patterns (Section VI of the paper):
+    series of computations responsible for decreasing the number of
+    alive corrupted locations or the error magnitude of corrupted
+    values, ultimately helping the program tolerate a fault. *)
+
+type t =
+  | Dead_corrupted_locations
+  | Repeated_additions
+  | Conditional_statement
+  | Shifting
+  | Truncation
+  | Data_overwriting
+
+val all : t list
+
+val to_string : t -> string
+(** Table-I-style short names: DCL, RA, CS, Shifting, Trunc, DO. *)
+
+val describe : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val of_mask_kind : Acl.mask_kind -> t option
+(** Pattern behind an ACL masking event; [None] for unclassified
+    value-level masking. *)
+
+val of_death_cause : Acl.death_cause -> t
+(** Overwritten -> Data_overwriting; Dead -> Dead_corrupted_locations. *)

@@ -1,0 +1,124 @@
+(** Pattern rates — the features of the resilience-prediction model
+    (Table IV of the paper).
+
+    Each rate is the number of dynamic pattern-instance sites observed
+    in a fault-free traced run, normalized by the total number of
+    dynamic instructions, so that programs of different sizes are
+    comparable. *)
+
+type t = {
+  condition : float;
+  shift : float;
+  truncation : float;
+  dead_location : float;
+  repeated_addition : float;
+  overwrite : float;
+}
+
+let to_vector (r : t) : float array =
+  [|
+    r.condition;
+    r.shift;
+    r.truncation;
+    r.dead_location;
+    r.repeated_addition;
+    r.overwrite;
+  |]
+
+let feature_names =
+  [|
+    "condition";
+    "shift";
+    "truncation";
+    "dead-location";
+    "repeated-addition";
+    "overwrite";
+  |]
+
+let get (r : t) (p : Pattern.t) : float =
+  match p with
+  | Pattern.Conditional_statement -> r.condition
+  | Pattern.Shifting -> r.shift
+  | Pattern.Truncation -> r.truncation
+  | Pattern.Dead_corrupted_locations -> r.dead_location
+  | Pattern.Repeated_additions -> r.repeated_addition
+  | Pattern.Data_overwriting -> r.overwrite
+
+(** Compute the rates from a fault-free trace.  [access] must index the
+    same trace. *)
+let compute (trace : Trace.t) (access : Access.t) : t =
+  let total = max 1 (Trace.length trace) in
+  let conditions = ref 0 in
+  let shifts = ref 0 in
+  let truncs = ref 0 in
+  let deads = ref 0 in
+  let radds = ref 0 in
+  let overwrites = ref 0 in
+  let written : unit Loc.Tbl.t = Loc.Tbl.create 4096 in
+  let last_writer : Trace.opclass Loc.Tbl.t = Loc.Tbl.create 4096 in
+  let last_load : int Loc.Tbl.t = Loc.Tbl.create 4096 in
+  Trace.iteri
+    (fun i (e : Trace.event) ->
+      (match e.op with
+      | Trace.OBr _ -> incr conditions
+      | Trace.OBin op when Op.bin_is_shift op -> incr shifts
+      | Trace.OUn op when Op.un_is_truncation op -> incr truncs
+      | Trace.OIntr s
+        when String.length s > 6 && String.equal (String.sub s 0 6) "print:"
+             && Static_detect.format_truncates
+                  (String.sub s 6 (String.length s - 6)) ->
+          incr truncs
+      | Trace.OStore -> (
+          (* repeated addition: the stored value came through an
+             addition and the target word was read since it was last
+             written (u[i] = u[i] + ...) *)
+          match e.writes with
+          | [| (loc, _) |] when Array.length e.reads > 0 -> (
+              let src_loc = fst e.reads.(0) in
+              match
+                (Loc.Tbl.find_opt last_writer src_loc, Loc.Tbl.find_opt last_load loc)
+              with
+              | Some (Trace.OBin (Op.Fadd | Op.Fsub)), Some l
+                when i - l < 64 ->
+                  incr radds
+              | _, _ -> ())
+          | _ -> ())
+      | Trace.OConst | Trace.OBin _ | Trace.OUn _ | Trace.OLoad | Trace.OJmp
+      | Trace.OCall | Trace.ORet | Trace.OIntr _ | Trace.OMark _ ->
+          ());
+      (* loads feed the repeated-addition detector *)
+      (match e.op with
+      | Trace.OLoad ->
+          Array.iter
+            (fun (loc, _) ->
+              match loc with
+              | Loc.Mem _ -> Loc.Tbl.replace last_load loc i
+              | Loc.Reg _ -> ())
+            e.reads
+      | _ -> ());
+      Array.iter
+        (fun (loc, _) ->
+          if Loc.Tbl.mem written loc then incr overwrites
+          else Loc.Tbl.add written loc ();
+          Loc.Tbl.replace last_writer loc e.op;
+          (* count dead-location sites: the written value is never read *)
+          match Access.fate access loc ~after:i with
+          | `Overwritten_at _ | `Never_used -> incr deads
+          | `Dies_after_read _ -> ())
+        e.writes)
+    trace;
+  let norm n = Float.of_int n /. Float.of_int total in
+  {
+    condition = norm !conditions;
+    shift = norm !shifts;
+    truncation = norm !truncs;
+    dead_location = norm !deads;
+    repeated_addition = norm !radds;
+    overwrite = norm !overwrites;
+  }
+
+let pp ppf (r : t) =
+  Fmt.pf ppf
+    "cond=%.4f shift=%.4g trunc=%.4g dead=%.4f radd=%.4g overwrite=%.4f"
+    r.condition r.shift r.truncation r.dead_location r.repeated_addition
+    r.overwrite

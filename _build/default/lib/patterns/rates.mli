@@ -1,0 +1,23 @@
+(** Pattern rates — the features of the resilience-prediction model
+    (Table IV): dynamic pattern-instance sites in a fault-free trace,
+    normalized by the trace length. *)
+
+type t = {
+  condition : float;
+  shift : float;
+  truncation : float;
+  dead_location : float;
+  repeated_addition : float;
+  overwrite : float;
+}
+
+val to_vector : t -> float array
+(** Six features, in the order of {!feature_names}. *)
+
+val feature_names : string array
+val get : t -> Pattern.t -> float
+
+val compute : Trace.t -> Access.t -> t
+(** [access] must index the same trace. *)
+
+val pp : Format.formatter -> t -> unit

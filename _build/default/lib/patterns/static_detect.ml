@@ -1,0 +1,154 @@
+(** Static pattern-instance counting over IR programs.
+
+    Counts, per function and per code region, the static instruction
+    sites where each pattern can act: branches (Conditional Statement),
+    shifts (Shifting), narrowing conversions and limited-precision
+    prints (Truncation), stores (Data Overwriting), and
+    self-accumulating stores (Repeated Additions), found by comparing
+    the backward slice of a store's address with the address of a load
+    feeding the stored value. *)
+
+type site = { fname : string; pc : int; line : int; region : int }
+
+type report = {
+  conditionals : site list;
+  shifts : site list;
+  truncations : site list;
+  overwrites : site list;
+  repeated_adds : site list;
+}
+
+(* A small expression tree reconstructed from the (single-assignment
+   per statement) register code, used to compare address computations
+   structurally. *)
+type slice_tree =
+  | SConst of int64
+  | SBin of Op.bin * slice_tree * slice_tree
+  | SUn of Op.un * slice_tree
+  | SLoad of slice_tree
+  | SOpaque
+
+let rec slice_equal a b =
+  match (a, b) with
+  | SConst x, SConst y -> Int64.equal x y
+  | SBin (o1, a1, b1), SBin (o2, a2, b2) ->
+      o1 = o2 && slice_equal a1 a2 && slice_equal b1 b2
+  | SUn (o1, a1), SUn (o2, a2) -> o1 = o2 && slice_equal a1 a2
+  | SLoad a1, SLoad a2 -> slice_equal a1 a2
+  | SOpaque, SOpaque -> true
+  | (SConst _ | SBin _ | SUn _ | SLoad _ | SOpaque), _ -> false
+
+(* Backward slice of [reg] as defined before [pc], scanning at most
+   [window] instructions back (registers are assigned once per
+   statement, so the nearest definition is the right one). *)
+let rec slice_of (code : Instr.t array) (pc : int) (reg : int) (depth : int) :
+    slice_tree =
+  if depth <= 0 then SOpaque
+  else
+    let rec find i =
+      if i < 0 || pc - i > 64 then SOpaque
+      else
+        match code.(i) with
+        | Instr.Const (d, v) when d = reg -> SConst v
+        | Instr.Bin (op, d, a, b) when d = reg ->
+            SBin (op, slice_of code i a (depth - 1), slice_of code i b (depth - 1))
+        | Instr.Un (op, d, a) when d = reg ->
+            SUn (op, slice_of code i a (depth - 1))
+        | Instr.Load (d, a) when d = reg ->
+            SLoad (slice_of code i a (depth - 1))
+        | Instr.Call (_, _, Some d) | Instr.Intr (_, _, Some d) when d = reg ->
+            SOpaque
+        | Instr.Const _ | Instr.Bin _ | Instr.Un _ | Instr.Load _
+        | Instr.Store _ | Instr.Jmp _ | Instr.Bnz _ | Instr.Call _
+        | Instr.Ret _ | Instr.Intr _ | Instr.Mark _ ->
+            find (i - 1)
+    in
+    find (pc - 1)
+
+(* Does the value in [reg] (defined before [pc]) come through an
+   add/sub whose operand chain loads from address [addr_tree]? *)
+let is_self_accumulation (code : Instr.t array) (pc : int) (reg : int)
+    (addr_tree : slice_tree) : bool =
+  let rec loads_from t =
+    match t with
+    | SLoad a -> slice_equal a addr_tree
+    | SBin (_, a, b) -> loads_from a || loads_from b
+    | SUn (_, a) -> loads_from a
+    | SConst _ | SOpaque -> false
+  in
+  (* only floating-point accumulation amortizes an error; integer
+     self-increments (loop counters) are not the pattern *)
+  match slice_of code pc reg 8 with
+  | SBin ((Op.Fadd | Op.Fsub), a, b) -> loads_from a || loads_from b
+  | SBin _ | SUn _ | SConst _ | SLoad _ | SOpaque -> false
+
+(* A print format truncates float output when it has an explicit
+   precision on a float directive. *)
+let format_truncates (fmt : string) : bool =
+  let n = String.length fmt in
+  let rec scan i =
+    if i >= n - 1 then false
+    else if Char.equal fmt.[i] '%' then begin
+      let rec conv j saw_prec =
+        if j >= n then false
+        else
+          match fmt.[j] with
+          | 'e' | 'f' | 'g' -> saw_prec
+          | 'd' | 'x' -> scan (j + 1)
+          | '.' -> conv (j + 1) true
+          | '0' .. '9' | '-' | '+' | ' ' -> conv (j + 1) saw_prec
+          | _ -> scan (j + 1)
+      in
+      conv (i + 1) false
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let analyze (prog : Prog.t) : report =
+  let conditionals = ref [] in
+  let shifts = ref [] in
+  let truncations = ref [] in
+  let overwrites = ref [] in
+  let repeated_adds = ref [] in
+  Array.iter
+    (fun (f : Prog.func) ->
+      Array.iteri
+        (fun pc ins ->
+          let site =
+            { fname = f.fname; pc; line = f.lines.(pc); region = f.regions.(pc) }
+          in
+          match (ins : Instr.t) with
+          | Bnz _ -> conditionals := site :: !conditionals
+          | Bin (op, _, _, _) when Op.bin_is_shift op ->
+              shifts := site :: !shifts
+          | Un (op, _, _) when Op.un_is_truncation op ->
+              truncations := site :: !truncations
+          | Intr (Print fmt, _, _) when format_truncates fmt ->
+              truncations := site :: !truncations
+          | Store (src, addr) ->
+              overwrites := site :: !overwrites;
+              let addr_tree = slice_of f.code pc addr 8 in
+              if is_self_accumulation f.code pc src addr_tree then
+                repeated_adds := site :: !repeated_adds
+          | Const _ | Bin _ | Un _ | Load _ | Jmp _ | Call _ | Ret _
+          | Intr _ | Mark _ ->
+              ())
+        f.code)
+    prog.funcs;
+  {
+    conditionals = List.rev !conditionals;
+    shifts = List.rev !shifts;
+    truncations = List.rev !truncations;
+    overwrites = List.rev !overwrites;
+    repeated_adds = List.rev !repeated_adds;
+  }
+
+let count (r : report) (p : Pattern.t) : int =
+  match p with
+  | Pattern.Conditional_statement -> List.length r.conditionals
+  | Pattern.Shifting -> List.length r.shifts
+  | Pattern.Truncation -> List.length r.truncations
+  | Pattern.Data_overwriting -> List.length r.overwrites
+  | Pattern.Repeated_additions -> List.length r.repeated_adds
+  | Pattern.Dead_corrupted_locations -> 0 (* inherently dynamic *)

@@ -1,0 +1,23 @@
+(** Static pattern-instance counting over IR programs: the instruction
+    sites where each pattern can act, including a backward-slice check
+    that recognizes self-accumulating stores ([u[i] = u[i] + ...]) as
+    Repeated Additions sites. *)
+
+type site = { fname : string; pc : int; line : int; region : int }
+
+type report = {
+  conditionals : site list;
+  shifts : site list;
+  truncations : site list;  (** narrowing ops + truncating prints *)
+  overwrites : site list;   (** store instructions *)
+  repeated_adds : site list;
+}
+
+val format_truncates : string -> bool
+(** Does a print format drop float precision (explicit precision on a
+    float directive)? *)
+
+val analyze : Prog.t -> report
+
+val count : report -> Pattern.t -> int
+(** Static site count per pattern; 0 for the inherently dynamic DCL. *)

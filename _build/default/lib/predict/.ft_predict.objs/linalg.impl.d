@@ -1,0 +1,1 @@
+lib/predict/linalg.ml: Array Float

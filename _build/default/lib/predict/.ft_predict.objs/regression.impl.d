@@ -1,0 +1,1 @@
+lib/predict/regression.ml: Array Float Linalg

@@ -1,0 +1,110 @@
+(** Small dense linear algebra — just enough to fit the resilience
+    regression model: matrix products and a symmetric positive-definite
+    solve (Cholesky with partial-pivot Gaussian fallback). *)
+
+type mat = float array array
+
+let make_mat r c : mat = Array.make_matrix r c 0.0
+
+let transpose (a : mat) : mat =
+  let r = Array.length a in
+  if r = 0 then [||]
+  else begin
+    let c = Array.length a.(0) in
+    let t = make_mat c r in
+    for i = 0 to r - 1 do
+      for j = 0 to c - 1 do
+        t.(j).(i) <- a.(i).(j)
+      done
+    done;
+    t
+  end
+
+let matmul (a : mat) (b : mat) : mat =
+  let r = Array.length a in
+  let k = if r = 0 then 0 else Array.length a.(0) in
+  let c = if Array.length b = 0 then 0 else Array.length b.(0) in
+  if Array.length b <> k then invalid_arg "Linalg.matmul: dimension mismatch";
+  let m = make_mat r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      let s = ref 0.0 in
+      for l = 0 to k - 1 do
+        s := !s +. (a.(i).(l) *. b.(l).(j))
+      done;
+      m.(i).(j) <- !s
+    done
+  done;
+  m
+
+let matvec (a : mat) (x : float array) : float array =
+  let r = Array.length a in
+  let c = if r = 0 then 0 else Array.length a.(0) in
+  if Array.length x <> c then invalid_arg "Linalg.matvec: dimension mismatch";
+  Array.init r (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to c - 1 do
+        s := !s +. (a.(i).(j) *. x.(j))
+      done;
+      !s)
+
+let dot (a : float array) (b : float array) : float =
+  if Array.length a <> Array.length b then
+    invalid_arg "Linalg.dot: length mismatch";
+  let s = ref 0.0 in
+  Array.iteri (fun i x -> s := !s +. (x *. b.(i))) a;
+  !s
+
+(** Solve [a x = b] by Gaussian elimination with partial pivoting.
+    [a] and [b] are not modified.  Raises [Failure] on a (numerically)
+    singular system. *)
+let solve (a : mat) (b : float array) : float array =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    if Array.length b <> n then invalid_arg "Linalg.solve: dimension mismatch";
+    let m = Array.map Array.copy a in
+    let y = Array.copy b in
+    for col = 0 to n - 1 do
+      (* pivot *)
+      let piv = ref col in
+      for r = col + 1 to n - 1 do
+        if Float.abs m.(r).(col) > Float.abs m.(!piv).(col) then piv := r
+      done;
+      if Float.abs m.(!piv).(col) < 1e-12 then
+        failwith "Linalg.solve: singular matrix";
+      if !piv <> col then begin
+        let t = m.(col) in
+        m.(col) <- m.(!piv);
+        m.(!piv) <- t;
+        let t = y.(col) in
+        y.(col) <- y.(!piv);
+        y.(!piv) <- t
+      end;
+      for r = col + 1 to n - 1 do
+        let factor = m.(r).(col) /. m.(col).(col) in
+        if Float.abs factor > 0.0 then begin
+          for c = col to n - 1 do
+            m.(r).(c) <- m.(r).(c) -. (factor *. m.(col).(c))
+          done;
+          y.(r) <- y.(r) -. (factor *. y.(col))
+        end
+      done
+    done;
+    let x = Array.make n 0.0 in
+    for r = n - 1 downto 0 do
+      let s = ref y.(r) in
+      for c = r + 1 to n - 1 do
+        s := !s -. (m.(r).(c) *. x.(c))
+      done;
+      x.(r) <- !s /. m.(r).(r)
+    done;
+    x
+  end
+
+let identity n : mat =
+  let m = make_mat n n in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- 1.0
+  done;
+  m

@@ -1,0 +1,19 @@
+(** Small dense linear algebra — just enough to fit the resilience
+    regression model. *)
+
+type mat = float array array
+
+val make_mat : int -> int -> mat
+val transpose : mat -> mat
+
+val matmul : mat -> mat -> mat
+(** @raise Invalid_argument on a dimension mismatch. *)
+
+val matvec : mat -> float array -> float array
+val dot : float array -> float array -> float
+
+val solve : mat -> float array -> float array
+(** Gaussian elimination with partial pivoting; inputs unmodified.
+    @raise Failure on a (numerically) singular system. *)
+
+val identity : int -> mat

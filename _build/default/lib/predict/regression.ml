@@ -1,0 +1,114 @@
+(** Ridge-regularized multivariate linear regression.
+
+    The paper fits a Bayesian multivariate linear model (Minka 2010)
+    mapping the six pattern rates to the measured success rate.  With a
+    Gaussian prior on the coefficients, the MAP estimate is exactly
+    ridge regression:
+
+    beta = (X^T X + lambda I)^-1 X^T y
+
+    with an unpenalized intercept.  Besides fitting, this module
+    provides the two evaluations the paper reports: the R-square of the
+    full fit and leave-one-out prediction error, plus standardized
+    regression coefficients for feature-importance analysis
+    (Bring 1994). *)
+
+type model = {
+  coeffs : float array;  (** one per feature *)
+  intercept : float;
+  lambda : float;
+}
+
+(* center columns, so the intercept can stay unpenalized *)
+let column_means (x : Linalg.mat) : float array =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else begin
+    let d = Array.length x.(0) in
+    let m = Array.make d 0.0 in
+    Array.iter (fun row -> Array.iteri (fun j v -> m.(j) <- m.(j) +. v) row) x;
+    Array.map (fun s -> s /. Float.of_int n) m
+  end
+
+let mean (y : float array) : float =
+  if Array.length y = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 y /. Float.of_int (Array.length y)
+
+(** Fit on rows [x] (n samples x d features) against targets [y]. *)
+let fit ?(lambda = 1e-6) (x : Linalg.mat) (y : float array) : model =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Regression.fit: no samples";
+  if Array.length y <> n then invalid_arg "Regression.fit: length mismatch";
+  let d = Array.length x.(0) in
+  let xm = column_means x in
+  let ym = mean y in
+  let xc = Array.map (fun row -> Array.mapi (fun j v -> v -. xm.(j)) row) x in
+  let yc = Array.map (fun v -> v -. ym) y in
+  let xt = Linalg.transpose xc in
+  let xtx = Linalg.matmul xt xc in
+  for i = 0 to d - 1 do
+    xtx.(i).(i) <- xtx.(i).(i) +. lambda
+  done;
+  let xty = Linalg.matvec xt yc in
+  let coeffs = Linalg.solve xtx xty in
+  let intercept = ym -. Linalg.dot coeffs xm in
+  { coeffs; intercept; lambda }
+
+let predict (m : model) (features : float array) : float =
+  m.intercept +. Linalg.dot m.coeffs features
+
+(** Prediction clamped to the meaningful success-rate range [0, 1]. *)
+let predict_rate (m : model) (features : float array) : float =
+  Float.max 0.0 (Float.min 1.0 (predict m features))
+
+(** Coefficient of determination of the model on a data set. *)
+let r_square (m : model) (x : Linalg.mat) (y : float array) : float =
+  let ym = mean y in
+  let ss_tot = Array.fold_left (fun a v -> a +. ((v -. ym) ** 2.0)) 0.0 y in
+  let ss_res = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      let e = y.(i) -. predict m row in
+      ss_res := !ss_res +. (e *. e))
+    x;
+  if ss_tot <= 0.0 then 1.0 else 1.0 -. (!ss_res /. ss_tot)
+
+(** Leave-one-out cross-validation: for each sample, fit on the others
+    and predict it.  Returns the predictions in sample order. *)
+let leave_one_out ?(lambda = 1e-6) (x : Linalg.mat) (y : float array) :
+    float array =
+  let n = Array.length x in
+  Array.init n (fun hold ->
+      let xs = ref [] and ys = ref [] in
+      for i = n - 1 downto 0 do
+        if i <> hold then begin
+          xs := x.(i) :: !xs;
+          ys := y.(i) :: !ys
+        end
+      done;
+      let m = fit ~lambda (Array.of_list !xs) (Array.of_list !ys) in
+      predict_rate m x.(hold))
+
+(** Relative prediction error |predicted - measured| / measured. *)
+let relative_error ~(measured : float) ~(predicted : float) : float =
+  if Float.abs measured < 1e-12 then Float.abs predicted
+  else Float.abs (predicted -. measured) /. Float.abs measured
+
+(** Standardized regression coefficients: beta_j * sd(x_j) / sd(y),
+    the feature-importance indicator the paper uses (Bring 1994). *)
+let standardized_coefficients (m : model) (x : Linalg.mat) (y : float array) :
+    float array =
+  let sd (col : float array) =
+    let mu = mean col in
+    let n = Array.length col in
+    if n < 2 then 0.0
+    else
+      Float.sqrt
+        (Array.fold_left (fun a v -> a +. ((v -. mu) ** 2.0)) 0.0 col
+        /. Float.of_int (n - 1))
+  in
+  let sdy = sd y in
+  let d = Array.length m.coeffs in
+  Array.init d (fun j ->
+      let col = Array.map (fun row -> row.(j)) x in
+      if sdy <= 0.0 then 0.0 else m.coeffs.(j) *. sd col /. sdy)

@@ -1,0 +1,31 @@
+(** Ridge-regularized multivariate linear regression — the MAP estimate
+    of the paper's Bayesian linear model (Minka 2010) mapping the six
+    pattern rates to the measured success rate — plus the paper's two
+    evaluations (R-square of the full fit, leave-one-out prediction)
+    and standardized coefficients (Bring 1994). *)
+
+type model = {
+  coeffs : float array;  (** one per feature *)
+  intercept : float;     (** unpenalized *)
+  lambda : float;
+}
+
+val fit : ?lambda:float -> Linalg.mat -> float array -> model
+(** Fit on n samples x d features against the targets.
+    @raise Invalid_argument on empty or mismatched data. *)
+
+val predict : model -> float array -> float
+
+val predict_rate : model -> float array -> float
+(** Prediction clamped to the success-rate range [0, 1]. *)
+
+val r_square : model -> Linalg.mat -> float array -> float
+
+val leave_one_out : ?lambda:float -> Linalg.mat -> float array -> float array
+(** For each sample, fit on the others and predict it (clamped). *)
+
+val relative_error : measured:float -> predicted:float -> float
+
+val standardized_coefficients :
+  model -> Linalg.mat -> float array -> float array
+(** beta_j * sd(x_j) / sd(y): the feature-importance indicator. *)

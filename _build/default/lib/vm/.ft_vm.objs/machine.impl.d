@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Buffer Char Float Int64 List Loc Op Option Printf Prog Scanf String Trace Value

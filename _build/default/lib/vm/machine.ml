@@ -1,0 +1,430 @@
+(** The FlipTracker virtual machine.
+
+    Executes an IR program with three orthogonal extensions over a plain
+    interpreter:
+    {ul
+    {- an optional {e tracer} that records one {!Trace.event} per
+       executed instruction (the LLVM-Tracer substitute);}
+    {- an optional {e fault}: a single-bit flip applied either to the
+       value written by the n-th dynamic instruction, or to a memory
+       word when the dynamic instruction counter reaches n (used for
+       region-entry input injections);}
+    {- optional {e MPI hooks} connecting the MPI intrinsics to the
+       simulated runtime of [ft_mpi].}}
+
+    Crashes of the fault-manifestation model are detected here: memory
+    traps, arithmetic traps, stack overflow, and hangs (instruction
+    budget exceeded). *)
+
+type fault =
+  | Flip_write of { seq : int; bit : int }
+      (** flip [bit] of the value written by dynamic instruction [seq] *)
+  | Flip_mem of { seq : int; addr : int; bit : int }
+      (** flip [bit] of [mem.(addr)] just before instruction [seq] runs *)
+
+type outcome =
+  | Finished
+  | Trapped of string  (** segfault, arithmetic trap, stack overflow *)
+  | Budget_exceeded    (** the hang of the fault-manifestation model *)
+
+type mpi_hooks = {
+  rank : int;
+  size : int;
+  send : dest:int -> tag:int -> Value.t -> unit;
+  recv : src:int -> tag:int -> Value.t;
+  allreduce_sum : Value.t -> Value.t;
+  barrier : unit -> unit;
+}
+
+type config = {
+  budget : int;  (** max dynamic instructions before declaring a hang *)
+  fault : fault option;
+  trace : Trace.t option;
+  sink : (Trace.event -> unit) option;
+      (** streaming alternative to [trace]: each event is passed to the
+          callback and not retained, like a tracer writing to a file
+          (used to measure instrumentation cost without the memory) *)
+  iter_mark : int;  (** mark id that delimits main-loop iterations, or -1 *)
+  mpi : mpi_hooks option;
+}
+
+let default_config =
+  {
+    budget = 500_000_000;
+    fault = None;
+    trace = None;
+    sink = None;
+    iter_mark = -1;
+    mpi = None;
+  }
+
+type result = {
+  outcome : outcome;
+  instructions : int;  (** dynamic instructions executed *)
+  output : string;     (** accumulated formatted prints *)
+  mem : int64 array;   (** final memory image *)
+  iterations : int;    (** main-loop iterations observed (from markers) *)
+}
+
+exception Budget
+exception Vm_trap of string
+
+(* --- NPB randlc ------------------------------------------------------- *)
+
+let r23 = 0.5 ** 23.
+let t23 = 2.0 ** 23.
+let r46 = 0.5 ** 46.
+let t46 = 2.0 ** 46.
+
+(** One step of the NPB 46-bit linear congruential generator.  Returns
+    [(new_state, uniform_in_0_1)]. *)
+let randlc_step (x : float) (a : float) : float * float =
+  let a1 = Float.of_int (Float.to_int (r23 *. a)) in
+  let a2 = a -. (t23 *. a1) in
+  let x1 = Float.of_int (Float.to_int (r23 *. x)) in
+  let x2 = x -. (t23 *. x1) in
+  let t1 = (a1 *. x2) +. (a2 *. x1) in
+  let t2 = Float.of_int (Float.to_int (r23 *. t1)) in
+  let z = t1 -. (t23 *. t2) in
+  let t3 = (t23 *. z) +. (a2 *. x2) in
+  let t4 = Float.of_int (Float.to_int (r46 *. t3)) in
+  let x' = t3 -. (t46 *. t4) in
+  (x', r46 *. x')
+
+(* --- C-style formatting ---------------------------------------------- *)
+
+(** Render a C-style format with the given values.  Supported
+    directives: [%d %x] (i64) and [%e %f %g] (f64), with optional
+    flags/width/precision.  This is where the paper's Data Truncation
+    pattern manifests for output: a ["%12.6e"] print discards mantissa
+    bits. *)
+let format_output (fmt : string) (vals : Value.t list) : string =
+  let buf = Buffer.create (String.length fmt + 16) in
+  let vals = ref vals in
+  let take () =
+    match !vals with
+    | [] -> raise (Vm_trap "print: missing argument")
+    | v :: rest ->
+        vals := rest;
+        v
+  in
+  let n = String.length fmt in
+  let rec scan i =
+    if i >= n then ()
+    else if Char.equal fmt.[i] '%' && i + 1 < n then
+      if Char.equal fmt.[i + 1] '%' then begin
+        Buffer.add_char buf '%';
+        scan (i + 2)
+      end
+      else begin
+        let rec conv j =
+          if j >= n then raise (Vm_trap "print: truncated format")
+          else
+            match fmt.[j] with
+            | 'd' | 'x' ->
+                let spec = String.sub fmt i (j - i) ^ "L" ^ String.make 1 fmt.[j] in
+                let v = take () in
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     (Scanf.format_from_string spec "%Ld")
+                     v);
+                scan (j + 1)
+            | 'e' | 'f' | 'g' ->
+                let spec = String.sub fmt i (j - i + 1) in
+                let v = take () in
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     (Scanf.format_from_string spec "%e")
+                     (Value.to_float v));
+                scan (j + 1)
+            | '0' .. '9' | '.' | '-' | '+' | ' ' -> conv (j + 1)
+            | c -> raise (Vm_trap (Printf.sprintf "print: bad directive %%%c" c))
+        in
+        conv (i + 1)
+      end
+    else begin
+      Buffer.add_char buf fmt.[i];
+      scan (i + 1)
+    end
+  in
+  scan 0;
+  Buffer.contents buf
+
+(* --- execution -------------------------------------------------------- *)
+
+let max_call_depth = 4096
+
+let run (prog : Prog.t) (cfg : config) : result =
+  let mem = Array.make prog.mem_size 0L in
+  List.iter (fun (a, v) -> mem.(a) <- v) prog.init_mem;
+  let out = Buffer.create 256 in
+  let count = ref 0 in
+  let next_act = ref 0 in
+  let iter = ref (-1) in
+  let nregions = Array.length prog.region_table in
+  let inst_counters = Array.make (max 1 nregions) 0 in
+  let prev_eff = ref (-1) in
+  let cur_inst = ref (-1) in
+  let check_addr a =
+    if a < 0 || a >= Array.length mem then
+      raise (Vm_trap (Printf.sprintf "segfault at address %d" a))
+  in
+  let addr_of_value (v : Value.t) : int =
+    if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0
+    then raise (Vm_trap "segfault: wild address");
+    let a = Value.to_int v in
+    check_addr a;
+    a
+  in
+  let maybe_flip seq v =
+    match cfg.fault with
+    | Some (Flip_write { seq = s; bit }) when s = seq -> Value.flip_bit v bit
+    | Some (Flip_write _ | Flip_mem _) | None -> v
+  in
+  let apply_mem_fault seq =
+    match cfg.fault with
+    | Some (Flip_mem { seq = s; addr; bit }) when s = seq ->
+        check_addr addr;
+        mem.(addr) <- Value.flip_bit mem.(addr) bit
+    | Some (Flip_mem _ | Flip_write _) | None -> ()
+  in
+  let trace = cfg.trace in
+  let rec exec_fun fidx (args : int64 array) (inherited : int) (depth : int) :
+      int64 option =
+    if depth > max_call_depth then raise (Vm_trap "call stack overflow");
+    let f = prog.funcs.(fidx) in
+    let regs = Array.make f.nregs 0L in
+    Array.blit args 0 regs 0 (Array.length args);
+    let act = !next_act in
+    incr next_act;
+    let pc = ref 0 in
+    let result = ref None in
+    let running = ref true in
+    while !running do
+      let i = !pc in
+      let ins = f.code.(i) in
+      let seq = !count in
+      if seq >= cfg.budget then raise Budget;
+      count := seq + 1;
+      apply_mem_fault seq;
+      let static_r = f.regions.(i) in
+      let eff = if static_r >= 0 then static_r else inherited in
+      if eff <> !prev_eff then begin
+        if eff >= 0 then begin
+          cur_inst := inst_counters.(eff);
+          inst_counters.(eff) <- !cur_inst + 1
+        end
+        else cur_inst := -1;
+        prev_eff := eff
+      end;
+      let record op reads writes =
+        match (trace, cfg.sink) with
+        | None, None -> ()
+        | _, _ ->
+            let e =
+              {
+                Trace.seq;
+                fidx;
+                pc = i;
+                act;
+                line = f.lines.(i);
+                region = eff;
+                instance = (if eff >= 0 then !cur_inst else -1);
+                iter = !iter;
+                op;
+                reads;
+                writes;
+              }
+            in
+            (match trace with Some t -> Trace.push t e | None -> ());
+            (match cfg.sink with Some k -> k e | None -> ())
+      in
+      (match ins with
+      | Const (d, v) ->
+          let v = maybe_flip seq v in
+          regs.(d) <- v;
+          record Trace.OConst [||] [| (Loc.Reg (act, d), v) |];
+          incr pc
+      | Bin (op, d, a, b) ->
+          let va = regs.(a) and vb = regs.(b) in
+          let v = maybe_flip seq (Op.eval_bin op va vb) in
+          regs.(d) <- v;
+          record (Trace.OBin op)
+            [| (Loc.Reg (act, a), va); (Loc.Reg (act, b), vb) |]
+            [| (Loc.Reg (act, d), v) |];
+          incr pc
+      | Un (op, d, a) ->
+          let va = regs.(a) in
+          let v = maybe_flip seq (Op.eval_un op va) in
+          regs.(d) <- v;
+          record (Trace.OUn op)
+            [| (Loc.Reg (act, a), va) |]
+            [| (Loc.Reg (act, d), v) |];
+          incr pc
+      | Load (d, a) ->
+          let va = regs.(a) in
+          let addr = addr_of_value va in
+          let v = maybe_flip seq mem.(addr) in
+          regs.(d) <- v;
+          record Trace.OLoad
+            [| (Loc.Reg (act, a), va); (Loc.Mem addr, mem.(addr)) |]
+            [| (Loc.Reg (act, d), v) |];
+          incr pc
+      | Store (s, a) ->
+          let vs = regs.(s) and va = regs.(a) in
+          let addr = addr_of_value va in
+          let v = maybe_flip seq vs in
+          mem.(addr) <- v;
+          record Trace.OStore
+            [| (Loc.Reg (act, s), vs); (Loc.Reg (act, a), va) |]
+            [| (Loc.Mem addr, v) |];
+          incr pc
+      | Jmp l ->
+          record Trace.OJmp [||] [||];
+          pc := l
+      | Bnz (cnd, l1, l2) ->
+          let vc = regs.(cnd) in
+          let taken = Value.is_true vc in
+          record (Trace.OBr taken) [| (Loc.Reg (act, cnd), vc) |] [||];
+          pc := if taken then l1 else l2
+      | Call (callee, argregs, ret) ->
+          let argv = Array.map (fun r -> regs.(r)) argregs in
+          record Trace.OCall
+            (Array.mapi (fun k r -> (Loc.Reg (act, r), argv.(k))) argregs)
+            [||];
+          let rv = exec_fun callee argv eff (depth + 1) in
+          (match (ret, rv) with
+          | Some d, Some v ->
+              regs.(d) <- v;
+              (* attribute the returned value to the call site *)
+              (match (trace, cfg.sink) with
+              | None, None -> ()
+              | _, _ ->
+                  let e =
+                    {
+                      Trace.seq = !count;
+                      fidx;
+                      pc = i;
+                      act;
+                      line = f.lines.(i);
+                      region = eff;
+                      instance = (if eff >= 0 then !cur_inst else -1);
+                      iter = !iter;
+                      op = Trace.ORet;
+                      reads = [||];
+                      writes = [| (Loc.Reg (act, d), v) |];
+                    }
+                  in
+                  (match trace with Some t -> Trace.push t e | None -> ());
+                  (match cfg.sink with Some k -> k e | None -> ());
+                  count := !count + 1)
+          | Some _, None ->
+              raise (Vm_trap "call: callee returned no value")
+          | None, (Some _ | None) -> ());
+          incr pc
+      | Ret r ->
+          let v = Option.map (fun r -> regs.(r)) r in
+          record Trace.ORet
+            (match r with
+            | Some r -> [| (Loc.Reg (act, r), regs.(r)) |]
+            | None -> [||])
+            [||];
+          result := v;
+          running := false
+      | Intr (intr, argregs, ret) ->
+          let argv = Array.map (fun r -> regs.(r)) argregs in
+          let reads =
+            Array.mapi (fun k r -> (Loc.Reg (act, r), argv.(k))) argregs
+          in
+          let set_ret name v extra_reads extra_writes =
+            let v = maybe_flip seq v in
+            (match ret with
+            | Some d -> regs.(d) <- v
+            | None -> ());
+            let writes =
+              match ret with
+              | Some d -> Array.append [| (Loc.Reg (act, d), v) |] extra_writes
+              | None -> extra_writes
+            in
+            record (Trace.OIntr name) (Array.append reads extra_reads) writes
+          in
+          (match intr with
+          | Randlc ->
+              let saddr = addr_of_value argv.(0) in
+              let a = Value.to_float argv.(1) in
+              let x = Value.to_float mem.(saddr) in
+              let x', r = randlc_step x a in
+              mem.(saddr) <- Value.of_float x';
+              set_ret "randlc" (Value.of_float r)
+                [| (Loc.Mem saddr, Value.of_float x) |]
+                [| (Loc.Mem saddr, Value.of_float x') |]
+          | Print fmtstr ->
+              Buffer.add_string out (format_output fmtstr (Array.to_list argv));
+              (* the format string travels in the opclass so analyses can
+                 re-render values and detect output truncation masking *)
+              record (Trace.OIntr ("print:" ^ fmtstr)) reads [||]
+          | MpiSend -> (
+              match cfg.mpi with
+              | None -> record (Trace.OIntr "mpi_send") reads [||]
+              | Some m ->
+                  m.send ~dest:(Value.to_int argv.(0))
+                    ~tag:(Value.to_int argv.(1)) argv.(2);
+                  record (Trace.OIntr "mpi_send") reads [||])
+          | MpiRecv -> (
+              match cfg.mpi with
+              | None -> raise (Vm_trap "mpi_recv without an MPI runtime")
+              | Some m ->
+                  let v =
+                    m.recv ~src:(Value.to_int argv.(0))
+                      ~tag:(Value.to_int argv.(1))
+                  in
+                  set_ret "mpi_recv" v [||] [||])
+          | MpiAllreduceSum -> (
+              match cfg.mpi with
+              | None -> set_ret "mpi_allreduce" argv.(0) [||] [||]
+              | Some m -> set_ret "mpi_allreduce" (m.allreduce_sum argv.(0)) [||] [||])
+          | MpiBarrier ->
+              (match cfg.mpi with None -> () | Some m -> m.barrier ());
+              record (Trace.OIntr "mpi_barrier") reads [||]
+          | MpiRank ->
+              let r = match cfg.mpi with None -> 0 | Some m -> m.rank in
+              set_ret "mpi_rank" (Value.of_int r) [||] [||]
+          | MpiSize ->
+              let s = match cfg.mpi with None -> 1 | Some m -> m.size in
+              set_ret "mpi_size" (Value.of_int s) [||] [||]);
+          incr pc
+      | Mark m ->
+          if m = cfg.iter_mark then incr iter;
+          record (Trace.OMark m) [||] [||];
+          incr pc);
+      if !pc >= Array.length f.code then running := false
+    done;
+    !result
+  in
+  let outcome =
+    try
+      ignore (exec_fun prog.entry [||] (-1) 0);
+      Finished
+    with
+    | Budget -> Budget_exceeded
+    | Vm_trap msg -> Trapped msg
+    | Op.Trap msg -> Trapped msg
+  in
+  {
+    outcome;
+    instructions = !count;
+    output = Buffer.contents out;
+    mem;
+    iterations = !iter + 1;
+  }
+
+(** Convenience: run without tracing and without faults. *)
+let run_plain ?(budget = default_config.budget) (prog : Prog.t) : result =
+  run prog { default_config with budget }
+
+(** Convenience: run with a fresh trace; returns the result and trace. *)
+let run_traced ?(budget = default_config.budget) ?(iter_mark = -1) ?fault
+    (prog : Prog.t) : result * Trace.t =
+  let t = Trace.create () in
+  let r = run prog { default_config with budget; iter_mark; fault; trace = Some t } in
+  (r, t)

@@ -1,0 +1,71 @@
+(** The FlipTracker virtual machine: an IR interpreter with optional
+    instruction tracing (the LLVM-Tracer substitute), single-bit fault
+    hooks (the FlipIt substitute), MPI hooks, and the crash model of
+    the paper's fault-manifestation taxonomy. *)
+
+type fault =
+  | Flip_write of { seq : int; bit : int }
+      (** flip [bit] of the value written by dynamic instruction [seq] *)
+  | Flip_mem of { seq : int; addr : int; bit : int }
+      (** flip [bit] of [mem.(addr)] just before instruction [seq] runs
+          (region-entry input injections) *)
+
+type outcome =
+  | Finished
+  | Trapped of string  (** segfault, arithmetic trap, stack overflow *)
+  | Budget_exceeded    (** hang, detected by the instruction budget *)
+
+type mpi_hooks = {
+  rank : int;
+  size : int;
+  send : dest:int -> tag:int -> Value.t -> unit;
+  recv : src:int -> tag:int -> Value.t;
+  allreduce_sum : Value.t -> Value.t;
+  barrier : unit -> unit;
+}
+
+type config = {
+  budget : int;  (** max dynamic instructions before declaring a hang *)
+  fault : fault option;
+  trace : Trace.t option;  (** retained trace, for the analyses *)
+  sink : (Trace.event -> unit) option;
+      (** streaming alternative: each event is passed to the callback
+          and not retained, like a tracer writing to a file *)
+  iter_mark : int;  (** mark id delimiting main-loop iterations, or -1 *)
+  mpi : mpi_hooks option;
+}
+
+val default_config : config
+(** No fault, no tracing, no MPI, a 5e8-instruction budget. *)
+
+type result = {
+  outcome : outcome;
+  instructions : int;
+  output : string;     (** accumulated formatted prints *)
+  mem : int64 array;   (** final memory image *)
+  iterations : int;    (** main-loop iterations observed *)
+}
+
+val randlc_step : float -> float -> float * float
+(** One step of the NPB 46-bit linear congruential generator:
+    [(new_state, uniform_in_0_1)]. *)
+
+val format_output : string -> Value.t list -> string
+(** Render a C-style format ([%d %x %e %f %g] with flags/width/
+    precision).  Limited-precision float formats are where the Data
+    Truncation pattern manifests on output. *)
+
+val run : Prog.t -> config -> result
+(** Execute the program.  Never raises on faulty behavior: traps,
+    hangs, and wild accesses are classified in [outcome]. *)
+
+val run_plain : ?budget:int -> Prog.t -> result
+(** Fault-free, untraced execution. *)
+
+val run_traced :
+  ?budget:int ->
+  ?iter_mark:int ->
+  ?fault:fault ->
+  Prog.t ->
+  result * Trace.t
+(** Execution with a fresh retained trace. *)

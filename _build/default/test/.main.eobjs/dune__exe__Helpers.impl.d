@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Ast Compile Machine Prog Trace Ty Value

@@ -1,0 +1,1 @@
+test/test_acl.ml: Acl Alcotest Array Ast Helpers List Machine QCheck QCheck_alcotest Trace Ty

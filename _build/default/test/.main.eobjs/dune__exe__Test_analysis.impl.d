@@ -1,0 +1,1 @@
+test/test_analysis.ml: Access Alcotest Align Array Ast Dddg Hashtbl Helpers List Loc Machine Op Prog QCheck QCheck_alcotest Region String Trace Ty

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest App Array Cg Dc Is Kmeans List Lu Lulesh Machine Mg Printf Prog Region Registry Static_detect String Value

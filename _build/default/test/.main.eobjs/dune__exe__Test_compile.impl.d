@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest App Array Ast Compile Helpers List Machine Prog Registry Ty Value

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Ast Compile Float Fun Hashtbl Int64 List Machine Printf Prog QCheck QCheck_alcotest Ty Value

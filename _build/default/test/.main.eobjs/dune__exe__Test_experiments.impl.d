@@ -1,0 +1,1 @@
+test/test_experiments.ml: Acl Alcotest Array Bt Campaign Dc Effort Experiments Fliptracker Float Fmt Is List Lu Lulesh Machine Mg Rates String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Access Acl Alcotest App Ast Campaign Dddg Fliptracker Fmt Helpers Is List Loc Machine Mg Op Printf Prog Region Registry String Tolerance Trace Ty

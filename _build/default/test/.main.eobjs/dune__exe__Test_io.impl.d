@@ -1,0 +1,1 @@
+test/test_io.ml: Acl Alcotest Array Buffer Export Filename Fun Helpers List Loc Machine Op QCheck QCheck_alcotest Region String Sys Trace Trace_io Value

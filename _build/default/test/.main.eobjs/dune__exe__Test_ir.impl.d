@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ast Compile Fmt Helpers Instr Loc Op Option Prog QCheck QCheck_alcotest String Ty Value

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest App Ast Cg Dc Helpers Instr Is List Machine Op Prog QCheck QCheck_alcotest String Trace Ty Value

@@ -1,0 +1,1 @@
+test/test_mpi.ml: Alcotest App Array Ast Comm Compile Demo Helpers Machine Runner Ty Value

@@ -1,0 +1,1 @@
+test/test_op.ml: Alcotest Float Int64 Op QCheck QCheck_alcotest Value

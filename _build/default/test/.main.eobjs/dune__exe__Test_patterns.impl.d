@@ -1,0 +1,1 @@
+test/test_patterns.ml: Access Acl Alcotest Array Ast Dynamic_detect Float Helpers List Pattern Rates Static_detect String Ty

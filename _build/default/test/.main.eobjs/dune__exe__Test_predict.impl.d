@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Array Float Gen Linalg List QCheck QCheck_alcotest Regression Rng

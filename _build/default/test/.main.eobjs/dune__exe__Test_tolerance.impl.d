@@ -1,0 +1,1 @@
+test/test_tolerance.ml: Alcotest Ast Float Helpers List Loc Machine Prog Region Tolerance Trace Ty

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Ast Hashtbl Helpers Loc Machine Op Prog Trace Ty

@@ -1,0 +1,1 @@
+test/test_usecases.ml: Access Alcotest App Array Campaign Cg Float List Machine Printf Rates Registry Regression

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Float Int64 List QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_weighted.ml: Access Alcotest App Array Ast Dc Float Helpers Is List Rates Trace Ty Value Weighted_rates

@@ -1,0 +1,27 @@
+(* FlipTracker test runner: unit suites per subsystem, property-based
+   suites on the core invariants, and end-to-end experiment checks. *)
+
+let () =
+  Alcotest.run "fliptracker"
+    [
+      Test_value.suite;
+      Test_ir.suite;
+      Test_op.suite;
+      Test_compile.suite;
+      Test_machine.suite;
+      Test_trace.suite;
+      Test_analysis.suite;
+      Test_acl.suite;
+      Test_tolerance.suite;
+      Test_io.suite;
+      Test_faults.suite;
+      Test_patterns.suite;
+      Test_predict.suite;
+      Test_weighted.suite;
+      Test_apps.suite;
+      Test_mpi.suite;
+      Test_experiments.suite;
+      Test_usecases.suite;
+      Test_integration.suite;
+      Test_differential.suite;
+    ]

@@ -1,0 +1,250 @@
+(* RNG, statistics, and fault-injection campaigns. *)
+
+open Helpers
+
+(* --- rng ---------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:99 and b = Rng.create ~seed:99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true
+    (not (Int64.equal (Rng.next_int64 a) (Rng.next_int64 b)))
+
+let test_rng_int_range () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_covers () =
+  (* all residues of a small bound appear in a reasonable sample *)
+  let rng = Rng.create ~seed:3 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:4 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "fork diverges" true
+    (not (Int64.equal (Rng.next_int64 a) (Rng.next_int64 b)))
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~count:300 ~name:"Rng.int respects any positive bound"
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+(* --- stats --------------------------------------------------------------- *)
+
+let test_sample_size_known_values () =
+  (* the classic 95%/3% and 99%/1% designs over a large population *)
+  let n95 = Stats.sample_size ~population:10_000_000 ~confidence:0.95 ~margin:0.03 in
+  Alcotest.(check bool) "95/3 ~ 1067" true (abs (n95 - 1067) <= 2);
+  let n99 = Stats.sample_size ~population:10_000_000 ~confidence:0.99 ~margin:0.01 in
+  Alcotest.(check bool) "99/1 ~ 16587" true (abs (n99 - 16587) <= 30)
+
+let test_sample_size_small_population () =
+  Alcotest.(check int) "capped at population" 10
+    (Stats.sample_size ~population:10 ~confidence:0.95 ~margin:0.03);
+  Alcotest.(check int) "empty population" 0
+    (Stats.sample_size ~population:0 ~confidence:0.95 ~margin:0.03)
+
+let test_sample_size_monotone_in_margin () =
+  let n margin = Stats.sample_size ~population:1_000_000 ~confidence:0.95 ~margin in
+  Alcotest.(check bool) "tighter margin needs more samples" true
+    (n 0.01 > n 0.03 && n 0.03 > n 0.10)
+
+let test_wilson_interval () =
+  let lo, hi = Stats.wilson_interval ~successes:60 ~trials:100 ~confidence:0.95 in
+  Alcotest.(check bool) "contains p-hat" true (lo <= 0.6 && 0.6 <= hi);
+  Alcotest.(check bool) "proper bounds" true (0.0 <= lo && hi <= 1.0 && lo < hi);
+  let lo0, hi0 = Stats.wilson_interval ~successes:0 ~trials:0 ~confidence:0.95 in
+  Alcotest.(check bool) "vacuous" true (lo0 = 0.0 && hi0 = 1.0)
+
+let test_mean_stddev () =
+  Alcotest.(check (float 1e-12)) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-12)) "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Stats.mean [||])
+
+let prop_wilson_shrinks_with_trials =
+  QCheck.Test.make ~count:100 ~name:"wilson interval narrows with more trials"
+    QCheck.(int_range 1 500)
+    (fun trials ->
+      let w t =
+        let lo, hi = Stats.wilson_interval ~successes:(t / 2) ~trials:t ~confidence:0.95 in
+        hi -. lo
+      in
+      w (4 * trials) <= w trials +. 1e-9)
+
+(* --- campaign ------------------------------------------------------------ *)
+
+(* a program whose RESULT is insensitive to its dead variable: flips
+   targeted at the dead store must all verify *)
+let dead_store_program () =
+  let open Ast in
+  main_program
+    ~globals:[ DScalar ("dead", Ty.F64); DScalar ("live", Ty.F64) ]
+    [
+      SRegion ("deadr", 1, 2, [ SAssign ("dead", f 42.0) ]);
+      SRegion ("liver", 3, 4, [ SAssign ("live", f 1.0) ]);
+      SPrint ("RESULT %.17g\nVERIFIED %d\n", [ v "live"; i 1 ]);
+    ]
+
+let test_campaign_dead_region_fully_resilient () =
+  let prog = compile (dead_store_program ()) in
+  let r, t = run_traced prog in
+  let inst =
+    match Region.find_instance t ~rid:0 ~number:0 with
+    | Some i -> i
+    | None -> Alcotest.fail "region"
+  in
+  let target = Campaign.internal_target prog t inst in
+  let counts =
+    Campaign.run prog
+      ~verify:(fun res -> App.verified res.Machine.output)
+      ~clean_instructions:r.Machine.instructions
+      ~cfg:{ Campaign.default_config with max_trials = Some 50 }
+      target
+  in
+  (* value flips on the dead store are fully masked; flips on its
+     address computation may trap (wild store), but none may produce
+     silent data corruption *)
+  Alcotest.(check int) "no SDC" 0 counts.Campaign.failed;
+  Alcotest.(check bool) "mostly masked" true
+    (Stdlib.( >= ) (2 * counts.Campaign.success) counts.Campaign.trials)
+
+let test_campaign_classifies_crashes () =
+  (* faults on an address computation can crash; the campaign must
+     classify, not raise *)
+  let prog =
+    let open Ast in
+    compile
+      (main_program
+         ~globals:[ DArr ("a", Ty.F64, [ 4 ]); DScalar ("s", Ty.F64) ]
+         [
+           SRegion
+             ( "r",
+               1,
+               9,
+               [
+                 SAssign ("s", f 0.0);
+                 SFor
+                   ( "j",
+                     i 0,
+                     i 4,
+                     [
+                       SStore ("a", [ v "j" ], to_float (v "j"));
+                       SAssign ("s", v "s" + idx1 "a" (v "j"));
+                     ] );
+               ] );
+           SPrint ("RESULT %.17g\nVERIFIED %d\n", [ v "s"; i 1 ]);
+         ])
+  in
+  let r, t = run_traced prog in
+  let inst = List.hd (Region.instances t) in
+  let target = Campaign.internal_target prog t inst in
+  let counts =
+    Campaign.run prog
+      ~verify:(fun res -> App.verified res.Machine.output)
+      ~clean_instructions:r.Machine.instructions
+      ~cfg:{ Campaign.default_config with max_trials = Some 80 }
+      target
+  in
+  Alcotest.(check int) "all trials accounted" counts.Campaign.trials
+    (counts.Campaign.success + counts.Campaign.failed + counts.Campaign.crashed);
+  Alcotest.(check bool) "some trials ran" true (counts.Campaign.trials > 0)
+
+let test_population_counts_typed_bits () =
+  let prog =
+    let open Ast in
+    compile
+      (main_program
+         ~globals:[ DScalar ("x", Ty.I64); DScalar ("yf", Ty.F64) ]
+         [
+           SRegion
+             ("r", 1, 2, [ SAssign ("x", i 1); SAssign ("yf", f 1.0) ]);
+           SPrint ("RESULT %d\n", [ v "x" ]);
+         ])
+  in
+  let _, t = run_traced prog in
+  let inst = List.hd (Region.instances t) in
+  let target = Campaign.internal_target prog t inst in
+  (* integer destinations count 32 bits, float destinations 64 *)
+  let pop = Campaign.target_population target in
+  Alcotest.(check bool) "mixed widths" true (pop > 0 && pop mod 32 = 0)
+
+let test_input_target_types () =
+  let prog = compile (two_region_program ()) in
+  let _, t = run_traced prog in
+  let access = Access.build t in
+  let consume = List.nth (Region.instances t) 1 in
+  match Campaign.input_target prog t access consume with
+  | Campaign.Input { sites; _ } ->
+      Alcotest.(check bool) "inputs exist" true (Array.length sites > 0);
+      Array.iter
+        (fun (s : Campaign.input_site) ->
+          Alcotest.(check bool) "width is 32 or 64" true
+            (s.Campaign.bits = 32 || s.Campaign.bits = 64))
+        sites
+  | Campaign.Internal _ | Campaign.Mem_over_time _ ->
+      Alcotest.fail "expected Input target"
+
+let test_success_rate () =
+  let c = { Campaign.success = 3; failed = 1; crashed = 1; trials = 5 } in
+  Alcotest.(check (float 1e-12)) "rate" 0.6 (Campaign.success_rate c);
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Campaign.success_rate Campaign.zero_counts)
+
+let test_sampling_is_seeded () =
+  let prog = compile (dead_store_program ()) in
+  let _, t = run_traced prog in
+  let inst = List.hd (Region.instances t) in
+  let target = Campaign.internal_target prog t inst in
+  let f1 = Campaign.sample_fault (Rng.create ~seed:7) target in
+  let f2 = Campaign.sample_fault (Rng.create ~seed:7) target in
+  Alcotest.(check bool) "same seed, same fault" true (f1 = f2)
+
+let suite =
+  ( "faults",
+    [
+      Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+      Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+      Alcotest.test_case "rng int range" `Quick test_rng_int_range;
+      Alcotest.test_case "rng int coverage" `Quick test_rng_int_covers;
+      Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+      Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+      QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+      Alcotest.test_case "sample size known" `Quick test_sample_size_known_values;
+      Alcotest.test_case "sample size small population" `Quick
+        test_sample_size_small_population;
+      Alcotest.test_case "sample size monotone" `Quick
+        test_sample_size_monotone_in_margin;
+      Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
+      Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+      QCheck_alcotest.to_alcotest prop_wilson_shrinks_with_trials;
+      Alcotest.test_case "dead region fully resilient" `Quick
+        test_campaign_dead_region_fully_resilient;
+      Alcotest.test_case "campaign classifies crashes" `Quick
+        test_campaign_classifies_crashes;
+      Alcotest.test_case "typed population" `Quick test_population_counts_typed_bits;
+      Alcotest.test_case "input target types" `Quick test_input_target_types;
+      Alcotest.test_case "success rate" `Quick test_success_rate;
+      Alcotest.test_case "seeded sampling" `Quick test_sampling_is_seeded;
+    ] )

@@ -1,0 +1,136 @@
+(* Trace serialization and exporters. *)
+
+open Helpers
+
+let event_equal (a : Trace.event) (b : Trace.event) =
+  a.Trace.seq = b.Trace.seq && a.fidx = b.fidx && a.pc = b.pc && a.act = b.act
+  && a.line = b.line && a.region = b.region && a.instance = b.instance
+  && a.iter = b.iter && a.op = b.op
+  && Array.length a.reads = Array.length b.reads
+  && Array.length a.writes = Array.length b.writes
+  && Array.for_all2
+       (fun (l1, v1) (l2, v2) -> Loc.equal l1 l2 && Value.equal v1 v2)
+       a.reads b.reads
+  && Array.for_all2
+       (fun (l1, v1) (l2, v2) -> Loc.equal l1 l2 && Value.equal v1 v2)
+       a.writes b.writes
+
+let test_event_roundtrip () =
+  let prog = compile (two_region_program ()) in
+  let _, t = run_traced prog in
+  Trace.iter
+    (fun e ->
+      let buf = Buffer.create 128 in
+      Trace_io.write_event buf e;
+      let line = String.trim (Buffer.contents buf) in
+      let e' = Trace_io.parse_event line in
+      Alcotest.(check bool) "roundtrip" true (event_equal e e'))
+    t
+
+let test_trace_file_roundtrip () =
+  let prog = compile (loop_program ~iters:3) in
+  let _, t = run_traced ~iter_mark:0 prog in
+  let path = Filename.temp_file "fliptracker" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save path t;
+      let t' = Trace_io.load path in
+      Alcotest.(check int) "length" (Trace.length t) (Trace.length t');
+      let ok = ref true in
+      Trace.iteri
+        (fun k e -> if not (event_equal e (Trace.get t' k)) then ok := false)
+        t;
+      Alcotest.(check bool) "all events" true !ok)
+
+let test_split_by_region () =
+  let prog = compile (loop_program ~iters:4) in
+  let _, t = run_traced prog in
+  let dir = Filename.temp_file "fliptracker" ".d" in
+  Sys.remove dir;
+  let files = Trace_io.split_by_region_instance ~dir t in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove files;
+      Sys.rmdir dir)
+    (fun () ->
+      (* the loop body region has four instances -> four files *)
+      Alcotest.(check int) "one file per instance" 4 (List.length files);
+      let inst = List.hd (Region.instances t) in
+      let piece = Trace_io.load (List.hd files) in
+      Alcotest.(check int) "piece size" (Region.size inst) (Trace.length piece))
+
+let test_opclass_roundtrip () =
+  let all =
+    [
+      Trace.OConst; Trace.OLoad; Trace.OStore; Trace.OJmp; Trace.OBr true;
+      Trace.OBr false; Trace.OCall; Trace.ORet; Trace.OMark 3;
+      Trace.OIntr "print:%12.6e"; Trace.OBin Op.Fadd; Trace.OBin Op.Ashr;
+      Trace.OUn Op.Trunc32; Trace.OUn Op.Fsqrt;
+    ]
+  in
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "opclass roundtrip" true
+        (Trace_io.parse_opclass (Trace_io.opclass_code op) = op))
+    all
+
+let test_csv_export () =
+  let csv = Export.series_to_csv [| (0, 1); (5, 3); (9, 0) |] in
+  Alcotest.(check string) "csv" "instruction,acl\n0,1\n5,3\n9,0\n" csv
+
+let test_svg_export () =
+  let svg = Export.series_to_svg ~title:"t" [| (0, 1); (10, 5); (20, 0) |] in
+  Alcotest.(check bool) "is svg" true
+    (String.length svg > 100
+    && String.equal (String.sub svg 0 4) "<svg"
+    && String.equal (String.sub svg (String.length svg - 7) 6) "</svg>");
+  (* empty series still renders a valid element *)
+  let empty = Export.series_to_svg [||] in
+  Alcotest.(check bool) "empty ok" true (String.length empty > 10)
+
+let test_events_csv () =
+  let prog = compile (two_region_program ()) in
+  let _, clean = run_traced prog in
+  let fault = Machine.Flip_write { seq = 10; bit = 7 } in
+  let _, faulty = run_traced ~fault prog in
+  let acl = Acl.analyze ~fault ~clean ~faulty () in
+  let csv = Export.events_to_csv acl in
+  Alcotest.(check bool) "header" true
+    (String.length csv > 23
+    && String.equal (String.sub csv 0 23) "kind,index,line,region\n");
+  (* the overwrite deaths of this fault appear as rows *)
+  Alcotest.(check bool) "has rows" true
+    (List.length (String.split_on_char '\n' csv) > 2)
+
+(* property: any traced program's serialized trace parses back *)
+let prop_serialization_total =
+  QCheck.Test.make ~count:15 ~name:"serialize/parse any loop trace"
+    QCheck.(int_range 1 5)
+    (fun iters ->
+      let prog = compile (loop_program ~iters) in
+      let _, t = run_traced prog in
+      let buf = Buffer.create 4096 in
+      Trace.iter (fun e -> Trace_io.write_event buf e) t;
+      let lines =
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun s -> String.length s > 0)
+      in
+      List.length lines = Trace.length t
+      && List.for_all
+           (fun l ->
+             match Trace_io.parse_event l with _ -> true)
+           lines)
+
+let suite =
+  ( "io",
+    [
+      Alcotest.test_case "event roundtrip" `Quick test_event_roundtrip;
+      Alcotest.test_case "trace file roundtrip" `Quick test_trace_file_roundtrip;
+      Alcotest.test_case "split by region" `Quick test_split_by_region;
+      Alcotest.test_case "opclass roundtrip" `Quick test_opclass_roundtrip;
+      Alcotest.test_case "csv export" `Quick test_csv_export;
+      Alcotest.test_case "svg export" `Quick test_svg_export;
+      Alcotest.test_case "events csv" `Quick test_events_csv;
+      QCheck_alcotest.to_alcotest prop_serialization_total;
+    ] )

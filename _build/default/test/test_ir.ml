@@ -1,0 +1,162 @@
+(* IR-level structures: locations, program validation, the symbol
+   table, pretty-printing smoke checks. *)
+
+let test_loc_equal_compare () =
+  let a = Loc.Reg (1, 2) and b = Loc.Reg (1, 2) and c = Loc.Mem 5 in
+  Alcotest.(check bool) "equal" true (Loc.equal a b);
+  Alcotest.(check bool) "not equal" false (Loc.equal a c);
+  Alcotest.(check int) "compare equal" 0 (Loc.compare a b);
+  Alcotest.(check bool) "reg < mem" true (Loc.compare a c < 0);
+  Alcotest.(check bool) "is_mem" true (Loc.is_mem c && not (Loc.is_mem a))
+
+let test_loc_set_map () =
+  let s = Loc.Set.of_list [ Loc.Mem 1; Loc.Mem 2; Loc.Mem 1; Loc.Reg (0, 3) ] in
+  Alcotest.(check int) "dedup" 3 (Loc.Set.cardinal s);
+  let m = Loc.Map.add (Loc.Mem 7) "x" Loc.Map.empty in
+  Alcotest.(check (option string)) "map find" (Some "x")
+    (Loc.Map.find_opt (Loc.Mem 7) m)
+
+let test_loc_tbl () =
+  let t = Loc.Tbl.create 8 in
+  Loc.Tbl.replace t (Loc.Reg (4, 4)) 1;
+  Loc.Tbl.replace t (Loc.Reg (4, 4)) 2;
+  Alcotest.(check (option int)) "replace" (Some 2)
+    (Loc.Tbl.find_opt t (Loc.Reg (4, 4)));
+  Alcotest.(check int) "size" 1 (Loc.Tbl.length t)
+
+let dummy_prog ?(code = [| Instr.Ret None |]) ?(nregs = 1) () : Prog.t =
+  {
+    Prog.funcs =
+      [|
+        {
+          Prog.fname = "f";
+          nregs;
+          code;
+          lines = Array.map (fun _ -> 0) code;
+          regions = Array.map (fun _ -> -1) code;
+        };
+      |];
+    entry = 0;
+    mem_size = 8;
+    init_mem = [];
+    region_table = [||];
+    mark_names = [||];
+    symbols = [];
+  }
+
+let expect_invalid name prog =
+  Alcotest.(check bool) name true
+    (try Prog.validate prog; false with Invalid_argument _ -> true)
+
+let test_validate_rejects_bad_register () =
+  expect_invalid "register out of range"
+    (dummy_prog ~code:[| Instr.Const (3, 0L); Instr.Ret None |] ~nregs:1 ())
+
+let test_validate_rejects_bad_branch () =
+  expect_invalid "branch target out of range"
+    (dummy_prog ~code:[| Instr.Jmp 99 |] ())
+
+let test_validate_rejects_bad_callee () =
+  expect_invalid "callee out of range"
+    (dummy_prog ~code:[| Instr.Call (5, [||], None); Instr.Ret None |] ())
+
+let test_validate_rejects_bad_entry () =
+  let p = dummy_prog () in
+  expect_invalid "entry out of range" { p with Prog.entry = 3 }
+
+let test_validate_accepts_good () =
+  Prog.validate
+    (dummy_prog
+       ~code:[| Instr.Const (0, 1L); Instr.Bnz (0, 0, 2); Instr.Ret None |] ())
+
+let test_addr_of_element_errors () =
+  let prog =
+    Compile.compile
+      (Helpers.main_program
+         ~globals:[ Ast.DArr ("a", Ty.F64, [ 2; 3 ]) ]
+         [ Ast.SStore ("a", [ Ast.i 0; Ast.i 0 ], Ast.f 1.0) ])
+  in
+  Alcotest.(check bool) "unknown symbol" true
+    (try ignore (Prog.addr_of_element prog "nope" [ 0 ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong arity" true
+    (try ignore (Prog.addr_of_element prog "a" [ 0 ]); false
+     with Invalid_argument _ -> true);
+  (* row-major: a[1][2] = base + 1*3 + 2 *)
+  let base = (Option.get (Prog.find_symbol prog "a")).Prog.sym_addr in
+  Alcotest.(check int) "offset" (base + 5) (Prog.addr_of_element prog "a" [ 1; 2 ])
+
+let test_type_of_addr_covers_array () =
+  let prog =
+    Compile.compile
+      (Helpers.main_program
+         ~globals:[ Ast.DArr ("a", Ty.I64, [ 4 ]); Ast.DScalar ("x", Ty.F64) ]
+         [ Ast.SAssign ("x", Ast.f 0.0) ])
+  in
+  let base = (Option.get (Prog.find_symbol prog "a")).Prog.sym_addr in
+  Alcotest.(check bool) "array word typed" true
+    (Prog.type_of_addr prog (base + 3) = Some Ty.I64);
+  Alcotest.(check bool) "past the array" true
+    (Prog.type_of_addr prog (base + 4) <> Some Ty.I64)
+
+let test_static_size () =
+  let prog = Compile.compile (Helpers.loop_program ~iters:1) in
+  Alcotest.(check bool) "counts all functions" true
+    (Prog.static_size prog > 10)
+
+let test_pp_smoke () =
+  (* pretty-printers render without raising *)
+  let prog = Compile.compile (Helpers.two_region_program ()) in
+  Alcotest.(check bool) "prog pp" true
+    (String.length (Fmt.str "%a" Prog.pp prog) > 100);
+  Alcotest.(check bool) "value pp" true
+    (String.length (Fmt.str "%a" (Value.pp_typed Ty.F64) (Value.of_float 1.5)) > 0);
+  Alcotest.(check bool) "loc pp" true
+    (String.length (Fmt.str "%a" Loc.pp (Loc.Mem 3)) > 0);
+  Alcotest.(check bool) "instr pp" true
+    (String.length (Fmt.str "%a" Instr.pp (Instr.Bin (Op.Fadd, 0, 1, 2))) > 0)
+
+let test_ty () =
+  Alcotest.(check bool) "equal" true (Ty.equal Ty.I64 Ty.I64);
+  Alcotest.(check bool) "distinct" false (Ty.equal Ty.I64 Ty.F64);
+  Alcotest.(check string) "to_string" "f64" (Ty.to_string Ty.F64)
+
+let test_region_lookup_errors () =
+  let prog = Compile.compile (Helpers.two_region_program ()) in
+  Alcotest.(check bool) "unknown region" true
+    (try ignore (Prog.region_by_name prog "nope"); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown mark" true
+    (try ignore (Prog.mark_id prog "nope"); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown function" true
+    (try ignore (Prog.func_index prog "nope"); false
+     with Invalid_argument _ -> true)
+
+let prop_loc_hash_consistent =
+  QCheck.Test.make ~count:300 ~name:"equal locations hash equally"
+    QCheck.(pair (pair small_nat small_nat) bool)
+    (fun ((a, b), mem) ->
+      let l1 = if mem then Loc.Mem a else Loc.Reg (a, b) in
+      let l2 = if mem then Loc.Mem a else Loc.Reg (a, b) in
+      Loc.equal l1 l2 && Loc.hash l1 = Loc.hash l2)
+
+let suite =
+  ( "ir",
+    [
+      Alcotest.test_case "loc equal/compare" `Quick test_loc_equal_compare;
+      Alcotest.test_case "loc set/map" `Quick test_loc_set_map;
+      Alcotest.test_case "loc tbl" `Quick test_loc_tbl;
+      Alcotest.test_case "validate: bad register" `Quick test_validate_rejects_bad_register;
+      Alcotest.test_case "validate: bad branch" `Quick test_validate_rejects_bad_branch;
+      Alcotest.test_case "validate: bad callee" `Quick test_validate_rejects_bad_callee;
+      Alcotest.test_case "validate: bad entry" `Quick test_validate_rejects_bad_entry;
+      Alcotest.test_case "validate: accepts good" `Quick test_validate_accepts_good;
+      Alcotest.test_case "addr_of_element" `Quick test_addr_of_element_errors;
+      Alcotest.test_case "type_of_addr" `Quick test_type_of_addr_covers_array;
+      Alcotest.test_case "static size" `Quick test_static_size;
+      Alcotest.test_case "pretty-printers" `Quick test_pp_smoke;
+      Alcotest.test_case "ty" `Quick test_ty;
+      Alcotest.test_case "lookup errors" `Quick test_region_lookup_errors;
+      QCheck_alcotest.to_alcotest prop_loc_hash_consistent;
+    ] )

@@ -1,0 +1,128 @@
+(* The simulated MPI runtime: messaging, collectives, record/replay,
+   and the demo programs. *)
+
+let run_demo ?record ?replay ~size prog_ast =
+  let prog = Compile.compile prog_ast in
+  Runner.run ?record ?replay ~size prog
+
+let result_of (b : Runner.bundle) rank =
+  match App.parse_result b.Runner.results.(rank).Runner.result.Machine.output with
+  | Some v -> v
+  | None -> Alcotest.fail "rank printed no RESULT"
+
+let test_ring_total () =
+  let b = run_demo ~size:6 (Demo.ring ~rounds:4) in
+  let expected = float_of_int (4 * 6 * 5 / 2) in
+  for rank = 0 to 5 do
+    Alcotest.(check (float 0.0)) "ring total on every rank" expected
+      (result_of b rank)
+  done
+
+let test_ring_single_rank () =
+  (* a ring of one rank sends to itself *)
+  let b = run_demo ~size:1 (Demo.ring ~rounds:2) in
+  Alcotest.(check (float 0.0)) "degenerate ring" 0.0 (result_of b 0)
+
+let test_allreduce_converges_to_mean () =
+  let b = run_demo ~size:8 (Demo.allreduce_converge ~iters:40) in
+  for rank = 0 to 7 do
+    Alcotest.(check (float 1e-6)) "converged to mean of 0..7" 3.5
+      (result_of b rank)
+  done
+
+let test_jacobi_consistent_and_bounded () =
+  let b = run_demo ~size:4 (Demo.halo_jacobi ~cells:6 ~iters:30) in
+  let v = result_of b 0 in
+  (* all ranks agree (it is an allreduce) and the sum is within the
+     fixed boundary range *)
+  for rank = 1 to 3 do
+    Alcotest.(check (float 0.0)) "agreement" v (result_of b rank)
+  done;
+  Alcotest.(check bool) "bounded by boundary values" true (v > 0.0 && v < 24.0)
+
+let test_jacobi_record_replay_identical () =
+  let ast = Demo.halo_jacobi ~cells:6 ~iters:15 in
+  let b1 = run_demo ~record:true ~size:4 ast in
+  Alcotest.(check bool) "events recorded" true (b1.Runner.recorded <> []);
+  let b2 = run_demo ~replay:(Array.of_list b1.Runner.recorded) ~size:4 ast in
+  Alcotest.(check (float 0.0)) "replay reproduces the result"
+    (result_of b1 0) (result_of b2 0)
+
+let test_comm_direct_send_recv () =
+  let comm = Comm.create ~size:2 () in
+  Comm.send comm ~src:0 ~dest:1 ~tag:5 (Value.of_float 2.5);
+  let v = Comm.recv comm ~rank:1 ~src:0 ~tag:5 in
+  Alcotest.(check (float 0.0)) "payload" 2.5 (Value.to_float v)
+
+let test_comm_fifo_per_channel () =
+  let comm = Comm.create ~size:2 () in
+  Comm.send comm ~src:0 ~dest:1 ~tag:1 (Value.of_float 1.0);
+  Comm.send comm ~src:0 ~dest:1 ~tag:1 (Value.of_float 2.0);
+  Alcotest.(check (float 0.0)) "first" 1.0
+    (Value.to_float (Comm.recv comm ~rank:1 ~src:0 ~tag:1));
+  Alcotest.(check (float 0.0)) "second" 2.0
+    (Value.to_float (Comm.recv comm ~rank:1 ~src:0 ~tag:1))
+
+let test_comm_rank_checks () =
+  let comm = Comm.create ~size:2 () in
+  Alcotest.(check bool) "bad dest" true
+    (try Comm.send comm ~src:0 ~dest:7 ~tag:0 Value.zero; false
+     with Comm.Comm_error _ -> true)
+
+let test_hooks_wire_rank_and_size () =
+  let comm = Comm.create ~size:3 () in
+  let h = Comm.hooks comm ~rank:2 in
+  Alcotest.(check int) "rank" 2 h.Machine.rank;
+  Alcotest.(check int) "size" 3 h.Machine.size
+
+let test_recv_without_runtime_traps () =
+  let prog =
+    let open Ast in
+    Compile.compile
+      (Helpers.main_program
+         ~globals:[ DScalar ("x", Ty.F64) ]
+         [ SAssign ("x", MpiRecv (i 0, i 0)) ])
+  in
+  match (Machine.run_plain prog).Machine.outcome with
+  | Machine.Trapped _ -> ()
+  | Machine.Finished | Machine.Budget_exceeded ->
+      Alcotest.fail "expected a trap without an MPI runtime"
+
+let test_allreduce_without_runtime_is_identity () =
+  let prog =
+    let open Ast in
+    Compile.compile
+      (Helpers.main_program
+         ~globals:[ DScalar ("x", Ty.F64) ]
+         [ SAssign ("x", MpiAllreduce (f 4.25)) ])
+  in
+  let r = Machine.run_plain prog in
+  Alcotest.(check (float 0.0)) "identity on one rank" 4.25
+    (Helpers.mem_float prog r "x")
+
+let test_tracing_through_runner () =
+  let prog = Compile.compile (Demo.allreduce_converge ~iters:5) in
+  let b = Runner.run ~traced:true ~size:2 prog in
+  Array.iter
+    (fun (r : Runner.rank_result) ->
+      Alcotest.(check bool) "per-rank trace collected" true (r.Runner.trace_len > 0))
+    b.Runner.results
+
+let suite =
+  ( "mpi",
+    [
+      Alcotest.test_case "ring total" `Quick test_ring_total;
+      Alcotest.test_case "ring of one" `Quick test_ring_single_rank;
+      Alcotest.test_case "allreduce convergence" `Quick
+        test_allreduce_converges_to_mean;
+      Alcotest.test_case "jacobi agreement" `Quick test_jacobi_consistent_and_bounded;
+      Alcotest.test_case "record/replay" `Quick test_jacobi_record_replay_identical;
+      Alcotest.test_case "direct send/recv" `Quick test_comm_direct_send_recv;
+      Alcotest.test_case "per-channel FIFO" `Quick test_comm_fifo_per_channel;
+      Alcotest.test_case "rank checks" `Quick test_comm_rank_checks;
+      Alcotest.test_case "hooks rank/size" `Quick test_hooks_wire_rank_and_size;
+      Alcotest.test_case "recv without runtime" `Quick test_recv_without_runtime_traps;
+      Alcotest.test_case "allreduce identity" `Quick
+        test_allreduce_without_runtime_is_identity;
+      Alcotest.test_case "tracing through runner" `Quick test_tracing_through_runner;
+    ] )

@@ -1,0 +1,163 @@
+(* Opcode semantics, including traps and the masking behaviours the
+   patterns rely on (shifting, truncation). *)
+
+let vi = Value.of_int
+let vf = Value.of_float
+let eb = Op.eval_bin
+let eu = Op.eval_un
+
+let test_int_arith () =
+  Alcotest.(check int64) "add" 7L (eb Op.Add (vi 3) (vi 4));
+  Alcotest.(check int64) "sub" (-1L) (eb Op.Sub (vi 3) (vi 4));
+  Alcotest.(check int64) "mul" 12L (eb Op.Mul (vi 3) (vi 4));
+  Alcotest.(check int64) "div" 2L (eb Op.Div (vi 9) (vi 4));
+  Alcotest.(check int64) "div negative" (-2L) (eb Op.Div (vi (-9)) (vi 4));
+  Alcotest.(check int64) "rem" 1L (eb Op.Rem (vi 9) (vi 4))
+
+let test_div_by_zero_traps () =
+  Alcotest.check_raises "div" (Op.Trap "integer division by zero") (fun () ->
+      ignore (eb Op.Div (vi 1) (vi 0)));
+  Alcotest.check_raises "rem" (Op.Trap "integer remainder by zero") (fun () ->
+      ignore (eb Op.Rem (vi 1) (vi 0)))
+
+let test_float_arith () =
+  Alcotest.(check (float 1e-12)) "fadd" 0.75 (Value.to_float (eb Op.Fadd (vf 0.5) (vf 0.25)));
+  Alcotest.(check (float 1e-12)) "fmul" 0.125 (Value.to_float (eb Op.Fmul (vf 0.5) (vf 0.25)));
+  (* float division by zero is IEEE infinity, not a trap *)
+  Alcotest.(check bool) "fdiv inf" true
+    (Float.is_integer (Value.to_float (eb Op.Fdiv (vf 1.0) (vf 0.0))) = false
+     || Value.to_float (eb Op.Fdiv (vf 1.0) (vf 0.0)) = Float.infinity)
+
+let test_shifts () =
+  Alcotest.(check int64) "shl" 40L (eb Op.Shl (vi 5) (vi 3));
+  Alcotest.(check int64) "lshr" 5L (eb Op.Lshr (vi 40) (vi 3));
+  Alcotest.(check int64) "ashr negative" (-1L) (eb Op.Ashr (vi (-1)) (vi 5));
+  (* shift amounts are taken mod 64 like hardware *)
+  Alcotest.(check int64) "shift mod 64" (eb Op.Shl (vi 1) (vi 1))
+    (eb Op.Shl (vi 1) (vi 65))
+
+let test_shift_masks_low_bits () =
+  (* the Shifting pattern: a flip below the shift amount is erased *)
+  let key = vi 0b1011000 in
+  let flipped = Value.flip_bit key 2 in
+  Alcotest.(check int64) "same bucket" (eb Op.Ashr key (vi 4))
+    (eb Op.Ashr flipped (vi 4))
+
+let test_compares () =
+  Alcotest.(check int64) "lt true" 1L (eb Op.Lt (vi 1) (vi 2));
+  Alcotest.(check int64) "lt false" 0L (eb Op.Lt (vi 2) (vi 1));
+  Alcotest.(check int64) "eq" 1L (eb Op.Eq (vi 5) (vi 5));
+  Alcotest.(check int64) "feq" 1L (eb Op.Feq (vf 0.5) (vf 0.5));
+  Alcotest.(check int64) "fgt" 1L (eb Op.Fgt (vf 1.5) (vf 0.5))
+
+let test_minmax () =
+  Alcotest.(check int64) "imin" 3L (eb Op.Imin (vi 3) (vi 9));
+  Alcotest.(check int64) "imax" 9L (eb Op.Imax (vi 3) (vi 9));
+  Alcotest.(check (float 0.0)) "fmin" 1.5 (Value.to_float (eb Op.Fmin (vf 1.5) (vf 2.5)))
+
+let test_trunc32 () =
+  Alcotest.(check int64) "small unchanged" 42L (eu Op.Trunc32 (vi 42));
+  Alcotest.(check int64) "high bits dropped" 1L
+    (eu Op.Trunc32 (Int64.add 1L (Int64.shift_left 1L 32)));
+  Alcotest.(check int64) "sign extension" (-1L)
+    (eu Op.Trunc32 (vi 0xFFFFFFFF))
+
+let test_trunc32_masks_high_flip () =
+  (* the Truncation pattern: a flip above bit 31 is erased by (int) *)
+  let x = vi 123 in
+  let flipped = Value.flip_bit x 40 in
+  Alcotest.(check int64) "masked" (eu Op.Trunc32 x) (eu Op.Trunc32 flipped)
+
+let test_conversions () =
+  Alcotest.(check (float 0.0)) "sitofp" 5.0 (Value.to_float (eu Op.FloatOfInt (vi 5)));
+  Alcotest.(check int64) "fptosi truncates" 2L (eu Op.IntOfFloat (vf 2.9));
+  Alcotest.(check int64) "fptosi negative" (-2L) (eu Op.IntOfFloat (vf (-2.9)));
+  Alcotest.check_raises "fptosi nan" (Op.Trap "int of NaN") (fun () ->
+      ignore (eu Op.IntOfFloat (vf Float.nan)))
+
+let test_f32round () =
+  (* binary32 rounding loses low mantissa bits *)
+  let x = 1.0 +. 1e-12 in
+  Alcotest.(check (float 0.0)) "rounded" 1.0 (Value.to_float (eu Op.F32round (vf x)));
+  Alcotest.(check (float 0.0)) "exact survives" 0.5 (Value.to_float (eu Op.F32round (vf 0.5)))
+
+let test_sqrt_trap () =
+  Alcotest.check_raises "sqrt negative" (Op.Trap "sqrt of negative value")
+    (fun () -> ignore (eu Op.Fsqrt (vf (-1.0))));
+  Alcotest.(check (float 1e-12)) "sqrt" 3.0 (Value.to_float (eu Op.Fsqrt (vf 9.0)))
+
+let test_trig () =
+  Alcotest.(check (float 1e-12)) "sin 0" 0.0 (Value.to_float (eu Op.Fsin (vf 0.0)));
+  Alcotest.(check (float 1e-12)) "cos 0" 1.0 (Value.to_float (eu Op.Fcos (vf 0.0)))
+
+let test_classifiers () =
+  Alcotest.(check bool) "fadd is float" true (Op.bin_is_float Op.Fadd);
+  Alcotest.(check bool) "add not float" false (Op.bin_is_float Op.Add);
+  Alcotest.(check bool) "lt is compare" true (Op.bin_is_compare Op.Lt);
+  Alcotest.(check bool) "shl is shift" true (Op.bin_is_shift Op.Shl);
+  Alcotest.(check bool) "trunc32 is truncation" true (Op.un_is_truncation Op.Trunc32);
+  Alcotest.(check bool) "f32round is truncation" true (Op.un_is_truncation Op.F32round);
+  Alcotest.(check bool) "fneg not truncation" false (Op.un_is_truncation Op.Fneg)
+
+(* properties *)
+
+let prop_shift_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"shl then lshr recovers low bits"
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 15))
+    (fun (x, s) ->
+      let v = vi x in
+      let shifted = eb Op.Shl v (vi s) in
+      Int64.equal (eb Op.Lshr shifted (vi s)) v)
+
+let prop_low_flip_shifted_out =
+  QCheck.Test.make ~count:500 ~name:"flip below shift amount never changes result"
+    QCheck.(triple (int_bound 100000) (int_range 1 20) (int_bound 19))
+    (fun (x, s, b) ->
+      QCheck.assume (b < s);
+      let v = vi x in
+      Int64.equal (eb Op.Lshr v (vi s)) (eb Op.Lshr (Value.flip_bit v b) (vi s)))
+
+let prop_trunc32_idempotent =
+  QCheck.Test.make ~count:500 ~name:"trunc32 is idempotent"
+    QCheck.int64
+    (fun v -> Int64.equal (eu Op.Trunc32 v) (eu Op.Trunc32 (eu Op.Trunc32 v)))
+
+let prop_f32round_idempotent =
+  QCheck.Test.make ~count:500 ~name:"f32round is idempotent"
+    QCheck.float
+    (fun x ->
+      let v = vf x in
+      let once = eu Op.F32round v in
+      let twice = eu Op.F32round once in
+      Int64.equal once twice
+      || (Float.is_nan (Value.to_float once) && Float.is_nan (Value.to_float twice)))
+
+let prop_minmax_bounds =
+  QCheck.Test.make ~count:500 ~name:"imin <= imax"
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      Int64.compare (eb Op.Imin a b) (eb Op.Imax a b) <= 0)
+
+let suite =
+  ( "op",
+    [
+      Alcotest.test_case "integer arithmetic" `Quick test_int_arith;
+      Alcotest.test_case "division by zero traps" `Quick test_div_by_zero_traps;
+      Alcotest.test_case "float arithmetic" `Quick test_float_arith;
+      Alcotest.test_case "shifts" `Quick test_shifts;
+      Alcotest.test_case "shift masks low bits" `Quick test_shift_masks_low_bits;
+      Alcotest.test_case "comparisons" `Quick test_compares;
+      Alcotest.test_case "min/max" `Quick test_minmax;
+      Alcotest.test_case "trunc32" `Quick test_trunc32;
+      Alcotest.test_case "trunc32 masks high flip" `Quick test_trunc32_masks_high_flip;
+      Alcotest.test_case "conversions" `Quick test_conversions;
+      Alcotest.test_case "f32round" `Quick test_f32round;
+      Alcotest.test_case "sqrt trap" `Quick test_sqrt_trap;
+      Alcotest.test_case "trig" `Quick test_trig;
+      Alcotest.test_case "classifiers" `Quick test_classifiers;
+      QCheck_alcotest.to_alcotest prop_shift_roundtrip;
+      QCheck_alcotest.to_alcotest prop_low_flip_shifted_out;
+      QCheck_alcotest.to_alcotest prop_trunc32_idempotent;
+      QCheck_alcotest.to_alcotest prop_f32round_idempotent;
+      QCheck_alcotest.to_alcotest prop_minmax_bounds;
+    ] )

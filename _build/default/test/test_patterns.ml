@@ -1,0 +1,248 @@
+(* Pattern definitions, static detection, and pattern rates. *)
+
+open Helpers
+
+let test_pattern_catalog () =
+  Alcotest.(check int) "six patterns" 6 (List.length Pattern.all);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "short name" true (String.length (Pattern.to_string p) > 0);
+      Alcotest.(check bool) "description" true (String.length (Pattern.describe p) > 0))
+    Pattern.all
+
+let test_mask_kind_mapping () =
+  Alcotest.(check bool) "shift" true
+    (Pattern.of_mask_kind Acl.Shift_mask = Some Pattern.Shifting);
+  Alcotest.(check bool) "trunc" true
+    (Pattern.of_mask_kind Acl.Trunc_mask = Some Pattern.Truncation);
+  Alcotest.(check bool) "print" true
+    (Pattern.of_mask_kind Acl.Print_mask = Some Pattern.Truncation);
+  Alcotest.(check bool) "cond" true
+    (Pattern.of_mask_kind Acl.Cond_mask = Some Pattern.Conditional_statement);
+  Alcotest.(check bool) "other unmapped" true
+    (Pattern.of_mask_kind Acl.Other_mask = None);
+  Alcotest.(check bool) "overwrite" true
+    (Pattern.of_death_cause Acl.Overwritten = Pattern.Data_overwriting);
+  Alcotest.(check bool) "dead" true
+    (Pattern.of_death_cause Acl.Dead = Pattern.Dead_corrupted_locations)
+
+(* --- static detection --------------------------------------------------- *)
+
+let static_counts body globals =
+  let prog = compile (main_program ~globals body) in
+  Static_detect.analyze prog
+
+let test_static_shift_sites () =
+  let r =
+    let open Ast in
+    static_counts
+      [ SAssign ("x", (v "x" >> i 3) + (v "x" << i 1)) ]
+      [ DScalar ("x", Ty.I64) ]
+  in
+  Alcotest.(check int) "two shifts" 2 (List.length r.Static_detect.shifts)
+
+let test_static_conditionals () =
+  let r =
+    let open Ast in
+    static_counts
+      [
+        SIf (v "x" > i 0, [ SAssign ("x", i 1) ], []);
+        SWhile (v "x" > i 5, [ SAssign ("x", v "x" - i 1) ]);
+      ]
+      [ DScalar ("x", Ty.I64) ]
+  in
+  (* if + while test = 2 branch sites (loop branches included) *)
+  Alcotest.(check bool) "conditional sites" true
+    (List.length r.Static_detect.conditionals >= 2)
+
+let test_static_truncations () =
+  let r =
+    let open Ast in
+    static_counts
+      [
+        SAssign ("x", trunc32 (v "x"));
+        SAssign ("y", f32 (v "y"));
+        SPrint ("%12.6e\n", [ v "y" ]);
+        SPrint ("%d\n", [ v "x" ]);
+      ]
+      [ DScalar ("x", Ty.I64); DScalar ("y", Ty.F64) ]
+  in
+  (* trunc32 + f32 + the precision-limited float print; the %d print
+     does not truncate *)
+  Alcotest.(check int) "three truncation sites" 3
+    (List.length r.Static_detect.truncations)
+
+let test_static_repeated_addition_positive () =
+  let r =
+    let open Ast in
+    static_counts
+      [
+        SFor
+          ( "j",
+            i 0,
+            i 4,
+            [
+              SStore ("u", [ v "j" ], idx1 "u" (v "j") + idx1 "w" (v "j"));
+            ] );
+      ]
+      [ DArr ("u", Ty.F64, [ 4 ]); DArr ("w", Ty.F64, [ 4 ]) ]
+  in
+  Alcotest.(check int) "self accumulation found" 1
+    (List.length r.Static_detect.repeated_adds)
+
+let test_static_repeated_addition_negative () =
+  let r =
+    let open Ast in
+    static_counts
+      [
+        SFor
+          ( "j",
+            i 0,
+            i 4,
+            [
+              (* not self-accumulating: u <- w + w *)
+              SStore ("u", [ v "j" ], idx1 "w" (v "j") + idx1 "w" (v "j"));
+            ] );
+      ]
+      [ DArr ("u", Ty.F64, [ 4 ]); DArr ("w", Ty.F64, [ 4 ]) ]
+  in
+  Alcotest.(check int) "no self accumulation" 0
+    (List.length r.Static_detect.repeated_adds)
+
+let test_static_overwrites_are_stores () =
+  let r =
+    let open Ast in
+    static_counts
+      [ SAssign ("x", i 1); SAssign ("x", i 2) ]
+      [ DScalar ("x", Ty.I64) ]
+  in
+  Alcotest.(check int) "store sites" 2 (List.length r.Static_detect.overwrites)
+
+let test_format_truncates () =
+  Alcotest.(check bool) "%12.6e" true (Static_detect.format_truncates "%12.6e");
+  Alcotest.(check bool) "%.3f" true (Static_detect.format_truncates "x=%.3f");
+  Alcotest.(check bool) "%e bare" false (Static_detect.format_truncates "%e");
+  Alcotest.(check bool) "%d" false (Static_detect.format_truncates "%d");
+  Alcotest.(check bool) "plain" false (Static_detect.format_truncates "hello")
+
+let test_static_count_api () =
+  let r =
+    let open Ast in
+    static_counts
+      [ SAssign ("x", v "x" >> i 1) ]
+      [ DScalar ("x", Ty.I64) ]
+  in
+  Alcotest.(check int) "count shifting" 1
+    (Static_detect.count r Pattern.Shifting);
+  Alcotest.(check int) "DCL static is zero" 0
+    (Static_detect.count r Pattern.Dead_corrupted_locations)
+
+(* --- rates ---------------------------------------------------------------- *)
+
+let test_rates_on_shift_heavy_program () =
+  let prog =
+    let open Ast in
+    compile
+      (main_program
+         ~globals:[ DScalar ("x", Ty.I64); DScalar ("acc", Ty.I64) ]
+         [
+           SAssign ("x", i 12345);
+           SAssign ("acc", i 0);
+           SFor
+             ( "j",
+               i 0,
+               i 20,
+               [ SAssign ("acc", v "acc" + (v "x" >> v "j")) ] );
+           SPrint ("RESULT %d\n", [ v "acc" ]);
+         ])
+  in
+  let _, t = run_traced prog in
+  let rates = Rates.compute t (Access.build t) in
+  Alcotest.(check bool) "shift rate positive" true (rates.Rates.shift > 0.0);
+  Alcotest.(check bool) "condition rate positive (loop tests)" true
+    (rates.Rates.condition > 0.0);
+  Alcotest.(check bool) "no truncation" true (rates.Rates.truncation = 0.0)
+
+let test_rates_repeated_addition_dynamic () =
+  let prog =
+    let open Ast in
+    compile
+      (main_program
+         ~globals:[ DArr ("u", Ty.F64, [ 8 ]) ]
+         [
+           SFor
+             ( "j",
+               i 0,
+               i 8,
+               [ SStore ("u", [ v "j" ], idx1 "u" (v "j") + f 1.0) ] );
+         ])
+  in
+  let _, t = run_traced prog in
+  let rates = Rates.compute t (Access.build t) in
+  Alcotest.(check bool) "repeated additions detected" true
+    (rates.Rates.repeated_addition > 0.0)
+
+let test_rates_vector_and_names () =
+  let _, t = run_traced (compile (loop_program ~iters:2)) in
+  let rates = Rates.compute t (Access.build t) in
+  let vec = Rates.to_vector rates in
+  Alcotest.(check int) "six features" 6 (Array.length vec);
+  Alcotest.(check int) "six names" 6 (Array.length Rates.feature_names);
+  Array.iter
+    (fun x -> Alcotest.(check bool) "finite nonneg" true (x >= 0.0 && Float.is_finite x))
+    vec;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "get matches vector" true
+        (Array.exists (fun x -> x = Rates.get rates p) vec))
+    Pattern.all
+
+let test_rates_overwrite_high_for_loops () =
+  let _, t = run_traced (compile (loop_program ~iters:10)) in
+  let rates = Rates.compute t (Access.build t) in
+  (* loop-heavy code overwrites registers and counters constantly *)
+  Alcotest.(check bool) "overwrite rate substantial" true
+    (rates.Rates.overwrite > 0.1)
+
+(* --- dynamic pattern summaries ------------------------------------------- *)
+
+let test_dynamic_detect_merge () =
+  let rp rid p n : Dynamic_detect.region_patterns =
+    { Dynamic_detect.rid; counts = [ (p, n) ]; lines = [ (p, [ 1 ]) ] }
+  in
+  let merged =
+    Dynamic_detect.merge
+      [
+        [ rp 0 Pattern.Shifting 2 ];
+        [ rp 0 Pattern.Shifting 3; rp 1 Pattern.Truncation 1 ];
+      ]
+  in
+  Alcotest.(check int) "two regions" 2 (List.length merged);
+  let r0 = List.find (fun (r : Dynamic_detect.region_patterns) -> r.rid = 0) merged in
+  Alcotest.(check bool) "counts summed" true
+    (List.assoc Pattern.Shifting r0.Dynamic_detect.counts = 5);
+  Alcotest.(check bool) "found" true (Dynamic_detect.found r0 Pattern.Shifting);
+  Alcotest.(check bool) "not found" false (Dynamic_detect.found r0 Pattern.Truncation)
+
+let suite =
+  ( "patterns",
+    [
+      Alcotest.test_case "catalog" `Quick test_pattern_catalog;
+      Alcotest.test_case "mask kind mapping" `Quick test_mask_kind_mapping;
+      Alcotest.test_case "static shifts" `Quick test_static_shift_sites;
+      Alcotest.test_case "static conditionals" `Quick test_static_conditionals;
+      Alcotest.test_case "static truncations" `Quick test_static_truncations;
+      Alcotest.test_case "static repeated addition +" `Quick
+        test_static_repeated_addition_positive;
+      Alcotest.test_case "static repeated addition -" `Quick
+        test_static_repeated_addition_negative;
+      Alcotest.test_case "static overwrites" `Quick test_static_overwrites_are_stores;
+      Alcotest.test_case "format truncates" `Quick test_format_truncates;
+      Alcotest.test_case "static count api" `Quick test_static_count_api;
+      Alcotest.test_case "rates: shifts" `Quick test_rates_on_shift_heavy_program;
+      Alcotest.test_case "rates: repeated additions" `Quick
+        test_rates_repeated_addition_dynamic;
+      Alcotest.test_case "rates: vector/names" `Quick test_rates_vector_and_names;
+      Alcotest.test_case "rates: overwrites" `Quick test_rates_overwrite_high_for_loops;
+      Alcotest.test_case "dynamic merge" `Quick test_dynamic_detect_merge;
+    ] )

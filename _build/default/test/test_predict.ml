@@ -1,0 +1,159 @@
+(* Dense linear algebra and the resilience regression model. *)
+
+let approx = Alcotest.(check (float 1e-8))
+
+(* --- linalg ---------------------------------------------------------------- *)
+
+let test_solve_known_system () =
+  (* 2x + y = 5; x + 3y = 10 -> x = 1, y = 3 *)
+  let a = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Linalg.solve a [| 5.0; 10.0 |] in
+  approx "x" 1.0 x.(0);
+  approx "y" 3.0 x.(1)
+
+let test_solve_identity () =
+  let x = Linalg.solve (Linalg.identity 4) [| 1.0; 2.0; 3.0; 4.0 |] in
+  Array.iteri (fun i v -> approx "id" (float_of_int (i + 1)) v) x
+
+let test_solve_needs_pivoting () =
+  (* zero pivot in the naive order; partial pivoting must handle it *)
+  let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Linalg.solve a [| 2.0; 3.0 |] in
+  approx "x" 3.0 x.(0);
+  approx "y" 2.0 x.(1)
+
+let test_solve_singular_fails () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.(check bool) "singular detected" true
+    (try ignore (Linalg.solve a [| 1.0; 2.0 |]); false
+     with Failure _ -> true)
+
+let test_matmul_transpose_dot () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Linalg.matmul a b in
+  approx "c00" 19.0 c.(0).(0);
+  approx "c11" 50.0 c.(1).(1);
+  let t = Linalg.transpose a in
+  approx "t01" 3.0 t.(0).(1);
+  approx "dot" 11.0 (Linalg.dot [| 1.0; 2.0 |] [| 3.0; 4.0 |]);
+  let v = Linalg.matvec a [| 1.0; 1.0 |] in
+  approx "matvec" 3.0 v.(0)
+
+let prop_solve_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"solve recovers x from diag-dominant A"
+    QCheck.(list_of_size (Gen.return 4) (float_bound_exclusive 1.0))
+    (fun xs ->
+      QCheck.assume (List.length xs = 4);
+      let x = Array.of_list xs in
+      let n = 4 in
+      let a =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                if i = j then 10.0 else 1.0 /. float_of_int (i + j + 2)))
+      in
+      let b = Linalg.matvec a x in
+      let x' = Linalg.solve a b in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-9) x x')
+
+(* --- regression ------------------------------------------------------------- *)
+
+let synth_data n =
+  let rng = Rng.create ~seed:31 in
+  let x = Array.init n (fun _ -> Array.init 3 (fun _ -> Rng.float rng)) in
+  let y = Array.map (fun row -> 0.5 +. Linalg.dot row [| 1.0; -2.0; 0.5 |]) x in
+  (x, y)
+
+let test_exact_recovery () =
+  let x, y = synth_data 40 in
+  let m = Regression.fit ~lambda:1e-10 x y in
+  approx "b0" 1.0 m.Regression.coeffs.(0);
+  approx "b1" (-2.0) m.Regression.coeffs.(1);
+  approx "b2" 0.5 m.Regression.coeffs.(2);
+  approx "intercept" 0.5 m.Regression.intercept
+
+let test_r_square_perfect () =
+  let x, y = synth_data 40 in
+  let m = Regression.fit ~lambda:1e-10 x y in
+  Alcotest.(check (float 1e-9)) "r2 = 1 on noiseless data" 1.0
+    (Regression.r_square m x y)
+
+let test_prediction_clamped () =
+  let m = { Regression.coeffs = [| 100.0 |]; intercept = 0.0; lambda = 0.0 } in
+  Alcotest.(check (float 0.0)) "clamped high" 1.0 (Regression.predict_rate m [| 1.0 |]);
+  Alcotest.(check (float 0.0)) "clamped low" 0.0 (Regression.predict_rate m [| -1.0 |])
+
+let test_ridge_shrinks () =
+  let x, y = synth_data 40 in
+  let free = Regression.fit ~lambda:1e-10 x y in
+  let ridge = Regression.fit ~lambda:100.0 x y in
+  let norm m =
+    Array.fold_left (fun a c -> a +. (c *. c)) 0.0 m.Regression.coeffs
+  in
+  Alcotest.(check bool) "penalty shrinks coefficients" true (norm ridge < norm free)
+
+let test_leave_one_out () =
+  let x, y = synth_data 20 in
+  let loo = Regression.leave_one_out ~lambda:1e-10 x y in
+  Alcotest.(check int) "one prediction per sample" 20 (Array.length loo);
+  Array.iteri
+    (fun i p ->
+      (* noiseless linear data in [0,1]-ish range: LOO is near-exact
+         where the target is in range *)
+      if y.(i) >= 0.0 && y.(i) <= 1.0 then
+        Alcotest.(check (float 1e-6)) "loo accurate" y.(i) p)
+    loo
+
+let test_relative_error () =
+  approx "simple" 0.5 (Regression.relative_error ~measured:2.0 ~predicted:1.0);
+  approx "zero measured" 0.3 (Regression.relative_error ~measured:0.0 ~predicted:0.3)
+
+let test_standardized_coefficients () =
+  let x, y = synth_data 40 in
+  let m = Regression.fit ~lambda:1e-10 x y in
+  let sc = Regression.standardized_coefficients m x y in
+  Alcotest.(check int) "three features" 3 (Array.length sc);
+  (* feature 1 has the largest |coefficient| on comparable scales *)
+  Alcotest.(check bool) "importance ordering" true
+    (Float.abs sc.(1) > Float.abs sc.(0) && Float.abs sc.(1) > Float.abs sc.(2));
+  (* signs follow the generating coefficients *)
+  Alcotest.(check bool) "signs" true (sc.(0) > 0.0 && sc.(1) < 0.0 && sc.(2) > 0.0)
+
+let test_fit_rejects_empty () =
+  Alcotest.(check bool) "no samples" true
+    (try ignore (Regression.fit [||] [||]); false
+     with Invalid_argument _ -> true)
+
+let prop_r_square_bounded_below_one =
+  QCheck.Test.make ~count:50 ~name:"r-square of the fit is <= 1"
+    QCheck.(list_of_size (Gen.return 12) (pair (float_bound_exclusive 1.0) (float_bound_exclusive 1.0)))
+    (fun pts ->
+      QCheck.assume (List.length pts = 12);
+      let x = Array.of_list (List.map (fun (a, _) -> [| a |]) pts) in
+      let y = Array.of_list (List.map snd pts) in
+      QCheck.assume (Array.exists (fun v -> v <> y.(0)) y);
+      QCheck.assume (Array.exists (fun r -> r.(0) <> x.(0).(0)) x);
+      match Regression.fit ~lambda:1e-8 x y with
+      | m -> Regression.r_square m x y <= 1.0 +. 1e-9
+      | exception Failure _ -> QCheck.assume_fail ())
+
+let suite =
+  ( "predict",
+    [
+      Alcotest.test_case "solve known system" `Quick test_solve_known_system;
+      Alcotest.test_case "solve identity" `Quick test_solve_identity;
+      Alcotest.test_case "solve with pivoting" `Quick test_solve_needs_pivoting;
+      Alcotest.test_case "singular detected" `Quick test_solve_singular_fails;
+      Alcotest.test_case "matmul/transpose/dot" `Quick test_matmul_transpose_dot;
+      QCheck_alcotest.to_alcotest prop_solve_roundtrip;
+      Alcotest.test_case "exact recovery" `Quick test_exact_recovery;
+      Alcotest.test_case "perfect r-square" `Quick test_r_square_perfect;
+      Alcotest.test_case "prediction clamped" `Quick test_prediction_clamped;
+      Alcotest.test_case "ridge shrinks" `Quick test_ridge_shrinks;
+      Alcotest.test_case "leave one out" `Quick test_leave_one_out;
+      Alcotest.test_case "relative error" `Quick test_relative_error;
+      Alcotest.test_case "standardized coefficients" `Quick
+        test_standardized_coefficients;
+      Alcotest.test_case "fit rejects empty" `Quick test_fit_rejects_empty;
+      QCheck_alcotest.to_alcotest prop_r_square_bounded_below_one;
+    ] )

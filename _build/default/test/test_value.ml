@@ -1,0 +1,108 @@
+(* Bit-accurate value semantics. *)
+
+let check_f = Alcotest.(check (float 0.0))
+
+let test_int_roundtrip () =
+  List.iter
+    (fun i -> Alcotest.(check int) "roundtrip" i Value.(to_int (of_int i)))
+    [ 0; 1; -1; 42; max_int; min_int ]
+
+let test_float_roundtrip () =
+  List.iter
+    (fun x ->
+      check_f "roundtrip" x Value.(to_float (of_float x)))
+    [ 0.0; 1.0; -1.0; 3.14159; 1e-300; 1e300; Float.min_float ]
+
+let test_float_bits_exact () =
+  (* the pattern is the IEEE-754 encoding, not a rounding of it *)
+  Alcotest.(check int64)
+    "bits of 1.0" 0x3FF0000000000000L
+    (Value.of_float 1.0)
+
+let test_truth () =
+  Alcotest.(check bool) "true" true (Value.is_true (Value.truth true));
+  Alcotest.(check bool) "false" false (Value.is_true (Value.truth false));
+  Alcotest.(check bool) "nonzero" true (Value.is_true 77L)
+
+let test_flip_known () =
+  Alcotest.(check int64) "bit 0" 1L (Value.flip_bit 0L 0);
+  Alcotest.(check int64) "bit 63" Int64.min_int (Value.flip_bit 0L 63);
+  Alcotest.(check int64) "clear" 0L (Value.flip_bit 4L 2)
+
+let test_flip_out_of_range () =
+  Alcotest.check_raises "bit 64" (Invalid_argument "Value.flip_bit: bit out of range")
+    (fun () -> ignore (Value.flip_bit 0L 64));
+  Alcotest.check_raises "bit -1" (Invalid_argument "Value.flip_bit: bit out of range")
+    (fun () -> ignore (Value.flip_bit 0L (-1)))
+
+let test_flip_float_mantissa () =
+  (* a low-mantissa flip perturbs a double only slightly *)
+  let x = Value.of_float 1.0 in
+  let y = Value.to_float (Value.flip_bit x 0) in
+  Alcotest.(check bool) "tiny change" true (Float.abs (y -. 1.0) < 1e-15 && y <> 1.0)
+
+let test_flip_float_exponent () =
+  (* an exponent flip changes the magnitude drastically *)
+  let x = Value.of_float 1.0 in
+  let y = Value.to_float (Value.flip_bit x 62) in
+  Alcotest.(check bool) "huge change" true (Float.abs y > 1e100 || Float.abs y < 1e-100)
+
+let test_hamming () =
+  Alcotest.(check int) "zero" 0 (Value.hamming_distance 5L 5L);
+  Alcotest.(check int) "one" 1 (Value.hamming_distance 0L 8L);
+  Alcotest.(check int) "all" 64 (Value.hamming_distance 0L (-1L))
+
+let test_error_magnitude () =
+  let em c f =
+    Value.error_magnitude ~correct:(Value.of_float c) ~faulty:(Value.of_float f)
+  in
+  check_f "equal" 0.0 (em 2.0 2.0);
+  check_f "half" 0.5 (em 2.0 1.0);
+  Alcotest.(check bool) "zero correct" true (Float.is_integer (em 0.0 1.0) = false || em 0.0 1.0 = Float.infinity);
+  Alcotest.(check bool) "nan" true (Float.is_nan (em Float.nan 1.0))
+
+(* properties *)
+
+let prop_flip_involution =
+  QCheck.Test.make ~count:500 ~name:"flip twice is identity"
+    QCheck.(pair int64 (int_bound 63))
+    (fun (v, b) -> Int64.equal v (Value.flip_bit (Value.flip_bit v b) b))
+
+let prop_flip_hamming_one =
+  QCheck.Test.make ~count:500 ~name:"flip changes exactly one bit"
+    QCheck.(pair int64 (int_bound 63))
+    (fun (v, b) -> Value.hamming_distance v (Value.flip_bit v b) = 1)
+
+let prop_hamming_symmetric =
+  QCheck.Test.make ~count:500 ~name:"hamming is symmetric"
+    QCheck.(pair int64 int64)
+    (fun (a, b) -> Value.hamming_distance a b = Value.hamming_distance b a)
+
+let prop_error_magnitude_nonneg =
+  QCheck.Test.make ~count:500 ~name:"error magnitude is nonnegative or nan"
+    QCheck.(pair float float)
+    (fun (c, f) ->
+      let m =
+        Value.error_magnitude ~correct:(Value.of_float c)
+          ~faulty:(Value.of_float f)
+      in
+      Float.is_nan m || m >= 0.0)
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+      Alcotest.test_case "float roundtrip" `Quick test_float_roundtrip;
+      Alcotest.test_case "float bits exact" `Quick test_float_bits_exact;
+      Alcotest.test_case "truth" `Quick test_truth;
+      Alcotest.test_case "flip known bits" `Quick test_flip_known;
+      Alcotest.test_case "flip out of range" `Quick test_flip_out_of_range;
+      Alcotest.test_case "flip float mantissa" `Quick test_flip_float_mantissa;
+      Alcotest.test_case "flip float exponent" `Quick test_flip_float_exponent;
+      Alcotest.test_case "hamming" `Quick test_hamming;
+      Alcotest.test_case "error magnitude" `Quick test_error_magnitude;
+      QCheck_alcotest.to_alcotest prop_flip_involution;
+      QCheck_alcotest.to_alcotest prop_flip_hamming_one;
+      QCheck_alcotest.to_alcotest prop_hamming_symmetric;
+      QCheck_alcotest.to_alcotest prop_error_magnitude_nonneg;
+    ] )
