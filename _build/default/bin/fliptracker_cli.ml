@@ -9,6 +9,8 @@
      patterns APP                 mine resilience patterns per region
      rates APP                    the six pattern-rate features
      acl APP [--iter K]           ACL series of one injection, CSV/SVG export
+     lint APP                     static IR verifier/linter diagnostics
+     static-rank APP              static vulnerability ranking of regions
 
    Examples:
      fliptracker_cli list
@@ -24,9 +26,11 @@ let app_arg =
 
 let find_app name =
   try Registry.find name
-  with Invalid_argument msg ->
-    Printf.eprintf "%s\n" msg;
-    exit 2
+  with Invalid_argument msg -> (
+    try Registry.find (String.uppercase_ascii name)
+    with Invalid_argument _ ->
+      Printf.eprintf "%s\n" msg;
+      exit 2)
 
 (* --- list -------------------------------------------------------------- *)
 
@@ -233,6 +237,58 @@ let acl_cmd =
     (Cmd.info "acl" ~doc:"ACL time series of one injection, with CSV/SVG export.")
     Term.(const run $ app_arg $ iter $ out)
 
+(* --- lint ----------------------------------------------------------------- *)
+
+let lint_cmd =
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the diagnostics as CSV.")
+  in
+  let warn =
+    Arg.(value & flag & info [ "warnings"; "w" ]
+           ~doc:"Include warnings (default: only the summary mentions them).")
+  in
+  let run name csv warn =
+    let app = find_app name in
+    let ds = Verify.verify (App.program app) in
+    if csv then
+      print_string
+        (Verify.to_csv (if warn then ds else Verify.errors ds))
+    else begin
+      let shown = if warn then ds else Verify.errors ds in
+      List.iter (fun d -> Fmt.pr "%a@." Verify.pp_diag d) shown;
+      Printf.printf "%s: %d errors, %d warnings\n" app.App.name
+        (List.length (Verify.errors ds))
+        (List.length (Verify.warnings ds))
+    end;
+    if not (Verify.ok ds) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static IR verifier (structural, control-flow, dataflow \
+          and calling-convention checks); exit 1 on errors.")
+    Term.(const run $ app_arg $ csv $ warn)
+
+(* --- static-rank ---------------------------------------------------------- *)
+
+let static_rank_cmd =
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the ranking as CSV.")
+  in
+  let run name csv =
+    let app = find_app name in
+    let ranking = Static_detect.static_rank (App.program app) in
+    if csv then print_string (Vuln.to_csv ranking)
+    else Fmt.pr "@[<v>%a@]@." Vuln.pp_ranking ranking
+  in
+  Cmd.v
+    (Cmd.info "static-rank"
+       ~doc:
+         "Rank the program's code regions by static vulnerability: mean \
+          live registers and memory words per instruction, discounted by \
+          the density of protective pattern sites.")
+    Term.(const run $ app_arg $ csv)
+
 let () =
   let doc = "fine-grained error-propagation and resilience analysis" in
   let info = Cmd.info "fliptracker" ~version:"1.0.0" ~doc in
@@ -241,5 +297,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; trace_cmd; inject_cmd; campaign_cmd; patterns_cmd;
-            rates_cmd; acl_cmd;
+            rates_cmd; acl_cmd; lint_cmd; static_rank_cmd;
           ]))

@@ -1,11 +1,84 @@
 (* Scratch driver kept for interactive exploration during development;
    the real entry points are bin/fliptracker_cli.exe, bench/main.exe
-   and the examples.  Prints a pipeline sanity line. *)
+   and the examples.  With no arguments, prints a pipeline sanity line.
 
-let () =
+   [ft_dev lint-all] runs the static verifier and the vulnerability
+   ranking over the whole registry (the ten study programs plus the
+   hardened CG variants) and exits nonzero if any program has a lint
+   error — the static-analysis counterpart of the sanity line.
+   [ft_dev sites] prints per-app static pattern-site counts and
+   [ft_dev radd APP] the repeated-addition sites of one app. *)
+
+let dedup_apps (apps : App.t list) : App.t list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (a : App.t) ->
+      if Hashtbl.mem seen a.App.name then false
+      else begin
+        Hashtbl.add seen a.App.name ();
+        true
+      end)
+    apps
+
+let lint_all () =
+  let apps = dedup_apps (Registry.all @ Registry.cg_variants) in
+  let failed = ref 0 in
+  List.iter
+    (fun (a : App.t) ->
+      let p = App.program a in
+      let ds = Verify.verify p in
+      let errs = List.length (Verify.errors ds) in
+      let warns = List.length (Verify.warnings ds) in
+      if errs > 0 then incr failed;
+      Printf.printf "%-12s %d errors, %d warnings\n" a.App.name errs warns;
+      List.iter
+        (fun d -> Fmt.pr "    %a@." Verify.pp_diag d)
+        (Verify.errors ds);
+      let ranking = Vuln.rank p in
+      List.iteri
+        (fun i s ->
+          if i < 3 then
+            Printf.printf "    #%d %-12s score %7.3f\n" (i + 1)
+              s.Vuln.rname s.Vuln.score)
+        ranking)
+    apps;
+  if !failed > 0 then begin
+    Printf.printf "lint-all: %d program(s) with errors\n" !failed;
+    exit 1
+  end
+  else Printf.printf "lint-all: all %d programs clean\n" (List.length apps)
+
+let sanity () =
   let app = Registry.find "IS" in
   let r = App.reference app in
   Printf.printf
     "fliptracker dev: %s runs %d instructions, verified=%b; see bin/fliptracker_cli.exe --help\n"
     app.App.name r.Machine.instructions
     (App.verified r.Machine.output)
+
+let sites () =
+  List.iter
+    (fun (a : App.t) ->
+      let r = Static_detect.analyze (App.program a) in
+      Printf.printf "%-8s cond %3d shift %2d trunc %2d store %3d radd %2d\n"
+        a.App.name
+        (List.length r.Static_detect.conditionals)
+        (List.length r.Static_detect.shifts)
+        (List.length r.Static_detect.truncations)
+        (List.length r.Static_detect.overwrites)
+        (List.length r.Static_detect.repeated_adds))
+    Registry.all
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "lint-all" :: _ -> lint_all ()
+  | _ :: "sites" :: _ -> sites ()
+  | _ :: "radd" :: name :: _ ->
+      let a = Registry.find name in
+      let r = Static_detect.analyze (App.program a) in
+      List.iter
+        (fun (s : Static_detect.site) ->
+          Printf.printf "%s pc %d line %d region %d\n" s.Static_detect.fname
+            s.Static_detect.pc s.Static_detect.line s.Static_detect.region)
+        r.Static_detect.repeated_adds
+  | _ -> sanity ()

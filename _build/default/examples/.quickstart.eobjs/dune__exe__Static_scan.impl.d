@@ -1,0 +1,1 @@
+examples/static_scan.ml: App Array Cfg Fmt Liveness Printf Prog Reaching Registry Static_detect Sys Verify Vuln

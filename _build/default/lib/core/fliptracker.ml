@@ -23,6 +23,8 @@
     {- IR: {!Ty}, {!Value}, {!Loc}, {!Op}, {!Instr}, {!Prog}}
     {- language + compiler: {!Ast}, {!Compile}}
     {- execution: {!Machine}, {!Trace}}
+    {- static analysis: {!Cfg}, {!Dataflow}, {!Reaching}, {!Liveness},
+       {!Verify}, {!Vuln}}
     {- analyses: {!Region}, {!Access}, {!Align}, {!Acl}, {!Dddg},
        {!Tolerance}}
     {- fault injection: {!Rng}, {!Stats}, {!Campaign}}

@@ -4,7 +4,8 @@
     The one-call entry points over the full pipeline; see the
     subsystem libraries for the pieces (IR: [Ty]/[Value]/[Loc]/[Op]/
     [Instr]/[Prog]; language: [Ast]/[Compile]; execution:
-    [Machine]/[Trace]; analyses: [Region]/[Access]/[Align]/[Acl]/
+    [Machine]/[Trace]; static analysis: [Cfg]/[Dataflow]/[Reaching]/
+    [Liveness]/[Verify]/[Vuln]; analyses: [Region]/[Access]/[Align]/[Acl]/
     [Dddg]/[Tolerance]/[Trace_io]/[Export]; faults:
     [Rng]/[Stats]/[Campaign]; patterns: [Pattern]/[Static_detect]/
     [Dynamic_detect]/[Rates]/[Weighted_rates]; prediction:

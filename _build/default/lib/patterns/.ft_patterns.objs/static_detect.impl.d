@@ -1,1 +1,1 @@
-lib/patterns/static_detect.ml: Array Char Instr Int64 List Op Pattern Prog String
+lib/patterns/static_detect.ml: Array Char Instr Int64 List Op Pattern Prog Reaching String Vuln

@@ -1,1 +1,1 @@
-lib/patterns/static_detect.mli: Pattern Prog
+lib/patterns/static_detect.mli: Pattern Prog Vuln

@@ -5,8 +5,15 @@
     shifts (Shifting), narrowing conversions and limited-precision
     prints (Truncation), stores (Data Overwriting), and
     self-accumulating stores (Repeated Additions), found by comparing
-    the backward slice of a store's address with the address of a load
-    feeding the stored value. *)
+    the backward slice of a store's address with the addresses loaded
+    by the stored value's computation.
+
+    Slices are built over [Ft_static]'s reaching definitions, so they
+    follow values across basic blocks, and — via reaching stores over
+    constant-address words — through memory: an accumulation routed
+    through a scalar temporary ([t = u[j] + w[j]; ...; u[j] = t]) is
+    recognized even though the load and the store sit in different
+    statements, which a single-statement backward scan cannot see. *)
 
 type site = { fname : string; pc : int; line : int; region : int }
 
@@ -18,72 +25,103 @@ type report = {
   repeated_adds : site list;
 }
 
-(* A small expression tree reconstructed from the (single-assignment
-   per statement) register code, used to compare address computations
-   structurally. *)
+(* A small expression tree reconstructed from the register code, used
+   to compare address computations structurally.  [SLoadV] is a load
+   whose stored value could be traced through memory (unique reaching
+   store to a constant address): it carries the address tree {e and}
+   the stored value's tree.  [SReg] is a register the slicer cannot
+   expand (no unique definition, or defined by a call); its identity is
+   the register plus its reaching-definition set, so two uses of the
+   same unexpandable value still compare equal. *)
 type slice_tree =
   | SConst of int64
   | SBin of Op.bin * slice_tree * slice_tree
   | SUn of Op.un * slice_tree
   | SLoad of slice_tree
+  | SLoadV of slice_tree * slice_tree
+  | SReg of int * int list
   | SOpaque
 
+(* Structural equality as {e address} identity: the traced value of a
+   [SLoadV] is ignored (the same word loaded at two points is the same
+   address computation even if different stores reach the two points),
+   and [SLoadV] matches a plain [SLoad] of the same address. *)
 let rec slice_equal a b =
   match (a, b) with
   | SConst x, SConst y -> Int64.equal x y
   | SBin (o1, a1, b1), SBin (o2, a2, b2) ->
       o1 = o2 && slice_equal a1 a2 && slice_equal b1 b2
   | SUn (o1, a1), SUn (o2, a2) -> o1 = o2 && slice_equal a1 a2
-  | SLoad a1, SLoad a2 -> slice_equal a1 a2
+  | (SLoad a1 | SLoadV (a1, _)), (SLoad a2 | SLoadV (a2, _)) ->
+      slice_equal a1 a2
+  | SReg (r1, d1), SReg (r2, d2) -> r1 = r2 && d1 = d2
   | SOpaque, SOpaque -> true
-  | (SConst _ | SBin _ | SUn _ | SLoad _ | SOpaque), _ -> false
+  | (SConst _ | SBin _ | SUn _ | SLoad _ | SLoadV _ | SReg _ | SOpaque), _ ->
+      false
 
-(* Backward slice of [reg] as defined before [pc], scanning at most
-   [window] instructions back (registers are assigned once per
-   statement, so the nearest definition is the right one). *)
-let rec slice_of (code : Instr.t array) (pc : int) (reg : int) (depth : int) :
-    slice_tree =
+(* Backward slice of [reg] as defined just before [pc], following the
+   reaching-definition chains and, for loads of resolved constant
+   addresses, the unique reaching store into that word. *)
+let rec slice_of ~(rd : Reaching.t) ~(mem : Reaching.mem)
+    (code : Instr.t array) (pc : int) (reg : int) (depth : int) : slice_tree =
   if depth <= 0 then SOpaque
   else
-    let rec find i =
-      if i < 0 || pc - i > 64 then SOpaque
-      else
-        match code.(i) with
-        | Instr.Const (d, v) when d = reg -> SConst v
-        | Instr.Bin (op, d, a, b) when d = reg ->
-            SBin (op, slice_of code i a (depth - 1), slice_of code i b (depth - 1))
-        | Instr.Un (op, d, a) when d = reg ->
-            SUn (op, slice_of code i a (depth - 1))
-        | Instr.Load (d, a) when d = reg ->
-            SLoad (slice_of code i a (depth - 1))
-        | Instr.Call (_, _, Some d) | Instr.Intr (_, _, Some d) when d = reg ->
-            SOpaque
-        | Instr.Const _ | Instr.Bin _ | Instr.Un _ | Instr.Load _
+    match Reaching.unique_def rd ~pc reg with
+    | None -> SReg (reg, Reaching.defs_of rd ~pc reg)
+    | Some d -> (
+        match code.(d) with
+        | Instr.Const (_, v) -> SConst v
+        | Instr.Bin (op, _, a, b) ->
+            SBin
+              ( op,
+                slice_of ~rd ~mem code d a (depth - 1),
+                slice_of ~rd ~mem code d b (depth - 1) )
+        | Instr.Un (op, _, a) -> SUn (op, slice_of ~rd ~mem code d a (depth - 1))
+        | Instr.Load (_, a) -> (
+            let addr_tree = slice_of ~rd ~mem code d a (depth - 1) in
+            match Reaching.const_addr rd ~pc:d a with
+            | Some addr -> (
+                match Reaching.store_of mem ~pc:d ~addr with
+                | Some s -> (
+                    match code.(s) with
+                    | Instr.Store (src, _) ->
+                        SLoadV
+                          (addr_tree, slice_of ~rd ~mem code s src (depth - 1))
+                    | _ -> SLoad addr_tree)
+                | None -> SLoad addr_tree)
+            | None -> SLoad addr_tree)
         | Instr.Store _ | Instr.Jmp _ | Instr.Bnz _ | Instr.Call _
         | Instr.Ret _ | Instr.Intr _ | Instr.Mark _ ->
-            find (i - 1)
-    in
-    find (pc - 1)
+            SReg (reg, [ d ]))
 
-(* Does the value in [reg] (defined before [pc]) come through an
-   add/sub whose operand chain loads from address [addr_tree]? *)
-let is_self_accumulation (code : Instr.t array) (pc : int) (reg : int)
-    (addr_tree : slice_tree) : bool =
+(* Does the value in [reg] (as stored at [pc]) come through a float
+   add/sub whose operand chain loads from address [addr_tree]?  The
+   top-level value is first stripped of memory indirections ([SLoadV]),
+   so an accumulation parked in a temporary word still counts; operand
+   loads match either by address or through their traced stored
+   value. *)
+let is_self_accumulation ~(rd : Reaching.t) ~(mem : Reaching.mem)
+    (code : Instr.t array) (pc : int) (reg : int) (addr_tree : slice_tree) :
+    bool =
+  let rec strip t = match t with SLoadV (_, v) -> strip v | _ -> t in
   let rec loads_from t =
     match t with
     | SLoad a -> slice_equal a addr_tree
+    | SLoadV (a, v) -> slice_equal a addr_tree || loads_from v
     | SBin (_, a, b) -> loads_from a || loads_from b
     | SUn (_, a) -> loads_from a
-    | SConst _ | SOpaque -> false
+    | SConst _ | SReg _ | SOpaque -> false
   in
   (* only floating-point accumulation amortizes an error; integer
      self-increments (loop counters) are not the pattern *)
-  match slice_of code pc reg 8 with
+  match strip (slice_of ~rd ~mem code pc reg 12) with
   | SBin ((Op.Fadd | Op.Fsub), a, b) -> loads_from a || loads_from b
-  | SBin _ | SUn _ | SConst _ | SLoad _ | SOpaque -> false
+  | SBin _ | SUn _ | SConst _ | SLoad _ | SLoadV _ | SReg _ | SOpaque -> false
 
 (* A print format truncates float output when it has an explicit
-   precision on a float directive. *)
+   precision on a float directive.  A float directive without one
+   ("%f") does not truncate, but scanning must continue past it: a
+   later directive may ("%f %.3f"). *)
 let format_truncates (fmt : string) : bool =
   let n = String.length fmt in
   let rec scan i =
@@ -93,7 +131,7 @@ let format_truncates (fmt : string) : bool =
         if j >= n then false
         else
           match fmt.[j] with
-          | 'e' | 'f' | 'g' -> saw_prec
+          | 'e' | 'f' | 'g' -> saw_prec || scan (j + 1)
           | 'd' | 'x' -> scan (j + 1)
           | '.' -> conv (j + 1) true
           | '0' .. '9' | '-' | '+' | ' ' -> conv (j + 1) saw_prec
@@ -113,6 +151,8 @@ let analyze (prog : Prog.t) : report =
   let repeated_adds = ref [] in
   Array.iter
     (fun (f : Prog.func) ->
+      let rd = Reaching.compute f in
+      let mem = Reaching.compute_mem rd in
       Array.iteri
         (fun pc ins ->
           let site =
@@ -128,8 +168,8 @@ let analyze (prog : Prog.t) : report =
               truncations := site :: !truncations
           | Store (src, addr) ->
               overwrites := site :: !overwrites;
-              let addr_tree = slice_of f.code pc addr 8 in
-              if is_self_accumulation f.code pc src addr_tree then
+              let addr_tree = slice_of ~rd ~mem f.code pc addr 12 in
+              if is_self_accumulation ~rd ~mem f.code pc src addr_tree then
                 repeated_adds := site :: !repeated_adds
           | Const _ | Bin _ | Un _ | Load _ | Jmp _ | Call _ | Ret _
           | Intr _ | Mark _ ->
@@ -152,3 +192,13 @@ let count (r : report) (p : Pattern.t) : int =
   | Pattern.Data_overwriting -> List.length r.overwrites
   | Pattern.Repeated_additions -> List.length r.repeated_adds
   | Pattern.Dead_corrupted_locations -> 0 (* inherently dynamic *)
+
+(** Vulnerability ranking seeded with the detector's sites: repeated
+    additions and truncating prints become extra protective sites on
+    top of the shapes {!Vuln.rank} classifies by itself. *)
+let static_rank (p : Prog.t) : Vuln.region_score list =
+  let r = analyze p in
+  let extra =
+    List.map (fun s -> (s.fname, s.pc)) (r.repeated_adds @ r.truncations)
+  in
+  Vuln.rank ~extra_protective:extra p

@@ -1,0 +1,1 @@
+lib/static/cfg.ml: Array Fmt Instr List Prog

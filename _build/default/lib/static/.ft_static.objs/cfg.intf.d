@@ -1,0 +1,1 @@
+lib/static/cfg.mli: Format Instr Prog

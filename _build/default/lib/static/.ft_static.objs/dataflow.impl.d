@@ -1,0 +1,1 @@
+lib/static/dataflow.ml: Array Cfg List Queue

@@ -1,0 +1,1 @@
+lib/static/dataflow.mli: Cfg

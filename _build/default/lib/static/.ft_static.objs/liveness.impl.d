@@ -1,0 +1,1 @@
+lib/static/liveness.ml: Array Cfg Dataflow Instr Int List Option Prog Reaching Set

@@ -1,0 +1,1 @@
+lib/static/liveness.mli: Cfg Instr Prog Reaching Set

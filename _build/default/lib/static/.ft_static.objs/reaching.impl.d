@@ -1,0 +1,1 @@
+lib/static/reaching.ml: Array Cfg Dataflow Hashtbl Instr Int Int64 List Option Prog Set

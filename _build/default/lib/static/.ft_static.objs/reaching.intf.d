@@ -1,0 +1,1 @@
+lib/static/reaching.mli: Instr Prog Set

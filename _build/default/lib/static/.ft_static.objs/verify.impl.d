@@ -1,0 +1,1 @@
+lib/static/verify.ml: Array Buffer Cfg Fmt Format Instr List Liveness Option Printf Prog Reaching String

@@ -1,0 +1,1 @@
+lib/static/verify.mli: Format Prog

@@ -1,0 +1,1 @@
+lib/static/vuln.ml: Array Buffer Cfg Fmt Hashtbl Instr List Liveness Op Printf Prog Reaching

@@ -1,0 +1,1 @@
+lib/static/vuln.mli: Format Instr Prog

@@ -1,0 +1,156 @@
+(** Basic-block control-flow graphs over [Ft_ir] function bodies.
+
+    A block is a maximal straight-line run of instructions: it starts at
+    a leader (function entry, a branch target, or the instruction after
+    a terminator) and ends at the next terminator or leader.  Edges
+    follow [Jmp]/[Bnz] targets and fall-through; [Ret] has no
+    successors.  Out-of-range branch targets are dropped from the edge
+    set rather than raising, so the graph can be built for broken
+    programs and the verifier can report the damage as diagnostics. *)
+
+type block = {
+  bid : int;
+  first : int;  (** index of the first instruction *)
+  last : int;   (** index of the last instruction, inclusive *)
+  succs : int list;  (** successor block ids *)
+  preds : int list;  (** predecessor block ids *)
+}
+
+type t = {
+  func : Prog.func;
+  blocks : block array;
+  block_of : int array;  (** instruction index -> block id *)
+}
+
+(* Control successors of one instruction, with out-of-range targets
+   silently dropped (the verifier reports those separately). *)
+let instr_succs (code : Instr.t array) (pc : int) : int list =
+  let n = Array.length code in
+  let ok l = l >= 0 && l < n in
+  match code.(pc) with
+  | Instr.Jmp l -> if ok l then [ l ] else []
+  | Instr.Bnz (_, l1, l2) ->
+      let t1 = if ok l1 then [ l1 ] else [] in
+      let t2 = if ok l2 && l2 <> l1 then [ l2 ] else [] in
+      t1 @ t2
+  | Instr.Ret _ -> []
+  | Instr.Const _ | Instr.Bin _ | Instr.Un _ | Instr.Load _ | Instr.Store _
+  | Instr.Call _ | Instr.Intr _ | Instr.Mark _ ->
+      if pc + 1 < n then [ pc + 1 ] else []
+
+let is_terminator (ins : Instr.t) =
+  match ins with
+  | Instr.Jmp _ | Instr.Bnz _ | Instr.Ret _ -> true
+  | Instr.Const _ | Instr.Bin _ | Instr.Un _ | Instr.Load _ | Instr.Store _
+  | Instr.Call _ | Instr.Intr _ | Instr.Mark _ ->
+      false
+
+let build (f : Prog.func) : t =
+  let code = f.Prog.code in
+  let n = Array.length code in
+  if n = 0 then { func = f; blocks = [||]; block_of = [||] }
+  else begin
+    let leader = Array.make n false in
+    leader.(0) <- true;
+    Array.iteri
+      (fun pc ins ->
+        (match ins with
+        | Instr.Jmp l -> if l >= 0 && l < n then leader.(l) <- true
+        | Instr.Bnz (_, l1, l2) ->
+            if l1 >= 0 && l1 < n then leader.(l1) <- true;
+            if l2 >= 0 && l2 < n then leader.(l2) <- true
+        | Instr.Const _ | Instr.Bin _ | Instr.Un _ | Instr.Load _
+        | Instr.Store _ | Instr.Call _ | Instr.Ret _ | Instr.Intr _
+        | Instr.Mark _ ->
+            ());
+        if is_terminator ins && pc + 1 < n then leader.(pc + 1) <- true)
+      code;
+    let block_of = Array.make n 0 in
+    let bounds = ref [] and bid = ref (-1) in
+    let first = ref 0 in
+    for pc = 0 to n - 1 do
+      if leader.(pc) then begin
+        if pc > 0 then bounds := (!first, pc - 1) :: !bounds;
+        first := pc;
+        incr bid
+      end;
+      block_of.(pc) <- !bid
+    done;
+    bounds := (!first, n - 1) :: !bounds;
+    let bounds = Array.of_list (List.rev !bounds) in
+    let nblocks = Array.length bounds in
+    let succs =
+      Array.map
+        (fun (_, last) ->
+          List.map (fun l -> block_of.(l)) (instr_succs code last))
+        bounds
+    in
+    let preds = Array.make nblocks [] in
+    Array.iteri
+      (fun b ss -> List.iter (fun s -> preds.(s) <- b :: preds.(s)) ss)
+      succs;
+    let blocks =
+      Array.mapi
+        (fun b (first, last) ->
+          { bid = b; first; last; succs = succs.(b); preds = List.rev preds.(b) })
+        bounds
+    in
+    { func = f; blocks; block_of }
+  end
+
+let n_blocks (g : t) = Array.length g.blocks
+let block (g : t) (bid : int) = g.blocks.(bid)
+
+(** Blocks reachable from the function entry (block 0). *)
+let reachable (g : t) : bool array =
+  let n = n_blocks g in
+  let seen = Array.make n false in
+  let rec dfs b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter dfs g.blocks.(b).succs
+    end
+  in
+  if n > 0 then dfs 0;
+  seen
+
+(** Is the instruction at [pc] reachable from the entry? *)
+let reachable_pcs (g : t) : bool array =
+  let blocks_ok = reachable g in
+  Array.map (fun b -> blocks_ok.(b)) g.block_of
+
+(* --- def/use sets ------------------------------------------------------ *)
+
+let defs (ins : Instr.t) : Instr.reg list =
+  match ins with
+  | Instr.Const (d, _) | Instr.Bin (_, d, _, _) | Instr.Un (_, d, _)
+  | Instr.Load (d, _)
+  | Instr.Call (_, _, Some d)
+  | Instr.Intr (_, _, Some d) ->
+      [ d ]
+  | Instr.Store _ | Instr.Jmp _ | Instr.Bnz _
+  | Instr.Call (_, _, None)
+  | Instr.Ret _
+  | Instr.Intr (_, _, None)
+  | Instr.Mark _ ->
+      []
+
+let uses (ins : Instr.t) : Instr.reg list =
+  match ins with
+  | Instr.Const _ | Instr.Jmp _ | Instr.Mark _ | Instr.Ret None -> []
+  | Instr.Bin (_, _, a, b) -> [ a; b ]
+  | Instr.Un (_, _, a) | Instr.Load (_, a) -> [ a ]
+  | Instr.Store (s, a) -> [ s; a ]
+  | Instr.Bnz (c, _, _) -> [ c ]
+  | Instr.Call (_, args, _) | Instr.Intr (_, args, _) -> Array.to_list args
+  | Instr.Ret (Some r) -> [ r ]
+
+let pp ppf (g : t) =
+  Fmt.pf ppf "@[<v>cfg %s: %d blocks@," g.func.Prog.fname (n_blocks g);
+  Array.iter
+    (fun b ->
+      Fmt.pf ppf "  b%d [%d..%d] -> %a@," b.bid b.first b.last
+        Fmt.(list ~sep:comma int)
+        b.succs)
+    g.blocks;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,40 @@
+(** Basic-block control-flow graphs over [Ft_ir] function bodies.
+    Out-of-range branch targets are dropped from the edge set instead of
+    raising, so broken programs still get a graph the verifier can walk. *)
+
+type block = {
+  bid : int;
+  first : int;  (** index of the first instruction *)
+  last : int;   (** index of the last instruction, inclusive *)
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  func : Prog.func;
+  blocks : block array;
+  block_of : int array;  (** instruction index -> block id *)
+}
+
+val build : Prog.func -> t
+val n_blocks : t -> int
+val block : t -> int -> block
+
+val instr_succs : Instr.t array -> int -> int list
+(** Control successors of one instruction (out-of-range targets dropped). *)
+
+val is_terminator : Instr.t -> bool
+
+val reachable : t -> bool array
+(** Per block: reachable from the entry block? *)
+
+val reachable_pcs : t -> bool array
+(** Per instruction: reachable from the function entry? *)
+
+val defs : Instr.t -> Instr.reg list
+(** Registers written by the instruction (empty or a singleton). *)
+
+val uses : Instr.t -> Instr.reg list
+(** Registers read by the instruction. *)
+
+val pp : Format.formatter -> t -> unit

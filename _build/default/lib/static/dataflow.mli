@@ -1,0 +1,40 @@
+(** A generic worklist fixpoint engine over basic-block CFGs: supply a
+    join-semilattice, a boundary fact, and a per-instruction transfer
+    function, and solve forward or backward to a fixpoint. *)
+
+type direction = Forward | Backward
+
+type 'a lattice = {
+  bottom : 'a;  (** identity of [join]; the initial fact everywhere *)
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+}
+
+type 'a solution = {
+  entry_facts : 'a array;  (** per block: fact before its first instruction *)
+  exit_facts : 'a array;   (** per block: fact after its last instruction *)
+}
+
+val solve :
+  dir:direction ->
+  lat:'a lattice ->
+  boundary:'a ->
+  transfer:(int -> 'a -> 'a) ->
+  Cfg.t ->
+  'a solution
+(** [transfer pc fact] maps the fact on the incoming side of the
+    instruction at [pc] (before it when forward, after it when backward)
+    to the fact on its outgoing side.  The boundary fact applies at the
+    entry block (forward) or at blocks with no successors (backward).
+    Facts in the solution are always indexed in execution order. *)
+
+val block_facts :
+  dir:direction ->
+  transfer:(int -> 'a -> 'a) ->
+  Cfg.t ->
+  'a solution ->
+  int ->
+  'a array
+(** Per-boundary facts inside one block, in execution order: element [i]
+    holds between instructions [first+i-1] and [first+i]; element [0] is
+    the block-entry fact, the last element the block-exit fact. *)

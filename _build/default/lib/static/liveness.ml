@@ -1,0 +1,142 @@
+(** Liveness, for registers and for statically-addressed memory words —
+    two backward instances of the {!Dataflow} engine.
+
+    Register liveness is the classic use/def analysis; nothing is live
+    after a [Ret].  Memory liveness tracks the words whose addresses
+    resolve to constants (named scalars): a load of a resolved address
+    uses that word, an unresolved load or a call may read anything, a
+    store to a resolved address kills it, and every tracked word is
+    live at function exit because the final memory image is observable
+    (verification phases and tests read it).
+
+    Both are also exposure metrics: the number of live locations at an
+    instruction bounds how many {e alive corrupted locations} a fault
+    there can spawn, which is what the static vulnerability ranking
+    feeds on. *)
+
+module S = Set.Make (Int)
+
+type t = {
+  live_before : S.t array;  (* per pc: registers live just before *)
+  live_after : S.t array;   (* per pc: registers live just after *)
+}
+
+let set_lattice : S.t Dataflow.lattice =
+  { Dataflow.bottom = S.empty; equal = S.equal; join = S.union }
+
+(* Materialize per-instruction before/after facts of a backward
+   solution. *)
+let per_pc_facts (cfg : Cfg.t) ~(transfer : int -> S.t -> S.t)
+    (sol : S.t Dataflow.solution) : S.t array * S.t array =
+  let n = Array.length cfg.Cfg.func.Prog.code in
+  let before = Array.make n S.empty and after = Array.make n S.empty in
+  Array.iteri
+    (fun bid (b : Cfg.block) ->
+      let facts =
+        Dataflow.block_facts ~dir:Dataflow.Backward ~transfer cfg sol bid
+      in
+      for i = 0 to b.Cfg.last - b.Cfg.first do
+        before.(b.Cfg.first + i) <- facts.(i);
+        after.(b.Cfg.first + i) <- facts.(i + 1)
+      done)
+    cfg.Cfg.blocks;
+  (before, after)
+
+let compute ?(cfg : Cfg.t option) (f : Prog.func) : t =
+  let cfg = match cfg with Some g -> g | None -> Cfg.build f in
+  let code = f.Prog.code in
+  let transfer pc after =
+    let ins = code.(pc) in
+    let without = List.fold_left (fun s d -> S.remove d s) after (Cfg.defs ins) in
+    List.fold_left (fun s u -> S.add u s) without (Cfg.uses ins)
+  in
+  let sol =
+    Dataflow.solve ~dir:Dataflow.Backward ~lat:set_lattice ~boundary:S.empty
+      ~transfer cfg
+  in
+  let live_before, live_after = per_pc_facts cfg ~transfer sol in
+  { live_before; live_after }
+
+let live_before (t : t) ~(pc : int) : int list = S.elements t.live_before.(pc)
+let live_after (t : t) ~(pc : int) : int list = S.elements t.live_after.(pc)
+
+let is_live_after (t : t) ~(pc : int) (r : Instr.reg) : bool =
+  S.mem r t.live_after.(pc)
+
+let live_at_entry (t : t) : int list =
+  if Array.length t.live_before = 0 then [] else S.elements t.live_before.(0)
+
+(** Number of instructions at which register [r] is live-before: the
+    static length of its live ranges. *)
+let range_length (t : t) (r : Instr.reg) : int =
+  Array.fold_left (fun n s -> if S.mem r s then n + 1 else n) 0 t.live_before
+
+(** Mean number of live registers per instruction. *)
+let avg_live (t : t) : float =
+  let n = Array.length t.live_before in
+  if n = 0 then 0.0
+  else
+    float_of_int
+      (Array.fold_left (fun acc s -> acc + S.cardinal s) 0 t.live_before)
+    /. float_of_int n
+
+(* --- memory-word liveness ---------------------------------------------- *)
+
+type mem_live = {
+  words_before : S.t array;  (* per pc: tracked word addresses live before *)
+  words_after : S.t array;
+}
+
+let compute_mem (rd : Reaching.t) (f : Prog.func) : mem_live =
+  let cfg = Cfg.build f in
+  let code = f.Prog.code in
+  let universe =
+    (* every word address that appears as a resolved constant *)
+    let u = ref S.empty in
+    for pc = 0 to Array.length code - 1 do
+      match code.(pc) with
+      | Instr.Load (_, a) | Instr.Store (_, a) ->
+          Option.iter (fun k -> u := S.add k !u) (Reaching.const_addr rd ~pc a)
+      | Instr.Const _ | Instr.Bin _ | Instr.Un _ | Instr.Jmp _ | Instr.Bnz _
+      | Instr.Call _ | Instr.Ret _ | Instr.Intr _ | Instr.Mark _ ->
+          ()
+    done;
+    !u
+  in
+  let transfer pc after =
+    match code.(pc) with
+    | Instr.Load (_, a) -> (
+        match Reaching.const_addr rd ~pc a with
+        | Some k -> S.add k after
+        | None -> universe (* may read any tracked word *))
+    | Instr.Store (_, a) -> (
+        match Reaching.const_addr rd ~pc a with
+        | Some k -> S.remove k after
+        | None -> after (* may-write: no strong kill *))
+    | Instr.Call _ | Instr.Intr (Instr.Randlc, _, _) -> universe
+    | Instr.Const _ | Instr.Bin _ | Instr.Un _ | Instr.Jmp _ | Instr.Bnz _
+    | Instr.Ret _ | Instr.Intr _ | Instr.Mark _ ->
+        after
+  in
+  let sol =
+    Dataflow.solve ~dir:Dataflow.Backward ~lat:set_lattice
+      ~boundary:universe (* the final memory image is observable *)
+      ~transfer cfg
+  in
+  let words_before, words_after = per_pc_facts cfg ~transfer sol in
+  { words_before; words_after }
+
+let words_live_before (m : mem_live) ~(pc : int) : int list =
+  S.elements m.words_before.(pc)
+
+let word_live_after (m : mem_live) ~(pc : int) (addr : int) : bool =
+  S.mem addr m.words_after.(pc)
+
+(** Mean number of live tracked words per instruction. *)
+let avg_words_live (m : mem_live) : float =
+  let n = Array.length m.words_before in
+  if n = 0 then 0.0
+  else
+    float_of_int
+      (Array.fold_left (fun acc s -> acc + S.cardinal s) 0 m.words_before)
+    /. float_of_int n

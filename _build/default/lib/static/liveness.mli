@@ -1,0 +1,36 @@
+(** Backward liveness over registers and over statically-addressed
+    memory words; also the exposure metrics (live locations per
+    instruction) the static vulnerability ranking feeds on. *)
+
+module S : Set.S with type elt = int
+
+type t
+
+val compute : ?cfg:Cfg.t -> Prog.func -> t
+
+val live_before : t -> pc:int -> int list
+val live_after : t -> pc:int -> int list
+val is_live_after : t -> pc:int -> Instr.reg -> bool
+
+val live_at_entry : t -> int list
+(** Registers read before being written on some path from entry: the
+    registers the function effectively takes as parameters. *)
+
+val range_length : t -> Instr.reg -> int
+(** Number of instructions at which the register is live-before. *)
+
+val avg_live : t -> float
+(** Mean live registers per instruction. *)
+
+type mem_live
+
+val compute_mem : Reaching.t -> Prog.func -> mem_live
+(** Liveness of words whose load/store addresses resolve to constants.
+    Unresolved loads and calls may read anything; every tracked word is
+    live at exit (the final memory image is observable). *)
+
+val words_live_before : mem_live -> pc:int -> int list
+val word_live_after : mem_live -> pc:int -> int -> bool
+
+val avg_words_live : mem_live -> float
+(** Mean live tracked words per instruction. *)

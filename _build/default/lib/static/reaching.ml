@@ -1,0 +1,181 @@
+(** Reaching definitions, for registers and for statically-addressed
+    memory words.
+
+    {b Registers.}  For every instruction and register, the set of
+    definition sites (instruction indices) whose value may still be in
+    the register just before the instruction executes.  Two sentinel
+    "definitions" model the state at function entry: [param_def] for
+    registers that hold an incoming argument and [uninit_def] for
+    registers never written since entry — the latter is what the
+    verifier's use-before-def check looks for.
+
+    {b Memory.}  The compiler puts every named scalar at a constant word
+    address and materializes those addresses with [Const] instructions.
+    For addresses that resolve to such a constant, a second forward
+    analysis tracks the set of [Store] instructions whose value may
+    occupy the word.  Stores through unresolvable addresses, calls, and
+    [Randlc] may write anywhere and are folded in as unknown writers,
+    which keeps [store_of] conservative: it answers only when exactly
+    one resolvable store reaches the query point. *)
+
+module S = Set.Make (Int)
+
+let uninit_def = -1
+let param_def = -2
+let extern_def = -3  (* memory writer outside the function (initial image) *)
+
+type t = {
+  func : Prog.func;
+  cfg : Cfg.t;
+  before : S.t array array;  (* per pc, per register: defs reaching before *)
+}
+
+let set_array_lattice (width : int) : S.t array Dataflow.lattice =
+  {
+    Dataflow.bottom = Array.make width S.empty;
+    equal = (fun a b -> Array.for_all2 S.equal a b);
+    join = (fun a b -> Array.init width (fun i -> S.union a.(i) b.(i)));
+  }
+
+(* Materialize the per-instruction facts of a forward solution. *)
+let per_pc_facts (cfg : Cfg.t) ~(transfer : int -> 'a -> 'a)
+    (sol : 'a Dataflow.solution) ~(bottom : 'a) : 'a array =
+  let n = Array.length cfg.Cfg.func.Prog.code in
+  let before = Array.make n bottom in
+  Array.iteri
+    (fun bid (b : Cfg.block) ->
+      let facts =
+        Dataflow.block_facts ~dir:Dataflow.Forward ~transfer cfg sol bid
+      in
+      for i = 0 to b.Cfg.last - b.Cfg.first do
+        before.(b.Cfg.first + i) <- facts.(i)
+      done)
+    cfg.Cfg.blocks;
+  before
+
+let compute ?(arity = 0) (f : Prog.func) : t =
+  let cfg = Cfg.build f in
+  let nregs = f.Prog.nregs in
+  let lat = set_array_lattice nregs in
+  let transfer pc fact =
+    match Cfg.defs f.Prog.code.(pc) with
+    | [] -> fact
+    | ds ->
+        let fact = Array.copy fact in
+        List.iter (fun d -> if d >= 0 && d < nregs then fact.(d) <- S.singleton pc) ds;
+        fact
+  in
+  let boundary =
+    Array.init nregs (fun r ->
+        if r < arity then S.singleton param_def else S.singleton uninit_def)
+  in
+  let sol = Dataflow.solve ~dir:Dataflow.Forward ~lat ~boundary ~transfer cfg in
+  let before = per_pc_facts cfg ~transfer sol ~bottom:lat.Dataflow.bottom in
+  { func = f; cfg; before }
+
+let defs_of (t : t) ~(pc : int) (r : Instr.reg) : int list =
+  if pc < 0 || pc >= Array.length t.before || r < 0 || r >= t.func.Prog.nregs
+  then []
+  else S.elements t.before.(pc).(r)
+
+(** The single real definition site reaching a use, if there is exactly
+    one and it is an instruction (not a sentinel). *)
+let unique_def (t : t) ~(pc : int) (r : Instr.reg) : int option =
+  match defs_of t ~pc r with [ d ] when d >= 0 -> Some d | _ -> None
+
+let may_be_uninit (t : t) ~(pc : int) (r : Instr.reg) : bool =
+  List.mem uninit_def (defs_of t ~pc r)
+
+(** Resolve the address register of a load/store to a constant word
+    address, when its unique reaching definition is a [Const]. *)
+let const_addr (t : t) ~(pc : int) (r : Instr.reg) : int option =
+  match unique_def t ~pc r with
+  | Some d -> (
+      match t.func.Prog.code.(d) with
+      | Instr.Const (_, k) when Int64.compare k 0L >= 0
+                                && Int64.compare k (Int64.of_int max_int) < 0 ->
+          Some (Int64.to_int k)
+      | _ -> None)
+  | None -> None
+
+(* --- reaching stores over constant-address memory words ---------------- *)
+
+type mem = {
+  regs : t;
+  addr_index : (int, int) Hashtbl.t;  (* word address -> dense index *)
+  addrs : int array;
+  mem_before : S.t array array;  (* per pc, per dense index: reaching stores *)
+}
+
+let compute_mem (regs : t) : mem =
+  let f = regs.func in
+  let code = f.Prog.code in
+  let n = Array.length code in
+  let addr_index = Hashtbl.create 64 in
+  let addrs = ref [] in
+  let note a =
+    if not (Hashtbl.mem addr_index a) then begin
+      Hashtbl.add addr_index a (Hashtbl.length addr_index);
+      addrs := a :: !addrs
+    end
+  in
+  for pc = 0 to n - 1 do
+    match code.(pc) with
+    | Instr.Load (_, a) | Instr.Store (_, a) ->
+        Option.iter note (const_addr regs ~pc a)
+    | Instr.Const _ | Instr.Bin _ | Instr.Un _ | Instr.Jmp _ | Instr.Bnz _
+    | Instr.Call _ | Instr.Ret _ | Instr.Intr _ | Instr.Mark _ ->
+        ()
+  done;
+  let addrs = Array.of_list (List.rev !addrs) in
+  let width = Array.length addrs in
+  let lat = set_array_lattice width in
+  let weak_update_all pc fact =
+    Array.map (fun s -> S.add pc s) fact
+  in
+  let transfer pc fact =
+    match code.(pc) with
+    | Instr.Store (_, a) -> (
+        match const_addr regs ~pc a with
+        | Some addr ->
+            let i = Hashtbl.find addr_index addr in
+            let fact = Array.copy fact in
+            fact.(i) <- S.singleton pc;
+            fact
+        | None -> weak_update_all pc fact)
+    | Instr.Call _ | Instr.Intr (Instr.Randlc, _, _) ->
+        (* may write any word: the callee's frame overlaps nothing we
+           track here, but globals do, so stay conservative *)
+        weak_update_all pc fact
+    | Instr.Const _ | Instr.Bin _ | Instr.Un _ | Instr.Load _ | Instr.Jmp _
+    | Instr.Bnz _ | Instr.Ret _ | Instr.Intr _ | Instr.Mark _ ->
+        fact
+  in
+  let boundary = Array.make width (S.singleton extern_def) in
+  let sol =
+    Dataflow.solve ~dir:Dataflow.Forward ~lat ~boundary ~transfer regs.cfg
+  in
+  let mem_before =
+    per_pc_facts regs.cfg ~transfer sol ~bottom:lat.Dataflow.bottom
+  in
+  { regs; addr_index; addrs; mem_before }
+
+let tracked_addrs (m : mem) : int list = Array.to_list m.addrs
+
+(** The unique store whose value occupies word [addr] just before [pc],
+    if there is exactly one and it is itself a store to that resolved
+    address (unknown writers disqualify the word). *)
+let store_of (m : mem) ~(pc : int) ~(addr : int) : int option =
+  match Hashtbl.find_opt m.addr_index addr with
+  | None -> None
+  | Some i -> (
+      if pc < 0 || pc >= Array.length m.mem_before then None
+      else
+        match S.elements m.mem_before.(pc).(i) with
+        | [ d ] when d >= 0 -> (
+            match m.regs.func.Prog.code.(d) with
+            | Instr.Store (_, areg)
+              when const_addr m.regs ~pc:d areg = Some addr ->
+                Some d
+            | _ -> None)
+        | _ -> None)

@@ -1,0 +1,387 @@
+(** IR verifier/linter: structured diagnostics over a whole program.
+
+    Unlike [Prog.validate], which raises on the first structural
+    violation, the verifier walks everything and returns a report, so
+    broken programs (hand-built IR, future compiler bugs) surface all
+    their problems at once and test fixtures can assert on specific
+    diagnostic kinds.
+
+    Checks, in dependency order:
+    {ul
+    {- structural: register / branch-target / callee / mark / region
+       indices in range, metadata arrays consistent, entry valid;}
+    {- control flow: unreachable instructions, functions control can
+       fall off the end of, functions that are never called;}
+    {- dataflow (reaching definitions): registers read before any write
+       can reach them — in the entry function directly, and at call
+       sites as an arity check against what the callee actually reads;}
+    {- calling convention: more arguments than the callee has registers
+       (the VM's register blit would raise), call sites expecting a
+       value from a callee with a reachable bare [Ret];}
+    {- liveness: register definitions never used, stores to named words
+       overwritten on every path before any possible read.}}
+
+    Structural errors in a function suppress its dataflow checks (the
+    analyses need a well-formed body) but never the checks of other
+    functions. *)
+
+type severity = Error | Warning
+
+type kind =
+  | Bad_entry
+  | Metadata_mismatch
+  | Bad_register
+  | Bad_target
+  | Bad_callee
+  | Bad_mark
+  | Bad_region
+  | Arity_mismatch
+  | Ret_mismatch
+  | Use_before_def
+  | Unreachable_code
+  | Dead_store
+  | Missing_return
+
+type diag = {
+  sev : severity;
+  kind : kind;
+  dfunc : string;  (** function name; [""] for program-level diagnostics *)
+  pc : int;        (** instruction index, or -1 *)
+  line : int;      (** source line, or -1 *)
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let kind_to_string = function
+  | Bad_entry -> "bad-entry"
+  | Metadata_mismatch -> "metadata-mismatch"
+  | Bad_register -> "bad-register"
+  | Bad_target -> "bad-target"
+  | Bad_callee -> "bad-callee"
+  | Bad_mark -> "bad-mark"
+  | Bad_region -> "bad-region"
+  | Arity_mismatch -> "arity-mismatch"
+  | Ret_mismatch -> "ret-mismatch"
+  | Use_before_def -> "use-before-def"
+  | Unreachable_code -> "unreachable-code"
+  | Dead_store -> "dead-store"
+  | Missing_return -> "missing-return"
+
+let errors ds = List.filter (fun d -> d.sev = Error) ds
+let warnings ds = List.filter (fun d -> d.sev = Warning) ds
+let ok ds = errors ds = []
+
+(* Everything the per-function analysis pass learns that the
+   program-level pass (call-site checks) needs. *)
+type func_summary = {
+  structurally_ok : bool;
+  required_arity : int;  (* 1 + highest register read before any write *)
+  uninit_uses : (int * int) list;  (* reachable (pc, reg) uninit reads *)
+  ret_none_reachable : bool;
+}
+
+let symbol_name (p : Prog.t) (addr : int) : string option =
+  let covers (s : Prog.symbol) =
+    let size = List.fold_left ( * ) 1 s.Prog.sym_dims in
+    addr >= s.Prog.sym_addr && addr < s.Prog.sym_addr + size
+  in
+  Option.map (fun s -> s.Prog.sym_name) (List.find_opt covers p.Prog.symbols)
+
+let verify (p : Prog.t) : diag list =
+  let out = ref [] in
+  let nfuncs = Array.length p.Prog.funcs in
+  let nregions = Array.length p.Prog.region_table in
+  let nmarks = Array.length p.Prog.mark_names in
+  let push ?(fname = "") ?(pc = -1) ?(line = -1) sev kind fmt =
+    Format.kasprintf
+      (fun message ->
+        out := { sev; kind; dfunc = fname; pc; line; message } :: !out)
+      fmt
+  in
+  if p.Prog.entry < 0 || p.Prog.entry >= nfuncs then
+    push Error Bad_entry "entry function index %d out of range [0,%d)"
+      p.Prog.entry nfuncs;
+
+  (* --- per-function: structural checks, then dataflow ------------------ *)
+  let summaries =
+    Array.mapi
+      (fun _fi (f : Prog.func) ->
+        let fname = f.Prog.fname in
+        let code = f.Prog.code in
+        let n = Array.length code in
+        let meta_ok =
+          Array.length f.Prog.lines = n && Array.length f.Prog.regions = n
+        in
+        if not meta_ok then
+          push ~fname Error Metadata_mismatch
+            "metadata arrays (%d lines, %d regions) do not match %d instructions"
+            (Array.length f.Prog.lines)
+            (Array.length f.Prog.regions)
+            n;
+        let line_of pc =
+          if meta_ok && pc >= 0 && pc < n then f.Prog.lines.(pc) else -1
+        in
+        let struct_ok = ref meta_ok in
+        let chk_reg pc r =
+          if r < 0 || r >= f.Prog.nregs then begin
+            struct_ok := false;
+            push ~fname ~pc ~line:(line_of pc) Error Bad_register
+              "register r%d out of range [0,%d)" r f.Prog.nregs
+          end
+        in
+        let chk_lbl pc l =
+          if l < 0 || l >= n then begin
+            struct_ok := false;
+            push ~fname ~pc ~line:(line_of pc) Error Bad_target
+              "branch target %d out of range [0,%d)" l n
+          end
+        in
+        Array.iteri
+          (fun pc ins ->
+            if meta_ok then begin
+              let r = f.Prog.regions.(pc) in
+              if r < -1 || r >= nregions then begin
+                struct_ok := false;
+                push ~fname ~pc ~line:(line_of pc) Error Bad_region
+                  "region id %d out of range" r
+              end
+            end;
+            List.iter (chk_reg pc) (Cfg.defs ins);
+            List.iter (chk_reg pc) (Cfg.uses ins);
+            match (ins : Instr.t) with
+            | Jmp l -> chk_lbl pc l
+            | Bnz (_, l1, l2) -> chk_lbl pc l1; chk_lbl pc l2
+            | Call (fi, _, _) ->
+                if fi < 0 || fi >= nfuncs then begin
+                  struct_ok := false;
+                  push ~fname ~pc ~line:(line_of pc) Error Bad_callee
+                    "callee index f%d out of range [0,%d)" fi nfuncs
+                end
+            | Mark m ->
+                if m < 0 || m >= nmarks then begin
+                  struct_ok := false;
+                  push ~fname ~pc ~line:(line_of pc) Error Bad_mark
+                    "mark id %d out of range [0,%d)" m nmarks
+                end
+            | Const _ | Bin _ | Un _ | Load _ | Store _ | Ret _ | Intr _ ->
+                ())
+          code;
+        if not !struct_ok || n = 0 then
+          {
+            structurally_ok = !struct_ok && n > 0;
+            required_arity = 0;
+            uninit_uses = [];
+            ret_none_reachable = false;
+          }
+        else begin
+          let cfg = Cfg.build f in
+          let reach_pc = Cfg.reachable_pcs cfg in
+          let reach_blk = Cfg.reachable cfg in
+          (* unreachable code: one diagnostic per dead block.  The
+             compiler appends a safety-net [Ret None] to every function;
+             when it is dead (value-returning functions) it is noise,
+             not a finding. *)
+          let is_safety_net (b : Cfg.block) =
+            b.Cfg.first = n - 1
+            && match code.(n - 1) with Instr.Ret None -> true | _ -> false
+          in
+          Array.iter
+            (fun (b : Cfg.block) ->
+              if (not reach_blk.(b.Cfg.bid)) && not (is_safety_net b) then
+                push ~fname ~pc:b.Cfg.first ~line:(line_of b.Cfg.first) Warning
+                  Unreachable_code
+                  "instructions %d..%d are unreachable" b.Cfg.first b.Cfg.last)
+            cfg.Cfg.blocks;
+          (* control falling off the end of a reachable block *)
+          Array.iter
+            (fun (b : Cfg.block) ->
+              if
+                reach_blk.(b.Cfg.bid)
+                && b.Cfg.succs = []
+                && not (match code.(b.Cfg.last) with Instr.Ret _ -> true | _ -> false)
+              then
+                push ~fname ~pc:b.Cfg.last ~line:(line_of b.Cfg.last) Error
+                  Missing_return
+                  "control can fall off the end of the function")
+            cfg.Cfg.blocks;
+          (* reaching definitions with every register initially undefined:
+             reads of the entry state are parameter reads *)
+          let rd = Reaching.compute ~arity:0 f in
+          let uninit_uses = ref [] in
+          Array.iteri
+            (fun pc ins ->
+              if reach_pc.(pc) then
+                List.iter
+                  (fun r ->
+                    if Reaching.may_be_uninit rd ~pc r then
+                      uninit_uses := (pc, r) :: !uninit_uses)
+                  (Cfg.uses ins))
+            code;
+          let uninit_uses = List.rev !uninit_uses in
+          let required_arity =
+            List.fold_left (fun m (_, r) -> max m (r + 1)) 0 uninit_uses
+          in
+          let ret_none_reachable = ref false and ret_some_reachable = ref false in
+          let first_bare_ret = ref (-1) in
+          Array.iteri
+            (fun pc ins ->
+              if reach_pc.(pc) then
+                match (ins : Instr.t) with
+                | Ret None ->
+                    if not !ret_none_reachable then first_bare_ret := pc;
+                    ret_none_reachable := true
+                | Ret (Some _) -> ret_some_reachable := true
+                | _ -> ())
+            code;
+          if !ret_none_reachable && !ret_some_reachable then
+            push ~fname ~pc:!first_bare_ret ~line:(line_of !first_bare_ret)
+              Warning Ret_mismatch
+              "mixes bare ret and ret-with-value on reachable paths";
+          (* dead register definitions and dead named-word stores *)
+          let lv = Liveness.compute ~cfg f in
+          let ml = Liveness.compute_mem rd f in
+          Array.iteri
+            (fun pc ins ->
+              if reach_pc.(pc) then
+                match (ins : Instr.t) with
+                | Const (d, _) | Bin (_, d, _, _) | Un (_, d, _) | Load (d, _)
+                  when not (Liveness.is_live_after lv ~pc d) ->
+                    push ~fname ~pc ~line:(line_of pc) Warning Dead_store
+                      "register r%d is defined but never used" d
+                | Store (_, a) -> (
+                    match Reaching.const_addr rd ~pc a with
+                    | Some addr when not (Liveness.word_live_after ml ~pc addr)
+                      ->
+                        push ~fname ~pc ~line:(line_of pc) Warning Dead_store
+                          "store to %s is overwritten on every path before \
+                           any read"
+                          (match symbol_name p addr with
+                          | Some s -> Printf.sprintf "%S (word %d)" s addr
+                          | None -> Printf.sprintf "word %d" addr)
+                    | _ -> ())
+                | _ -> ())
+            code;
+          {
+            structurally_ok = true;
+            required_arity;
+            uninit_uses;
+            ret_none_reachable = !ret_none_reachable;
+          }
+        end)
+      p.Prog.funcs
+  in
+
+  (* --- program-level: call sites and entry ----------------------------- *)
+  let called = Array.make nfuncs false in
+  if p.Prog.entry >= 0 && p.Prog.entry < nfuncs then
+    called.(p.Prog.entry) <- true;
+  Array.iteri
+    (fun _gi (g : Prog.func) ->
+      let fname = g.Prog.fname in
+      let n = Array.length g.Prog.code in
+      let meta_ok = Array.length g.Prog.lines = n in
+      let line_of pc = if meta_ok then g.Prog.lines.(pc) else -1 in
+      Array.iteri
+        (fun pc ins ->
+          match (ins : Instr.t) with
+          | Call (fi, args, ret) when fi >= 0 && fi < nfuncs ->
+              called.(fi) <- true;
+              let callee = p.Prog.funcs.(fi) in
+              let s = summaries.(fi) in
+              if s.structurally_ok then begin
+                let nargs = Array.length args in
+                if nargs < s.required_arity then
+                  push ~fname ~pc ~line:(line_of pc) Error Arity_mismatch
+                    "call of %s with %d argument%s, but it reads register \
+                     r%d before defining it (needs at least %d)"
+                    callee.Prog.fname nargs
+                    (if nargs = 1 then "" else "s")
+                    (s.required_arity - 1) s.required_arity;
+                if nargs > callee.Prog.nregs then
+                  push ~fname ~pc ~line:(line_of pc) Error Arity_mismatch
+                    "call of %s with %d arguments, but it has only %d \
+                     register%s"
+                    callee.Prog.fname nargs callee.Prog.nregs
+                    (if callee.Prog.nregs = 1 then "" else "s");
+                if ret <> None && s.ret_none_reachable then
+                  push ~fname ~pc ~line:(line_of pc) Error Ret_mismatch
+                    "call expects a value but %s can return without one"
+                    callee.Prog.fname
+              end
+          | _ -> ())
+        g.Prog.code)
+    p.Prog.funcs;
+  (* the VM invokes the entry function with no arguments *)
+  if p.Prog.entry >= 0 && p.Prog.entry < nfuncs then begin
+    let f = p.Prog.funcs.(p.Prog.entry) in
+    let s = summaries.(p.Prog.entry) in
+    let meta_ok = Array.length f.Prog.lines = Array.length f.Prog.code in
+    List.iter
+      (fun (pc, r) ->
+        push ~fname:f.Prog.fname ~pc
+          ~line:(if meta_ok then f.Prog.lines.(pc) else -1)
+          Error Use_before_def
+          "register r%d is read but never written before this point" r)
+      s.uninit_uses
+  end;
+  Array.iteri
+    (fun fi (f : Prog.func) ->
+      if not called.(fi) && summaries.(fi).structurally_ok then
+        push ~fname:f.Prog.fname ~pc:0 Warning Unreachable_code
+          "function %s is never called" f.Prog.fname)
+    p.Prog.funcs;
+
+  (* stable report order: program-level first, then function order, pc *)
+  let fidx d =
+    if d.dfunc = "" then -1
+    else
+      let rec find i =
+        if i >= nfuncs then nfuncs
+        else if String.equal p.Prog.funcs.(i).Prog.fname d.dfunc then i
+        else find (i + 1)
+      in
+      find 0
+  in
+  List.stable_sort
+    (fun a b ->
+      match compare (fidx a) (fidx b) with
+      | 0 -> compare (a.pc, a.kind) (b.pc, b.kind)
+      | c -> c)
+    (List.rev !out)
+
+(* --- reporting --------------------------------------------------------- *)
+
+let pp_diag ppf (d : diag) =
+  Fmt.pf ppf "%-7s %-18s %s%s%s: %s"
+    (severity_to_string d.sev)
+    (kind_to_string d.kind)
+    (if d.dfunc = "" then "<program>" else d.dfunc)
+    (if d.pc >= 0 then Printf.sprintf "@%d" d.pc else "")
+    (if d.line >= 0 then Printf.sprintf " (line %d)" d.line else "")
+    d.message
+
+let pp_report ppf (ds : diag list) =
+  List.iter (fun d -> Fmt.pf ppf "%a@," pp_diag d) ds;
+  Fmt.pf ppf "%d error%s, %d warning%s"
+    (List.length (errors ds))
+    (if List.length (errors ds) = 1 then "" else "s")
+    (List.length (warnings ds))
+    (if List.length (warnings ds) = 1 then "" else "s")
+
+let to_csv (ds : diag list) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "severity,kind,function,pc,line,message\n";
+  List.iter
+    (fun d ->
+      let quoted =
+        "\""
+        ^ String.concat "\"\"" (String.split_on_char '"' d.message)
+        ^ "\""
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%s,%d,%d,%s\n"
+           (severity_to_string d.sev)
+           (kind_to_string d.kind) d.dfunc d.pc d.line quoted))
+    ds;
+  Buffer.contents b

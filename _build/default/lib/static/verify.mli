@@ -1,0 +1,54 @@
+(** IR verifier/linter.  Walks a whole program and returns structured
+    diagnostics instead of raising on the first problem, so hand-built
+    or corrupted IR surfaces everything at once. *)
+
+type severity = Error | Warning
+
+type kind =
+  | Bad_entry            (** entry function index out of range *)
+  | Metadata_mismatch    (** lines/regions arrays do not match the code *)
+  | Bad_register         (** register operand out of range *)
+  | Bad_target           (** branch target out of range *)
+  | Bad_callee           (** callee function index out of range *)
+  | Bad_mark             (** mark id out of range *)
+  | Bad_region           (** region id out of range *)
+  | Arity_mismatch       (** call passes fewer args than the callee reads,
+                             or more than it has registers *)
+  | Ret_mismatch         (** value expected from a callee that can return
+                             without one; or a function mixes ret kinds *)
+  | Use_before_def       (** entry function reads a never-written register *)
+  | Unreachable_code     (** instructions no path reaches *)
+  | Dead_store           (** register def never used, or a named word
+                             overwritten before any possible read *)
+  | Missing_return       (** control can fall off the end of a function *)
+
+type diag = {
+  sev : severity;
+  kind : kind;
+  dfunc : string;  (** function name; [""] for program-level diagnostics *)
+  pc : int;        (** instruction index, or -1 *)
+  line : int;      (** source line, or -1 *)
+  message : string;
+}
+
+val verify : Prog.t -> diag list
+(** All diagnostics, ordered by function (program-level first), then pc.
+    Structural errors in a function suppress its dataflow-based checks
+    but never those of other functions. *)
+
+val errors : diag list -> diag list
+val warnings : diag list -> diag list
+
+val ok : diag list -> bool
+(** No diagnostics of severity [Error]. *)
+
+val severity_to_string : severity -> string
+val kind_to_string : kind -> string
+
+val pp_diag : Format.formatter -> diag -> unit
+
+val pp_report : Format.formatter -> diag list -> unit
+(** One line per diagnostic plus an error/warning count summary. *)
+
+val to_csv : diag list -> string
+(** [severity,kind,function,pc,line,message] with a header row. *)

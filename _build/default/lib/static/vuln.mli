@@ -1,0 +1,28 @@
+(** Static vulnerability ranking: score each code region by mean live
+    locations per instruction (exposure), discounted by the density of
+    statically recognizable protective sites.  Deterministic. *)
+
+type region_score = {
+  rid : int;
+  rname : string;
+  instrs : int;            (** static instructions attributed to the region *)
+  avg_live_regs : float;
+  avg_live_words : float;
+  protective_sites : int;
+  protective_density : float;
+  exposure : float;        (** [avg_live_regs +. avg_live_words] *)
+  score : float;           (** [exposure /. (1 + 4 * protective_density)] *)
+}
+
+val rank : ?extra_protective:(string * int) list -> Prog.t -> region_score list
+(** Scores for every region in the program's region table, most
+    vulnerable first (ties broken by region id).  [extra_protective]
+    adds caller-classified protective sites as [(function name, pc)]
+    pairs — e.g. the repeated-addition and truncating-print sites found
+    by the pattern detectors. *)
+
+val trivially_protective : Instr.t -> bool
+
+val pp_score : Format.formatter -> region_score -> unit
+val pp_ranking : Format.formatter -> region_score list -> unit
+val to_csv : region_score list -> string

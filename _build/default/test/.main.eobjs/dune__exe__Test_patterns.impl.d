@@ -1,1 +1,1 @@
-test/test_patterns.ml: Access Acl Alcotest Array Ast Dynamic_detect Float Helpers List Pattern Rates Static_detect String Ty
+test/test_patterns.ml: Access Acl Alcotest App Array Ast Dynamic_detect Float Helpers List Pattern Printf Rates Registry Static_detect String Ty

@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest App Array Ast Cfg Fmt Helpers Instr List Liveness Op Prog Reaching Registry Static_detect String Ty Verify Vuln

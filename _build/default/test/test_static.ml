@@ -1,0 +1,388 @@
+(* The static-analysis library: CFG construction, the dataflow engine's
+   instances (reaching definitions, liveness), the IR verifier/linter,
+   and the vulnerability ranking. *)
+
+open Helpers
+
+(* --- hand-built IR ------------------------------------------------------ *)
+
+let func ?(fname = "f") ?(nregs = 4) code : Prog.func =
+  let n = Array.length code in
+  {
+    Prog.fname;
+    nregs;
+    code;
+    lines = Array.init n (fun i -> i);
+    regions = Array.make n (-1);
+  }
+
+let prog ?(entry = 0) funcs : Prog.t =
+  {
+    Prog.funcs = Array.of_list funcs;
+    entry;
+    mem_size = 16;
+    init_mem = [];
+    region_table = [||];
+    mark_names = [||];
+    symbols = [];
+  }
+
+(* diamond: r1 <- 10 or 20 depending on r0, then r2 <- r1 + r1 *)
+let diamond =
+  func
+    [|
+      Instr.Const (0, 1L);
+      Instr.Bnz (0, 2, 4);
+      Instr.Const (1, 10L);
+      Instr.Jmp 5;
+      Instr.Const (1, 20L);
+      Instr.Bin (Op.Add, 2, 1, 1);
+      Instr.Ret (Some 2);
+    |]
+
+(* --- CFG ---------------------------------------------------------------- *)
+
+let test_cfg_straight_line () =
+  let f = func [| Instr.Const (0, 1L); Instr.Ret None |] in
+  let g = Cfg.build f in
+  Alcotest.(check int) "one block" 1 (Cfg.n_blocks g);
+  let b = Cfg.block g 0 in
+  Alcotest.(check int) "first" 0 b.Cfg.first;
+  Alcotest.(check int) "last" 1 b.Cfg.last;
+  Alcotest.(check (list int)) "no succs" [] b.Cfg.succs
+
+let test_cfg_diamond () =
+  let g = Cfg.build diamond in
+  Alcotest.(check int) "four blocks" 4 (Cfg.n_blocks g);
+  (* entry branches to both arms; both arms flow into the join *)
+  let entry = Cfg.block g g.Cfg.block_of.(0) in
+  Alcotest.(check int) "two successors" 2 (List.length entry.Cfg.succs);
+  let join = Cfg.block g g.Cfg.block_of.(5) in
+  Alcotest.(check int) "two predecessors" 2 (List.length join.Cfg.preds);
+  Array.iteri
+    (fun pc bid ->
+      let b = Cfg.block g bid in
+      Alcotest.(check bool) "block_of covers" true
+        (pc >= b.Cfg.first && pc <= b.Cfg.last))
+    g.Cfg.block_of
+
+let test_cfg_drops_bad_targets () =
+  let f = func [| Instr.Jmp 99 |] in
+  let g = Cfg.build f in
+  Alcotest.(check (list int)) "edge dropped, graph still built" []
+    (Cfg.block g 0).Cfg.succs
+
+let test_cfg_reachability () =
+  let f =
+    func
+      [|
+        Instr.Jmp 2; Instr.Const (0, 1L) (* unreachable *); Instr.Ret None;
+      |]
+  in
+  let g = Cfg.build f in
+  let r = Cfg.reachable_pcs g in
+  Alcotest.(check bool) "entry reachable" true r.(0);
+  Alcotest.(check bool) "skipped pc dead" false r.(1);
+  Alcotest.(check bool) "target reachable" true r.(2)
+
+(* --- reaching definitions ---------------------------------------------- *)
+
+let test_reaching_join () =
+  let rd = Reaching.compute diamond in
+  (* at the join use, both arm definitions reach r1 *)
+  Alcotest.(check (list int)) "two defs at join" [ 2; 4 ]
+    (Reaching.defs_of rd ~pc:5 1);
+  Alcotest.(check bool) "no unique def" true
+    (Reaching.unique_def rd ~pc:5 1 = None);
+  (* before the arms, r1 is uninitialized *)
+  Alcotest.(check bool) "uninit before arms" true
+    (Reaching.may_be_uninit rd ~pc:2 1);
+  (* r0's constant is the unique def at the branch *)
+  Alcotest.(check bool) "unique const def" true
+    (Reaching.unique_def rd ~pc:1 0 = Some 0)
+
+let test_reaching_params () =
+  let f = func [| Instr.Bin (Op.Add, 2, 0, 1); Instr.Ret (Some 2) |] in
+  let rd = Reaching.compute ~arity:2 f in
+  Alcotest.(check bool) "r0 is a param" false (Reaching.may_be_uninit rd ~pc:0 0);
+  Alcotest.(check bool) "r1 is a param" false (Reaching.may_be_uninit rd ~pc:0 1);
+  let rd0 = Reaching.compute f in
+  Alcotest.(check bool) "without arity r0 is uninit" true
+    (Reaching.may_be_uninit rd0 ~pc:0 0)
+
+let test_reaching_stores () =
+  (* store 7 into word 3, load it back: the load's word has a unique
+     reaching store *)
+  let f =
+    func
+      [|
+        Instr.Const (0, 3L);
+        Instr.Const (1, 7L);
+        Instr.Store (1, 0);
+        Instr.Load (2, 0);
+        Instr.Ret (Some 2);
+      |]
+  in
+  let rd = Reaching.compute f in
+  let mem = Reaching.compute_mem rd in
+  Alcotest.(check (list int)) "word tracked" [ 3 ] (Reaching.tracked_addrs mem);
+  Alcotest.(check bool) "unique store found" true
+    (Reaching.store_of mem ~pc:3 ~addr:3 = Some 2);
+  Alcotest.(check bool) "nothing reaches before the store" true
+    (Reaching.store_of mem ~pc:2 ~addr:3 = None)
+
+let test_reaching_stores_killed_by_call () =
+  let callee = func ~fname:"g" [| Instr.Ret None |] in
+  let f =
+    func
+      [|
+        Instr.Const (0, 3L);
+        Instr.Const (1, 7L);
+        Instr.Store (1, 0);
+        Instr.Call (1, [||], None);
+        Instr.Load (2, 0);
+        Instr.Ret (Some 2);
+      |]
+  in
+  ignore (prog [ f; callee ]);
+  let rd = Reaching.compute f in
+  let mem = Reaching.compute_mem rd in
+  Alcotest.(check bool) "call is an unknown writer" true
+    (Reaching.store_of mem ~pc:4 ~addr:3 = None)
+
+(* --- liveness ----------------------------------------------------------- *)
+
+let test_liveness_diamond () =
+  let lv = Liveness.compute diamond in
+  (* r0 is live until the branch consumes it *)
+  Alcotest.(check bool) "r0 live before branch" true
+    (List.mem 0 (Liveness.live_before lv ~pc:1));
+  Alcotest.(check bool) "r0 dead after branch" false
+    (Liveness.is_live_after lv ~pc:1 0);
+  (* r1 is live across both arms into the join *)
+  Alcotest.(check bool) "r1 live into join" true
+    (List.mem 1 (Liveness.live_before lv ~pc:5));
+  (* the returned register is live right up to the ret *)
+  Alcotest.(check bool) "r2 live before ret" true
+    (List.mem 2 (Liveness.live_before lv ~pc:6));
+  Alcotest.(check bool) "positive range" true (Liveness.range_length lv 1 > 0);
+  Alcotest.(check bool) "avg live positive" true (Liveness.avg_live lv > 0.0)
+
+let test_mem_liveness_dead_store () =
+  (* word 3 is stored twice with no intervening read: the first store
+     is dead; the second is live because final memory is observable *)
+  let f =
+    func
+      [|
+        Instr.Const (0, 3L);
+        Instr.Const (1, 7L);
+        Instr.Store (1, 0);
+        Instr.Store (1, 0);
+        Instr.Ret None;
+      |]
+  in
+  let rd = Reaching.compute f in
+  let ml = Liveness.compute_mem rd f in
+  Alcotest.(check bool) "first store dead" false
+    (Liveness.word_live_after ml ~pc:2 3);
+  Alcotest.(check bool) "last store live (exit observable)" true
+    (Liveness.word_live_after ml ~pc:3 3)
+
+(* --- verifier: registry programs lint clean ----------------------------- *)
+
+let test_lint_registry_clean () =
+  List.iter
+    (fun (app : App.t) ->
+      let ds = Verify.verify (App.program app) in
+      Alcotest.(check int)
+        (app.App.name ^ " lints with zero errors")
+        0
+        (List.length (Verify.errors ds)))
+    Registry.all
+
+(* --- verifier: broken fixtures ------------------------------------------ *)
+
+let has_error ds kind =
+  List.exists
+    (fun (d : Verify.diag) -> d.Verify.sev = Verify.Error && d.Verify.kind = kind)
+    ds
+
+let test_verify_bad_jump_target () =
+  let p = prog [ func ~fname:"main" [| Instr.Jmp 99 |] ] in
+  let ds = Verify.verify p in
+  Alcotest.(check bool) "bad-target reported" true (has_error ds Verify.Bad_target);
+  Alcotest.(check bool) "not ok" false (Verify.ok ds)
+
+let test_verify_use_before_def () =
+  let p =
+    prog
+      [
+        func ~fname:"main"
+          [| Instr.Bin (Op.Add, 1, 0, 0); Instr.Ret (Some 1) |];
+      ]
+  in
+  let ds = Verify.verify p in
+  Alcotest.(check bool) "use-before-def reported" true
+    (has_error ds Verify.Use_before_def)
+
+let test_verify_arity_mismatch () =
+  (* g reads r0 before writing it, so it needs one argument; main
+     passes none *)
+  let g = func ~fname:"g" [| Instr.Bin (Op.Add, 1, 0, 0); Instr.Ret (Some 1) |] in
+  let main =
+    func ~fname:"main" [| Instr.Call (1, [||], Some 0); Instr.Ret None |]
+  in
+  let ds = Verify.verify (prog [ main; g ]) in
+  Alcotest.(check bool) "arity mismatch reported" true
+    (has_error ds Verify.Arity_mismatch)
+
+let test_verify_too_many_args () =
+  let g = func ~fname:"g" ~nregs:1 [| Instr.Ret None |] in
+  let main =
+    func ~fname:"main"
+      [| Instr.Const (0, 1L); Instr.Const (1, 2L);
+         Instr.Call (1, [| 0; 1 |], None); Instr.Ret None |]
+  in
+  let ds = Verify.verify (prog [ main; g ]) in
+  Alcotest.(check bool) "overfull call reported" true
+    (has_error ds Verify.Arity_mismatch)
+
+let test_verify_ret_mismatch () =
+  (* main expects a value from g, but g returns bare *)
+  let g = func ~fname:"g" [| Instr.Ret None |] in
+  let main =
+    func ~fname:"main" [| Instr.Call (1, [||], Some 0); Instr.Ret None |]
+  in
+  let ds = Verify.verify (prog [ main; g ]) in
+  Alcotest.(check bool) "ret mismatch reported" true
+    (has_error ds Verify.Ret_mismatch)
+
+let test_verify_bad_register_and_entry () =
+  let p = prog [ func ~fname:"main" ~nregs:2 [| Instr.Const (9, 0L); Instr.Ret None |] ] in
+  Alcotest.(check bool) "bad register" true
+    (has_error (Verify.verify p) Verify.Bad_register);
+  let p2 = prog ~entry:7 [ func ~fname:"main" [| Instr.Ret None |] ] in
+  Alcotest.(check bool) "bad entry" true
+    (has_error (Verify.verify p2) Verify.Bad_entry)
+
+let test_verify_missing_return () =
+  let p = prog [ func ~fname:"main" [| Instr.Const (0, 1L) |] ] in
+  Alcotest.(check bool) "missing return" true
+    (has_error (Verify.verify p) Verify.Missing_return)
+
+let test_verify_warnings_and_report () =
+  (* dead first store to a named word + unreachable code, both warnings *)
+  let prog_ast =
+    let open Ast in
+    main_program
+      ~globals:[ DScalar ("t", Ty.F64); DScalar ("out", Ty.F64) ]
+      [
+        SAssign ("t", f 1.0);
+        SAssign ("t", f 2.0);
+        SAssign ("out", v "t");
+      ]
+  in
+  let ds = Verify.verify (compile prog_ast) in
+  Alcotest.(check int) "no errors" 0 (List.length (Verify.errors ds));
+  Alcotest.(check bool) "dead first store flagged" true
+    (List.exists
+       (fun (d : Verify.diag) -> d.Verify.kind = Verify.Dead_store)
+       (Verify.warnings ds));
+  (* report renders and CSV has header + one line per diagnostic *)
+  let report = Fmt.str "@[<v>%a@]" Verify.pp_report ds in
+  Alcotest.(check bool) "report nonempty" true (String.length report > 0);
+  let csv = Verify.to_csv ds in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "csv rows" (List.length ds + 1) (List.length lines)
+
+(* --- vulnerability ranking ---------------------------------------------- *)
+
+let test_vuln_rank_cg () =
+  let p = App.program (Registry.find "CG") in
+  let ranking = Vuln.rank p in
+  Alcotest.(check int) "one score per region"
+    (Array.length p.Prog.region_table)
+    (List.length ranking);
+  (* non-degenerate: not all scores equal *)
+  let scores = List.map (fun s -> s.Vuln.score) ranking in
+  Alcotest.(check bool) "scores differ" true
+    (List.exists (fun s -> s <> List.hd scores) scores);
+  (* sorted descending *)
+  let rec sorted = function
+    | a :: b :: tl -> a.Vuln.score >= b.Vuln.score && sorted (b :: tl)
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending" true (sorted ranking);
+  (* deterministic: a second run is identical *)
+  Alcotest.(check bool) "stable across runs" true (Vuln.rank p = ranking);
+  (* extra protective sites can only lower or keep scores *)
+  let seeded = Static_detect.static_rank p in
+  List.iter
+    (fun (s : Vuln.region_score) ->
+      let s' = List.find (fun x -> x.Vuln.rid = s.Vuln.rid) seeded in
+      Alcotest.(check bool) "seeded score <= plain" true
+        (s'.Vuln.score <= s.Vuln.score))
+    ranking
+
+let test_vuln_protection_lowers_score () =
+  (* same loop body, one with a guarding conditional: the guard adds a
+     protective branch site (it also adds instructions, so the density
+     itself need not rise) *)
+  let build guarded =
+    let open Ast in
+    let body =
+      if guarded then
+        [ SIf (idx1 "u" (v "j") > f 0.0,
+               [ SStore ("u", [ v "j" ], idx1 "u" (v "j") + f 1.0) ], []) ]
+      else [ SStore ("u", [ v "j" ], idx1 "u" (v "j") + f 1.0) ]
+    in
+    compile
+      (main_program
+         ~globals:[ DArr ("u", Ty.F64, [ 4 ]) ]
+         [ SRegion ("r", 1, 9, [ SFor ("j", i 0, i 4, body) ]) ])
+  in
+  let score p =
+    match Vuln.rank p with [ s ] -> s | _ -> Alcotest.fail "one region"
+  in
+  let plain = score (build false) and guarded = score (build true) in
+  Alcotest.(check bool) "guard adds a protective site" true
+    (guarded.Vuln.protective_sites > plain.Vuln.protective_sites);
+  Alcotest.(check bool) "scores positive" true
+    (plain.Vuln.score > 0.0 && guarded.Vuln.score > 0.0)
+
+let suite =
+  ( "static",
+    [
+      Alcotest.test_case "cfg: straight line" `Quick test_cfg_straight_line;
+      Alcotest.test_case "cfg: diamond" `Quick test_cfg_diamond;
+      Alcotest.test_case "cfg: bad targets dropped" `Quick
+        test_cfg_drops_bad_targets;
+      Alcotest.test_case "cfg: reachability" `Quick test_cfg_reachability;
+      Alcotest.test_case "reaching: join" `Quick test_reaching_join;
+      Alcotest.test_case "reaching: params" `Quick test_reaching_params;
+      Alcotest.test_case "reaching: stores" `Quick test_reaching_stores;
+      Alcotest.test_case "reaching: stores vs call" `Quick
+        test_reaching_stores_killed_by_call;
+      Alcotest.test_case "liveness: diamond" `Quick test_liveness_diamond;
+      Alcotest.test_case "liveness: dead store" `Quick
+        test_mem_liveness_dead_store;
+      Alcotest.test_case "lint: registry clean" `Slow test_lint_registry_clean;
+      Alcotest.test_case "verify: bad jump target" `Quick
+        test_verify_bad_jump_target;
+      Alcotest.test_case "verify: use before def" `Quick
+        test_verify_use_before_def;
+      Alcotest.test_case "verify: arity mismatch" `Quick
+        test_verify_arity_mismatch;
+      Alcotest.test_case "verify: too many args" `Quick
+        test_verify_too_many_args;
+      Alcotest.test_case "verify: ret mismatch" `Quick test_verify_ret_mismatch;
+      Alcotest.test_case "verify: bad register/entry" `Quick
+        test_verify_bad_register_and_entry;
+      Alcotest.test_case "verify: missing return" `Quick
+        test_verify_missing_return;
+      Alcotest.test_case "verify: warnings + report" `Quick
+        test_verify_warnings_and_report;
+      Alcotest.test_case "vuln: rank CG" `Slow test_vuln_rank_cg;
+      Alcotest.test_case "vuln: protection lowers score" `Quick
+        test_vuln_protection_lowers_score;
+    ] )

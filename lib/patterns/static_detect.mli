@@ -1,7 +1,10 @@
 (** Static pattern-instance counting over IR programs: the instruction
     sites where each pattern can act, including a backward-slice check
     that recognizes self-accumulating stores ([u[i] = u[i] + ...]) as
-    Repeated Additions sites. *)
+    Repeated Additions sites.  Slices follow [Ft_static] reaching
+    definitions across basic blocks and trace unique stores through
+    constant-address words, so accumulations routed through scalar
+    temporaries are found too. *)
 
 type site = { fname : string; pc : int; line : int; region : int }
 
@@ -21,3 +24,7 @@ val analyze : Prog.t -> report
 
 val count : report -> Pattern.t -> int
 (** Static site count per pattern; 0 for the inherently dynamic DCL. *)
+
+val static_rank : Prog.t -> Vuln.region_score list
+(** {!Vuln.rank} seeded with the detector's repeated-addition and
+    truncating-print sites as extra protective sites. *)

@@ -1,0 +1,121 @@
+(** A generic worklist fixpoint engine over basic-block CFGs.
+
+    The client supplies a join-semilattice (bottom, join, equality), a
+    boundary fact, and a per-instruction transfer function; the engine
+    iterates to a fixpoint in either direction.  Facts are indexed in
+    {e execution order}: [entry_fact] is the fact holding just before a
+    block's first instruction and [exit_fact] just after its last, for
+    both forward and backward problems. *)
+
+type direction = Forward | Backward
+
+type 'a lattice = {
+  bottom : 'a;  (** identity of [join]; the initial fact everywhere *)
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+}
+
+type 'a solution = {
+  entry_facts : 'a array;  (** per block: fact before its first instruction *)
+  exit_facts : 'a array;   (** per block: fact after its last instruction *)
+}
+
+(* Push the fact through one whole block in the given direction.
+   [transfer pc fact] maps the fact holding on the incoming side of the
+   instruction at [pc] (before it for forward problems, after it for
+   backward ones) to the fact on the outgoing side. *)
+let through_block ~(dir : direction) ~(transfer : int -> 'a -> 'a)
+    (b : Cfg.block) (fact : 'a) : 'a =
+  match dir with
+  | Forward ->
+      let acc = ref fact in
+      for pc = b.Cfg.first to b.Cfg.last do
+        acc := transfer pc !acc
+      done;
+      !acc
+  | Backward ->
+      let acc = ref fact in
+      for pc = b.Cfg.last downto b.Cfg.first do
+        acc := transfer pc !acc
+      done;
+      !acc
+
+let solve ~(dir : direction) ~(lat : 'a lattice) ~(boundary : 'a)
+    ~(transfer : int -> 'a -> 'a) (g : Cfg.t) : 'a solution =
+  let n = Cfg.n_blocks g in
+  let entry_facts = Array.make n lat.bottom in
+  let exit_facts = Array.make n lat.bottom in
+  if n = 0 then { entry_facts; exit_facts }
+  else begin
+    (* [input b] is the joined fact on the side facts flow in from:
+       block entry for forward problems, block exit for backward. *)
+    let input b =
+      match dir with
+      | Forward ->
+          let preds = g.Cfg.blocks.(b).Cfg.preds in
+          let base = if b = 0 then boundary else lat.bottom in
+          List.fold_left
+            (fun acc p -> lat.join acc exit_facts.(p))
+            base preds
+      | Backward ->
+          let succs = g.Cfg.blocks.(b).Cfg.succs in
+          let base = if succs = [] then boundary else lat.bottom in
+          List.fold_left
+            (fun acc s -> lat.join acc entry_facts.(s))
+            base succs
+    in
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let enqueue b =
+      if not queued.(b) then begin
+        queued.(b) <- true;
+        Queue.add b queue
+      end
+    in
+    (* seed in an order that tends to reach the fixpoint quickly *)
+    (match dir with
+    | Forward -> for b = 0 to n - 1 do enqueue b done
+    | Backward -> for b = n - 1 downto 0 do enqueue b done);
+    while not (Queue.is_empty queue) do
+      let b = Queue.take queue in
+      queued.(b) <- false;
+      let blk = g.Cfg.blocks.(b) in
+      let inp = input b in
+      let out = through_block ~dir ~transfer blk inp in
+      match dir with
+      | Forward ->
+          entry_facts.(b) <- inp;
+          if not (lat.equal out exit_facts.(b)) then begin
+            exit_facts.(b) <- out;
+            List.iter enqueue blk.Cfg.succs
+          end
+      | Backward ->
+          exit_facts.(b) <- inp;
+          if not (lat.equal out entry_facts.(b)) then begin
+            entry_facts.(b) <- out;
+            List.iter enqueue blk.Cfg.preds
+          end
+    done;
+    { entry_facts; exit_facts }
+  end
+
+(** The fact at every instruction boundary of block [bid], in execution
+    order: element [i] holds between instruction [first+i-1] and
+    [first+i]; element [0] is the block-entry fact and the final element
+    the block-exit fact ([last - first + 2] elements in total). *)
+let block_facts ~(dir : direction) ~(transfer : int -> 'a -> 'a) (g : Cfg.t)
+    (sol : 'a solution) (bid : int) : 'a array =
+  let b = g.Cfg.blocks.(bid) in
+  let len = b.Cfg.last - b.Cfg.first + 1 in
+  let facts = Array.make (len + 1) sol.entry_facts.(bid) in
+  (match dir with
+  | Forward ->
+      for i = 0 to len - 1 do
+        facts.(i + 1) <- transfer (b.Cfg.first + i) facts.(i)
+      done
+  | Backward ->
+      facts.(len) <- sol.exit_facts.(bid);
+      for i = len - 1 downto 0 do
+        facts.(i) <- transfer (b.Cfg.first + i) facts.(i + 1)
+      done);
+  facts

@@ -1,0 +1,134 @@
+(** Static vulnerability ranking of code regions.
+
+    A purely static counterpart of the dynamic resilience-factor
+    analysis: without running anything, rank the program's code regions
+    by how exposed a bit-flip landing in them would be.
+
+    Two forces, per region:
+    {ul
+    {- {e exposure} — the mean number of live locations (registers plus
+       statically-addressed memory words) per instruction.  Each live
+       location a fault can reach is a place the corruption stays
+       alive;}
+    {- {e protection} — the density of statically recognizable
+       resilience-pattern sites: conditional branches (dead corrupted
+       locations / conditional masking), shifts and truncations (data
+       truncation), stores (data overwriting), plus any caller-supplied
+       sites such as the repeated-additions and truncating-print sites
+       [Static_detect] finds.}}
+
+    [score = exposure /. (1 + 4 * protective_density)] — exposure
+    discounted by protection.  Everything is deterministic; ranking the
+    same program twice yields identical output. *)
+
+type region_score = {
+  rid : int;
+  rname : string;
+  instrs : int;            (** static instructions attributed to the region *)
+  avg_live_regs : float;
+  avg_live_words : float;
+  protective_sites : int;
+  protective_density : float;
+  exposure : float;
+  score : float;
+}
+
+(* A site whose instruction shape alone marks it protective. *)
+let trivially_protective (ins : Instr.t) : bool =
+  match ins with
+  | Instr.Bnz _ -> true
+  | Instr.Bin (op, _, _, _) -> Op.bin_is_shift op
+  | Instr.Un (op, _, _) -> Op.un_is_truncation op
+  | Instr.Store _ -> true
+  | Instr.Const _ | Instr.Load _ | Instr.Jmp _ | Instr.Call _ | Instr.Ret _
+  | Instr.Intr _ | Instr.Mark _ ->
+      false
+
+let rank ?(extra_protective : (string * int) list = []) (p : Prog.t) :
+    region_score list =
+  let nregions = Array.length p.Prog.region_table in
+  let extra = Hashtbl.create 16 in
+  List.iter
+    (fun (fname, pc) -> Hashtbl.replace extra (fname, pc) ())
+    extra_protective;
+  let instrs = Array.make nregions 0 in
+  let live_sum = Array.make nregions 0 in
+  let words_sum = Array.make nregions 0 in
+  let protective = Array.make nregions 0 in
+  Array.iter
+    (fun (f : Prog.func) ->
+      let n = Array.length f.Prog.code in
+      if n > 0 && Array.length f.Prog.regions = n && Array.length f.Prog.lines = n
+      then begin
+        let cfg = Cfg.build f in
+        let lv = Liveness.compute ~cfg f in
+        let rd = Reaching.compute f in
+        let ml = Liveness.compute_mem rd f in
+        Array.iteri
+          (fun pc ins ->
+            let r = f.Prog.regions.(pc) in
+            if r >= 0 && r < nregions then begin
+              instrs.(r) <- instrs.(r) + 1;
+              live_sum.(r) <-
+                live_sum.(r) + List.length (Liveness.live_before lv ~pc);
+              words_sum.(r) <-
+                words_sum.(r) + List.length (Liveness.words_live_before ml ~pc);
+              if
+                trivially_protective ins
+                || Hashtbl.mem extra (f.Prog.fname, pc)
+              then protective.(r) <- protective.(r) + 1
+            end)
+          f.Prog.code
+      end)
+    p.Prog.funcs;
+  let scores =
+    Array.to_list
+      (Array.mapi
+         (fun rid (ri : Prog.region_info) ->
+           let n = instrs.(rid) in
+           let fn = float_of_int (max n 1) in
+           let avg_live_regs = float_of_int live_sum.(rid) /. fn in
+           let avg_live_words = float_of_int words_sum.(rid) /. fn in
+           let exposure = avg_live_regs +. avg_live_words in
+           let protective_density = float_of_int protective.(rid) /. fn in
+           {
+             rid;
+             rname = ri.Prog.rname;
+             instrs = n;
+             avg_live_regs;
+             avg_live_words;
+             protective_sites = protective.(rid);
+             protective_density;
+             exposure;
+             score = exposure /. (1.0 +. (4.0 *. protective_density));
+           })
+         p.Prog.region_table)
+  in
+  List.stable_sort
+    (fun a b ->
+      match compare b.score a.score with 0 -> compare a.rid b.rid | c -> c)
+    scores
+
+let pp_score ppf (s : region_score) =
+  Fmt.pf ppf
+    "%-12s %5d instrs  live regs %5.2f  live words %6.2f  protective %3d \
+     (%.3f/instr)  score %7.3f"
+    s.rname s.instrs s.avg_live_regs s.avg_live_words s.protective_sites
+    s.protective_density s.score
+
+let pp_ranking ppf (scores : region_score list) =
+  List.iteri (fun i s -> Fmt.pf ppf "%2d. %a@," (i + 1) pp_score s) scores
+
+let to_csv (scores : region_score list) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "rank,region,instrs,avg_live_regs,avg_live_words,protective_sites,\
+     protective_density,exposure,score\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf "%d,%s,%d,%.4f,%.4f,%d,%.4f,%.4f,%.4f\n" (i + 1)
+           s.rname s.instrs s.avg_live_regs s.avg_live_words s.protective_sites
+           s.protective_density s.exposure s.score))
+    scores;
+  Buffer.contents b

@@ -109,6 +109,55 @@ let test_static_repeated_addition_negative () =
   Alcotest.(check int) "no self accumulation" 0
     (List.length r.Static_detect.repeated_adds)
 
+(* The accumulation is parked in a scalar temporary and the store sits
+   in a different basic block (an [if] intervenes): invisible to a
+   single-statement backward scan, found by the reaching-definitions
+   slicer tracing the unique store into [t]'s word. *)
+let test_static_repeated_addition_cross_block () =
+  let r =
+    let open Ast in
+    static_counts
+      [
+        SFor
+          ( "j",
+            i 0,
+            i 4,
+            [
+              SAssign ("t", idx1 "u" (v "j") + idx1 "w" (v "j"));
+              SIf (v "j" % i 2 = i 0, [ SAssign ("flag", i 1) ], []);
+              SStore ("u", [ v "j" ], v "t");
+            ] );
+      ]
+      [
+        DArr ("u", Ty.F64, [ 4 ]);
+        DArr ("w", Ty.F64, [ 4 ]);
+        DScalar ("t", Ty.F64);
+        DScalar ("flag", Ty.I64);
+      ]
+  in
+  Alcotest.(check int) "temp-routed accumulation found" 1
+    (List.length r.Static_detect.repeated_adds)
+
+(* Rebasing the slicer on reaching definitions must not lose any site
+   the old single-statement scan found.  Baselines measured with the
+   pre-rebase detector. *)
+let test_static_repeated_adds_registry_parity () =
+  let baseline =
+    [
+      ("CG", 13); ("MG", 2); ("LU", 3); ("BT", 4); ("IS", 0); ("DC", 0);
+      ("SP", 6); ("FT", 2); ("KMEANS", 3); ("LULESH", 4);
+    ]
+  in
+  List.iter
+    (fun (app : App.t) ->
+      let want = List.assoc app.App.name baseline in
+      let r = Static_detect.analyze (App.program app) in
+      let got = List.length r.Static_detect.repeated_adds in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d sites >= baseline %d" app.App.name got want)
+        true (got >= want))
+    Registry.all
+
 let test_static_overwrites_are_stores () =
   let r =
     let open Ast in
@@ -124,6 +173,30 @@ let test_format_truncates () =
   Alcotest.(check bool) "%e bare" false (Static_detect.format_truncates "%e");
   Alcotest.(check bool) "%d" false (Static_detect.format_truncates "%d");
   Alcotest.(check bool) "plain" false (Static_detect.format_truncates "hello")
+
+let test_format_truncates_edge_cases () =
+  (* %% is a literal percent, not a directive *)
+  Alcotest.(check bool) "%% literal" false
+    (Static_detect.format_truncates "100%%");
+  Alcotest.(check bool) "%% then precise float" true
+    (Static_detect.format_truncates "%% %.2f");
+  (* a width alone pads, it does not drop precision *)
+  Alcotest.(check bool) "width-only %12f" false
+    (Static_detect.format_truncates "%12f");
+  Alcotest.(check bool) "width-only %8e" false
+    (Static_detect.format_truncates "val %8e end");
+  (* scanning continues past a non-truncating float directive *)
+  Alcotest.(check bool) "%f then %.3f" true
+    (Static_detect.format_truncates "%f %.3f");
+  Alcotest.(check bool) "%e then %.6e" true
+    (Static_detect.format_truncates "a=%e b=%.6e");
+  (* multiple directives, none truncating *)
+  Alcotest.(check bool) "%d %f %e" false
+    (Static_detect.format_truncates "%d %f %e");
+  (* precision on an integer directive is not float truncation *)
+  Alcotest.(check bool) "%.3d" false (Static_detect.format_truncates "%.3d");
+  (* trailing bare % *)
+  Alcotest.(check bool) "trailing %" false (Static_detect.format_truncates "x%")
 
 let test_static_count_api () =
   let r =
@@ -236,8 +309,14 @@ let suite =
         test_static_repeated_addition_positive;
       Alcotest.test_case "static repeated addition -" `Quick
         test_static_repeated_addition_negative;
+      Alcotest.test_case "static repeated addition cross-block" `Quick
+        test_static_repeated_addition_cross_block;
+      Alcotest.test_case "static repeated adds registry parity" `Slow
+        test_static_repeated_adds_registry_parity;
       Alcotest.test_case "static overwrites" `Quick test_static_overwrites_are_stores;
       Alcotest.test_case "format truncates" `Quick test_format_truncates;
+      Alcotest.test_case "format truncates edge cases" `Quick
+        test_format_truncates_edge_cases;
       Alcotest.test_case "static count api" `Quick test_static_count_api;
       Alcotest.test_case "rates: shifts" `Quick test_rates_on_shift_heavy_program;
       Alcotest.test_case "rates: repeated additions" `Quick
