@@ -11,10 +11,13 @@
      tab3  Use Case 1: hardened CG               (Section VII-A)
      tab4  Use Case 2: resilience prediction     (Section VII-B)
      perf  bechamel micro-benchmarks of the framework itself
+     campaign-scale  resilient executor throughput at 1/2/4/8 workers
 
    Usage: main.exe [--effort quick|default|paper | --quick | --paper]
-                   [experiment ...]
-   With no experiment arguments, everything runs. *)
+                   [--jobs N] [experiment ...]
+   With no experiment arguments, everything runs.  --jobs fans the
+   campaigns of fig5/fig6/tab3/tab4 out over N domains (the counts are
+   identical for any N). *)
 
 let bar width frac =
   let n = int_of_float (frac *. float_of_int width) in
@@ -236,6 +239,57 @@ let ablate _effort =
     "  (taint overstates the error footprint by counting corrupted-but-dead \
      locations; liveness tracking is what lets the ACL series fall)"
 
+(* --- campaign-scale ------------------------------------------------------ *)
+
+let campaign_scale (effort : Effort.t) =
+  header "campaign-scale: resilient campaign executor, trials/sec vs workers";
+  let app = Is.app in
+  let clean, trace = App.trace app in
+  let prog = App.program app in
+  let target = Campaign.whole_program_target prog trace in
+  let cfg =
+    (* a fixed trial count, so the jobs axis is the only variable *)
+    { effort.Effort.campaign with Campaign.max_trials = Some 240 }
+  in
+  Printf.printf
+    "recommended domain count on this machine: %d (speedup is bounded by \
+     the physical cores available)\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-6s %10s %12s %10s %8s\n" "jobs" "trials" "wall(s)"
+    "trials/s" "speedup";
+  let baseline = ref None in
+  let base_counts = ref None in
+  List.iter
+    (fun jobs ->
+      let r =
+        Campaign.run_report prog ~verify:(App.verify app)
+          ~clean_instructions:clean.Machine.instructions ~cfg
+          ~exec:{ Campaign.default_exec with jobs }
+          target
+      in
+      let c = r.Campaign.counts in
+      (match !base_counts with
+      | None -> base_counts := Some c
+      | Some b ->
+          if b <> c then
+            Printf.printf
+              "  WARNING: counts diverged from --jobs 1 (determinism bug)\n");
+      let wall = r.Campaign.wall_s in
+      let tps = Float.of_int c.Campaign.trials /. Float.max 1e-9 wall in
+      let speedup =
+        match !baseline with
+        | None ->
+            baseline := Some wall;
+            1.0
+        | Some b -> b /. wall
+      in
+      Printf.printf "%-6d %10d %12.3f %10.1f %7.2fx\n" jobs c.Campaign.trials
+        wall tps speedup)
+    [ 1; 2; 4; 8 ];
+  print_endline
+    "(counts are bit-identical across the jobs axis: per-trial RNG streams \
+     are derived from the trial index, never from scheduling)"
+
 (* --- bechamel perf suite ------------------------------------------------ *)
 
 let perf _effort =
@@ -314,7 +368,7 @@ let all_experiments =
   [
     ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("tab1", tab1); ("tab2", tab2); ("tab3", tab3); ("tab4", tab4);
-    ("ablate", ablate); ("perf", perf);
+    ("ablate", ablate); ("perf", perf); ("campaign-scale", campaign_scale);
   ]
 
 let () =
@@ -330,6 +384,13 @@ let () =
         parse rest
     | "--paper" :: rest ->
         effort := Effort.paper;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> effort := { !effort with Effort.jobs = j }
+        | Some _ | None ->
+            Printf.eprintf "--jobs needs a positive integer, got %S\n" n;
+            exit 2);
         parse rest
     | name :: rest ->
         (match List.assoc_opt name all_experiments with

@@ -112,6 +112,19 @@ let campaign_cmd =
            `Internal
          & info [ "kind" ] ~doc:"Injection target kind for --region.")
   in
+  let func =
+    Arg.(value & opt (some string) None & info [ "function" ] ~docv:"F"
+           ~doc:"Restrict to the dynamic instructions of one function.")
+  in
+  let memory_during =
+    Arg.(value & opt (some string) None & info [ "memory-during" ] ~docv:"F"
+           ~doc:"Soft errors in the memory of --vars while function $(docv) \
+                 executes (the Use Case 1 scenario).")
+  in
+  let vars =
+    Arg.(value & opt (list string) [] & info [ "vars" ] ~docv:"V1,V2"
+           ~doc:"Comma-separated global variables for --memory-during.")
+  in
   let trials =
     Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N"
            ~doc:"Number of injections (default: statistical design, capped).")
@@ -119,14 +132,50 @@ let campaign_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign RNG seed.")
   in
-  let run name region kind trials seed =
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains. Counts are identical for any value.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH"
+           ~doc:"Append each completed trial to this on-disk journal \
+                 (csexp, fsync'd in batches).")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Resume from --journal, skipping already-journaled trials.")
+  in
+  let watchdog =
+    Arg.(value & opt (some float) None & info [ "watchdog" ] ~docv:"S"
+           ~doc:"Per-trial wall-clock deadline in seconds (supplements the \
+                 instruction budget; a tripped watchdog counts as Crashed).")
+  in
+  let early_stop =
+    Arg.(value & flag & info [ "early-stop" ]
+           ~doc:"Stop once the Wilson interval on the success rate is within \
+                 the statistical design's margin.")
+  in
+  let run name region kind func memory_during vars trials seed jobs journal
+      resume watchdog early_stop =
     let app = find_app name in
     let clean, trace = App.trace app in
     let prog = App.program app in
     let target =
-      match region with
-      | None -> Campaign.whole_program_target prog trace
-      | Some rname -> (
+      try
+        match (region, func, memory_during) with
+      | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+          Printf.eprintf
+            "--region, --function and --memory-during are exclusive\n";
+          exit 2
+      | None, Some fname, None -> Campaign.function_target prog trace fname
+      | None, None, Some fname ->
+          if vars = [] then begin
+            Printf.eprintf "--memory-during needs --vars\n";
+            exit 2
+          end;
+          Campaign.memory_during_function_target prog trace ~fname ~vars
+      | None, None, None -> Campaign.whole_program_target prog trace
+      | Some rname, None, None -> (
           let rid = (Prog.region_by_name prog rname).Prog.rid in
           match Region.find_instance trace ~rid ~number:0 with
           | None ->
@@ -137,24 +186,65 @@ let campaign_cmd =
               | `Internal -> Campaign.internal_target prog trace inst
               | `Input ->
                   Campaign.input_target prog trace (Access.build trace) inst))
+      with Campaign.Unknown_symbol { name; available } ->
+        (* structured error: actionable message, no backtrace *)
+        Printf.eprintf "unknown symbol %S in --vars\navailable symbols: %s\n"
+          name
+          (String.concat ", " available);
+        exit 2
     in
     let cfg =
       { Campaign.default_config with seed; max_trials = (match trials with Some _ -> trials | None -> Some 500) }
     in
-    let counts =
-      Campaign.run prog ~verify:(App.verify app)
-        ~clean_instructions:clean.Machine.instructions ~cfg target
+    let progress (p : Executor.progress) =
+      Printf.eprintf "\rcampaign: %d/%d trials (%.0f%%), %.1fs elapsed, eta %.1fs   "
+        p.Executor.completed p.Executor.planned
+        (100.0 *. Float.of_int p.Executor.completed
+        /. Float.of_int (max 1 p.Executor.planned))
+        p.Executor.elapsed_s p.Executor.eta_s;
+      if p.Executor.completed >= p.Executor.planned then prerr_newline ();
+      flush stderr
     in
+    let exec =
+      {
+        Campaign.default_exec with
+        jobs;
+        journal;
+        resume;
+        watchdog_s = watchdog;
+        early_stop;
+        on_progress = Some progress;
+      }
+    in
+    let r =
+      Campaign.run_report prog ~verify:(App.verify app)
+        ~clean_instructions:clean.Machine.instructions ~cfg ~exec target
+    in
+    prerr_newline ();
+    let counts = r.Campaign.counts in
     let lo, hi =
       Stats.wilson_interval ~successes:counts.Campaign.success
         ~trials:counts.Campaign.trials ~confidence:0.95
     in
     Fmt.pr "%a@." Campaign.pp_counts counts;
+    if r.Campaign.stopped_early then
+      Printf.printf
+        "stopped early at %d of %d planned trials (Wilson interval within \
+         the %.0f%%/%.0f%% design)\n"
+        (counts.Campaign.trials + counts.Campaign.infra)
+        r.Campaign.planned (100.0 *. cfg.Campaign.confidence)
+        (100.0 *. cfg.Campaign.margin);
+    if r.Campaign.resumed > 0 then
+      Printf.printf "resumed %d journaled trials\n" r.Campaign.resumed;
     Printf.printf "95%% Wilson interval on the success rate: [%.3f, %.3f]\n" lo hi
   in
   Cmd.v
-    (Cmd.info "campaign" ~doc:"Run a fault-injection campaign.")
-    Term.(const run $ app_arg $ region $ kind $ trials $ seed)
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a fault-injection campaign on the resilient executor \
+          (parallel workers, journal + resume, watchdog, early stopping).")
+    Term.(const run $ app_arg $ region $ kind $ func $ memory_during $ vars
+          $ trials $ seed $ jobs $ journal $ resume $ watchdog $ early_stop)
 
 (* --- patterns ------------------------------------------------------------ *)
 

@@ -2,6 +2,11 @@
     a dependency-free SVG step chart for the ACL series (the paper's
     Figure 7 rendering). *)
 
+val csv_field : string -> string
+(** RFC 4180 quoting: a field containing a comma, double quote, or line
+    break is wrapped in quotes with embedded quotes doubled; other
+    fields pass through unchanged. *)
+
 val series_to_csv : ?header:string * string -> (int * int) array -> string
 val acl_to_csv : Acl.result -> string
 

@@ -28,6 +28,8 @@
     {- analyses: {!Region}, {!Access}, {!Align}, {!Acl}, {!Dddg},
        {!Tolerance}}
     {- fault injection: {!Rng}, {!Stats}, {!Campaign}}
+    {- resilient execution: {!Csexp}, {!Journal}, {!Watchdog}, {!Pool},
+       {!Executor}}
     {- patterns: {!Pattern}, {!Static_detect}, {!Dynamic_detect},
        {!Rates}}
     {- prediction: {!Linalg}, {!Regression}}
@@ -61,14 +63,23 @@ let inject_and_analyze (app : App.t) (fault : Machine.fault) :
     patterns = Dynamic_detect.of_acl acl;
   }
 
-(** Success rate of [app] under uniform whole-program injection. *)
-let measure_resilience ?(cfg = Campaign.default_config) (app : App.t) :
-    Campaign.counts =
+(** Success rate of [app] under uniform whole-program injection, with
+    the full execution provenance (planned vs completed trials, early
+    stopping, resume, wall time).  [exec] selects the resilient
+    executor's knobs: worker domains, journal + resume, wall-clock
+    watchdog, early stopping. *)
+let measure_resilience_report ?(cfg = Campaign.default_config)
+    ?(exec = Campaign.default_exec) (app : App.t) : Campaign.run_report =
   let clean, trace = App.trace app in
   let prog = App.program app in
   let target = Campaign.whole_program_target prog trace in
-  Campaign.run prog ~verify:(App.verify app)
-    ~clean_instructions:clean.Machine.instructions ~cfg target
+  Campaign.run_report prog ~verify:(App.verify app)
+    ~clean_instructions:clean.Machine.instructions ~cfg ~exec target
+
+(** Success rate of [app] under uniform whole-program injection. *)
+let measure_resilience ?(cfg = Campaign.default_config)
+    ?(exec = Campaign.default_exec) (app : App.t) : Campaign.counts =
+  (measure_resilience_report ~cfg ~exec app).Campaign.counts
 
 (** The six pattern rates of [app] (features of the prediction model). *)
 let pattern_rates (app : App.t) : Rates.t =

@@ -7,7 +7,9 @@
     [Machine]/[Trace]; static analysis: [Cfg]/[Dataflow]/[Reaching]/
     [Liveness]/[Verify]/[Vuln]; analyses: [Region]/[Access]/[Align]/[Acl]/
     [Dddg]/[Tolerance]/[Trace_io]/[Export]; faults:
-    [Rng]/[Stats]/[Campaign]; patterns: [Pattern]/[Static_detect]/
+    [Rng]/[Stats]/[Campaign]; resilient execution:
+    [Csexp]/[Journal]/[Watchdog]/[Pool]/[Executor]; patterns:
+    [Pattern]/[Static_detect]/
     [Dynamic_detect]/[Rates]/[Weighted_rates]; prediction:
     [Linalg]/[Regression]; benchmarks: [App]/[Registry]; MPI:
     [Comm]/[Runner]/[Demo]; experiments: [Experiments]/[Effort]/
@@ -25,7 +27,14 @@ val inject_and_analyze : App.t -> Machine.fault -> injection_report
 (** One fault, full analysis: outcome classification, the ACL series,
     and the resilience patterns observed per region. *)
 
-val measure_resilience : ?cfg:Campaign.config -> App.t -> Campaign.counts
+val measure_resilience_report :
+  ?cfg:Campaign.config -> ?exec:Campaign.exec -> App.t -> Campaign.run_report
+(** Whole-program campaign on the resilient executor ([exec]: worker
+    domains, journal + resume, wall-clock watchdog, early stopping),
+    with the execution provenance alongside the counts. *)
+
+val measure_resilience :
+  ?cfg:Campaign.config -> ?exec:Campaign.exec -> App.t -> Campaign.counts
 (** Success rate under uniform whole-program injection (Equation 1). *)
 
 val pattern_rates : App.t -> Rates.t

@@ -7,6 +7,8 @@ type t = {
   acl_injections : int;  (** faulty traced runs per region (Table I) *)
   fig4_ranks : int;
   timing_runs : int;     (** repetitions for Table III execution times *)
+  jobs : int;            (** worker domains per campaign (counts are
+                             identical for any value) *)
 }
 
 val quick : t
@@ -22,3 +24,6 @@ val paper : t
 val of_string : string -> t
 (** "quick" | "default" | "paper".
     @raise Invalid_argument otherwise. *)
+
+val exec : t -> Campaign.exec
+(** The campaign-execution knobs this effort implies. *)

@@ -68,7 +68,7 @@ let fig5 ?(effort = Effort.default) (app : App.t) : region_rates_row list =
           let run t =
             Campaign.run c.prog ~verify
               ~clean_instructions:c.clean.Machine.instructions
-              ~cfg:effort.Effort.campaign t
+              ~cfg:effort.Effort.campaign ~exec:(Effort.exec effort) t
           in
           {
             rr_app = app.App.name;
@@ -118,7 +118,7 @@ let fig6 ?(effort = Effort.default) (app : App.t) : iteration_rates_row list =
       let run t =
         Campaign.run c.prog ~verify
           ~clean_instructions:c.clean.Machine.instructions
-          ~cfg:effort.Effort.campaign t
+          ~cfg:effort.Effort.campaign ~exec:(Effort.exec effort) t
       in
       {
         ir_app = app.App.name;
@@ -302,7 +302,8 @@ let table3 ?(effort = Effort.default) () : table3_row list =
       in
       let counts =
         Campaign.run c.prog ~verify
-          ~clean_instructions:c.clean.Machine.instructions ~cfg target
+          ~clean_instructions:c.clean.Machine.instructions ~cfg
+          ~exec:(Effort.exec effort) target
       in
       (* the hardened code is a small fraction of CG's execution, so
          the whole-program rate moves little; the targeted campaign —
@@ -312,6 +313,7 @@ let table3 ?(effort = Effort.default) () : table3_row list =
       let sprnvc =
         Campaign.run c.prog ~verify
           ~clean_instructions:c.clean.Machine.instructions ~cfg
+          ~exec:(Effort.exec effort)
           (Campaign.memory_during_function_target c.prog c.trace
              ~fname:"sprnvc" ~vars:[ "v"; "iv" ])
       in
@@ -367,7 +369,7 @@ let table4 ?(effort = Effort.default) ?(apps = Registry.all) () : table4 =
         let counts =
           Campaign.run c.prog ~verify
             ~clean_instructions:c.clean.Machine.instructions
-            ~cfg:effort.Effort.campaign target
+            ~cfg:effort.Effort.campaign ~exec:(Effort.exec effort) target
         in
         (app.App.name, rates, wrates, Campaign.success_rate counts))
       apps

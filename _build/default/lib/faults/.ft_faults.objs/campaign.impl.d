@@ -1,1 +1,1 @@
-lib/faults/campaign.ml: Access Array Dddg Float Fmt List Loc Machine Op Prog Region Rng Stats Trace Ty
+lib/faults/campaign.ml: Access Array Dddg Executor Float Fmt List Loc Machine Op Option Printexc Printf Prog Region Rng Stats String Trace Ty Watchdog

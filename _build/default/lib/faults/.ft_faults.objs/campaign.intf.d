@@ -1,1 +1,1 @@
-lib/faults/campaign.mli: Access Format Machine Prog Region Rng Trace
+lib/faults/campaign.mli: Access Executor Format Machine Prog Region Rng Trace Watchdog

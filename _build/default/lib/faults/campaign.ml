@@ -24,36 +24,47 @@ type counts = {
   failed : int;
   crashed : int;
   trials : int;
+  infra : int;
+      (** trials lost to infrastructure failures (a worker that kept
+          raising after bounded retries).  Counted separately and
+          excluded from [trials] and the success rate, so an infra
+          fault can never masquerade as an SDC or a crash. *)
 }
 
-let zero_counts = { success = 0; failed = 0; crashed = 0; trials = 0 }
+let zero_counts = { success = 0; failed = 0; crashed = 0; trials = 0; infra = 0 }
 
 let add_outcome (c : counts) = function
   | Success -> { c with success = c.success + 1; trials = c.trials + 1 }
   | Failed -> { c with failed = c.failed + 1; trials = c.trials + 1 }
   | Crashed -> { c with crashed = c.crashed + 1; trials = c.trials + 1 }
 
-(** Success rate (Equation 1). *)
+(** Success rate (Equation 1).  Infra errors are not trials: they say
+    nothing about the application's resilience. *)
 let success_rate (c : counts) : float =
   if c.trials = 0 then 0.0
   else Float.of_int c.success /. Float.of_int c.trials
 
 let pp_counts ppf (c : counts) =
   Fmt.pf ppf "success=%d failed=%d crashed=%d trials=%d rate=%.3f" c.success
-    c.failed c.crashed c.trials (success_rate c)
+    c.failed c.crashed c.trials (success_rate c);
+  if c.infra > 0 then Fmt.pf ppf " infra-errors=%d" c.infra
 
 (** Run one faulty execution and classify it.  [verify] receives the
     machine result of a {e finished} run and decides Success/Failed;
-    traps and budget exhaustion classify as Crashed without consulting
-    it. *)
-let run_one (prog : Prog.t) ~(budget : int) ~(verify : Machine.result -> bool)
-    (fault : Machine.fault) : outcome_class =
-  let r =
-    Machine.run prog { Machine.default_config with budget; fault = Some fault }
-  in
-  match r.outcome with
-  | Machine.Finished -> if verify r then Success else Failed
-  | Machine.Trapped _ | Machine.Budget_exceeded -> Crashed
+    traps, budget exhaustion, and a tripped wall-clock [watchdog]
+    classify as Crashed without consulting it. *)
+let run_one (prog : Prog.t) ~(budget : int) ?(watchdog : Watchdog.t option)
+    ~(verify : Machine.result -> bool) (fault : Machine.fault) : outcome_class =
+  let tick = Option.map (fun w () -> Watchdog.check w) watchdog in
+  match
+    Machine.run prog
+      { Machine.default_config with budget; fault = Some fault; tick }
+  with
+  | r -> (
+      match r.outcome with
+      | Machine.Finished -> if verify r then Success else Failed
+      | Machine.Trapped _ | Machine.Budget_exceeded -> Crashed)
+  | exception Watchdog.Timeout _ -> Crashed
 
 (* --- fault-site populations ------------------------------------------ *)
 
@@ -181,6 +192,30 @@ let function_target (prog : Prog.t) (trace : Trace.t) (fname : string) :
     trace;
   Internal { sites = Array.of_list !sites }
 
+exception
+  Unknown_symbol of {
+    name : string;
+    available : string list;  (** global symbol names, sorted *)
+  }
+(** Raised when a memory target names a symbol the program does not
+    declare; carries the valid choices so callers (the CLI) can render
+    an actionable message instead of a backtrace. *)
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_symbol { name; available } ->
+        Some
+          (Printf.sprintf "unknown symbol %S; available symbols: %s" name
+             (String.concat ", " available))
+    | _ -> None)
+
+(** Global symbol names of [prog], sorted (for error messages). *)
+let global_symbol_names (prog : Prog.t) : string list =
+  prog.Prog.symbols
+  |> List.filter_map (fun (s : Prog.symbol) ->
+         if String.equal s.Prog.sym_scope "" then Some s.Prog.sym_name else None)
+  |> List.sort_uniq String.compare
+
 (** Soft errors in the memory of named variables while [fname] is
     executing: the Use Case 1 scenario — corruption landing in the
     global [v]/[iv] arrays during [sprnvc], which the hardened variant
@@ -196,7 +231,9 @@ let memory_during_function_target (prog : Prog.t) (trace : Trace.t)
     List.concat_map
       (fun name ->
         match Prog.find_symbol prog name with
-        | None -> invalid_arg ("memory target: unknown symbol " ^ name)
+        | None ->
+            raise
+              (Unknown_symbol { name; available = global_symbol_names prog })
         | Some s ->
             let size = List.fold_left ( * ) 1 s.Prog.sym_dims in
             let bits = match s.Prog.sym_ty with Ty.I64 -> 32 | Ty.F64 -> 64 in
@@ -226,18 +263,142 @@ let trials_for (cfg : config) (t : target) : int =
   in
   match cfg.max_trials with Some m -> min m n | None -> n
 
+(* --- resilient execution (ft_runtime) ---------------------------------- *)
+
+(** Execution knobs of a campaign, orthogonal to the statistical design
+    in {!config}: parallelism, checkpointing, hang watchdog, retry
+    policy, and early stopping.  All defaults reproduce the historical
+    sequential in-memory behavior. *)
+type exec = {
+  jobs : int;  (** worker domains; results are identical for any value *)
+  journal : string option;
+      (** append-only on-disk trial log (csexp, fsync'd per batch) *)
+  resume : bool;  (** skip trials already in the journal *)
+  watchdog_s : float option;
+      (** per-trial wall-clock deadline supplementing the instruction
+          budget; a tripped watchdog classifies as Crashed *)
+  early_stop : bool;
+      (** stop at a batch boundary once the Wilson interval on the
+          success rate is within the configured margin *)
+  batch : int;  (** journal/early-stop granularity (fixed boundaries) *)
+  max_retries : int;
+  retry_backoff_s : float;
+  on_progress : (Executor.progress -> unit) option;
+}
+
+let default_exec =
+  {
+    jobs = 1;
+    journal = None;
+    resume = false;
+    watchdog_s = None;
+    early_stop = false;
+    batch = Executor.default_config.Executor.batch;
+    max_retries = Executor.default_config.Executor.max_retries;
+    retry_backoff_s = Executor.default_config.Executor.retry_backoff_s;
+    on_progress = None;
+  }
+
+(** Honest campaign result: the counts plus how much of the plan
+    actually ran and why. *)
+type run_report = {
+  counts : counts;
+  planned : int;
+  stopped_early : bool;
+  resumed : int;  (** trials loaded from the journal, not re-run *)
+  wall_s : float;
+}
+
+let encode_outcome = function Success -> "S" | Failed -> "F" | Crashed -> "C"
+
+let decode_outcome = function
+  | "S" -> Some Success
+  | "F" -> Some Failed
+  | "C" -> Some Crashed
+  | _ -> None
+
+(** Minimum completed trials before early stopping may trigger: a
+    Wilson interval over a handful of trials is formally narrow only
+    when the rate is extreme, and stopping there would be dishonest. *)
+let early_stop_min_trials = 50
+
+let counts_of_outcomes (outcomes : outcome_class Executor.outcome array) :
+    counts =
+  Array.fold_left
+    (fun acc -> function
+      | Executor.Done o -> add_outcome acc o
+      | Executor.Infra_error _ -> { acc with infra = acc.infra + 1 })
+    zero_counts outcomes
+
 (** Run a campaign against one target.  [clean_instructions] is the
-    fault-free dynamic instruction count (for the hang budget). *)
-let run (prog : Prog.t) ~(verify : Machine.result -> bool)
-    ~(clean_instructions : int) ?(cfg = default_config) (t : target) : counts =
-  let trials = trials_for cfg t in
+    fault-free dynamic instruction count (for the hang budget).
+
+    Every trial [i] samples its fault from [Rng.derive ~seed ~index:i],
+    so the outcome sequence is a pure function of the configuration:
+    [exec.jobs], scheduling, and kill-then-resume cannot change the
+    counts. *)
+let run_report (prog : Prog.t) ~(verify : Machine.result -> bool)
+    ~(clean_instructions : int) ?(cfg = default_config)
+    ?(exec = default_exec) (t : target) : run_report =
+  let population = target_population t in
+  let trials = if population = 0 then 0 else trials_for cfg t in
   let budget = cfg.budget_factor * max 1 clean_instructions in
-  let rng = Rng.create ~seed:cfg.seed in
-  let rec go i acc =
-    if i >= trials then acc
-    else if target_population t = 0 then acc
-    else
-      let fault = sample_fault rng t in
-      go (i + 1) (add_outcome acc (run_one prog ~budget ~verify fault))
+  let run_trial i =
+    let rng = Rng.derive ~seed:cfg.seed ~index:i in
+    let fault = sample_fault rng t in
+    let watchdog =
+      Option.map (fun s -> Watchdog.create ~seconds:s ()) exec.watchdog_s
+    in
+    run_one prog ~budget ?watchdog ~verify fault
   in
-  go 0 zero_counts
+  let should_stop =
+    if not exec.early_stop then None
+    else
+      Some
+        (fun (outcomes : outcome_class Executor.outcome array) n ->
+          let c = counts_of_outcomes outcomes in
+          n >= early_stop_min_trials
+          && c.trials >= early_stop_min_trials
+          &&
+          let lo, hi =
+            Stats.wilson_interval ~successes:c.success ~trials:c.trials
+              ~confidence:cfg.confidence
+          in
+          (hi -. lo) /. 2.0 <= cfg.margin)
+  in
+  let spec =
+    {
+      Executor.tag =
+        Printf.sprintf "campaign:v1:seed=%d:population=%d:trials=%d" cfg.seed
+          population trials;
+      total = trials;
+      run_trial;
+      encode = encode_outcome;
+      decode = decode_outcome;
+      should_stop;
+    }
+  in
+  let ecfg =
+    {
+      Executor.jobs = exec.jobs;
+      batch = exec.batch;
+      journal = exec.journal;
+      resume = exec.resume;
+      max_retries = exec.max_retries;
+      retry_backoff_s = exec.retry_backoff_s;
+      on_progress = exec.on_progress;
+    }
+  in
+  let r = Executor.run ~cfg:ecfg spec in
+  {
+    counts = counts_of_outcomes r.Executor.outcomes;
+    planned = r.Executor.planned;
+    stopped_early = r.Executor.stopped_early;
+    resumed = r.Executor.resumed;
+    wall_s = r.Executor.wall_s;
+  }
+
+let run (prog : Prog.t) ~(verify : Machine.result -> bool)
+    ~(clean_instructions : int) ?(cfg = default_config)
+    ?(exec = default_exec) (t : target) : counts =
+  (run_report prog ~verify ~clean_instructions ~cfg ~exec t).counts

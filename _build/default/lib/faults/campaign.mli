@@ -5,22 +5,33 @@
 
 type outcome_class = Success | Failed | Crashed
 
-type counts = { success : int; failed : int; crashed : int; trials : int }
+type counts = {
+  success : int;
+  failed : int;
+  crashed : int;
+  trials : int;  (** classified trials: success + failed + crashed *)
+  infra : int;
+      (** trials lost to infrastructure failures, excluded from
+          [trials] and the success rate *)
+}
 
 val zero_counts : counts
 val add_outcome : counts -> outcome_class -> counts
 
 val success_rate : counts -> float
-(** Equation 1 of the paper. *)
+(** Equation 1 of the paper (infra errors excluded). *)
 
 val pp_counts : Format.formatter -> counts -> unit
 
 val run_one :
   Prog.t ->
   budget:int ->
+  ?watchdog:Watchdog.t ->
   verify:(Machine.result -> bool) ->
   Machine.fault ->
   outcome_class
+(** One faulty execution, classified.  Traps, instruction-budget
+    exhaustion, and a tripped wall-clock [watchdog] are Crashed. *)
 
 (** A fault site carries the width of the datum it corrupts: the
     paper's subjects are C programs whose integers are 32-bit, so
@@ -55,10 +66,18 @@ val whole_program_target : Prog.t -> Trace.t -> target
 val function_target : Prog.t -> Trace.t -> string -> target
 (** Sites restricted to one function's dynamic instructions. *)
 
+exception Unknown_symbol of { name : string; available : string list }
+(** A memory target named a symbol the program does not declare;
+    [available] lists the valid global symbol names, sorted. *)
+
+val global_symbol_names : Prog.t -> string list
+(** Global symbol names, sorted. *)
+
 val memory_during_function_target :
   Prog.t -> Trace.t -> fname:string -> vars:string list -> target
 (** Soft errors in the memory of named variables while [fname] runs —
-    the Use Case 1 scenario (v/iv corruption during sprnvc). *)
+    the Use Case 1 scenario (v/iv corruption during sprnvc).
+    @raise Unknown_symbol when a variable is not a known symbol. *)
 
 type config = {
   seed : int;
@@ -73,10 +92,58 @@ val default_config : config
 
 val trials_for : config -> target -> int
 
+(** Execution knobs, orthogonal to the statistical design: worker
+    domains, on-disk journal + resume, wall-clock watchdog, bounded
+    retry, and Wilson-interval early stopping.  Defaults reproduce the
+    sequential in-memory behavior. *)
+type exec = {
+  jobs : int;  (** worker domains; counts are identical for any value *)
+  journal : string option;
+      (** append-only trial log (csexp, fsync'd per batch) *)
+  resume : bool;  (** skip trials already journaled *)
+  watchdog_s : float option;
+      (** per-trial wall-clock deadline; tripping it is Crashed *)
+  early_stop : bool;
+      (** stop once the Wilson interval half-width reaches the
+          configured margin (evaluated at batch boundaries) *)
+  batch : int;
+  max_retries : int;
+  retry_backoff_s : float;
+  on_progress : (Executor.progress -> unit) option;
+}
+
+val default_exec : exec
+
+(** Honest campaign result: counts plus how much of the plan ran. *)
+type run_report = {
+  counts : counts;
+  planned : int;
+  stopped_early : bool;
+  resumed : int;  (** trials loaded from the journal, not re-run *)
+  wall_s : float;
+}
+
+val run_report :
+  Prog.t ->
+  verify:(Machine.result -> bool) ->
+  clean_instructions:int ->
+  ?cfg:config ->
+  ?exec:exec ->
+  target ->
+  run_report
+(** Run a campaign on the resilient executor.  Trial [i] samples its
+    fault from [Rng.derive ~seed ~index:i], so the counts are a pure
+    function of the configuration: [--jobs N], scheduling, and
+    kill-then-resume cannot change them.  Trials that raise are retried
+    with bounded backoff and then counted as [infra]; nothing aborts
+    the campaign. *)
+
 val run :
   Prog.t ->
   verify:(Machine.result -> bool) ->
   clean_instructions:int ->
   ?cfg:config ->
+  ?exec:exec ->
   target ->
   counts
+(** [run_report] without the provenance. *)

@@ -36,3 +36,22 @@ let choose (t : t) (a : 'a array) : 'a =
 
 (** Fork an independent stream (for per-trial or per-domain use). *)
 let split (t : t) : t = { state = next_int64 t }
+
+(** The independent stream of trial [index] of a campaign seeded with
+    [seed].  Derivation depends only on [(seed, index)] — never on how
+    trials are scheduled — which is what makes parallel campaigns
+    bit-identical regardless of worker count.  The pre-state
+    [seed + golden * (index + 1)] is injective in [index], and one
+    splitmix64 output step (a bijection) scatters adjacent indices
+    across the state space, so neighboring trials never share a
+    stream. *)
+let derive ~(seed : int) ~(index : int) : t =
+  if index < 0 then invalid_arg "Rng.derive: negative index";
+  let t =
+    {
+      state =
+        Int64.add (Int64.of_int seed)
+          (Int64.mul golden (Int64.of_int (index + 1)));
+    }
+  in
+  { state = next_int64 t }

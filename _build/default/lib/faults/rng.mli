@@ -19,3 +19,9 @@ val choose : t -> 'a array -> 'a
 
 val split : t -> t
 (** Fork an independent stream. *)
+
+val derive : seed:int -> index:int -> t
+(** The independent per-trial stream of trial [index] of a campaign
+    seeded with [seed]: a pure function of [(seed, index)], so parallel
+    and resumed campaigns sample identical faults in any schedule.
+    @raise Invalid_argument on a negative index. *)

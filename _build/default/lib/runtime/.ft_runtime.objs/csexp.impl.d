@@ -1,0 +1,1 @@
+lib/runtime/csexp.ml: Buffer Char List String

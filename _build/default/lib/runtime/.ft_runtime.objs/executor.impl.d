@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Csexp Float Hashtbl Journal List Option Pool Printexc Printf Seq String Sys Unix

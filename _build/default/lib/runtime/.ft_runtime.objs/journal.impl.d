@@ -1,0 +1,1 @@
+lib/runtime/journal.ml: Buffer Csexp Fun String Sys Unix

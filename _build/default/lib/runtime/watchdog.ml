@@ -1,0 +1,36 @@
+(** Wall-clock watchdog for a single trial.
+
+    The instruction budget catches hangs that retire instructions, but
+    a fault can also make a run pathologically slow without exceeding
+    the budget (e.g. a loop bound corrupted to a huge-but-finite
+    value).  The watchdog supplements the budget with a wall-clock
+    deadline: the VM calls [check] from its event sink and the check
+    raises {!Timeout} once the deadline passes.  Sampling the clock is
+    strided so the common case costs one increment and compare. *)
+
+exception Timeout of float
+(** The deadline (in seconds) that was exceeded. *)
+
+type t = {
+  deadline : float;       (* absolute, Unix.gettimeofday scale *)
+  seconds : float;
+  mutable countdown : int;
+  stride : int;
+}
+
+let create ?(stride = 4096) ~(seconds : float) () : t =
+  {
+    deadline = Unix.gettimeofday () +. seconds;
+    seconds;
+    countdown = (if seconds <= 0.0 then 0 else stride);
+    stride = max 1 stride;
+  }
+
+let expired (w : t) : bool = Unix.gettimeofday () > w.deadline
+
+let check (w : t) : unit =
+  if w.countdown <= 0 then begin
+    if expired w then raise (Timeout w.seconds);
+    w.countdown <- w.stride
+  end
+  else w.countdown <- w.countdown - 1

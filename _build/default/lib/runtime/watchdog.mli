@@ -1,0 +1,15 @@
+(** Wall-clock watchdog supplementing the VM's instruction budget for
+    hang detection.  Wire [check] into the VM's event sink; it raises
+    {!Timeout} once the deadline passes (clock sampled every [stride]
+    calls, so the common case is an increment and a compare). *)
+
+exception Timeout of float
+(** Carries the exceeded deadline in seconds. *)
+
+type t
+
+val create : ?stride:int -> seconds:float -> unit -> t
+val expired : t -> bool
+
+val check : t -> unit
+(** @raise Timeout once the wall-clock deadline has passed. *)

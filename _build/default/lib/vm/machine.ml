@@ -46,6 +46,10 @@ type config = {
           (used to measure instrumentation cost without the memory) *)
   iter_mark : int;  (** mark id that delimits main-loop iterations, or -1 *)
   mpi : mpi_hooks option;
+  tick : (unit -> unit) option;
+      (** called once per dynamic instruction, with nothing allocated —
+          the hook for wall-clock watchdogs; exceptions it raises
+          propagate to the caller unclassified *)
 }
 
 let default_config =
@@ -56,6 +60,7 @@ let default_config =
     sink = None;
     iter_mark = -1;
     mpi = None;
+    tick = None;
   }
 
 type result = {
@@ -189,6 +194,15 @@ let run (prog : Prog.t) (cfg : config) : result =
     | Some (Flip_mem _ | Flip_write _) | None -> ()
   in
   let trace = cfg.trace in
+  (* when neither a retained trace nor a sink consumes events, skip
+     event construction entirely: the argument arrays of [record] are
+     the VM's dominant allocation, and dropping them is what lets
+     parallel campaigns scale (allocation-driven minor GCs synchronize
+     every domain in OCaml 5) *)
+  let recording =
+    match (trace, cfg.sink) with None, None -> false | _, _ -> true
+  in
+  let tick = match cfg.tick with Some f -> f | None -> fun () -> () in
   let rec exec_fun fidx (args : int64 array) (inherited : int) (depth : int) :
       int64 option =
     if depth > max_call_depth then raise (Vm_trap "call stack overflow");
@@ -205,6 +219,7 @@ let run (prog : Prog.t) (cfg : config) : result =
       let ins = f.code.(i) in
       let seq = !count in
       if seq >= cfg.budget then raise Budget;
+      tick ();
       count := seq + 1;
       apply_mem_fault seq;
       let static_r = f.regions.(i) in
@@ -243,55 +258,61 @@ let run (prog : Prog.t) (cfg : config) : result =
       | Const (d, v) ->
           let v = maybe_flip seq v in
           regs.(d) <- v;
-          record Trace.OConst [||] [| (Loc.Reg (act, d), v) |];
+          if recording then record Trace.OConst [||] [| (Loc.Reg (act, d), v) |];
           incr pc
       | Bin (op, d, a, b) ->
           let va = regs.(a) and vb = regs.(b) in
           let v = maybe_flip seq (Op.eval_bin op va vb) in
           regs.(d) <- v;
-          record (Trace.OBin op)
-            [| (Loc.Reg (act, a), va); (Loc.Reg (act, b), vb) |]
-            [| (Loc.Reg (act, d), v) |];
+          if recording then
+            record (Trace.OBin op)
+              [| (Loc.Reg (act, a), va); (Loc.Reg (act, b), vb) |]
+              [| (Loc.Reg (act, d), v) |];
           incr pc
       | Un (op, d, a) ->
           let va = regs.(a) in
           let v = maybe_flip seq (Op.eval_un op va) in
           regs.(d) <- v;
-          record (Trace.OUn op)
-            [| (Loc.Reg (act, a), va) |]
-            [| (Loc.Reg (act, d), v) |];
+          if recording then
+            record (Trace.OUn op)
+              [| (Loc.Reg (act, a), va) |]
+              [| (Loc.Reg (act, d), v) |];
           incr pc
       | Load (d, a) ->
           let va = regs.(a) in
           let addr = addr_of_value va in
           let v = maybe_flip seq mem.(addr) in
           regs.(d) <- v;
-          record Trace.OLoad
-            [| (Loc.Reg (act, a), va); (Loc.Mem addr, mem.(addr)) |]
-            [| (Loc.Reg (act, d), v) |];
+          if recording then
+            record Trace.OLoad
+              [| (Loc.Reg (act, a), va); (Loc.Mem addr, mem.(addr)) |]
+              [| (Loc.Reg (act, d), v) |];
           incr pc
       | Store (s, a) ->
           let vs = regs.(s) and va = regs.(a) in
           let addr = addr_of_value va in
           let v = maybe_flip seq vs in
           mem.(addr) <- v;
-          record Trace.OStore
-            [| (Loc.Reg (act, s), vs); (Loc.Reg (act, a), va) |]
-            [| (Loc.Mem addr, v) |];
+          if recording then
+            record Trace.OStore
+              [| (Loc.Reg (act, s), vs); (Loc.Reg (act, a), va) |]
+              [| (Loc.Mem addr, v) |];
           incr pc
       | Jmp l ->
-          record Trace.OJmp [||] [||];
+          if recording then record Trace.OJmp [||] [||];
           pc := l
       | Bnz (cnd, l1, l2) ->
           let vc = regs.(cnd) in
           let taken = Value.is_true vc in
-          record (Trace.OBr taken) [| (Loc.Reg (act, cnd), vc) |] [||];
+          if recording then
+            record (Trace.OBr taken) [| (Loc.Reg (act, cnd), vc) |] [||];
           pc := if taken then l1 else l2
       | Call (callee, argregs, ret) ->
           let argv = Array.map (fun r -> regs.(r)) argregs in
-          record Trace.OCall
-            (Array.mapi (fun k r -> (Loc.Reg (act, r), argv.(k))) argregs)
-            [||];
+          if recording then
+            record Trace.OCall
+              (Array.mapi (fun k r -> (Loc.Reg (act, r), argv.(k))) argregs)
+              [||];
           let rv = exec_fun callee argv eff (depth + 1) in
           (match (ret, rv) with
           | Some d, Some v ->
@@ -324,11 +345,12 @@ let run (prog : Prog.t) (cfg : config) : result =
           incr pc
       | Ret r ->
           let v = Option.map (fun r -> regs.(r)) r in
-          record Trace.ORet
-            (match r with
-            | Some r -> [| (Loc.Reg (act, r), regs.(r)) |]
-            | None -> [||])
-            [||];
+          if recording then
+            record Trace.ORet
+              (match r with
+              | Some r -> [| (Loc.Reg (act, r), regs.(r)) |]
+              | None -> [||])
+              [||];
           result := v;
           running := false
       | Intr (intr, argregs, ret) ->
@@ -395,7 +417,7 @@ let run (prog : Prog.t) (cfg : config) : result =
           incr pc
       | Mark m ->
           if m = cfg.iter_mark then incr iter;
-          record (Trace.OMark m) [||] [||];
+          if recording then record (Trace.OMark m) [||] [||];
           incr pc);
       if !pc >= Array.length f.code then running := false
     done;

@@ -33,6 +33,10 @@ type config = {
           and not retained, like a tracer writing to a file *)
   iter_mark : int;  (** mark id delimiting main-loop iterations, or -1 *)
   mpi : mpi_hooks option;
+  tick : (unit -> unit) option;
+      (** called once per dynamic instruction with nothing allocated —
+          the hook wall-clock watchdogs use; exceptions it raises
+          propagate to the caller unclassified *)
 }
 
 val default_config : config

@@ -1,1 +1,1 @@
-test/test_faults.ml: Access Alcotest App Array Ast Campaign Fun Helpers Int64 List Machine QCheck QCheck_alcotest Region Rng Stats Stdlib Ty
+test/test_faults.ml: Access Alcotest App Array Ast Campaign Filename Fun Hashtbl Helpers Int64 List Machine Prog QCheck QCheck_alcotest Region Rng Stats Stdlib String Sys Ty Unix

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Csexp Executor Filename Float Fun Hashtbl Journal List Pool Printf QCheck QCheck_alcotest String Sys Unix Watchdog

@@ -7,6 +7,7 @@ let tiny : Effort.t =
     acl_injections = 1;
     fig4_ranks = 2;
     timing_runs = 2;
+    jobs = 2;
   }
 
 let test_fig5_structure () =

@@ -52,6 +52,52 @@ let prop_rng_int_bounds =
       let v = Rng.int rng bound in
       v >= 0 && v < bound)
 
+let test_rng_derive_is_pure () =
+  let a = Rng.derive ~seed:42 ~index:17 and b = Rng.derive ~seed:42 ~index:17 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "pure in (seed, index)" (Rng.next_int64 a)
+      (Rng.next_int64 b)
+  done
+
+let test_rng_derive_streams_diverge () =
+  (* neighboring trial indices must not share a stream: compare the
+     first few outputs of many adjacent indices pairwise *)
+  let firsts =
+    Array.init 200 (fun i -> Rng.next_int64 (Rng.derive ~seed:42 ~index:i))
+  in
+  let distinct = Hashtbl.create 256 in
+  Array.iter (fun v -> Hashtbl.replace distinct v ()) firsts;
+  Alcotest.(check int) "no collisions across 200 indices" 200
+    (Hashtbl.length distinct)
+
+let test_rng_derive_negative_index () =
+  match Rng.derive ~seed:1 ~index:(-1) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let prop_rng_derive_independent_of_neighbors =
+  QCheck.Test.make ~count:300
+    ~name:"Rng.derive: adjacent indices yield different streams"
+    QCheck.(pair small_int (int_range 0 100_000))
+    (fun (seed, index) ->
+      let a = Rng.derive ~seed ~index and b = Rng.derive ~seed ~index:(index + 1) in
+      not (Int64.equal (Rng.next_int64 a) (Rng.next_int64 b)))
+
+let test_rng_int_bound_one () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 is always 0" 0 (Rng.int rng 1)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create ~seed:11 in
+  List.iter
+    (fun bound ->
+      match Rng.int rng bound with
+      | _ -> Alcotest.failf "bound %d should raise" bound
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; -1000 ]
+
 (* --- stats --------------------------------------------------------------- *)
 
 let test_sample_size_known_values () =
@@ -208,7 +254,7 @@ let test_input_target_types () =
       Alcotest.fail "expected Input target"
 
 let test_success_rate () =
-  let c = { Campaign.success = 3; failed = 1; crashed = 1; trials = 5 } in
+  let c = { Campaign.success = 3; failed = 1; crashed = 1; trials = 5; infra = 0 } in
   Alcotest.(check (float 1e-12)) "rate" 0.6 (Campaign.success_rate c);
   Alcotest.(check (float 0.0)) "empty" 0.0 (Campaign.success_rate Campaign.zero_counts)
 
@@ -221,6 +267,184 @@ let test_sampling_is_seeded () =
   let f2 = Campaign.sample_fault (Rng.create ~seed:7) target in
   Alcotest.(check bool) "same seed, same fault" true (f1 = f2)
 
+(* --- resilient execution ------------------------------------------------- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "fliptracker" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd len)
+
+(* a loop whose bound lives in memory: a bit flip on [n] mid-loop makes
+   the bound huge and the run must be classified as a hang, not spin *)
+let hang_program () =
+  let open Ast in
+  main_program
+    ~globals:[ DScalar ("n", Ty.I64); DScalar ("acc", Ty.I64) ]
+    [
+      SAssign ("n", i 8);
+      SAssign ("acc", i 0);
+      SRegion
+        ( "loop",
+          1,
+          9,
+          [
+            SWhile
+              ( v "n" > i 0,
+                [ SAssign ("acc", v "acc" + i 1); SAssign ("n", v "n" - i 1) ]
+              );
+          ] );
+      SPrint ("RESULT %d\nVERIFIED %d\n", [ v "acc"; i 1 ]);
+    ]
+
+let test_hang_classified_as_crashed () =
+  let prog = compile (hang_program ()) in
+  let clean = Machine.run_plain prog in
+  check_finished clean;
+  let n_addr =
+    match Prog.find_symbol prog "n" with
+    | Some s -> s.Prog.sym_addr
+    | None -> Alcotest.fail "no symbol n"
+  in
+  (* corrupt the loop bound mid-flight: bit 20 ~ a million iterations *)
+  let fault =
+    Machine.Flip_mem
+      { seq = clean.Machine.instructions / 2; addr = n_addr; bit = 20 }
+  in
+  let budget = 20 * clean.Machine.instructions in
+  let outcome =
+    Campaign.run_one prog ~budget ~verify:(fun _ -> true) fault
+  in
+  Alcotest.(check bool) "hang is Crashed" true (outcome = Campaign.Crashed);
+  (* the budget is what cuts the hang: the same faulty run, executed
+     raw, stops at exactly the budget with Budget_exceeded *)
+  let raw =
+    Machine.run prog
+      { Machine.default_config with budget; fault = Some fault }
+  in
+  Alcotest.(check bool) "budget exceeded" true
+    (raw.Machine.outcome = Machine.Budget_exceeded);
+  Alcotest.(check int) "stopped at the scaled budget" budget
+    raw.Machine.instructions
+
+let test_campaign_budget_factor_bounds_hangs () =
+  let prog = compile (hang_program ()) in
+  let r, t = run_traced prog in
+  let target =
+    Campaign.memory_during_function_target prog t ~fname:"main"
+      ~vars:[ "n" ]
+  in
+  let cfg =
+    { Campaign.default_config with max_trials = Some 40; budget_factor = 5 }
+  in
+  (* every trial terminates despite hang-inducing flips, because the
+     budget scales with budget_factor; hangs classify as Crashed *)
+  let counts =
+    Campaign.run prog
+      ~verify:(fun res -> String.equal res.Machine.output r.Machine.output)
+      ~clean_instructions:r.Machine.instructions ~cfg target
+  in
+  Alcotest.(check int) "all trials classified" counts.Campaign.trials
+    (counts.Campaign.success + counts.Campaign.failed + counts.Campaign.crashed);
+  Alcotest.(check int) "no infra errors" 0 counts.Campaign.infra;
+  Alcotest.(check bool) "high-bit flips of the bound hang" true
+    (counts.Campaign.crashed > 0)
+
+let test_campaign_watchdog_never_aborts () =
+  let prog = compile (dead_store_program ()) in
+  let r, t = run_traced prog in
+  let target = Campaign.whole_program_target prog t in
+  let counts =
+    Campaign.run prog
+      ~verify:(fun res -> App.verified res.Machine.output)
+      ~clean_instructions:r.Machine.instructions
+      ~cfg:{ Campaign.default_config with max_trials = Some 30 }
+      ~exec:{ Campaign.default_exec with watchdog_s = Some (-1.0) }
+      target
+  in
+  (* an already-expired watchdog trips every trial: all Crashed, none
+     aborts the campaign, none counts as infrastructure failure *)
+  Alcotest.(check int) "all trials ran" 30 counts.Campaign.trials;
+  Alcotest.(check int) "all classified Crashed" 30 counts.Campaign.crashed;
+  Alcotest.(check int) "watchdog is not an infra error" 0 counts.Campaign.infra
+
+let test_campaign_jobs_and_resume_invariance () =
+  let prog = compile (dead_store_program ()) in
+  let r, t = run_traced prog in
+  let target = Campaign.whole_program_target prog t in
+  let verify res = App.verified res.Machine.output in
+  let cfg = { Campaign.default_config with max_trials = Some 60 } in
+  let run exec =
+    Campaign.run_report prog ~verify
+      ~clean_instructions:r.Machine.instructions ~cfg ~exec target
+  in
+  let base = (run Campaign.default_exec).Campaign.counts in
+  let par =
+    (run { Campaign.default_exec with jobs = 4; batch = 16 }).Campaign.counts
+  in
+  Alcotest.(check bool) "jobs=1 and jobs=4 agree" true (base = par);
+  with_temp_journal (fun path ->
+      let exec =
+        { Campaign.default_exec with journal = Some path; batch = 8 }
+      in
+      let full = run exec in
+      Alcotest.(check bool) "journaled run agrees" true
+        (full.Campaign.counts = base);
+      (* simulate a kill mid-campaign: chop the journal, possibly
+         mid-record, then resume *)
+      let len = (Unix.stat path).Unix.st_size in
+      truncate_file path (len * 2 / 3);
+      let resumed = run { exec with Campaign.resume = true } in
+      Alcotest.(check bool) "resume skipped journaled trials" true
+        (resumed.Campaign.resumed > 0);
+      Alcotest.(check bool) "kill-then-resume agrees" true
+        (resumed.Campaign.counts = base))
+
+let test_campaign_early_stop_reports_honestly () =
+  let prog = compile (dead_store_program ()) in
+  let r, t = run_traced prog in
+  (* memory flips confined to the dead variable: value-only corruption
+     that is never read, so every trial verifies — an extreme success
+     rate whose Wilson interval closes at the minimum trial count,
+     well before the planned design size *)
+  let target =
+    Campaign.memory_during_function_target prog t ~fname:"main"
+      ~vars:[ "dead" ]
+  in
+  let report =
+    Campaign.run_report prog
+      ~verify:(fun res -> App.verified res.Machine.output)
+      ~clean_instructions:r.Machine.instructions
+      ~cfg:
+        { Campaign.default_config with max_trials = Some 400; margin = 0.05 }
+      ~exec:{ Campaign.default_exec with early_stop = true; batch = 25 }
+      target
+  in
+  Alcotest.(check bool) "stopped early" true report.Campaign.stopped_early;
+  Alcotest.(check bool) "honest partial count" true
+    (report.Campaign.counts.Campaign.trials < report.Campaign.planned);
+  Alcotest.(check bool) "not before the minimum trials" true
+    (report.Campaign.counts.Campaign.trials >= 50)
+
+let test_unknown_symbol_is_structured () =
+  let prog = compile (dead_store_program ()) in
+  let _, t = run_traced prog in
+  match
+    Campaign.memory_during_function_target prog t ~fname:"main"
+      ~vars:[ "nope" ]
+  with
+  | _ -> Alcotest.fail "expected Unknown_symbol"
+  | exception Campaign.Unknown_symbol { name; available } ->
+      Alcotest.(check string) "names the offender" "nope" name;
+      Alcotest.(check bool) "lists the valid symbols" true
+        (List.mem "dead" available && List.mem "live" available)
+
 let suite =
   ( "faults",
     [
@@ -231,6 +455,15 @@ let suite =
       Alcotest.test_case "rng float range" `Quick test_rng_float_range;
       Alcotest.test_case "rng split" `Quick test_rng_split_independent;
       QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+      Alcotest.test_case "rng derive pure" `Quick test_rng_derive_is_pure;
+      Alcotest.test_case "rng derive diverges" `Quick
+        test_rng_derive_streams_diverge;
+      Alcotest.test_case "rng derive negative index" `Quick
+        test_rng_derive_negative_index;
+      QCheck_alcotest.to_alcotest prop_rng_derive_independent_of_neighbors;
+      Alcotest.test_case "rng int bound one" `Quick test_rng_int_bound_one;
+      Alcotest.test_case "rng int rejects nonpositive" `Quick
+        test_rng_int_rejects_nonpositive;
       Alcotest.test_case "sample size known" `Quick test_sample_size_known_values;
       Alcotest.test_case "sample size small population" `Quick
         test_sample_size_small_population;
@@ -247,4 +480,16 @@ let suite =
       Alcotest.test_case "input target types" `Quick test_input_target_types;
       Alcotest.test_case "success rate" `Quick test_success_rate;
       Alcotest.test_case "seeded sampling" `Quick test_sampling_is_seeded;
+      Alcotest.test_case "hang classified as crashed" `Quick
+        test_hang_classified_as_crashed;
+      Alcotest.test_case "budget factor bounds hangs" `Quick
+        test_campaign_budget_factor_bounds_hangs;
+      Alcotest.test_case "watchdog never aborts" `Quick
+        test_campaign_watchdog_never_aborts;
+      Alcotest.test_case "jobs and resume invariance" `Quick
+        test_campaign_jobs_and_resume_invariance;
+      Alcotest.test_case "early stop honest report" `Quick
+        test_campaign_early_stop_reports_honestly;
+      Alcotest.test_case "unknown symbol structured" `Quick
+        test_unknown_symbol_is_structured;
     ] )

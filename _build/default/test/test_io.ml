@@ -79,6 +79,23 @@ let test_csv_export () =
   let csv = Export.series_to_csv [| (0, 1); (5, 3); (9, 0) |] in
   Alcotest.(check string) "csv" "instruction,acl\n0,1\n5,3\n9,0\n" csv
 
+let test_csv_field_escaping () =
+  (* RFC 4180: separators, quotes, and line breaks force quoting with
+     embedded quotes doubled; plain fields pass through untouched *)
+  Alcotest.(check string) "plain untouched" "acl" (Export.csv_field "acl");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Export.csv_field "a,b");
+  Alcotest.(check string) "quote doubled" "\"say \"\"hi\"\"\""
+    (Export.csv_field "say \"hi\"");
+  Alcotest.(check string) "newline quoted" "\"two\nlines\""
+    (Export.csv_field "two\nlines");
+  Alcotest.(check string) "empty untouched" "" (Export.csv_field "");
+  let csv =
+    Export.series_to_csv ~header:("cycles, dynamic", "acl \"live\"")
+      [| (1, 2) |]
+  in
+  Alcotest.(check string) "header escaped"
+    "\"cycles, dynamic\",\"acl \"\"live\"\"\"\n1,2\n" csv
+
 let test_svg_export () =
   let svg = Export.series_to_svg ~title:"t" [| (0, 1); (10, 5); (20, 0) |] in
   Alcotest.(check bool) "is svg" true
@@ -130,6 +147,7 @@ let suite =
       Alcotest.test_case "split by region" `Quick test_split_by_region;
       Alcotest.test_case "opclass roundtrip" `Quick test_opclass_roundtrip;
       Alcotest.test_case "csv export" `Quick test_csv_export;
+      Alcotest.test_case "csv field escaping" `Quick test_csv_field_escaping;
       Alcotest.test_case "svg export" `Quick test_svg_export;
       Alcotest.test_case "events csv" `Quick test_events_csv;
       QCheck_alcotest.to_alcotest prop_serialization_total;

@@ -2,12 +2,33 @@
     plotting, and a dependency-free SVG line chart good enough to
     eyeball an ACL series (the paper's Figure 7 rendering). *)
 
+(** Quote a CSV field per RFC 4180: fields containing the separator, a
+    quote, or a line break are wrapped in double quotes with embedded
+    quotes doubled; anything else passes through untouched. *)
+let csv_field (s : string) : string =
+  let needs_quoting =
+    String.exists (function '"' | ',' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 (** Write an (x, y) integer series as two-column CSV. *)
 let series_to_csv ?(header = ("instruction", "acl")) (series : (int * int) array)
     : string =
   let buf = Buffer.create 4096 in
   let hx, hy = header in
-  Buffer.add_string buf (Printf.sprintf "%s,%s\n" hx hy);
+  Buffer.add_string buf
+    (Printf.sprintf "%s,%s\n" (csv_field hx) (csv_field hy));
   Array.iter
     (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "%d,%d\n" x y))
     series;
@@ -33,7 +54,7 @@ let events_to_csv (acl : Acl.result) : string =
     (fun (m : Acl.masking) ->
       Buffer.add_string buf
         (Printf.sprintf "mask-%s,%d,%d,%d\n"
-           (Acl.mask_kind_to_string m.Acl.m_kind)
+           (csv_field (Acl.mask_kind_to_string m.Acl.m_kind))
            m.Acl.m_index m.Acl.m_line m.Acl.m_region))
     acl.Acl.maskings;
   Buffer.contents buf

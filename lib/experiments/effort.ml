@@ -13,6 +13,9 @@ type t = {
       (** faulty traced runs per region for pattern mining (Table I) *)
   fig4_ranks : int;  (** simulated MPI ranks for the tracing-overhead run *)
   timing_runs : int; (** repetitions for Table III execution times *)
+  jobs : int;
+      (** worker domains per campaign; any value yields identical
+          counts (the executor's determinism guarantee) *)
 }
 
 let quick =
@@ -22,6 +25,7 @@ let quick =
     acl_injections = 2;
     fig4_ranks = 8;
     timing_runs = 5;
+    jobs = 1;
   }
 
 let default =
@@ -31,6 +35,7 @@ let default =
     acl_injections = 8;
     fig4_ranks = 16;
     timing_runs = 10;
+    jobs = 1;
   }
 
 let paper =
@@ -39,7 +44,13 @@ let paper =
     acl_injections = 20;
     fig4_ranks = 64;
     timing_runs = 20;
+    jobs = 1;
   }
+
+(** The campaign-execution knobs an effort implies (currently just the
+    worker-domain count; journaling and early stopping are per-call
+    decisions). *)
+let exec (e : t) : Campaign.exec = { Campaign.default_exec with jobs = e.jobs }
 
 let of_string = function
   | "quick" -> quick
