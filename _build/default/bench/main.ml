@@ -362,6 +362,101 @@ let perf _effort =
       | Some [] | None -> Printf.printf "%-36s (no estimate)\n" name)
     rows
 
+(* --- trace-codec -------------------------------------------------------- *)
+
+(* Text-vs-binary codec comparison with a hard round-trip gate: both
+   files are read back and compared event-for-event against the
+   original trace, and any mismatch makes the experiment exit nonzero —
+   so `--quick trace-codec` doubles as the CI smoke test for the
+   serialization layer. *)
+
+let event_equal (a : Trace.event) (b : Trace.event) =
+  a.Trace.seq = b.Trace.seq && a.fidx = b.fidx && a.pc = b.pc && a.act = b.act
+  && a.line = b.line && a.region = b.region && a.instance = b.instance
+  && a.iter = b.iter && a.op = b.op
+  && Array.length a.reads = Array.length b.reads
+  && Array.length a.writes = Array.length b.writes
+  && Array.for_all2
+       (fun (l1, v1) (l2, v2) -> Loc.equal l1 l2 && Value.equal v1 v2)
+       a.reads b.reads
+  && Array.for_all2
+       (fun (l1, v1) (l2, v2) -> Loc.equal l1 l2 && Value.equal v1 v2)
+       a.writes b.writes
+
+let trace_codec effort =
+  header "trace-codec: text vs binary trace serialization";
+  let apps =
+    (* quick keeps the CI smoke run on the small IS trace; larger
+       efforts add CG, the trace the compression target is quoted on. *)
+    if effort.Effort.acl_injections <= Effort.quick.Effort.acl_injections then
+      [ Is.app ]
+    else [ Is.app; Cg.app ]
+  in
+  let obs = Obs.create () in
+  let failures = ref 0 in
+  Printf.printf "%-6s %9s %12s %12s %7s %10s %10s\n" "app" "events" "text(B)"
+    "binary(B)" "ratio" "enc(MB/s)" "dec(MB/s)";
+  List.iter
+    (fun (app : App.t) ->
+      let _, trace = App.trace app in
+      let n = Trace.length trace in
+      let path = Filename.temp_file "ft_codec" ".trace" in
+      let timed f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (Unix.gettimeofday () -. t0, r)
+      in
+      let save fmt =
+        let dt, () = timed (fun () -> Trace_io.save ~format:fmt path trace) in
+        (dt, (Unix.stat path).Unix.st_size)
+      in
+      let check label =
+        let dt, back = timed (fun () -> Trace_io.load path) in
+        let ok = ref (Trace.length back = n) in
+        if !ok then
+          Trace.iteri
+            (fun i e -> if not (event_equal e (Trace.get back i)) then ok := false)
+            trace;
+        if not !ok then begin
+          incr failures;
+          Printf.printf "  ROUND-TRIP MISMATCH: %s %s\n" app.App.name label
+        end;
+        dt
+      in
+      let text_s, text_bytes = save Trace_io.Text in
+      ignore (check "text");
+      ignore text_s;
+      let bin_s, bin_bytes = save Trace_io.Binary in
+      let dec_s = check "binary" in
+      Sys.remove path;
+      (* per-event binary size distribution, via the low-level codec *)
+      let enc = Trace_io.encoder () in
+      let buf = Buffer.create 256 in
+      let hist = app.App.name ^ "/event-bytes" in
+      Trace.iter
+        (fun e ->
+          Buffer.clear buf;
+          Trace_io.encode_event enc buf e;
+          Obs.observe obs hist (Buffer.length buf))
+        trace;
+      let mbps bytes s =
+        if s > 0.0 then float_of_int bytes /. 1e6 /. s else 0.0
+      in
+      let ratio = float_of_int text_bytes /. float_of_int (max 1 bin_bytes) in
+      Printf.printf "%-6s %9d %12d %12d %6.2fx %10.1f %10.1f\n" app.App.name n
+        text_bytes bin_bytes ratio (mbps bin_bytes bin_s) (mbps bin_bytes dec_s);
+      if ratio < 4.0 then
+        Printf.printf "  WARNING: binary/text ratio %.2fx below the 4x target\n"
+          ratio)
+    apps;
+  print_newline ();
+  print_string (Obs.report obs);
+  if !failures > 0 then begin
+    Printf.printf "trace-codec: %d round-trip failure(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "trace-codec: all round-trips bit-exact"
+
 (* --- driver ------------------------------------------------------------- *)
 
 let all_experiments =
@@ -369,6 +464,7 @@ let all_experiments =
     ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("tab1", tab1); ("tab2", tab2); ("tab3", tab3); ("tab4", tab4);
     ("ablate", ablate); ("perf", perf); ("campaign-scale", campaign_scale);
+    ("trace-codec", trace_codec);
   ]
 
 let () =

@@ -49,35 +49,107 @@ let list_cmd =
 
 (* --- trace ------------------------------------------------------------- *)
 
+let format_arg =
+  Arg.(value
+       & opt (enum [ ("text", Trace_io.Text); ("binary", Trace_io.Binary) ])
+           Trace_io.Text
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Trace encoding: $(b,text) (debuggable) or $(b,binary) \
+                 (compact varint/delta codec).")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print per-phase wall times, counters, and histograms at the \
+               end (the observability report).")
+
 let trace_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR"
            ~doc:"Directory to write the trace and its per-region split into.")
   in
-  let run name out =
+  let stream =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Stream events to the trace file as the program runs, never \
+                 materializing the trace in memory (requires --out; the \
+                 region split streams from the file in a second pass).")
+  in
+  let run name out format stream metrics =
     let app = find_app name in
-    let r, t = App.trace app in
-    Printf.printf "%s: %d dynamic instructions, %d trace events\n" app.App.name
-      r.Machine.instructions (Trace.length t);
-    List.iter
-      (fun (inst : Region.instance) ->
-        if inst.Region.number = 0 then
-          Printf.printf "  region %d instance 0: %d events\n" inst.Region.rid
-            (Region.size inst))
-      (Region.instances t);
-    match out with
-    | None -> ()
-    | Some dir ->
+    let obs = Obs.create () in
+    let fmt_name =
+      match format with Trace_io.Text -> "text" | Trace_io.Binary -> "binary"
+    in
+    (match (stream, out) with
+    | true, None ->
+        Printf.eprintf "trace: --stream requires --out DIR\n";
+        exit 2
+    | true, Some dir ->
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
         let path = Filename.concat dir (app.App.name ^ ".trace") in
-        Trace_io.save path t;
-        let parts = Trace_io.split_by_region_instance ~dir ~prefix:app.App.name t in
-        Printf.printf "wrote %s and %d region-instance pieces under %s\n" path
+        let prog = App.program app in
+        let oc = open_out_bin path in
+        let w = Trace_io.writer ~format oc in
+        let r =
+          Fun.protect
+            ~finally:(fun () ->
+              Trace_io.flush_writer w;
+              close_out oc)
+            (fun () ->
+              Obs.phase obs "trace/run+encode" (fun () ->
+                  Machine.run_sink ~iter_mark:(App.iter_mark app)
+                    ~sink:(fun e -> Trace_io.write w e)
+                    prog))
+        in
+        Obs.count obs "trace/events" (Trace_io.writer_events w);
+        Obs.count obs "trace/bytes" (Trace_io.writer_bytes w);
+        Printf.printf "%s: %d dynamic instructions, %d trace events\n"
+          app.App.name r.Machine.instructions (Trace_io.writer_events w);
+        Printf.printf "wrote %s (%s, %d bytes, streamed)\n" path fmt_name
+          (Trace_io.writer_bytes w);
+        let parts =
+          Obs.phase obs "trace/split" (fun () ->
+              let src = Trace_io.source_of_file path in
+              src.Trace_io.run (fun events ->
+                  Trace_io.split_seq ~dir ~prefix:app.App.name ~format events))
+        in
+        Printf.printf "wrote %d region-instance pieces under %s\n"
           (List.length parts) dir
+    | false, _ -> (
+        let r, t =
+          Obs.phase obs "trace/run" (fun () -> App.trace app)
+        in
+        Obs.count obs "trace/events" (Trace.length t);
+        Printf.printf "%s: %d dynamic instructions, %d trace events\n"
+          app.App.name r.Machine.instructions (Trace.length t);
+        List.iter
+          (fun (inst : Region.instance) ->
+            if inst.Region.number = 0 then
+              Printf.printf "  region %d instance 0: %d events\n"
+                inst.Region.rid (Region.size inst))
+          (Region.instances t);
+        match out with
+        | None -> ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let path = Filename.concat dir (app.App.name ^ ".trace") in
+            Obs.phase obs "trace/save" (fun () ->
+                Trace_io.save ~format path t);
+            Obs.count obs "trace/bytes" (Unix.stat path).Unix.st_size;
+            let parts =
+              Obs.phase obs "trace/split" (fun () ->
+                  Trace_io.split_by_region_instance ~dir ~prefix:app.App.name
+                    ~format t)
+            in
+            Printf.printf
+              "wrote %s (%s, %d bytes) and %d region-instance pieces under \
+               %s\n"
+              path fmt_name (Unix.stat path).Unix.st_size (List.length parts)
+              dir));
+    if metrics then print_string (Obs.report obs)
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Run fault-free and optionally save/split the trace.")
-    Term.(const run $ app_arg $ out)
+    Term.(const run $ app_arg $ out $ format_arg $ stream $ metrics_arg)
 
 (* --- inject ------------------------------------------------------------ *)
 
@@ -156,9 +228,12 @@ let campaign_cmd =
                  the statistical design's margin.")
   in
   let run name region kind func memory_during vars trials seed jobs journal
-      resume watchdog early_stop =
+      resume watchdog early_stop metrics =
     let app = find_app name in
-    let clean, trace = App.trace app in
+    let obs = Obs.create () in
+    let clean, trace =
+      Obs.phase obs "campaign/trace-clean" (fun () -> App.trace app)
+    in
     let prog = App.program app in
     let target =
       try
@@ -214,6 +289,7 @@ let campaign_cmd =
         watchdog_s = watchdog;
         early_stop;
         on_progress = Some progress;
+        metrics = (if metrics then Some obs else None);
       }
     in
     let r =
@@ -236,7 +312,8 @@ let campaign_cmd =
         (100.0 *. cfg.Campaign.margin);
     if r.Campaign.resumed > 0 then
       Printf.printf "resumed %d journaled trials\n" r.Campaign.resumed;
-    Printf.printf "95%% Wilson interval on the success rate: [%.3f, %.3f]\n" lo hi
+    Printf.printf "95%% Wilson interval on the success rate: [%.3f, %.3f]\n" lo hi;
+    if metrics then print_string (Obs.report obs)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -244,7 +321,8 @@ let campaign_cmd =
          "Run a fault-injection campaign on the resilient executor \
           (parallel workers, journal + resume, watchdog, early stopping).")
     Term.(const run $ app_arg $ region $ kind $ func $ memory_during $ vars
-          $ trials $ seed $ jobs $ journal $ resume $ watchdog $ early_stop)
+          $ trials $ seed $ jobs $ journal $ resume $ watchdog $ early_stop
+          $ metrics_arg)
 
 (* --- patterns ------------------------------------------------------------ *)
 

@@ -1,1 +1,1 @@
-lib/analysis/access.ml: Array List Loc Trace
+lib/analysis/access.ml: Array List Loc Seq Trace

@@ -1,1 +1,1 @@
-lib/analysis/access.mli: Loc Trace
+lib/analysis/access.mli: Loc Seq Trace

@@ -1,1 +1,1 @@
-lib/analysis/acl.ml: Access Align Array Bool Float Hashtbl List Loc Machine Op String Trace
+lib/analysis/acl.ml: Access Align Array Bool Float Hashtbl List Loc Machine Op Seq String Trace Trace_io

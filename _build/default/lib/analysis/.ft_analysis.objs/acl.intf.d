@@ -1,1 +1,1 @@
-lib/analysis/acl.mli: Loc Machine Trace
+lib/analysis/acl.mli: Loc Machine Trace Trace_io

@@ -1,1 +1,1 @@
-lib/analysis/align.ml: Array List Loc Machine Trace Value
+lib/analysis/align.ml: Array List Loc Machine Seq Trace Value

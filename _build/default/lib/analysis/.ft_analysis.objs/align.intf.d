@@ -1,1 +1,1 @@
-lib/analysis/align.mli: Loc Machine Trace Value
+lib/analysis/align.mli: Loc Machine Seq Trace Value

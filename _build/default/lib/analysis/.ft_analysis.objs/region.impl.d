@@ -1,1 +1,1 @@
-lib/analysis/region.ml: Fmt Hashtbl Int List Trace
+lib/analysis/region.ml: Fmt Hashtbl Int List Seq Trace

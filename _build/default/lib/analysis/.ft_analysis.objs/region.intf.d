@@ -1,1 +1,1 @@
-lib/analysis/region.mli: Format Trace
+lib/analysis/region.mli: Format Seq Trace

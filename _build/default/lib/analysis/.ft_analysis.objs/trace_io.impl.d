@@ -1,1 +1,1 @@
-lib/analysis/trace_io.ml: Array Buffer Char Filename Fun Int64 List Loc Op Printf Region String Sys Trace
+lib/analysis/trace_io.ml: Array Buffer Bytes Char Filename Fun Hashtbl Int64 List Loc Op Printexc Printf Seq String Sys Trace Value

@@ -1,1 +1,1 @@
-lib/analysis/trace_io.mli: Buffer Trace
+lib/analysis/trace_io.mli: Buffer Loc Seq Trace

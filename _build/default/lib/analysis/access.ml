@@ -7,25 +7,34 @@
 
 type kind = Read | Write
 
+type fate =
+  [ `Dies_after_read of int * int option
+  | `Overwritten_at of int
+  | `Never_used ]
+
 type t = { tbl : (int * kind) array Loc.Tbl.t }
 
-let build (tr : Trace.t) : t =
+let build_seq (events : Trace.event Seq.t) : t =
   let tmp : (int * kind) list ref Loc.Tbl.t = Loc.Tbl.create 4096 in
   let add loc entry =
     match Loc.Tbl.find_opt tmp loc with
     | Some l -> l := entry :: !l
     | None -> Loc.Tbl.add tmp loc (ref [ entry ])
   in
-  Trace.iteri
-    (fun i (e : Trace.event) ->
-      Array.iter (fun (loc, _) -> add loc (i, Read)) e.reads;
-      Array.iter (fun (loc, _) -> add loc (i, Write)) e.writes)
-    tr;
+  let i = ref 0 in
+  Seq.iter
+    (fun (e : Trace.event) ->
+      Array.iter (fun (loc, _) -> add loc (!i, Read)) e.reads;
+      Array.iter (fun (loc, _) -> add loc (!i, Write)) e.writes;
+      incr i)
+    events;
   let tbl = Loc.Tbl.create (Loc.Tbl.length tmp) in
   Loc.Tbl.iter
     (fun loc l -> Loc.Tbl.add tbl loc (Array.of_list (List.rev !l)))
     tmp;
   { tbl }
+
+let build (tr : Trace.t) : t = build_seq (Trace.to_seq tr)
 
 let accesses (t : t) (loc : Loc.t) : (int * kind) array =
   match Loc.Tbl.find_opt t.tbl loc with Some a -> a | None -> [||]

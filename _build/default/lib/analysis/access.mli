@@ -7,19 +7,22 @@ type kind = Read | Write
 
 type t
 
-val build : Trace.t -> t
-
-val accesses : t -> Loc.t -> (int * kind) array
-(** Sorted (event index, kind) accesses; [| |] for untouched locations. *)
-
-val fate :
-  t ->
-  Loc.t ->
-  after:int ->
+type fate =
   [ `Dies_after_read of int * int option
     (** last read before the next write, and that write if any *)
   | `Overwritten_at of int  (** a write comes before any read *)
   | `Never_used ]
+
+val build : Trace.t -> t
+
+val build_seq : Trace.event Seq.t -> t
+(** Build the index in one pass over an event stream (events are
+    indexed by their position in the sequence). *)
+
+val accesses : t -> Loc.t -> (int * kind) array
+(** Sorted (event index, kind) accesses; [| |] for untouched locations. *)
+
+val fate : t -> Loc.t -> after:int -> fate
 (** The fate of the value established in [loc] at event [after]. *)
 
 val alive : t -> Loc.t -> after:int -> bool

@@ -76,9 +76,13 @@ let mask_kind_to_string = function
   | Repeated_add _ -> "repeated-addition"
   | Other_mask -> "other"
 
-let analyze ?fault ~(clean : Trace.t) ~(faulty : Trace.t) () : result =
-  let access = Access.build faulty in
-  let w = Align.create ?fault ~clean ~faulty () in
+(* The ACL walk, parameterized over the liveness oracle: [fate loc
+   ~after:idx] answers what happens to the value in [loc] established
+   at event [idx] of the faulty trace.  The materialized path backs it
+   with a random-access index ({!Access.fate}); the streaming path with
+   a pre-resolved answer table. *)
+let analyze_core (w : Align.t) (fate : Loc.t -> after:int -> Access.fate) :
+    result =
   let statuses : status Loc.Tbl.t = Loc.Tbl.create 64 in
   let scheduled : (int, (Loc.t * bool) list) Hashtbl.t = Hashtbl.create 64 in
   let mags : float Loc.Tbl.t = Loc.Tbl.create 64 in
@@ -109,7 +113,7 @@ let analyze ?fault ~(clean : Trace.t) ~(faulty : Trace.t) () : result =
           Loc.Tbl.add statuses loc st;
           st
     in
-    match Access.fate access loc ~after:idx with
+    match fate loc ~after:idx with
     | `Dies_after_read (r, next_write) ->
         if not st.alive then begin
           st.alive <- true;
@@ -298,3 +302,127 @@ let analyze ?fault ~(clean : Trace.t) ~(faulty : Trace.t) () : result =
     peak = !peak;
     final = !count;
   }
+
+let analyze ?fault ~(clean : Trace.t) ~(faulty : Trace.t) () : result =
+  let access = Access.build faulty in
+  let w = Align.create ?fault ~clean ~faulty () in
+  analyze_core w (fun loc ~after -> Access.fate access loc ~after)
+
+(* --- streaming (constant-memory) path ----------------------------------- *)
+
+(* Per-location state of the single-pass fate resolver (pass 2):
+   [pending] holds the query event indices collected in pass 1, sorted
+   ascending; [next] is the first not-yet-activated one; [active] are
+   queries whose index has passed and whose fate is still undecided,
+   paired with the last read seen so far (-1 = none).  A write resolves
+   every active query, so [active] stays tiny (one entry in practice:
+   a new query is only created by a later corrupting write, which first
+   resolves its predecessor). *)
+type fate_state = {
+  pending : int array;
+  mutable next : int;
+  mutable active : (int * int ref) list;
+}
+
+(** [analyze] over restartable event sources, never materializing a
+    trace.  Three passes: (1) an alignment walk collects the (event
+    index, location) liveness queries the ACL walk will ask; (2) one
+    forward scan of the faulty stream resolves every query exactly as
+    {!Access.fate} would; (3) the ACL walk runs against the answer
+    table.  Peak memory is proportional to distinct written locations
+    plus corruption events — independent of the trace length.  The
+    result is identical to [analyze] by construction. *)
+let analyze_stream ?fault ~(clean : Trace_io.source)
+    ~(faulty : Trace_io.source) () : result =
+  (* pass 1: which (idx, loc) fates will the ACL walk ask for? *)
+  let queries : int list ref Loc.Tbl.t = Loc.Tbl.create 64 in
+  clean.Trace_io.run (fun clean_seq ->
+      faulty.Trace_io.run (fun faulty_seq ->
+          let w = Align.create_seq ?fault ~clean:clean_seq ~faulty:faulty_seq () in
+          let stop = ref false in
+          while not !stop do
+            match Align.step w with
+            | Align.End | Align.Diverged _ -> stop := true
+            | Align.Step { index; changed; _ } ->
+                List.iter
+                  (fun loc ->
+                    if Align.is_corrupted w loc then
+                      match Loc.Tbl.find_opt queries loc with
+                      | Some l -> l := index :: !l
+                      | None -> Loc.Tbl.add queries loc (ref [ index ]))
+                  changed
+          done));
+  (* pass 2: resolve every query in one forward scan of the faulty
+     stream, replicating Access.fate's strictly-after, reads-before-
+     writes-within-an-event semantics *)
+  let states : fate_state Loc.Tbl.t = Loc.Tbl.create (Loc.Tbl.length queries) in
+  Loc.Tbl.iter
+    (fun loc l ->
+      Loc.Tbl.add states loc
+        { pending = Array.of_list (List.rev !l); next = 0; active = [] })
+    queries;
+  let answers : (int * Loc.t, Access.fate) Hashtbl.t = Hashtbl.create 256 in
+  let activate (st : fate_state) (i : int) =
+    while
+      st.next < Array.length st.pending && st.pending.(st.next) < i
+    do
+      st.active <- (st.pending.(st.next), ref (-1)) :: st.active;
+      st.next <- st.next + 1
+    done
+  in
+  faulty.Trace_io.run (fun faulty_seq ->
+      let i = ref 0 in
+      Seq.iter
+        (fun (e : Trace.event) ->
+          Array.iter
+            (fun (loc, _) ->
+              match Loc.Tbl.find_opt states loc with
+              | None -> ()
+              | Some st ->
+                  activate st !i;
+                  List.iter (fun (_, last_read) -> last_read := !i) st.active)
+            e.reads;
+          Array.iter
+            (fun (loc, _) ->
+              match Loc.Tbl.find_opt states loc with
+              | None -> ()
+              | Some st ->
+                  activate st !i;
+                  List.iter
+                    (fun (q, last_read) ->
+                      Hashtbl.replace answers (q, loc)
+                        (if !last_read >= 0 then
+                           `Dies_after_read (!last_read, Some !i)
+                         else `Overwritten_at !i))
+                    st.active;
+                  st.active <- [])
+            e.writes;
+          incr i)
+        faulty_seq);
+  (* end of stream: still-active queries die with their last read (or
+     were never referenced); never-activated ones saw no later access *)
+  Loc.Tbl.iter
+    (fun loc st ->
+      List.iter
+        (fun (q, last_read) ->
+          Hashtbl.replace answers (q, loc)
+            (if !last_read >= 0 then `Dies_after_read (!last_read, None)
+             else `Never_used))
+        st.active;
+      for k = st.next to Array.length st.pending - 1 do
+        Hashtbl.replace answers (st.pending.(k), loc) `Never_used
+      done)
+    states;
+  (* pass 3: the ACL walk proper, fed by the answer table *)
+  let fate loc ~after =
+    match Hashtbl.find_opt answers (after, loc) with
+    | Some f -> f
+    | None ->
+        (* pass 1 and pass 3 walk identical streams, so every query is
+           pre-answered; a miss means the source is not restartable *)
+        invalid_arg "Acl.analyze_stream: non-restartable event source"
+  in
+  clean.Trace_io.run (fun clean_seq ->
+      faulty.Trace_io.run (fun faulty_seq ->
+          let w = Align.create_seq ?fault ~clean:clean_seq ~faulty:faulty_seq () in
+          analyze_core w fate))

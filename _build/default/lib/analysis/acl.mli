@@ -52,3 +52,15 @@ val analyze :
 (** Walk the aligned traces and build the ACL table.  [fault] must be
     the fault of the faulty run when it was a [Flip_mem] (memory flips
     leave no write event in the trace). *)
+
+val analyze_stream :
+  ?fault:Machine.fault ->
+  clean:Trace_io.source ->
+  faulty:Trace_io.source ->
+  unit ->
+  result
+(** [analyze] over restartable event sources (e.g. trace files),
+    never materializing a trace: three streaming passes whose peak
+    memory is proportional to the number of distinct written locations
+    plus corruption events, independent of trace length.  Identical
+    results to [analyze] by construction. *)

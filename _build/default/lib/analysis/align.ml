@@ -13,8 +13,9 @@
     same way (by comparing operations between the two DDDGs). *)
 
 type t = {
-  clean : Trace.t;
-  faulty : Trace.t;
+  next_clean : unit -> Trace.event option;
+      (** pull the next clean event; [None] at end of stream *)
+  next_faulty : unit -> Trace.event option;
   mutable pos : int;  (** next event index to process *)
   shadow_clean : Value.t Loc.Tbl.t;
   shadow_faulty : Value.t Loc.Tbl.t;
@@ -25,10 +26,20 @@ type t = {
   mutable diverged_at : int option;
 }
 
-let create ?fault ~(clean : Trace.t) ~(faulty : Trace.t) () : t =
+let puller (s : Trace.event Seq.t) : unit -> Trace.event option =
+  let cur = ref s in
+  fun () ->
+    match !cur () with
+    | Seq.Nil -> None
+    | Seq.Cons (e, rest) ->
+        cur := rest;
+        Some e
+
+let create_seq ?fault ~(clean : Trace.event Seq.t)
+    ~(faulty : Trace.event Seq.t) () : t =
   {
-    clean;
-    faulty;
+    next_clean = puller clean;
+    next_faulty = puller faulty;
     pos = 0;
     shadow_clean = Loc.Tbl.create 4096;
     shadow_faulty = Loc.Tbl.create 4096;
@@ -37,6 +48,10 @@ let create ?fault ~(clean : Trace.t) ~(faulty : Trace.t) () : t =
     fault_applied = false;
     diverged_at = None;
   }
+
+let create ?fault ~(clean : Trace.t) ~(faulty : Trace.t) () : t =
+  create_seq ?fault ~clean:(Trace.to_seq clean) ~faulty:(Trace.to_seq faulty)
+    ()
 
 let shadow_value tbl loc =
   match Loc.Tbl.find_opt tbl loc with Some v -> v | None -> Value.zero
@@ -92,25 +107,20 @@ type step =
 let step (w : t) : step =
   match w.diverged_at with
   | Some i -> Diverged i
-  | None ->
-      if w.pos >= Trace.length w.faulty || w.pos >= Trace.length w.clean then
-        (* If the faulty run is shorter/longer (crash or hang), the
-           common prefix has been consumed. *)
-        if Trace.length w.faulty <> Trace.length w.clean
-           && w.pos < max (Trace.length w.faulty) (Trace.length w.clean)
-        then begin
+  | None -> (
+      match (w.next_clean (), w.next_faulty ()) with
+      | None, None -> End
+      | Some _, None | None, Some _ ->
+          (* one run is shorter/longer (crash or hang): the common
+             prefix has been consumed *)
           w.diverged_at <- Some w.pos;
           Diverged w.pos
-        end
-        else End
-      else
-        let ec = Trace.get w.clean w.pos in
-        let ef = Trace.get w.faulty w.pos in
-        if Trace.control_signature ec <> Trace.control_signature ef then begin
-          w.diverged_at <- Some w.pos;
-          Diverged w.pos
-        end
-        else begin
+      | Some ec, Some ef ->
+          if Trace.control_signature ec <> Trace.control_signature ef then begin
+            w.diverged_at <- Some w.pos;
+            Diverged w.pos
+          end
+          else begin
           (* a pending memory-flip fault lands before its trigger event *)
           apply_pending_fault w ~next_seq:ef.seq;
           let changed = ref [] in
@@ -125,10 +135,12 @@ let step (w : t) : step =
               if not (List.exists (Loc.equal loc) !changed) then
                 changed := loc :: !changed)
             ef.writes;
-          List.iter (update_corruption w) !changed;
-          w.pos <- w.pos + 1;
-          Step { index = w.pos - 1; clean_ev = ec; faulty_ev = ef; changed = !changed }
-        end
+            List.iter (update_corruption w) !changed;
+            w.pos <- w.pos + 1;
+            Step
+              { index = w.pos - 1; clean_ev = ec; faulty_ev = ef;
+                changed = !changed }
+          end)
 
 (** Run the walker to completion, invoking [f] on every aligned step.
     Returns the divergence index, if control flow diverged. *)

@@ -6,8 +6,9 @@
     first control-flow divergence. *)
 
 type t = {
-  clean : Trace.t;
-  faulty : Trace.t;
+  next_clean : unit -> Trace.event option;
+      (** pull the next clean event; [None] at end of stream *)
+  next_faulty : unit -> Trace.event option;
   mutable pos : int;  (** next event index to process *)
   shadow_clean : Value.t Loc.Tbl.t;
   shadow_faulty : Value.t Loc.Tbl.t;
@@ -19,6 +20,16 @@ type t = {
 }
 
 val create : ?fault:Machine.fault -> clean:Trace.t -> faulty:Trace.t -> unit -> t
+
+val create_seq :
+  ?fault:Machine.fault ->
+  clean:Trace.event Seq.t ->
+  faulty:Trace.event Seq.t ->
+  unit ->
+  t
+(** Walker over event streams: memory stays proportional to the live
+    shadow state (written locations), not the trace length.  The
+    sequences are consumed incrementally as [step] advances. *)
 
 val clean_value : t -> Loc.t -> Value.t
 val faulty_value : t -> Loc.t -> Value.t

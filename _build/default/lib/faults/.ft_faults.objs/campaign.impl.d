@@ -1,1 +1,1 @@
-lib/faults/campaign.ml: Access Array Dddg Executor Float Fmt List Loc Machine Op Option Printexc Printf Prog Region Rng Stats String Trace Ty Watchdog
+lib/faults/campaign.ml: Access Array Dddg Executor Float Fmt List Loc Machine Obs Op Option Printexc Printf Prog Region Rng Stats String Trace Ty Watchdog

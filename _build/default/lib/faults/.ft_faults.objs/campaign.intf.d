@@ -1,1 +1,1 @@
-lib/faults/campaign.mli: Access Executor Format Machine Prog Region Rng Trace Watchdog
+lib/faults/campaign.mli: Access Executor Format Machine Obs Prog Region Rng Trace Watchdog

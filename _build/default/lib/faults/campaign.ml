@@ -284,6 +284,7 @@ type exec = {
   max_retries : int;
   retry_backoff_s : float;
   on_progress : (Executor.progress -> unit) option;
+  metrics : Obs.t option;  (** executor phase/counter registry *)
 }
 
 let default_exec =
@@ -297,6 +298,7 @@ let default_exec =
     max_retries = Executor.default_config.Executor.max_retries;
     retry_backoff_s = Executor.default_config.Executor.retry_backoff_s;
     on_progress = None;
+    metrics = None;
   }
 
 (** Honest campaign result: the counts plus how much of the plan
@@ -387,6 +389,7 @@ let run_report (prog : Prog.t) ~(verify : Machine.result -> bool)
       max_retries = exec.max_retries;
       retry_backoff_s = exec.retry_backoff_s;
       on_progress = exec.on_progress;
+      metrics = exec.metrics;
     }
   in
   let r = Executor.run ~cfg:ecfg spec in

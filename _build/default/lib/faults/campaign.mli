@@ -110,6 +110,9 @@ type exec = {
   max_retries : int;
   retry_backoff_s : float;
   on_progress : (Executor.progress -> unit) option;
+  metrics : Obs.t option;
+      (** when set, the executor records per-phase wall time and
+          trial/retry/infra counters there (see {!Executor.config}) *)
 }
 
 val default_exec : exec

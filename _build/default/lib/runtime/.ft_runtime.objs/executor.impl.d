@@ -1,1 +1,1 @@
-lib/runtime/executor.ml: Array Csexp Float Hashtbl Journal List Option Pool Printexc Printf Seq String Sys Unix
+lib/runtime/executor.ml: Array Csexp Float Hashtbl Journal List Obs Option Pool Printexc Printf Seq String Sys Unix

@@ -1,1 +1,1 @@
-lib/runtime/executor.mli:
+lib/runtime/executor.mli: Obs

@@ -46,6 +46,9 @@ type config = {
   max_retries : int;  (** retries before a raising trial is Infra_error *)
   retry_backoff_s : float;  (** base of the exponential backoff *)
   on_progress : (progress -> unit) option;
+  metrics : Obs.t option;
+      (** when set, the engine times its phases (resume, trials,
+          journal) and counts trials/retries/infra errors there *)
 }
 
 let default_config =
@@ -57,6 +60,7 @@ let default_config =
     max_retries = 2;
     retry_backoff_s = 0.05;
     on_progress = None;
+    metrics = None;
   }
 
 type 'a spec = {
@@ -159,6 +163,9 @@ let attempt (cfg : config) (spec : 'a spec) (idx : int) : 'a outcome =
         if k >= cfg.max_retries then
           Infra_error (Printf.sprintf "trial %d: %s" idx (Printexc.to_string e))
         else begin
+          (match cfg.metrics with
+          | Some m -> Obs.count m "executor/retries" 1
+          | None -> ());
           if cfg.retry_backoff_s > 0.0 then
             Unix.sleepf (cfg.retry_backoff_s *. Float.of_int (1 lsl k));
           go (k + 1)
@@ -168,6 +175,15 @@ let attempt (cfg : config) (spec : 'a spec) (idx : int) : 'a outcome =
 
 let run ?(cfg = default_config) (spec : 'a spec) : 'a report =
   if spec.total < 0 then invalid_arg "Executor.run: negative total";
+  let obs_phase name f =
+    match cfg.metrics with Some m -> Obs.phase m name f | None -> f ()
+  in
+  let obs_count name n =
+    match cfg.metrics with Some m -> Obs.count m name n | None -> ()
+  in
+  let obs_observe name v =
+    match cfg.metrics with Some m -> Obs.observe m name v | None -> ()
+  in
   let t0 = Unix.gettimeofday () in
   let batch = max 1 cfg.batch in
   (* checkpoint state: what the journal already knows *)
@@ -176,7 +192,9 @@ let run ?(cfg = default_config) (spec : 'a spec) : 'a report =
     | None -> (Hashtbl.create 0, None)
     | Some path ->
         if cfg.resume && Sys.file_exists path then begin
-          let seen, valid_end = load_journal spec path in
+          let seen, valid_end =
+            obs_phase "executor/resume" (fun () -> load_journal spec path)
+          in
           (seen, Some (Journal.open_append ~truncate_at:valid_end path))
         end
         else begin
@@ -202,15 +220,26 @@ let run ?(cfg = default_config) (spec : 'a spec) : 'a report =
            (fun i -> Option.is_none outcomes.(i))
            (Seq.init (hi - lo) (fun k -> lo + k)))
     in
-    let computed = Pool.map ~jobs:cfg.jobs (attempt cfg spec) pending in
+    let computed =
+      obs_phase "executor/trials" (fun () ->
+          Pool.map ~jobs:cfg.jobs (attempt cfg spec) pending)
+    in
     Array.iteri (fun k i -> outcomes.(i) <- Some computed.(k)) pending;
     fresh := !fresh + Array.length pending;
+    obs_count "executor/trials" (Array.length pending);
+    obs_observe "executor/batch-pending" (Array.length pending);
+    obs_count "executor/infra-errors"
+      (Array.fold_left
+         (fun a -> function Infra_error _ -> a + 1 | Done _ -> a)
+         0 computed);
     (match writer with
     | Some w ->
-        Array.iteri
-          (fun k i -> Journal.write w (trial_record spec.encode i computed.(k)))
-          pending;
-        Journal.sync w
+        obs_phase "executor/journal" (fun () ->
+            Array.iteri
+              (fun k i ->
+                Journal.write w (trial_record spec.encode i computed.(k)))
+              pending;
+            Journal.sync w)
     | None -> ());
     completed := hi;
     (match cfg.on_progress with

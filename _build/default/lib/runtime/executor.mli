@@ -31,6 +31,10 @@ type config = {
   max_retries : int;
   retry_backoff_s : float;  (** base of the exponential backoff *)
   on_progress : (progress -> unit) option;
+  metrics : Obs.t option;
+      (** when set, the engine records its phases ([executor/resume],
+          [executor/trials], [executor/journal]), trial/retry/infra
+          counters, and a batch-size histogram there *)
 }
 
 val default_config : config

@@ -1,1 +1,1 @@
-lib/vm/trace.ml: Array Fmt Loc Op Value
+lib/vm/trace.ml: Array Fmt Loc Op Seq Value

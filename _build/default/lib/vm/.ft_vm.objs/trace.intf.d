@@ -1,1 +1,1 @@
-lib/vm/trace.mli: Format Loc Op Value
+lib/vm/trace.mli: Format Loc Op Seq Value

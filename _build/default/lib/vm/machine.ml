@@ -450,3 +450,11 @@ let run_traced ?(budget = default_config.budget) ?(iter_mark = -1) ?fault
   let t = Trace.create () in
   let r = run prog { default_config with budget; iter_mark; fault; trace = Some t } in
   (r, t)
+
+(** Convenience: run streaming every event into [sink] without
+    retaining any of them — the constant-memory counterpart of
+    [run_traced] (e.g. a [Trace_io] writer over a file). *)
+let run_sink ?(budget = default_config.budget) ?(iter_mark = -1) ?fault
+    ~(sink : Trace.event -> unit) (prog : Prog.t) : result =
+  run prog
+    { default_config with budget; iter_mark; fault; sink = Some sink }

@@ -73,3 +73,13 @@ val run_traced :
   Prog.t ->
   result * Trace.t
 (** Execution with a fresh retained trace. *)
+
+val run_sink :
+  ?budget:int ->
+  ?iter_mark:int ->
+  ?fault:fault ->
+  sink:(Trace.event -> unit) ->
+  Prog.t ->
+  result
+(** Execution streaming each event into [sink] without retaining it:
+    the constant-memory counterpart of [run_traced]. *)

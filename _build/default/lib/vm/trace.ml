@@ -72,6 +72,12 @@ let fold f acc (t : t) =
   done;
   !acc
 
+let to_seq (t : t) : event Seq.t =
+  let rec go i () =
+    if i >= t.len then Seq.Nil else Seq.Cons (t.events.(i), go (i + 1))
+  in
+  go 0
+
 (** Events [lo, hi) as a fresh array (used for region-instance slices). *)
 let slice (t : t) lo hi =
   if lo < 0 || hi > t.len || lo > hi then invalid_arg "Trace.slice";

@@ -1,1 +1,1 @@
-test/test_io.ml: Acl Alcotest Array Buffer Export Filename Fun Helpers List Loc Machine Op QCheck QCheck_alcotest Region String Sys Trace Trace_io Value
+test/test_io.ml: Acl Alcotest Array Buffer Char Export Filename Fun Helpers Int64 List Loc Machine Op Printexc Printf Prog QCheck QCheck_alcotest Region String Sys Trace Trace_io Unix Value

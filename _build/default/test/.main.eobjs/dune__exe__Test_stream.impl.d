@@ -1,0 +1,1 @@
+test/test_stream.ml: Access Acl Alcotest App Array Cg Filename Fun Helpers List Loc Machine Mg Prog Region Sys Trace Trace_io

@@ -15,6 +15,7 @@ let () =
       Test_acl.suite;
       Test_tolerance.suite;
       Test_io.suite;
+      Test_stream.suite;
       Test_runtime.suite;
       Test_faults.suite;
       Test_patterns.suite;

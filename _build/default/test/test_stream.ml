@@ -1,0 +1,152 @@
+(* Streaming analysis = materialized analysis: the constant-memory
+   consumers (region chain, access index, ACL over event sources) must
+   produce results identical to the array-backed paths, including on
+   real application traces read back from both trace encodings. *)
+
+open Helpers
+
+(* structural equality of ACL results; Stdlib.compare handles the
+   Repeated_add floats (equal bit patterns compare equal) *)
+let result_equal (a : Acl.result) (b : Acl.result) =
+  compare a.Acl.series b.Acl.series = 0
+  && compare a.deaths b.deaths = 0
+  && compare a.maskings b.maskings = 0
+  && a.divergence = b.divergence
+  && a.peak = b.peak && a.final = b.final
+
+let check_result_equal name (a : Acl.result) (b : Acl.result) =
+  Alcotest.(check int) (name ^ ": series length") (Array.length a.Acl.series)
+    (Array.length b.Acl.series);
+  Alcotest.(check int) (name ^ ": deaths") (List.length a.deaths)
+    (List.length b.deaths);
+  Alcotest.(check int) (name ^ ": maskings") (List.length a.maskings)
+    (List.length b.maskings);
+  Alcotest.(check int) (name ^ ": peak") a.peak b.peak;
+  Alcotest.(check int) (name ^ ": final") a.final b.final;
+  Alcotest.(check bool) (name ^ ": identical") true (result_equal a b)
+
+(* a mid-trace writing instruction of the clean run, for a fault that
+   certainly corrupts a traced destination *)
+let mid_write_fault (clean : Trace.t) : Machine.fault =
+  let seq = ref (-1) in
+  let target = Trace.length clean / 2 in
+  Trace.iter
+    (fun (e : Trace.event) ->
+      if !seq < 0 && e.seq >= target && Array.length e.writes > 0 then
+        seq := e.seq)
+    clean;
+  Alcotest.(check bool) "found a writing site" true (!seq >= 0);
+  Machine.Flip_write { seq = !seq; bit = 40 }
+
+let test_stream_acl_small () =
+  let prog = compile (two_region_program ()) in
+  let _, clean = run_traced prog in
+  let fault = mid_write_fault clean in
+  let _, faulty = run_traced ~fault prog in
+  let materialized = Acl.analyze ~fault ~clean ~faulty () in
+  let streamed =
+    Acl.analyze_stream ~fault
+      ~clean:(Trace_io.source_of_trace clean)
+      ~faulty:(Trace_io.source_of_trace faulty)
+      ()
+  in
+  check_result_equal "two-region" materialized streamed
+
+(* the paper-scale differential: CG and MG faulty traces, streaming ACL
+   event-for-event equal to the materialized path *)
+let app_differential (app : App.t) () =
+  let _, clean = App.trace app in
+  let fault = mid_write_fault clean in
+  let _, faulty = App.trace_with_fault app fault ~budget:10_000_000 in
+  let materialized = Acl.analyze ~fault ~clean ~faulty () in
+  let streamed =
+    Acl.analyze_stream ~fault
+      ~clean:(Trace_io.source_of_trace clean)
+      ~faulty:(Trace_io.source_of_trace faulty)
+      ()
+  in
+  check_result_equal app.App.name materialized streamed
+
+(* same, but through trace files in both encodings: the sources replay
+   the decoded streams across the three ACL passes *)
+let test_stream_acl_from_files () =
+  let app = Mg.app in
+  let _, clean = App.trace app in
+  let fault = mid_write_fault clean in
+  let _, faulty = App.trace_with_fault app fault ~budget:10_000_000 in
+  let clean_path = Filename.temp_file "ft_clean" ".trace" in
+  let faulty_path = Filename.temp_file "ft_faulty" ".trace" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove clean_path;
+      Sys.remove faulty_path)
+    (fun () ->
+      Trace_io.save ~format:Trace_io.Text clean_path clean;
+      Trace_io.save ~format:Trace_io.Binary faulty_path faulty;
+      let materialized = Acl.analyze ~fault ~clean ~faulty () in
+      let streamed =
+        Acl.analyze_stream ~fault
+          ~clean:(Trace_io.source_of_file clean_path)
+          ~faulty:(Trace_io.source_of_file faulty_path)
+          ()
+      in
+      check_result_equal "mg-files" materialized streamed)
+
+let test_region_instances_seq () =
+  let prog = compile (loop_program ~iters:7) in
+  let _, t = run_traced ~iter_mark:(Prog.mark_id prog "main_iter") prog in
+  let a = Region.instances t in
+  let b = Region.instances_seq (Trace.to_seq t) in
+  Alcotest.(check bool) "instance chains equal" true (compare a b = 0)
+
+let test_access_build_seq () =
+  let prog = compile (loop_program ~iters:5) in
+  let _, t = run_traced ~iter_mark:(Prog.mark_id prog "main_iter") prog in
+  let a = Access.build t in
+  let b = Access.build_seq (Trace.to_seq t) in
+  (* every location touched by the trace has identical access chains
+     and fates in both indexes *)
+  let locs = Loc.Tbl.create 64 in
+  Trace.iter
+    (fun (e : Trace.event) ->
+      Array.iter (fun (l, _) -> Loc.Tbl.replace locs l ()) e.reads;
+      Array.iter (fun (l, _) -> Loc.Tbl.replace locs l ()) e.writes)
+    t;
+  Loc.Tbl.iter
+    (fun loc () ->
+      Alcotest.(check bool) "accesses equal" true
+        (Access.accesses a loc = Access.accesses b loc);
+      for i = 0 to min 40 (Trace.length t - 1) do
+        Alcotest.(check bool) "fate equal" true
+          (Access.fate a loc ~after:i = Access.fate b loc ~after:i)
+      done)
+    locs
+
+let test_run_sink_matches_trace () =
+  let prog = compile (loop_program ~iters:4) in
+  let mark = Prog.mark_id prog "main_iter" in
+  let _, t = run_traced ~iter_mark:mark prog in
+  let sunk = ref [] in
+  let _ =
+    Machine.run_sink ~iter_mark:mark ~sink:(fun e -> sunk := e :: !sunk) prog
+  in
+  let sunk = Array.of_list (List.rev !sunk) in
+  Alcotest.(check int) "event count" (Trace.length t) (Array.length sunk);
+  Trace.iteri
+    (fun i e ->
+      Alcotest.(check bool) "sunk event equal" true (compare e sunk.(i) = 0))
+    t
+
+let suite =
+  ( "stream",
+    [
+      Alcotest.test_case "stream acl: two-region" `Quick test_stream_acl_small;
+      Alcotest.test_case "stream acl: CG" `Slow (app_differential Cg.app);
+      Alcotest.test_case "stream acl: MG" `Slow (app_differential Mg.app);
+      Alcotest.test_case "stream acl: MG via files" `Slow
+        test_stream_acl_from_files;
+      Alcotest.test_case "region instances over seq" `Quick
+        test_region_instances_seq;
+      Alcotest.test_case "access index over seq" `Quick test_access_build_seq;
+      Alcotest.test_case "run_sink = trace" `Quick test_run_sink_matches_trace;
+    ] )

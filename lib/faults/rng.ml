@@ -17,12 +17,25 @@ let next_int64 (t : t) : int64 =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-(** Uniform integer in [0, bound). *)
+(** Uniform integer in [0, bound), by rejection sampling: a plain
+    [v mod bound] over 2^62 draws is biased toward small residues
+    whenever [bound] does not divide 2^62 (up to one part in
+    [2^62 / bound]).  Draws above the largest multiple of [bound] are
+    rejected and redrawn — at most one extra draw in expectation.  The
+    arithmetic stays in [Int64] ([2^62] overflows OCaml's 63-bit
+    native int). *)
 let int (t : t) (bound : int) : int =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* keep 62 bits so the value fits OCaml's 63-bit native int *)
-  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  v mod bound
+  let b = Int64.of_int bound in
+  let range = 0x4000_0000_0000_0000L (* 2^62 *) in
+  let limit = Int64.sub range (Int64.rem range b) in
+  let rec draw () =
+    (* keep 62 bits so the accepted value fits a native int *)
+    let v = Int64.shift_right_logical (next_int64 t) 2 in
+    if Int64.compare v limit >= 0 then draw ()
+    else Int64.to_int (Int64.rem v b)
+  in
+  draw ()
 
 (** Uniform float in [0, 1). *)
 let float (t : t) : float =

@@ -48,6 +48,10 @@ val iter : (event -> unit) -> t -> unit
 val iteri : (int -> event -> unit) -> t -> unit
 val fold : ('a -> event -> 'a) -> 'a -> t -> 'a
 
+val to_seq : t -> event Seq.t
+(** Events in order as a lazy sequence; reflects the trace as of each
+    force (restartable while the trace is not mutated). *)
+
 val slice : t -> int -> int -> event array
 (** Events [lo, hi) as a fresh array.
     @raise Invalid_argument on bad bounds. *)
