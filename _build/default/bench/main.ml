@@ -457,6 +457,45 @@ let trace_codec effort =
   end
   else print_endline "trace-codec: all round-trips bit-exact"
 
+(* --- harden-overhead ---------------------------------------------------- *)
+
+let harden_overhead (effort : Effort.t) =
+  header
+    "harden-overhead: cost of the automatic hardening pipeline (all passes)";
+  let apps =
+    (* quick = the two Use Case apps; otherwise the full registry *)
+    if Option.value ~default:max_int effort.Effort.campaign.Campaign.max_trials
+       <= 40
+    then [ Registry.find "CG"; Registry.find "IS" ]
+    else Registry.all
+  in
+  Printf.printf "%-8s %9s %9s %7s %10s %10s %7s %9s\n" "app" "static"
+    "static'" "x" "dynamic" "dynamic'" "x" "wall x";
+  List.iter
+    (fun (app : App.t) ->
+      let base = App.program app in
+      let hard = Harden.transform Passes.all base in
+      let time prog =
+        let t0 = Unix.gettimeofday () in
+        let r = Machine.run_plain prog in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let rb, tb = time base in
+      let rh, th = time hard in
+      assert (App.verified rh.Machine.output);
+      Printf.printf "%-8s %9d %9d %6.2fx %10d %10d %6.2fx %8.2fx\n"
+        app.App.name (Prog.static_size base) (Prog.static_size hard)
+        (float_of_int (Prog.static_size hard)
+        /. float_of_int (max 1 (Prog.static_size base)))
+        rb.Machine.instructions rh.Machine.instructions
+        (float_of_int rh.Machine.instructions
+        /. float_of_int (max 1 rb.Machine.instructions))
+        (th /. Float.max 1e-9 tb))
+    apps;
+  print_endline
+    "(expected shape: duplicate-compare dominates the overhead in its \
+     top-K regions; every hardened run still verifies fault-free)"
+
 (* --- driver ------------------------------------------------------------- *)
 
 let all_experiments =
@@ -464,7 +503,7 @@ let all_experiments =
     ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("tab1", tab1); ("tab2", tab2); ("tab3", tab3); ("tab4", tab4);
     ("ablate", ablate); ("perf", perf); ("campaign-scale", campaign_scale);
-    ("trace-codec", trace_codec);
+    ("trace-codec", trace_codec); ("harden-overhead", harden_overhead);
   ]
 
 let () =

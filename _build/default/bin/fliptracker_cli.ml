@@ -21,16 +21,20 @@
 open Cmdliner
 
 let app_arg =
-  let doc = "Benchmark program (see `list')." in
+  let doc =
+    "Benchmark program (see `list'), or NAME@SPEC for an auto-hardened \
+     variant, e.g. CG@all or mg@dup+fresh."
+  in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
 
+(* the one shared lookup: registry names (case-insensitive, with
+   near-match suggestions) plus NAME@SPEC auto-hardened variants *)
 let find_app name =
-  try Registry.find name
-  with Invalid_argument msg -> (
-    try Registry.find (String.uppercase_ascii name)
-    with Invalid_argument _ ->
+  match Fliptracker.resolve_app name with
+  | Ok app -> app
+  | Error msg ->
       Printf.eprintf "%s\n" msg;
-      exit 2)
+      exit 2
 
 (* --- list -------------------------------------------------------------- *)
 
@@ -457,6 +461,117 @@ let static_rank_cmd =
           the density of protective pattern sites.")
     Term.(const run $ app_arg $ csv)
 
+(* --- harden ---------------------------------------------------------------- *)
+
+let harden_cmd =
+  let passes_arg =
+    Arg.(value & opt string "all" & info [ "passes" ] ~docv:"SPEC"
+           ~doc:"Pass spec: $(b,all), or a comma-separated list of pass \
+                 names / short aliases (duplicate-compare/dup, \
+                 accumulator-guard/acc, trunc-barrier/trunc, \
+                 overwrite-fresh/fresh).")
+  in
+  let top_k =
+    Arg.(value & opt int Pass.default_opts.Pass.top_k
+         & info [ "top-k" ] ~docv:"K"
+             ~doc:"Regions from the top of the static vulnerability \
+                   ranking that duplicate-compare instruments.")
+  in
+  let report =
+    Arg.(value & flag & info [ "report" ]
+           ~doc:"Run paired baseline/hardened campaigns (baseline, each \
+                 pass alone, all passes) and print the Table-III-style \
+                 resilience report.")
+  in
+  let emit_ir =
+    Arg.(value & opt (some string) None & info [ "emit-ir" ] ~docv:"PATH"
+           ~doc:"Write the transformed program's IR listing to $(docv) \
+                 ($(b,-) for stdout).")
+  in
+  let trials =
+    Arg.(value & opt int 300 & info [ "trials" ] ~docv:"N"
+           ~doc:"Campaign trials per variant for --report.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ]
+           ~doc:"Campaign RNG seed for --report (shared across variants: \
+                 the campaigns are paired).")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ]
+           ~doc:"Emit the --report campaign table as CSV.")
+  in
+  let run name spec top_k report emit_ir trials seed csv =
+    let app = find_app name in
+    let passes =
+      match Harden.parse_spec spec with
+      | Ok ps -> ps
+      | Error msg ->
+          Printf.eprintf "harden: %s\n" msg;
+          exit 2
+    in
+    let opts = { Pass.top_k } in
+    let baseline = App.program app in
+    let hardened, reports =
+      try Harden.harden ~opts passes baseline
+      with Pass.Verify_failed { passes; diags } ->
+        Printf.eprintf
+          "harden: pipeline [%s] produced broken IR (%d error \
+           diagnostic(s)):\n"
+          (String.concat "; " passes)
+          (List.length diags);
+        List.iter (fun d -> Fmt.epr "  %a@." Verify.pp_diag d) diags;
+        exit 1
+    in
+    Printf.printf "%s: %d -> %d static instructions (%s)\n" app.App.name
+      (Prog.static_size baseline)
+      (Prog.static_size hardened)
+      (Harden.spec_names passes);
+    List.iter (fun r -> Fmt.pr "@[<v>%a@]@." Pass.pp_report r) reports;
+    print_string "post-harden static ranking (guards counted as \
+                  protective):\n";
+    List.iteri
+      (fun i s ->
+        if i < 5 then
+          Fmt.pr "%2d. %a@." (i + 1) Vuln.pp_score s)
+      (Harden.ranking_after hardened reports);
+    (match emit_ir with
+    | None -> ()
+    | Some "-" -> Fmt.pr "%a@." Prog.pp hardened
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            let ppf = Format.formatter_of_out_channel oc in
+            Fmt.pf ppf "%a@." Prog.pp hardened);
+        Printf.printf "wrote IR listing to %s\n" path);
+    if report then begin
+      let effort =
+        {
+          Effort.quick with
+          Effort.campaign =
+            {
+              Campaign.default_config with
+              seed;
+              max_trials = Some trials;
+            };
+        }
+      in
+      let r = Harden_eval.evaluate ~effort ~opts ~passes app in
+      if csv then print_string (Harden_eval.to_csv r)
+      else Fmt.pr "@[<v>%a@]@." Harden_eval.pp_report r
+    end
+  in
+  Cmd.v
+    (Cmd.info "harden"
+       ~doc:
+         "Automatically harden a program with the pattern-injection \
+          passes (verified IR out), and optionally measure the \
+          resilience delta with paired campaigns.")
+    Term.(const run $ app_arg $ passes_arg $ top_k $ report $ emit_ir
+          $ trials $ seed $ csv)
+
 let () =
   let doc = "fine-grained error-propagation and resilience analysis" in
   let info = Cmd.info "fliptracker" ~version:"1.0.0" ~doc in
@@ -465,5 +580,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; trace_cmd; inject_cmd; campaign_cmd; patterns_cmd;
-            rates_cmd; acl_cmd; lint_cmd; static_rank_cmd;
+            rates_cmd; acl_cmd; lint_cmd; static_rank_cmd; harden_cmd;
           ]))

@@ -4,8 +4,10 @@
 
    [ft_dev lint-all] runs the static verifier and the vulnerability
    ranking over the whole registry (the ten study programs plus the
-   hardened CG variants) and exits nonzero if any program has a lint
-   error — the static-analysis counterpart of the sanity line.
+   hardened CG variants) AND over the auto-hardened all-passes variant
+   of each of the ten programs, and exits nonzero if any program has a
+   lint error — the static-analysis counterpart of the sanity line and
+   the CI gate on the hardening pipeline's output IR.
    [ft_dev sites] prints per-app static pattern-site counts and
    [ft_dev radd APP] the repeated-addition sites of one app.
    [ft_dev trace-roundtrip [APP]] saves APP's trace (default IS) in
@@ -26,14 +28,23 @@ let dedup_apps (apps : App.t list) : App.t list =
 let lint_all () =
   let apps = dedup_apps (Registry.all @ Registry.cg_variants) in
   let failed = ref 0 in
+  (* registered programs first, then the hardening pipeline's output for
+     each of the ten study programs (labelled NAME@all) — the transform
+     is applied directly to the compiled IR, no re-bake needed *)
+  let programs =
+    List.map (fun (a : App.t) -> (a.App.name, App.program a)) apps
+    @ List.map
+        (fun (a : App.t) ->
+          (a.App.name ^ "@all", Harden.transform Passes.all (App.program a)))
+        Registry.all
+  in
   List.iter
-    (fun (a : App.t) ->
-      let p = App.program a in
+    (fun (name, p) ->
       let ds = Verify.verify p in
       let errs = List.length (Verify.errors ds) in
       let warns = List.length (Verify.warnings ds) in
       if errs > 0 then incr failed;
-      Printf.printf "%-12s %d errors, %d warnings\n" a.App.name errs warns;
+      Printf.printf "%-12s %d errors, %d warnings\n" name errs warns;
       List.iter
         (fun d -> Fmt.pr "    %a@." Verify.pp_diag d)
         (Verify.errors ds);
@@ -44,12 +55,12 @@ let lint_all () =
             Printf.printf "    #%d %-12s score %7.3f\n" (i + 1)
               s.Vuln.rname s.Vuln.score)
         ranking)
-    apps;
+    programs;
   if !failed > 0 then begin
     Printf.printf "lint-all: %d program(s) with errors\n" !failed;
     exit 1
   end
-  else Printf.printf "lint-all: all %d programs clean\n" (List.length apps)
+  else Printf.printf "lint-all: all %d programs clean\n" (List.length programs)
 
 let sanity () =
   let app = Registry.find "IS" in

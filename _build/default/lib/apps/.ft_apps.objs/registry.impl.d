@@ -1,1 +1,1 @@
-lib/apps/registry.ml: App Bt Cg Dc Ft Is Kmeans List Lu Lulesh Mg Printf Sp String
+lib/apps/registry.ml: App Array Bt Cg Char Dc Ft Fun Is Kmeans List Lu Lulesh Mg Printexc Printf Sp String

@@ -13,6 +13,13 @@ type t = {
   tolerance : float;  (** relative epsilon of the verification phase *)
   main_iterations : int;
   region_names : string list;  (** paper-style names, in region order *)
+  transform : (Prog.t -> Prog.t) option;
+      (** post-compile IR rewrite (e.g. an automatic-hardening
+          pipeline), applied to the full program after the reference
+          value is baked in.  Must preserve fault-free semantics: the
+          transformed program is the one run as the reference, so it
+          must still print the same RESULT and verify against the baked
+          constant. *)
 }
 
 val iter_mark_name : string

@@ -474,6 +474,7 @@ let app : App.t =
     tolerance = 1e-10;
     main_iterations = niter;
     region_names = [ "cg_a"; "cg_b"; "cg_c"; "cg_d"; "cg_e" ];
+    transform = None;
   }
 
 (** Use Case 1 variants (Table III). *)

@@ -207,6 +207,7 @@ let app : App.t =
     tolerance = 0.0;
     main_iterations = nviews;
     region_names = [ "dc_a"; "dc_b"; "dc_c" ];
+    transform = None;
   }
 
 (** Pure-OCaml reference checksum. *)

@@ -242,6 +242,7 @@ let app : App.t =
     tolerance = 1e-8;
     main_iterations = 1;
     region_names = [ "k_a"; "k_b"; "k_c"; "k_d" ];
+    transform = None;
   }
 
 (** Pure-OCaml reference for the final inertia. *)

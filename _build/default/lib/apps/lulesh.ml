@@ -309,4 +309,5 @@ let app : App.t =
     tolerance = 1e-6;
     main_iterations = niter;
     region_names = [ "l_a" ];
+    transform = None;
   }

@@ -427,6 +427,7 @@ let app : App.t =
     tolerance = 1e-9;
     main_iterations = niter;
     region_names = [ "mg_a"; "mg_b"; "mg_c"; "mg_d" ];
+    transform = None;
   }
 
 (** Pure-OCaml reference implementation of the same V-cycle, used to

@@ -16,11 +16,82 @@ let all : App.t list =
 let cg_variants : App.t list =
   [ Cg.app; Cg.app_hardened_dcl; Cg.app_hardened_trunc; Cg.app_hardened_all ]
 
+let pool () : App.t list = all @ cg_variants
+
+let names () : string list =
+  List.map (fun (a : App.t) -> a.App.name) (pool ())
+
+exception Unknown_app of {
+  name : string;
+  suggestions : string list;
+  known : string list;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_app { name; suggestions; known } ->
+        Some
+          (Printf.sprintf "Registry.Unknown_app: %S%s (known: %s)" name
+             (match suggestions with
+             | [] -> ""
+             | s -> "; did you mean " ^ String.concat " or " s ^ "?")
+             (String.concat ", " known))
+    | _ -> None)
+
+(* Levenshtein distance, for near-match suggestions on typos. *)
+let edit_distance (a : string) (b : string) : int =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if Char.equal a.[i - 1] b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggestions_for (name : string) : string list =
+  let lname = String.lowercase_ascii name in
+  let scored =
+    List.filter_map
+      (fun known ->
+        let lknown = String.lowercase_ascii known in
+        let d = edit_distance lname lknown in
+        let prefix =
+          String.length lname >= 2
+          && String.length lknown >= String.length lname
+          && String.equal (String.sub lknown 0 (String.length lname)) lname
+        in
+        if d <= 2 || prefix then Some (d, known) else None)
+      (List.sort_uniq compare (names ()))
+  in
+  List.sort compare scored |> List.map snd
+
+let find_opt (name : string) : App.t option =
+  let lname = String.lowercase_ascii name in
+  match
+    List.find_opt
+      (fun (a : App.t) -> String.equal a.App.name name)
+      (pool ())
+  with
+  | Some a -> Some a
+  | None ->
+      List.find_opt
+        (fun (a : App.t) ->
+          String.equal (String.lowercase_ascii a.App.name) lname)
+        (pool ())
+
 let find (name : string) : App.t =
-  let pool = all @ cg_variants in
-  match List.find_opt (fun (a : App.t) -> String.equal a.App.name name) pool with
+  match find_opt name with
   | Some a -> a
   | None ->
-      invalid_arg
-        (Printf.sprintf "Registry.find: unknown app %S (known: %s)" name
-           (String.concat ", " (List.map (fun (a : App.t) -> a.App.name) pool)))
+      raise
+        (Unknown_app
+           {
+             name;
+             suggestions = suggestions_for name;
+             known = List.sort_uniq compare (names ());
+           })

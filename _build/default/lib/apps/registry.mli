@@ -11,6 +11,22 @@ val all : App.t list
 val cg_variants : App.t list
 (** CG and its hardened variants, in the paper's Table III row order. *)
 
+val names : unit -> string list
+(** Registered app names, registry order ([all] then [cg_variants]). *)
+
+exception Unknown_app of {
+  name : string;        (** what the caller asked for *)
+  suggestions : string list;
+      (** near-matches (edit distance <= 2 or a name prefix), best
+          first — for "did you mean ...?" messages *)
+  known : string list;  (** every valid name, sorted *)
+}
+(** The structured lookup failure every CLI entry point shares; a
+    printer is registered, so an uncaught one still reads well. *)
+
+val find_opt : string -> App.t option
+(** Exact match first, then case-insensitive. *)
+
 val find : string -> App.t
-(** @raise Invalid_argument for an unknown name (the message lists the
-    known ones). *)
+(** @raise Unknown_app with suggestions when the name matches nothing
+    (case-insensitively). *)

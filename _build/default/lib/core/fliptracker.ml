@@ -37,6 +37,37 @@
     {- simulated MPI: {!Comm}, {!Runner}, {!Demo}}
     {- experiment drivers: {!Experiments}, {!Effort}}} *)
 
+(** Resolve an app name as every CLI subcommand does: a plain registry
+    name finds the registered app (case-insensitively, with structured
+    near-match suggestions on failure), and ["NAME@SPEC"] — e.g.
+    ["CG@all"] or ["mg@dup+fresh"] — builds the auto-hardened variant
+    of [NAME] with the pass spec [SPEC] ([+] or [,] separated), so
+    hardened variants run everywhere plain apps do. *)
+let resolve_app (name : string) : (App.t, string) result =
+  let lookup n =
+    match Registry.find n with
+    | a -> Ok a
+    | exception Registry.Unknown_app { name; suggestions; known } ->
+        Error
+          (Printf.sprintf "unknown app %S%s\nknown apps: %s" name
+             (match suggestions with
+             | s :: _ -> Printf.sprintf " (did you mean %s?)" s
+             | [] -> "")
+             (String.concat ", " known))
+  in
+  match String.index_opt name '@' with
+  | None -> lookup name
+  | Some i ->
+      let base = String.sub name 0 i in
+      let spec =
+        String.sub name (i + 1) (String.length name - i - 1)
+        |> String.map (fun c -> if Char.equal c '+' then ',' else c)
+      in
+      Result.bind (lookup base) (fun app ->
+          Result.map
+            (fun passes -> Harden.app_variant ~passes app)
+            (Harden.parse_spec spec))
+
 (** Everything known about one fault injected into one program. *)
 type injection_report = {
   fault : Machine.fault;

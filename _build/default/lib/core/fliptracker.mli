@@ -15,6 +15,12 @@
     [Comm]/[Runner]/[Demo]; experiments: [Experiments]/[Effort]/
     [Ablation]). *)
 
+val resolve_app : string -> (App.t, string) result
+(** The shared CLI app lookup: a registry name (case-insensitive,
+    structured suggestions in the error message), or ["NAME@SPEC"] for
+    the auto-hardened variant of [NAME] under the harden pass spec
+    [SPEC] (["all"], or pass names/aliases joined with [+] or [,]). *)
+
 type injection_report = {
   fault : Machine.fault;
   outcome : Machine.outcome;

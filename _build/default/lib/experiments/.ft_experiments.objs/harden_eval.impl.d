@@ -1,0 +1,1 @@
+lib/experiments/harden_eval.ml: App Buffer Campaign Effort Fmt List Machine Pass Passes Printf Prog String Trace

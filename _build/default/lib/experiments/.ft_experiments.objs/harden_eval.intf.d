@@ -1,0 +1,1 @@
+lib/experiments/harden_eval.mli: App Campaign Effort Format Pass

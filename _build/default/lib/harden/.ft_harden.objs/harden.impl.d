@@ -1,0 +1,1 @@
+lib/harden/harden.ml: App List Option Pass Passes Printf Prog String Vuln

@@ -1,0 +1,1 @@
+lib/harden/harden.mli: App Pass Prog Vuln

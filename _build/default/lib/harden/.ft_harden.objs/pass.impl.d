@@ -1,0 +1,1 @@
+lib/harden/pass.ml: Fmt List Printexc Printf Prog String Verify

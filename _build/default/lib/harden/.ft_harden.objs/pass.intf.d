@@ -1,0 +1,1 @@
+lib/harden/pass.mli: Format Prog Verify

@@ -1,0 +1,1 @@
+lib/harden/passes.ml: Array Cfg Hashtbl Instr List Liveness Op Option Pass Printf Prog Reaching Splice Static_detect String Ty Value Vuln

@@ -1,0 +1,1 @@
+lib/harden/passes.mli: Pass

@@ -1,0 +1,1 @@
+lib/harden/splice.ml: Array Cfg Instr List Printf Prog

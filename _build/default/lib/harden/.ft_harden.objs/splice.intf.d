@@ -1,0 +1,1 @@
+lib/harden/splice.mli: Instr Prog

@@ -1,0 +1,96 @@
+(* Pass-manager core; see the mli. *)
+
+type opts = { top_k : int }
+
+let default_opts = { top_k = 3 }
+
+type site_change = {
+  ch_func : string;
+  ch_pc : int;
+  ch_line : int;
+  ch_region : int;
+  ch_note : string;
+}
+
+type report = {
+  pass_name : string;
+  sites_considered : int;
+  sites_changed : int;
+  instrs_added : int;
+  regs_added : int;
+  changes : site_change list;
+  protective : (string * int) list;
+}
+
+type result = {
+  prog : Prog.t;
+  rep : report;
+  remap : fname:string -> pc:int -> int;
+}
+
+type t = {
+  name : string;
+  short : string;
+  doc : string;
+  run : opts -> Prog.t -> result;
+}
+
+exception Verify_failed of { passes : string list; diags : Verify.diag list }
+
+let run_pipeline ?(opts = default_opts) (passes : t list) (p : Prog.t) :
+    Prog.t * report list =
+  let step (prog, reports) (pass : t) =
+    let r = pass.run opts prog in
+    Prog.validate r.prog;
+    (* keep earlier passes' guard sites valid in the new numbering *)
+    let reports =
+      List.map
+        (fun rep ->
+          {
+            rep with
+            protective =
+              List.map
+                (fun (fname, pc) -> (fname, r.remap ~fname ~pc))
+                rep.protective;
+          })
+        reports
+    in
+    (r.prog, reports @ [ r.rep ])
+  in
+  let prog, reports = List.fold_left step (p, []) passes in
+  (match Verify.errors (Verify.verify prog) with
+  | [] -> ()
+  | errs ->
+      raise
+        (Verify_failed
+           { passes = List.map (fun (ps : t) -> ps.name) passes; diags = errs }));
+  (prog, reports)
+
+let protective_sites (reports : report list) : (string * int) list =
+  List.concat_map (fun r -> r.protective) reports
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "%-18s %4d/%-4d sites changed  +%d instrs  +%d regs" r.pass_name
+    r.sites_changed r.sites_considered r.instrs_added r.regs_added;
+  List.iteri
+    (fun i (c : site_change) ->
+      if i < 4 then
+        Fmt.pf ppf "@,    %s pc %d line %d: %s" c.ch_func c.ch_pc c.ch_line
+          c.ch_note)
+    r.changes;
+  if List.length r.changes > 4 then
+    Fmt.pf ppf "@,    ... %d more" (List.length r.changes - 4)
+
+let () =
+  Printexc.register_printer (function
+    | Verify_failed { passes; diags } ->
+        Some
+          (Printf.sprintf
+             "Pass.Verify_failed: pipeline [%s] produced %d error \
+              diagnostic(s); first: %s"
+             (String.concat "; " passes)
+             (List.length diags)
+             (match diags with
+             | d :: _ -> Fmt.str "%a" Verify.pp_diag d
+             | [] -> "?"))
+    | _ -> None)

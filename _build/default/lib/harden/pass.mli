@@ -1,0 +1,77 @@
+(** The hardening pass manager: named IR-to-IR passes with site
+    selectors, per-pass change reports, and a mandatory post-pipeline
+    {!Verify} gate so no transformed program ships broken IR.
+
+    A pass maps a whole [Prog.t] to a rewritten one and reports what it
+    did: the sites it considered, the sites it changed, and — for the
+    protective-site bookkeeping that feeds {!Vuln.rank}'s
+    [extra_protective] — the [(function, pc)] positions of the guards
+    it inserted, in its {e output} program's coordinates.  Because a
+    later pass renumbers those positions again, every pass also returns
+    a [remap] function; {!run_pipeline} threads earlier reports through
+    it so the final report list is in final-program coordinates. *)
+
+type opts = {
+  top_k : int;
+      (** regions taken from the top of {!Vuln.rank} by the selective
+          passes (duplicate_compare) *)
+}
+
+val default_opts : opts
+(** [top_k = 3]. *)
+
+(** One site a pass changed, in the pass's input coordinates. *)
+type site_change = {
+  ch_func : string;
+  ch_pc : int;      (** pc in the pass's input program *)
+  ch_line : int;
+  ch_region : int;  (** region id, or -1 *)
+  ch_note : string; (** human-readable description of the rewrite *)
+}
+
+type report = {
+  pass_name : string;
+  sites_considered : int;  (** candidate sites the selector offered *)
+  sites_changed : int;
+  instrs_added : int;
+  regs_added : int;
+  changes : site_change list;
+  protective : (string * int) list;
+      (** inserted guard sites, [(fname, pc)]; coordinates are kept
+          current by {!run_pipeline} as later passes renumber code *)
+}
+
+type result = {
+  prog : Prog.t;
+  rep : report;
+  remap : fname:string -> pc:int -> int;
+      (** where an input-program pc landed in [prog] *)
+}
+
+type t = {
+  name : string;   (** canonical name, e.g. "duplicate-compare" *)
+  short : string;  (** terse alias accepted by [--passes], e.g. "dup" *)
+  doc : string;
+  run : opts -> Prog.t -> result;
+}
+
+exception Verify_failed of {
+  passes : string list;
+  diags : Verify.diag list;  (** error-severity diagnostics only *)
+}
+(** The post-pipeline gate found broken IR.  This is a bug in a pass,
+    never a property of the input program (pipelines only run on
+    programs that verify to begin with). *)
+
+val run_pipeline : ?opts:opts -> t list -> Prog.t -> Prog.t * report list
+(** Run the passes in order; [Prog.validate] after each, then the
+    {!Verify} gate over the final program.  Reports come back in pass
+    order with [protective] remapped to final-program coordinates.
+    @raise Verify_failed on any error-severity diagnostic. *)
+
+val protective_sites : report list -> (string * int) list
+(** All guard sites of a pipeline's reports, for
+    [Vuln.rank ~extra_protective]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One summary line plus up to a handful of sample changes. *)

@@ -1,0 +1,605 @@
+(* The four pattern-injection passes; see the mli for the design and
+   the fault-free-identity contract each pass maintains.
+
+   The detect-to-trap guard shared by the detector passes is
+
+     eq  <- Eq x y        ; bitwise compare (Value.t is the raw pattern,
+     one <- Const 1       ;  so doubles compare exactly and NaN = NaN)
+     chk <- Div one eq    ; 1/1 fault-free; 1/0 traps under corruption
+
+   which needs no extra control flow: integer division by zero traps,
+   and the VM classifies the trap as Crashed. *)
+
+let guard_code ~(x : Instr.reg) ~(y : Instr.reg) ~(eq : Instr.reg)
+    ~(one : Instr.reg) ~(chk : Instr.reg) : Instr.t list =
+  [
+    Instr.Bin (Op.Eq, eq, x, y);
+    Instr.Const (one, 1L);
+    Instr.Bin (Op.Div, chk, one, eq);
+  ]
+
+(* -- generic splice-pass harness --------------------------------------- *)
+
+(* What one pass does to one function: insertions to splice, the new
+   register count, change records, and protective anchors given as
+   (anchor pc, index into that anchor's After block). *)
+type work = {
+  w_inss : Splice.insertion list;
+  w_nregs : int;
+  w_changes : Pass.site_change list;
+  w_considered : int;
+  w_prot : (int * int) list;
+}
+
+let no_work (f : Prog.func) =
+  {
+    w_inss = [];
+    w_nregs = f.Prog.nregs;
+    w_changes = [];
+    w_considered = 0;
+    w_prot = [];
+  }
+
+let splice_pass ~name ~short ~doc
+    (prepare : Pass.opts -> Prog.t -> Prog.func -> work) : Pass.t =
+  let run (opts : Pass.opts) (p : Prog.t) : Pass.result =
+    let maps : (string, int array) Hashtbl.t = Hashtbl.create 8 in
+    let considered = ref 0 in
+    let changes = ref [] in
+    let prot = ref [] in
+    let instrs_added = ref 0 in
+    let regs_added = ref 0 in
+    let worker = prepare opts p in
+    let funcs =
+      Array.map
+        (fun (f : Prog.func) ->
+          let w = worker f in
+          considered := !considered + w.w_considered;
+          changes := !changes @ w.w_changes;
+          regs_added := !regs_added + (w.w_nregs - f.Prog.nregs);
+          instrs_added :=
+            !instrs_added
+            + List.fold_left
+                (fun acc (i : Splice.insertion) ->
+                  acc + List.length i.Splice.code)
+                0 w.w_inss;
+          let f', map =
+            Splice.apply { f with Prog.nregs = w.w_nregs } w.w_inss
+          in
+          Hashtbl.replace maps f.Prog.fname map;
+          prot :=
+            !prot
+            @ List.map
+                (fun (anchor, delta) ->
+                  (f.Prog.fname, map.(anchor) + 1 + delta))
+                w.w_prot;
+          f')
+        p.Prog.funcs
+    in
+    let rep : Pass.report =
+      {
+        pass_name = name;
+        sites_considered = !considered;
+        sites_changed = List.length !changes;
+        instrs_added = !instrs_added;
+        regs_added = !regs_added;
+        changes = !changes;
+        protective = !prot;
+      }
+    in
+    {
+      Pass.prog = { p with Prog.funcs };
+      rep;
+      remap =
+        (fun ~fname ~pc ->
+          match Hashtbl.find_opt maps fname with
+          | Some m when pc >= 0 && pc < Array.length m -> m.(pc)
+          | _ -> pc);
+    }
+  in
+  { Pass.name; short; doc; run }
+
+let change (f : Prog.func) pc note : Pass.site_change =
+  {
+    Pass.ch_func = f.Prog.fname;
+    ch_pc = pc;
+    ch_line = f.Prog.lines.(pc);
+    ch_region = f.Prog.regions.(pc);
+    ch_note = note;
+  }
+
+(* -- duplicate_compare -------------------------------------------------- *)
+
+let duplicate_compare : Pass.t =
+  splice_pass ~name:"duplicate-compare" ~short:"dup"
+    ~doc:
+      "duplicate arithmetic in the top-K Vuln.rank regions and trap on \
+       result mismatch (SWIFT-style SDC detector)"
+    (fun opts p ->
+      (* region selection on the whole-program ranking, once *)
+      let selected = Array.make (Array.length p.Prog.region_table) false in
+      List.iteri
+        (fun i (s : Vuln.region_score) ->
+          if i < opts.Pass.top_k then selected.(s.Vuln.rid) <- true)
+        (Vuln.rank p);
+      fun (f : Prog.func) ->
+        let w = ref (no_work f) in
+        let nreg = ref f.Prog.nregs in
+        Array.iteri
+          (fun pc ins ->
+            let rid = f.Prog.regions.(pc) in
+            if rid >= 0 && rid < Array.length selected && selected.(rid) then
+              let dup_with recompute d op_name =
+                let dup = !nreg and eq = !nreg + 1 in
+                let one = !nreg + 2 and chk = !nreg + 3 in
+                nreg := !nreg + 4;
+                (* the duplicate runs first so a dst-aliasing original
+                   (r3 <- r3 + r1) still compares against the same
+                   operand values *)
+                let inss =
+                  {
+                    Splice.at = pc;
+                    pos = Splice.Before;
+                    code = [ recompute dup ];
+                  }
+                  :: {
+                       Splice.at = pc;
+                       pos = Splice.After;
+                       code = guard_code ~x:d ~y:dup ~eq ~one ~chk;
+                     }
+                  :: (!w).w_inss
+                in
+                w :=
+                  {
+                    !w with
+                    w_inss = inss;
+                    w_nregs = !nreg;
+                    w_changes =
+                      change f pc
+                        (Printf.sprintf "duplicated %s into r%d, trap on \
+                                         mismatch" op_name dup)
+                      :: (!w).w_changes;
+                    w_prot = (pc, 0) :: (!w).w_prot;
+                  }
+              in
+              match ins with
+              | Instr.Bin (op, d, a, b) ->
+                  w := { !w with w_considered = (!w).w_considered + 1 };
+                  dup_with
+                    (fun dup -> Instr.Bin (op, dup, a, b))
+                    d (Op.bin_to_string op)
+              | Instr.Un (op, d, a) ->
+                  w := { !w with w_considered = (!w).w_considered + 1 };
+                  dup_with
+                    (fun dup -> Instr.Un (op, dup, a))
+                    d (Op.un_to_string op)
+              | _ -> ())
+          f.Prog.code;
+        {
+          !w with
+          w_inss = List.rev (!w).w_inss;
+          w_changes = List.rev (!w).w_changes;
+          w_prot = List.rev (!w).w_prot;
+        })
+
+(* -- accumulator_guard -------------------------------------------------- *)
+
+let accumulator_guard : Pass.t =
+  splice_pass ~name:"accumulator-guard" ~short:"acc"
+    ~doc:
+      "load back and re-compare every accumulating store found by the \
+       reaching-defs slicer (repeated-additions sites)"
+    (fun _opts p ->
+      let sites : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (s : Static_detect.site) ->
+          let prev =
+            Option.value ~default:[]
+              (Hashtbl.find_opt sites s.Static_detect.fname)
+          in
+          Hashtbl.replace sites s.Static_detect.fname
+            (s.Static_detect.pc :: prev))
+        (Static_detect.analyze p).Static_detect.repeated_adds;
+      fun (f : Prog.func) ->
+        match Hashtbl.find_opt sites f.Prog.fname with
+        | None -> no_work f
+        | Some pcs ->
+            let w = ref (no_work f) in
+            let nreg = ref f.Prog.nregs in
+            List.iter
+              (fun pc ->
+                w := { !w with w_considered = (!w).w_considered + 1 };
+                match f.Prog.code.(pc) with
+                | Instr.Store (src, addr) ->
+                    (* Flip_write on a store corrupts the memory word but
+                       not the source register, so loading the word back
+                       and comparing against [src] is a sound check of
+                       the store's data path. *)
+                    let lb = !nreg and eq = !nreg + 1 in
+                    let one = !nreg + 2 and chk = !nreg + 3 in
+                    nreg := !nreg + 4;
+                    w :=
+                      {
+                        !w with
+                        w_nregs = !nreg;
+                        w_inss =
+                          {
+                            Splice.at = pc;
+                            pos = Splice.After;
+                            code =
+                              Instr.Load (lb, addr)
+                              :: guard_code ~x:lb ~y:src ~eq ~one ~chk;
+                          }
+                          :: (!w).w_inss;
+                        w_changes =
+                          change f pc "accumulating store verified by \
+                                       load-back compare"
+                          :: (!w).w_changes;
+                        (* the compare, one past the load-back *)
+                        w_prot = (pc, 1) :: (!w).w_prot;
+                      }
+                | _ -> ())
+              (List.sort_uniq compare pcs);
+            {
+              !w with
+              w_inss = List.rev (!w).w_inss;
+              w_changes = List.rev (!w).w_changes;
+              w_prot = List.rev (!w).w_prot;
+            })
+
+(* -- trunc_barrier ------------------------------------------------------ *)
+
+(* No fault-free value in the study programs approaches 1e100, but a
+   flip in a high exponent bit of any double overshoots it.  Fgt is
+   false on NaN, so NaNs pass the barrier and are left to the
+   verification phase. *)
+let barrier_bound = 1e100
+
+let trunc_barrier : Pass.t =
+  splice_pass ~name:"trunc-barrier" ~short:"trunc"
+    ~doc:
+      "range barriers on region-exit FP state: trap when a stored \
+       double's magnitude exceeds 1e100 (only a corrupted exponent \
+       gets there)"
+    (fun _opts p ->
+      fun (f : Prog.func) ->
+        let n = Array.length f.Prog.code in
+        if n = 0 then no_work f
+        else begin
+          let rd = Reaching.compute f in
+          (* last store per (region, resolved F64 word) *)
+          let last : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+          let considered = ref 0 in
+          Array.iteri
+            (fun pc ins ->
+              match ins with
+              | Instr.Store (_, addr_reg) -> (
+                  let rid = f.Prog.regions.(pc) in
+                  if rid >= 0 then
+                    match Reaching.const_addr rd ~pc addr_reg with
+                    | Some addr
+                      when Prog.type_of_addr p addr = Some Ty.F64 ->
+                        incr considered;
+                        Hashtbl.replace last (rid, addr) pc
+                    | Some _ | None -> ())
+              | _ -> ())
+            f.Prog.code;
+          let picks =
+            Hashtbl.fold (fun _ pc acc -> pc :: acc) last []
+            |> List.sort_uniq compare
+          in
+          let w = ref { (no_work f) with w_considered = !considered } in
+          let nreg = ref f.Prog.nregs in
+          List.iter
+            (fun pc ->
+              match f.Prog.code.(pc) with
+              | Instr.Store (_, addr_reg) ->
+                  let lb = !nreg and ab = !nreg + 1 and bound = !nreg + 2 in
+                  let gt = !nreg + 3 and z = !nreg + 4 in
+                  let eq = !nreg + 5 and one = !nreg + 6 and chk = !nreg + 7 in
+                  nreg := !nreg + 8;
+                  w :=
+                    {
+                      !w with
+                      w_nregs = !nreg;
+                      w_inss =
+                        {
+                          Splice.at = pc;
+                          pos = Splice.After;
+                          code =
+                            [
+                              Instr.Load (lb, addr_reg);
+                              Instr.Un (Op.Fabs, ab, lb);
+                              Instr.Const (bound, Value.of_float barrier_bound);
+                              Instr.Bin (Op.Fgt, gt, ab, bound);
+                              Instr.Const (z, 0L);
+                            ]
+                            @ guard_code ~x:gt ~y:z ~eq ~one ~chk;
+                        }
+                        :: (!w).w_inss;
+                      w_changes =
+                        change f pc
+                          (Printf.sprintf
+                             "range barrier (|x| <= %g) after region's \
+                              last FP store"
+                             barrier_bound)
+                        :: (!w).w_changes;
+                      (* the Fgt comparison *)
+                      w_prot = (pc, 3) :: (!w).w_prot;
+                    }
+              | _ -> ())
+            picks;
+          {
+            !w with
+            w_inss = List.rev (!w).w_inss;
+            w_changes = List.rev (!w).w_changes;
+            w_prot = List.rev (!w).w_prot;
+          }
+        end)
+
+(* -- overwrite_fresh ----------------------------------------------------- *)
+
+(* Def-use webs per register via reaching definitions: two defs of r
+   belong to the same web iff some use of r can see both.  Webs with no
+   sentinel definition (uninit/param) are fully defined inside the
+   function on every path, so they can be renamed to a fresh register
+   without changing any observable value.  After renaming, registers
+   that die at an instruction are overwritten with zero right after
+   their last use — manufacturing Dead Corrupted Location sites: a flip
+   landing in a scrubbed register (or in the freshly-split short web it
+   no longer shares) is dead on arrival. *)
+
+module UF = struct
+  type key = int * int (* register, def site (pc or sentinel) *)
+
+  type t = (key, key) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let rec find (t : t) (k : key) : key =
+    match Hashtbl.find_opt t k with
+    | None ->
+        Hashtbl.replace t k k;
+        k
+    | Some p when p = k -> k
+    | Some p ->
+        let r = find t p in
+        Hashtbl.replace t k r;
+        r
+
+  let union (t : t) (a : key) (b : key) : unit =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then Hashtbl.replace t ra rb
+end
+
+type web = {
+  web_reg : int;          (* original register *)
+  web_min : int;          (* earliest real def pc, or max_int *)
+  web_sentinel : bool;    (* reaches a use straight from entry *)
+  mutable web_new : int;  (* assigned register *)
+}
+
+let overwrite_fresh_fun (f : Prog.func) :
+    Prog.func * int array * Pass.site_change list * (int * int) list * int * int
+    =
+  let n = Array.length f.Prog.code in
+  if n = 0 then (f, [||], [], [], 0, 0)
+  else begin
+    let rd = Reaching.compute f in
+    let uf = UF.create () in
+    Array.iteri
+      (fun pc ins ->
+        List.iter (fun r -> ignore (UF.find uf (r, pc))) (Cfg.defs ins);
+        List.iter
+          (fun r ->
+            match Reaching.defs_of rd ~pc r with
+            | [] -> ()
+            | d :: rest ->
+                ignore (UF.find uf (r, d));
+                List.iter (fun d' -> UF.union uf (r, d) (r, d')) rest)
+          (Cfg.uses ins))
+      f.Prog.code;
+    (* gather webs by root *)
+    let webs : ((int * int), web) Hashtbl.t = Hashtbl.create 32 in
+    let keys =
+      Hashtbl.fold (fun k _ acc -> k :: acc) uf [] |> List.sort_uniq compare
+    in
+    List.iter
+      (fun ((r, site) as k) ->
+        let root = UF.find uf k in
+        let w =
+          match Hashtbl.find_opt webs root with
+          | Some w -> w
+          | None ->
+              let w =
+                {
+                  web_reg = r;
+                  web_min = max_int;
+                  web_sentinel = false;
+                  web_new = r;
+                }
+              in
+              Hashtbl.replace webs root w;
+              w
+        in
+        if site < 0 then
+          Hashtbl.replace webs root { w with web_sentinel = true }
+        else if site < w.web_min then
+          Hashtbl.replace webs root { w with web_min = site })
+      keys;
+    (* assign registers: sentinel webs keep theirs; the first real web
+       keeps the original only when no sentinel web claims it *)
+    let by_reg : (int, (int * int) list) Hashtbl.t = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun root (w : web) ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_reg w.web_reg) in
+        Hashtbl.replace by_reg w.web_reg (root :: prev))
+      webs;
+    let fresh = ref f.Prog.nregs in
+    let changes = ref [] in
+    let renamed = ref 0 in
+    Hashtbl.iter
+      (fun reg roots ->
+        let ws = List.map (Hashtbl.find webs) roots in
+        let has_sentinel = List.exists (fun w -> w.web_sentinel) ws in
+        let real =
+          List.filter (fun (w : web) -> not w.web_sentinel) ws
+          |> List.sort (fun a b -> compare a.web_min b.web_min)
+        in
+        List.iteri
+          (fun i (w : web) ->
+            if has_sentinel || i > 0 then begin
+              w.web_new <- !fresh;
+              incr fresh;
+              incr renamed;
+              if w.web_min >= 0 && w.web_min < n then
+                changes :=
+                  change f w.web_min
+                    (Printf.sprintf "split web of r%d into fresh r%d" reg
+                       w.web_new)
+                  :: !changes
+            end)
+          real)
+      by_reg;
+    let web_total = Hashtbl.length webs in
+    (* rewrite registers *)
+    let def_reg pc r = (Hashtbl.find webs (UF.find uf (r, pc))).web_new in
+    let use_reg pc r =
+      match Reaching.defs_of rd ~pc r with
+      | [] -> r (* unreachable code: leave it alone *)
+      | d :: _ -> (Hashtbl.find webs (UF.find uf (r, d))).web_new
+    in
+    let code =
+      Array.mapi
+        (fun pc (ins : Instr.t) ->
+          let u r = use_reg pc r and d r = def_reg pc r in
+          match ins with
+          | Instr.Const (x, v) -> Instr.Const (d x, v)
+          | Instr.Bin (op, x, a, b) -> Instr.Bin (op, d x, u a, u b)
+          | Instr.Un (op, x, a) -> Instr.Un (op, d x, u a)
+          | Instr.Load (x, a) -> Instr.Load (d x, u a)
+          | Instr.Store (s, a) -> Instr.Store (u s, u a)
+          | Instr.Jmp l -> Instr.Jmp l
+          | Instr.Bnz (c, l1, l2) -> Instr.Bnz (u c, l1, l2)
+          | Instr.Call (fi, args, ret) ->
+              Instr.Call (fi, Array.map u args, Option.map d ret)
+          | Instr.Ret r -> Instr.Ret (Option.map u r)
+          | Instr.Intr (i, args, ret) ->
+              Instr.Intr (i, Array.map u args, Option.map d ret)
+          | Instr.Mark m -> Instr.Mark m)
+        f.Prog.code
+    in
+    let f1 = { f with Prog.code; nregs = !fresh } in
+    (* scrub registers at their death points *)
+    let cfg = Cfg.build f1 in
+    let lv = Liveness.compute ~cfg f1 in
+    let inss = ref [] in
+    let prot = ref [] in
+    let scrubs = ref 0 in
+    Array.iteri
+      (fun pc ins ->
+        if not (Cfg.is_terminator ins) then begin
+          let defs = Cfg.defs ins in
+          let dying =
+            Cfg.uses ins
+            |> List.sort_uniq compare
+            |> List.filter (fun r ->
+                   (not (Liveness.is_live_after lv ~pc r))
+                   && not (List.mem r defs))
+          in
+          if dying <> [] then begin
+            inss :=
+              {
+                Splice.at = pc;
+                pos = Splice.After;
+                code = List.map (fun r -> Instr.Const (r, 0L)) dying;
+              }
+              :: !inss;
+            List.iteri (fun j _ -> prot := (pc, j) :: !prot) dying;
+            scrubs := !scrubs + List.length dying
+          end
+        end)
+      f1.Prog.code;
+    let f2, map = Splice.apply f1 (List.rev !inss) in
+    let changes =
+      if !scrubs > 0 then
+        change f 0
+          (Printf.sprintf "scrubbed %d dead register(s) after their last \
+                           use" !scrubs)
+        :: List.rev !changes
+      else List.rev !changes
+    in
+    (f2, map, changes, List.rev !prot, web_total, !renamed)
+  end
+
+let overwrite_fresh : Pass.t =
+  let run (_opts : Pass.opts) (p : Prog.t) : Pass.result =
+    let maps : (string, int array) Hashtbl.t = Hashtbl.create 8 in
+    let considered = ref 0 in
+    let changed = ref 0 in
+    let changes = ref [] in
+    let prot = ref [] in
+    let instrs_added = ref 0 in
+    let regs_added = ref 0 in
+    let funcs =
+      Array.map
+        (fun (f : Prog.func) ->
+          let f', map, chs, ps, webs, renamed = overwrite_fresh_fun f in
+          Hashtbl.replace maps f.Prog.fname map;
+          considered := !considered + webs;
+          changed := !changed + renamed + List.length ps;
+          changes := !changes @ chs;
+          prot :=
+            !prot
+            @ List.map
+                (fun (anchor, delta) ->
+                  (f.Prog.fname, map.(anchor) + 1 + delta))
+                ps;
+          instrs_added :=
+            !instrs_added + (Array.length f'.Prog.code - Array.length f.Prog.code);
+          regs_added := !regs_added + (f'.Prog.nregs - f.Prog.nregs);
+          f')
+        p.Prog.funcs
+    in
+    let rep : Pass.report =
+      {
+        pass_name = "overwrite-fresh";
+        sites_considered = !considered;
+        sites_changed = !changed;
+        instrs_added = !instrs_added;
+        regs_added = !regs_added;
+        changes = !changes;
+        protective = !prot;
+      }
+    in
+    {
+      Pass.prog = { p with Prog.funcs };
+      rep;
+      remap =
+        (fun ~fname ~pc ->
+          match Hashtbl.find_opt maps fname with
+          | Some m when pc >= 0 && pc < Array.length m -> m.(pc)
+          | _ -> pc);
+    }
+  in
+  {
+    Pass.name = "overwrite-fresh";
+    short = "fresh";
+    doc =
+      "split reused temporaries into fresh registers (one per def-use \
+       web) and overwrite dying registers with zero after their last \
+       use (automatic harden_dcl)";
+    run;
+  }
+
+(* -- registry ------------------------------------------------------------ *)
+
+let all : Pass.t list =
+  [ duplicate_compare; accumulator_guard; trunc_barrier; overwrite_fresh ]
+
+let find (name : string) : Pass.t option =
+  let name = String.lowercase_ascii name in
+  List.find_opt
+    (fun (p : Pass.t) ->
+      String.equal name p.Pass.name || String.equal name p.Pass.short)
+    all

@@ -1,0 +1,73 @@
+(* Straight-line code insertion with branch retargeting; see the mli
+   for the placement semantics. *)
+
+type pos = Before | After
+
+type insertion = { at : int; pos : pos; code : Instr.t list }
+
+let apply (f : Prog.func) (inss : insertion list) : Prog.func * int array =
+  let n = Array.length f.Prog.code in
+  let before : Instr.t list list array = Array.make n [] in
+  let after : Instr.t list list array = Array.make n [] in
+  List.iter
+    (fun { at; pos; code } ->
+      if at < 0 || at >= n then
+        invalid_arg
+          (Printf.sprintf "Splice.apply: %s: anchor %d out of range"
+             f.Prog.fname at);
+      List.iter
+        (fun (ins : Instr.t) ->
+          match ins with
+          | Instr.Jmp _ | Instr.Bnz _ | Instr.Ret _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Splice.apply: %s: control flow in inserted block at %d"
+                   f.Prog.fname at)
+          | _ -> ())
+        code;
+      match pos with
+      | Before -> before.(at) <- code :: before.(at)
+      | After ->
+          if Cfg.is_terminator f.Prog.code.(at) then
+            invalid_arg
+              (Printf.sprintf
+                 "Splice.apply: %s: After-insertion on terminator at %d"
+                 f.Prog.fname at);
+          after.(at) <- code :: after.(at))
+    inss;
+  (* blocks were consed in reverse list order *)
+  let before = Array.map (fun bs -> List.concat (List.rev bs)) before in
+  let after = Array.map (fun bs -> List.concat (List.rev bs)) after in
+  let map = Array.make n 0 in
+  let total = ref 0 in
+  for pc = 0 to n - 1 do
+    total := !total + List.length before.(pc);
+    map.(pc) <- !total;
+    incr total;
+    total := !total + List.length after.(pc)
+  done;
+  (* Branches to [pc] land at the start of its Before block. *)
+  let target pc = map.(pc) - List.length before.(pc) in
+  let retarget (ins : Instr.t) : Instr.t =
+    match ins with
+    | Instr.Jmp l -> Instr.Jmp (target l)
+    | Instr.Bnz (c, l1, l2) -> Instr.Bnz (c, target l1, target l2)
+    | other -> other
+  in
+  let code = Array.make !total (Instr.Jmp 0) in
+  let lines = Array.make !total 0 in
+  let regions = Array.make !total (-1) in
+  let k = ref 0 in
+  let push line region ins =
+    code.(!k) <- ins;
+    lines.(!k) <- line;
+    regions.(!k) <- region;
+    incr k
+  in
+  for pc = 0 to n - 1 do
+    let line = f.Prog.lines.(pc) and region = f.Prog.regions.(pc) in
+    List.iter (push line region) before.(pc);
+    push line region (retarget f.Prog.code.(pc));
+    List.iter (push line region) after.(pc)
+  done;
+  ({ f with Prog.code; lines; regions }, map)

@@ -1,0 +1,1 @@
+test/test_harden.ml: Alcotest App Array Ast Campaign Effort Fliptracker Fmt Harden Harden_eval Helpers Instr List Machine Op Pass Passes Printf Prog Registry Splice String Ty Vuln

@@ -22,6 +22,7 @@ let () =
       Test_predict.suite;
       Test_weighted.suite;
       Test_apps.suite;
+      Test_harden.suite;
       Test_mpi.suite;
       Test_experiments.suite;
       Test_usecases.suite;

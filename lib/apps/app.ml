@@ -28,6 +28,9 @@ type t = {
   tolerance : float;  (** relative epsilon of the verification phase *)
   main_iterations : int;  (** main-loop iterations the program performs *)
   region_names : string list;  (** paper-style region names, in order *)
+  transform : (Prog.t -> Prog.t) option;
+      (** post-compile IR rewrite applied to the full program (not the
+          calibration variant); must preserve fault-free semantics *)
 }
 
 let iter_mark_name = "main_iter"
@@ -87,6 +90,12 @@ let bake (app : t) : baked =
             raise (App_error (app.name ^ ": calibration run printed no RESULT"))
       in
       let prog = Compile.compile (app.build ~ref_value:(Some ref_value)) in
+      (* the calibration run stays untransformed: rewrites must preserve
+         fault-free semantics, so the reference value is the same either
+         way — and the reference run below checks exactly that *)
+      let prog =
+        match app.transform with None -> prog | Some t -> t prog
+      in
       let iter_mark = Prog.mark_id prog iter_mark_name in
       let reference =
         Machine.run prog { Machine.default_config with iter_mark }

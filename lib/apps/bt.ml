@@ -259,4 +259,5 @@ let app : App.t =
     tolerance = 1e-9;
     main_iterations = niter;
     region_names = [ "bt_a"; "bt_b"; "bt_c"; "bt_d" ];
+    transform = None;
   }

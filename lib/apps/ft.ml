@@ -387,4 +387,5 @@ let app : App.t =
     tolerance = 1e-8;
     main_iterations = niter;
     region_names = [ "ft_a"; "ft_b"; "ft_c" ];
+    transform = None;
   }

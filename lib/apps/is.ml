@@ -240,6 +240,7 @@ let app : App.t =
     tolerance = 0.0;
     main_iterations = niter;
     region_names = [ "is_a"; "is_b"; "is_c" ];
+    transform = None;
   }
 
 (** Pure-OCaml reference for the headline result. *)

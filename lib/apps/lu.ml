@@ -162,6 +162,7 @@ let app : App.t =
     tolerance = 1e-9;
     main_iterations = niter;
     region_names = [ "lu_a"; "lu_b"; "lu_c" ];
+    transform = None;
   }
 
 (** Pure-OCaml reference implementation of the same SSOR iteration. *)

@@ -301,4 +301,5 @@ let app : App.t =
     tolerance = 1e-9;
     main_iterations = niter;
     region_names = [ "sp_a"; "sp_b"; "sp_c"; "sp_d" ];
+    transform = None;
   }

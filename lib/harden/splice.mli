@@ -1,0 +1,41 @@
+(** Straight-line code insertion into a function body.
+
+    The IR addresses branch targets as absolute indices into the
+    function's instruction array, and every instruction carries
+    parallel [lines]/[regions] metadata — so inserting code is not a
+    local edit.  [apply] does the whole rewrite in one pass: it places
+    each insertion before or after its anchor instruction, rebuilds the
+    metadata arrays (inserted instructions inherit the anchor's source
+    line and region, keeping region-based analyses meaningful), and
+    retargets every [Jmp]/[Bnz] in the function.
+
+    Placement semantics:
+    {ul
+    {- a [Before] block becomes part of the anchor's position: branches
+       that targeted the anchor now enter at the start of the inserted
+       block, so the insertion executes on every path that executed the
+       anchor;}
+    {- an [After] block runs on the fall-through edge out of the
+       anchor.  Anchors that are terminators ([Jmp]/[Bnz]/[Ret]) have
+       no such edge and are rejected.}}
+
+    Insertions must be straight-line: control-flow instructions in an
+    inserted block are rejected, because their targets would be
+    ambiguous under renumbering. *)
+
+type pos = Before | After
+
+type insertion = {
+  at : int;            (** anchor pc in the {e input} function *)
+  pos : pos;
+  code : Instr.t list; (** straight-line instructions only *)
+}
+
+val apply : Prog.func -> insertion list -> Prog.func * int array
+(** [apply f inss] returns the rewritten function and the pc map:
+    [map.(old_pc)] is the new index of the input instruction [old_pc].
+    Multiple insertions at the same anchor and position concatenate in
+    list order.  The caller is responsible for bumping [nregs] if the
+    inserted code uses fresh registers.
+    @raise Invalid_argument on out-of-range anchors, control flow in an
+    inserted block, or an [After] insertion on a terminator. *)

@@ -157,8 +157,19 @@ let test_verified_parser () =
 
 let test_registry_find () =
   Alcotest.(check string) "find CG" "CG" (Registry.find "CG").App.name;
-  Alcotest.(check bool) "unknown app" true
-    (try ignore (Registry.find "NOPE"); false with Invalid_argument _ -> true)
+  Alcotest.(check string) "case-insensitive" "CG" (Registry.find "cg").App.name;
+  (match Registry.find "NOPE" with
+  | _ -> Alcotest.fail "expected Unknown_app"
+  | exception Registry.Unknown_app { name; known; _ } ->
+      Alcotest.(check string) "error carries the name" "NOPE" name;
+      Alcotest.(check bool) "error lists known apps" true
+        (List.mem "CG" known));
+  (* a typo gets a near-match suggestion *)
+  (match Registry.find "LULESHH" with
+  | _ -> Alcotest.fail "expected Unknown_app"
+  | exception Registry.Unknown_app { suggestions; _ } ->
+      Alcotest.(check bool) "suggests LULESH" true
+        (List.mem "LULESH" suggestions))
 
 let test_app_instruction_budget_sanity () =
   (* apps stay in the tractable range the campaigns assume *)
