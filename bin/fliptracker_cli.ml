@@ -11,6 +11,9 @@
      acl APP [--iter K]           ACL series of one injection, CSV/SVG export
      lint APP                     static IR verifier/linter diagnostics
      static-rank APP              static vulnerability ranking of regions
+     harden APP [--passes P]      pattern-injection hardening, paired report
+     mpi-campaign APP [--drop P]  message-fault campaign over MPI bundles
+     recovery-eval APP            fault-model x recovery-policy grid report
 
    Examples:
      fliptracker_cli list
@@ -35,6 +38,55 @@ let find_app name =
   | Error msg ->
       Printf.eprintf "%s\n" msg;
       exit 2
+
+(* enum-ish converters that answer a typo with the Registry's
+   did-you-mean helper instead of a bare "invalid value" *)
+let enumish_conv ~what ~candidates ~(of_string : string -> ('a, string) result)
+    ~(to_string : 'a -> string) : 'a Arg.conv =
+  let parse s =
+    match of_string s with
+    | Ok v -> Ok v
+    | Error msg ->
+        let sugg = Registry.suggest ~candidates s in
+        Error
+          (`Msg
+            (Printf.sprintf "%s%s (known %s: %s)" msg
+               (match sugg with
+               | [] -> ""
+               | l ->
+                   Printf.sprintf "; did you mean %s?"
+                     (String.concat " or " l))
+               what
+               (String.concat ", " candidates)))
+  in
+  Arg.conv (parse, fun ppf v -> Fmt.string ppf (to_string v))
+
+let fault_model_conv =
+  enumish_conv ~what:"fault models" ~candidates:Fault_model.names
+    ~of_string:Fault_model.of_string ~to_string:Fault_model.to_string
+
+let recover_conv =
+  enumish_conv ~what:"recovery policies" ~candidates:Campaign.recovery_names
+    ~of_string:Campaign.recovery_of_string
+    ~to_string:Campaign.recovery_to_string
+
+let fault_model_arg =
+  Arg.(value
+       & opt fault_model_conv Fault_model.Single_bit
+       & info [ "fault-model" ] ~docv:"MODEL"
+           ~doc:"Corruption model per injected fault: $(b,single-bit) \
+                 (historical default), $(b,double-adjacent), $(b,burst-K) \
+                 (random pattern in a K-bit window, 2 <= K <= 64), or \
+                 $(b,stuck-at).")
+
+let recover_arg =
+  Arg.(value
+       & opt recover_conv Campaign.No_recovery
+       & info [ "recover" ] ~docv:"POLICY"
+           ~doc:"Recovery policy: $(b,none) (default, historical \
+                 behavior) or $(b,rollback:N) (checkpoint/rollback with \
+                 an N-restore budget; plain $(b,rollback) uses the \
+                 default budget).")
 
 (* --- list -------------------------------------------------------------- *)
 
@@ -232,7 +284,7 @@ let campaign_cmd =
                  the statistical design's margin.")
   in
   let run name region kind func memory_during vars trials seed jobs journal
-      resume watchdog early_stop metrics =
+      resume watchdog early_stop model recovery metrics =
     let app = find_app name in
     let obs = Obs.create () in
     let clean, trace =
@@ -273,7 +325,13 @@ let campaign_cmd =
         exit 2
     in
     let cfg =
-      { Campaign.default_config with seed; max_trials = (match trials with Some _ -> trials | None -> Some 500) }
+      {
+        Campaign.default_config with
+        seed;
+        max_trials = (match trials with Some _ -> trials | None -> Some 500);
+        model;
+        recovery;
+      }
     in
     let progress (p : Executor.progress) =
       Printf.eprintf "\rcampaign: %d/%d trials (%.0f%%), %.1fs elapsed, eta %.1fs   "
@@ -326,7 +384,7 @@ let campaign_cmd =
           (parallel workers, journal + resume, watchdog, early stopping).")
     Term.(const run $ app_arg $ region $ kind $ func $ memory_during $ vars
           $ trials $ seed $ jobs $ journal $ resume $ watchdog $ early_stop
-          $ metrics_arg)
+          $ fault_model_arg $ recover_arg $ metrics_arg)
 
 (* --- patterns ------------------------------------------------------------ *)
 
@@ -572,6 +630,175 @@ let harden_cmd =
     Term.(const run $ app_arg $ passes_arg $ top_k $ report $ emit_ir
           $ trials $ seed $ csv)
 
+(* --- mpi-campaign ---------------------------------------------------------- *)
+
+let mpi_campaign_cmd =
+  let size =
+    Arg.(value & opt int 2 & info [ "size" ] ~docv:"N"
+           ~doc:"Simulated MPI ranks per bundle.")
+  in
+  let trials =
+    Arg.(value & opt int 8 & info [ "trials" ] ~docv:"N"
+           ~doc:"Bundles to run (each is one $(b,--size)-rank execution).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign RNG seed.")
+  in
+  let drop =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~docv:"P"
+           ~doc:"Per-message drop probability.")
+  in
+  let corrupt =
+    Arg.(value & opt float 0.0 & info [ "corrupt" ] ~docv:"P"
+           ~doc:"Per-message payload bit-corruption probability.")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.0 & info [ "duplicate" ] ~docv:"P"
+           ~doc:"Per-message duplicate-delivery probability.")
+  in
+  let reliable =
+    Arg.(value & flag & info [ "reliable" ]
+           ~doc:"Use the reliable transport (checksums, receiver-driven \
+                 resend, duplicate suppression) instead of the raw one.")
+  in
+  let recv_timeout =
+    Arg.(value & opt float 1.0 & info [ "recv-timeout" ] ~docv:"S"
+           ~doc:"Per-receive wall-clock deadline in seconds; a receive \
+                 that exceeds it raises a structured Comm_error instead \
+                 of hanging the bundle.")
+  in
+  let require_resend =
+    Arg.(value & flag & info [ "require-resend" ]
+           ~doc:"Exit 1 unless at least one dropped/corrupted message was \
+                 recovered by retransmission (the CI proof that the \
+                 resend path actually fired).")
+  in
+  let max_crashed =
+    Arg.(value & opt (some int) None & info [ "max-crashed" ] ~docv:"N"
+           ~doc:"Exit 1 if more than $(docv) bundles crash.")
+  in
+  let run name size trials seed drop corrupt duplicate reliable recv_timeout
+      recovery require_resend max_crashed =
+    let app = find_app name in
+    let prog = Recovery_eval.wrapped_program app in
+    let clean = Machine.run prog Machine.default_config in
+    (match clean.Machine.outcome with
+    | Machine.Finished -> ()
+    | _ ->
+        Printf.eprintf "mpi-campaign: fault-free run did not finish\n";
+        exit 2);
+    let budget =
+      Campaign.default_config.Campaign.budget_factor
+      * clean.Machine.instructions
+    in
+    let recover = Campaign.machine_recover recovery in
+    let counts = ref Campaign.zero_counts in
+    let dropped = ref 0 and corrupted = ref 0 and duplicated = ref 0 in
+    let resent = ref 0 in
+    for i = 0 to trials - 1 do
+      let faults =
+        {
+          Comm.seed = (seed * 8191) + (1009 * i);
+          drop_p = drop;
+          corrupt_p = corrupt;
+          dup_p = duplicate;
+        }
+      in
+      let b =
+        Runner.run ~size ~faults ~reliable ~recv_timeout_s:recv_timeout
+          ?recover ~budget prog
+      in
+      let s = b.Runner.comm_stats in
+      dropped := !dropped + s.Comm.dropped;
+      corrupted := !corrupted + s.Comm.corrupted;
+      duplicated := !duplicated + s.Comm.duplicated;
+      resent := !resent + s.Comm.resent;
+      counts :=
+        Campaign.add_outcome !counts
+          (Runner.classify ~verify:(App.verify app) b)
+    done;
+    let c = !counts in
+    Printf.printf
+      "%s x %d bundles at size %d (%s transport, recover %s):\n"
+      app.App.name trials size
+      (if reliable then "reliable" else "raw")
+      (Campaign.recovery_to_string recovery);
+    Fmt.pr "%a@." Campaign.pp_counts c;
+    Printf.printf
+      "transport: %d dropped, %d corrupted, %d duplicated, %d resent\n"
+      !dropped !corrupted !duplicated !resent;
+    if require_resend && !resent = 0 then begin
+      Printf.eprintf
+        "mpi-campaign: --require-resend, but no message was retransmitted\n";
+      exit 1
+    end;
+    match max_crashed with
+    | Some n when c.Campaign.crashed > n ->
+        Printf.eprintf "mpi-campaign: %d bundles crashed (max allowed %d)\n"
+          c.Campaign.crashed n;
+        exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "mpi-campaign"
+       ~doc:
+         "Run a message-fault campaign over simulated MPI bundles: the \
+          transport drops/corrupts/duplicates payloads under a derived \
+          RNG stream, receives time out instead of hanging, and the \
+          reliable transport recovers by retransmission.")
+    Term.(const run $ app_arg $ size $ trials $ seed $ drop $ corrupt
+          $ duplicate $ reliable $ recv_timeout $ recover_arg
+          $ require_resend $ max_crashed)
+
+(* --- recovery-eval --------------------------------------------------------- *)
+
+let recovery_eval_cmd =
+  let size =
+    Arg.(value & opt int 4 & info [ "size" ] ~docv:"N"
+           ~doc:"MPI ranks for the parallel cells.")
+  in
+  let serial_trials =
+    Arg.(value & opt int 120 & info [ "serial-trials" ] ~docv:"N"
+           ~doc:"Trials per serial cell.")
+  in
+  let mpi_trials =
+    Arg.(value & opt int 40 & info [ "mpi-trials" ] ~docv:"N"
+           ~doc:"Bundles per parallel cell.")
+  in
+  let msg_trials =
+    Arg.(value & opt int 12 & info [ "msg-trials" ] ~docv:"N"
+           ~doc:"Bundles per message-fault cell.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign RNG seed.")
+  in
+  let models =
+    Arg.(value
+         & opt (list fault_model_conv) Recovery_eval.default_models
+         & info [ "models" ] ~docv:"M1,M2"
+             ~doc:"Comma-separated fault models to compare.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the report as CSV.")
+  in
+  let run name size serial_trials mpi_trials msg_trials seed models csv =
+    let app = find_app name in
+    let r =
+      Recovery_eval.evaluate ~seed ~models ~size ~serial_trials ~mpi_trials
+        ~msg_trials app
+    in
+    if csv then print_string (Recovery_eval.to_csv r)
+    else Fmt.pr "@[<v>%a@]@." Recovery_eval.pp_report r
+  in
+  Cmd.v
+    (Cmd.info "recovery-eval"
+       ~doc:
+         "Paired recovery campaigns: every fault model x recovery policy, \
+          serial vs. MPI bundles of the same (ring-exchange wrapped) \
+          program, plus raw-vs-reliable transport under message faults.")
+    Term.(const run $ app_arg $ size $ serial_trials $ mpi_trials
+          $ msg_trials $ seed $ models $ csv)
+
 let () =
   let doc = "fine-grained error-propagation and resilience analysis" in
   let info = Cmd.info "fliptracker" ~version:"1.0.0" ~doc in
@@ -581,4 +808,5 @@ let () =
           [
             list_cmd; trace_cmd; inject_cmd; campaign_cmd; patterns_cmd;
             rates_cmd; acl_cmd; lint_cmd; static_rank_cmd; harden_cmd;
+            mpi_campaign_cmd; recovery_eval_cmd;
           ]))

@@ -90,7 +90,20 @@ let apply_pending_fault (w : t) ~(next_seq : int) : unit =
       let v = Value.flip_bit (faulty_value w loc) bit in
       Loc.Tbl.replace w.shadow_faulty loc v;
       update_corruption w loc
-  | Some (Machine.Flip_mem _ | Machine.Flip_write _) | None -> ()
+  | Some (Machine.Mask_mem { seq; addr; and_mask; or_mask; xor_mask })
+    when (not w.fault_applied) && next_seq >= seq ->
+      w.fault_applied <- true;
+      let loc = Loc.Mem addr in
+      let v =
+        Machine.apply_masks (faulty_value w loc) ~and_mask ~or_mask ~xor_mask
+      in
+      Loc.Tbl.replace w.shadow_faulty loc v;
+      update_corruption w loc
+  | Some
+      ( Machine.Flip_mem _ | Machine.Flip_write _ | Machine.Mask_mem _
+      | Machine.Mask_write _ )
+  | None ->
+      ()
 
 type step =
   | Step of {

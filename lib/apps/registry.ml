@@ -53,7 +53,7 @@ let edit_distance (a : string) (b : string) : int =
   done;
   prev.(lb)
 
-let suggestions_for (name : string) : string list =
+let suggest ~(candidates : string list) (name : string) : string list =
   let lname = String.lowercase_ascii name in
   let scored =
     List.filter_map
@@ -66,9 +66,12 @@ let suggestions_for (name : string) : string list =
           && String.equal (String.sub lknown 0 (String.length lname)) lname
         in
         if d <= 2 || prefix then Some (d, known) else None)
-      (List.sort_uniq compare (names ()))
+      (List.sort_uniq compare candidates)
   in
   List.sort compare scored |> List.map snd
+
+let suggestions_for (name : string) : string list =
+  suggest ~candidates:(names ()) name
 
 let find_opt (name : string) : App.t option =
   let lname = String.lowercase_ascii name in

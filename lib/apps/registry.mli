@@ -24,6 +24,14 @@ exception Unknown_app of {
 (** The structured lookup failure every CLI entry point shares; a
     printer is registered, so an uncaught one still reads well. *)
 
+val edit_distance : string -> string -> int
+(** Levenshtein distance (insert/delete/substitute, unit costs). *)
+
+val suggest : candidates:string list -> string -> string list
+(** Near-matches of a misspelled name among [candidates]
+    (case-insensitive edit distance <= 2, or a name prefix), best
+    first.  The did-you-mean helper every CLI enum flag shares. *)
+
 val find_opt : string -> App.t option
 (** Exact match first, then case-insensitive. *)
 

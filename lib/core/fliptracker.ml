@@ -120,12 +120,7 @@ let pattern_rates (app : App.t) : Rates.t =
 (** Pretty-print an injection report (for quick interactive use). *)
 let pp_injection_report ppf (r : injection_report) =
   Fmt.pf ppf "@[<v>fault: %s@,outcome: %s, verified: %b@,"
-    (match r.fault with
-    | Machine.Flip_write { seq; bit } ->
-        Printf.sprintf "flip bit %d of the value written at instruction %d" bit seq
-    | Machine.Flip_mem { seq; addr; bit } ->
-        Printf.sprintf "flip bit %d of memory word %d before instruction %d" bit
-          addr seq)
+    (Machine.fault_to_string r.fault)
     (match r.outcome with
     | Machine.Finished -> "finished"
     | Machine.Trapped m -> "crashed (" ^ m ^ ")"

@@ -17,12 +17,16 @@
     locations} are the memory words the fault-free DDDG classifies as
     region inputs (a [Flip_mem] at the instance entry). *)
 
-type outcome_class = Success | Failed | Crashed
+type outcome_class = Success | Failed | Crashed | Recovered
 
 type counts = {
   success : int;
   failed : int;
   crashed : int;
+  recovered : int;
+      (** runs that verified correct only after checkpoint rollback;
+          always 0 under the default [No_recovery] policy, so historical
+          counts are untouched *)
   trials : int;
   infra : int;
       (** trials lost to infrastructure failures (a worker that kept
@@ -31,15 +35,19 @@ type counts = {
           fault can never masquerade as an SDC or a crash. *)
 }
 
-let zero_counts = { success = 0; failed = 0; crashed = 0; trials = 0; infra = 0 }
+let zero_counts =
+  { success = 0; failed = 0; crashed = 0; recovered = 0; trials = 0; infra = 0 }
 
 let add_outcome (c : counts) = function
   | Success -> { c with success = c.success + 1; trials = c.trials + 1 }
   | Failed -> { c with failed = c.failed + 1; trials = c.trials + 1 }
   | Crashed -> { c with crashed = c.crashed + 1; trials = c.trials + 1 }
+  | Recovered -> { c with recovered = c.recovered + 1; trials = c.trials + 1 }
 
 (** Success rate (Equation 1).  Infra errors are not trials: they say
-    nothing about the application's resilience. *)
+    nothing about the application's resilience.  Recovered runs are not
+    successes either: they measure the recovery mechanism, not the
+    application's {e natural} resilience. *)
 let success_rate (c : counts) : float =
   if c.trials = 0 then 0.0
   else Float.of_int c.success /. Float.of_int c.trials
@@ -47,22 +55,68 @@ let success_rate (c : counts) : float =
 let pp_counts ppf (c : counts) =
   Fmt.pf ppf "success=%d failed=%d crashed=%d trials=%d rate=%.3f" c.success
     c.failed c.crashed c.trials (success_rate c);
+  if c.recovered > 0 then Fmt.pf ppf " recovered=%d" c.recovered;
   if c.infra > 0 then Fmt.pf ppf " infra-errors=%d" c.infra
+
+(** Recovery policy of a campaign: [No_recovery] reproduces the
+    historical behavior exactly; [Rollback] arms the VM's
+    checkpoint/rollback with a restore budget. *)
+type recovery = No_recovery | Rollback of { max_restores : int }
+
+let recovery_to_string = function
+  | No_recovery -> "none"
+  | Rollback { max_restores } -> Printf.sprintf "rollback:%d" max_restores
+
+(** Concrete spellings for did-you-mean suggestions. *)
+let recovery_names = [ "none"; "rollback"; "rollback:3" ]
+
+let recovery_of_string (s : string) : (recovery, string) result =
+  match s with
+  | "none" -> Ok No_recovery
+  | "rollback" ->
+      Ok (Rollback { max_restores = Machine.default_recover.max_restores })
+  | _ -> (
+      let n =
+        if String.length s > 9 && String.equal (String.sub s 0 9) "rollback:"
+        then int_of_string_opt (String.sub s 9 (String.length s - 9))
+        else None
+      in
+      match n with
+      | Some k when k >= 1 -> Ok (Rollback { max_restores = k })
+      | Some _ -> Error (Printf.sprintf "rollback budget must be >= 1: %s" s)
+      | None -> Error (Printf.sprintf "unknown recovery policy %S" s))
+
+let machine_recover = function
+  | No_recovery -> None
+  | Rollback { max_restores } ->
+      Some { Machine.default_recover with max_restores }
 
 (** Run one faulty execution and classify it.  [verify] receives the
     machine result of a {e finished} run and decides Success/Failed;
     traps, budget exhaustion, and a tripped wall-clock [watchdog]
-    classify as Crashed without consulting it. *)
+    classify as Crashed without consulting it.  Under a [Rollback]
+    policy, a run that finishes verified but took at least one restore
+    classifies as Recovered: correct output, but not naturally so. *)
 let run_one (prog : Prog.t) ~(budget : int) ?(watchdog : Watchdog.t option)
-    ~(verify : Machine.result -> bool) (fault : Machine.fault) : outcome_class =
+    ?(recovery = No_recovery) ~(verify : Machine.result -> bool)
+    (fault : Machine.fault) : outcome_class =
   let tick = Option.map (fun w () -> Watchdog.check w) watchdog in
   match
     Machine.run prog
-      { Machine.default_config with budget; fault = Some fault; tick }
+      {
+        Machine.default_config with
+        budget;
+        fault = Some fault;
+        tick;
+        recover = machine_recover recovery;
+      }
   with
   | r -> (
       match r.outcome with
-      | Machine.Finished -> if verify r then Success else Failed
+      | Machine.Finished ->
+          if not (verify r) then Failed
+          else if r.restores > 0 then Recovered
+          else Success
       | Machine.Trapped _ | Machine.Budget_exceeded -> Crashed)
   | exception Watchdog.Timeout _ -> Crashed
 
@@ -137,18 +191,37 @@ let target_population = function
       Array.length seqs
       * Array.fold_left (fun a (s : input_site) -> a + s.bits) 0 sites
 
-let sample_fault (rng : Rng.t) (t : target) : Machine.fault =
+(** Sample a fault for the target under a fault model.  Site selection
+    is shared by all models; only the corruption differs.  The RNG draw
+    order under [Single_bit] (site choose, then bit; for
+    [Mem_over_time], site choose, bit, then window seq — record fields
+    evaluate right-to-left) is pinned by the historical code, keeping
+    default-model campaigns count-identical. *)
+let sample_fault ?(model = Fault_model.Single_bit) (rng : Rng.t) (t : target) :
+    Machine.fault =
   match t with
   | Internal { sites } ->
       let s = Rng.choose rng sites in
-      Machine.Flip_write { seq = s.seq; bit = Rng.int rng s.bits }
+      (match Fault_model.sample model rng ~bits:s.bits with
+      | Fault_model.Bit bit -> Machine.Flip_write { seq = s.seq; bit }
+      | Fault_model.Masks { and_mask; or_mask; xor_mask } ->
+          Machine.Mask_write { seq = s.seq; and_mask; or_mask; xor_mask })
   | Input { entry_seq; sites } ->
       let s = Rng.choose rng sites in
-      Machine.Flip_mem { seq = entry_seq; addr = s.addr; bit = Rng.int rng s.bits }
+      (match Fault_model.sample model rng ~bits:s.bits with
+      | Fault_model.Bit bit ->
+          Machine.Flip_mem { seq = entry_seq; addr = s.addr; bit }
+      | Fault_model.Masks { and_mask; or_mask; xor_mask } ->
+          Machine.Mask_mem
+            { seq = entry_seq; addr = s.addr; and_mask; or_mask; xor_mask })
   | Mem_over_time { seqs; sites } ->
       let s = Rng.choose rng sites in
-      Machine.Flip_mem
-        { seq = Rng.choose rng seqs; addr = s.addr; bit = Rng.int rng s.bits }
+      let c = Fault_model.sample model rng ~bits:s.bits in
+      let seq = Rng.choose rng seqs in
+      (match c with
+      | Fault_model.Bit bit -> Machine.Flip_mem { seq; addr = s.addr; bit }
+      | Fault_model.Masks { and_mask; or_mask; xor_mask } ->
+          Machine.Mask_mem { seq; addr = s.addr; and_mask; or_mask; xor_mask })
 
 (** Derive the internal-location target of a region instance. *)
 let internal_target (prog : Prog.t) (trace : Trace.t)
@@ -250,10 +323,20 @@ type config = {
   margin : float;
   max_trials : int option;  (** cap for quick runs; [None] = statistical n *)
   budget_factor : int;      (** hang budget = factor * fault-free count *)
+  model : Fault_model.t;    (** corruption applied per fault *)
+  recovery : recovery;      (** [No_recovery] keeps historical numbers *)
 }
 
 let default_config =
-  { seed = 42; confidence = 0.95; margin = 0.03; max_trials = None; budget_factor = 20 }
+  {
+    seed = 42;
+    confidence = 0.95;
+    margin = 0.03;
+    max_trials = None;
+    budget_factor = 20;
+    model = Fault_model.Single_bit;
+    recovery = No_recovery;
+  }
 
 (** Number of trials the configuration implies for a target. *)
 let trials_for (cfg : config) (t : target) : int =
@@ -311,12 +394,17 @@ type run_report = {
   wall_s : float;
 }
 
-let encode_outcome = function Success -> "S" | Failed -> "F" | Crashed -> "C"
+let encode_outcome = function
+  | Success -> "S"
+  | Failed -> "F"
+  | Crashed -> "C"
+  | Recovered -> "R"
 
 let decode_outcome = function
   | "S" -> Some Success
   | "F" -> Some Failed
   | "C" -> Some Crashed
+  | "R" -> Some Recovered
   | _ -> None
 
 (** Minimum completed trials before early stopping may trigger: a
@@ -347,11 +435,11 @@ let run_report (prog : Prog.t) ~(verify : Machine.result -> bool)
   let budget = cfg.budget_factor * max 1 clean_instructions in
   let run_trial i =
     let rng = Rng.derive ~seed:cfg.seed ~index:i in
-    let fault = sample_fault rng t in
+    let fault = sample_fault ~model:cfg.model rng t in
     let watchdog =
       Option.map (fun s -> Watchdog.create ~seconds:s ()) exec.watchdog_s
     in
-    run_one prog ~budget ?watchdog ~verify fault
+    run_one prog ~budget ?watchdog ~recovery:cfg.recovery ~verify fault
   in
   let should_stop =
     if not exec.early_stop then None
@@ -371,8 +459,19 @@ let run_report (prog : Prog.t) ~(verify : Machine.result -> bool)
   let spec =
     {
       Executor.tag =
-        Printf.sprintf "campaign:v1:seed=%d:population=%d:trials=%d" cfg.seed
-          population trials;
+        (* the historical tag stays byte-identical under the default
+           model/policy, so pre-existing journals keep resuming; any
+           other configuration gets its own tag and cannot silently
+           resume a journal recorded under different semantics *)
+        (let base =
+           Printf.sprintf "campaign:v1:seed=%d:population=%d:trials=%d"
+             cfg.seed population trials
+         in
+         match (cfg.model, cfg.recovery) with
+         | Fault_model.Single_bit, No_recovery -> base
+         | m, r ->
+             Printf.sprintf "%s:model=%s:recover=%s" base
+               (Fault_model.to_string m) (recovery_to_string r));
       total = trials;
       run_trial;
       encode = encode_outcome;

@@ -3,13 +3,17 @@
     classify each run as Verification Success, Verification Failed
     (SDC), or Crashed (trap or hang). *)
 
-type outcome_class = Success | Failed | Crashed
+type outcome_class = Success | Failed | Crashed | Recovered
 
 type counts = {
   success : int;
   failed : int;
   crashed : int;
-  trials : int;  (** classified trials: success + failed + crashed *)
+  recovered : int;
+      (** runs verified correct only after checkpoint rollback; always
+          0 under the default [No_recovery] policy *)
+  trials : int;
+      (** classified trials: success + failed + crashed + recovered *)
   infra : int;
       (** trials lost to infrastructure failures, excluded from
           [trials] and the success rate *)
@@ -19,19 +23,40 @@ val zero_counts : counts
 val add_outcome : counts -> outcome_class -> counts
 
 val success_rate : counts -> float
-(** Equation 1 of the paper (infra errors excluded). *)
+(** Equation 1 of the paper (infra errors excluded; recovered runs are
+    not natural successes and do not count). *)
 
 val pp_counts : Format.formatter -> counts -> unit
+
+(** Recovery policy of a campaign: [No_recovery] reproduces historical
+    behavior exactly; [Rollback] arms the VM checkpoint/rollback with a
+    restore budget. *)
+type recovery = No_recovery | Rollback of { max_restores : int }
+
+val recovery_to_string : recovery -> string
+(** [none] or [rollback:N]. *)
+
+val recovery_names : string list
+(** Concrete spellings for did-you-mean suggestions. *)
+
+val recovery_of_string : string -> (recovery, string) result
+(** [none], [rollback] (default budget) or [rollback:N] with N >= 1. *)
+
+val machine_recover : recovery -> Machine.recover option
+(** The VM configuration a policy stands for. *)
 
 val run_one :
   Prog.t ->
   budget:int ->
   ?watchdog:Watchdog.t ->
+  ?recovery:recovery ->
   verify:(Machine.result -> bool) ->
   Machine.fault ->
   outcome_class
 (** One faulty execution, classified.  Traps, instruction-budget
-    exhaustion, and a tripped wall-clock [watchdog] are Crashed. *)
+    exhaustion, and a tripped wall-clock [watchdog] are Crashed.  Under
+    [Rollback], a finished verified run that took at least one restore
+    is Recovered. *)
 
 (** A fault site carries the width of the datum it corrupts: the
     paper's subjects are C programs whose integers are 32-bit, so
@@ -57,7 +82,12 @@ type target =
           an execution window (soft errors in resident data) *)
 
 val target_population : target -> int
-val sample_fault : Rng.t -> target -> Machine.fault
+
+val sample_fault : ?model:Fault_model.t -> Rng.t -> target -> Machine.fault
+(** Sample a fault under a fault model (default [Single_bit], whose RNG
+    draw sequence is pinned to the historical code, keeping
+    default-model campaigns count-identical).  Site selection is shared
+    by all models; only the corruption differs. *)
 
 val internal_target : Prog.t -> Trace.t -> Region.instance -> target
 val input_target : Prog.t -> Trace.t -> Access.t -> Region.instance -> target
@@ -85,10 +115,13 @@ type config = {
   margin : float;
   max_trials : int option;  (** cap for quick runs; [None] = full design *)
   budget_factor : int;      (** hang budget = factor x fault-free count *)
+  model : Fault_model.t;    (** corruption applied per fault *)
+  recovery : recovery;      (** [No_recovery] keeps historical numbers *)
 }
 
 val default_config : config
-(** Seed 42, the paper's 95%/3% design, budget factor 20. *)
+(** Seed 42, the paper's 95%/3% design, budget factor 20, single-bit
+    flips, no recovery. *)
 
 val trials_for : config -> target -> int
 

@@ -5,9 +5,66 @@
     mutex-protected queues.  It also implements record-and-replay of
     message receive order — the mechanism the paper borrows from
     record-and-replay tools to keep faulty MPI runs aligned with their
-    fault-free twins when point-to-point nondeterminism exists. *)
+    fault-free twins when point-to-point nondeterminism exists.
 
-type msg = { src : int; tag : int; value : Value.t }
+    Two fault-tolerance layers ride on top of the plain transport:
+    {ul
+    {- a {e fault plan} corrupts the channel itself — per-message drop,
+       payload bit-corruption, and duplicate delivery, each decided by
+       a per-message RNG stream derived from [(seed, channel, seqno)]
+       so campaigns reproduce exactly in any schedule;}
+    {- a {e reliable} delivery mode implements the ack/resend side:
+       messages carry sequence numbers and checksums, receivers discard
+       duplicates and corrupted frames, and a gap (a dropped or
+       discarded frame) is recovered from the sender's retransmit
+       buffer after a resend interval.}}
+
+    Every blocking operation ([recv], the all-reduce/barrier
+    rendezvous, and replay-order waits) carries a wall-clock deadline —
+    including in [Free] mode — and raises {!Comm_error} instead of
+    hanging the domain pool; a rank that fails can {!poison} the
+    communicator so its peers abort their blocking calls promptly. *)
+
+type msg = {
+  src : int;
+  tag : int;
+  value : Value.t;
+  seqno : int;     (** per-(src,dest)-channel sequence number, from 0 *)
+  checksum : int64;  (** of the payload as sent (pre-corruption) *)
+}
+
+(** Per-message channel faults, decided at [send] under a derived RNG
+    stream: a pure function of [(seed, src, dest, seqno)], so faulty
+    runs reproduce exactly in any domain schedule. *)
+type fault_plan = {
+  seed : int;
+  drop_p : float;     (** message silently lost *)
+  corrupt_p : float;  (** one payload bit flipped in flight *)
+  dup_p : float;      (** message delivered twice *)
+}
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable resent : int;  (** recovered from the retransmit buffer *)
+  mutable dup_discarded : int;
+  mutable checksum_failures : int;
+}
+
+let zero_stats () =
+  {
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    corrupted = 0;
+    duplicated = 0;
+    resent = 0;
+    dup_discarded = 0;
+    checksum_failures = 0;
+  }
 
 (* one all-reduce/barrier rendezvous cell with generation counting *)
 type cell = {
@@ -16,7 +73,6 @@ type cell = {
   mutable result : float;
   mutable generation : int;
   m : Mutex.t;
-  c : Condition.t;
 }
 
 type mode =
@@ -30,46 +86,147 @@ type t = {
   size : int;
   queues : msg Queue.t array array;  (** [queues.(dst).(src)] *)
   locks : Mutex.t array;             (** one per destination rank *)
-  conds : Condition.t array;
   reduce : cell;
   barrier_cell : cell;
   mode : mode;
   order_lock : Mutex.t;
-  order_cond : Condition.t;
+  faults : fault_plan option;
+  reliable : bool;
+  recv_timeout_s : float;
+  resend_interval_s : float;
+  send_seqno : int array array;   (** [send_seqno.(src).(dest)] *)
+  expected : int array array;     (** [expected.(dst).(src)] next seqno *)
+  pending : (int, msg) Hashtbl.t array array;
+      (** [pending.(src).(dest)]: the reliable layer's retransmit
+          buffer of clean copies, keyed by seqno (kept for the run —
+          the simulation never acks them away) *)
+  stats : stats;
+  stats_m : Mutex.t;
+  mutable poison_reason : string option;
+  poison_m : Mutex.t;
 }
 
-let create ?(mode = Free) ~(size : int) () : t =
+let default_recv_timeout_s = 5.0
+
+let create ?(mode = Free) ?faults ?(reliable = false)
+    ?(recv_timeout_s = default_recv_timeout_s) ~(size : int) () : t =
   if size <= 0 then invalid_arg "Comm.create: size must be positive";
   let mkcell () =
-    { acc = 0.0; arrived = 0; result = 0.0; generation = 0;
-      m = Mutex.create (); c = Condition.create () }
+    { acc = 0.0; arrived = 0; result = 0.0; generation = 0; m = Mutex.create () }
   in
   {
     size;
     queues = Array.init size (fun _ -> Array.init size (fun _ -> Queue.create ()));
     locks = Array.init size (fun _ -> Mutex.create ());
-    conds = Array.init size (fun _ -> Condition.create ());
     reduce = mkcell ();
     barrier_cell = mkcell ();
     mode;
     order_lock = Mutex.create ();
-    order_cond = Condition.create ();
+    faults;
+    reliable;
+    recv_timeout_s;
+    resend_interval_s = recv_timeout_s /. 50.0;
+    send_seqno = Array.make_matrix size size 0;
+    expected = Array.make_matrix size size 0;
+    pending = Array.init size (fun _ -> Array.init size (fun _ -> Hashtbl.create 64));
+    stats = zero_stats ();
+    stats_m = Mutex.create ();
+    poison_reason = None;
+    poison_m = Mutex.create ();
   }
 
-exception Comm_error of string
+exception
+  Comm_error of { rank : int; peer : int; tag : int; reason : string }
 
-let check_rank (t : t) r who =
+let () =
+  Printexc.register_printer (function
+    | Comm_error { rank; peer; tag; reason } ->
+        Some
+          (Printf.sprintf "Comm_error(rank %d, peer %d, tag %d): %s" rank peer
+             tag reason)
+    | _ -> None)
+
+let comm_error ~rank ~peer ~tag fmt =
+  Printf.ksprintf (fun reason -> raise (Comm_error { rank; peer; tag; reason })) fmt
+
+let check_rank (t : t) ~(rank : int) (r : int) who =
   if r < 0 || r >= t.size then
-    raise (Comm_error (Printf.sprintf "%s: rank %d out of range" who r))
+    comm_error ~rank ~peer:r ~tag:(-1) "%s: rank %d out of range" who r
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(** Mark the communicator failed: every peer blocked in (or entering) a
+    blocking call raises [Comm_error] promptly instead of waiting out
+    its timeout.  First reason wins. *)
+let poison (t : t) ~(rank : int) (reason : string) : unit =
+  with_lock t.poison_m (fun () ->
+      match t.poison_reason with
+      | None -> t.poison_reason <- Some (Printf.sprintf "rank %d: %s" rank reason)
+      | Some _ -> ())
+
+let poisoned (t : t) : string option =
+  with_lock t.poison_m (fun () -> t.poison_reason)
+
+let check_poison (t : t) ~rank ~peer ~tag =
+  match poisoned t with
+  | Some r -> comm_error ~rank ~peer ~tag "peer failure: %s" r
+  | None -> ()
+
+let stats (t : t) : stats =
+  with_lock t.stats_m (fun () -> { t.stats with sent = t.stats.sent })
+
+let bump (t : t) (f : stats -> unit) =
+  with_lock t.stats_m (fun () -> f t.stats)
+
+(* the checksum models a NIC computing a frame check over the payload
+   as handed to it: in-flight corruption leaves it stale *)
+let checksum_of (v : Value.t) : int64 =
+  Int64.logxor
+    (Int64.mul v 0x9E3779B97F4A7C15L)
+    (Int64.shift_right_logical (Int64.mul v 0xBF58476D1CE4E5B9L) 17)
+
+(* per-message fault stream: channel id * 2^16 + seqno keeps streams of
+   distinct messages disjoint for any realistic message count *)
+let message_rng (t : t) (p : fault_plan) ~src ~dest ~seqno : Rng.t =
+  Rng.derive ~seed:p.seed ~index:((((src * t.size) + dest) * 65536) + seqno)
+
+let now () = Unix.gettimeofday ()
+
+(* poll step shared by every blocking loop: drop the lock, yield the
+   cpu briefly, re-take the lock.  OCaml's Condition has no timed wait,
+   and the deadlines are the whole point of this layer. *)
+let poll_sleep_s = 0.0002
 
 let send (t : t) ~(src : int) ~(dest : int) ~(tag : int) (value : Value.t) :
     unit =
-  check_rank t dest "send";
-  check_rank t src "send";
-  Mutex.lock t.locks.(dest);
-  Queue.push { src; tag; value } t.queues.(dest).(src);
-  Condition.broadcast t.conds.(dest);
-  Mutex.unlock t.locks.(dest)
+  check_rank t ~rank:src dest "send";
+  check_rank t ~rank:src src "send";
+  with_lock t.locks.(dest) (fun () ->
+      let seqno = t.send_seqno.(src).(dest) in
+      t.send_seqno.(src).(dest) <- seqno + 1;
+      let clean = { src; tag; value; seqno; checksum = checksum_of value } in
+      if t.reliable then Hashtbl.replace t.pending.(src).(dest) seqno clean;
+      bump t (fun s -> s.sent <- s.sent + 1);
+      let q = t.queues.(dest).(src) in
+      match t.faults with
+      | None -> Queue.push clean q
+      | Some p -> (
+          let rng = message_rng t p ~src ~dest ~seqno in
+          let u = Rng.float rng in
+          if u < p.drop_p then bump t (fun s -> s.dropped <- s.dropped + 1)
+          else if u < p.drop_p +. p.corrupt_p then begin
+            let bit = Rng.int rng 64 in
+            bump t (fun s -> s.corrupted <- s.corrupted + 1);
+            Queue.push { clean with value = Value.flip_bit value bit } q
+          end
+          else if u < p.drop_p +. p.corrupt_p +. p.dup_p then begin
+            bump t (fun s -> s.duplicated <- s.duplicated + 1);
+            Queue.push clean q;
+            Queue.push clean q
+          end
+          else Queue.push clean q))
 
 (* In replay mode a receive may only complete when it is next in the
    recorded order; this serializes racing receives exactly as the
@@ -78,6 +235,7 @@ let wait_turn (t : t) (rank : int) ~(src : int) ~(tag : int) =
   match t.mode with
   | Free | Record _ -> ()
   | Replay r ->
+      let deadline = now () +. t.recv_timeout_s in
       Mutex.lock t.order_lock;
       let rec loop () =
         if r.next >= Array.length r.order then ()
@@ -86,7 +244,19 @@ let wait_turn (t : t) (rank : int) ~(src : int) ~(tag : int) =
           let er, es, et = r.order.(r.next) in
           if er = rank && es = src && et = tag then ()
           else begin
-            Condition.wait t.order_cond t.order_lock;
+            (match poisoned t with
+            | Some reason ->
+                Mutex.unlock t.order_lock;
+                comm_error ~rank ~peer:src ~tag "peer failure: %s" reason
+            | None -> ());
+            if now () > deadline then begin
+              Mutex.unlock t.order_lock;
+              comm_error ~rank ~peer:src ~tag
+                "replay-order wait timed out after %.1fs" t.recv_timeout_s
+            end;
+            Mutex.unlock t.order_lock;
+            Unix.sleepf poll_sleep_s;
+            Mutex.lock t.order_lock;
             loop ()
           end
         end
@@ -98,41 +268,98 @@ let note_received (t : t) (rank : int) ~(src : int) ~(tag : int) =
   match t.mode with
   | Free -> ()
   | Record log ->
-      Mutex.lock t.order_lock;
-      log := (rank, src, tag) :: !log;
-      Mutex.unlock t.order_lock
+      with_lock t.order_lock (fun () -> log := (rank, src, tag) :: !log)
   | Replay r ->
-      Mutex.lock t.order_lock;
-      if r.next < Array.length r.order then r.next <- r.next + 1;
-      Condition.broadcast t.order_cond;
-      Mutex.unlock t.order_lock
+      with_lock t.order_lock (fun () ->
+          if r.next < Array.length r.order then r.next <- r.next + 1)
 
 let recv (t : t) ~(rank : int) ~(src : int) ~(tag : int) : Value.t =
-  check_rank t rank "recv";
-  check_rank t src "recv";
+  check_rank t ~rank rank "recv";
+  check_rank t ~rank src "recv";
   wait_turn t rank ~src ~tag;
-  Mutex.lock t.locks.(rank);
+  let deadline = now () +. t.recv_timeout_s in
+  let next_resend = ref (now () +. t.resend_interval_s) in
   let q = t.queues.(rank).(src) in
-  let rec take () =
-    (* tags are matched in FIFO order per (src, dst) channel *)
-    match Queue.peek_opt q with
-    | Some m when m.tag = tag -> Queue.pop q
-    | Some m ->
-        raise
-          (Comm_error
-             (Printf.sprintf "recv rank %d: unexpected tag %d from %d (wanted %d)"
-                rank m.tag src tag))
-    | None ->
-        Condition.wait t.conds.(rank) t.locks.(rank);
-        take ()
+  let fail fmt = comm_error ~rank ~peer:src ~tag fmt in
+  (* one delivery attempt under the lock; None = nothing available yet *)
+  let try_take () : msg option =
+    if not t.reliable then
+      (* raw transport: FIFO per channel, tags must match in order;
+         corrupted payloads and duplicates are delivered as-is *)
+      match Queue.peek_opt q with
+      | Some m when m.tag = tag ->
+          ignore (Queue.pop q);
+          bump t (fun s -> s.delivered <- s.delivered + 1);
+          Some m
+      | Some m ->
+          fail "unexpected tag %d from %d (wanted %d)" m.tag src tag
+      | None -> None
+    else begin
+      let expected = t.expected.(rank).(src) in
+      (* discard stale duplicates and frames whose checksum is wrong *)
+      let rec sift () =
+        match Queue.peek_opt q with
+        | Some m when m.seqno < expected ->
+            ignore (Queue.pop q);
+            bump t (fun s -> s.dup_discarded <- s.dup_discarded + 1);
+            sift ()
+        | Some m when not (Int64.equal m.checksum (checksum_of m.value)) ->
+            ignore (Queue.pop q);
+            bump t (fun s -> s.checksum_failures <- s.checksum_failures + 1);
+            sift ()
+        | Some _ | None -> ()
+      in
+      sift ();
+      match Queue.peek_opt q with
+      | Some m when m.seqno = expected ->
+          if m.tag <> tag then
+            fail "unexpected tag %d from %d (wanted %d)" m.tag src tag;
+          ignore (Queue.pop q);
+          t.expected.(rank).(src) <- expected + 1;
+          bump t (fun s -> s.delivered <- s.delivered + 1);
+          Some m
+      | Some _ | None ->
+          (* gap: the expected frame was dropped in flight or discarded
+             as corrupt (the queue head, if any, is a later frame).
+             After a resend interval, recover the clean copy from the
+             sender's retransmit buffer. *)
+          if now () >= !next_resend then begin
+            next_resend := now () +. t.resend_interval_s;
+            match Hashtbl.find_opt t.pending.(src).(rank) expected with
+            | Some m ->
+                if m.tag <> tag then
+                  fail "unexpected tag %d from %d (wanted %d)" m.tag src tag;
+                t.expected.(rank).(src) <- expected + 1;
+                bump t (fun s ->
+                    s.resent <- s.resent + 1;
+                    s.delivered <- s.delivered + 1);
+                Some m
+            | None -> None
+          end
+          else None
+    end
   in
-  let m = take () in
-  Mutex.unlock t.locks.(rank);
+  let rec loop () : msg =
+    check_poison t ~rank ~peer:src ~tag;
+    let taken = with_lock t.locks.(rank) try_take in
+    match taken with
+    | Some m -> m
+    | None ->
+        if now () > deadline then
+          fail "recv timed out after %.1fs (src %d, tag %d)" t.recv_timeout_s
+            src tag;
+        Unix.sleepf poll_sleep_s;
+        loop ()
+  in
+  let m = loop () in
   note_received t rank ~src ~tag;
   m.value
 
-(* generation-counted rendezvous shared by allreduce and barrier *)
-let rendezvous (t : t) (cell : cell) (contribution : float) : float =
+(* generation-counted rendezvous shared by allreduce and barrier; polls
+   with a deadline so a dead peer cannot strand the others *)
+let rendezvous (t : t) (cell : cell) ~(rank : int) (contribution : float) :
+    float =
+  check_poison t ~rank ~peer:(-1) ~tag:(-1);
   Mutex.lock cell.m;
   let gen = cell.generation in
   cell.acc <- cell.acc +. contribution;
@@ -141,21 +368,38 @@ let rendezvous (t : t) (cell : cell) (contribution : float) : float =
     cell.result <- cell.acc;
     cell.acc <- 0.0;
     cell.arrived <- 0;
-    cell.generation <- gen + 1;
-    Condition.broadcast cell.c
+    cell.generation <- gen + 1
   end
-  else
-    while cell.generation = gen do
-      Condition.wait cell.c cell.m
+  else begin
+    let deadline = now () +. t.recv_timeout_s in
+    while
+      cell.generation = gen && poisoned t = None && now () <= deadline
+    do
+      Mutex.unlock cell.m;
+      Unix.sleepf poll_sleep_s;
+      Mutex.lock cell.m
     done;
+    if cell.generation = gen then begin
+      let arrived = cell.arrived in
+      Mutex.unlock cell.m;
+      match poisoned t with
+      | Some reason ->
+          comm_error ~rank ~peer:(-1) ~tag:(-1) "peer failure: %s" reason
+      | None ->
+          comm_error ~rank ~peer:(-1) ~tag:(-1)
+            "rendezvous timed out after %.1fs (%d of %d ranks arrived)"
+            t.recv_timeout_s arrived t.size
+    end
+  end;
   let r = cell.result in
   Mutex.unlock cell.m;
   r
 
-let allreduce_sum (t : t) (v : Value.t) : Value.t =
-  Value.of_float (rendezvous t t.reduce (Value.to_float v))
+let allreduce_sum (t : t) ~(rank : int) (v : Value.t) : Value.t =
+  Value.of_float (rendezvous t t.reduce ~rank (Value.to_float v))
 
-let barrier (t : t) : unit = ignore (rendezvous t t.barrier_cell 0.0)
+let barrier (t : t) ~(rank : int) : unit =
+  ignore (rendezvous t t.barrier_cell ~rank 0.0)
 
 (** Machine hooks for one rank. *)
 let hooks (t : t) ~(rank : int) : Machine.mpi_hooks =
@@ -164,8 +408,8 @@ let hooks (t : t) ~(rank : int) : Machine.mpi_hooks =
     size = t.size;
     send = (fun ~dest ~tag v -> send t ~src:rank ~dest ~tag v);
     recv = (fun ~src ~tag -> recv t ~rank ~src ~tag);
-    allreduce_sum = (fun v -> allreduce_sum t v);
-    barrier = (fun () -> barrier t);
+    allreduce_sum = (fun v -> allreduce_sum t ~rank v);
+    barrier = (fun () -> barrier t ~rank);
   }
 
 (** Receive order recorded during a [Record]-mode run, oldest first. *)

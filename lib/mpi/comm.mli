@@ -1,10 +1,40 @@
 (** Simulated message-passing runtime: point-to-point messaging, a sum
     all-reduce and a barrier between ranks running on OCaml domains,
-    with record-and-replay of receive order for nondeterminism control
-    (the mechanism the paper borrows from record-and-replay tools to
-    keep faulty MPI runs aligned with their fault-free twins). *)
+    with record-and-replay of receive order for nondeterminism control,
+    per-message channel faults (drop / payload corruption / duplicate
+    delivery under derived RNG streams), and an optional reliable
+    delivery layer (sequence numbers, checksums, retransmit buffer).
+    Every blocking call carries a wall-clock deadline — including in
+    [Free] mode — and raises {!Comm_error} instead of hanging. *)
 
-type msg = { src : int; tag : int; value : Value.t }
+type msg = {
+  src : int;
+  tag : int;
+  value : Value.t;
+  seqno : int;     (** per-(src,dest)-channel sequence number, from 0 *)
+  checksum : int64;  (** of the payload as sent (pre-corruption) *)
+}
+
+(** Per-message channel faults, decided at [send] under an RNG stream
+    derived from [(seed, src, dest, seqno)]: a pure function of the
+    plan, so faulty runs reproduce exactly in any domain schedule. *)
+type fault_plan = {
+  seed : int;
+  drop_p : float;     (** message silently lost *)
+  corrupt_p : float;  (** one payload bit flipped in flight *)
+  dup_p : float;      (** message delivered twice *)
+}
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable resent : int;  (** recovered from the retransmit buffer *)
+  mutable dup_discarded : int;
+  mutable checksum_failures : int;
+}
 
 type mode =
   | Free
@@ -15,23 +45,57 @@ type mode =
 
 type t
 
-exception Comm_error of string
+exception
+  Comm_error of { rank : int; peer : int; tag : int; reason : string }
+(** Structured communication failure: the rank that raised, the peer it
+    was talking to ([-1] for collectives), the tag ([-1] when not
+    applicable), and why.  Replaces both silent hangs (via deadlines)
+    and stringly errors. *)
 
-val create : ?mode:mode -> size:int -> unit -> t
-(** @raise Invalid_argument on a non-positive size. *)
+val default_recv_timeout_s : float
+(** 5 seconds. *)
+
+val create :
+  ?mode:mode ->
+  ?faults:fault_plan ->
+  ?reliable:bool ->
+  ?recv_timeout_s:float ->
+  size:int ->
+  unit ->
+  t
+(** [reliable] turns on the ack/resend layer: receivers discard
+    duplicate and corrupted frames by seqno/checksum and recover gaps
+    from the sender's retransmit buffer after a resend interval
+    (timeout/50).  Without it the transport delivers whatever the fault
+    plan produced — and a dropped message surfaces as a recv timeout.
+    @raise Invalid_argument on a non-positive size. *)
 
 val send : t -> src:int -> dest:int -> tag:int -> Value.t -> unit
 (** Buffered, non-blocking.
     @raise Comm_error on an out-of-range rank. *)
 
 val recv : t -> rank:int -> src:int -> tag:int -> Value.t
-(** Blocking; messages on one (src, dst) channel match in FIFO order.
-    @raise Comm_error on a rank error or an unexpected tag. *)
+(** Blocking with a deadline; messages on one (src, dst) channel match
+    in FIFO order.
+    @raise Comm_error on a rank error, an unexpected tag, a poisoned
+    communicator, or a timeout — in every mode, [Free] included. *)
 
-val allreduce_sum : t -> Value.t -> Value.t
-(** Generation-counted rendezvous; callable repeatedly. *)
+val allreduce_sum : t -> rank:int -> Value.t -> Value.t
+(** Generation-counted rendezvous; callable repeatedly.
+    @raise Comm_error on timeout or a poisoned communicator. *)
 
-val barrier : t -> unit
+val barrier : t -> rank:int -> unit
+(** @raise Comm_error on timeout or a poisoned communicator. *)
+
+val poison : t -> rank:int -> string -> unit
+(** Mark the communicator failed on behalf of [rank]: peers blocked in
+    (or entering) any blocking call raise {!Comm_error} promptly
+    instead of waiting out their timeouts.  First reason wins. *)
+
+val poisoned : t -> string option
+
+val stats : t -> stats
+(** Snapshot of the transport counters. *)
 
 val hooks : t -> rank:int -> Machine.mpi_hooks
 (** Wire one rank's VM to this runtime. *)

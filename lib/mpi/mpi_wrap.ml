@@ -1,0 +1,75 @@
+(** Turn any serial program into a communication-bearing one.
+
+    The ten study applications are serial: they have no MPI intrinsics,
+    so a message-fault campaign over them would inject into an empty
+    channel.  [ring_exchange] appends a guarded ring-exchange epilogue
+    to the entry function: each rank sends its id to its right
+    neighbor, receives from its left, all-reduces the circulated token,
+    and traps if the reduced total differs from the closed form
+    [np*(np-1)/2] — so an undetected payload corruption manifests as a
+    crash (or, under the reliable transport, is caught by checksum and
+    resent), a dropped message as a recv timeout, and a clean exchange
+    leaves the application's own output byte-identical.
+
+    The epilogue runs {e after} the application body and its
+    verification phase, touches only fresh [__ft_]-prefixed locals, and
+    is a no-op at [size=1] (the [np > 1] guard) — the wrapped program's
+    serial behavior, output, and baked reference value are exactly
+    those of the original, which is what makes Wu-style serial/parallel
+    comparisons of the same program meaningful. *)
+
+let tag = 9001
+(** The epilogue's message tag (outside any application's tag space —
+    the apps have none). *)
+
+let ring_exchange (p : Ast.program) : Ast.program =
+  let wrap (fd : Ast.fundef) : Ast.fundef =
+    if not (String.equal fd.Ast.fname p.Ast.entry) then fd
+    else
+      let open Ast in
+      let locals =
+        fd.locals
+        @ [
+            DScalar ("__ft_me", Ty.I64);
+            DScalar ("__ft_np", Ty.I64);
+            DScalar ("__ft_right", Ty.I64);
+            DScalar ("__ft_left", Ty.I64);
+            DScalar ("__ft_tok", Ty.F64);
+            DScalar ("__ft_sum", Ty.F64);
+            DScalar ("__ft_expect", Ty.F64);
+            DScalar ("__ft_ok", Ty.I64);
+          ]
+      in
+      let body =
+        fd.body
+        @ [
+            SAssign ("__ft_me", MpiRank);
+            SAssign ("__ft_np", MpiSize);
+            SIf
+              ( v "__ft_np" > i 1,
+                [
+                  SAssign
+                    ("__ft_right", (v "__ft_me" + i 1) % v "__ft_np");
+                  SAssign
+                    ( "__ft_left",
+                      (v "__ft_me" - i 1 + v "__ft_np") % v "__ft_np" );
+                  SMpiSend
+                    (v "__ft_right", i tag, to_float (v "__ft_me"));
+                  SAssign ("__ft_tok", MpiRecv (v "__ft_left", i tag));
+                  SAssign ("__ft_sum", MpiAllreduce (v "__ft_tok"));
+                  SAssign
+                    ( "__ft_expect",
+                      to_float (v "__ft_np" * (v "__ft_np" - i 1)) / f 2.0 );
+                  (* detection guard (the hardening passes' idiom):
+                     divide by the comparison so a corrupted circulated
+                     token traps instead of vanishing into a sink *)
+                  SAssign
+                    ("__ft_ok", i 1 / (v "__ft_sum" = v "__ft_expect"));
+                  SMpiBarrier;
+                ],
+                [] );
+          ]
+      in
+      { fd with locals; body }
+  in
+  { p with Ast.funs = List.map wrap p.Ast.funs }

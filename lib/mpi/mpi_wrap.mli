@@ -1,0 +1,12 @@
+(** Turn any serial program into a communication-bearing one by
+    appending a guarded ring-exchange epilogue to the entry function:
+    send to the right neighbor, receive from the left, all-reduce the
+    circulated token, trap if the total differs from [np*(np-1)/2].
+    No-op at [size=1]; never touches application state, so the wrapped
+    program's serial output and reference value are exactly the
+    original's. *)
+
+val tag : int
+(** The epilogue's message tag (9001). *)
+
+val ring_exchange : Ast.program -> Ast.program

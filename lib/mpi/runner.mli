@@ -1,16 +1,23 @@
-(** Parallel execution of an IR program across simulated MPI ranks,
-    one VM per rank on its own OCaml domain. *)
+(** Parallel execution of an IR program across simulated MPI ranks
+    (one VM per rank, one OCaml domain per VM, wired to {!Comm}), with
+    fault-tolerant bundle semantics: a rank that dies on a
+    communication failure poisons the communicator instead of
+    stranding its peers, and the bundle records who failed and why. *)
 
 type rank_result = {
   rank : int;
   result : Machine.result;
   trace_len : int;  (** events streamed, 0 when tracing was off *)
+  failure : string option;
+      (** a communication failure that killed this rank ([result] is
+          then a synthesized [Trapped]) *)
 }
 
 type bundle = {
   results : rank_result array;
   wall_seconds : float;
   recorded : (int * int * int) list;  (** receive order, if recording *)
+  comm_stats : Comm.stats;  (** transport counters (faults, resends) *)
 }
 
 val run :
@@ -18,10 +25,26 @@ val run :
   ?record:bool ->
   ?max_live:int ->
   ?replay:(int * int * int) array ->
+  ?faults:Comm.fault_plan ->
+  ?reliable:bool ->
+  ?recv_timeout_s:float ->
+  ?fault:int * Machine.fault ->
+  ?recover:Machine.recover ->
+  ?budget:int ->
   size:int ->
   Prog.t ->
   bundle
 (** [traced] streams per-rank events through a counting sink (the
-    Figure 4 instrumentation-cost measurement).  [max_live] runs ranks
-    in bounded waves — only safe for programs whose ranks do not
-    communicate. *)
+    Figure 4 instrumentation-cost measurement).
+    [faults]/[reliable]/[recv_timeout_s] configure the transport;
+    [fault] injects a VM fault into one rank ([(rank, fault)]);
+    [recover] arms checkpoint/rollback on every rank; [budget] bounds
+    each rank's dynamic instructions.  [max_live] runs ranks in bounded
+    waves — only safe for programs whose ranks do not communicate. *)
+
+val classify :
+  verify:(Machine.result -> bool) -> bundle -> Campaign.outcome_class
+(** Fold a bundle into the campaign taxonomy: any rank crash (trap,
+    hang, comm failure) is Crashed; any verification failure is Failed;
+    correct-everywhere bundles that needed checkpoint restores or
+    message resends are Recovered; otherwise Success. *)

@@ -21,11 +21,53 @@ type fault =
       (** flip [bit] of the value written by dynamic instruction [seq] *)
   | Flip_mem of { seq : int; addr : int; bit : int }
       (** flip [bit] of [mem.(addr)] just before instruction [seq] runs *)
+  | Mask_write of { seq : int; and_mask : int64; or_mask : int64; xor_mask : int64 }
+      (** generalized corruption of the value written by dynamic
+          instruction [seq]: [((v land and) lor or) lxor xor].  Encodes
+          multi-bit upsets (xor), stuck-at-0 (and) and stuck-at-1 (or). *)
+  | Mask_mem of {
+      seq : int;
+      addr : int;
+      and_mask : int64;
+      or_mask : int64;
+      xor_mask : int64;
+    }  (** the memory-resident counterpart of [Mask_write] *)
 
 type outcome =
   | Finished
   | Trapped of string  (** segfault, arithmetic trap, stack overflow *)
   | Budget_exceeded    (** the hang of the fault-manifestation model *)
+
+(** Corruption applied by the mask faults. *)
+let apply_masks (v : int64) ~(and_mask : int64) ~(or_mask : int64)
+    ~(xor_mask : int64) : int64 =
+  Int64.logxor (Int64.logor (Int64.logand v and_mask) or_mask) xor_mask
+
+let fault_to_string = function
+  | Flip_write { seq; bit } ->
+      Printf.sprintf "flip bit %d of the value written at instruction %d" bit
+        seq
+  | Flip_mem { seq; addr; bit } ->
+      Printf.sprintf "flip bit %d of memory word %d before instruction %d" bit
+        addr seq
+  | Mask_write { seq; and_mask; or_mask; xor_mask } ->
+      Printf.sprintf
+        "corrupt the value written at instruction %d (and=%Lx or=%Lx xor=%Lx)"
+        seq and_mask or_mask xor_mask
+  | Mask_mem { seq; addr; and_mask; or_mask; xor_mask } ->
+      Printf.sprintf
+        "corrupt memory word %d before instruction %d (and=%Lx or=%Lx xor=%Lx)"
+        addr seq and_mask or_mask xor_mask
+
+type recover = {
+  max_restores : int;
+      (** rollbacks allowed before the trap is allowed to escape *)
+  snapshot_interval : int;
+      (** minimum dynamic instructions between two snapshots: bounds
+          the full-copy checkpoint cost on region-dense programs *)
+}
+
+let default_recover = { max_restores = 3; snapshot_interval = 50_000 }
 
 type mpi_hooks = {
   rank : int;
@@ -50,6 +92,13 @@ type config = {
       (** called once per dynamic instruction, with nothing allocated —
           the hook for wall-clock watchdogs; exceptions it raises
           propagate to the caller unclassified *)
+  recover : recover option;
+      (** checkpoint/rollback: snapshot the entry frame at region
+          boundaries (rate-limited by [snapshot_interval]) and, when a
+          trap escapes to the entry frame, restore the last snapshot
+          instead of crashing — up to [max_restores] times.  The dynamic
+          instruction counter is {e not} rolled back, so a transient
+          fault keyed on a sequence number never re-fires on replay. *)
 }
 
 let default_config =
@@ -61,6 +110,7 @@ let default_config =
     iter_mark = -1;
     mpi = None;
     tick = None;
+    recover = None;
   }
 
 type result = {
@@ -69,6 +119,7 @@ type result = {
   output : string;     (** accumulated formatted prints *)
   mem : int64 array;   (** final memory image *)
   iterations : int;    (** main-loop iterations observed (from markers) *)
+  restores : int;      (** checkpoint rollbacks taken (0 without [recover]) *)
 }
 
 exception Budget
@@ -184,14 +235,21 @@ let run (prog : Prog.t) (cfg : config) : result =
   let maybe_flip seq v =
     match cfg.fault with
     | Some (Flip_write { seq = s; bit }) when s = seq -> Value.flip_bit v bit
-    | Some (Flip_write _ | Flip_mem _) | None -> v
+    | Some (Mask_write { seq = s; and_mask; or_mask; xor_mask }) when s = seq
+      ->
+        apply_masks v ~and_mask ~or_mask ~xor_mask
+    | Some (Flip_write _ | Flip_mem _ | Mask_write _ | Mask_mem _) | None -> v
   in
   let apply_mem_fault seq =
     match cfg.fault with
     | Some (Flip_mem { seq = s; addr; bit }) when s = seq ->
         check_addr addr;
         mem.(addr) <- Value.flip_bit mem.(addr) bit
-    | Some (Flip_mem _ | Flip_write _) | None -> ()
+    | Some (Mask_mem { seq = s; addr; and_mask; or_mask; xor_mask })
+      when s = seq ->
+        check_addr addr;
+        mem.(addr) <- apply_masks mem.(addr) ~and_mask ~or_mask ~xor_mask
+    | Some (Flip_mem _ | Flip_write _ | Mask_write _ | Mask_mem _) | None -> ()
   in
   let trace = cfg.trace in
   (* when neither a retained trace nor a sink consumes events, skip
@@ -203,6 +261,7 @@ let run (prog : Prog.t) (cfg : config) : result =
     match (trace, cfg.sink) with None, None -> false | _, _ -> true
   in
   let tick = match cfg.tick with Some f -> f | None -> fun () -> () in
+  let restores = ref 0 in
   let rec exec_fun fidx (args : int64 array) (inherited : int) (depth : int) :
       int64 option =
     if depth > max_call_depth then raise (Vm_trap "call stack overflow");
@@ -214,6 +273,57 @@ let run (prog : Prog.t) (cfg : config) : result =
     let pc = ref 0 in
     let result = ref None in
     let running = ref true in
+    (* checkpoint/rollback applies to the entry frame only: a snapshot
+       captures everything a replay from [pc] needs (memory, entry-frame
+       registers, region bookkeeping, output length).  The dynamic
+       instruction counter stays monotonic across restores so a
+       seq-keyed transient fault never re-fires, and [Budget] /
+       [Watchdog.Timeout] are never caught — rollback recovers traps,
+       not hangs. *)
+    let protected = depth = 0 && cfg.recover <> None in
+    let max_restores, snap_interval =
+      match cfg.recover with
+      | Some r -> (r.max_restores, max 1 r.snapshot_interval)
+      | None -> (0, max_int)
+    in
+    let snap_mem = if protected then Array.copy mem else [||] in
+    let snap_regs = if protected then Array.copy regs else [||] in
+    let snap_counters = if protected then Array.copy inst_counters else [||] in
+    let snap_pc = ref 0 in
+    let snap_iter = ref !iter in
+    let snap_prev_eff = ref !prev_eff in
+    let snap_cur_inst = ref !cur_inst in
+    let snap_out_len = ref (Buffer.length out) in
+    let snap_taken = ref false in
+    let last_snap_seq = ref min_int in
+    let take_snapshot seq =
+      Array.blit mem 0 snap_mem 0 (Array.length mem);
+      Array.blit regs 0 snap_regs 0 (Array.length regs);
+      Array.blit inst_counters 0 snap_counters 0 (Array.length inst_counters);
+      snap_pc := !pc;
+      snap_iter := !iter;
+      snap_prev_eff := !prev_eff;
+      snap_cur_inst := !cur_inst;
+      snap_out_len := Buffer.length out;
+      snap_taken := true;
+      last_snap_seq := seq
+    in
+    let try_restore () =
+      if !snap_taken && !restores < max_restores then begin
+        incr restores;
+        Array.blit snap_mem 0 mem 0 (Array.length mem);
+        Array.blit snap_regs 0 regs 0 (Array.length regs);
+        Array.blit snap_counters 0 inst_counters 0 (Array.length inst_counters);
+        pc := !snap_pc;
+        iter := !snap_iter;
+        prev_eff := !snap_prev_eff;
+        cur_inst := !snap_cur_inst;
+        Buffer.truncate out !snap_out_len;
+        true
+      end
+      else false
+    in
+    let body () =
     while !running do
       let i = !pc in
       let ins = f.code.(i) in
@@ -224,7 +334,8 @@ let run (prog : Prog.t) (cfg : config) : result =
       apply_mem_fault seq;
       let static_r = f.regions.(i) in
       let eff = if static_r >= 0 then static_r else inherited in
-      if eff <> !prev_eff then begin
+      let boundary = eff <> !prev_eff in
+      if boundary then begin
         if eff >= 0 then begin
           cur_inst := inst_counters.(eff);
           inst_counters.(eff) <- !cur_inst + 1
@@ -232,6 +343,11 @@ let run (prog : Prog.t) (cfg : config) : result =
         else cur_inst := -1;
         prev_eff := eff
       end;
+      if
+        protected
+        && ((not !snap_taken)
+           || (boundary && seq - !last_snap_seq >= snap_interval))
+      then take_snapshot seq;
       let record op reads writes =
         match (trace, cfg.sink) with
         | None, None -> ()
@@ -420,7 +536,14 @@ let run (prog : Prog.t) (cfg : config) : result =
           if recording then record (Trace.OMark m) [||] [||];
           incr pc);
       if !pc >= Array.length f.code then running := false
-    done;
+    done
+    in
+    let rec guarded () =
+      try body ()
+      with (Vm_trap _ | Op.Trap _) as exn when protected ->
+        if try_restore () then guarded () else raise exn
+    in
+    if protected then guarded () else body ();
     !result
   in
   let outcome =
@@ -438,6 +561,7 @@ let run (prog : Prog.t) (cfg : config) : result =
     output = Buffer.contents out;
     mem;
     iterations = !iter + 1;
+    restores = !restores;
   }
 
 (** Convenience: run without tracing and without faults. *)

@@ -9,11 +9,41 @@ type fault =
   | Flip_mem of { seq : int; addr : int; bit : int }
       (** flip [bit] of [mem.(addr)] just before instruction [seq] runs
           (region-entry input injections) *)
+  | Mask_write of { seq : int; and_mask : int64; or_mask : int64; xor_mask : int64 }
+      (** generalized corruption of the value written by dynamic
+          instruction [seq]: [((v land and) lor or) lxor xor].  Encodes
+          multi-bit upsets (xor), stuck-at-0 (and) and stuck-at-1 (or). *)
+  | Mask_mem of {
+      seq : int;
+      addr : int;
+      and_mask : int64;
+      or_mask : int64;
+      xor_mask : int64;
+    }  (** the memory-resident counterpart of [Mask_write] *)
+
+val apply_masks :
+  int64 -> and_mask:int64 -> or_mask:int64 -> xor_mask:int64 -> int64
+(** [((v land and_mask) lor or_mask) lxor xor_mask] — the corruption
+    the mask faults apply, exposed for tests and fault-model sampling. *)
+
+val fault_to_string : fault -> string
+(** Human-readable one-line description of a fault (for reports). *)
 
 type outcome =
   | Finished
   | Trapped of string  (** segfault, arithmetic trap, stack overflow *)
   | Budget_exceeded    (** hang, detected by the instruction budget *)
+
+type recover = {
+  max_restores : int;
+      (** rollbacks allowed before the trap is allowed to escape *)
+  snapshot_interval : int;
+      (** minimum dynamic instructions between two snapshots: bounds
+          the full-copy checkpoint cost on region-dense programs *)
+}
+
+val default_recover : recover
+(** 3 restores, 50k-instruction snapshot interval. *)
 
 type mpi_hooks = {
   rank : int;
@@ -37,10 +67,20 @@ type config = {
       (** called once per dynamic instruction with nothing allocated —
           the hook wall-clock watchdogs use; exceptions it raises
           propagate to the caller unclassified *)
+  recover : recover option;
+      (** checkpoint/rollback: snapshot the entry frame at region
+          boundaries (rate-limited by [snapshot_interval]); a trap
+          escaping to the entry frame restores the last snapshot
+          instead of crashing, up to [max_restores] times.  The dynamic
+          instruction counter is {e not} rolled back, so a seq-keyed
+          transient fault never re-fires on replay; [Budget] and
+          watchdog timeouts are never caught — rollback recovers traps,
+          not hangs. *)
 }
 
 val default_config : config
-(** No fault, no tracing, no MPI, a 5e8-instruction budget. *)
+(** No fault, no tracing, no MPI, no recovery, a 5e8-instruction
+    budget. *)
 
 type result = {
   outcome : outcome;
@@ -48,6 +88,7 @@ type result = {
   output : string;     (** accumulated formatted prints *)
   mem : int64 array;   (** final memory image *)
   iterations : int;    (** main-loop iterations observed *)
+  restores : int;      (** checkpoint rollbacks taken (0 without [recover]) *)
 }
 
 val randlc_step : float -> float -> float * float

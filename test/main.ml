@@ -24,6 +24,7 @@ let () =
       Test_apps.suite;
       Test_harden.suite;
       Test_mpi.suite;
+      Test_recovery.suite;
       Test_experiments.suite;
       Test_usecases.suite;
       Test_integration.suite;

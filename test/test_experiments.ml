@@ -37,7 +37,7 @@ let test_fig7_structure () =
   Alcotest.(check bool) "fault placed" true
     (match s.Experiments.as_fault with
     | Machine.Flip_write { seq; _ } -> seq > 0
-    | Machine.Flip_mem _ -> false)
+    | _ -> false)
 
 let test_table1_structure () =
   let rows = Experiments.table1 ~effort:tiny Mg.app in

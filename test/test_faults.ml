@@ -254,7 +254,16 @@ let test_input_target_types () =
       Alcotest.fail "expected Input target"
 
 let test_success_rate () =
-  let c = { Campaign.success = 3; failed = 1; crashed = 1; trials = 5; infra = 0 } in
+  let c =
+    {
+      Campaign.success = 3;
+      failed = 1;
+      crashed = 1;
+      recovered = 0;
+      trials = 5;
+      infra = 0;
+    }
+  in
   Alcotest.(check (float 1e-12)) "rate" 0.6 (Campaign.success_rate c);
   Alcotest.(check (float 0.0)) "empty" 0.0 (Campaign.success_rate Campaign.zero_counts)
 

@@ -108,6 +108,167 @@ let test_tracing_through_runner () =
       Alcotest.(check bool) "per-rank trace collected" true (r.Runner.trace_len > 0))
     b.Runner.results
 
+(* --- transport faults and the reliable layer ------------------------------ *)
+
+let comm_error_of f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Comm_error"
+  with Comm.Comm_error { rank; peer; tag; reason = _ } -> (rank, peer, tag)
+
+let test_recv_times_out_in_free_mode () =
+  (* the satellite fix: a missing message must not hang the domain,
+     even outside fault campaigns, and the error carries context *)
+  let comm = Comm.create ~recv_timeout_s:0.15 ~size:2 () in
+  let t0 = Unix.gettimeofday () in
+  let rank, peer, tag =
+    comm_error_of (fun () -> Comm.recv comm ~rank:1 ~src:0 ~tag:3)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "rank" 1 rank;
+  Alcotest.(check int) "peer" 0 peer;
+  Alcotest.(check int) "tag" 3 tag;
+  Alcotest.(check bool) "deadline respected" true
+    (elapsed >= 0.1 && elapsed < 2.0)
+
+let test_drop_times_out_raw_but_resends_reliable () =
+  let faults = { Comm.seed = 5; drop_p = 1.0; corrupt_p = 0.0; dup_p = 0.0 } in
+  let raw = Comm.create ~faults ~recv_timeout_s:0.2 ~size:2 () in
+  Comm.send raw ~src:0 ~dest:1 ~tag:1 (Value.of_float 8.0);
+  ignore (comm_error_of (fun () -> Comm.recv raw ~rank:1 ~src:0 ~tag:1));
+  Alcotest.(check bool) "raw transport dropped it" true
+    ((Comm.stats raw).Comm.dropped > 0);
+  let rel = Comm.create ~faults ~reliable:true ~recv_timeout_s:2.0 ~size:2 () in
+  Comm.send rel ~src:0 ~dest:1 ~tag:1 (Value.of_float 8.0);
+  Alcotest.(check (float 0.0)) "recovered payload" 8.0
+    (Value.to_float (Comm.recv rel ~rank:1 ~src:0 ~tag:1));
+  Alcotest.(check bool) "recovered by retransmission" true
+    ((Comm.stats rel).Comm.resent > 0)
+
+let test_corruption_caught_by_checksum_reliable () =
+  let faults = { Comm.seed = 6; drop_p = 0.0; corrupt_p = 1.0; dup_p = 0.0 } in
+  (* raw: the corrupted payload is delivered as-is *)
+  let raw = Comm.create ~faults ~recv_timeout_s:0.5 ~size:2 () in
+  Comm.send raw ~src:0 ~dest:1 ~tag:1 (Value.of_float 8.0);
+  let got = Value.to_float (Comm.recv raw ~rank:1 ~src:0 ~tag:1) in
+  Alcotest.(check bool) "raw transport delivers the corruption" true
+    (got <> 8.0);
+  (* reliable: the checksum disagrees, the frame is discarded, and the
+     retransmit buffer supplies the clean payload *)
+  let rel = Comm.create ~faults ~reliable:true ~recv_timeout_s:2.0 ~size:2 () in
+  Comm.send rel ~src:0 ~dest:1 ~tag:1 (Value.of_float 8.0);
+  Alcotest.(check (float 0.0)) "clean payload after resend" 8.0
+    (Value.to_float (Comm.recv rel ~rank:1 ~src:0 ~tag:1));
+  let s = Comm.stats rel in
+  Alcotest.(check bool) "checksum failures counted" true
+    (s.Comm.checksum_failures > 0);
+  Alcotest.(check bool) "recovered by retransmission" true (s.Comm.resent > 0)
+
+let test_duplicates_raw_vs_reliable () =
+  let faults = { Comm.seed = 7; drop_p = 0.0; corrupt_p = 0.0; dup_p = 1.0 } in
+  (* raw: both copies are delivered *)
+  let raw = Comm.create ~faults ~recv_timeout_s:0.5 ~size:2 () in
+  Comm.send raw ~src:0 ~dest:1 ~tag:1 (Value.of_float 3.0);
+  Alcotest.(check (float 0.0)) "first copy" 3.0
+    (Value.to_float (Comm.recv raw ~rank:1 ~src:0 ~tag:1));
+  Alcotest.(check (float 0.0)) "second copy" 3.0
+    (Value.to_float (Comm.recv raw ~rank:1 ~src:0 ~tag:1));
+  (* reliable: the duplicate seqno is discarded, FIFO order survives *)
+  let rel = Comm.create ~faults ~reliable:true ~recv_timeout_s:2.0 ~size:2 () in
+  Comm.send rel ~src:0 ~dest:1 ~tag:1 (Value.of_float 1.0);
+  Comm.send rel ~src:0 ~dest:1 ~tag:1 (Value.of_float 2.0);
+  Alcotest.(check (float 0.0)) "first" 1.0
+    (Value.to_float (Comm.recv rel ~rank:1 ~src:0 ~tag:1));
+  Alcotest.(check (float 0.0)) "second" 2.0
+    (Value.to_float (Comm.recv rel ~rank:1 ~src:0 ~tag:1));
+  Alcotest.(check bool) "duplicates discarded" true
+    ((Comm.stats rel).Comm.dup_discarded > 0)
+
+let test_faulty_record_replay_reproduces () =
+  (* drop faults are a pure function of (seed, src, dest, seqno), so a
+     recorded faulty run replays to the same results and fault counts *)
+  let ast = Demo.ring ~rounds:3 in
+  let prog = Compile.compile ast in
+  let faults = { Comm.seed = 3; drop_p = 0.3; corrupt_p = 0.2; dup_p = 0.2 } in
+  let b1 =
+    Runner.run ~record:true ~faults ~reliable:true ~recv_timeout_s:5.0
+      ~size:4 prog
+  in
+  Alcotest.(check bool) "receives recorded" true (b1.Runner.recorded <> []);
+  Alcotest.(check bool) "faults actually fired" true
+    (b1.Runner.comm_stats.Comm.dropped
+     + b1.Runner.comm_stats.Comm.corrupted
+     + b1.Runner.comm_stats.Comm.duplicated
+     > 0);
+  let b2 =
+    Runner.run
+      ~replay:(Array.of_list b1.Runner.recorded)
+      ~faults ~reliable:true ~recv_timeout_s:5.0 ~size:4 prog
+  in
+  for rank = 0 to 3 do
+    Alcotest.(check (float 0.0)) "replay reproduces every rank"
+      (result_of b1 rank) (result_of b2 rank)
+  done;
+  Alcotest.(check int) "same drops"
+    b1.Runner.comm_stats.Comm.dropped b2.Runner.comm_stats.Comm.dropped;
+  Alcotest.(check int) "same corruptions"
+    b1.Runner.comm_stats.Comm.corrupted b2.Runner.comm_stats.Comm.corrupted
+
+let test_wrapped_app_drop_recovers_on_two_ranks () =
+  (* the acceptance scenario: a dropped MPI message on a 2-rank run
+     recovers via resend instead of hanging *)
+  let app = Option.get (Registry.find_opt "CG") in
+  let prog = Recovery_eval.wrapped_program app in
+  let verify = App.verify app in
+  let faults = { Comm.seed = 1; drop_p = 1.0; corrupt_p = 0.0; dup_p = 0.0 } in
+  let raw =
+    Runner.run ~faults ~recv_timeout_s:0.3 ~size:2 prog
+  in
+  Alcotest.(check bool) "raw transport crashes the bundle" true
+    (Runner.classify ~verify raw = Campaign.Crashed);
+  Alcotest.(check bool) "some rank reports the comm failure" true
+    (Array.exists (fun r -> r.Runner.failure <> None) raw.Runner.results);
+  let rel =
+    Runner.run ~faults ~reliable:true ~recv_timeout_s:5.0 ~size:2 prog
+  in
+  Alcotest.(check bool) "reliable transport recovers the bundle" true
+    (Runner.classify ~verify rel = Campaign.Recovered);
+  Alcotest.(check bool) "via retransmission" true
+    (rel.Runner.comm_stats.Comm.resent > 0)
+
+let test_rank_crash_poisons_peers () =
+  (* a rank that dies of a VM trap must not strand its peers until
+     their recv deadlines: the runner poisons the communicator *)
+  let app = Option.get (Registry.find_opt "CG") in
+  let prog = Recovery_eval.wrapped_program app in
+  let _, trace = App.trace app in
+  let target = Campaign.whole_program_target prog trace in
+  (* find a crashing fault (serially) and inject it into rank 0 *)
+  let clean = Machine.run_plain prog in
+  let budget = 20 * clean.Machine.instructions in
+  let fault = ref None in
+  let index = ref 0 in
+  while !fault = None && !index < 100 do
+    let f = Campaign.sample_fault (Rng.derive ~seed:4 ~index:!index) target in
+    incr index;
+    match
+      (Machine.run prog { Machine.default_config with fault = Some f; budget })
+        .Machine.outcome
+    with
+    | Machine.Trapped _ -> fault := Some f
+    | _ -> ()
+  done;
+  let f = Option.get !fault in
+  let t0 = Unix.gettimeofday () in
+  let b =
+    Runner.run ~fault:(0, f) ~recv_timeout_s:30.0 ~budget ~size:2 prog
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "bundle crashed" true
+    (Runner.classify ~verify:(App.verify app) b = Campaign.Crashed);
+  Alcotest.(check bool) "peer aborted promptly, not at its deadline" true
+    (elapsed < 10.0)
+
 let suite =
   ( "mpi",
     [
@@ -125,4 +286,18 @@ let suite =
       Alcotest.test_case "allreduce identity" `Quick
         test_allreduce_without_runtime_is_identity;
       Alcotest.test_case "tracing through runner" `Quick test_tracing_through_runner;
+      Alcotest.test_case "recv timeout in Free mode" `Quick
+        test_recv_times_out_in_free_mode;
+      Alcotest.test_case "drop: raw times out, reliable resends" `Quick
+        test_drop_times_out_raw_but_resends_reliable;
+      Alcotest.test_case "corruption caught by checksum" `Quick
+        test_corruption_caught_by_checksum_reliable;
+      Alcotest.test_case "duplicates raw vs reliable" `Quick
+        test_duplicates_raw_vs_reliable;
+      Alcotest.test_case "faulty record/replay" `Quick
+        test_faulty_record_replay_reproduces;
+      Alcotest.test_case "2-rank drop recovers via resend" `Slow
+        test_wrapped_app_drop_recovers_on_two_ranks;
+      Alcotest.test_case "rank crash poisons peers" `Slow
+        test_rank_crash_poisons_peers;
     ] )
