@@ -235,25 +235,16 @@ let ablate _effort =
 
 (* --- campaign-scale ------------------------------------------------------ *)
 
-let campaign_scale (effort : Effort.t) =
-  header "campaign-scale: resilient campaign executor, trials/sec vs workers";
-  let app = Is.app in
+let json_out = ref (Some "BENCH_optimize.json")
+
+(* one throughput sweep over the jobs axis; returns (jobs, trials, wall,
+   trials/sec) rows and warns if the counts ever diverge from --jobs 1 *)
+let scale_rows (app : App.t) jobs_list cfg =
   let clean, trace = App.trace app in
   let prog = App.program app in
   let target = Campaign.whole_program_target prog trace in
-  let cfg =
-    (* a fixed trial count, so the jobs axis is the only variable *)
-    { effort.Effort.campaign with Campaign.max_trials = Some 240 }
-  in
-  Printf.printf
-    "recommended domain count on this machine: %d (speedup is bounded by \
-     the physical cores available)\n"
-    (Domain.recommended_domain_count ());
-  Printf.printf "%-6s %10s %12s %10s %8s\n" "jobs" "trials" "wall(s)"
-    "trials/s" "speedup";
-  let baseline = ref None in
   let base_counts = ref None in
-  List.iter
+  List.map
     (fun jobs ->
       let r =
         Campaign.run_report prog ~verify:(App.verify app)
@@ -270,19 +261,96 @@ let campaign_scale (effort : Effort.t) =
               "  WARNING: counts diverged from --jobs 1 (determinism bug)\n");
       let wall = r.Campaign.wall_s in
       let tps = Float.of_int c.Campaign.trials /. Float.max 1e-9 wall in
-      let speedup =
-        match !baseline with
-        | None ->
-            baseline := Some wall;
-            1.0
-        | Some b -> b /. wall
-      in
-      Printf.printf "%-6d %10d %12.3f %10.1f %7.2fx\n" jobs c.Campaign.trials
-        wall tps speedup)
-    [ 1; 2; 4; 8 ];
+      (jobs, c.Campaign.trials, wall, tps))
+    jobs_list
+
+let campaign_scale (effort : Effort.t) =
+  header "campaign-scale: resilient campaign executor, trials/sec vs workers";
+  let app = Is.app in
+  let cfg =
+    (* a fixed trial count, so the jobs axis is the only variable *)
+    { effort.Effort.campaign with Campaign.max_trials = Some 240 }
+  in
+  Printf.printf
+    "recommended domain count on this machine: %d (speedup is bounded by \
+     the physical cores available)\n"
+    (Domain.recommended_domain_count ());
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  Printf.printf "%-10s %-6s %10s %12s %10s %8s\n" "app" "jobs" "trials"
+    "wall(s)" "trials/s" "speedup";
+  let print_rows name rows =
+    let baseline = ref None in
+    List.iter
+      (fun (jobs, trials, wall, tps) ->
+        let speedup =
+          match !baseline with
+          | None ->
+              baseline := Some wall;
+              1.0
+          | Some b -> b /. wall
+        in
+        Printf.printf "%-10s %-6d %10d %12.3f %10.1f %7.2fx\n" name jobs
+          trials wall tps speedup)
+      rows
+  in
+  let base_rows = scale_rows app jobs_list cfg in
+  print_rows app.App.name base_rows;
+  (* the same sweep with the analysis-gated optimizer pipeline applied:
+     the trials/sec ratio at equal jobs is the optimizer's campaign
+     throughput win *)
+  let opt_app = Opt.app_variant app in
+  let opt_rows = scale_rows opt_app jobs_list cfg in
+  print_rows opt_app.App.name opt_rows;
+  let ratios =
+    List.map2
+      (fun (jobs, _, _, tb) (_, _, _, topt) -> (jobs, topt /. Float.max 1e-9 tb))
+      base_rows opt_rows
+  in
+  List.iter
+    (fun (jobs, r) ->
+      Printf.printf "optimizer throughput at --jobs %d: %.2fx trials/sec\n"
+        jobs r)
+    ratios;
   print_endline
     "(counts are bit-identical across the jobs axis: per-trial RNG streams \
-     are derived from the trial index, never from scheduling)"
+     are derived from the trial index, never from scheduling)";
+  match !json_out with
+  | None -> ()
+  | Some path ->
+      let row_json name (jobs, trials, wall, tps) =
+        Printf.sprintf
+          "    {\"app\": %S, \"jobs\": %d, \"trials\": %d, \"wall_s\": %.3f, \
+           \"trials_per_sec\": %.1f}"
+          name jobs trials wall tps
+      in
+      let min_ratio =
+        List.fold_left (fun a (_, r) -> Float.min a r) infinity ratios
+      in
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"campaign-scale\",\n\
+        \  \"app\": %S,\n\
+        \  \"optimizer\": \"%s\",\n\
+        \  \"rows\": [\n\
+         %s\n\
+        \  ],\n\
+        \  \"throughput_ratio_per_jobs\": {%s},\n\
+        \  \"min_throughput_ratio\": %.2f\n\
+         }\n"
+        app.App.name
+        (String.concat "; "
+           (List.map (fun (p : Opt.pass) -> p.Opt.name) Opt.all))
+        (String.concat ",\n"
+           (List.map (row_json app.App.name) base_rows
+           @ List.map (row_json opt_app.App.name) opt_rows))
+        (String.concat ", "
+           (List.map
+              (fun (jobs, r) -> Printf.sprintf "\"%d\": %.2f" jobs r)
+              ratios))
+        min_ratio;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
 
 (* --- bechamel perf suite ------------------------------------------------ *)
 
@@ -559,6 +627,12 @@ let () =
         | Some _ | None ->
             Printf.eprintf "--jobs needs a positive integer, got %S\n" n;
             exit 2);
+        parse rest
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse rest
+    | "--no-json" :: rest ->
+        json_out := None;
         parse rest
     | name :: rest ->
         (match List.assoc_opt name all_experiments with

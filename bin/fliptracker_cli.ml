@@ -12,6 +12,7 @@
      lint APP                     static IR verifier/linter diagnostics
      static-rank APP              static vulnerability ranking of regions
      harden APP [--passes P]      pattern-injection hardening, paired report
+     optimize APP [--passes P]    analysis-gated IR optimization, pass report
      mpi-campaign APP [--drop P]  message-fault campaign over MPI bundles
      recovery-eval APP            fault-model x recovery-policy grid report
 
@@ -283,47 +284,45 @@ let campaign_cmd =
            ~doc:"Stop once the Wilson interval on the success rate is within \
                  the statistical design's margin.")
   in
+  let opt_spec =
+    Arg.(value & opt (some string) None & info [ "opt" ] ~docv:"SPEC"
+           ~doc:"Run the campaign on the optimized program: $(b,all) or a \
+                 comma-separated optimizer pass list (see `optimize'). \
+                 Equivalent to the NAME@opt app spelling, plus it unlocks \
+                 $(b,--site-level reference).")
+  in
+  let site_level =
+    Arg.(value
+         & opt (enum [ ("native", Campaign.Native);
+                       ("reference", Campaign.Reference) ])
+             Campaign.Native
+         & info [ "site-level" ] ~docv:"L"
+             ~doc:"Where fault sites are sampled: $(b,native) (default) \
+                   samples from the trace of the program being injected; \
+                   $(b,reference) samples from the unoptimized reference \
+                   trace and translates each site through the optimizer's \
+                   site map (requires $(b,--opt); refuses if a sampled \
+                   site's instruction was deleted).")
+  in
   let run name region kind func memory_during vars trials seed jobs journal
-      resume watchdog early_stop model recovery metrics =
-    let app = find_app name in
+      resume watchdog early_stop model recovery metrics opt_spec site_level =
+    let base_app = find_app name in
+    let opt_passes =
+      match opt_spec with
+      | None -> None
+      | Some spec -> (
+          match Opt.parse_spec spec with
+          | Ok ps -> Some ps
+          | Error msg ->
+              Printf.eprintf "campaign: %s\n" msg;
+              exit 2)
+    in
+    let app =
+      match opt_passes with
+      | Some ps -> Opt.app_variant ~passes:ps base_app
+      | None -> base_app
+    in
     let obs = Obs.create () in
-    let clean, trace =
-      Obs.phase obs "campaign/trace-clean" (fun () -> App.trace app)
-    in
-    let prog = App.program app in
-    let target =
-      try
-        match (region, func, memory_during) with
-      | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
-          Printf.eprintf
-            "--region, --function and --memory-during are exclusive\n";
-          exit 2
-      | None, Some fname, None -> Campaign.function_target prog trace fname
-      | None, None, Some fname ->
-          if vars = [] then begin
-            Printf.eprintf "--memory-during needs --vars\n";
-            exit 2
-          end;
-          Campaign.memory_during_function_target prog trace ~fname ~vars
-      | None, None, None -> Campaign.whole_program_target prog trace
-      | Some rname, None, None -> (
-          let rid = (Prog.region_by_name prog rname).Prog.rid in
-          match Region.find_instance trace ~rid ~number:0 with
-          | None ->
-              Printf.eprintf "region %s has no instance\n" rname;
-              exit 2
-          | Some inst -> (
-              match kind with
-              | `Internal -> Campaign.internal_target prog trace inst
-              | `Input ->
-                  Campaign.input_target prog trace (Access.build trace) inst))
-      with Campaign.Unknown_symbol { name; available } ->
-        (* structured error: actionable message, no backtrace *)
-        Printf.eprintf "unknown symbol %S in --vars\navailable symbols: %s\n"
-          name
-          (String.concat ", " available);
-        exit 2
-    in
     let cfg =
       {
         Campaign.default_config with
@@ -354,9 +353,84 @@ let campaign_cmd =
         metrics = (if metrics then Some obs else None);
       }
     in
-    let r =
+    let run_native () =
+      let clean, trace =
+        Obs.phase obs "campaign/trace-clean" (fun () -> App.trace app)
+      in
+      let prog = App.program app in
+      let target =
+        try
+          match (region, func, memory_during) with
+          | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+              Printf.eprintf
+                "--region, --function and --memory-during are exclusive\n";
+              exit 2
+          | None, Some fname, None -> Campaign.function_target prog trace fname
+          | None, None, Some fname ->
+              if vars = [] then begin
+                Printf.eprintf "--memory-during needs --vars\n";
+                exit 2
+              end;
+              Campaign.memory_during_function_target prog trace ~fname ~vars
+          | None, None, None -> Campaign.whole_program_target prog trace
+          | Some rname, None, None -> (
+              let rid = (Prog.region_by_name prog rname).Prog.rid in
+              match Region.find_instance trace ~rid ~number:0 with
+              | None ->
+                  Printf.eprintf "region %s has no instance\n" rname;
+                  exit 2
+              | Some inst -> (
+                  match kind with
+                  | `Internal -> Campaign.internal_target prog trace inst
+                  | `Input ->
+                      Campaign.input_target prog trace (Access.build trace)
+                        inst))
+        with Campaign.Unknown_symbol { name; available } ->
+          (* structured error: actionable message, no backtrace *)
+          Printf.eprintf "unknown symbol %S in --vars\navailable symbols: %s\n"
+            name
+            (String.concat ", " available);
+          exit 2
+      in
       Campaign.run_report prog ~verify:(App.verify app)
         ~clean_instructions:clean.Machine.instructions ~cfg ~exec target
+    in
+    let r =
+      match site_level with
+      | Campaign.Reference -> (
+          (* sites sampled on the unoptimized reference, translated
+             through the optimizer's composed site map *)
+          let passes =
+            match opt_passes with
+            | Some ps -> ps
+            | None ->
+                Printf.eprintf
+                  "--site-level reference needs --opt: sites are sampled \
+                   on the reference program and translated through the \
+                   optimizer's site map\n";
+                exit 2
+          in
+          if region <> None || func <> None || memory_during <> None then begin
+            Printf.eprintf
+              "--site-level reference supports whole-program campaigns \
+               only\n";
+            exit 2
+          end;
+          let o =
+            Obs.phase obs "campaign/optimize" (fun () ->
+                Opt.optimize_app ~passes base_app)
+          in
+          match Opt.reference_campaign ~cfg ~exec o with
+          | r -> r
+          | exception Campaign.Untranslatable_site { seq; total; unmapped } ->
+              Printf.eprintf
+                "reference site (dynamic seq %d) was deleted by the \
+                 pipeline: %d of %d sampled sites have no image in the \
+                 optimized program\nuse --site-level native, or only \
+                 passes whose site maps are total\n"
+                seq unmapped total;
+              exit 1)
+      | Campaign.Native -> run_native ()
     in
     prerr_newline ();
     let counts = r.Campaign.counts in
@@ -384,7 +458,8 @@ let campaign_cmd =
           (parallel workers, journal + resume, watchdog, early stopping).")
     Term.(const run $ app_arg $ region $ kind $ func $ memory_during $ vars
           $ trials $ seed $ jobs $ journal $ resume $ watchdog $ early_stop
-          $ fault_model_arg $ recover_arg $ metrics_arg)
+          $ fault_model_arg $ recover_arg $ metrics_arg $ opt_spec
+          $ site_level)
 
 (* --- patterns ------------------------------------------------------------ *)
 
@@ -630,6 +705,92 @@ let harden_cmd =
     Term.(const run $ app_arg $ passes_arg $ top_k $ report $ emit_ir
           $ trials $ seed $ csv)
 
+(* --- optimize -------------------------------------------------------------- *)
+
+let optimize_cmd =
+  let passes_arg =
+    Arg.(value & opt string "all" & info [ "passes" ] ~docv:"SPEC"
+           ~doc:"Pass spec: $(b,all), or a ','/'+'-separated list of pass \
+                 names / short aliases (constfold/fold, simplify/simp, \
+                 local-cse/cse, redundant-load-elim/rle, copyprop/copy, \
+                 scalar-promote/promote, loop-hoist/hoist, coalesce/coal, \
+                 deadcode/dce).")
+  in
+  let rounds =
+    Arg.(value & opt int 4 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Iterate the whole pass list up to $(docv) times, stopping \
+                 early once a round changes nothing.")
+  in
+  let emit_ir =
+    Arg.(value & opt (some string) None & info [ "emit-ir" ] ~docv:"PATH"
+           ~doc:"Write the optimized program's IR listing to $(docv) \
+                 ($(b,-) for stdout).")
+  in
+  let run name spec rounds emit_ir =
+    let app = find_app name in
+    let passes =
+      match Opt.parse_spec spec with
+      | Ok ps -> ps
+      | Error msg ->
+          Printf.eprintf "optimize: %s\n" msg;
+          exit 2
+    in
+    let base = App.program app in
+    let prog, reports, map =
+      try Opt.optimize ~rounds passes base
+      with Pass.Verify_failed { passes; diags } ->
+        Printf.eprintf
+          "optimize: pipeline [%s] produced broken IR (%d error \
+           diagnostic(s)):\n"
+          (String.concat "; " passes)
+          (List.length diags);
+        List.iter (fun d -> Fmt.epr "  %a@." Verify.pp_diag d) diags;
+        exit 1
+    in
+    (try
+       Opt.check_identity
+         ~passes:(List.map (fun (p : Opt.pass) -> p.Opt.name) passes)
+         ~base ~opt:prog
+     with Opt.Identity_failed { passes; reason } ->
+       Printf.eprintf
+         "optimize: pipeline [%s] changed fault-free behavior: %s\n"
+         (String.concat "; " passes)
+         reason;
+       exit 1);
+    Fmt.pr "%a" Opt.pp_reports reports;
+    let rb = Machine.run_plain base and ro = Machine.run_plain prog in
+    Printf.printf
+      "%s (%s): static %d -> %d instructions, dynamic %d -> %d (%.2fx \
+       fewer), %d pcs deleted, fault-free identity OK\n"
+      app.App.name
+      (Opt.spec_names passes)
+      (Opt.static_instruction_count base)
+      (Opt.static_instruction_count prog)
+      rb.Machine.instructions ro.Machine.instructions
+      (float_of_int rb.Machine.instructions
+      /. float_of_int (max 1 ro.Machine.instructions))
+      (Sitemap.deleted map);
+    match emit_ir with
+    | None -> ()
+    | Some "-" -> Fmt.pr "%a@." Prog.pp prog
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            let ppf = Format.formatter_of_out_channel oc in
+            Fmt.pf ppf "%a@." Prog.pp prog);
+        Printf.printf "wrote IR listing to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Optimize a program with the dataflow-driven pass pipeline \
+          (every rewrite justified by a static analysis, gated by the IR \
+          verifier and a fault-free output-identity check) and print the \
+          per-pass change reports.")
+    Term.(const run $ app_arg $ passes_arg $ rounds $ emit_ir)
+
 (* --- mpi-campaign ---------------------------------------------------------- *)
 
 let mpi_campaign_cmd =
@@ -808,5 +969,5 @@ let () =
           [
             list_cmd; trace_cmd; inject_cmd; campaign_cmd; patterns_cmd;
             rates_cmd; acl_cmd; lint_cmd; static_rank_cmd; harden_cmd;
-            mpi_campaign_cmd; recovery_eval_cmd;
+            optimize_cmd; mpi_campaign_cmd; recovery_eval_cmd;
           ]))

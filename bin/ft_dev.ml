@@ -37,6 +37,10 @@ let lint_all () =
         (fun (a : App.t) ->
           (a.App.name ^ "@all", Harden.transform Passes.all (App.program a)))
         Registry.all
+    @ List.map
+        (fun (a : App.t) ->
+          (a.App.name ^ "@opt", Opt.transform Opt.all (App.program a)))
+        Registry.all
   in
   List.iter
     (fun (name, p) ->
@@ -122,9 +126,114 @@ let trace_roundtrip name =
   end
   else print_endline "trace-roundtrip: OK"
 
+let opt_report name =
+  let app = Registry.find name in
+  let base = App.program app in
+  let prog, reports, map = Opt.optimize Opt.all base in
+  Opt.check_identity
+    ~passes:(List.map (fun (p : Opt.pass) -> p.Opt.name) Opt.all)
+    ~base ~opt:prog;
+  Fmt.pr "%a" Opt.pp_reports reports;
+  let rb = Machine.run_plain base and ro = Machine.run_plain prog in
+  Printf.printf
+    "%s: static %d -> %d instructions, dynamic %d -> %d (%.2fx), %d pcs \
+     deleted, identity OK\n"
+    app.App.name
+    (Opt.static_instruction_count base)
+    (Opt.static_instruction_count prog)
+    rb.Machine.instructions ro.Machine.instructions
+    (float_of_int rb.Machine.instructions
+    /. float_of_int (max 1 ro.Machine.instructions))
+    (Sitemap.deleted map);
+  let _, t = Machine.run_traced prog in
+  let h = Hashtbl.create 16 in
+  Trace.iter
+    (fun e ->
+      let k =
+        match e.Trace.op with
+        | Trace.OConst -> "const"
+        | Trace.OBin _ -> "bin"
+        | Trace.OUn _ -> "un"
+        | Trace.OLoad -> "load"
+        | Trace.OStore -> "store"
+        | Trace.OJmp -> "jmp"
+        | Trace.OBr _ -> "br"
+        | Trace.OCall -> "call"
+        | Trace.ORet -> "ret"
+        | Trace.OIntr _ -> "intr"
+        | Trace.OMark _ -> "mark"
+      in
+      Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)))
+    t;
+  Hashtbl.iter (fun k v -> Printf.printf "  %-6s %d\n" k v) h
+
+let trial_cost name =
+  (* where campaign wall time goes: total instructions interpreted across
+     the same 240-trial design the campaign-scale bench runs *)
+  let app =
+    match String.index_opt name '@' with
+    | None -> Registry.find name
+    | Some i -> Opt.app_variant (Registry.find (String.sub name 0 i))
+  in
+  let clean, trace = App.trace app in
+  let prog = App.program app in
+  let target = Campaign.whole_program_target prog trace in
+  let budget = 20 * clean.Machine.instructions in
+  let total = ref 0 and hangs = ref 0 and traps = ref 0 in
+  for i = 0 to 239 do
+    let rng = Rng.derive ~seed:42 ~index:i in
+    let fault = Campaign.sample_fault rng target in
+    let r = Machine.run prog { Machine.default_config with budget; fault = Some fault } in
+    total := !total + r.Machine.instructions;
+    match r.Machine.outcome with
+    | Machine.Budget_exceeded -> incr hangs
+    | Machine.Trapped _ -> incr traps
+    | Machine.Finished -> ()
+  done;
+  Printf.printf
+    "%s: clean %d instr; 240 trials: %d total instr (avg %d), %d hangs, %d \
+     traps\n"
+    app.App.name clean.Machine.instructions !total (!total / 240) !hangs !traps
+
+let profile name =
+  (* dynamic instruction counts per pc of the optimized program, hottest
+     first — where the remaining interpreter time goes *)
+  let app = Registry.find name in
+  let prog = Opt.transform Opt.all (App.program app) in
+  let _, t = Machine.run_traced prog in
+  let counts = Hashtbl.create 64 in
+  Trace.iter
+    (fun e ->
+      let k = (e.Trace.fidx, e.Trace.pc) in
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    t;
+  let l = Hashtbl.fold (fun k v acc -> (v, k) :: acc) counts [] in
+  let l = List.sort (fun a b -> compare b a) l in
+  List.iteri
+    (fun i (v, (fidx, pc)) ->
+      if i < 48 then begin
+        let f = prog.Prog.funcs.(fidx) in
+        Printf.printf "%8d  %s pc %4d line %4d  %s\n" v f.Prog.fname pc
+          f.Prog.lines.(pc)
+          (Fmt.str "%a" Instr.pp f.Prog.code.(pc))
+      end)
+    l
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "lint-all" :: _ -> lint_all ()
+  | _ :: "profile" :: rest ->
+      profile (match rest with name :: _ -> name | [] -> "IS")
+  | _ :: "opt" :: rest ->
+      opt_report (match rest with name :: _ -> name | [] -> "IS")
+  | _ :: "trial-cost" :: rest ->
+      trial_cost (match rest with name :: _ -> name | [] -> "IS")
+  | _ :: "opt-dump" :: rest ->
+      let name = match rest with n :: _ -> n | [] -> "IS" in
+      let app = Registry.find name in
+      let prog = Opt.transform Opt.all (App.program app) in
+      Fmt.pr "%a@." Prog.pp prog
   | _ :: "trace-roundtrip" :: rest ->
       trace_roundtrip (match rest with name :: _ -> name | [] -> "IS")
   | _ :: "sites" :: _ -> sites ()

@@ -39,10 +39,13 @@
 
 (** Resolve an app name as every CLI subcommand does: a plain registry
     name finds the registered app (case-insensitively, with structured
-    near-match suggestions on failure), and ["NAME@SPEC"] — e.g.
+    near-match suggestions on failure); ["NAME@SPEC"] — e.g.
     ["CG@all"] or ["mg@dup+fresh"] — builds the auto-hardened variant
-    of [NAME] with the pass spec [SPEC] ([+] or [,] separated), so
-    hardened variants run everywhere plain apps do. *)
+    of [NAME] with the pass spec [SPEC] ([+] or [,] separated); and
+    ["NAME@opt"] / ["NAME@opt:SPEC"] — e.g. ["IS@opt"] or
+    ["cg@opt:fold+dce"] — builds the optimized variant under the
+    analysis-gated optimizer pipeline.  Both kinds of variant run
+    everywhere plain apps do. *)
 let resolve_app (name : string) : (App.t, string) result =
   let lookup n =
     match Registry.find n with
@@ -57,16 +60,31 @@ let resolve_app (name : string) : (App.t, string) result =
   in
   match String.index_opt name '@' with
   | None -> lookup name
-  | Some i ->
+  | Some i -> (
       let base = String.sub name 0 i in
-      let spec =
-        String.sub name (i + 1) (String.length name - i - 1)
-        |> String.map (fun c -> if Char.equal c '+' then ',' else c)
+      let raw = String.sub name (i + 1) (String.length name - i - 1) in
+      let opt_spec =
+        if String.lowercase_ascii raw = "opt" then Some "all"
+        else if
+          String.length raw > 4
+          && String.lowercase_ascii (String.sub raw 0 4) = "opt:"
+        then Some (String.sub raw 4 (String.length raw - 4))
+        else None
       in
-      Result.bind (lookup base) (fun app ->
-          Result.map
-            (fun passes -> Harden.app_variant ~passes app)
-            (Harden.parse_spec spec))
+      match opt_spec with
+      | Some spec ->
+          Result.bind (lookup base) (fun app ->
+              Result.map
+                (fun passes -> Opt.app_variant ~passes app)
+                (Opt.parse_spec spec))
+      | None ->
+          let spec =
+            String.map (fun c -> if Char.equal c '+' then ',' else c) raw
+          in
+          Result.bind (lookup base) (fun app ->
+              Result.map
+                (fun passes -> Harden.app_variant ~passes app)
+                (Harden.parse_spec spec)))
 
 (** Everything known about one fault injected into one program. *)
 type injection_report = {

@@ -17,9 +17,11 @@
 
 val resolve_app : string -> (App.t, string) result
 (** The shared CLI app lookup: a registry name (case-insensitive,
-    structured suggestions in the error message), or ["NAME@SPEC"] for
+    structured suggestions in the error message); ["NAME@SPEC"] for
     the auto-hardened variant of [NAME] under the harden pass spec
-    [SPEC] (["all"], or pass names/aliases joined with [+] or [,]). *)
+    [SPEC] (["all"], or pass names/aliases joined with [+] or [,]);
+    or ["NAME@opt"] / ["NAME@opt:SPEC"] for the optimized variant
+    under the analysis-gated optimizer pipeline ({!Opt}). *)
 
 type injection_report = {
   fault : Machine.fault;

@@ -315,6 +315,74 @@ let memory_during_function_target (prog : Prog.t) (trace : Trace.t)
   in
   Mem_over_time { seqs = Array.of_list !seqs; sites = Array.of_list sites }
 
+(* --- site levels and target translation -------------------------------- *)
+
+(** The IR level a target's dynamic sequence numbers refer to.
+    [Native] (the historical default): sites were sampled from the
+    trace of the very program being injected.  [Reference]: sites were
+    sampled at the unoptimized reference level and translated onto a
+    transformed program — campaigns declare it so a journal recorded
+    under one level can never silently resume under the other. *)
+type site_level = Native | Reference
+
+let site_level_to_string = function
+  | Native -> "native"
+  | Reference -> "reference"
+
+exception
+  Untranslatable_site of {
+    seq : int;       (** first reference-level seq with no image *)
+    total : int;     (** dynamic positions the target carries *)
+    unmapped : int;  (** how many of them failed to translate *)
+  }
+(** Raised by {!translate_target} when the declared reference level
+    cannot be honored: a sampled site's instruction has no image in the
+    transformed program (e.g. dead code the optimizer deleted).  The
+    campaign refuses rather than silently re-sampling. *)
+
+let () =
+  Printexc.register_printer (function
+    | Untranslatable_site { seq; total; unmapped } ->
+        Some
+          (Printf.sprintf
+             "Campaign.Untranslatable_site: %d of %d reference-level fault \
+              site(s) have no image in the transformed program (first: seq \
+              %d); run without site translation, or restrict the pipeline to \
+              translation-total passes"
+             unmapped total seq)
+    | _ -> None)
+
+(** Rewrite every dynamic sequence number of a target through
+    [map_seq] (reference seq -> transformed seq).  Memory addresses are
+    left alone: the transformations that use this keep the memory
+    layout intact.  @raise Untranslatable_site if any position fails. *)
+let translate_target ~(map_seq : int -> int option) (t : target) : target =
+  let total = ref 0 in
+  let failures = ref [] in
+  let tr seq =
+    incr total;
+    match map_seq seq with
+    | Some s -> s
+    | None ->
+        failures := seq :: !failures;
+        -1
+  in
+  let t' =
+    match t with
+    | Internal { sites } ->
+        Internal
+          { sites = Array.map (fun s -> { s with seq = tr s.seq }) sites }
+    | Input { entry_seq; sites } -> Input { entry_seq = tr entry_seq; sites }
+    | Mem_over_time { seqs; sites } ->
+        Mem_over_time { seqs = Array.map tr seqs; sites }
+  in
+  match List.rev !failures with
+  | [] -> t'
+  | seq :: _ ->
+      raise
+        (Untranslatable_site
+           { seq; total = !total; unmapped = List.length !failures })
+
 (* --- campaigns -------------------------------------------------------- *)
 
 type config = {
@@ -325,6 +393,9 @@ type config = {
   budget_factor : int;      (** hang budget = factor * fault-free count *)
   model : Fault_model.t;    (** corruption applied per fault *)
   recovery : recovery;      (** [No_recovery] keeps historical numbers *)
+  site_level : site_level;
+      (** which IR level the target's seqs were sampled at; [Native]
+          keeps historical behavior and journal tags *)
 }
 
 let default_config =
@@ -336,6 +407,7 @@ let default_config =
     budget_factor = 20;
     model = Fault_model.Single_bit;
     recovery = No_recovery;
+    site_level = Native;
   }
 
 (** Number of trials the configuration implies for a target. *)
@@ -467,11 +539,18 @@ let run_report (prog : Prog.t) ~(verify : Machine.result -> bool)
            Printf.sprintf "campaign:v1:seed=%d:population=%d:trials=%d"
              cfg.seed population trials
          in
-         match (cfg.model, cfg.recovery) with
-         | Fault_model.Single_bit, No_recovery -> base
-         | m, r ->
-             Printf.sprintf "%s:model=%s:recover=%s" base
-               (Fault_model.to_string m) (recovery_to_string r));
+         let base =
+           match (cfg.model, cfg.recovery) with
+           | Fault_model.Single_bit, No_recovery -> base
+           | m, r ->
+               Printf.sprintf "%s:model=%s:recover=%s" base
+                 (Fault_model.to_string m) (recovery_to_string r)
+         in
+         match cfg.site_level with
+         | Native -> base
+         | Reference ->
+             Printf.sprintf "%s:sites=%s" base
+               (site_level_to_string cfg.site_level));
       total = trials;
       run_trial;
       encode = encode_outcome;

@@ -109,6 +109,23 @@ val memory_during_function_target :
     the Use Case 1 scenario (v/iv corruption during sprnvc).
     @raise Unknown_symbol when a variable is not a known symbol. *)
 
+(** The IR level a target's dynamic sequence numbers refer to:
+    [Native] (historical default) means sites were sampled from the
+    trace of the very program being injected; [Reference] means they
+    were sampled at the unoptimized reference level and translated. *)
+type site_level = Native | Reference
+
+val site_level_to_string : site_level -> string
+
+exception Untranslatable_site of { seq : int; total : int; unmapped : int }
+(** A reference-level site has no image in the transformed program;
+    the campaign refuses rather than silently re-sampling. *)
+
+val translate_target : map_seq:(int -> int option) -> target -> target
+(** Rewrite every dynamic seq of a target through [map_seq]
+    (reference seq -> transformed seq); memory addresses are kept.
+    @raise Untranslatable_site if any position has no image. *)
+
 type config = {
   seed : int;
   confidence : float;
@@ -117,6 +134,9 @@ type config = {
   budget_factor : int;      (** hang budget = factor x fault-free count *)
   model : Fault_model.t;    (** corruption applied per fault *)
   recovery : recovery;      (** [No_recovery] keeps historical numbers *)
+  site_level : site_level;
+      (** declared sampling level; anything but [Native] marks the
+          journal tag so mixed-level resumes are impossible *)
 }
 
 val default_config : config

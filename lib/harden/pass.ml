@@ -17,6 +17,7 @@ type report = {
   sites_considered : int;
   sites_changed : int;
   instrs_added : int;
+  instrs_removed : int;
   regs_added : int;
   changes : site_change list;
   protective : (string * int) list;
@@ -72,6 +73,7 @@ let protective_sites (reports : report list) : (string * int) list =
 let pp_report ppf (r : report) =
   Fmt.pf ppf "%-18s %4d/%-4d sites changed  +%d instrs  +%d regs" r.pass_name
     r.sites_changed r.sites_considered r.instrs_added r.regs_added;
+  if r.instrs_removed > 0 then Fmt.pf ppf "  -%d instrs" r.instrs_removed;
   List.iteri
     (fun i (c : site_change) ->
       if i < 4 then

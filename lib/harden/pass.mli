@@ -34,6 +34,7 @@ type report = {
   sites_considered : int;  (** candidate sites the selector offered *)
   sites_changed : int;
   instrs_added : int;
+  instrs_removed : int;  (** instructions deleted (optimizer passes) *)
   regs_added : int;
   changes : site_change list;
   protective : (string * int) list;

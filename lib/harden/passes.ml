@@ -82,6 +82,7 @@ let splice_pass ~name ~short ~doc
         sites_considered = !considered;
         sites_changed = List.length !changes;
         instrs_added = !instrs_added;
+        instrs_removed = 0;
         regs_added = !regs_added;
         changes = !changes;
         protective = !prot;
@@ -567,6 +568,7 @@ let overwrite_fresh : Pass.t =
         sites_considered = !considered;
         sites_changed = !changed;
         instrs_added = !instrs_added;
+        instrs_removed = 0;
         regs_added = !regs_added;
         changes = !changes;
         protective = !prot;

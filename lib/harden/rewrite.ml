@@ -1,0 +1,103 @@
+(* General function-body rewriting: per-instruction replacement (including
+   deletion) plus anchored insertion, with the same old->new pc-map
+   contract as Splice — extended with -1 for deleted instructions. *)
+
+type insertion = {
+  at : int;              (* anchor pc in the input function *)
+  code : Instr.t list;   (* straight-line instructions only *)
+  via : int -> bool;     (* does a branch from this old src pc enter the
+                            inserted code, or keep targeting the anchor? *)
+}
+
+let before ?(via = fun _ -> true) at code = { at; code; via }
+
+let apply ?nregs ?(insertions = []) ~(replace : int -> Instr.t list option)
+    (f : Prog.func) : Prog.func * int array =
+  let n = Array.length f.Prog.code in
+  if n = 0 then (f, [||])
+  else begin
+    let ins_at : insertion list array = Array.make n [] in
+    List.iter
+      (fun i ->
+        if i.at < 0 || i.at >= n then
+          invalid_arg
+            (Printf.sprintf "Rewrite.apply: anchor %d out of range" i.at);
+        List.iter
+          (fun ins ->
+            if Cfg.is_terminator ins then
+              invalid_arg "Rewrite.apply: control flow in inserted code")
+          i.code;
+        ins_at.(i.at) <- ins_at.(i.at) @ [ i ])
+      insertions;
+    let repl =
+      Array.init n (fun pc ->
+          match replace pc with None -> [ f.Prog.code.(pc) ] | Some l -> l)
+    in
+    (* lay out the new index space: insertions at an anchor come first,
+       then the anchor's replacement (or the anchor itself) *)
+    let map = Array.make n (-1) in
+    let entries : ((int -> bool) * int) list array = Array.make n [] in
+    let pos = ref 0 in
+    for pc = 0 to n - 1 do
+      List.iter
+        (fun i ->
+          entries.(pc) <- entries.(pc) @ [ (i.via, !pos) ];
+          pos := !pos + List.length i.code)
+        ins_at.(pc);
+      match repl.(pc) with
+      | [] -> map.(pc) <- -1
+      | l ->
+          map.(pc) <- !pos;
+          pos := !pos + List.length l
+    done;
+    let total = !pos in
+    if total = 0 then invalid_arg "Rewrite.apply: rewrite deleted everything";
+    (* a branch to a deleted pc falls forward to the next survivor; a
+       branch into a fully deleted tail is parked on the last
+       instruction (only unreachable code can do that) *)
+    let rec newstart l =
+      if l >= n then total - 1
+      else if map.(l) >= 0 then map.(l)
+      else newstart (l + 1)
+    in
+    let target ~src l =
+      if l < 0 || l >= n then newstart l
+      else
+        let rec through = function
+          | [] -> newstart l
+          | (via, p) :: rest -> if via src then p else through rest
+        in
+        through entries.(l)
+    in
+    let retarget src (ins : Instr.t) : Instr.t =
+      match ins with
+      | Instr.Jmp l -> Instr.Jmp (target ~src l)
+      | Instr.Bnz (c, l1, l2) -> Instr.Bnz (c, target ~src l1, target ~src l2)
+      | Instr.Const _ | Instr.Bin _ | Instr.Un _ | Instr.Load _
+      | Instr.Store _ | Instr.Call _ | Instr.Ret _ | Instr.Intr _
+      | Instr.Mark _ ->
+          ins
+    in
+    let code = Array.make total (Instr.Mark 0) in
+    let lines = Array.make total 0 in
+    let regions = Array.make total (-1) in
+    let emit pc ins =
+      code.(!pos) <- ins;
+      lines.(!pos) <- f.Prog.lines.(pc);
+      regions.(!pos) <- f.Prog.regions.(pc);
+      incr pos
+    in
+    pos := 0;
+    for pc = 0 to n - 1 do
+      List.iter (fun i -> List.iter (emit pc) i.code) ins_at.(pc);
+      List.iter (fun ins -> emit pc (retarget pc ins)) repl.(pc)
+    done;
+    ( {
+        f with
+        Prog.code;
+        lines;
+        regions;
+        nregs = Option.value ~default:f.Prog.nregs nregs;
+      },
+      map )
+  end

@@ -1,0 +1,42 @@
+(** General function-body rewriting, extending {!Splice}'s old->new
+    pc-map contract with {e deletion} and {e replacement}.
+
+    [apply] rewrites one function in a single renumbering pass:
+    {ul
+    {- [replace pc] returns [None] to keep the instruction, [Some []]
+       to delete it, or [Some code] to substitute a straight-line
+       sequence (branch targets inside replacement code are given in
+       {e input} coordinates and are retargeted like kept code);}
+    {- each {!insertion} places straight-line code immediately before
+       its anchor.  Its [via] predicate decides, per branching source
+       pc, whether a branch to the anchor enters the inserted code or
+       keeps targeting the anchor itself — which is how a loop
+       preheader is built: back-edge sources answer [false].
+       Fall-through always enters the inserted code.}}
+
+    The returned map sends each input pc to the new index of its (first
+    replacement) instruction, or [-1] if it was deleted.  Branches to a
+    deleted pc are retargeted to the next surviving instruction, which
+    is semantics-preserving whenever deleted instructions are dead.
+    Inserted and replacement instructions inherit the anchor's
+    line/region metadata. *)
+
+type insertion = {
+  at : int;              (** anchor pc in the input function *)
+  code : Instr.t list;   (** straight-line instructions only *)
+  via : int -> bool;
+      (** does a branch from this old src pc enter the inserted code? *)
+}
+
+val before : ?via:(int -> bool) -> int -> Instr.t list -> insertion
+(** [before at code] inserts [code] immediately before [at]; [via]
+    defaults to accepting every branch edge. *)
+
+val apply :
+  ?nregs:int ->
+  ?insertions:insertion list ->
+  replace:(int -> Instr.t list option) ->
+  Prog.func ->
+  Prog.func * int array
+(** @raise Invalid_argument on out-of-range anchors, control flow in
+    inserted code, or a rewrite that deletes the whole body. *)

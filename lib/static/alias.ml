@@ -1,0 +1,106 @@
+(* Object-based alias analysis over the flat word memory.
+
+   The compiler materializes every address as either a literal constant
+   (scalars, folded constant indices) or an [Add] chain rooted at a
+   symbol's base address (array indexing).  Under the C object model an
+   access through an address derived from an object's base stays inside
+   that object, so the extent of the containing symbol bounds the words
+   the access can touch.  That is exactly the assumption every
+   production compiler's type/object-based aliasing makes; here it is
+   checked structurally against the symbol table, and the optimizer's
+   fault-free identity gate backstops it per program.
+
+   Resolution is deliberately conservative: an [Add] operand counts as
+   a base candidate only if its constant value is exactly a symbol's
+   starting address, both operands resolving to different symbols
+   yields unknown, and anything unresolvable yields unknown (which
+   clients must treat as "may touch every word"). *)
+
+type extent = { lo : int; len : int }
+
+type t = {
+  func : Prog.func;
+  rd : Reaching.t;
+  cp : Constprop.t;
+  (* symbols sorted by base address, as (addr, size) *)
+  syms : (int * int) array;
+}
+
+let symbol_words (s : Prog.symbol) : int =
+  List.fold_left ( * ) 1 s.Prog.sym_dims
+
+let make (prog : Prog.t) (f : Prog.func) ~(rd : Reaching.t)
+    ~(cp : Constprop.t) : t =
+  let syms =
+    List.map
+      (fun (s : Prog.symbol) -> (s.Prog.sym_addr, symbol_words s))
+      prog.Prog.symbols
+    |> List.sort compare |> Array.of_list
+  in
+  { func = f; rd; cp; syms }
+
+(* the symbol whose extent contains [addr] *)
+let containing (t : t) (addr : int) : extent option =
+  let n = Array.length t.syms in
+  let rec search lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let base, size = t.syms.(mid) in
+      if addr < base then search lo mid
+      else if addr >= base + size then search (mid + 1) hi
+      else Some { lo = base; len = size }
+  in
+  search 0 n
+
+let is_symbol_base (t : t) (addr : int) : bool =
+  Array.exists (fun (base, _) -> base = addr) t.syms
+
+let same_extent a b = a.lo = b.lo && a.len = b.len
+
+(** The extent the address value in [r] just before [pc] can point
+    into, if the addressing chain resolves to a single object. *)
+let extent_of (t : t) ~(pc : int) (r : Instr.reg) : extent option =
+  let code = t.func.Prog.code in
+  let rec ext depth pc r =
+    if depth <= 0 then None
+    else
+      match Constprop.const_of t.cp ~pc r with
+      | Some a ->
+          let a = Int64.to_int a in
+          containing t a
+      | None -> (
+          match Reaching.unique_def t.rd ~pc r with
+          | None -> None
+          | Some dpc -> (
+              match code.(dpc) with
+              | Instr.Bin (Op.Add, _, x, y) -> (
+                  let base_candidate o =
+                    match Constprop.const_of t.cp ~pc:dpc o with
+                    | Some a when is_symbol_base t (Int64.to_int a) ->
+                        containing t (Int64.to_int a)
+                    | Some _ | None -> ext (depth - 1) dpc o
+                  in
+                  match (base_candidate x, base_candidate y) with
+                  | Some e, None | None, Some e -> Some e
+                  | Some e1, Some e2 when same_extent e1 e2 -> Some e1
+                  | Some _, Some _ | None, None -> None)
+              | Instr.Bin ((Op.Or | Op.And), _, s, s') when s = s' ->
+                  ext (depth - 1) dpc s
+              | _ -> None))
+  in
+  ext 6 pc r
+
+let touches (e : extent) (addr : int) : bool =
+  addr >= e.lo && addr < e.lo + e.len
+
+(** For a [Store] through an unresolvable address at [pc]: the word
+    range it may write, as [(lo, len)], if the addressing chain
+    resolves to one object. *)
+let store_range (t : t) (pc : int) : (int * int) option =
+  match t.func.Prog.code.(pc) with
+  | Instr.Store (_, areg) -> (
+      match extent_of t ~pc areg with
+      | Some e -> Some (e.lo, e.len)
+      | None -> None)
+  | _ -> None

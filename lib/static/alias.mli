@@ -1,0 +1,29 @@
+(** Object-based alias analysis over the flat word memory.
+
+    Bounds the words an access through a computed address can touch by
+    resolving the compiler's addressing discipline against the symbol
+    table: an [Add] chain rooted at a symbol's base address stays
+    inside that symbol's extent (the C object-model assumption of
+    production compilers' type/object-based aliasing).  Anything that
+    does not resolve is unknown and must be treated as touching every
+    word. *)
+
+type extent = { lo : int; len : int }
+
+type t
+
+val make : Prog.t -> Prog.func -> rd:Reaching.t -> cp:Constprop.t -> t
+
+val containing : t -> int -> extent option
+(** The extent of the symbol whose words include the address. *)
+
+val extent_of : t -> pc:int -> Instr.reg -> extent option
+(** The object extent the address value in the register (just before
+    [pc]) can point into, if its addressing chain resolves. *)
+
+val touches : extent -> int -> bool
+
+val store_range : t -> int -> (int * int) option
+(** For a [Store] at this pc: the [(lo, len)] word range it may write,
+    when the address resolves to one object; [None] for non-stores and
+    unresolvable addresses. *)

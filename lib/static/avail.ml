@@ -1,0 +1,190 @@
+(** Availability analyses over the flat word memory and the register
+    file: forward {e must} problems (join is intersection) solved on the
+    generic {!Dataflow} engine.
+
+    {b Available loads.}  A pair [(r, a)] is available at a point when
+    register [r] provably holds the current contents of memory word [a]
+    on every path reaching it.  [Load (r, A)] and [Store (r, A)] with a
+    statically resolvable address both generate the pair; redefining
+    [r], storing to [a], storing through an unresolvable address,
+    calls, and [Randlc] kill.  Redundant-load elimination asks
+    {!holder_of} for a register already holding the word a load is
+    about to fetch.
+
+    {b Available copies.}  A pair [(d, s)] is available when [d]
+    provably equals [s].  The client recognizes copy instructions (the
+    IR has no move, so copies are identity-shaped [Bin]s); any
+    redefinition of either side kills the pair.  Copy propagation asks
+    {!copy_source} for an older name of a register operand.
+
+    Both lattices are optimistic: the symbolic top [All] (join
+    identity) seeds the iteration, entry boundary is the empty set, and
+    facts shrink to the fixpoint.  Unreachable code keeps [All]; the
+    query functions answer conservatively there. *)
+
+module P = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type fact = All | Pairs of P.t
+
+let join_fact a b =
+  match (a, b) with
+  | All, x | x, All -> x
+  | Pairs x, Pairs y -> Pairs (P.inter x y)
+
+let equal_fact a b =
+  match (a, b) with
+  | All, All -> true
+  | Pairs x, Pairs y -> P.equal x y
+  | (All | Pairs _), _ -> false
+
+let lat : fact Dataflow.lattice =
+  { Dataflow.bottom = All; equal = equal_fact; join = join_fact }
+
+(* transfer templates keep the symbolic top: All stays All *)
+let on_pairs f = function All -> All | Pairs s -> Pairs (f s)
+
+(* --- available loads ---------------------------------------------------- *)
+
+type t = {
+  func : Prog.func;
+  rd : Reaching.t;
+  before : fact array;  (* per pc: pairs (reg, word addr) available *)
+}
+
+let compute ?rd ?store_range (f : Prog.func) : t =
+  let rd = match rd with Some r -> r | None -> Reaching.compute f in
+  let cfg = Reaching.cfg rd in
+  let code = f.Prog.code in
+  let kill_reg r = P.filter (fun (x, _) -> x <> r) in
+  let kill_addr a = P.filter (fun (_, y) -> y <> a) in
+  (* kill every pair whose word lies inside [lo, lo+len) *)
+  let kill_range lo len = P.filter (fun (_, y) -> y < lo || y >= lo + len) in
+  let transfer pc fact =
+    match code.(pc) with
+    | Instr.Load (d, areg) -> (
+        match Reaching.const_addr rd ~pc areg with
+        | Some a -> on_pairs (fun s -> P.add (d, a) (kill_reg d s)) fact
+        | None -> on_pairs (kill_reg d) fact)
+    | Instr.Store (s, areg) -> (
+        match Reaching.const_addr rd ~pc areg with
+        | Some a -> on_pairs (fun set -> P.add (s, a) (kill_addr a set)) fact
+        | None -> (
+            (* unresolvable address: without alias information the store
+               may overwrite any tracked word; a resolved object extent
+               bounds the kill to that symbol's words *)
+            match Option.bind store_range (fun sr -> sr pc) with
+            | Some (lo, len) -> on_pairs (kill_range lo len) fact
+            | None -> Pairs P.empty))
+    | Instr.Intr (Instr.Randlc, args, ret) -> (
+        (* randlc writes its state word and its result register; when
+           the state address resolves, everything else survives *)
+        match
+          if Array.length args = 0 then None
+          else Reaching.const_addr rd ~pc args.(0)
+        with
+        | Some a ->
+            let kill_ret s =
+              match ret with Some d -> kill_reg d s | None -> s
+            in
+            on_pairs (fun s -> kill_ret (kill_addr a s)) fact
+        | None -> Pairs P.empty)
+    | Instr.Call _ -> Pairs P.empty
+    | Instr.Const (d, _)
+    | Instr.Bin (_, d, _, _)
+    | Instr.Un (_, d, _)
+    | Instr.Intr (_, _, Some d) ->
+        on_pairs (kill_reg d) fact
+    | Instr.Jmp _ | Instr.Bnz _ | Instr.Ret _
+    | Instr.Intr (_, _, None)
+    | Instr.Mark _ ->
+        fact
+  in
+  let sol =
+    Dataflow.solve ~dir:Dataflow.Forward ~lat ~boundary:(Pairs P.empty)
+      ~transfer cfg
+  in
+  let before = Reaching.per_pc_facts cfg ~transfer sol ~bottom:lat.Dataflow.bottom in
+  { func = f; rd; before }
+
+let available (t : t) ~(pc : int) : (Instr.reg * int) list =
+  if pc < 0 || pc >= Array.length t.before then []
+  else match t.before.(pc) with All -> [] | Pairs s -> P.elements s
+
+(** The lowest-numbered register provably holding memory word [addr]
+    just before [pc]. *)
+let holder_of (t : t) ~(pc : int) ~(addr : int) : Instr.reg option =
+  if pc < 0 || pc >= Array.length t.before then None
+  else
+    match t.before.(pc) with
+    | All -> None
+    | Pairs s ->
+        P.fold
+          (fun (r, a) best ->
+            if a <> addr then best
+            else
+              match best with Some b when b <= r -> best | _ -> Some r)
+          s None
+
+(* --- available copies --------------------------------------------------- *)
+
+type copies = {
+  cfunc : Prog.func;
+  cbefore : fact array;  (* per pc: pairs (dst, src) with dst = src *)
+}
+
+let compute_copies ?cfg (f : Prog.func)
+    ~(is_copy : int -> (Instr.reg * Instr.reg) option) : copies =
+  let cfg = match cfg with Some g -> g | None -> Cfg.build f in
+  let code = f.Prog.code in
+  let kill r = P.filter (fun (d, s) -> d <> r && s <> r) in
+  let transfer pc fact =
+    match is_copy pc with
+    | Some (d, s) when d <> s ->
+        (* d now equals s, and transitively every older name of s *)
+        on_pairs
+          (fun set ->
+            let set' = kill d set in
+            let aliases =
+              P.fold
+                (fun (x, y) acc -> if x = s then (d, y) :: acc else acc)
+                set' []
+            in
+            List.fold_left (fun acc p -> P.add p acc) (P.add (d, s) set')
+              aliases)
+          fact
+    | Some _ | None -> (
+        match Cfg.defs code.(pc) with
+        | [] -> (
+            match code.(pc) with
+            | Instr.Call _ | Instr.Intr (Instr.Randlc, _, _) ->
+                fact (* registers are per-frame: calls clobber no copies *)
+            | _ -> fact)
+        | ds -> on_pairs (fun s -> List.fold_left (fun s d -> kill d s) s ds) fact)
+  in
+  let sol =
+    Dataflow.solve ~dir:Dataflow.Forward ~lat ~boundary:(Pairs P.empty)
+      ~transfer cfg
+  in
+  let cbefore =
+    Reaching.per_pc_facts cfg ~transfer sol ~bottom:lat.Dataflow.bottom
+  in
+  { cfunc = f; cbefore }
+
+(** The lowest-numbered register provably equal to [r] just before
+    [pc], other than [r] itself. *)
+let copy_source (c : copies) ~(pc : int) (r : Instr.reg) : Instr.reg option =
+  if pc < 0 || pc >= Array.length c.cbefore then None
+  else
+    match c.cbefore.(pc) with
+    | All -> None
+    | Pairs s ->
+        P.fold
+          (fun (d, src) best ->
+            if d <> r || src = r then best
+            else
+              match best with Some b when b <= src -> best | _ -> Some src)
+          s None

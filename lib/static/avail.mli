@@ -1,0 +1,47 @@
+(** Forward must-analyses (join = intersection) on the {!Dataflow}
+    engine: available loads over the flat word memory, and available
+    register copies.  See the implementation header for the lattice. *)
+
+module P : Set.S with type elt = int * int
+
+type fact = All | Pairs of P.t
+
+(** {1 Available loads} *)
+
+type t = {
+  func : Prog.func;
+  rd : Reaching.t;
+  before : fact array;  (** per pc: pairs (reg, word addr) available *)
+}
+
+val compute :
+  ?rd:Reaching.t -> ?store_range:(int -> (int * int) option) -> Prog.func -> t
+(** [store_range pc] bounds the words a [Store] through an
+    unresolvable address at [pc] may write, as [(lo, len)] — typically
+    {!Alias.store_range}.  Without it (or when it answers [None]) such
+    a store kills every tracked pair. *)
+
+val available : t -> pc:int -> (Instr.reg * int) list
+
+val holder_of : t -> pc:int -> addr:int -> Instr.reg option
+(** The lowest-numbered register provably holding memory word [addr]
+    just before [pc]. *)
+
+(** {1 Available copies} *)
+
+type copies = {
+  cfunc : Prog.func;
+  cbefore : fact array;  (** per pc: pairs (dst, src) with dst = src *)
+}
+
+val compute_copies :
+  ?cfg:Cfg.t ->
+  Prog.func ->
+  is_copy:(int -> (Instr.reg * Instr.reg) option) ->
+  copies
+(** [is_copy pc] recognizes copy-shaped instructions, returning
+    [(dst, src)]. *)
+
+val copy_source : copies -> pc:int -> Instr.reg -> Instr.reg option
+(** The lowest-numbered register provably equal to [r] just before
+    [pc], other than [r] itself. *)

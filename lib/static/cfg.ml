@@ -119,6 +119,126 @@ let reachable_pcs (g : t) : bool array =
   let blocks_ok = reachable g in
   Array.map (fun b -> blocks_ok.(b)) g.block_of
 
+(* --- dominators and natural loops -------------------------------------- *)
+
+(** Immediate dominators, one block id per block; the entry block and
+    unreachable blocks get [-1].  Cooper–Harvey–Kennedy iteration over a
+    reverse postorder. *)
+let idoms (g : t) : int array =
+  let n = n_blocks g in
+  let idom = Array.make n (-1) in
+  if n = 0 then idom
+  else begin
+    (* reverse postorder over the reachable subgraph *)
+    let seen = Array.make n false in
+    let po = ref [] in
+    let rec dfs b =
+      if not seen.(b) then begin
+        seen.(b) <- true;
+        List.iter dfs g.blocks.(b).succs;
+        po := b :: !po
+      end
+    in
+    dfs 0;
+    let rpo = Array.of_list !po in
+    let order = Array.make n (-1) in
+    Array.iteri (fun i b -> order.(b) <- i) rpo;
+    (* during iteration the entry is its own idom so [intersect]
+       terminates; reset to -1 at the end *)
+    idom.(0) <- 0;
+    let intersect b1 b2 =
+      let f1 = ref b1 and f2 = ref b2 in
+      while !f1 <> !f2 do
+        while order.(!f1) > order.(!f2) do
+          f1 := idom.(!f1)
+        done;
+        while order.(!f2) > order.(!f1) do
+          f2 := idom.(!f2)
+        done
+      done;
+      !f1
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> 0 then begin
+            let processed =
+              List.filter
+                (fun p -> order.(p) >= 0 && idom.(p) >= 0)
+                g.blocks.(b).preds
+            in
+            match processed with
+            | [] -> ()
+            | p0 :: rest ->
+                let d = List.fold_left intersect p0 rest in
+                if idom.(b) <> d then begin
+                  idom.(b) <- d;
+                  changed := true
+                end
+          end)
+        rpo
+    done;
+    idom.(0) <- -1;
+    idom
+  end
+
+(** [dominates idom a b]: does block [a] dominate block [b]?  Both must
+    be reachable; every block dominates itself. *)
+let dominates (idom : int array) (a : int) (b : int) : bool =
+  let rec up x = x = a || (idom.(x) >= 0 && up idom.(x)) in
+  up b
+
+type loop = {
+  header : int;         (** header block id *)
+  members : bool array; (** per block id: inside the loop? *)
+}
+
+(** Natural loops of the back edges (edges whose target dominates their
+    source), merged per header, sorted by header block id. *)
+let natural_loops (g : t) : loop list =
+  let n = n_blocks g in
+  let idom = idoms g in
+  let reach = reachable g in
+  let loops : (int, bool array) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (b : block) ->
+      if reach.(b.bid) then
+        List.iter
+          (fun h ->
+            if reach.(h) && dominates idom h b.bid then begin
+              let members =
+                match Hashtbl.find_opt loops h with
+                | Some m -> m
+                | None ->
+                    let m = Array.make n false in
+                    m.(h) <- true;
+                    Hashtbl.add loops h m;
+                    m
+              in
+              let rec add x =
+                if not members.(x) then begin
+                  members.(x) <- true;
+                  List.iter add g.blocks.(x).preds
+                end
+              in
+              add b.bid
+            end)
+          b.succs)
+    g.blocks;
+  Hashtbl.fold (fun header members acc -> { header; members } :: acc) loops []
+  |> List.sort (fun a b -> compare a.header b.header)
+
+(** Per block, the number of natural loops containing it. *)
+let loop_depth (g : t) : int array =
+  let d = Array.make (n_blocks g) 0 in
+  List.iter
+    (fun l ->
+      Array.iteri (fun b inside -> if inside then d.(b) <- d.(b) + 1) l.members)
+    (natural_loops g);
+  d
+
 (* --- def/use sets ------------------------------------------------------ *)
 
 let defs (ins : Instr.t) : Instr.reg list =

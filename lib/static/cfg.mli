@@ -31,6 +31,25 @@ val reachable : t -> bool array
 val reachable_pcs : t -> bool array
 (** Per instruction: reachable from the function entry? *)
 
+val idoms : t -> int array
+(** Immediate dominator block per block; entry and unreachable blocks
+    get [-1]. *)
+
+val dominates : int array -> int -> int -> bool
+(** [dominates idom a b]: does block [a] dominate block [b]?  Pass the
+    array returned by {!idoms}. *)
+
+type loop = {
+  header : int;         (** header block id *)
+  members : bool array; (** per block id: inside the loop? *)
+}
+
+val natural_loops : t -> loop list
+(** Natural loops of the back edges, merged per header block. *)
+
+val loop_depth : t -> int array
+(** Per block: number of natural loops containing it. *)
+
 val defs : Instr.t -> Instr.reg list
 (** Registers written by the instruction (empty or a singleton). *)
 

@@ -1,0 +1,110 @@
+(** Constant propagation: a per-register constant lattice solved on the
+    generic {!Dataflow} worklist engine.
+
+    The lattice per register is [Unknown < Const k < Varies]: [Unknown]
+    is the join identity (no path has defined the register yet — only
+    unreachable code keeps it), [Const k] means every execution reaching
+    the point leaves bit pattern [k] in the register, and [Varies] is
+    the conservative top.  Values are raw [Value.t] bit patterns, so the
+    analysis is exact for floats too.
+
+    The transfer function folds [Bin]/[Un] over known-constant operands
+    with the real {!Op} evaluators; operations that would trap
+    (division by zero, [Fsqrt] of a negative, [IntOfFloat] of NaN) stay
+    [Varies] so the folder never hides a crash.  Loads, calls and
+    intrinsic results are [Varies]. *)
+
+type v = Unknown | Const of int64 | Varies
+
+let join_v (a : v) (b : v) : v =
+  match (a, b) with
+  | Unknown, x | x, Unknown -> x
+  | Const x, Const y when Int64.equal x y -> a
+  | Const _, Const _ -> Varies
+  | Varies, _ | _, Varies -> Varies
+
+let equal_v a b =
+  match (a, b) with
+  | Unknown, Unknown | Varies, Varies -> true
+  | Const x, Const y -> Int64.equal x y
+  | (Unknown | Const _ | Varies), _ -> false
+
+type t = {
+  func : Prog.func;
+  cfg : Cfg.t;
+  before : v array array;  (* per pc, per register: value before *)
+}
+
+(* Evaluate one instruction over a fact (facts are functional copies). *)
+let transfer_code (code : Instr.t array) (nregs : int) (pc : int)
+    (fact : v array) : v array =
+  let get r = if r >= 0 && r < nregs then fact.(r) else Varies in
+  let set d x =
+    if d >= 0 && d < nregs then begin
+      let fact = Array.copy fact in
+      fact.(d) <- x;
+      fact
+    end
+    else fact
+  in
+  match code.(pc) with
+  | Instr.Const (d, k) -> set d (Const k)
+  | Instr.Bin (op, d, a, b) -> (
+      match (get a, get b) with
+      | Const x, Const y -> (
+          match Op.eval_bin op x y with
+          | k -> set d (Const k)
+          | exception Op.Trap _ -> set d Varies)
+      | (Unknown | Const _ | Varies), _ -> set d Varies)
+  | Instr.Un (op, d, a) -> (
+      match get a with
+      | Const x -> (
+          match Op.eval_un op x with
+          | k -> set d (Const k)
+          | exception Op.Trap _ -> set d Varies)
+      | Unknown | Varies -> set d Varies)
+  | Instr.Load (d, _)
+  | Instr.Call (_, _, Some d)
+  | Instr.Intr (_, _, Some d) ->
+      set d Varies
+  | Instr.Store _ | Instr.Jmp _ | Instr.Bnz _
+  | Instr.Call (_, _, None)
+  | Instr.Ret _
+  | Instr.Intr (_, _, None)
+  | Instr.Mark _ ->
+      fact
+
+let compute ?cfg (f : Prog.func) : t =
+  let cfg = match cfg with Some g -> g | None -> Cfg.build f in
+  let nregs = f.Prog.nregs in
+  let lat : v array Dataflow.lattice =
+    {
+      Dataflow.bottom = Array.make nregs Unknown;
+      equal = (fun a b -> Array.for_all2 equal_v a b);
+      join = (fun a b -> Array.init nregs (fun i -> join_v a.(i) b.(i)));
+    }
+  in
+  let transfer = transfer_code f.Prog.code nregs in
+  (* registers start as zeroed words in the VM, but parameters are
+     blitted over them: all-Varies is sound for every function *)
+  let boundary = Array.make nregs Varies in
+  let sol = Dataflow.solve ~dir:Dataflow.Forward ~lat ~boundary ~transfer cfg in
+  let before =
+    Reaching.per_pc_facts cfg ~transfer sol ~bottom:lat.Dataflow.bottom
+  in
+  { func = f; cfg; before }
+
+let value_of (t : t) ~(pc : int) (r : Instr.reg) : v =
+  if pc < 0 || pc >= Array.length t.before || r < 0 || r >= t.func.Prog.nregs
+  then Varies
+  else t.before.(pc).(r)
+
+(** The constant bit pattern register [r] provably holds just before
+    [pc], if the analysis proves one on every path reaching [pc]. *)
+let const_of (t : t) ~(pc : int) (r : Instr.reg) : int64 option =
+  match value_of t ~pc r with Const k -> Some k | Unknown | Varies -> None
+
+let pp_v ppf = function
+  | Unknown -> Fmt.string ppf "?"
+  | Const k -> Fmt.pf ppf "0x%Lx" k
+  | Varies -> Fmt.string ppf "T"

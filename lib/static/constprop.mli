@@ -1,0 +1,29 @@
+(** Constant propagation over registers: a per-register constant
+    lattice ([Unknown] < [Const k] < [Varies]) solved forward on the
+    generic {!Dataflow} engine.  Constants are raw bit patterns, exact
+    for floats; folding uses the real {!Op} evaluators and refuses to
+    fold anything that would trap. *)
+
+type v = Unknown | Const of int64 | Varies
+
+val join_v : v -> v -> v
+val equal_v : v -> v -> bool
+
+type t = {
+  func : Prog.func;
+  cfg : Cfg.t;
+  before : v array array;  (** per pc, per register: value before *)
+}
+
+val compute : ?cfg:Cfg.t -> Prog.func -> t
+
+val transfer_code : Instr.t array -> int -> int -> v array -> v array
+(** [transfer_code code nregs pc fact] — the per-instruction transfer
+    function, exposed for clients composing their own solutions. *)
+
+val value_of : t -> pc:int -> Instr.reg -> v
+
+val const_of : t -> pc:int -> Instr.reg -> int64 option
+(** The constant register [r] provably holds just before [pc]. *)
+
+val pp_v : Format.formatter -> v -> unit

@@ -73,6 +73,8 @@ let compute ?(arity = 0) (f : Prog.func) : t =
   let before = per_pc_facts cfg ~transfer sol ~bottom:lat.Dataflow.bottom in
   { func = f; cfg; before }
 
+let cfg (t : t) : Cfg.t = t.cfg
+
 let defs_of (t : t) ~(pc : int) (r : Instr.reg) : int list =
   if pc < 0 || pc >= Array.length t.before || r < 0 || r >= t.func.Prog.nregs
   then []

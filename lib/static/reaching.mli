@@ -19,6 +19,19 @@ val compute : ?arity:int -> Prog.func -> t
 (** Forward reaching-definitions fixpoint.  Registers [0..arity-1] start
     as [param_def], the rest as [uninit_def]. *)
 
+val cfg : t -> Cfg.t
+(** The CFG the solution was computed over, for clients layering
+    further analyses on the same graph. *)
+
+val per_pc_facts :
+  Cfg.t ->
+  transfer:(int -> 'a -> 'a) ->
+  'a Dataflow.solution ->
+  bottom:'a ->
+  'a array
+(** Materialize the per-instruction "before" facts of a forward
+    solution (shared helper for the forward analyses). *)
+
 val defs_of : t -> pc:int -> Instr.reg -> int list
 (** Definition sites (sorted) that may reach the register just before
     [pc]; sentinels included.  Empty for unreachable code. *)

@@ -40,6 +40,7 @@ type kind =
   | Use_before_def
   | Unreachable_code
   | Dead_store
+  | Const_store_unread
   | Missing_return
 
 type diag = {
@@ -66,6 +67,7 @@ let kind_to_string = function
   | Use_before_def -> "use-before-def"
   | Unreachable_code -> "unreachable-code"
   | Dead_store -> "dead-store"
+  | Const_store_unread -> "const-store-unread"
   | Missing_return -> "missing-return"
 
 let errors ds = List.filter (fun d -> d.sev = Error) ds
@@ -102,6 +104,13 @@ let verify (p : Prog.t) : diag list =
   if p.Prog.entry < 0 || p.Prog.entry >= nfuncs then
     push Error Bad_entry "entry function index %d out of range [0,%d)"
       p.Prog.entry nfuncs;
+  (* program-wide read set for the const-store-unread check: words any
+     load or randlc can read; a single unresolvable address makes the
+     whole check abstain *)
+  let any_unknown_read = ref false in
+  let read_words : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let read_extents : Alias.extent list ref = ref [] in
+  let const_store_sites = ref [] in
 
   (* --- per-function: structural checks, then dataflow ------------------ *)
   let summaries =
@@ -262,6 +271,35 @@ let verify (p : Prog.t) : diag list =
                     | _ -> ())
                 | _ -> ())
             code;
+          (* feed the program-wide const-store-unread check: what this
+             function can read, and its constant stores to known words *)
+          let cp = Constprop.compute ~cfg f in
+          let al = Alias.make p f ~rd ~cp in
+          Array.iteri
+            (fun pc ins ->
+              if reach_pc.(pc) then
+                match (ins : Instr.t) with
+                | Load (_, a) -> (
+                    match Reaching.const_addr rd ~pc a with
+                    | Some addr -> Hashtbl.replace read_words addr ()
+                    | None -> (
+                        match Alias.extent_of al ~pc a with
+                        | Some e -> read_extents := e :: !read_extents
+                        | None -> any_unknown_read := true))
+                | Intr (Instr.Randlc, args, _) when Array.length args > 0 -> (
+                    match Reaching.const_addr rd ~pc args.(0) with
+                    | Some addr -> Hashtbl.replace read_words addr ()
+                    | None -> any_unknown_read := true)
+                | Store (s, a) -> (
+                    match
+                      (Reaching.const_addr rd ~pc a, Constprop.const_of cp ~pc s)
+                    with
+                    | Some addr, Some k ->
+                        const_store_sites :=
+                          (fname, pc, line_of pc, addr, k) :: !const_store_sites
+                    | _ -> ())
+                | _ -> ())
+            code;
           {
             structurally_ok = true;
             required_arity;
@@ -271,6 +309,25 @@ let verify (p : Prog.t) : diag list =
         end)
       p.Prog.funcs
   in
+
+  (* --- program-level: constant stores nothing can read ----------------- *)
+  (* sound only when every load's address resolved to a word or an
+     object extent; one opaque read makes the whole program abstain *)
+  if not !any_unknown_read then
+    List.iter
+      (fun (fname, pc, line, addr, k) ->
+        let read =
+          Hashtbl.mem read_words addr
+          || List.exists (fun e -> Alias.touches e addr) !read_extents
+        in
+        if not read then
+          push ~fname ~pc ~line Warning Const_store_unread
+            "stores constant %Ld to %s, which no load in the program reads"
+            k
+            (match symbol_name p addr with
+            | Some s -> Printf.sprintf "%S (word %d)" s addr
+            | None -> Printf.sprintf "word %d" addr))
+      (List.rev !const_store_sites);
 
   (* --- program-level: call sites and entry ----------------------------- *)
   let called = Array.make nfuncs false in

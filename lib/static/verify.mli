@@ -20,6 +20,10 @@ type kind =
   | Unreachable_code     (** instructions no path reaches *)
   | Dead_store           (** register def never used, or a named word
                              overwritten before any possible read *)
+  | Const_store_unread   (** a statically-known constant stored to a word
+                             no load in the whole program can read; only
+                             reported when every load address resolves
+                             (to a word or an object extent) *)
   | Missing_return       (** control can fall off the end of a function *)
 
 type diag = {

@@ -28,5 +28,6 @@ let () =
       Test_experiments.suite;
       Test_usecases.suite;
       Test_integration.suite;
+      Test_opt.suite;
       Test_differential.suite;
     ]

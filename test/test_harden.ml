@@ -188,6 +188,7 @@ let test_verify_gate () =
                 sites_considered = 1;
                 sites_changed = 1;
                 instrs_added = 0;
+                instrs_removed = 0;
                 regs_added = 0;
                 changes = [];
                 protective = [];

@@ -295,6 +295,44 @@ let test_verify_warnings_and_report () =
   let lines = String.split_on_char '\n' (String.trim csv) in
   Alcotest.(check int) "csv rows" (List.length ds + 1) (List.length lines)
 
+let test_verify_const_store_unread () =
+  let has_csu ds =
+    List.exists
+      (fun (d : Verify.diag) -> d.Verify.kind = Verify.Const_store_unread)
+      (Verify.warnings ds)
+  in
+  (* constant 7 stored to word 3, and nothing in the program loads it *)
+  let unread =
+    prog
+      [
+        func ~fname:"main"
+          [|
+            Instr.Const (0, 3L);
+            Instr.Const (1, 7L);
+            Instr.Store (1, 0);
+            Instr.Ret None;
+          |];
+      ]
+  in
+  Alcotest.(check bool) "unread const store flagged" true
+    (has_csu (Verify.verify unread));
+  (* same store, but a later load reads the word: no warning *)
+  let read =
+    prog
+      [
+        func ~fname:"main"
+          [|
+            Instr.Const (0, 3L);
+            Instr.Const (1, 7L);
+            Instr.Store (1, 0);
+            Instr.Load (2, 0);
+            Instr.Ret (Some 2);
+          |];
+      ]
+  in
+  Alcotest.(check bool) "read const store not flagged" false
+    (has_csu (Verify.verify read))
+
 (* --- vulnerability ranking ---------------------------------------------- *)
 
 let test_vuln_rank_cg () =
@@ -382,6 +420,8 @@ let suite =
         test_verify_missing_return;
       Alcotest.test_case "verify: warnings + report" `Quick
         test_verify_warnings_and_report;
+      Alcotest.test_case "verify: const store unread" `Quick
+        test_verify_const_store_unread;
       Alcotest.test_case "vuln: rank CG" `Slow test_vuln_rank_cg;
       Alcotest.test_case "vuln: protection lowers score" `Quick
         test_vuln_protection_lowers_score;
