@@ -596,6 +596,89 @@ let recovery_overhead _effort =
     "(fault-free armed runs take zero restores and print byte-identical \
      output; the overhead is the bounded-interval snapshot copies)"
 
+(* --- server-scale -------------------------------------------------------- *)
+
+(* The campaign server against the in-process executor: forked-worker
+   throughput, the overhead of journaling every trial, and the cost of
+   surviving SIGKILLed workers — with every row required to produce
+   counts byte-identical to the --jobs 1 reference. *)
+let server_scale (effort : Effort.t) =
+  header "server-scale: forked campaign server, trials/sec vs workers";
+  let trials =
+    min 192
+      (Option.value ~default:192 effort.Effort.campaign.Campaign.max_trials * 4)
+  in
+  let ccfg =
+    { effort.Effort.campaign with Campaign.max_trials = Some trials }
+  in
+  match Server.plan_of_app "IS" with
+  | Error e ->
+      Printf.printf "server-scale: cannot bake IS: %s\n" e;
+      exit 1
+  | Ok plan ->
+      let s = Server.campaign_spec plan ccfg in
+      let t0 = Unix.gettimeofday () in
+      let reference =
+        Executor.run ~cfg:{ Executor.default_config with jobs = 1 } s
+      in
+      let ref_wall = Unix.gettimeofday () -. t0 in
+      let ref_counts =
+        Csexp.to_string
+          (Campaign.counts_to_csexp
+             (Campaign.counts_of_outcomes reference.Executor.outcomes))
+      in
+      Printf.printf "%-22s %-8s %10s %12s %10s %8s %6s\n" "configuration"
+        "workers" "trials" "wall(s)" "trials/s" "speedup" "ident";
+      let row name workers wall counts =
+        Printf.printf "%-22s %-8d %10d %12.3f %10.1f %7.2fx %6s\n" name
+          workers trials wall
+          (float_of_int trials /. Float.max 1e-9 wall)
+          (ref_wall /. Float.max 1e-9 wall)
+          (if String.equal counts ref_counts then "yes" else "NO")
+      in
+      row "executor --jobs 1" 1 ref_wall ref_counts;
+      let server_row name workers chaos journal =
+        let dir =
+          if not journal then None
+          else begin
+            let d =
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "ft-bench-server-%d-%s" (Unix.getpid ()) name)
+            in
+            Some d
+          end
+        in
+        let cfg =
+          {
+            Server.default_config with
+            Server.workers;
+            batch = 16;
+            journal_dir = dir;
+            chaos_kills = chaos;
+            heartbeat_s = 30.0;
+          }
+        in
+        let t0 = Unix.gettimeofday () in
+        let counts, _ = Server.run_campaign ~cfg plan ccfg in
+        let wall = Unix.gettimeofday () -. t0 in
+        row name workers wall
+          (Csexp.to_string (Campaign.counts_to_csexp counts));
+        Option.iter
+          (fun d ->
+            ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote d))))
+          dir
+      in
+      server_row "server" 1 [] false;
+      server_row "server" 2 [] false;
+      server_row "server" 4 [] false;
+      server_row "server+journal" 4 [] true;
+      server_row "server+chaos" 2 [ trials / 4; trials / 2 ] false;
+      print_endline
+        "(ident = counts byte-identical to the --jobs 1 reference; the \
+         chaos row SIGKILLs two workers mid-campaign and must still say \
+         yes)"
+
 (* --- driver ------------------------------------------------------------- *)
 
 let all_experiments =
@@ -604,7 +687,7 @@ let all_experiments =
     ("tab1", tab1); ("tab2", tab2); ("tab3", tab3); ("tab4", tab4);
     ("ablate", ablate); ("perf", perf); ("campaign-scale", campaign_scale);
     ("trace-codec", trace_codec); ("harden-overhead", harden_overhead);
-    ("recovery-overhead", recovery_overhead);
+    ("recovery-overhead", recovery_overhead); ("server-scale", server_scale);
   ]
 
 let () =

@@ -960,6 +960,153 @@ let recovery_eval_cmd =
     Term.(const run $ app_arg $ size $ serial_trials $ mpi_trials
           $ msg_trials $ seed $ models $ csv)
 
+(* --- the campaign service (serve / submit / status / shutdown) ---------- *)
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/fliptracker.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket of the campaign server.")
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int Server.default_config.Server.workers
+         & info [ "workers" ] ~docv:"N" ~doc:"Forked worker processes.")
+  in
+  let batch =
+    Arg.(value & opt int Server.default_config.Server.batch
+         & info [ "batch" ] ~docv:"N" ~doc:"Trials per lease.")
+  in
+  let shards =
+    Arg.(value & opt int Server.default_config.Server.shards
+         & info [ "shards" ] ~docv:"N" ~doc:"Journal shards per campaign.")
+  in
+  let journal_dir =
+    Arg.(value & opt (some string) None & info [ "journal-dir" ] ~docv:"DIR"
+           ~doc:"Root directory for per-campaign sharded journals; an \
+                 interrupted campaign resubmitted later resumes from here.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Content-addressed cache of baked programs and golden runs \
+                 (campaigns warm-start across server restarts).")
+  in
+  let heartbeat =
+    Arg.(value & opt float Server.default_config.Server.heartbeat_s
+         & info [ "heartbeat" ] ~docv:"S"
+             ~doc:"Worker lease deadline: a leased worker silent for $(docv) \
+                   seconds is SIGKILLed and its batch re-assigned.")
+  in
+  let max_lease_attempts =
+    Arg.(value & opt int Server.default_config.Server.max_lease_attempts
+         & info [ "max-lease-attempts" ] ~docv:"N"
+             ~doc:"Lease failures tolerated per batch before the campaign \
+                   is poisoned.")
+  in
+  let run socket workers batch shards journal_dir cache_dir heartbeat
+      max_lease_attempts metrics =
+    let obs = Obs.create () in
+    let cfg =
+      {
+        Server.default_config with
+        Server.workers;
+        batch;
+        shards;
+        journal_dir;
+        heartbeat_s = heartbeat;
+        max_lease_attempts;
+        metrics = (if metrics then Some obs else None);
+      }
+    in
+    Printf.eprintf "campaign server listening on %s (%d workers)\n%!" socket
+      workers;
+    Server.serve ~cfg ?cache_dir ~socket ();
+    if metrics then print_string (Obs.report obs)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign server: a long-lived process that accepts \
+          campaign submissions over a Unix socket and schedules trial \
+          batches across forked workers under heartbeat-guarded leases, \
+          with sharded journals and deterministic worker-failure recovery.")
+    Term.(const run $ socket_arg $ workers $ batch $ shards $ journal_dir
+          $ cache_dir $ heartbeat $ max_lease_attempts $ metrics_arg)
+
+let submit_cmd =
+  let trials =
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N"
+           ~doc:"Number of injections (default: statistical design, capped).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign RNG seed.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress stream.")
+  in
+  let run name socket trials seed model recovery quiet =
+    let spec =
+      {
+        Campaign.sp_app = name;
+        sp_seed = seed;
+        sp_trials = (match trials with Some _ -> trials | None -> Some 500);
+        sp_model = model;
+        sp_recovery = recovery;
+      }
+    in
+    let on_progress ~completed ~planned =
+      if not quiet then begin
+        Printf.eprintf "\rsubmit: %d/%d trials   " completed planned;
+        flush stderr
+      end
+    in
+    match Client.submit ~on_progress ~socket spec with
+    | Ok counts ->
+        if not quiet then prerr_newline ();
+        Fmt.pr "%a@." Campaign.pp_counts counts
+    | Error e ->
+        if not quiet then prerr_newline ();
+        Printf.eprintf "submit: %s\n" e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a whole-program campaign to a running campaign server and \
+          stream its progress; counts are byte-identical to running the \
+          same campaign locally with --jobs 1.")
+    Term.(const run $ app_arg $ socket_arg $ trials $ seed $ fault_model_arg
+          $ recover_arg $ quiet)
+
+let status_cmd =
+  let run socket =
+    match Client.status ~socket () with
+    | Ok s ->
+        Printf.printf "state: %s\ncompleted: %d/%d\ncampaigns finished: %d\n"
+          s.Proto.st_state s.Proto.st_completed s.Proto.st_planned
+          s.Proto.st_campaigns
+    | Error e ->
+        Printf.eprintf "status: %s\n" e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Probe a running campaign server (live even mid-campaign).")
+    Term.(const run $ socket_arg)
+
+let shutdown_cmd =
+  let run socket =
+    match Client.shutdown ~socket () with
+    | Ok () -> print_endline "server shut down"
+    | Error e ->
+        Printf.eprintf "shutdown: %s\n" e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Ask a running campaign server to exit (finishes any campaign \
+             in flight first).")
+    Term.(const run $ socket_arg)
+
 let () =
   let doc = "fine-grained error-propagation and resilience analysis" in
   let info = Cmd.info "fliptracker" ~version:"1.0.0" ~doc in
@@ -969,5 +1116,6 @@ let () =
           [
             list_cmd; trace_cmd; inject_cmd; campaign_cmd; patterns_cmd;
             rates_cmd; acl_cmd; lint_cmd; static_rank_cmd; harden_cmd;
-            optimize_cmd; mpi_campaign_cmd; recovery_eval_cmd;
+            optimize_cmd; mpi_campaign_cmd; recovery_eval_cmd; serve_cmd;
+            submit_cmd; status_cmd; shutdown_cmd;
           ]))

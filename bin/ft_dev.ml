@@ -220,6 +220,161 @@ let profile name =
       end)
     l
 
+(* --- journal inspect / verify / compact ---------------------------------- *)
+
+let journal_files (path : string) : string list =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".journal")
+    |> List.sort compare
+    |> List.map (Filename.concat path)
+  else [ path ]
+
+let trial_key (r : Csexp.t) : string option =
+  match r with
+  | Csexp.List (Csexp.Atom "t" :: Csexp.Atom idx :: _) -> Some idx
+  | _ -> None
+
+(* one journal file's shape: header, record tallies, torn tail *)
+let inspect_one (path : string) : bool =
+  let records, valid_end = Journal.load path in
+  let size = (Unix.stat path).Unix.st_size in
+  let torn = size - valid_end in
+  Printf.printf "%s\n" path;
+  (match records with
+  | Csexp.List
+      [ Csexp.Atom magic; Csexp.Atom version; Csexp.Atom tag; Csexp.Atom total ]
+    :: rest
+    when magic = "fliptracker-journal" ->
+      Printf.printf "  header: v%s tag %s, %s trials planned\n" version tag
+        total;
+      let ok = ref 0 and infra = Hashtbl.create 4 and other = ref 0 in
+      let seen = Hashtbl.create 256 and dups = ref 0 in
+      List.iter
+        (fun r ->
+          match r with
+          | Csexp.List
+              (Csexp.Atom "t" :: Csexp.Atom idx :: Csexp.Atom verdict :: _) ->
+              if Hashtbl.mem seen idx then incr dups
+              else Hashtbl.add seen idx ();
+              if verdict = "ok" then incr ok
+              else (
+                let k =
+                  match r with
+                  | Csexp.List [ _; _; _; Csexp.Atom m ] ->
+                      Infra.kind_of_message m
+                  | _ -> "unknown"
+                in
+                Hashtbl.replace infra k
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt infra k)))
+          | _ -> incr other)
+        rest;
+      Printf.printf "  records: %d trials (%d ok" (Hashtbl.length seen) !ok;
+      Hashtbl.iter (fun k v -> Printf.printf ", %d infra/%s" v k) infra;
+      Printf.printf ")%s%s\n"
+        (if !dups > 0 then Printf.sprintf ", %d superseded duplicates" !dups
+         else "")
+        (if !other > 0 then Printf.sprintf ", %d foreign records" !other
+         else "")
+  | [] -> Printf.printf "  empty journal\n"
+  | _ -> Printf.printf "  NO VALID HEADER (not a campaign journal?)\n");
+  Printf.printf "  valid prefix: %d of %d bytes%s\n" valid_end size
+    (if torn > 0 then
+       Printf.sprintf " — TORN TAIL (%d bytes would be healed)" torn
+     else "");
+  torn = 0 && records <> []
+
+let journal_cmd (action : string) (path : string) =
+  let files = journal_files path in
+  if files = [] then begin
+    Printf.eprintf "journal: no .journal files under %s\n" path;
+    exit 2
+  end;
+  match action with
+  | "inspect" -> ignore (List.map inspect_one files)
+  | "verify" ->
+      let healthy = List.for_all inspect_one files in
+      if healthy then print_endline "journal: OK"
+      else begin
+        print_endline "journal: UNHEALTHY (torn tail or missing header)";
+        exit 1
+      end
+  | "compact" ->
+      List.iter
+        (fun f ->
+          let before, after = Journal.compact ~key:trial_key f in
+          Printf.printf "%s: %d -> %d bytes (%.0f%%)\n" f before after
+            (100.0 *. float_of_int after /. float_of_int (max 1 before)))
+        files
+  | other ->
+      Printf.eprintf
+        "journal: unknown action %s (expected inspect|verify|compact)\n" other;
+      exit 2
+
+(* --- chaos-campaign: the worker-failure determinism gate ------------------ *)
+
+(* Run the same campaign twice — in-process with jobs 1, then on the
+   multi-process server while SIGKILLing workers mid-flight — and fail
+   unless the counts are byte-identical (csexp encoding compared as
+   strings, infra and recovery fields included). *)
+let chaos_campaign (name : string) ~(workers : int) ~(kills : int list)
+    ~(trials : int) =
+  match Server.plan_of_app name with
+  | Error e ->
+      Printf.eprintf "chaos-campaign: %s\n" e;
+      exit 2
+  | Ok plan ->
+      let ccfg =
+        { Campaign.default_config with Campaign.max_trials = Some trials }
+      in
+      let spec = Server.campaign_spec plan ccfg in
+      let kills =
+        if kills <> [] then kills
+        else [ spec.Executor.total / 4; spec.Executor.total / 2 ]
+      in
+      let reference =
+        Executor.run ~cfg:{ Executor.default_config with Executor.jobs = 1 }
+          spec
+      in
+      let ref_counts = Campaign.counts_of_outcomes reference.Executor.outcomes in
+      let obs = Obs.create () in
+      let cfg =
+        {
+          Server.default_config with
+          Server.workers;
+          chaos_kills = kills;
+          heartbeat_s = 10.0;
+          metrics = Some obs;
+        }
+      in
+      let counts, report = Server.run_campaign ~cfg plan ccfg in
+      let enc c = Csexp.to_string (Campaign.counts_to_csexp c) in
+      Printf.printf "reference (--jobs 1): %s\n" (enc ref_counts);
+      Printf.printf "server (%d workers, kills at %s): %s\n" workers
+        (String.concat "," (List.map string_of_int kills))
+        (enc counts);
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-28s %d\n" k v)
+        (Obs.counters obs);
+      let killed =
+        Option.value ~default:0 (Obs.counter_value obs "server/chaos-kills")
+      in
+      if killed = 0 then begin
+        print_endline "chaos-campaign: FAILED (no worker was killed)";
+        exit 1
+      end;
+      if report.Executor.completed <> reference.Executor.completed then begin
+        Printf.printf "chaos-campaign: FAILED (completed %d vs %d)\n"
+          report.Executor.completed reference.Executor.completed;
+        exit 1
+      end;
+      if String.equal (enc counts) (enc ref_counts) then
+        print_endline "chaos-campaign: OK (counts byte-identical)"
+      else begin
+        print_endline "chaos-campaign: FAILED (counts diverge)";
+        exit 1
+      end
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "lint-all" :: _ -> lint_all ()
@@ -236,6 +391,24 @@ let () =
       Fmt.pr "%a@." Prog.pp prog
   | _ :: "trace-roundtrip" :: rest ->
       trace_roundtrip (match rest with name :: _ -> name | [] -> "IS")
+  | _ :: "journal" :: action :: path :: _ -> journal_cmd action path
+  | _ :: "journal" :: _ ->
+      Printf.eprintf "usage: ft_dev journal inspect|verify|compact PATH\n";
+      exit 2
+  | _ :: "chaos-campaign" :: rest ->
+      let name = ref "IS" and workers = ref 2 and trials = ref 96 in
+      let kills = ref [] in
+      let rec parse = function
+        | [] -> ()
+        | "--workers" :: n :: r -> workers := int_of_string n; parse r
+        | "--trials" :: n :: r -> trials := int_of_string n; parse r
+        | "--kills" :: ks :: r ->
+            kills := List.map int_of_string (String.split_on_char ',' ks);
+            parse r
+        | n :: r -> name := n; parse r
+      in
+      parse rest;
+      chaos_campaign !name ~workers:!workers ~kills:!kills ~trials:!trials
   | _ :: "sites" :: _ -> sites ()
   | _ :: "radd" :: name :: _ ->
       let a = Registry.find name in

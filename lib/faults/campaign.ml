@@ -438,6 +438,9 @@ type exec = {
   batch : int;  (** journal/early-stop granularity (fixed boundaries) *)
   max_retries : int;
   retry_backoff_s : float;
+  retry_jitter : float;
+      (** deterministic per-(trial, attempt) backoff jitter; timing
+          only, counts are unaffected (see {!Executor.config}) *)
   on_progress : (Executor.progress -> unit) option;
   metrics : Obs.t option;  (** executor phase/counter registry *)
 }
@@ -452,6 +455,7 @@ let default_exec =
     batch = Executor.default_config.Executor.batch;
     max_retries = Executor.default_config.Executor.max_retries;
     retry_backoff_s = Executor.default_config.Executor.retry_backoff_s;
+    retry_jitter = Executor.default_config.Executor.retry_jitter;
     on_progress = None;
     metrics = None;
   }
@@ -484,6 +488,49 @@ let decode_outcome = function
     when the rate is extreme, and stopping there would be dishonest. *)
 let early_stop_min_trials = 50
 
+(** The journal identity of a campaign.  The historical tag stays
+    byte-identical under the default model/policy, so pre-existing
+    journals keep resuming; any other configuration gets its own tag
+    and cannot silently resume a journal recorded under different
+    semantics.  Shared with the campaign server so a server-mode
+    journal and a [--jobs 1] journal of the same campaign are
+    interchangeable. *)
+let campaign_tag (cfg : config) ~(population : int) ~(trials : int) : string =
+  let base =
+    Printf.sprintf "campaign:v1:seed=%d:population=%d:trials=%d" cfg.seed
+      population trials
+  in
+  let base =
+    match (cfg.model, cfg.recovery) with
+    | Fault_model.Single_bit, No_recovery -> base
+    | m, r ->
+        Printf.sprintf "%s:model=%s:recover=%s" base (Fault_model.to_string m)
+          (recovery_to_string r)
+  in
+  match cfg.site_level with
+  | Native -> base
+  | Reference ->
+      Printf.sprintf "%s:sites=%s" base (site_level_to_string cfg.site_level)
+
+(** The deterministic per-trial kernel: trial [i] derives its own RNG
+    stream from [(cfg.seed, i)], samples one fault from [t], and runs
+    one classified execution.  Extracted from {!run_report} so every
+    engine that schedules trials — the in-process executor, the
+    campaign server's forked workers — runs {e this exact function},
+    which is what makes counts a pure function of the configuration
+    regardless of which process computed which index. *)
+let trial_fun (prog : Prog.t) ~(verify : Machine.result -> bool)
+    ~(clean_instructions : int) ?(cfg = default_config)
+    ?(watchdog_s : float option) (t : target) : int -> outcome_class =
+  let budget = cfg.budget_factor * max 1 clean_instructions in
+  fun i ->
+    let rng = Rng.derive ~seed:cfg.seed ~index:i in
+    let fault = sample_fault ~model:cfg.model rng t in
+    let watchdog =
+      Option.map (fun s -> Watchdog.create ~seconds:s ()) watchdog_s
+    in
+    run_one prog ~budget ?watchdog ~recovery:cfg.recovery ~verify fault
+
 let counts_of_outcomes (outcomes : outcome_class Executor.outcome array) :
     counts =
   Array.fold_left
@@ -504,14 +551,9 @@ let run_report (prog : Prog.t) ~(verify : Machine.result -> bool)
     ?(exec = default_exec) (t : target) : run_report =
   let population = target_population t in
   let trials = if population = 0 then 0 else trials_for cfg t in
-  let budget = cfg.budget_factor * max 1 clean_instructions in
-  let run_trial i =
-    let rng = Rng.derive ~seed:cfg.seed ~index:i in
-    let fault = sample_fault ~model:cfg.model rng t in
-    let watchdog =
-      Option.map (fun s -> Watchdog.create ~seconds:s ()) exec.watchdog_s
-    in
-    run_one prog ~budget ?watchdog ~recovery:cfg.recovery ~verify fault
+  let run_trial =
+    trial_fun prog ~verify ~clean_instructions ~cfg ?watchdog_s:exec.watchdog_s
+      t
   in
   let should_stop =
     if not exec.early_stop then None
@@ -530,27 +572,7 @@ let run_report (prog : Prog.t) ~(verify : Machine.result -> bool)
   in
   let spec =
     {
-      Executor.tag =
-        (* the historical tag stays byte-identical under the default
-           model/policy, so pre-existing journals keep resuming; any
-           other configuration gets its own tag and cannot silently
-           resume a journal recorded under different semantics *)
-        (let base =
-           Printf.sprintf "campaign:v1:seed=%d:population=%d:trials=%d"
-             cfg.seed population trials
-         in
-         let base =
-           match (cfg.model, cfg.recovery) with
-           | Fault_model.Single_bit, No_recovery -> base
-           | m, r ->
-               Printf.sprintf "%s:model=%s:recover=%s" base
-                 (Fault_model.to_string m) (recovery_to_string r)
-         in
-         match cfg.site_level with
-         | Native -> base
-         | Reference ->
-             Printf.sprintf "%s:sites=%s" base
-               (site_level_to_string cfg.site_level));
+      Executor.tag = campaign_tag cfg ~population ~trials;
       total = trials;
       run_trial;
       encode = encode_outcome;
@@ -566,6 +588,7 @@ let run_report (prog : Prog.t) ~(verify : Machine.result -> bool)
       resume = exec.resume;
       max_retries = exec.max_retries;
       retry_backoff_s = exec.retry_backoff_s;
+      retry_jitter = exec.retry_jitter;
       on_progress = exec.on_progress;
       metrics = exec.metrics;
     }
@@ -583,3 +606,121 @@ let run (prog : Prog.t) ~(verify : Machine.result -> bool)
     ~(clean_instructions : int) ?(cfg = default_config)
     ?(exec = default_exec) (t : target) : counts =
   (run_report prog ~verify ~clean_instructions ~cfg ~exec t).counts
+
+(* --- campaign submission / streaming (the wire API) --------------------- *)
+
+(** A submittable whole-program campaign: everything a remote campaign
+    service needs to reconstruct the exact statistical design — the app
+    spelling ([CG], [CG@all], [IS@opt:fold+dce]…), the seed, the trial
+    cap, the fault model, and the recovery policy.  Deliberately {e not}
+    the program itself: the server resolves and bakes the app on its
+    side (and caches the result content-addressed), so a submission is
+    a few hundred bytes. *)
+type spec = {
+  sp_app : string;
+  sp_seed : int;
+  sp_trials : int option;  (** [max_trials]; [None] = full design *)
+  sp_model : Fault_model.t;
+  sp_recovery : recovery;
+}
+
+let default_spec =
+  {
+    sp_app = "IS";
+    sp_seed = default_config.seed;
+    sp_trials = Some 500;
+    sp_model = Fault_model.Single_bit;
+    sp_recovery = No_recovery;
+  }
+
+(** The statistical design a submission stands for. *)
+let config_of_spec (s : spec) : config =
+  {
+    default_config with
+    seed = s.sp_seed;
+    max_trials = s.sp_trials;
+    model = s.sp_model;
+    recovery = s.sp_recovery;
+  }
+
+let spec_to_csexp (s : spec) : Csexp.t =
+  Csexp.(
+    List
+      [
+        Atom "campaign-spec";
+        Atom s.sp_app;
+        Atom (string_of_int s.sp_seed);
+        Atom
+          (match s.sp_trials with Some n -> string_of_int n | None -> "full");
+        Atom (Fault_model.to_string s.sp_model);
+        Atom (recovery_to_string s.sp_recovery);
+      ])
+
+let spec_of_csexp (c : Csexp.t) : (spec, string) result =
+  match c with
+  | Csexp.List
+      [
+        Csexp.Atom "campaign-spec";
+        Csexp.Atom app;
+        Csexp.Atom seed;
+        Csexp.Atom trials;
+        Csexp.Atom model;
+        Csexp.Atom recovery;
+      ] -> (
+      match
+        ( int_of_string_opt seed,
+          (if String.equal trials "full" then Some None
+           else Option.map Option.some (int_of_string_opt trials)),
+          Fault_model.of_string model,
+          recovery_of_string recovery )
+      with
+      | Some sp_seed, Some sp_trials, Ok sp_model, Ok sp_recovery ->
+          Ok { sp_app = app; sp_seed; sp_trials; sp_model; sp_recovery }
+      | None, _, _, _ -> Error (Printf.sprintf "bad campaign seed %S" seed)
+      | _, None, _, _ -> Error (Printf.sprintf "bad trial cap %S" trials)
+      | _, _, Error e, _ -> Error e
+      | _, _, _, Error e -> Error e)
+  | _ -> Error "not a campaign-spec record"
+
+(** Counts on the wire, field-ordered and versioned: the streaming
+    progress/result records of the campaign service, and the byte
+    representation the determinism gate compares — "byte-identical to
+    [--jobs 1]" means these encodings are equal as strings. *)
+let counts_to_csexp (c : counts) : Csexp.t =
+  Csexp.(
+    List
+      [
+        Atom "counts";
+        Atom (string_of_int c.success);
+        Atom (string_of_int c.failed);
+        Atom (string_of_int c.crashed);
+        Atom (string_of_int c.recovered);
+        Atom (string_of_int c.trials);
+        Atom (string_of_int c.infra);
+      ])
+
+let counts_of_csexp (c : Csexp.t) : (counts, string) result =
+  match c with
+  | Csexp.List
+      [
+        Csexp.Atom "counts";
+        Csexp.Atom s;
+        Csexp.Atom f;
+        Csexp.Atom cr;
+        Csexp.Atom r;
+        Csexp.Atom t;
+        Csexp.Atom i;
+      ] -> (
+      match
+        ( int_of_string_opt s,
+          int_of_string_opt f,
+          int_of_string_opt cr,
+          int_of_string_opt r,
+          int_of_string_opt t,
+          int_of_string_opt i )
+      with
+      | Some success, Some failed, Some crashed, Some recovered, Some trials,
+        Some infra ->
+          Ok { success; failed; crashed; recovered; trials; infra }
+      | _ -> Error "counts record has a non-integer field")
+  | _ -> Error "not a counts record"

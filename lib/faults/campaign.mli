@@ -162,6 +162,9 @@ type exec = {
   batch : int;
   max_retries : int;
   retry_backoff_s : float;
+  retry_jitter : float;
+      (** deterministic per-(trial, attempt) backoff jitter; timing
+          only, counts unaffected *)
   on_progress : (Executor.progress -> unit) option;
   metrics : Obs.t option;
       (** when set, the executor records per-phase wall time and
@@ -203,3 +206,74 @@ val run :
   target ->
   counts
 (** [run_report] without the provenance. *)
+
+(** {2 Campaign identity and the per-trial kernel}
+
+    Exposed so other engines over the same trial model — notably the
+    campaign server's forked workers — run the {e exact same} per-trial
+    function and write journals under the {e exact same} tag as the
+    in-process executor, which is what makes server-mode counts
+    byte-identical to [--jobs 1]. *)
+
+val campaign_tag : config -> population:int -> trials:int -> string
+(** The journal identity of a campaign.  Byte-identical to the
+    historical tag under the default model/policy; otherwise suffixed
+    with the model, recovery policy, and site level so journals
+    recorded under different semantics can never silently resume one
+    another. *)
+
+val trial_fun :
+  Prog.t ->
+  verify:(Machine.result -> bool) ->
+  clean_instructions:int ->
+  ?cfg:config ->
+  ?watchdog_s:float ->
+  target ->
+  int ->
+  outcome_class
+(** The deterministic per-trial kernel: trial [i] derives its RNG from
+    [(cfg.seed, i)], samples one fault, runs one classified execution.
+    Pure in the index — which process or worker evaluates it cannot
+    matter. *)
+
+val encode_outcome : outcome_class -> string
+(** Journal/wire encoding of an outcome: [S], [F], [C], or [R]. *)
+
+val decode_outcome : string -> outcome_class option
+
+val counts_of_outcomes : outcome_class Executor.outcome array -> counts
+(** Fold executor outcomes into counts ([Infra_error] increments
+    [infra]). *)
+
+(** {2 Campaign submission (the wire API)}
+
+    A submittable whole-program campaign: the app spelling, seed, trial
+    cap, fault model, and recovery policy — everything a campaign
+    server needs to reconstruct the statistical design.  Deliberately
+    not the program itself: the server resolves and bakes the app on
+    its side (content-addressed cache), so a submission is a few
+    hundred bytes. *)
+type spec = {
+  sp_app : string;  (** [CG], [CG@all], [IS@opt:fold+dce], ... *)
+  sp_seed : int;
+  sp_trials : int option;  (** [max_trials]; [None] = full design *)
+  sp_model : Fault_model.t;
+  sp_recovery : recovery;
+}
+
+val default_spec : spec
+(** App [IS], the default seed, a 500-trial cap, single-bit flips, no
+    recovery. *)
+
+val config_of_spec : spec -> config
+(** The statistical design a submission stands for ([default_config]
+    with the spec's seed, cap, model, and recovery). *)
+
+val spec_to_csexp : spec -> Csexp.t
+val spec_of_csexp : Csexp.t -> (spec, string) result
+
+val counts_to_csexp : counts -> Csexp.t
+(** Counts on the wire, field-ordered and versioned — the encoding the
+    chaos determinism gate compares byte-for-byte. *)
+
+val counts_of_csexp : Csexp.t -> (counts, string) result

@@ -125,6 +125,13 @@ let counter_value (t : t) (name : string) : int option =
   locked t (fun () ->
       Option.map (fun c -> c.c_value) (Hashtbl.find_opt t.counters name))
 
+let counters (t : t) : (string * int) list =
+  locked t (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, c.c_value, c.c_order) :: acc)
+        t.counters []
+      |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+      |> List.map (fun (name, v, _) -> (name, v)))
+
 let hist_stats (t : t) (name : string) : (int * float * int * int) option =
   locked t (fun () ->
       Option.map

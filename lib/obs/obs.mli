@@ -28,6 +28,9 @@ val observe : t -> string -> int -> unit
 val phase_wall : t -> string -> float option
 val counter_value : t -> string -> int option
 
+val counters : t -> (string * int) list
+(** All counters in first-use order (for structured reporting). *)
+
 val hist_stats : t -> string -> (int * float * int * int) option
 (** [(count, sum, min, max)] of a histogram, if it exists. *)
 

@@ -45,6 +45,15 @@ type config = {
   resume : bool;  (** load the journal and skip completed trials *)
   max_retries : int;  (** retries before a raising trial is Infra_error *)
   retry_backoff_s : float;  (** base of the exponential backoff *)
+  retry_jitter : float;
+      (** fraction of each backoff step randomized (0 = the historical
+          deterministic [base * 2^k]; 0.5 spreads sleeps over
+          [0.5x, 1.5x)).  The jitter is a pure function of (trial,
+          attempt), so runs stay reproducible, but distinct trials
+          de-synchronize — without it, every worker that hit the same
+          transient infrastructure fault retries in lockstep and the
+          herd thunders again.  Sleeping longer or shorter never
+          changes a trial's outcome, so campaign counts are pinned. *)
   on_progress : (progress -> unit) option;
   metrics : Obs.t option;
       (** when set, the engine times its phases (resume, trials,
@@ -59,6 +68,7 @@ let default_config =
     resume = false;
     max_retries = 2;
     retry_backoff_s = 0.05;
+    retry_jitter = 0.5;
     on_progress = None;
     metrics = None;
   }
@@ -152,6 +162,25 @@ let load_journal (spec : 'a spec) (path : string) :
 
 (* --- the engine -------------------------------------------------------- *)
 
+(* splitmix64 finalizer over (trial, attempt) -> uniform in [0, 1):
+   deterministic jitter without depending on a shared RNG stream *)
+let jitter_unit (idx : int) (attempt : int) : float =
+  let z = Int64.of_int (((idx + 1) * 0x9E3779B9) lxor (attempt * 0x85EBCA6B)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53
+
+(** The sleep before re-attempt [k] of trial [idx]: exponential base
+    with per-(trial, attempt) jitter so synchronized failures don't
+    retry in lockstep. *)
+let backoff_s (cfg : config) (idx : int) (k : int) : float =
+  let step = cfg.retry_backoff_s *. Float.of_int (1 lsl k) in
+  let j = Float.max 0.0 (Float.min 1.0 cfg.retry_jitter) in
+  step *. (1.0 +. (j *. ((2.0 *. jitter_unit idx k) -. 1.0)))
+
 (** One trial with bounded-exponential-backoff retry.  Exceptions never
     escape: after [max_retries] re-attempts the trial is recorded as
     {!Infra_error} and the campaign goes on. *)
@@ -166,8 +195,7 @@ let attempt (cfg : config) (spec : 'a spec) (idx : int) : 'a outcome =
           (match cfg.metrics with
           | Some m -> Obs.count m "executor/retries" 1
           | None -> ());
-          if cfg.retry_backoff_s > 0.0 then
-            Unix.sleepf (cfg.retry_backoff_s *. Float.of_int (1 lsl k));
+          if cfg.retry_backoff_s > 0.0 then Unix.sleepf (backoff_s cfg idx k);
           go (k + 1)
         end
   in
@@ -195,7 +223,14 @@ let run ?(cfg = default_config) (spec : 'a spec) : 'a report =
           let seen, valid_end =
             obs_phase "executor/resume" (fun () -> load_journal spec path)
           in
-          (seen, Some (Journal.open_append ~truncate_at:valid_end path))
+          let w = Journal.open_append ~truncate_at:valid_end path in
+          (* a tail torn inside the header heals to an empty journal;
+             re-write the header so the healed file stays resumable *)
+          if valid_end = 0 then begin
+            Journal.write w (header_record spec);
+            Journal.sync w
+          end;
+          (seen, Some w)
         end
         else begin
           let w = Journal.create path in

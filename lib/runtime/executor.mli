@@ -30,6 +30,10 @@ type config = {
   resume : bool;  (** load the journal and skip completed trials *)
   max_retries : int;
   retry_backoff_s : float;  (** base of the exponential backoff *)
+  retry_jitter : float;
+      (** fraction of each backoff step randomized, deterministic per
+          (trial, attempt); 0 restores the lockstep [base * 2^k].
+          Timing only — outcomes and counts are unaffected. *)
   on_progress : (progress -> unit) option;
   metrics : Obs.t option;
       (** when set, the engine records its phases ([executor/resume],
@@ -38,7 +42,13 @@ type config = {
 }
 
 val default_config : config
-(** jobs 1, batch 64, no journal, 2 retries, 50 ms backoff base. *)
+(** jobs 1, batch 64, no journal, 2 retries, 50 ms backoff base with
+    0.5 jitter. *)
+
+val backoff_s : config -> int -> int -> float
+(** [backoff_s cfg idx k]: the jittered exponential sleep before
+    re-attempt [k] of trial [idx] — exposed so other schedulers (the
+    campaign server's lease re-assignment) share the same policy. *)
 
 type 'a spec = {
   tag : string;
@@ -66,3 +76,25 @@ type 'a report = {
 val run : ?cfg:config -> 'a spec -> 'a report
 (** @raise Failure when resuming against a journal whose tag or plan
     size does not match [spec] (a different campaign's journal). *)
+
+(** {2 Journal record format}
+
+    Exposed so other engines over the same trial model — the campaign
+    server's sharded journals, [ft_dev journal] — read and write
+    records interchangeable with this executor's, which is what lets a
+    server-mode campaign resume a single-process journal and vice
+    versa. *)
+
+val header_record : 'a spec -> Csexp.t
+(** [(magic version tag total)] — the first record of every journal. *)
+
+val trial_record : ('a -> string) -> int -> 'a outcome -> Csexp.t
+(** [(t idx ok payload)] or [(t idx err message)]. *)
+
+val parse_trial : (string -> 'a option) -> Csexp.t -> (int * 'a outcome) option
+(** Inverse of {!trial_record}; [None] on any other record shape. *)
+
+val attempt : config -> 'a spec -> int -> 'a outcome
+(** One trial under the bounded-jittered-retry policy; exceptions never
+    escape (they classify as {!Infra_error}).  The unit of work a
+    campaign server's worker runs per leased index. *)

@@ -1,0 +1,139 @@
+(** Sharded append-only journals.
+
+    One campaign journal becomes [shards] independent append-only files
+    under a directory, each carrying the same campaign header and each
+    healing its own torn tail — so a crash mid-append loses at most the
+    unsynced tail of the shard being written, never the whole log, and
+    shards can be written and compacted independently.
+
+    The shard of a record is chosen by the caller (the campaign server
+    routes a trial batch to [batch_index mod shards]), which keeps each
+    batch's records contiguous in one file and lets a recovering server
+    replay shards in any order: the merged view is order-insensitive
+    because records are keyed (trial index) and deduplicated on load. *)
+
+type t = {
+  dir : string;
+  shards : int;
+  writers : Journal.writer option array;
+  appended : int array;  (** records appended per shard since open/compact *)
+}
+
+let shard_file (dir : string) (i : int) : string =
+  Filename.concat dir (Printf.sprintf "shard-%03d.journal" i)
+
+let shard_paths ~(dir : string) ~(shards : int) : string list =
+  List.init shards (shard_file dir)
+
+let rec ensure_dir (dir : string) =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(** Open a sharded journal for writing, creating the directory and
+    truncating any previous shard files. *)
+let create ~(dir : string) ~(shards : int) ~(header : Csexp.t) : t =
+  if shards <= 0 then invalid_arg "Shard.create: shards must be positive";
+  ensure_dir dir;
+  let writers =
+    Array.init shards (fun i ->
+        let w = Journal.create (shard_file dir i) in
+        Journal.write w header;
+        Journal.sync w;
+        Some w)
+  in
+  { dir; shards; writers; appended = Array.make shards 0 }
+
+exception
+  Header_mismatch of { shard : string; found : Csexp.t option }
+(** A shard's first record is not the expected campaign header: the
+    directory belongs to a different campaign; refuse to resume. *)
+
+let () =
+  Printexc.register_printer (function
+    | Header_mismatch { shard; found } ->
+        Some
+          (Printf.sprintf
+             "Shard.Header_mismatch: %s does not open with the expected \
+              campaign header (found %s); refusing to resume"
+             shard
+             (match found with
+             | Some c -> Csexp.to_string c
+             | None -> "an empty shard"))
+    | _ -> None)
+
+(** Reopen an existing sharded journal for appending: each shard's torn
+    tail is dropped at the offset [Journal.load] validated, headers are
+    checked against [header], and the surviving non-header records of
+    all shards are returned (shard 0 first; within a shard, log order).
+    Missing shard files are created fresh.
+    @raise Header_mismatch when a non-empty shard belongs to a
+    different campaign. *)
+let open_resume ~(dir : string) ~(shards : int) ~(header : Csexp.t) :
+    t * Csexp.t list =
+  if shards <= 0 then invalid_arg "Shard.open_resume: shards must be positive";
+  ensure_dir dir;
+  let records = ref [] in
+  let writers =
+    Array.init shards (fun i ->
+        let path = shard_file dir i in
+        let recs, valid_end = Journal.load path in
+        match recs with
+        | [] ->
+            let w = Journal.create path in
+            Journal.write w header;
+            Journal.sync w;
+            Some w
+        | h :: rest when h = header ->
+            records := !records @ rest;
+            Some (Journal.open_append ~truncate_at:valid_end path)
+        | h :: _ -> raise (Header_mismatch { shard = path; found = Some h }))
+  in
+  ( { dir; shards; writers; appended = Array.make shards 0 }, !records )
+
+let writer (t : t) (shard : int) : Journal.writer =
+  match t.writers.(shard mod t.shards) with
+  | Some w -> w
+  | None -> invalid_arg "Shard.writer: shard closed"
+
+(** Append one record to shard [shard mod shards] (buffered; durable
+    after [sync]). *)
+let append (t : t) ~(shard : int) (r : Csexp.t) : unit =
+  let i = shard mod t.shards in
+  Journal.write (writer t i) r;
+  t.appended.(i) <- t.appended.(i) + 1
+
+let sync (t : t) ~(shard : int) : unit = Journal.sync (writer t shard)
+
+let sync_all (t : t) : unit =
+  Array.iter (function Some w -> Journal.sync w | None -> ()) t.writers
+
+(** Compact one shard in place (see {!Journal.compact}): the shard's
+    writer is closed around the rewrite and reopened for appending.
+    Returns [(bytes_before, bytes_after)]. *)
+let compact (t : t) ~(key : Csexp.t -> string option) ~(shard : int) :
+    int * int =
+  let i = shard mod t.shards in
+  (match t.writers.(i) with
+  | Some w -> Journal.close w
+  | None -> ());
+  t.writers.(i) <- None;
+  let sizes = Journal.compact ~key (shard_file t.dir i) in
+  t.writers.(i) <- Some (Journal.open_append (shard_file t.dir i));
+  t.appended.(i) <- 0;
+  sizes
+
+let appended (t : t) ~(shard : int) : int = t.appended.(shard mod t.shards)
+
+let close (t : t) : unit =
+  Array.iteri
+    (fun i w ->
+      match w with
+      | Some w ->
+          Journal.close w;
+          t.writers.(i) <- None
+      | None -> ())
+    t.writers

@@ -34,3 +34,29 @@ let check (w : t) : unit =
     w.countdown <- w.stride
   end
   else w.countdown <- w.countdown - 1
+
+(** Refreshable deadlines: the per-worker half of the watchdog.
+
+    A trial watchdog ({!t}) is armed once and only ever trips; a
+    campaign server supervising workers needs the complementary shape —
+    a deadline that is pushed out every time the worker proves liveness
+    (a heartbeat, a result) and is polled, not raised, because the
+    supervisor owns the control flow.  [remaining] feeds the server's
+    select timeout so a stalled worker is noticed as soon as its
+    deadline passes, not at the next unrelated event. *)
+
+type deadline = {
+  d_seconds : float;
+  mutable d_expires : float;  (* absolute, Unix.gettimeofday scale *)
+}
+
+let arm ~(seconds : float) : deadline =
+  { d_seconds = seconds; d_expires = Unix.gettimeofday () +. seconds }
+
+let refresh (d : deadline) : unit =
+  d.d_expires <- Unix.gettimeofday () +. d.d_seconds
+
+let deadline_expired (d : deadline) : bool = Unix.gettimeofday () > d.d_expires
+
+let remaining (d : deadline) : float =
+  Float.max 0.0 (d.d_expires -. Unix.gettimeofday ())

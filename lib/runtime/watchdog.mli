@@ -13,3 +13,18 @@ val expired : t -> bool
 
 val check : t -> unit
 (** @raise Timeout once the wall-clock deadline has passed. *)
+
+(** Refreshable polled deadlines, for supervising workers: armed with a
+    period, pushed out on every proof of liveness, and polled by the
+    supervisor (never raises). *)
+type deadline
+
+val arm : seconds:float -> deadline
+
+val refresh : deadline -> unit
+(** Push the deadline out by its full period again. *)
+
+val deadline_expired : deadline -> bool
+
+val remaining : deadline -> float
+(** Seconds until expiry, clamped at zero (a select timeout). *)

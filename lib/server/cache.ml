@@ -1,0 +1,73 @@
+(** Content-addressed store of expensive campaign artifacts.
+
+    Baking an app (two-phase calibration build), tracing its golden
+    run, and enumerating its fault-site population dominate campaign
+    start-up; the results are pure functions of the app spelling.  The
+    server therefore stores them under a key derived from a canonical
+    description string, so a restarted server — or a freshly forked
+    worker warm-starting a campaign it has never seen — loads the baked
+    plan instead of recomputing it.
+
+    Entries are [Marshal]ed values wrapped with an FNV-1a checksum and
+    written atomically (temp file, fsync, rename), so a torn write or a
+    stale entry from an incompatible build deserializes to [None] and
+    is simply recomputed — the cache can never poison a campaign. *)
+
+let key (description : string) : string =
+  Printf.sprintf "%016Lx" (Wire.checksum description)
+
+let path ~(dir : string) ~(key : string) : string =
+  Filename.concat dir (key ^ ".bin")
+
+let rec ensure_dir (dir : string) =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let store ~(dir : string) ~(key : string) (v : 'a) : string =
+  ensure_dir dir;
+  let payload = Marshal.to_string v [] in
+  let blob = Marshal.to_string (Wire.checksum payload, payload) [] in
+  let final = path ~dir ~key in
+  let tmp = final ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc blob;
+  flush oc;
+  Unix.fsync fd;
+  close_out oc;
+  Sys.rename tmp final;
+  final
+
+let load ~(dir : string) ~(key : string) : 'a option =
+  let file = path ~dir ~key in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        really_input_string ic n)
+  with
+  | exception Sys_error _ -> None
+  | blob -> (
+      match (Marshal.from_string blob 0 : int64 * string) with
+      | exception _ -> None
+      | sum, payload ->
+          if not (Int64.equal sum (Wire.checksum payload)) then None
+          else (
+            match Marshal.from_string payload 0 with
+            | exception _ -> None
+            | v -> Some v))
+
+let entries (dir : string) : string list =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".bin")
+      |> List.map Filename.chop_extension
+      |> List.sort compare

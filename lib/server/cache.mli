@@ -1,0 +1,22 @@
+(** Content-addressed store of expensive campaign artifacts (baked
+    programs, golden runs, fault-site populations), keyed by the FNV-1a
+    hash of a canonical description.  Entries carry their own checksum
+    and are written atomically; corrupt or stale entries load as
+    [None], so the cache can never poison a campaign. *)
+
+val key : string -> string
+(** 16-hex-digit content key of a canonical description string. *)
+
+val path : dir:string -> key:string -> string
+
+val store : dir:string -> key:string -> 'a -> string
+(** Marshal [v] under [key] (atomic: temp file + fsync + rename);
+    returns the entry's path.  Creates [dir] if needed. *)
+
+val load : dir:string -> key:string -> 'a option
+(** [None] when missing, torn, or checksum-mismatched.  The caller
+    must expect the same type it stored — the checksum guards bytes,
+    not types, so keys must encode everything the value depends on. *)
+
+val entries : string -> string list
+(** Keys present in a cache directory, sorted. *)

@@ -1,0 +1,74 @@
+(** Client side of the campaign service: connect to the server's
+    Unix-domain socket, speak one request per connection, and (for
+    submissions) consume the progress stream until the final verdict.
+    Every call is synchronous and deadline-bounded; a dead or absent
+    server surfaces as [Error], never a hang. *)
+
+let connect (socket : string) : (Wire.conn, string) result =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok (Wire.of_fd fd)
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot reach campaign server at %s: %s" socket
+          (Unix.error_message e))
+
+let request (socket : string) (msg : Proto.client_msg)
+    (k : Wire.conn -> ('a, string) result) : ('a, string) result =
+  match connect socket with
+  | Error e -> Error e
+  | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Wire.close conn)
+        (fun () ->
+          match
+            Wire.send conn (Proto.client_to_csexp msg);
+            k conn
+          with
+          | r -> r
+          | exception Wire.Closed -> Error "server hung up"
+          | exception Wire.Timeout { after_s; _ } ->
+              Error (Printf.sprintf "server did not answer within %.1fs" after_s)
+          | exception Wire.Corrupt m -> Error ("wire corruption: " ^ m))
+
+let status ?(timeout_s = 5.0) ~(socket : string) () :
+    (Proto.status_info, string) result =
+  request socket Proto.Status (fun conn ->
+      match Proto.server_of_csexp (Wire.recv conn ~timeout_s) with
+      | Ok (Proto.Status_reply s) -> Ok s
+      | Ok _ -> Error "unexpected reply to a status probe"
+      | Error e -> Error e)
+
+let shutdown ?(timeout_s = 5.0) ~(socket : string) () : (unit, string) result =
+  request socket Proto.Shutdown (fun conn ->
+      match Proto.server_of_csexp (Wire.recv conn ~timeout_s) with
+      | Ok Proto.Bye -> Ok ()
+      | Ok _ -> Error "unexpected reply to a shutdown request"
+      | Error e -> Error e)
+
+(** Submit a campaign and block until its verdict.  [timeout_s] bounds
+    the {e silence}, not the campaign: every progress frame resets it.
+    [on_progress] sees each streamed progress report. *)
+let submit ?(timeout_s = 300.0)
+    ?(on_progress : (completed:int -> planned:int -> unit) option)
+    ~(socket : string) (spec : Campaign.spec) :
+    (Campaign.counts, string) result =
+  request socket (Proto.Submit spec) (fun conn ->
+      let rec await () =
+        match Proto.server_of_csexp (Wire.recv conn ~timeout_s) with
+        | Ok (Proto.Accepted _) -> await ()
+        | Ok (Proto.Progress { completed; planned; _ }) ->
+            (match on_progress with
+            | Some f -> f ~completed ~planned
+            | None -> ());
+            await ()
+        | Ok (Proto.Result { counts; _ }) -> Ok counts
+        | Ok (Proto.Poisoned { reason; _ }) ->
+            Error ("campaign poisoned: " ^ reason)
+        | Ok (Proto.Rejected { reason }) -> Error reason
+        | Ok (Proto.Status_reply _ | Proto.Bye) ->
+            Error "unexpected reply to a submission"
+        | Error e -> Error e
+      in
+      await ())

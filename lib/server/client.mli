@@ -1,0 +1,18 @@
+(** Client side of the campaign service: one deadline-bounded request
+    per connection; a dead server is an [Error], never a hang. *)
+
+val connect : string -> (Wire.conn, string) result
+
+val status :
+  ?timeout_s:float -> socket:string -> unit -> (Proto.status_info, string) result
+
+val shutdown : ?timeout_s:float -> socket:string -> unit -> (unit, string) result
+
+val submit :
+  ?timeout_s:float ->
+  ?on_progress:(completed:int -> planned:int -> unit) ->
+  socket:string ->
+  Campaign.spec ->
+  (Campaign.counts, string) result
+(** Submit and block until the verdict.  [timeout_s] bounds the
+    {e silence} between frames, not the whole campaign. *)

@@ -1,0 +1,28 @@
+(** Structured infrastructure-failure taxonomy for the campaign
+    server, extending {!Executor.Infra_error}'s single kind (a raising
+    trial) with the failure modes of a multi-process scheduler.  Causes
+    render to stable [infra/<kind>: ...] strings that survive the
+    journal round-trip. *)
+
+type cause =
+  | Trial_raised of { idx : int; message : string }
+  | Worker_lost of { pid : int; batch : int option }
+  | Lease_expired of { batch : int; pid : int; heartbeat_s : float }
+  | Wire_fault of { message : string }
+
+val kind : cause -> string
+(** [trial], [worker-lost], [lease-expired], or [wire]. *)
+
+val to_message : cause -> string
+(** The journal/report rendering: [infra/<kind>: <details>]. *)
+
+val kind_of_message : string -> string
+(** Re-classify a journaled infra message; pre-taxonomy executor
+    messages ([trial %d: ...]) classify as [trial], anything else as
+    [unknown]. *)
+
+exception Campaign_poisoned of { batch : int; attempts : int; cause : cause }
+(** A batch exhausted its lease attempts; the campaign is refused
+    rather than padded with fabricated counts. *)
+
+val poison_message : batch:int -> attempts:int -> cause -> string

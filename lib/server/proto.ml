@@ -1,0 +1,165 @@
+(** The campaign service's message vocabulary, in both directions:
+    client <-> server over a Unix-domain socket, and server <-> worker
+    over the socketpair a fork leaves behind.  Every message is one
+    csexp travelling in a {!Wire} frame; constructors and parsers live
+    together here so the two sides cannot drift. *)
+
+(* --- client <-> server -------------------------------------------------- *)
+
+type client_msg =
+  | Submit of Campaign.spec
+  | Status
+  | Shutdown
+
+type status_info = {
+  st_state : string;  (** [idle] or [running] *)
+  st_completed : int;
+  st_planned : int;
+  st_campaigns : int;  (** campaigns finished since the server started *)
+}
+
+type server_msg =
+  | Accepted of { id : int }
+  | Rejected of { reason : string }
+  | Progress of { id : int; completed : int; planned : int; stolen : int }
+  | Result of { id : int; counts : Campaign.counts }
+  | Poisoned of { id : int; reason : string }
+  | Status_reply of status_info
+  | Bye
+
+let client_to_csexp (m : client_msg) : Csexp.t =
+  let open Csexp in
+  match m with
+  | Submit s -> List [ Atom "submit"; Campaign.spec_to_csexp s ]
+  | Status -> List [ Atom "status" ]
+  | Shutdown -> List [ Atom "shutdown" ]
+
+let client_of_csexp (c : Csexp.t) : (client_msg, string) result =
+  let open Csexp in
+  match c with
+  | List [ Atom "submit"; s ] ->
+      Result.map (fun s -> Submit s) (Campaign.spec_of_csexp s)
+  | List [ Atom "status" ] -> Ok Status
+  | List [ Atom "shutdown" ] -> Ok Shutdown
+  | other -> Error ("unknown client message: " ^ Csexp.to_string other)
+
+let server_to_csexp (m : server_msg) : Csexp.t =
+  let open Csexp in
+  let i = string_of_int in
+  match m with
+  | Accepted { id } -> List [ Atom "accepted"; Atom (i id) ]
+  | Rejected { reason } -> List [ Atom "rejected"; Atom reason ]
+  | Progress { id; completed; planned; stolen } ->
+      List
+        [
+          Atom "progress"; Atom (i id); Atom (i completed); Atom (i planned);
+          Atom (i stolen);
+        ]
+  | Result { id; counts } ->
+      List [ Atom "result"; Atom (i id); Campaign.counts_to_csexp counts ]
+  | Poisoned { id; reason } -> List [ Atom "poisoned"; Atom (i id); Atom reason ]
+  | Status_reply s ->
+      List
+        [
+          Atom "status-reply"; Atom s.st_state; Atom (i s.st_completed);
+          Atom (i s.st_planned); Atom (i s.st_campaigns);
+        ]
+  | Bye -> List [ Atom "bye" ]
+
+let server_of_csexp (c : Csexp.t) : (server_msg, string) result =
+  let open Csexp in
+  let int name a k =
+    match int_of_string_opt a with
+    | Some v -> k v
+    | None -> Error (Printf.sprintf "%s: bad integer %S" name a)
+  in
+  match c with
+  | List [ Atom "accepted"; Atom id ] ->
+      int "accepted" id (fun id -> Ok (Accepted { id }))
+  | List [ Atom "rejected"; Atom reason ] -> Ok (Rejected { reason })
+  | List [ Atom "progress"; Atom id; Atom c; Atom p; Atom s ] ->
+      int "progress" id (fun id ->
+          int "progress" c (fun completed ->
+              int "progress" p (fun planned ->
+                  int "progress" s (fun stolen ->
+                      Ok (Progress { id; completed; planned; stolen })))))
+  | List [ Atom "result"; Atom id; counts ] ->
+      int "result" id (fun id ->
+          Result.map
+            (fun counts -> Result { id; counts })
+            (Campaign.counts_of_csexp counts))
+  | List [ Atom "poisoned"; Atom id; Atom reason ] ->
+      int "poisoned" id (fun id -> Ok (Poisoned { id; reason }))
+  | List [ Atom "status-reply"; Atom state; Atom c; Atom p; Atom n ] ->
+      int "status" c (fun st_completed ->
+          int "status" p (fun st_planned ->
+              int "status" n (fun st_campaigns ->
+                  Ok
+                    (Status_reply
+                       { st_state = state; st_completed; st_planned; st_campaigns }))))
+  | List [ Atom "bye" ] -> Ok Bye
+  | other -> Error ("unknown server message: " ^ Csexp.to_string other)
+
+(* --- server <-> worker -------------------------------------------------- *)
+
+type to_worker =
+  | Lease of { batch : int; lo : int; hi : int }
+      (** run trials [lo, hi) and stream each result back *)
+  | Quit
+
+type from_worker =
+  | Ready of { pid : int }
+  | Heartbeat of { idx : int }  (** about to run trial [idx] *)
+  | Trial of Csexp.t
+      (** one {!Executor.trial_record} — appended to the shard journal
+          verbatim, which is what keeps server-mode journals
+          interchangeable with [--jobs 1] journals *)
+  | Batch_done of { batch : int; retries : int }
+
+let to_worker_to_csexp (m : to_worker) : Csexp.t =
+  let open Csexp in
+  let i = string_of_int in
+  match m with
+  | Lease { batch; lo; hi } ->
+      List [ Atom "lease"; Atom (i batch); Atom (i lo); Atom (i hi) ]
+  | Quit -> List [ Atom "quit" ]
+
+let to_worker_of_csexp (c : Csexp.t) : (to_worker, string) result =
+  let open Csexp in
+  match c with
+  | List [ Atom "lease"; Atom b; Atom lo; Atom hi ] -> (
+      match
+        (int_of_string_opt b, int_of_string_opt lo, int_of_string_opt hi)
+      with
+      | Some batch, Some lo, Some hi -> Ok (Lease { batch; lo; hi })
+      | _ -> Error "lease: bad integers")
+  | List [ Atom "quit" ] -> Ok Quit
+  | other -> Error ("unknown worker command: " ^ Csexp.to_string other)
+
+let from_worker_to_csexp (m : from_worker) : Csexp.t =
+  let open Csexp in
+  let i = string_of_int in
+  match m with
+  | Ready { pid } -> List [ Atom "ready"; Atom (i pid) ]
+  | Heartbeat { idx } -> List [ Atom "hb"; Atom (i idx) ]
+  | Trial r -> r
+  | Batch_done { batch; retries } ->
+      List [ Atom "done"; Atom (i batch); Atom (i retries) ]
+
+let from_worker_of_csexp (c : Csexp.t) : (from_worker, string) result =
+  let open Csexp in
+  match c with
+  | List [ Atom "ready"; Atom pid ] -> (
+      match int_of_string_opt pid with
+      | Some pid -> Ok (Ready { pid })
+      | None -> Error "ready: bad pid")
+  | List [ Atom "hb"; Atom idx ] -> (
+      match int_of_string_opt idx with
+      | Some idx -> Ok (Heartbeat { idx })
+      | None -> Error "hb: bad index")
+  | List (Atom "t" :: _) -> Ok (Trial c)
+  | List [ Atom "done"; Atom b; Atom r ] -> (
+      match (int_of_string_opt b, int_of_string_opt r) with
+      | Some batch, Some retries -> Ok (Batch_done { batch; retries })
+      | _ -> Error "done: bad integers")
+  | other -> Error ("unknown worker message: " ^ Csexp.to_string other)

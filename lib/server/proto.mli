@@ -1,0 +1,43 @@
+(** Message vocabulary of the campaign service: client <-> server over
+    the Unix-domain socket, server <-> worker over the fork's
+    socketpair.  One csexp per message, carried in a {!Wire} frame. *)
+
+type client_msg = Submit of Campaign.spec | Status | Shutdown
+
+type status_info = {
+  st_state : string;  (** [idle] or [running] *)
+  st_completed : int;
+  st_planned : int;
+  st_campaigns : int;  (** campaigns finished since the server started *)
+}
+
+type server_msg =
+  | Accepted of { id : int }
+  | Rejected of { reason : string }
+  | Progress of { id : int; completed : int; planned : int; stolen : int }
+  | Result of { id : int; counts : Campaign.counts }
+  | Poisoned of { id : int; reason : string }
+  | Status_reply of status_info
+  | Bye
+
+val client_to_csexp : client_msg -> Csexp.t
+val client_of_csexp : Csexp.t -> (client_msg, string) result
+val server_to_csexp : server_msg -> Csexp.t
+val server_of_csexp : Csexp.t -> (server_msg, string) result
+
+type to_worker =
+  | Lease of { batch : int; lo : int; hi : int }
+      (** run trials [lo, hi) and stream each result back *)
+  | Quit
+
+type from_worker =
+  | Ready of { pid : int }
+  | Heartbeat of { idx : int }  (** about to run trial [idx] *)
+  | Trial of Csexp.t
+      (** one {!Executor.trial_record}, journaled verbatim *)
+  | Batch_done of { batch : int; retries : int }
+
+val to_worker_to_csexp : to_worker -> Csexp.t
+val to_worker_of_csexp : Csexp.t -> (to_worker, string) result
+val from_worker_to_csexp : from_worker -> Csexp.t
+val from_worker_of_csexp : Csexp.t -> (from_worker, string) result

@@ -1,0 +1,642 @@
+(** The campaign server: a crash-tolerant multi-process scheduler for
+    deterministic trial campaigns.
+
+    The server runs an {!Executor.spec} — the same abstraction the
+    in-process executor runs — but fans the fixed contiguous batches
+    out to forked worker processes under {e leases}: a batch is leased
+    to one worker with a refreshable wall-clock deadline
+    ({!Watchdog.deadline}); every worker message (heartbeat, trial
+    record, batch-done) refreshes it.  A worker that dies or stops
+    heartbeating is SIGKILLed, its lease is {e stolen} — returned to
+    the queue after a jittered exponential backoff
+    ({!Executor.backoff_s}, the same policy trials use) — and a
+    replacement worker is forked from the warm server image.  A batch
+    whose lease keeps failing poisons the campaign
+    ({!Infra.Campaign_poisoned}): the server refuses rather than
+    fabricate counts.
+
+    Durability is a {!Shard}ed append-only journal: each batch's trial
+    records go to shard [batch mod shards], fsync'd at batch-done, each
+    shard healing its own torn tail on resume and compacting in place
+    once enough records accumulate.  Records are byte-compatible with
+    the in-process executor's journal, so either engine can resume the
+    other's campaign.
+
+    Determinism: trials depend only on their index, outcomes are
+    accumulated in index order, and duplicate deliveries (a stolen
+    batch recomputed by the thief) are suppressed first-write-wins — so
+    the outcome sequence, and therefore the counts, are byte-identical
+    to a [--jobs 1] run no matter how many workers die mid-flight.
+    The [chaos_kills] knob turns that claim into a test: it SIGKILLs
+    the most recently delivering worker each time the total delivered
+    count crosses a threshold. *)
+
+type config = {
+  workers : int;  (** forked worker processes *)
+  batch : int;  (** trials per lease; fixed boundaries like the executor *)
+  shards : int;  (** journal shards (batch [b] logs to [b mod shards]) *)
+  journal_dir : string option;  (** sharded journal directory *)
+  resume : bool;  (** heal + load the journal, skip completed trials *)
+  heartbeat_s : float;  (** per-worker lease deadline between messages *)
+  max_lease_attempts : int;
+      (** lease failures tolerated per batch before the campaign is
+          poisoned *)
+  compact_every : int;  (** records appended to a shard before compaction *)
+  chaos_kills : int list;
+      (** SIGKILL the most recent deliverer when the delivered-trial
+          count crosses each threshold (ascending); the determinism
+          harness *)
+  retry : Executor.config;
+      (** worker-side trial retry and the lease re-assignment backoff
+          share this policy *)
+  metrics : Obs.t option;
+  on_progress : (Executor.progress -> unit) option;
+}
+
+let default_config =
+  {
+    workers = 2;
+    batch = 16;
+    shards = 4;
+    journal_dir = None;
+    resume = false;
+    heartbeat_s = 30.0;
+    max_lease_attempts = 3;
+    compact_every = 4096;
+    chaos_kills = [];
+    retry = Executor.default_config;
+    metrics = None;
+    on_progress = None;
+  }
+
+(* --- the lease scheduler ------------------------------------------------ *)
+
+type lease = Todo | Leased of int  (** worker slot *) | Done_
+
+type wslot = {
+  w_pid : int;
+  w_conn : Wire.conn;
+  mutable w_batch : int option;
+  w_dl : Watchdog.deadline;
+}
+
+let trial_key (r : Csexp.t) : string option =
+  match r with
+  | Csexp.List (Csexp.Atom "t" :: Csexp.Atom idx :: _) -> Some idx
+  | _ -> None
+
+let run ?(cfg = default_config) ?(idle = fun () -> ()) (spec : 'a Executor.spec)
+    : 'a Executor.report =
+  if spec.Executor.total < 0 then invalid_arg "Server.run: negative total";
+  if cfg.workers < 1 then invalid_arg "Server.run: need at least one worker";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t0 = Unix.gettimeofday () in
+  let obs_count name n =
+    match cfg.metrics with Some m -> Obs.count m name n | None -> ()
+  in
+  let total = spec.Executor.total in
+  let batch = max 1 cfg.batch in
+  let nbatches = (total + batch - 1) / batch in
+  let outcomes : 'a Executor.outcome option array = Array.make total None in
+  (* journal: create fresh or heal-and-resume the shard directory *)
+  let header = Executor.header_record spec in
+  let journal, resumed =
+    match cfg.journal_dir with
+    | None -> (None, 0)
+    | Some dir ->
+        if cfg.resume && Sys.file_exists dir then begin
+          let sh, records =
+            Shard.open_resume ~dir ~shards:cfg.shards ~header
+          in
+          List.iter
+            (fun r ->
+              match Executor.parse_trial spec.Executor.decode r with
+              | Some (i, o) when i >= 0 && i < total -> outcomes.(i) <- Some o
+              | Some _ | None -> ())
+            records;
+          ( Some sh,
+            Array.fold_left
+              (fun n -> function Some _ -> n + 1 | None -> n)
+              0 outcomes )
+        end
+        else (Some (Shard.create ~dir ~shards:cfg.shards ~header), 0)
+  in
+  let lease = Array.make nbatches Todo in
+  let attempts = Array.make nbatches 0 in
+  let eligible = Array.make nbatches 0.0 in
+  let batch_range b = (b * batch, min total ((b + 1) * batch)) in
+  let first_unfilled b =
+    let lo, hi = batch_range b in
+    let rec go i = if i >= hi then None else
+        match outcomes.(i) with None -> Some i | Some _ -> go (i + 1)
+    in
+    go lo
+  in
+  let open_batches = ref 0 in
+  for b = 0 to nbatches - 1 do
+    match first_unfilled b with
+    | None -> lease.(b) <- Done_
+    | Some _ -> incr open_batches
+  done;
+  let workers : wslot option array = Array.make cfg.workers None in
+  let fork_slot s =
+    let pid, conn =
+      Worker.spawn
+        ~retry:{ cfg.retry with Executor.metrics = None }
+        ~trial:spec.Executor.run_trial ~encode:spec.Executor.encode ()
+    in
+    obs_count "server/workers-forked" 1;
+    workers.(s) <-
+      Some
+        { w_pid = pid; w_conn = conn; w_batch = None;
+          w_dl = Watchdog.arm ~seconds:cfg.heartbeat_s }
+  in
+  let sigkill pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> () in
+  let reap ?(force = false) pid =
+    if force then sigkill pid;
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+  in
+  let poisoned : (int * Infra.cause) option ref = ref None in
+  (* a dead or stalled worker: kill, reap, steal its lease (with the
+     jittered backoff before re-assignment), drop the slot *)
+  let worker_down s (cause : Infra.cause) =
+    match workers.(s) with
+    | None -> ()
+    | Some w ->
+        Wire.close w.w_conn;
+        reap ~force:true w.w_pid;
+        (match w.w_batch with
+        | Some b when lease.(b) = Leased s ->
+            attempts.(b) <- attempts.(b) + 1;
+            obs_count "server/leases-stolen" 1;
+            lease.(b) <- Todo;
+            eligible.(b) <-
+              Unix.gettimeofday ()
+              +. Executor.backoff_s cfg.retry b (attempts.(b) - 1);
+            if attempts.(b) > cfg.max_lease_attempts then
+              poisoned := Some (b, cause)
+        | _ -> ());
+        workers.(s) <- None
+  in
+  let shutdown_workers () =
+    Array.iteri
+      (fun s w ->
+        match w with
+        | None -> ()
+        | Some w ->
+            (try Wire.send w.w_conn (Proto.to_worker_to_csexp Proto.Quit)
+             with Wire.Closed | Unix.Unix_error _ -> ());
+            Wire.close w.w_conn;
+            (* grace period, then force *)
+            let rec wait k =
+              match Unix.waitpid [ Unix.WNOHANG ] w.w_pid with
+              | 0, _ ->
+                  if k = 0 then reap ~force:true w.w_pid
+                  else (Unix.sleepf 0.02; wait (k - 1))
+              | _ -> ()
+              | exception Unix.Unix_error _ -> ()
+            in
+            wait 100;
+            workers.(s) <- None)
+      workers
+  in
+  (* chaos: thresholds on total delivered trials, ascending *)
+  let kills = ref (List.sort compare cfg.chaos_kills) in
+  let delivered = ref 0 in
+  let fresh = ref 0 in
+  (* early-stop bookkeeping mirrors the executor: the predicate sees
+     contiguous completed prefixes at fixed batch boundaries, in order *)
+  let prefix = ref 0 in
+  let checked = ref 0 in
+  let stop_at = ref None in
+  let advance_prefix () =
+    while !prefix < total && outcomes.(!prefix) <> None do incr prefix done;
+    match spec.Executor.should_stop with
+    | None -> ()
+    | Some p ->
+        let continue_ = ref true in
+        while !continue_ && !stop_at = None && !checked < nbatches do
+          let boundary = min total ((!checked + 1) * batch) in
+          if !prefix >= boundary then begin
+            incr checked;
+            let pre =
+              Array.init boundary (fun i ->
+                  match outcomes.(i) with Some o -> o | None -> assert false)
+            in
+            if p pre boundary then stop_at := Some boundary
+          end
+          else continue_ := false
+        done
+  in
+  advance_prefix ();
+  let progress () =
+    match cfg.on_progress with
+    | None -> ()
+    | Some f ->
+        let completed =
+          Array.fold_left
+            (fun n -> function Some _ -> n + 1 | None -> n)
+            0 outcomes
+        in
+        let elapsed_s = Unix.gettimeofday () -. t0 in
+        let eta_s =
+          if !fresh = 0 then 0.0
+          else
+            elapsed_s /. Float.of_int !fresh
+            *. Float.of_int (total - completed)
+        in
+        f { Executor.completed; planned = total; elapsed_s; eta_s }
+  in
+  (* accept one worker message; true = keep draining this worker *)
+  let handle s (w : wslot) (msg : Csexp.t) : bool =
+    Watchdog.refresh w.w_dl;
+    match Proto.from_worker_of_csexp msg with
+    | Error _ -> true
+    | Ok (Proto.Ready _) | Ok (Proto.Heartbeat _) -> true
+    | Ok (Proto.Trial r) -> (
+        match Executor.parse_trial spec.Executor.decode r with
+        | Some (i, o) when i >= 0 && i < total && outcomes.(i) = None ->
+            outcomes.(i) <- Some o;
+            incr fresh;
+            (match o with
+            | Executor.Infra_error _ -> obs_count "server/infra-errors" 1
+            | Executor.Done _ -> ());
+            (match journal with
+            | Some sh -> Shard.append sh ~shard:(i / batch) r
+            | None -> ());
+            incr delivered;
+            (match !kills with
+            | k :: rest when !delivered >= k ->
+                kills := rest;
+                obs_count "server/chaos-kills" 1;
+                sigkill w.w_pid;
+                false  (* EOF will surface next round and steal the lease *)
+            | _ -> true)
+        | Some _ -> true  (* duplicate from a stolen batch: first write wins *)
+        | None -> true)
+    | Ok (Proto.Batch_done { batch = b; retries }) ->
+        obs_count "server/retries" retries;
+        if b >= 0 && b < nbatches && lease.(b) = Leased s then begin
+          lease.(b) <- Done_;
+          decr open_batches;
+          w.w_batch <- None;
+          (match journal with
+          | Some sh ->
+              Shard.sync sh ~shard:b;
+              if Shard.appended sh ~shard:b >= cfg.compact_every then begin
+                ignore (Shard.compact sh ~key:trial_key ~shard:b);
+                obs_count "server/compactions" 1
+              end
+          | None -> ());
+          advance_prefix ();
+          progress ()
+        end;
+        true
+  in
+  let assign () =
+    Array.iteri
+      (fun s w ->
+        match w with
+        | Some w when w.w_batch = None ->
+            let now = Unix.gettimeofday () in
+            let rec find b =
+              if b >= nbatches then None
+              else if lease.(b) = Todo && eligible.(b) <= now then Some b
+              else find (b + 1)
+            in
+            (match find 0 with
+            | None -> ()
+            | Some b -> (
+                match first_unfilled b with
+                | None ->
+                    (* a stolen batch whose records all arrived before
+                       the thief ran: nothing left to compute *)
+                    lease.(b) <- Done_;
+                    decr open_batches
+                | Some lo ->
+                    let _, hi = batch_range b in
+                    (try
+                       Wire.send w.w_conn
+                         (Proto.to_worker_to_csexp (Proto.Lease { batch = b; lo; hi }));
+                       lease.(b) <- Leased s;
+                       w.w_batch <- Some b;
+                       Watchdog.refresh w.w_dl
+                     with Wire.Closed ->
+                       worker_down s
+                         (Infra.Worker_lost { pid = w.w_pid; batch = None }))))
+        | _ -> ())
+      workers
+  in
+  if total > 0 && !open_batches > 0 then begin
+    for s = 0 to cfg.workers - 1 do fork_slot s done;
+    (try
+       while !open_batches > 0 && !poisoned = None && !stop_at = None do
+         assign ();
+         (* wait for worker traffic; select just bounds the idle sleep —
+            every live worker is drained below regardless *)
+         (match
+            Unix.select
+              (List.filter_map
+                 (Option.map (fun w -> Wire.fd w.w_conn))
+                 (Array.to_list workers))
+              [] [] 0.05
+          with
+         | _ -> ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+         Array.iteri
+           (fun s w ->
+             match w with
+             | None -> ()
+             | Some w -> (
+                 try
+                   let continue_ = ref true in
+                   let rec drain () =
+                     if !continue_ then
+                       match Wire.try_recv w.w_conn with
+                       | Some msg ->
+                           continue_ := handle s w msg;
+                           drain ()
+                       | None -> ()
+                   in
+                   drain ()
+                 with
+                 | Wire.Closed ->
+                     worker_down s
+                       (Infra.Worker_lost { pid = w.w_pid; batch = w.w_batch })
+                 | Wire.Corrupt m ->
+                     worker_down s (Infra.Wire_fault { message = m })))
+           workers;
+         (* heartbeat deadlines: a leased worker that went quiet *)
+         Array.iteri
+           (fun s w ->
+             match w with
+             | Some w when w.w_batch <> None && Watchdog.deadline_expired w.w_dl
+               ->
+                 obs_count "server/heartbeats-missed" 1;
+                 worker_down s
+                   (Infra.Lease_expired
+                      {
+                        batch = Option.value ~default:(-1) w.w_batch;
+                        pid = w.w_pid;
+                        heartbeat_s = cfg.heartbeat_s;
+                      })
+             | _ -> ())
+           workers;
+         (* keep the pool at strength while work remains *)
+         if !poisoned = None then
+           Array.iteri
+             (fun s w ->
+               if w = None && !open_batches > 0 then fork_slot s)
+             workers;
+         idle ()
+       done
+     with e ->
+       shutdown_workers ();
+       (match journal with Some sh -> Shard.sync_all sh; Shard.close sh | None -> ());
+       raise e);
+    shutdown_workers ()
+  end;
+  (match journal with
+  | Some sh ->
+      Shard.sync_all sh;
+      Shard.close sh
+  | None -> ());
+  (match !poisoned with
+  | Some (b, cause) ->
+      raise
+        (Infra.Campaign_poisoned { batch = b; attempts = attempts.(b); cause })
+  | None -> ());
+  let completed = match !stop_at with Some n -> n | None -> !prefix in
+  let final =
+    Array.init completed (fun i ->
+        match outcomes.(i) with Some o -> o | None -> assert false)
+  in
+  let infra_errors =
+    Array.fold_left
+      (fun a -> function Executor.Infra_error _ -> a + 1 | Executor.Done _ -> a)
+      0 final
+  in
+  {
+    Executor.outcomes = final;
+    planned = total;
+    completed;
+    infra_errors;
+    stopped_early = !stop_at <> None;
+    resumed;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+(* --- campaign plans (content-addressed warm start) ---------------------- *)
+
+(** Everything a campaign needs that is expensive to compute and a pure
+    function of the app spelling: the baked program, the golden
+    (fault-free) run's instruction count and output, and the
+    whole-program fault-site population. *)
+type plan = {
+  pl_app : string;
+  pl_prog : Prog.t;
+  pl_target : Campaign.target;
+  pl_clean_instructions : int;
+  pl_golden_output : string;
+}
+
+let plan_key (app : string) : string = Cache.key ("plan:v1:" ^ app)
+
+let plan_of_app ?(cache_dir : string option) (appname : string) :
+    (plan, string) result =
+  let cached =
+    Option.bind cache_dir (fun dir ->
+        (Cache.load ~dir ~key:(plan_key appname) : plan option))
+  in
+  match cached with
+  | Some p -> Ok p
+  | None -> (
+      match Fliptracker.resolve_app appname with
+      | Error e -> Error e
+      | Ok app -> (
+          match
+            let clean, trace = App.trace app in
+            let prog = App.program app in
+            let target = Campaign.whole_program_target prog trace in
+            {
+              pl_app = appname;
+              pl_prog = prog;
+              pl_target = target;
+              pl_clean_instructions = clean.Machine.instructions;
+              pl_golden_output = clean.Machine.output;
+            }
+          with
+          | exception e ->
+              Error
+                (Printf.sprintf "baking %s failed: %s" appname
+                   (Printexc.to_string e))
+          | plan ->
+              Option.iter
+                (fun dir ->
+                  ignore (Cache.store ~dir ~key:(plan_key appname) plan))
+                cache_dir;
+              Ok plan))
+
+(** The executor spec of a campaign over a plan — built {e exactly} the
+    way {!Campaign.run_report} builds its own (same tag, same trial
+    kernel, same outcome codec), which is the byte-identity contract
+    with [--jobs 1]. *)
+let campaign_spec (plan : plan) (ccfg : Campaign.config) :
+    Campaign.outcome_class Executor.spec =
+  let population = Campaign.target_population plan.pl_target in
+  let trials =
+    if population = 0 then 0 else Campaign.trials_for ccfg plan.pl_target
+  in
+  let verify r = App.verified r.Machine.output in
+  {
+    Executor.tag = Campaign.campaign_tag ccfg ~population ~trials;
+    total = trials;
+    run_trial =
+      Campaign.trial_fun plan.pl_prog ~verify
+        ~clean_instructions:plan.pl_clean_instructions ~cfg:ccfg plan.pl_target;
+    encode = Campaign.encode_outcome;
+    decode = Campaign.decode_outcome;
+    should_stop = None;
+  }
+
+let run_campaign ?(cfg = default_config) ?idle (plan : plan)
+    (ccfg : Campaign.config) : Campaign.counts * Campaign.outcome_class Executor.report =
+  let spec = campaign_spec plan ccfg in
+  let report = run ~cfg ?idle spec in
+  (Campaign.counts_of_outcomes report.Executor.outcomes, report)
+
+(* --- the socket front-end ----------------------------------------------- *)
+
+type serve_state = {
+  mutable ss_running : bool;  (** a campaign is in flight *)
+  mutable ss_completed : int;
+  mutable ss_planned : int;
+  mutable ss_campaigns : int;
+  mutable ss_shutdown : bool;
+}
+
+let answer_status (conn : Wire.conn) (st : serve_state) : unit =
+  Wire.send conn
+    (Proto.server_to_csexp
+       (Proto.Status_reply
+          {
+            Proto.st_state = (if st.ss_running then "running" else "idle");
+            st_completed = st.ss_completed;
+            st_planned = st.ss_planned;
+            st_campaigns = st.ss_campaigns;
+          }))
+
+let serve ?(cfg = default_config) ?(cache_dir : string option)
+    ~(socket : string) () : unit =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX socket);
+  Unix.listen lfd 8;
+  let st =
+    { ss_running = false; ss_completed = 0; ss_planned = 0; ss_campaigns = 0;
+      ss_shutdown = false }
+  in
+  let next_id = ref 0 in
+  let accept_one timeout =
+    match Unix.select [ lfd ] [] [] timeout with
+    | [], _, _ -> None
+    | _ :: _, _, _ ->
+        let fd, _ = Unix.accept lfd in
+        Some (Wire.of_fd fd)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+  in
+  (* answer a secondary client while a campaign runs: status is served
+     live; a concurrent submit is refused, not queued *)
+  let quick_answer conn =
+    (try
+       match Proto.client_of_csexp (Wire.recv conn ~timeout_s:2.0) with
+       | Ok Proto.Status -> answer_status conn st
+       | Ok (Proto.Submit _) ->
+           Wire.send conn
+             (Proto.server_to_csexp
+                (Proto.Rejected { reason = "busy: a campaign is running" }))
+       | Ok Proto.Shutdown ->
+           st.ss_shutdown <- true;
+           Wire.send conn (Proto.server_to_csexp Proto.Bye)
+       | Error e ->
+           Wire.send conn (Proto.server_to_csexp (Proto.Rejected { reason = e }))
+     with Wire.Closed | Wire.Timeout _ | Wire.Corrupt _ -> ());
+    Wire.close conn
+  in
+  let submit conn (spec : Campaign.spec) =
+    incr next_id;
+    let id = !next_id in
+    let safe_send m =
+      try Wire.send conn (Proto.server_to_csexp m) with Wire.Closed -> ()
+    in
+    match plan_of_app ?cache_dir spec.Campaign.sp_app with
+    | Error e -> safe_send (Proto.Rejected { reason = e })
+    | Ok plan -> (
+        safe_send (Proto.Accepted { id });
+        let ccfg = Campaign.config_of_spec spec in
+        let ex_spec = campaign_spec plan ccfg in
+        st.ss_running <- true;
+        st.ss_completed <- 0;
+        st.ss_planned <- ex_spec.Executor.total;
+        (* each campaign journals under its own tag-derived directory,
+           so one server can host many campaigns without mixing logs *)
+        let cfg =
+          {
+            cfg with
+            journal_dir =
+              Option.map
+                (fun dir ->
+                  Filename.concat dir
+                    ("campaign-" ^ Cache.key ex_spec.Executor.tag))
+                cfg.journal_dir;
+            resume = true;
+            on_progress =
+              Some
+                (fun (p : Executor.progress) ->
+                  st.ss_completed <- p.Executor.completed;
+                  safe_send
+                    (Proto.Progress
+                       {
+                         id;
+                         completed = p.Executor.completed;
+                         planned = p.Executor.planned;
+                         stolen = 0;
+                       }));
+          }
+        in
+        let idle () =
+          match accept_one 0.0 with Some c -> quick_answer c | None -> ()
+        in
+        (match run ~cfg ~idle ex_spec with
+        | report ->
+            let counts = Campaign.counts_of_outcomes report.Executor.outcomes in
+            st.ss_campaigns <- st.ss_campaigns + 1;
+            safe_send (Proto.Result { id; counts })
+        | exception Infra.Campaign_poisoned { batch; attempts; cause } ->
+            safe_send
+              (Proto.Poisoned
+                 { id; reason = Infra.poison_message ~batch ~attempts cause })
+        | exception e ->
+            safe_send (Proto.Rejected { reason = Printexc.to_string e }));
+        st.ss_running <- false)
+  in
+  while not st.ss_shutdown do
+    match accept_one 0.2 with
+    | None -> ()
+    | Some conn ->
+        (try
+           match Proto.client_of_csexp (Wire.recv conn ~timeout_s:5.0) with
+           | Ok Proto.Status -> answer_status conn st
+           | Ok Proto.Shutdown ->
+               st.ss_shutdown <- true;
+               Wire.send conn (Proto.server_to_csexp Proto.Bye)
+           | Ok (Proto.Submit spec) -> submit conn spec
+           | Error e ->
+               Wire.send conn
+                 (Proto.server_to_csexp (Proto.Rejected { reason = e }))
+         with Wire.Closed | Wire.Timeout _ | Wire.Corrupt _ -> ());
+        Wire.close conn
+  done;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  try Unix.unlink socket with Unix.Unix_error _ -> ()

@@ -1,0 +1,90 @@
+(** The campaign server: a crash-tolerant multi-process scheduler that
+    runs an {!Executor.spec} by leasing fixed contiguous trial batches
+    to forked worker processes.  Workers heartbeat under a refreshable
+    wall-clock deadline; a dead or stalled worker is SIGKILLed, its
+    lease stolen back (after a jittered backoff) and re-run by a
+    replacement forked from the warm server image.  Trial records
+    stream into a {!Shard}ed journal byte-compatible with the
+    in-process executor's, and outcomes accumulate in index order with
+    first-write-wins deduplication — so the counts are byte-identical
+    to a [--jobs 1] run no matter how many workers die mid-flight. *)
+
+type config = {
+  workers : int;  (** forked worker processes *)
+  batch : int;  (** trials per lease; fixed boundaries like the executor *)
+  shards : int;  (** journal shards (batch [b] logs to [b mod shards]) *)
+  journal_dir : string option;
+  resume : bool;  (** heal + load the journal, skip completed trials *)
+  heartbeat_s : float;  (** per-worker lease deadline between messages *)
+  max_lease_attempts : int;
+      (** lease failures tolerated per batch before the campaign is
+          poisoned *)
+  compact_every : int;  (** records appended to a shard before compaction *)
+  chaos_kills : int list;
+      (** SIGKILL the most recent deliverer when the delivered-trial
+          count crosses each threshold — the determinism harness *)
+  retry : Executor.config;
+      (** worker-side trial retry and the lease re-assignment backoff
+          share this policy *)
+  metrics : Obs.t option;
+      (** per-worker scheduler metrics: [server/workers-forked],
+          [server/leases-stolen], [server/heartbeats-missed],
+          [server/retries], [server/compactions], [server/chaos-kills],
+          [server/infra-errors] *)
+  on_progress : (Executor.progress -> unit) option;
+}
+
+val default_config : config
+(** 2 workers, batch 16, 4 shards, no journal, 30 s heartbeats, 3 lease
+    attempts, compaction every 4096 records, no chaos. *)
+
+val run : ?cfg:config -> ?idle:(unit -> unit) -> 'a Executor.spec -> 'a Executor.report
+(** Run a spec across the worker pool.  [idle] is called once per
+    scheduler iteration (the socket front-end answers status probes
+    there).
+    @raise Infra.Campaign_poisoned when a batch exhausts its lease
+    attempts — the campaign is infrastructure-broken. *)
+
+(** {2 Campaign plans}
+
+    Everything a campaign needs that is expensive to compute and a pure
+    function of the app spelling: the baked program, the golden run,
+    and the fault-site population.  Plans are cached content-addressed
+    so a restarted server (or a cold CLI) warm-starts. *)
+
+type plan = {
+  pl_app : string;
+  pl_prog : Prog.t;
+  pl_target : Campaign.target;
+  pl_clean_instructions : int;
+  pl_golden_output : string;  (** the fault-free run's output *)
+}
+
+val plan_key : string -> string
+(** Cache key of an app spelling. *)
+
+val plan_of_app : ?cache_dir:string -> string -> (plan, string) result
+(** Resolve, bake, trace and (when [cache_dir] is given) cache the
+    plan for an app spelling ([CG], [IS@all], [MG@opt], ...). *)
+
+val campaign_spec : plan -> Campaign.config -> Campaign.outcome_class Executor.spec
+(** The executor spec of a campaign over a plan — built exactly the way
+    {!Campaign.run_report} builds its own (same tag, same trial kernel,
+    same outcome codec): the byte-identity contract with [--jobs 1]. *)
+
+val run_campaign :
+  ?cfg:config ->
+  ?idle:(unit -> unit) ->
+  plan ->
+  Campaign.config ->
+  Campaign.counts * Campaign.outcome_class Executor.report
+
+(** {2 The socket front-end} *)
+
+val serve : ?cfg:config -> ?cache_dir:string -> socket:string -> unit -> unit
+(** Listen on a Unix-domain [socket] and serve {!Proto.client_msg}
+    requests until a shutdown: submissions run one at a time (status
+    stays live mid-campaign; concurrent submits are refused as busy),
+    each campaign journaling under its own tag-derived subdirectory of
+    [cfg.journal_dir] with [resume] forced on, so resubmitting an
+    interrupted campaign continues it. *)

@@ -1,0 +1,84 @@
+(** The forked worker's side of the campaign protocol.
+
+    A worker is a child process holding a copy-on-write image of the
+    server's address space — the baked program, the fault-site
+    population, the whole trial closure — so it starts warm: no wire
+    transfer of the plan, no re-baking.  It loops on leases, runs each
+    trial through {!Executor.attempt} (the {e same} bounded-jittered-
+    retry policy the in-process executor uses, so a raising trial
+    produces the same [Infra_error] record either way), and streams a
+    heartbeat before and a {!Executor.trial_record} after every trial.
+
+    The streaming granularity is the crash-tolerance contract: when the
+    server SIGKILLs a stalled worker or the kernel OOM-kills one, every
+    trial already streamed is safe in the server's journal and only the
+    in-flight trial is re-run by whoever steals the lease. *)
+
+let heartbeat (conn : Wire.conn) (idx : int) : unit =
+  Wire.send conn (Proto.from_worker_to_csexp (Proto.Heartbeat { idx }))
+
+(** Serve leases until [Quit] or the server hangs up.  [recv_timeout_s]
+    bounds how long an idle worker waits for its next command before
+    concluding the server is gone (a worker must never outlive its
+    server as an orphan burning CPU). *)
+let run ?(recv_timeout_s = 60.0) ~(conn : Wire.conn) ~(retry : Executor.config)
+    ~(trial : int -> 'a) ~(encode : 'a -> string) () : unit =
+  let spec =
+    {
+      Executor.tag = "worker";
+      total = max_int;
+      run_trial = trial;
+      encode;
+      decode = (fun _ -> None);
+      should_stop = None;
+    }
+  in
+  let retries = Obs.create () in
+  let retry = { retry with Executor.metrics = Some retries } in
+  let last_retries = ref 0 in
+  Wire.send conn (Proto.from_worker_to_csexp (Proto.Ready { pid = Unix.getpid () }));
+  let rec loop () =
+    match Proto.to_worker_of_csexp (Wire.recv conn ~timeout_s:recv_timeout_s) with
+    | Error _ -> loop ()  (* not for us; a dead server shows up as Closed *)
+    | Ok Proto.Quit -> ()
+    | Ok (Proto.Lease { batch; lo; hi }) ->
+        for i = lo to hi - 1 do
+          heartbeat conn i;
+          let o = Executor.attempt retry spec i in
+          Wire.send conn
+            (Proto.from_worker_to_csexp
+               (Proto.Trial (Executor.trial_record encode i o)))
+        done;
+        let total =
+          Option.value ~default:0 (Obs.counter_value retries "executor/retries")
+        in
+        let fresh = total - !last_retries in
+        last_retries := total;
+        Wire.send conn
+          (Proto.from_worker_to_csexp (Proto.Batch_done { batch; retries = fresh }));
+        loop ()
+  in
+  try loop () with Wire.Closed | Wire.Timeout _ -> ()
+
+(** Fork one worker running [run]; returns the child pid and the
+    server's end of the socketpair.  The child never returns: it exits
+    through [Unix._exit] so no parent state (buffered channels, atexit
+    handlers, the test runner) replays in the child. *)
+let spawn ?recv_timeout_s ~(retry : Executor.config) ~(trial : int -> 'a)
+    ~(encode : 'a -> string) () : int * Wire.conn =
+  flush stdout;
+  flush stderr;
+  let server_end, worker_end = Wire.pair () in
+  match Unix.fork () with
+  | 0 ->
+      Wire.close server_end;
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let code =
+        match run ?recv_timeout_s ~conn:worker_end ~retry ~trial ~encode () with
+        | () -> 0
+        | exception _ -> 125
+      in
+      Unix._exit code
+  | pid ->
+      Wire.close worker_end;
+      (pid, server_end)

@@ -1,0 +1,27 @@
+(** The forked worker's side of the campaign protocol: a copy-on-write
+    child that loops on leases, runs trials through
+    {!Executor.attempt}, and streams a heartbeat before and a trial
+    record after every trial — so a SIGKILL loses at most the in-flight
+    trial. *)
+
+val run :
+  ?recv_timeout_s:float ->
+  conn:Wire.conn ->
+  retry:Executor.config ->
+  trial:(int -> 'a) ->
+  encode:('a -> string) ->
+  unit ->
+  unit
+(** Serve leases until [Quit], the server hangs up, or no command
+    arrives within [recv_timeout_s] (default 60 s — a worker must never
+    outlive its server). *)
+
+val spawn :
+  ?recv_timeout_s:float ->
+  retry:Executor.config ->
+  trial:(int -> 'a) ->
+  encode:('a -> string) ->
+  unit ->
+  int * Wire.conn
+(** Fork one worker; returns [(pid, server_end)].  The child exits via
+    [Unix._exit] and never returns to the caller's code. *)

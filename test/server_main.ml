@@ -1,0 +1,5 @@
+(* The server suite forks worker processes, and OCaml 5 forbids
+   Unix.fork in any process that has ever spawned a domain — which the
+   pool/executor/MPI suites in main.ml do.  So the campaign server is
+   tested in its own domain-free executable. *)
+let () = Alcotest.run "fliptracker-server" [ Test_server.suite ]

@@ -201,6 +201,81 @@ let test_executor_resume_after_truncation () =
       Alcotest.(check bool) "identical outcome sequence" true
         (outcomes_equal full.Executor.outcomes resumed.Executor.outcomes))
 
+(* The torn-tail contract, exhaustively: truncate a finished journal at
+   EVERY byte boundary; each cut must heal to the longest valid record
+   prefix, and resuming from it must reproduce the --jobs 1 outcomes
+   exactly and leave a fully valid, header-first journal behind. *)
+let test_journal_heals_at_every_byte_boundary () =
+  with_temp_file (fun path ->
+      let total = 12 in
+      let cfg resume =
+        {
+          Executor.default_config with
+          jobs = 1;
+          batch = 4;
+          journal = Some path;
+          resume;
+        }
+      in
+      let full = Executor.run ~cfg:(cfg false) (spec ~total pure_trial) in
+      let intact = file_contents path in
+      let full_records, full_end = Journal.load path in
+      Alcotest.(check int) "intact journal is fully valid"
+        (String.length intact) full_end;
+      (* cumulative end offset of record k's "encoded bytes + newline" *)
+      let cums =
+        List.rev
+          (List.fold_left
+             (fun acc r ->
+               let len = String.length (Csexp.to_string r) + 1 in
+               match acc with [] -> [ len ] | c :: _ -> (c + len) :: acc)
+             [] full_records)
+      in
+      for cut = 0 to String.length intact do
+        let oc = open_out_bin path in
+        output_string oc (String.sub intact 0 cut);
+        close_out oc;
+        let records, valid_end = Journal.load path in
+        (* a record survives iff its final byte (just before its
+           newline) fits under the cut *)
+        let surviving = List.filter (fun c -> c - 1 <= cut) cums in
+        let expected_count = List.length surviving in
+        let expected_end =
+          match List.rev surviving with [] -> 0 | last :: _ -> min cut last
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: longest valid prefix" cut)
+          expected_count (List.length records);
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: heal offset" cut)
+          expected_end valid_end;
+        Alcotest.(check bool)
+          (Printf.sprintf "cut %d: surviving records unchanged" cut)
+          true
+          (records
+          = List.filteri (fun i _ -> i < expected_count) full_records);
+        let resumed = Executor.run ~cfg:(cfg true) (spec ~total pure_trial) in
+        Alcotest.(check bool)
+          (Printf.sprintf "cut %d: resume reproduces --jobs 1 outcomes" cut)
+          true
+          (outcomes_equal full.Executor.outcomes resumed.Executor.outcomes);
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: exactly the surviving trials resumed" cut)
+          (max 0 (expected_count - 1))
+          resumed.Executor.resumed;
+        (* the healed journal must itself be whole and resumable *)
+        let healed, healed_end = Journal.load path in
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: healed journal fully valid" cut)
+          ((Unix.stat path).Unix.st_size)
+          healed_end;
+        match healed with
+        | first :: _ when first = List.hd full_records -> ()
+        | _ ->
+            Alcotest.fail
+              (Printf.sprintf "cut %d: healed journal lost its header" cut)
+      done)
+
 let test_executor_rejects_foreign_journal () =
   with_temp_file (fun path ->
       let cfg resume =
@@ -305,6 +380,8 @@ let suite =
         test_watchdog_quiet_before_deadline;
       Alcotest.test_case "executor jobs invariance" `Quick
         test_executor_jobs_invariance;
+      Alcotest.test_case "journal heals at every byte boundary" `Quick
+        test_journal_heals_at_every_byte_boundary;
       Alcotest.test_case "executor resume after truncation" `Quick
         test_executor_resume_after_truncation;
       Alcotest.test_case "executor rejects foreign journal" `Quick

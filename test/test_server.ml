@@ -1,0 +1,510 @@
+(* The campaign server: wire framing (dup suppression, checksum +
+   resend, deadlines), the content-addressed cache, the infra
+   taxonomy, protocol codecs, sharded journals, and the core
+   crash-tolerance contract — a campaign whose workers are SIGKILLed
+   mid-flight produces counts byte-identical to --jobs 1. *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ft-server-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ -> ()) (fun () -> f dir)
+
+(* --- wire ---------------------------------------------------------------- *)
+
+let msg s = Csexp.List [ Csexp.Atom "m"; Csexp.Atom s ]
+
+let test_wire_roundtrip () =
+  let a, b = Wire.pair () in
+  let sent = List.init 20 (fun i -> msg (string_of_int i)) in
+  List.iter (Wire.send a) sent;
+  let got = List.map (fun _ -> Wire.recv b ~timeout_s:2.0) sent in
+  Alcotest.(check bool) "all frames in order" true (got = sent);
+  Wire.close a;
+  Wire.close b
+
+let test_wire_dup_suppression () =
+  let a, b = Wire.pair () in
+  (* every frame is written twice; the receiver must deliver each once *)
+  Wire.set_inject a (Some (fun raw -> [ raw; raw ]));
+  let sent = List.init 5 (fun i -> msg (string_of_int i)) in
+  List.iter (Wire.send a) sent;
+  let got = List.map (fun _ -> Wire.recv b ~timeout_s:2.0) sent in
+  Alcotest.(check bool) "duplicates suppressed" true (got = sent);
+  (* the last duplicate is still pending; drain it so every dup counts *)
+  (match Wire.try_recv b with
+  | Some _ -> Alcotest.fail "a duplicate was delivered"
+  | None -> ());
+  Alcotest.(check int) "every duplicate discarded" 5
+    (Wire.stats b).Wire.dup_discarded;
+  Wire.close a;
+  Wire.close b
+
+let test_wire_corruption_recovers_by_resend () =
+  let a, b = Wire.pair () in
+  (* corrupt one payload byte of the first frame only; the receiver
+     nacks and the sender retransmits from its buffer *)
+  let corrupted = ref false in
+  Wire.set_inject a
+    (Some
+       (fun raw ->
+         if !corrupted then [ raw ]
+         else begin
+           corrupted := true;
+           let bytes = Bytes.of_string raw in
+           let i = String.length raw - 2 in
+           Bytes.set bytes i
+             (Char.chr (Char.code (Bytes.get bytes i) lxor 0x40));
+           [ Bytes.to_string bytes ]
+         end));
+  Wire.send a (msg "fragile");
+  (* the nack is only read when the sender receives; drive both sides *)
+  let rec pump tries =
+    if tries = 0 then Alcotest.fail "resend never recovered the frame"
+    else
+      match Wire.try_recv b with
+      | Some m -> m
+      | None ->
+          (match Wire.try_recv a with Some _ -> () | None -> ());
+          Unix.sleepf 0.01;
+          pump (tries - 1)
+  in
+  let got = pump 200 in
+  Alcotest.(check bool) "recovered payload" true (got = msg "fragile");
+  Alcotest.(check bool) "checksum failure recorded" true
+    ((Wire.stats b).Wire.checksum_failures >= 1);
+  Alcotest.(check bool) "sender resent" true ((Wire.stats a).Wire.resent >= 1);
+  Wire.close a;
+  Wire.close b
+
+let test_wire_recv_deadline () =
+  let a, b = Wire.pair () in
+  (match Wire.recv b ~timeout_s:0.05 with
+  | _ -> Alcotest.fail "expected Timeout"
+  | exception Wire.Timeout _ -> ());
+  Wire.close a;
+  Wire.close b
+
+let test_wire_closed_peer () =
+  let a, b = Wire.pair () in
+  Wire.close a;
+  match Wire.recv b ~timeout_s:1.0 with
+  | _ -> Alcotest.fail "expected Closed"
+  | exception Wire.Closed -> Wire.close b
+
+(* --- cache --------------------------------------------------------------- *)
+
+let test_cache_roundtrip_and_corruption () =
+  with_temp_dir (fun dir ->
+      let key = Cache.key "plan:v1:IS" in
+      let v = (42, "golden", [| 1.5; 2.5 |]) in
+      let path = Cache.store ~dir ~key v in
+      Alcotest.(check bool) "loads back" true
+        (Cache.load ~dir ~key = Some v);
+      Alcotest.(check bool) "listed" true (Cache.entries dir = [ key ]);
+      (* flip a payload byte: the checksum must reject the entry, not
+         crash or hand back a silently different value *)
+      let size = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      ignore (Unix.lseek fd (size - 5) Unix.SEEK_SET);
+      ignore (Unix.write_substring fd "X" 0 1);
+      Unix.close fd;
+      Alcotest.(check bool) "corrupt entry loads as None" true
+        ((Cache.load ~dir ~key : (int * string * float array) option) = None);
+      Alcotest.(check bool) "missing key is None" true
+        ((Cache.load ~dir ~key:"0000000000000000" : int option) = None))
+
+(* --- infra taxonomy ------------------------------------------------------ *)
+
+let test_infra_kinds_roundtrip () =
+  let causes =
+    [
+      Infra.Trial_raised { idx = 3; message = "boom" };
+      Infra.Worker_lost { pid = 123; batch = Some 7 };
+      Infra.Lease_expired { batch = 7; pid = 123; heartbeat_s = 5.0 };
+      Infra.Wire_fault { message = "unframed bytes" };
+    ]
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check string)
+        (Infra.to_message c) (Infra.kind c)
+        (Infra.kind_of_message (Infra.to_message c)))
+    causes;
+  (* pre-taxonomy executor messages classify as trial failures *)
+  Alcotest.(check string) "legacy executor message" "trial"
+    (Infra.kind_of_message "trial 17: Failure(\"flaky\")");
+  Alcotest.(check string) "garbage" "unknown" (Infra.kind_of_message "whatever")
+
+(* --- protocol codecs ----------------------------------------------------- *)
+
+let test_proto_roundtrips () =
+  let specs =
+    [
+      Campaign.default_spec;
+      {
+        Campaign.sp_app = "CG@all";
+        sp_seed = 7;
+        sp_trials = None;
+        sp_model = Fault_model.Single_bit;
+        sp_recovery = Campaign.Rollback { max_restores = 2 };
+      };
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Campaign.spec_of_csexp (Campaign.spec_to_csexp s) with
+      | Ok s' -> Alcotest.(check bool) "spec roundtrip" true (s = s')
+      | Error e -> Alcotest.fail e)
+    specs;
+  let counts =
+    { Campaign.success = 3; failed = 1; crashed = 4; recovered = 1; trials = 9;
+      infra = 2 }
+  in
+  (match Campaign.counts_of_csexp (Campaign.counts_to_csexp counts) with
+  | Ok c -> Alcotest.(check bool) "counts roundtrip" true (c = counts)
+  | Error e -> Alcotest.fail e);
+  let client_msgs =
+    [ Proto.Submit Campaign.default_spec; Proto.Status; Proto.Shutdown ]
+  in
+  List.iter
+    (fun m ->
+      match Proto.client_of_csexp (Proto.client_to_csexp m) with
+      | Ok m' -> Alcotest.(check bool) "client msg" true (m = m')
+      | Error e -> Alcotest.fail e)
+    client_msgs;
+  let server_msgs =
+    [
+      Proto.Accepted { id = 1 };
+      Proto.Rejected { reason = "busy" };
+      Proto.Progress { id = 1; completed = 5; planned = 10; stolen = 1 };
+      Proto.Result { id = 1; counts };
+      Proto.Poisoned { id = 1; reason = "batch 3 kept dying" };
+      Proto.Status_reply
+        { Proto.st_state = "running"; st_completed = 5; st_planned = 10;
+          st_campaigns = 2 };
+      Proto.Bye;
+    ]
+  in
+  List.iter
+    (fun m ->
+      match Proto.server_of_csexp (Proto.server_to_csexp m) with
+      | Ok m' -> Alcotest.(check bool) "server msg" true (m = m')
+      | Error e -> Alcotest.fail e)
+    server_msgs;
+  let worker_msgs =
+    [
+      Proto.Ready { pid = 42 };
+      Proto.Heartbeat { idx = 17 };
+      Proto.Trial (Executor.trial_record string_of_int 3 (Executor.Done 99));
+      Proto.Batch_done { batch = 2; retries = 1 };
+    ]
+  in
+  List.iter
+    (fun m ->
+      match Proto.from_worker_of_csexp (Proto.from_worker_to_csexp m) with
+      | Ok m' -> Alcotest.(check bool) "worker msg" true (m = m')
+      | Error e -> Alcotest.fail e)
+    worker_msgs;
+  List.iter
+    (fun m ->
+      match Proto.to_worker_of_csexp (Proto.to_worker_to_csexp m) with
+      | Ok m' -> Alcotest.(check bool) "to-worker msg" true (m = m')
+      | Error e -> Alcotest.fail e)
+    [ Proto.Lease { batch = 0; lo = 0; hi = 16 }; Proto.Quit ]
+
+(* --- shard journals ------------------------------------------------------ *)
+
+let header = Csexp.List [ Csexp.Atom "hdr"; Csexp.Atom "campaign-x" ]
+let rec_of i = Executor.trial_record string_of_int i (Executor.Done (i * i))
+
+let test_shard_torn_tails_heal_per_shard () =
+  with_temp_dir (fun dir ->
+      let sh = Shard.create ~dir ~shards:3 ~header in
+      for i = 0 to 29 do
+        Shard.append sh ~shard:(i / 10) (rec_of i)
+      done;
+      Shard.sync_all sh;
+      Shard.close sh;
+      (* tear the tail of shard 1 only *)
+      let path1 = List.nth (Shard.shard_paths ~dir ~shards:3) 1 in
+      let size = (Unix.stat path1).Unix.st_size in
+      let fd = Unix.openfile path1 [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (size - 3);
+      Unix.close fd;
+      let sh, records = Shard.open_resume ~dir ~shards:3 ~header in
+      Shard.close sh;
+      let parsed = List.filter_map (Executor.parse_trial int_of_string_opt) records in
+      let indices = List.map fst parsed |> List.sort compare in
+      (* exactly one record (shard 1's torn last) was dropped *)
+      Alcotest.(check int) "one record lost to the tear" 29 (List.length parsed);
+      Alcotest.(check bool) "shard 0 and 2 intact" true
+        (List.for_all (fun i -> List.mem i indices)
+           (List.init 10 Fun.id @ List.init 10 (fun i -> 20 + i)));
+      List.iter
+        (fun (i, o) ->
+          Alcotest.(check bool) "payload survives" true
+            (o = Executor.Done (i * i)))
+        parsed)
+
+let test_shard_header_mismatch_refuses () =
+  with_temp_dir (fun dir ->
+      let sh = Shard.create ~dir ~shards:2 ~header in
+      Shard.close sh;
+      let other = Csexp.List [ Csexp.Atom "hdr"; Csexp.Atom "campaign-y" ] in
+      match Shard.open_resume ~dir ~shards:2 ~header:other with
+      | _ -> Alcotest.fail "expected Header_mismatch"
+      | exception Shard.Header_mismatch _ -> ())
+
+let test_shard_compaction_dedups () =
+  with_temp_dir (fun dir ->
+      let sh = Shard.create ~dir ~shards:1 ~header in
+      (* the same three trials re-journaled many times (stolen leases) *)
+      for _round = 0 to 9 do
+        for i = 0 to 2 do Shard.append sh ~shard:0 (rec_of i) done
+      done;
+      Shard.sync_all sh;
+      let key r =
+        match r with
+        | Csexp.List (Csexp.Atom "t" :: Csexp.Atom idx :: _) -> Some idx
+        | _ -> None
+      in
+      let before, after = Shard.compact sh ~key ~shard:0 in
+      Shard.close sh;
+      Alcotest.(check bool) "compaction shrank the shard" true (after < before);
+      let sh, records = Shard.open_resume ~dir ~shards:1 ~header in
+      Shard.close sh;
+      Alcotest.(check int) "three records survive" 3 (List.length records))
+
+(* --- the server engine --------------------------------------------------- *)
+
+let pure_trial i = (i * 2654435761) land 0xFFFF
+
+let spec ?(total = 48) ?(tag = "server-test:v1") run_trial =
+  {
+    Executor.tag;
+    total;
+    run_trial;
+    encode = string_of_int;
+    decode = int_of_string_opt;
+    should_stop = None;
+  }
+
+let outcomes_equal a b =
+  Array.length a = Array.length b && Array.for_all2 ( = ) a b
+
+let test_server_matches_executor () =
+  let s = spec pure_trial in
+  let reference = Executor.run ~cfg:{ Executor.default_config with jobs = 1 } s in
+  let report =
+    Server.run
+      ~cfg:{ Server.default_config with Server.workers = 3; batch = 8 }
+      s
+  in
+  Alcotest.(check int) "all trials ran" 48 report.Executor.completed;
+  Alcotest.(check bool) "identical outcome sequence" true
+    (outcomes_equal reference.Executor.outcomes report.Executor.outcomes)
+
+let test_server_chaos_kills_preserve_outcomes () =
+  (* one batch spanning the whole campaign and a 1 ms pause per trial:
+     each SIGKILL is guaranteed to land while ~dozens of trials are
+     still outstanding on the dead worker's lease, so the lease MUST be
+     stolen and finished by a replacement *)
+  let slow_trial i = Unix.sleepf 0.001; pure_trial i in
+  let reference =
+    Executor.run
+      ~cfg:{ Executor.default_config with jobs = 1 }
+      (spec ~total:60 pure_trial)
+  in
+  let obs = Obs.create () in
+  let report =
+    Server.run
+      ~cfg:
+        {
+          Server.default_config with
+          Server.workers = 2;
+          batch = 60;
+          chaos_kills = [ 10; 35 ];
+          heartbeat_s = 10.0;
+          metrics = Some obs;
+        }
+      (spec ~total:60 slow_trial)
+  in
+  let counter n = Option.value ~default:0 (Obs.counter_value obs n) in
+  Alcotest.(check int) "both chaos kills fired" 2 (counter "server/chaos-kills");
+  Alcotest.(check int) "both leases were stolen" 2
+    (counter "server/leases-stolen");
+  Alcotest.(check bool) "replacements were forked" true
+    (counter "server/workers-forked" > 2);
+  Alcotest.(check int) "all trials ran" 60 report.Executor.completed;
+  Alcotest.(check bool) "SIGKILLs cannot change the outcome sequence" true
+    (outcomes_equal reference.Executor.outcomes report.Executor.outcomes)
+
+let test_server_journal_resume () =
+  with_temp_dir (fun dir ->
+      let jdir = Filename.concat dir "journal" in
+      let s = spec ~total:40 pure_trial in
+      let cfg kills resume =
+        {
+          Server.default_config with
+          Server.workers = 2;
+          batch = 5;
+          shards = 2;
+          journal_dir = Some jdir;
+          resume;
+          chaos_kills = kills;
+          heartbeat_s = 10.0;
+        }
+      in
+      let first = Server.run ~cfg:(cfg [ 12 ] false) s in
+      Alcotest.(check int) "first run completed" 40 first.Executor.completed;
+      (* tear one shard's tail, as a crashed server would leave it *)
+      let path0 = List.nth (Shard.shard_paths ~dir:jdir ~shards:2) 0 in
+      let size = (Unix.stat path0).Unix.st_size in
+      let fd = Unix.openfile path0 [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (size - 4);
+      Unix.close fd;
+      let calls = ref 0 in
+      let counted i = incr calls; pure_trial i in
+      let second = Server.run ~cfg:(cfg [] true) (spec ~total:40 counted) in
+      Alcotest.(check bool) "most trials resumed from the journal" true
+        (second.Executor.resumed >= 35);
+      Alcotest.(check bool) "only missing trials re-ran" true
+        (!calls <= 40 - second.Executor.resumed + 5);
+      Alcotest.(check bool) "resumed run agrees with the first" true
+        (outcomes_equal first.Executor.outcomes second.Executor.outcomes))
+
+let test_server_poisons_unrunnable_campaign () =
+  (* every worker that leases batch 0 stalls without heartbeating: the
+     lease expires, the thief stalls too, and the campaign must be
+     refused as infrastructure-broken rather than hang or fabricate *)
+  let stall i = if i < 4 then Unix.sleep 30 else ();
+    pure_trial i
+  in
+  let obs = Obs.create () in
+  match
+    Server.run
+      ~cfg:
+        {
+          Server.default_config with
+          Server.workers = 2;
+          batch = 4;
+          heartbeat_s = 0.3;
+          max_lease_attempts = 1;
+          metrics = Some obs;
+        }
+      (spec ~total:8 stall)
+  with
+  | _ -> Alcotest.fail "expected Campaign_poisoned"
+  | exception Infra.Campaign_poisoned { batch; attempts; cause } ->
+      Alcotest.(check int) "the stalling batch" 0 batch;
+      Alcotest.(check bool) "after repeated lease attempts" true (attempts >= 2);
+      Alcotest.(check string) "classified as a lease expiry" "lease-expired"
+        (Infra.kind cause);
+      Alcotest.(check bool) "heartbeat misses were counted" true
+        (Option.value ~default:0 (Obs.counter_value obs "server/heartbeats-missed")
+         >= 2)
+
+(* --- the acceptance gate: a real campaign under worker SIGKILL ----------- *)
+
+let test_chaos_campaign_counts_byte_identical () =
+  match Server.plan_of_app "IS" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      let ccfg =
+        { Campaign.default_config with Campaign.max_trials = Some 48 }
+      in
+      (* the --jobs 1 reference, through the very same plan and kernel *)
+      let s = Server.campaign_spec plan ccfg in
+      let reference =
+        Executor.run ~cfg:{ Executor.default_config with jobs = 1 } s
+      in
+      let ref_counts = Campaign.counts_of_outcomes reference.Executor.outcomes in
+      let obs = Obs.create () in
+      let counts, report =
+        Server.run_campaign
+          ~cfg:
+            {
+              Server.default_config with
+              Server.workers = 2;
+              batch = 8;
+              chaos_kills = [ 10; 30 ];
+              heartbeat_s = 10.0;
+              metrics = Some obs;
+            }
+          plan ccfg
+      in
+      Alcotest.(check bool) "at least one worker was SIGKILLed" true
+        (Option.value ~default:0 (Obs.counter_value obs "server/chaos-kills") >= 1);
+      Alcotest.(check int) "all trials ran" reference.Executor.completed
+        report.Executor.completed;
+      (* the headline invariant: byte-identical counts, infra and
+         recovery fields included *)
+      Alcotest.(check string) "counts byte-identical to --jobs 1"
+        (Csexp.to_string (Campaign.counts_to_csexp ref_counts))
+        (Csexp.to_string (Campaign.counts_to_csexp counts))
+
+(* --- jittered backoff (satellite) ---------------------------------------- *)
+
+let test_backoff_jitter_bounds_and_determinism () =
+  let cfg = { Executor.default_config with retry_backoff_s = 0.1; retry_jitter = 0.5 } in
+  for idx = 0 to 40 do
+    for k = 0 to 3 do
+      let s = Executor.backoff_s cfg idx k in
+      let step = 0.1 *. Float.of_int (1 lsl k) in
+      Alcotest.(check bool) "within [0.5x, 1.5x]" true
+        (s >= (0.5 *. step) -. 1e-12 && s <= (1.5 *. step) +. 1e-12);
+      Alcotest.(check (float 0.0)) "deterministic per (trial, attempt)" s
+        (Executor.backoff_s cfg idx k)
+    done
+  done;
+  let locked = { cfg with Executor.retry_jitter = 0.0 } in
+  Alcotest.(check (float 1e-12)) "jitter 0 restores the historical schedule"
+    0.4
+    (Executor.backoff_s locked 7 2);
+  (* distinct trials de-synchronize: not all equal *)
+  let sleeps = List.init 20 (fun i -> Executor.backoff_s cfg i 0) in
+  Alcotest.(check bool) "trials spread out" true
+    (List.exists (fun s -> abs_float (s -. List.hd sleeps) > 1e-6) sleeps)
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+      Alcotest.test_case "wire dup suppression" `Quick test_wire_dup_suppression;
+      Alcotest.test_case "wire corruption resend" `Quick
+        test_wire_corruption_recovers_by_resend;
+      Alcotest.test_case "wire recv deadline" `Quick test_wire_recv_deadline;
+      Alcotest.test_case "wire closed peer" `Quick test_wire_closed_peer;
+      Alcotest.test_case "cache roundtrip + corruption" `Quick
+        test_cache_roundtrip_and_corruption;
+      Alcotest.test_case "infra kinds roundtrip" `Quick test_infra_kinds_roundtrip;
+      Alcotest.test_case "protocol codecs roundtrip" `Quick test_proto_roundtrips;
+      Alcotest.test_case "shard torn tails heal per shard" `Quick
+        test_shard_torn_tails_heal_per_shard;
+      Alcotest.test_case "shard header mismatch refuses" `Quick
+        test_shard_header_mismatch_refuses;
+      Alcotest.test_case "shard compaction dedups" `Quick
+        test_shard_compaction_dedups;
+      Alcotest.test_case "server matches executor" `Quick
+        test_server_matches_executor;
+      Alcotest.test_case "chaos kills preserve outcomes" `Quick
+        test_server_chaos_kills_preserve_outcomes;
+      Alcotest.test_case "journal resume after torn shard" `Quick
+        test_server_journal_resume;
+      Alcotest.test_case "unrunnable campaign poisons" `Quick
+        test_server_poisons_unrunnable_campaign;
+      Alcotest.test_case "chaos campaign counts byte-identical" `Slow
+        test_chaos_campaign_counts_byte_identical;
+      Alcotest.test_case "backoff jitter bounds + determinism" `Quick
+        test_backoff_jitter_bounds_and_determinism;
+    ] )
