@@ -76,7 +76,10 @@ let open_resume ~(dir : string) ~(shards : int) ~(header : Csexp.t) :
     t * Csexp.t list =
   if shards <= 0 then invalid_arg "Shard.open_resume: shards must be positive";
   ensure_dir dir;
-  let records = ref [] in
+  (* per-shard record lists, shard order reversed; concatenated once at
+     the end — appending each shard's tail to a growing list would be
+     quadratic in the total record count *)
+  let record_lists = ref [] in
   let writers =
     Array.init shards (fun i ->
         let path = shard_file dir i in
@@ -88,11 +91,12 @@ let open_resume ~(dir : string) ~(shards : int) ~(header : Csexp.t) :
             Journal.sync w;
             Some w
         | h :: rest when h = header ->
-            records := !records @ rest;
+            record_lists := rest :: !record_lists;
             Some (Journal.open_append ~truncate_at:valid_end path)
         | h :: _ -> raise (Header_mismatch { shard = path; found = Some h }))
   in
-  ( { dir; shards; writers; appended = Array.make shards 0 }, !records )
+  ( { dir; shards; writers; appended = Array.make shards 0 },
+    List.concat (List.rev !record_lists) )
 
 let writer (t : t) (shard : int) : Journal.writer =
   match t.writers.(shard mod t.shards) with

@@ -11,7 +11,26 @@
     Entries are [Marshal]ed values wrapped with an FNV-1a checksum and
     written atomically (temp file, fsync, rename), so a torn write or a
     stale entry from an incompatible build deserializes to [None] and
-    is simply recomputed — the cache can never poison a campaign. *)
+    is simply recomputed — the cache can never poison a campaign.
+
+    The checksum guards bytes, not types: [Marshal] would happily
+    deserialize an entry written by a binary with a different layout of
+    the stored type into garbage.  Every entry therefore also carries a
+    build fingerprint (format magic, compiler version, and the digest of
+    the writing executable); [load] rejects entries whose fingerprint is
+    not this process's own, so only a value marshalled by this exact
+    binary is ever unmarshalled. *)
+
+let format_magic = "ftcache:2\n"
+
+(* the writing build's identity: an entry is only trusted when it was
+   written by this exact executable (same type layouts, same Marshal
+   compatibility) *)
+let fingerprint : string Lazy.t =
+  lazy
+    (Printf.sprintf "%s:%s" Sys.ocaml_version
+       (try Digest.to_hex (Digest.file Sys.executable_name)
+        with Sys_error _ | Unix.Unix_error _ -> "no-exe-digest"))
 
 let key (description : string) : string =
   Printf.sprintf "%016Lx" (Wire.checksum description)
@@ -30,7 +49,10 @@ let rec ensure_dir (dir : string) =
 let store ~(dir : string) ~(key : string) (v : 'a) : string =
   ensure_dir dir;
   let payload = Marshal.to_string v [] in
-  let blob = Marshal.to_string (Wire.checksum payload, payload) [] in
+  let blob =
+    format_magic
+    ^ Marshal.to_string (Lazy.force fingerprint, Wire.checksum payload, payload) []
+  in
   let final = path ~dir ~key in
   let tmp = final ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
@@ -53,15 +75,24 @@ let load ~(dir : string) ~(key : string) : 'a option =
         really_input_string ic n)
   with
   | exception Sys_error _ -> None
-  | blob -> (
-      match (Marshal.from_string blob 0 : int64 * string) with
-      | exception _ -> None
-      | sum, payload ->
-          if not (Int64.equal sum (Wire.checksum payload)) then None
-          else (
-            match Marshal.from_string payload 0 with
-            | exception _ -> None
-            | v -> Some v))
+  | blob ->
+      let magic_len = String.length format_magic in
+      if
+        String.length blob < magic_len
+        || not (String.equal (String.sub blob 0 magic_len) format_magic)
+      then None
+      else (
+        match
+          (Marshal.from_string blob magic_len : string * int64 * string)
+        with
+        | exception _ -> None
+        | fp, sum, payload ->
+            if not (String.equal fp (Lazy.force fingerprint)) then None
+            else if not (Int64.equal sum (Wire.checksum payload)) then None
+            else (
+              match Marshal.from_string payload 0 with
+              | exception _ -> None
+              | v -> Some v))
 
 let entries (dir : string) : string list =
   match Sys.readdir dir with

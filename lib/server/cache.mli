@@ -1,8 +1,11 @@
 (** Content-addressed store of expensive campaign artifacts (baked
     programs, golden runs, fault-site populations), keyed by the FNV-1a
     hash of a canonical description.  Entries carry their own checksum
-    and are written atomically; corrupt or stale entries load as
-    [None], so the cache can never poison a campaign. *)
+    {e and} the writing build's fingerprint (compiler version +
+    executable digest) and are written atomically; corrupt, torn, or
+    other-build entries load as [None] — only a value marshalled by
+    this exact binary is ever unmarshalled, so the cache can never
+    poison a campaign with a type-incompatible deserialization. *)
 
 val key : string -> string
 (** 16-hex-digit content key of a canonical description string. *)
@@ -14,9 +17,10 @@ val store : dir:string -> key:string -> 'a -> string
     returns the entry's path.  Creates [dir] if needed. *)
 
 val load : dir:string -> key:string -> 'a option
-(** [None] when missing, torn, or checksum-mismatched.  The caller
-    must expect the same type it stored — the checksum guards bytes,
-    not types, so keys must encode everything the value depends on. *)
+(** [None] when missing, torn, checksum-mismatched, or written by a
+    different build of the tool (the checksum guards bytes, not types;
+    the build fingerprint guards the rest).  The caller must still
+    expect the same type it stored under that key. *)
 
 val entries : string -> string list
 (** Keys present in a cache directory, sorted. *)

@@ -46,6 +46,11 @@ type config = {
       (** SIGKILL the most recent deliverer when the delivered-trial
           count crosses each threshold (ascending); the determinism
           harness *)
+  chaos_stall_done_s : float;
+      (** workers sleep this long between a batch's last trial record
+          and its [Batch_done] (0 = no stall): combined with a short
+          [heartbeat_s] it deterministically orphans fully-delivered
+          leases, the batch-boundary crash window *)
   retry : Executor.config;
       (** worker-side trial retry and the lease re-assignment backoff
           share this policy *)
@@ -64,6 +69,7 @@ let default_config =
     max_lease_attempts = 3;
     compact_every = 4096;
     chaos_kills = [];
+    chaos_stall_done_s = 0.0;
     retry = Executor.default_config;
     metrics = None;
     on_progress = None;
@@ -85,8 +91,9 @@ let trial_key (r : Csexp.t) : string option =
   | Csexp.List (Csexp.Atom "t" :: Csexp.Atom idx :: _) -> Some idx
   | _ -> None
 
-let run ?(cfg = default_config) ?(idle = fun () -> ()) (spec : 'a Executor.spec)
-    : 'a Executor.report =
+let run ?(cfg = default_config) ?(idle = fun () -> ())
+    ?(child_close : Unix.file_descr list = []) (spec : 'a Executor.spec) :
+    'a Executor.report =
   if spec.Executor.total < 0 then invalid_arg "Server.run: negative total";
   if cfg.workers < 1 then invalid_arg "Server.run: need at least one worker";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -140,8 +147,18 @@ let run ?(cfg = default_config) ?(idle = fun () -> ()) (spec : 'a Executor.spec)
   done;
   let workers : wslot option array = Array.make cfg.workers None in
   let fork_slot s =
+    (* every fd the server holds that this child must not inherit:
+       sibling workers' server-end sockets plus whatever the caller
+       added (the serve front-end's listening socket) *)
+    let inherited =
+      child_close
+      @ List.filter_map
+          (Option.map (fun w -> Wire.fd w.w_conn))
+          (Array.to_list workers)
+    in
     let pid, conn =
-      Worker.spawn
+      Worker.spawn ~stall_batch_done_s:cfg.chaos_stall_done_s
+        ~close_fds:inherited
         ~retry:{ cfg.retry with Executor.metrics = None }
         ~trial:spec.Executor.run_trial ~encode:spec.Executor.encode ()
     in
@@ -310,9 +327,16 @@ let run ?(cfg = default_config) ?(idle = fun () -> ()) (spec : 'a Executor.spec)
                 match first_unfilled b with
                 | None ->
                     (* a stolen batch whose records all arrived before
-                       the thief ran: nothing left to compute *)
+                       the thief ran: nothing left to compute — but the
+                       boundary still closes here, so the prefix (and
+                       the early-stop predicate) must advance exactly as
+                       it would on Batch_done, or a campaign whose last
+                       open batch dies this way reports a stale,
+                       truncated prefix *)
                     lease.(b) <- Done_;
-                    decr open_batches
+                    decr open_batches;
+                    advance_prefix ();
+                    progress ()
                 | Some lo ->
                     let _, hi = batch_range b in
                     (try
@@ -406,6 +430,9 @@ let run ?(cfg = default_config) ?(idle = fun () -> ()) (spec : 'a Executor.spec)
       raise
         (Infra.Campaign_poisoned { batch = b; attempts = attempts.(b); cause })
   | None -> ());
+  (* idempotent: guards `completed` against any future path that marks
+     a batch Done_ without advancing the prefix *)
+  advance_prefix ();
   let completed = match !stop_at with Some n -> n | None -> !prefix in
   let final =
     Array.init completed (fun i ->
@@ -561,14 +588,20 @@ let serve ?(cfg = default_config) ?(cache_dir : string option)
            Wire.send conn (Proto.server_to_csexp Proto.Bye)
        | Error e ->
            Wire.send conn (Proto.server_to_csexp (Proto.Rejected { reason = e }))
-     with Wire.Closed | Wire.Timeout _ | Wire.Corrupt _ -> ());
+     with
+    | Wire.Closed | Wire.Timeout _ | Wire.Corrupt _ -> ()
+    | e ->
+        (* one bad client must never take the server down mid-campaign *)
+        Printf.eprintf "ft_server: dropping client connection: %s\n%!"
+          (Printexc.to_string e));
     Wire.close conn
   in
   let submit conn (spec : Campaign.spec) =
     incr next_id;
     let id = !next_id in
     let safe_send m =
-      try Wire.send conn (Proto.server_to_csexp m) with Wire.Closed -> ()
+      try Wire.send conn (Proto.server_to_csexp m)
+      with Wire.Closed | Unix.Unix_error _ -> ()
     in
     match plan_of_app ?cache_dir spec.Campaign.sp_app with
     | Error e -> safe_send (Proto.Rejected { reason = e })
@@ -579,6 +612,7 @@ let serve ?(cfg = default_config) ?(cache_dir : string option)
         st.ss_running <- true;
         st.ss_completed <- 0;
         st.ss_planned <- ex_spec.Executor.total;
+        Fun.protect ~finally:(fun () -> st.ss_running <- false) @@ fun () ->
         (* each campaign journals under its own tag-derived directory,
            so one server can host many campaigns without mixing logs *)
         let cfg =
@@ -608,7 +642,7 @@ let serve ?(cfg = default_config) ?(cache_dir : string option)
         let idle () =
           match accept_one 0.0 with Some c -> quick_answer c | None -> ()
         in
-        (match run ~cfg ~idle ex_spec with
+        match run ~cfg ~idle ~child_close:[ lfd; Wire.fd conn ] ex_spec with
         | report ->
             let counts = Campaign.counts_of_outcomes report.Executor.outcomes in
             st.ss_campaigns <- st.ss_campaigns + 1;
@@ -618,8 +652,7 @@ let serve ?(cfg = default_config) ?(cache_dir : string option)
               (Proto.Poisoned
                  { id; reason = Infra.poison_message ~batch ~attempts cause })
         | exception e ->
-            safe_send (Proto.Rejected { reason = Printexc.to_string e }));
-        st.ss_running <- false)
+            safe_send (Proto.Rejected { reason = Printexc.to_string e }))
   in
   while not st.ss_shutdown do
     match accept_one 0.2 with
@@ -635,7 +668,15 @@ let serve ?(cfg = default_config) ?(cache_dir : string option)
            | Error e ->
                Wire.send conn
                  (Proto.server_to_csexp (Proto.Rejected { reason = e }))
-         with Wire.Closed | Wire.Timeout _ | Wire.Corrupt _ -> ());
+         with
+        | Wire.Closed | Wire.Timeout _ | Wire.Corrupt _ -> ()
+        | e ->
+            (* catch-all: a client whose handling raises anything else
+               (an unexpected [Unix_error] on a reply write, a journal
+               exception surfacing outside [run]'s own handlers, ...)
+               costs that connection, never the server *)
+            Printf.eprintf "ft_server: dropping client connection: %s\n%!"
+              (Printexc.to_string e));
         Wire.close conn
   done;
   (try Unix.close lfd with Unix.Unix_error _ -> ());

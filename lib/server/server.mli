@@ -23,6 +23,11 @@ type config = {
   chaos_kills : int list;
       (** SIGKILL the most recent deliverer when the delivered-trial
           count crosses each threshold — the determinism harness *)
+  chaos_stall_done_s : float;
+      (** workers sleep this long between a batch's last trial record
+          and its [Batch_done] (0 = no stall): combined with a short
+          [heartbeat_s] it deterministically orphans fully-delivered
+          leases, the batch-boundary crash window *)
   retry : Executor.config;
       (** worker-side trial retry and the lease re-assignment backoff
           share this policy *)
@@ -38,10 +43,17 @@ val default_config : config
 (** 2 workers, batch 16, 4 shards, no journal, 30 s heartbeats, 3 lease
     attempts, compaction every 4096 records, no chaos. *)
 
-val run : ?cfg:config -> ?idle:(unit -> unit) -> 'a Executor.spec -> 'a Executor.report
+val run :
+  ?cfg:config ->
+  ?idle:(unit -> unit) ->
+  ?child_close:Unix.file_descr list ->
+  'a Executor.spec ->
+  'a Executor.report
 (** Run a spec across the worker pool.  [idle] is called once per
     scheduler iteration (the socket front-end answers status probes
-    there).
+    there).  [child_close] lists caller-held descriptors (a listening
+    socket, a client connection) that forked workers must close rather
+    than inherit; the scheduler adds sibling workers' sockets itself.
     @raise Infra.Campaign_poisoned when a batch exhausts its lease
     attempts — the campaign is infrastructure-broken. *)
 

@@ -20,8 +20,15 @@ let heartbeat (conn : Wire.conn) (idx : int) : unit =
 (** Serve leases until [Quit] or the server hangs up.  [recv_timeout_s]
     bounds how long an idle worker waits for its next command before
     concluding the server is gone (a worker must never outlive its
-    server as an orphan burning CPU). *)
-let run ?(recv_timeout_s = 60.0) ~(conn : Wire.conn) ~(retry : Executor.config)
+    server as an orphan burning CPU).
+
+    [stall_batch_done_s] is a chaos hook (like {!Wire.set_inject}): it
+    widens the otherwise microsecond window between a batch's last
+    trial record and its [Batch_done], the exact window in which a
+    crash orphans a fully-delivered lease — the server must steal it
+    and close the batch without recomputing anything. *)
+let run ?(recv_timeout_s = 60.0) ?(stall_batch_done_s = 0.0)
+    ~(conn : Wire.conn) ~(retry : Executor.config)
     ~(trial : int -> 'a) ~(encode : 'a -> string) () : unit =
   let spec =
     {
@@ -49,6 +56,7 @@ let run ?(recv_timeout_s = 60.0) ~(conn : Wire.conn) ~(retry : Executor.config)
             (Proto.from_worker_to_csexp
                (Proto.Trial (Executor.trial_record encode i o)))
         done;
+        if stall_batch_done_s > 0.0 then Unix.sleepf stall_batch_done_s;
         let total =
           Option.value ~default:0 (Obs.counter_value retries "executor/retries")
         in
@@ -63,18 +71,32 @@ let run ?(recv_timeout_s = 60.0) ~(conn : Wire.conn) ~(retry : Executor.config)
 (** Fork one worker running [run]; returns the child pid and the
     server's end of the socketpair.  The child never returns: it exits
     through [Unix._exit] so no parent state (buffered channels, atexit
-    handlers, the test runner) replays in the child. *)
-let spawn ?recv_timeout_s ~(retry : Executor.config) ~(trial : int -> 'a)
-    ~(encode : 'a -> string) () : int * Wire.conn =
+    handlers, the test runner) replays in the child.
+
+    [close_fds] are descriptors the parent holds that the child must
+    not inherit — other workers' server-end sockets, a listening
+    socket.  A fork copies them all; left open in the child they keep a
+    crashed server's socket path and its peers' connections alive, so
+    siblings would only notice a dead server via the recv timeout
+    instead of an immediate EOF. *)
+let spawn ?recv_timeout_s ?stall_batch_done_s
+    ?(close_fds : Unix.file_descr list = []) ~(retry : Executor.config)
+    ~(trial : int -> 'a) ~(encode : 'a -> string) () : int * Wire.conn =
   flush stdout;
   flush stderr;
   let server_end, worker_end = Wire.pair () in
   match Unix.fork () with
   | 0 ->
       Wire.close server_end;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        close_fds;
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       let code =
-        match run ?recv_timeout_s ~conn:worker_end ~retry ~trial ~encode () with
+        match
+          run ?recv_timeout_s ?stall_batch_done_s ~conn:worker_end ~retry
+            ~trial ~encode ()
+        with
         | () -> 0
         | exception _ -> 125
       in

@@ -6,6 +6,7 @@
 
 val run :
   ?recv_timeout_s:float ->
+  ?stall_batch_done_s:float ->
   conn:Wire.conn ->
   retry:Executor.config ->
   trial:(int -> 'a) ->
@@ -14,14 +15,22 @@ val run :
   unit
 (** Serve leases until [Quit], the server hangs up, or no command
     arrives within [recv_timeout_s] (default 60 s — a worker must never
-    outlive its server). *)
+    outlive its server).  [stall_batch_done_s] (default 0) is a chaos
+    hook that sleeps between a batch's last trial record and its
+    [Batch_done], deterministically widening the window in which a
+    crash orphans a fully-delivered lease. *)
 
 val spawn :
   ?recv_timeout_s:float ->
+  ?stall_batch_done_s:float ->
+  ?close_fds:Unix.file_descr list ->
   retry:Executor.config ->
   trial:(int -> 'a) ->
   encode:('a -> string) ->
   unit ->
   int * Wire.conn
 (** Fork one worker; returns [(pid, server_end)].  The child exits via
-    [Unix._exit] and never returns to the caller's code. *)
+    [Unix._exit] and never returns to the caller's code.  [close_fds]
+    are parent-held descriptors (sibling workers' sockets, a listening
+    socket) closed in the child immediately after the fork, so a worker
+    never props open connections that belong to the server. *)

@@ -349,6 +349,43 @@ let test_server_chaos_kills_preserve_outcomes () =
   Alcotest.(check bool) "SIGKILLs cannot change the outcome sequence" true
     (outcomes_equal reference.Executor.outcomes report.Executor.outcomes)
 
+let test_server_kill_at_batch_boundary () =
+  (* the worker dies after delivering the LAST trial record of the only
+     batch but before Batch_done ([chaos_stall_done_s] holds it in that
+     window until its heartbeat deadline expires): every record arrived,
+     so the stolen lease has nothing left to compute and the batch can
+     only close in the scheduler's assign path.  The completed prefix
+     must still advance to the full total — a stale prefix here silently
+     truncates report.outcomes (regression test for exactly that bug) *)
+  let reference =
+    Executor.run
+      ~cfg:{ Executor.default_config with jobs = 1 }
+      (spec ~total:16 pure_trial)
+  in
+  let obs = Obs.create () in
+  let report =
+    Server.run
+      ~cfg:
+        {
+          Server.default_config with
+          Server.workers = 1;
+          batch = 16;
+          chaos_stall_done_s = 5.0;
+          heartbeat_s = 0.3;
+          metrics = Some obs;
+        }
+      (spec ~total:16 pure_trial)
+  in
+  let counter n = Option.value ~default:0 (Obs.counter_value obs n) in
+  Alcotest.(check int) "the stalled heartbeat was missed" 1
+    (counter "server/heartbeats-missed");
+  Alcotest.(check int) "the orphaned lease was stolen" 1
+    (counter "server/leases-stolen");
+  Alcotest.(check int) "completed covers the whole campaign" 16
+    report.Executor.completed;
+  Alcotest.(check bool) "identical outcome sequence" true
+    (outcomes_equal reference.Executor.outcomes report.Executor.outcomes)
+
 let test_server_journal_resume () =
   with_temp_dir (fun dir ->
       let jdir = Filename.concat dir "journal" in
@@ -499,6 +536,8 @@ let suite =
         test_server_matches_executor;
       Alcotest.test_case "chaos kills preserve outcomes" `Quick
         test_server_chaos_kills_preserve_outcomes;
+      Alcotest.test_case "kill at batch boundary keeps full prefix" `Quick
+        test_server_kill_at_batch_boundary;
       Alcotest.test_case "journal resume after torn shard" `Quick
         test_server_journal_resume;
       Alcotest.test_case "unrunnable campaign poisons" `Quick
