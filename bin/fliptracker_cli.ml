@@ -71,6 +71,25 @@ let recover_conv =
     ~of_string:Campaign.recovery_of_string
     ~to_string:Campaign.recovery_to_string
 
+let backend_conv =
+  enumish_conv ~what:"execution backends" ~candidates:Backend.names
+    ~of_string:(fun s ->
+      match Backend.of_string s with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "unknown execution backend %S" s))
+    ~to_string:Backend.to_string
+
+let backend_arg =
+  Arg.(value
+       & opt backend_conv Backend.default
+       & info [ "backend" ] ~docv:"B"
+           ~doc:"Trial execution engine: $(b,compiled) (default; the \
+                 closure-compiled non-tracing backend, bit-identical \
+                 counts, several times faster) or $(b,interp) (the tracing \
+                 interpreter).  Configurations the compiled backend cannot \
+                 run (e.g. --recover rollback) fall back to the \
+                 interpreter automatically.")
+
 let fault_model_arg =
   Arg.(value
        & opt fault_model_conv Fault_model.Single_bit
@@ -305,7 +324,8 @@ let campaign_cmd =
                    site's instruction was deleted).")
   in
   let run name region kind func memory_during vars trials seed jobs journal
-      resume watchdog early_stop model recovery metrics opt_spec site_level =
+      resume watchdog early_stop model recovery metrics opt_spec site_level
+      backend =
     let base_app = find_app name in
     let opt_passes =
       match opt_spec with
@@ -351,6 +371,7 @@ let campaign_cmd =
         early_stop;
         on_progress = Some progress;
         metrics = (if metrics then Some obs else None);
+        backend;
       }
     in
     let run_native () =
@@ -459,7 +480,7 @@ let campaign_cmd =
     Term.(const run $ app_arg $ region $ kind $ func $ memory_during $ vars
           $ trials $ seed $ jobs $ journal $ resume $ watchdog $ early_stop
           $ fault_model_arg $ recover_arg $ metrics_arg $ opt_spec
-          $ site_level)
+          $ site_level $ backend_arg)
 
 (* --- patterns ------------------------------------------------------------ *)
 

@@ -375,6 +375,110 @@ let chaos_campaign (name : string) ~(workers : int) ~(kills : int list)
         exit 1
       end
 
+(* [ft_dev seq-parity [APP...]] — the traced/untraced seq-contract
+   gate.  Fault sites are harvested from traced runs and injected into
+   untraced campaign runs, keyed by dynamic sequence number; if tracing
+   perturbs the seq stream (the historical bug: the call-return
+   attribution event consumed a seq only when a trace was attached),
+   harvested sites silently land on the wrong instruction.  For each
+   app this checks, end to end:
+   - the traced and untraced fault-free instruction counts agree;
+   - no harvested whole-program site lies beyond the untraced stream;
+   - injecting at the call-return attribution seqs (the exact seqs the
+     bug displaced) gives identical results traced and untraced.
+   Defaults to kmeans and kmeans@opt — the registry app with
+   value-returning calls, which is where the bug class manifests. *)
+let seq_parity (names : string list) =
+  let same_result (a : Machine.result) (b : Machine.result) =
+    a.Machine.outcome = b.Machine.outcome
+    && String.equal a.Machine.output b.Machine.output
+    && a.Machine.instructions = b.Machine.instructions
+    && a.Machine.iterations = b.Machine.iterations
+    && a.Machine.mem = b.Machine.mem
+  in
+  let failed = ref 0 in
+  let check label ok detail =
+    if not ok then begin
+      incr failed;
+      Printf.printf "seq-parity: %-14s FAILED (%s)\n" label detail
+    end
+  in
+  List.iter
+    (fun name ->
+      let app =
+        match Fliptracker.resolve_app name with
+        | Ok a -> a
+        | Error msg ->
+            Printf.eprintf "seq-parity: %s\n" msg;
+            exit 2
+      in
+      let prog = App.program app in
+      let iter_mark = App.iter_mark app in
+      let rt, trace = App.trace app in
+      let ru =
+        Machine.run prog { Machine.default_config with iter_mark }
+      in
+      check name
+        (rt.Machine.instructions = ru.Machine.instructions)
+        (Printf.sprintf "traced ran %d instructions, untraced %d"
+           rt.Machine.instructions ru.Machine.instructions);
+      let target = Campaign.whole_program_target prog trace in
+      (match
+         Campaign.unreachable_sites target
+           ~instructions:ru.Machine.instructions
+       with
+      | [] -> ()
+      | seqs ->
+          check name false
+            (Printf.sprintf "%d phantom sites, first seq %d"
+               (List.length seqs) (List.hd seqs)));
+      (* fault parity at the attribution seqs (every ORet write), or at
+         a few sampled write seqs for apps without value-returning
+         calls so the gate still exercises injection end to end *)
+      let ret_seqs = ref [] in
+      Trace.iter
+        (fun (e : Trace.event) ->
+          match e.Trace.op with
+          | Trace.ORet when Array.length e.Trace.writes > 0 ->
+              ret_seqs := e.Trace.seq :: !ret_seqs
+          | _ -> ())
+        trace;
+      let probes =
+        match List.sort_uniq compare !ret_seqs with
+        | [] ->
+            let n = ru.Machine.instructions in
+            List.sort_uniq compare [ 0; n / 3; n / 2; (2 * n) / 3; n - 1 ]
+        | seqs ->
+            (* cap the probe count: parity at any displaced seq fails *)
+            List.filteri (fun i _ -> i < 8) seqs
+      in
+      let budget = 20 * max 1 ru.Machine.instructions in
+      List.iter
+        (fun seq ->
+          let fault = Machine.Flip_write { seq; bit = 3 } in
+          let ft, _ = App.trace_with_fault app fault ~budget in
+          let fu =
+            Machine.run prog
+              {
+                Machine.default_config with
+                iter_mark;
+                fault = Some fault;
+                budget;
+              }
+          in
+          check name (same_result ft fu)
+            (Printf.sprintf "traced and untraced disagree under flip at seq %d"
+               seq))
+        probes;
+      Printf.printf "seq-parity: %-14s %s (%d instructions, %d probes)\n" name
+        (if !failed = 0 then "OK" else "checked")
+        ru.Machine.instructions (List.length probes))
+    names;
+  if !failed > 0 then begin
+    Printf.printf "seq-parity: %d check(s) FAILED\n" !failed;
+    exit 1
+  end
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "lint-all" :: _ -> lint_all ()
@@ -409,6 +513,8 @@ let () =
       in
       parse rest;
       chaos_campaign !name ~workers:!workers ~kills:!kills ~trials:!trials
+  | _ :: "seq-parity" :: rest ->
+      seq_parity (match rest with [] -> [ "kmeans"; "kmeans@opt" ] | l -> l)
   | _ :: "sites" :: _ -> sites ()
   | _ :: "radd" :: name :: _ ->
       let a = Registry.find name in

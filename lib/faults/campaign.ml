@@ -91,18 +91,17 @@ let machine_recover = function
   | Rollback { max_restores } ->
       Some { Machine.default_recover with max_restores }
 
-(** Run one faulty execution and classify it.  [verify] receives the
-    machine result of a {e finished} run and decides Success/Failed;
-    traps, budget exhaustion, and a tripped wall-clock [watchdog]
-    classify as Crashed without consulting it.  Under a [Rollback]
-    policy, a run that finishes verified but took at least one restore
-    classifies as Recovered: correct output, but not naturally so. *)
-let run_one (prog : Prog.t) ~(budget : int) ?(watchdog : Watchdog.t option)
-    ?(recovery = No_recovery) ~(verify : Machine.result -> bool)
-    (fault : Machine.fault) : outcome_class =
+(** The classification kernel over a {e resolved} execution function:
+    {!trial_fun} resolves the backend runner once (compiling the plan
+    before trials fan out to domains or forked workers) and classifies
+    every trial through this. *)
+let run_one_with (run : Machine.config -> Machine.result) ~(budget : int)
+    ?(watchdog : Watchdog.t option) ?(recovery = No_recovery)
+    ~(verify : Machine.result -> bool) (fault : Machine.fault) : outcome_class
+    =
   let tick = Option.map (fun w () -> Watchdog.check w) watchdog in
   match
-    Machine.run prog
+    run
       {
         Machine.default_config with
         budget;
@@ -119,6 +118,23 @@ let run_one (prog : Prog.t) ~(budget : int) ?(watchdog : Watchdog.t option)
           else Success
       | Machine.Trapped _ | Machine.Budget_exceeded -> Crashed)
   | exception Watchdog.Timeout _ -> Crashed
+
+(** Run one faulty execution and classify it.  [verify] receives the
+    machine result of a {e finished} run and decides Success/Failed;
+    traps, budget exhaustion, and a tripped wall-clock [watchdog]
+    classify as Crashed without consulting it.  Under a [Rollback]
+    policy, a run that finishes verified but took at least one restore
+    classifies as Recovered: correct output, but not naturally so.
+    [backend] picks the execution engine; the compiled default is
+    count- and outcome-identical to the interpreter, and a [Rollback]
+    policy falls back to the interpreter automatically (checkpointing
+    is interpreter-only machinery). *)
+let run_one ?(backend = Backend.default) (prog : Prog.t) ~(budget : int)
+    ?(watchdog : Watchdog.t option) ?(recovery = No_recovery)
+    ~(verify : Machine.result -> bool) (fault : Machine.fault) : outcome_class
+    =
+  run_one_with (Backend.runner backend prog) ~budget ?watchdog ~recovery
+    ~verify fault
 
 (* --- fault-site populations ------------------------------------------ *)
 
@@ -190,6 +206,27 @@ let target_population = function
   | Mem_over_time { seqs; sites } ->
       Array.length seqs
       * Array.fold_left (fun a (s : input_site) -> a + s.bits) 0 sites
+
+(** Phantom-site detector.  Sites are harvested from {e traced} runs
+    and injected into {e untraced} ones, so the contract is that both
+    produce the same dynamic seq stream; a harvested seq at or beyond
+    the untraced fault-free instruction count can never fire and its
+    trials silently measure nothing.  Returns the offending seqs
+    (sorted, deduplicated) given the untraced count — empty is the only
+    acceptable answer, and the test suite pins it for every registry
+    app.  This is the check that catches the traced-only seq
+    consumption bug class. *)
+let unreachable_sites (t : target) ~(instructions : int) : int list =
+  let bad seq = seq >= instructions in
+  let seqs =
+    match t with
+    | Internal { sites } ->
+        Array.to_list sites |> List.filter_map (fun (s : site) ->
+            if bad s.seq then Some s.seq else None)
+    | Input { entry_seq; _ } -> if bad entry_seq then [ entry_seq ] else []
+    | Mem_over_time { seqs; _ } -> Array.to_list seqs |> List.filter bad
+  in
+  List.sort_uniq compare seqs
 
 (** Sample a fault for the target under a fault model.  Site selection
     is shared by all models; only the corruption differs.  The RNG draw
@@ -443,6 +480,11 @@ type exec = {
           only, counts are unaffected (see {!Executor.config}) *)
   on_progress : (Executor.progress -> unit) option;
   metrics : Obs.t option;  (** executor phase/counter registry *)
+  backend : Backend.t;
+      (** execution engine for the trials; counts are identical for
+          either value (the compiled backend is bit-identical to the
+          interpreter and is excluded from the journal tag), only the
+          wall-clock changes *)
 }
 
 let default_exec =
@@ -458,6 +500,7 @@ let default_exec =
     retry_jitter = Executor.default_config.Executor.retry_jitter;
     on_progress = None;
     metrics = None;
+    backend = Backend.default;
   }
 
 (** Honest campaign result: the counts plus how much of the plan
@@ -519,17 +562,23 @@ let campaign_tag (cfg : config) ~(population : int) ~(trials : int) : string =
     campaign server's forked workers — runs {e this exact function},
     which is what makes counts a pure function of the configuration
     regardless of which process computed which index. *)
-let trial_fun (prog : Prog.t) ~(verify : Machine.result -> bool)
-    ~(clean_instructions : int) ?(cfg = default_config)
-    ?(watchdog_s : float option) (t : target) : int -> outcome_class =
+let trial_fun ?(backend = Backend.default) (prog : Prog.t)
+    ~(verify : Machine.result -> bool) ~(clean_instructions : int)
+    ?(cfg = default_config) ?(watchdog_s : float option) (t : target) :
+    int -> outcome_class =
   let budget = cfg.budget_factor * max 1 clean_instructions in
+  (* resolve the runner here, not per trial: under the compiled backend
+     this compiles (or fetches) the plan in the submitting domain, so
+     worker domains and forked server workers share one plan instead of
+     racing on the cache *)
+  let run = Backend.runner backend prog in
   fun i ->
     let rng = Rng.derive ~seed:cfg.seed ~index:i in
     let fault = sample_fault ~model:cfg.model rng t in
     let watchdog =
       Option.map (fun s -> Watchdog.create ~seconds:s ()) watchdog_s
     in
-    run_one prog ~budget ?watchdog ~recovery:cfg.recovery ~verify fault
+    run_one_with run ~budget ?watchdog ~recovery:cfg.recovery ~verify fault
 
 let counts_of_outcomes (outcomes : outcome_class Executor.outcome array) :
     counts =
@@ -552,8 +601,8 @@ let run_report (prog : Prog.t) ~(verify : Machine.result -> bool)
   let population = target_population t in
   let trials = if population = 0 then 0 else trials_for cfg t in
   let run_trial =
-    trial_fun prog ~verify ~clean_instructions ~cfg ?watchdog_s:exec.watchdog_s
-      t
+    trial_fun ~backend:exec.backend prog ~verify ~clean_instructions ~cfg
+      ?watchdog_s:exec.watchdog_s t
   in
   let should_stop =
     if not exec.early_stop then None

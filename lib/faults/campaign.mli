@@ -46,6 +46,7 @@ val machine_recover : recovery -> Machine.recover option
 (** The VM configuration a policy stands for. *)
 
 val run_one :
+  ?backend:Backend.t ->
   Prog.t ->
   budget:int ->
   ?watchdog:Watchdog.t ->
@@ -56,7 +57,21 @@ val run_one :
 (** One faulty execution, classified.  Traps, instruction-budget
     exhaustion, and a tripped wall-clock [watchdog] are Crashed.  Under
     [Rollback], a finished verified run that took at least one restore
-    is Recovered. *)
+    is Recovered.  [backend] (default {!Backend.default}) picks the
+    execution engine; outcomes are identical either way — a [Rollback]
+    policy falls back to the interpreter automatically. *)
+
+val run_one_with :
+  (Machine.config -> Machine.result) ->
+  budget:int ->
+  ?watchdog:Watchdog.t ->
+  ?recovery:recovery ->
+  verify:(Machine.result -> bool) ->
+  Machine.fault ->
+  outcome_class
+(** The classification kernel over an already-resolved execution
+    function (see {!Backend.runner}); what {!trial_fun} uses so the
+    compiled plan is resolved once, not per trial. *)
 
 (** A fault site carries the width of the datum it corrupts: the
     paper's subjects are C programs whose integers are 32-bit, so
@@ -82,6 +97,14 @@ type target =
           an execution window (soft errors in resident data) *)
 
 val target_population : target -> int
+
+val unreachable_sites : target -> instructions:int -> int list
+(** Phantom-site detector: the seqs of [t] (sorted, deduplicated) that
+    lie at or beyond the {e untraced} fault-free instruction count and
+    so can never fire in a campaign run.  The traced/untraced seq
+    contract demands this be empty for any target harvested from a
+    trace of the same program; the test suite pins that for every
+    registry app. *)
 
 val sample_fault : ?model:Fault_model.t -> Rng.t -> target -> Machine.fault
 (** Sample a fault under a fault model (default [Single_bit], whose RNG
@@ -169,6 +192,12 @@ type exec = {
   metrics : Obs.t option;
       (** when set, the executor records per-phase wall time and
           trial/retry/infra counters there (see {!Executor.config}) *)
+  backend : Backend.t;
+      (** execution engine for the trials (default {!Backend.default},
+          the compiled backend).  Counts are identical for either
+          value and the journal tag does not mention it, so journals
+          written under one backend resume under the other; only the
+          wall-clock changes. *)
 }
 
 val default_exec : exec
@@ -223,6 +252,7 @@ val campaign_tag : config -> population:int -> trials:int -> string
     another. *)
 
 val trial_fun :
+  ?backend:Backend.t ->
   Prog.t ->
   verify:(Machine.result -> bool) ->
   clean_instructions:int ->
@@ -233,8 +263,11 @@ val trial_fun :
   outcome_class
 (** The deterministic per-trial kernel: trial [i] derives its RNG from
     [(cfg.seed, i)], samples one fault, runs one classified execution.
-    Pure in the index — which process or worker evaluates it cannot
-    matter. *)
+    Pure in the index — which process, worker, or [backend] evaluates
+    it cannot matter.  The backend runner (and, for the compiled
+    default, the program's plan) is resolved when [trial_fun] is
+    applied to the target, before any trial runs — call it in the
+    parent before forking workers or spawning domains. *)
 
 val encode_outcome : outcome_class -> string
 (** Journal/wire encoding of an outcome: [S], [F], [C], or [R]. *)

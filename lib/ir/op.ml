@@ -131,6 +131,81 @@ let eval_un (op : un) (a : Value.t) : Value.t =
   | F32round ->
       Value.of_float (Int32.float_of_bits (Int32.bits_of_float (Value.to_float a)))
 
+(* Pre-dispatched evaluators: [bin_fn op] matches on the opcode ONCE
+   and returns a closure computing exactly what [eval_bin op] computes
+   per application — the compiled execution backend resolves operators
+   at closure-compilation time so the hot loop never matches on a
+   constructor.  [test_op] checks the two agree bit-for-bit on every
+   opcode. *)
+
+let bin_fn (op : bin) : Value.t -> Value.t -> Value.t =
+  let f2 g a b = Value.of_float (g (Value.to_float a) (Value.to_float b)) in
+  let cmpf g a b = Value.truth (g (Value.to_float a) (Value.to_float b)) in
+  match op with
+  | Add -> Int64.add
+  | Sub -> Int64.sub
+  | Mul -> Int64.mul
+  | Div ->
+      fun a b ->
+        if Int64.equal b 0L then raise (Trap "integer division by zero")
+        else Int64.div a b
+  | Rem ->
+      fun a b ->
+        if Int64.equal b 0L then raise (Trap "integer remainder by zero")
+        else Int64.rem a b
+  | And -> Int64.logand
+  | Or -> Int64.logor
+  | Xor -> Int64.logxor
+  | Shl -> fun a b -> Int64.shift_left a (Int64.to_int b land 63)
+  | Lshr -> fun a b -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Ashr -> fun a b -> Int64.shift_right a (Int64.to_int b land 63)
+  | Fadd -> f2 ( +. )
+  | Fsub -> f2 ( -. )
+  | Fmul -> f2 ( *. )
+  | Fdiv -> f2 ( /. )
+  | Eq -> fun a b -> Value.truth (Int64.equal a b)
+  | Ne -> fun a b -> Value.truth (not (Int64.equal a b))
+  | Lt -> fun a b -> Value.truth (Int64.compare a b < 0)
+  | Le -> fun a b -> Value.truth (Int64.compare a b <= 0)
+  | Gt -> fun a b -> Value.truth (Int64.compare a b > 0)
+  | Ge -> fun a b -> Value.truth (Int64.compare a b >= 0)
+  | Feq -> cmpf (fun x y -> Float.compare x y = 0)
+  | Fne -> cmpf (fun x y -> Float.compare x y <> 0)
+  | Flt -> cmpf ( < )
+  | Fle -> cmpf ( <= )
+  | Fgt -> cmpf ( > )
+  | Fge -> cmpf ( >= )
+  | Imin -> fun a b -> if Int64.compare a b <= 0 then a else b
+  | Imax -> fun a b -> if Int64.compare a b >= 0 then a else b
+  | Fmin -> f2 Float.min
+  | Fmax -> f2 Float.max
+
+let un_fn (op : un) : Value.t -> Value.t =
+  match op with
+  | Neg -> Int64.neg
+  | Not -> Int64.lognot
+  | Fneg -> fun a -> Value.of_float (-.Value.to_float a)
+  | Fabs -> fun a -> Value.of_float (Float.abs (Value.to_float a))
+  | Fsqrt ->
+      fun a ->
+        let x = Value.to_float a in
+        if x < 0.0 then raise (Trap "sqrt of negative value")
+        else Value.of_float (Float.sqrt x)
+  | Fsin -> fun a -> Value.of_float (Float.sin (Value.to_float a))
+  | Fcos -> fun a -> Value.of_float (Float.cos (Value.to_float a))
+  | Trunc32 -> fun a -> Int64.shift_right (Int64.shift_left a 32) 32
+  | FloatOfInt -> fun a -> Value.of_float (Int64.to_float a)
+  | IntOfFloat ->
+      fun a ->
+        let x = Value.to_float a in
+        if Float.is_nan x then raise (Trap "int of NaN")
+        else if Float.abs x >= 9.3e18 then raise (Trap "int of float overflow")
+        else Int64.of_float x
+  | F32round ->
+      fun a ->
+        Value.of_float
+          (Int32.float_of_bits (Int32.bits_of_float (Value.to_float a)))
+
 let bin_to_string = function
   | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
   | And -> "and" | Or -> "or" | Xor -> "xor"

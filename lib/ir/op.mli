@@ -45,6 +45,15 @@ val eval_bin : bin -> Value.t -> Value.t -> Value.t
 val eval_un : un -> Value.t -> Value.t
 (** @raise Trap on sqrt of a negative value or int-of-NaN/overflow. *)
 
+val bin_fn : bin -> Value.t -> Value.t -> Value.t
+(** [bin_fn op] dispatches on [op] once and returns a closure that is
+    bit-identical to [eval_bin op] per application (same traps).  Used
+    by the compiled execution backend to resolve operators at
+    closure-compilation time. *)
+
+val un_fn : un -> Value.t -> Value.t
+(** One-time-dispatch counterpart of {!eval_un}. *)
+
 val bin_to_string : bin -> string
 val un_to_string : un -> string
 val pp_bin : Format.formatter -> bin -> unit

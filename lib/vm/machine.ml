@@ -432,29 +432,18 @@ let run (prog : Prog.t) (cfg : config) : result =
           let rv = exec_fun callee argv eff (depth + 1) in
           (match (ret, rv) with
           | Some d, Some v ->
+              (* the returned value is a write performed by the call
+                 instruction itself: attribute it to the call's own seq.
+                 The attribution event must NOT consume a fresh dynamic
+                 seq — traced and untraced runs must produce identical
+                 seq streams, or fault sites harvested from a trace land
+                 on the wrong instruction in untraced campaign runs.
+                 Like every other write, the value is faultable (at the
+                 call's seq), traced or not. *)
+              let v = maybe_flip seq v in
               regs.(d) <- v;
-              (* attribute the returned value to the call site *)
-              (match (trace, cfg.sink) with
-              | None, None -> ()
-              | _, _ ->
-                  let e =
-                    {
-                      Trace.seq = !count;
-                      fidx;
-                      pc = i;
-                      act;
-                      line = f.lines.(i);
-                      region = eff;
-                      instance = (if eff >= 0 then !cur_inst else -1);
-                      iter = !iter;
-                      op = Trace.ORet;
-                      reads = [||];
-                      writes = [| (Loc.Reg (act, d), v) |];
-                    }
-                  in
-                  (match trace with Some t -> Trace.push t e | None -> ());
-                  (match cfg.sink with Some k -> k e | None -> ());
-                  count := !count + 1)
+              if recording then
+                record Trace.ORet [||] [| (Loc.Reg (act, d), v) |]
           | Some _, None ->
               raise (Vm_trap "call: callee returned no value")
           | None, (Some _ | None) -> ());

@@ -91,6 +91,18 @@ type result = {
   restores : int;      (** checkpoint rollbacks taken (0 without [recover]) *)
 }
 
+exception Budget
+(** Raised internally when the instruction budget is exhausted;
+    exposed so alternative execution backends (the compiled backend)
+    can classify it exactly like the interpreter does. *)
+
+exception Vm_trap of string
+(** Raised internally on memory traps, stack overflow, and bad
+    intrinsic usage; exposed for alternative execution backends. *)
+
+val max_call_depth : int
+(** Call depth above which the VM reports a stack overflow. *)
+
 val randlc_step : float -> float -> float * float
 (** One step of the NPB 46-bit linear congruential generator:
     [(new_state, uniform_in_0_1)]. *)

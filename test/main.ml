@@ -9,6 +9,7 @@ let () =
       Test_op.suite;
       Test_compile.suite;
       Test_machine.suite;
+      Test_backend.suite;
       Test_trace.suite;
       Test_static.suite;
       Test_analysis.suite;

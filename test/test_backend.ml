@@ -1,0 +1,160 @@
+(* Differential identity of the compiled execution backend.
+
+   The compiled backend must be bit-identical to the interpreter on
+   the fixed seq contract: same outcome, output, final memory,
+   instruction count, iteration count, and fault firing — for every
+   registry program, its optimized (@opt:all) and hardened (@all)
+   variants, fault-free and under each fault kind at sampled seqs.
+   Campaign counts must likewise be identical across backends, pinned
+   here on the historical 300-trial CG campaign. *)
+
+let outcome_str = function
+  | Machine.Finished -> "finished"
+  | Machine.Trapped m -> "trapped: " ^ m
+  | Machine.Budget_exceeded -> "budget"
+
+(* every registry program in three forms: as baked, optimized by the
+   full pipeline, hardened by the full pipeline *)
+let programs () : (string * Prog.t * int) list =
+  List.concat_map
+    (fun (a : App.t) ->
+      let p = App.program a in
+      let m = App.iter_mark a in
+      [
+        (a.App.name, p, m);
+        (a.App.name ^ "@opt:all", Opt.transform Opt.all p, m);
+        (a.App.name ^ "@all", Harden.transform Passes.all p, m);
+      ])
+    Registry.all
+
+let run_both (label : string) (prog : Prog.t) (cfg : Machine.config) =
+  let ri = Machine.run prog cfg in
+  let rc = Compiled.run (Compiled.plan_for prog) cfg in
+  Alcotest.(check string) (label ^ " outcome")
+    (outcome_str ri.Machine.outcome)
+    (outcome_str rc.Machine.outcome);
+  Alcotest.(check string) (label ^ " output") ri.Machine.output
+    rc.Machine.output;
+  Alcotest.(check int) (label ^ " instructions") ri.Machine.instructions
+    rc.Machine.instructions;
+  Alcotest.(check int) (label ^ " iterations") ri.Machine.iterations
+    rc.Machine.iterations;
+  Alcotest.(check bool) (label ^ " memory") true
+    (ri.Machine.mem = rc.Machine.mem)
+
+(* one fault of each kind, at deterministic seqs spread over the run *)
+let sample_faults (prog : Prog.t) ~(instructions : int) : Machine.fault list =
+  let n = max 2 instructions in
+  let at k = k * (n - 1) / 7 in
+  let addr = prog.Prog.mem_size / 2 in
+  [
+    Machine.Flip_write { seq = at 1; bit = 5 };
+    Machine.Flip_write { seq = at 6; bit = 62 };
+    Machine.Flip_mem { seq = at 3; addr; bit = 17 };
+    Machine.Mask_write
+      { seq = at 4; and_mask = -1L; or_mask = 0L; xor_mask = 0xF0L };
+    Machine.Mask_mem
+      {
+        seq = at 5;
+        addr;
+        and_mask = Int64.lognot 0xFFL;
+        or_mask = 1L;
+        xor_mask = 0L;
+      };
+  ]
+
+let test_identity_all_programs () =
+  List.iter
+    (fun (name, prog, iter_mark) ->
+      let base = { Machine.default_config with iter_mark } in
+      let clean = Machine.run prog base in
+      run_both (name ^ " fault-free") prog base;
+      let budget = 20 * max 1 clean.Machine.instructions in
+      List.iter
+        (fun fault ->
+          run_both
+            (Printf.sprintf "%s %s" name (Machine.fault_to_string fault))
+            prog
+            { base with fault = Some fault; budget })
+        (sample_faults prog ~instructions:clean.Machine.instructions))
+    (programs ())
+
+(* the historical 300-trial CG campaign: counts must be identical
+   across backends AND equal to the pinned historical numbers *)
+let test_campaign_counts_identical () =
+  let app = Registry.find "CG" in
+  let clean, trace = App.trace app in
+  let prog = App.program app in
+  let target = Campaign.whole_program_target prog trace in
+  let run backend =
+    Campaign.run prog ~verify:(App.verify app)
+      ~clean_instructions:clean.Machine.instructions
+      ~cfg:{ Campaign.default_config with max_trials = Some 300 }
+      ~exec:{ Campaign.default_exec with backend }
+      target
+  in
+  let ci = run Backend.Interp in
+  let cc = run Backend.Compiled in
+  Alcotest.(check int) "success equal" ci.Campaign.success cc.Campaign.success;
+  Alcotest.(check int) "failed equal" ci.Campaign.failed cc.Campaign.failed;
+  Alcotest.(check int) "crashed equal" ci.Campaign.crashed cc.Campaign.crashed;
+  Alcotest.(check int) "trials equal" ci.Campaign.trials cc.Campaign.trials;
+  (* and both match the numbers pinned since the campaign was first
+     recorded — the backend cannot move them *)
+  Alcotest.(check int) "success pinned" 122 cc.Campaign.success;
+  Alcotest.(check int) "failed pinned" 89 cc.Campaign.failed;
+  Alcotest.(check int) "crashed pinned" 89 cc.Campaign.crashed
+
+(* unsupported configurations: Compiled.run refuses, Backend.runner
+   falls back to the interpreter so callers never lose functionality *)
+let test_fallback () =
+  let app = Registry.find "IS" in
+  let prog = App.program app in
+  Alcotest.check_raises "Compiled.run refuses a traced config"
+    (Invalid_argument
+       "Compiled.run: config needs the interpreter (trace, sink, MPI hooks, \
+        or recovery attached)")
+    (fun () ->
+      ignore
+        (Compiled.run (Compiled.plan_for prog)
+           { Machine.default_config with trace = Some (Trace.create ()) }));
+  Alcotest.(check bool) "supported: plain" true
+    (Compiled.supported Machine.default_config);
+  Alcotest.(check bool) "supported: traced" false
+    (Compiled.supported
+       { Machine.default_config with trace = Some (Trace.create ()) });
+  Alcotest.(check bool) "supported: recovery" false
+    (Compiled.supported
+       { Machine.default_config with
+         recover = Some Machine.default_recover
+       });
+  (* the backend switch still produces a trace by falling back *)
+  let t = Trace.create () in
+  let r =
+    Backend.run Backend.Compiled prog
+      { Machine.default_config with trace = Some t }
+  in
+  Alcotest.(check bool) "fallback run finished" true
+    (r.Machine.outcome = Machine.Finished);
+  Alcotest.(check bool) "fallback produced events" true (Trace.length t > 0)
+
+(* the plan cache: same program, physically or structurally, yields the
+   same plan *)
+let test_plan_cache () =
+  let prog = App.program (Registry.find "IS") in
+  let p1 = Compiled.plan_for prog in
+  let p2 = Compiled.plan_for prog in
+  Alcotest.(check bool) "physically shared" true (p1 == p2);
+  Alcotest.(check bool) "remembers its program" true
+    (Compiled.prog p1 == prog)
+
+let suite =
+  ( "backend",
+    [
+      Alcotest.test_case "compiled = interpreter: registry + variants" `Slow
+        test_identity_all_programs;
+      Alcotest.test_case "campaign counts identical across backends" `Slow
+        test_campaign_counts_identical;
+      Alcotest.test_case "unsupported configs fall back" `Quick test_fallback;
+      Alcotest.test_case "plan cache" `Quick test_plan_cache;
+    ] )

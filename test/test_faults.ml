@@ -454,6 +454,25 @@ let test_unknown_symbol_is_structured () =
       Alcotest.(check bool) "lists the valid symbols" true
         (List.mem "dead" available && List.mem "live" available)
 
+(* No phantom sites: every fault site harvested from a traced run must
+   be reachable in an untraced campaign run — the seq-keyed contract
+   between harvesting and injection.  Checked for the whole-program
+   target of every registry app against the untraced fault-free
+   instruction count. *)
+let test_no_phantom_sites () =
+  List.iter
+    (fun (app : App.t) ->
+      let prog = App.program app in
+      let _, trace = App.trace app in
+      let untraced = Machine.run_plain prog in
+      let target = Campaign.whole_program_target prog trace in
+      Alcotest.(check (list int))
+        (app.App.name ^ ": all harvested seqs reachable untraced")
+        []
+        (Campaign.unreachable_sites target
+           ~instructions:untraced.Machine.instructions))
+    Registry.all
+
 let suite =
   ( "faults",
     [
@@ -485,6 +504,8 @@ let suite =
         test_campaign_dead_region_fully_resilient;
       Alcotest.test_case "campaign classifies crashes" `Quick
         test_campaign_classifies_crashes;
+      Alcotest.test_case "no phantom sites, ten apps" `Slow
+        test_no_phantom_sites;
       Alcotest.test_case "typed population" `Quick test_population_counts_typed_bits;
       Alcotest.test_case "input target types" `Quick test_input_target_types;
       Alcotest.test_case "success rate" `Quick test_success_rate;

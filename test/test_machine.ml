@@ -212,6 +212,67 @@ let test_stack_overflow_trap () =
   | Machine.Finished | Machine.Budget_exceeded ->
       Alcotest.fail "expected stack overflow"
 
+(* The traced/untraced seq contract: attaching a trace must not perturb
+   the dynamic sequence numbering, because fault sites are harvested
+   from traced runs and injected into untraced ones keyed by seq.
+   kmeans is the registry app with value-returning calls — exactly
+   where the historical bug (the call-return attribution event
+   consuming a fresh seq only when tracing) displaced every subsequent
+   site.  Checked two ways: the fault-free dynamic instruction counts
+   agree, and a flip injected at each call-return attribution seq gives
+   bit-identical results traced and untraced.  Both fail on the pre-fix
+   interpreter. *)
+let test_seq_parity_traced_untraced () =
+  let app = Kmeans.app in
+  let prog = App.program app in
+  let iter_mark = App.iter_mark app in
+  let rt, trace = App.trace app in
+  let ru = Machine.run prog { Machine.default_config with iter_mark } in
+  Alcotest.(check int) "traced and untraced instruction counts"
+    ru.Machine.instructions rt.Machine.instructions;
+  (* seq-keyed write streams must coincide: every traced write-event
+     seq lies inside the untraced stream, and the attribution events
+     share their call's seq instead of consuming one *)
+  let ret_seqs = ref [] in
+  Trace.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "event seq %d within untraced stream" e.Trace.seq)
+        true
+        (e.Trace.seq < ru.Machine.instructions);
+      match e.Trace.op with
+      | Trace.ORet when Array.length e.Trace.writes > 0 ->
+          ret_seqs := e.Trace.seq :: !ret_seqs
+      | _ -> ())
+    trace;
+  let ret_seqs = List.sort_uniq compare !ret_seqs in
+  Alcotest.(check bool) "kmeans has call-return attribution events" true
+    (ret_seqs <> []);
+  let budget = 20 * ru.Machine.instructions in
+  List.iteri
+    (fun i seq ->
+      if i < 5 then begin
+        let fault = Machine.Flip_write { seq; bit = 3 } in
+        let ft, _ = App.trace_with_fault app fault ~budget in
+        let fu =
+          Machine.run prog
+            {
+              Machine.default_config with
+              iter_mark;
+              fault = Some fault;
+              budget;
+            }
+        in
+        let tag what = Printf.sprintf "%s under flip at seq %d" what seq in
+        Alcotest.(check string) (tag "output") fu.Machine.output
+          ft.Machine.output;
+        Alcotest.(check int) (tag "instructions") fu.Machine.instructions
+          ft.Machine.instructions;
+        Alcotest.(check bool) (tag "memory") true
+          (fu.Machine.mem = ft.Machine.mem)
+      end)
+    ret_seqs
+
 (* property: a fault never makes the VM raise; outcomes are always
    classified *)
 let prop_faults_always_classified =
@@ -240,5 +301,7 @@ let suite =
       Alcotest.test_case "iteration marks" `Quick test_iteration_marks_counted;
       Alcotest.test_case "determinism" `Quick test_determinism;
       Alcotest.test_case "stack overflow trap" `Quick test_stack_overflow_trap;
+      Alcotest.test_case "seq parity traced/untraced" `Quick
+        test_seq_parity_traced_untraced;
       QCheck_alcotest.to_alcotest prop_faults_always_classified;
     ] )

@@ -138,6 +138,60 @@ let prop_minmax_bounds =
     (fun (a, b) ->
       Int64.compare (eb Op.Imin a b) (eb Op.Imax a b) <= 0)
 
+(* the pre-dispatched evaluators the compiled backend resolves at
+   closure-compilation time must be bit-identical to the direct
+   evaluators, traps included, on every opcode *)
+let all_bins =
+  [
+    Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Rem; Op.And; Op.Or; Op.Xor; Op.Shl;
+    Op.Lshr; Op.Ashr; Op.Fadd; Op.Fsub; Op.Fmul; Op.Fdiv; Op.Eq; Op.Ne;
+    Op.Lt; Op.Le; Op.Gt; Op.Ge; Op.Feq; Op.Fne; Op.Flt; Op.Fle; Op.Fgt;
+    Op.Fge; Op.Imin; Op.Imax; Op.Fmin; Op.Fmax;
+  ]
+
+let all_uns =
+  [
+    Op.Neg; Op.Not; Op.Fneg; Op.Fabs; Op.Fsqrt; Op.Fsin; Op.Fcos; Op.Trunc32;
+    Op.FloatOfInt; Op.IntOfFloat; Op.F32round;
+  ]
+
+(* operands drawn both as raw bit patterns and as encoded small floats,
+   so the float opcodes see normal values as well as reinterpretations *)
+let gen_operand =
+  QCheck.Gen.(
+    oneof
+      [
+        ui64;
+        map (fun k -> Value.of_int k) (int_range (-1000) 1000);
+        map (fun x -> Value.of_float (Float.of_int x /. 16.0))
+          (int_range (-4096) 4096);
+      ])
+
+let operand = QCheck.make ~print:Int64.to_string gen_operand
+
+let outcome_of f = try Ok (f ()) with Op.Trap m -> Error m
+
+let prop_bin_fn_agrees =
+  QCheck.Test.make ~count:1000 ~name:"bin_fn agrees with eval_bin"
+    (QCheck.pair operand operand)
+    (fun (a, b) ->
+      List.for_all
+        (fun op ->
+          let g = Op.bin_fn op in
+          outcome_of (fun () -> Op.eval_bin op a b)
+          = outcome_of (fun () -> g a b))
+        all_bins)
+
+let prop_un_fn_agrees =
+  QCheck.Test.make ~count:1000 ~name:"un_fn agrees with eval_un" operand
+    (fun a ->
+      List.for_all
+        (fun op ->
+          let g = Op.un_fn op in
+          outcome_of (fun () -> Op.eval_un op a)
+          = outcome_of (fun () -> g a))
+        all_uns)
+
 let suite =
   ( "op",
     [
@@ -160,4 +214,6 @@ let suite =
       QCheck_alcotest.to_alcotest prop_trunc32_idempotent;
       QCheck_alcotest.to_alcotest prop_f32round_idempotent;
       QCheck_alcotest.to_alcotest prop_minmax_bounds;
+      QCheck_alcotest.to_alcotest prop_bin_fn_agrees;
+      QCheck_alcotest.to_alcotest prop_un_fn_agrees;
     ] )
