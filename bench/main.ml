@@ -757,6 +757,40 @@ let server_scale (effort : Effort.t) =
          chaos row SIGKILLs two workers mid-campaign and must still say \
          yes)"
 
+(* --- arch-structures ------------------------------------------------------ *)
+
+(* One program injected through every microarchitectural surface: the
+   per-structure outcome profiles (the FlipTracker-style comparison of
+   where errors do and do not propagate from) plus the wall-clock cost
+   of each surface — cache faults force the interpreter, istore faults
+   re-bake a mutant per trial. *)
+let arch_structures (effort : Effort.t) =
+  header "arch-structures: per-structure campaign profiles and cost";
+  let trials =
+    min 120 (Option.value ~default:120 effort.Effort.campaign.Campaign.max_trials)
+  in
+  let app = Is.app in
+  let t0 = Unix.gettimeofday () in
+  let r = Arch_eval.evaluate ~trials ~jobs:effort.Effort.jobs app in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-11s %12s %6s %6s %6s %6s  %8s %8s\n" "structure"
+    "population" "trials" "benign" "SDC" "crash" "SDCrate" "crashrt";
+  List.iter
+    (fun (c : Arch_eval.cell) ->
+      let k = c.Arch_eval.ac_counts in
+      Printf.printf "%-11s %12d %6d %6d %6d %6d  %8.4f %8.4f\n"
+        (Structure.to_string c.Arch_eval.ac_structure)
+        c.Arch_eval.ac_population k.Campaign.trials k.Campaign.success
+        k.Campaign.failed k.Campaign.crashed
+        (Arch_eval.sdc_rate k) (Arch_eval.crash_rate k))
+    r.Arch_eval.ar_cells;
+  Printf.printf
+    "(%s, %d trials/structure, cache %s, %.1fs total; counts are a pure \
+     function of (app, seed, structure))\n"
+    r.Arch_eval.ar_app trials
+    (Cache_model.geometry_to_string r.Arch_eval.ar_geometry)
+    wall
+
 (* --- driver ------------------------------------------------------------- *)
 
 let all_experiments =
@@ -766,6 +800,7 @@ let all_experiments =
     ("ablate", ablate); ("perf", perf); ("campaign-scale", campaign_scale);
     ("trace-codec", trace_codec); ("harden-overhead", harden_overhead);
     ("recovery-overhead", recovery_overhead); ("server-scale", server_scale);
+    ("arch-structures", arch_structures);
   ]
 
 let () =

@@ -15,6 +15,7 @@
      optimize APP [--passes P]    analysis-gated IR optimization, pass report
      mpi-campaign APP [--drop P]  message-fault campaign over MPI bundles
      recovery-eval APP            fault-model x recovery-policy grid report
+     arch-campaign APP            cross-structure (reg/cache/istore) campaigns
 
    Examples:
      fliptracker_cli list
@@ -89,6 +90,36 @@ let backend_arg =
                  interpreter).  Configurations the compiled backend cannot \
                  run (e.g. --recover rollback) fall back to the \
                  interpreter automatically.")
+
+let structure_conv =
+  enumish_conv ~what:"fault structures" ~candidates:Structure.names
+    ~of_string:Structure.of_string ~to_string:Structure.to_string
+
+let structure_arg =
+  Arg.(value
+       & opt structure_conv Structure.Reg
+       & info [ "structure" ] ~docv:"S"
+           ~doc:"Microarchitectural fault surface: $(b,reg) (default; the \
+                 historical register-file stream, counts unchanged), \
+                 $(b,cache-tag) (cache line metadata: tag/valid/dirty), \
+                 $(b,cache-data) (cache data words), or $(b,istore) (bit \
+                 flips in the binary instruction encoding).")
+
+let geom_conv =
+  let parse s =
+    match Cache_model.geometry_of_string s with
+    | Ok g -> Ok g
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf g -> Fmt.string ppf (Cache_model.geometry_to_string g))
+
+let geom_arg =
+  Arg.(value
+       & opt geom_conv Cache_model.default_geometry
+       & info [ "geom" ] ~docv:"SxWxL"
+           ~doc:"Cache geometry for the cache-tag/cache-data surfaces as \
+                 SETSxWAYSxLINE_WORDS, e.g. 16x2x4 (the default) or \
+                 64x1x8 (direct-mapped).")
 
 let fault_model_arg =
   Arg.(value
@@ -325,8 +356,19 @@ let campaign_cmd =
   in
   let run name region kind func memory_during vars trials seed jobs journal
       resume watchdog early_stop model recovery metrics opt_spec site_level
-      backend =
+      backend structure geom =
     let base_app = find_app name in
+    if
+      structure <> Structure.Reg
+      && (region <> None || func <> None || memory_during <> None
+         || site_level = Campaign.Reference)
+    then begin
+      Printf.eprintf
+        "--structure %s is a whole-program surface: it excludes --region, \
+         --function, --memory-during and --site-level reference\n"
+        (Structure.to_string structure);
+      exit 2
+    end;
     let opt_passes =
       match opt_spec with
       | None -> None
@@ -350,6 +392,7 @@ let campaign_cmd =
         max_trials = (match trials with Some _ -> trials | None -> Some 500);
         model;
         recovery;
+        structure;
       }
     in
     let progress (p : Executor.progress) =
@@ -393,7 +436,10 @@ let campaign_cmd =
                 exit 2
               end;
               Campaign.memory_during_function_target prog trace ~fname ~vars
-          | None, None, None -> Campaign.whole_program_target prog trace
+          | None, None, None ->
+              (* Structure.Reg reduces to whole_program_target *)
+              Campaign.structure_target ~geom structure prog trace
+                ~clean_instructions:clean.Machine.instructions
           | Some rname, None, None -> (
               let rid = (Prog.region_by_name prog rname).Prog.rid in
               match Region.find_instance trace ~rid ~number:0 with
@@ -480,7 +526,7 @@ let campaign_cmd =
     Term.(const run $ app_arg $ region $ kind $ func $ memory_during $ vars
           $ trials $ seed $ jobs $ journal $ resume $ watchdog $ early_stop
           $ fault_model_arg $ recover_arg $ metrics_arg $ opt_spec
-          $ site_level $ backend_arg)
+          $ site_level $ backend_arg $ structure_arg $ geom_arg)
 
 (* --- patterns ------------------------------------------------------------ *)
 
@@ -981,6 +1027,48 @@ let recovery_eval_cmd =
     Term.(const run $ app_arg $ size $ serial_trials $ mpi_trials
           $ msg_trials $ seed $ models $ csv)
 
+(* --- arch-campaign --------------------------------------------------------- *)
+
+let arch_campaign_cmd =
+  let trials =
+    Arg.(value & opt int 150 & info [ "trials" ] ~docv:"N"
+           ~doc:"Injections per structure.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign RNG seed.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains. Counts are identical for any value.")
+  in
+  let structures =
+    Arg.(value
+         & opt (list structure_conv) Structure.all
+         & info [ "structures" ] ~docv:"S1,S2"
+             ~doc:"Comma-separated fault surfaces to compare (default: all \
+                   of reg, cache-tag, cache-data, istore).")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the report as CSV.")
+  in
+  let run name trials seed jobs structures geom backend csv =
+    let app = find_app name in
+    let r =
+      Arch_eval.evaluate ~seed ~trials ~structures ~geom ~backend ~jobs app
+    in
+    if csv then print_string (Arch_eval.to_csv r)
+    else Fmt.pr "@[<v>%a@]@." Arch_eval.pp_report r
+  in
+  Cmd.v
+    (Cmd.info "arch-campaign"
+       ~doc:
+         "Cross-structure fault campaigns: inject the same program through \
+          every microarchitectural surface (register file, cache metadata, \
+          cache data, instruction store) under one seed and compare the \
+          per-structure SDC/crash/recovery profiles.")
+    Term.(const run $ app_arg $ trials $ seed $ jobs $ structures $ geom_arg
+          $ backend_arg $ csv)
+
 (* --- the campaign service (serve / submit / status / shutdown) ---------- *)
 
 let socket_arg =
@@ -1064,7 +1152,7 @@ let submit_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress stream.")
   in
-  let run name socket trials seed model recovery quiet =
+  let run name socket trials seed model recovery structure quiet =
     let spec =
       {
         Campaign.sp_app = name;
@@ -1072,6 +1160,7 @@ let submit_cmd =
         sp_trials = (match trials with Some _ -> trials | None -> Some 500);
         sp_model = model;
         sp_recovery = recovery;
+        sp_structure = structure;
       }
     in
     let on_progress ~completed ~planned =
@@ -1096,7 +1185,7 @@ let submit_cmd =
           stream its progress; counts are byte-identical to running the \
           same campaign locally with --jobs 1.")
     Term.(const run $ app_arg $ socket_arg $ trials $ seed $ fault_model_arg
-          $ recover_arg $ quiet)
+          $ recover_arg $ structure_arg $ quiet)
 
 let status_cmd =
   let run socket =
@@ -1137,6 +1226,7 @@ let () =
           [
             list_cmd; trace_cmd; inject_cmd; campaign_cmd; patterns_cmd;
             rates_cmd; acl_cmd; lint_cmd; static_rank_cmd; harden_cmd;
-            optimize_cmd; mpi_campaign_cmd; recovery_eval_cmd; serve_cmd;
-            submit_cmd; status_cmd; shutdown_cmd;
+            optimize_cmd; mpi_campaign_cmd; recovery_eval_cmd;
+            arch_campaign_cmd; serve_cmd; submit_cmd; status_cmd;
+            shutdown_cmd;
           ]))

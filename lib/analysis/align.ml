@@ -101,7 +101,7 @@ let apply_pending_fault (w : t) ~(next_seq : int) : unit =
       update_corruption w loc
   | Some
       ( Machine.Flip_mem _ | Machine.Flip_write _ | Machine.Mask_mem _
-      | Machine.Mask_write _ )
+      | Machine.Mask_write _ | Machine.Cache_fault _ )
   | None ->
       ()
 

@@ -1,0 +1,426 @@
+(** Compact binary encoding of the instruction store.
+
+    Every {!Instr.t} encodes to one 64-bit word; wide operands
+    (immediates, format strings, argument-register sets) live in
+    per-function constant pools addressed by 16-bit indices, so the
+    injectable surface is exactly the fixed-width instruction words.
+    The encoding round-trips exactly, and {!decode} is {e total}: any
+    64-bit pattern yields either a legal instruction — validated
+    against the decoding context (register count, code length, pool
+    sizes, callee arity) so both backends execute it without escaping
+    exceptions — or an [Instr.Illegal] carrying the reason, never an
+    exception.  Bits above a form's used fields are don't-care bits:
+    flipping them decodes to the same instruction (a benign upset).
+
+    Word layout (LSB first): bits 0-3 hold the form tag, the remaining
+    fields are form-specific — register fields are 12 bits, branch
+    targets 20 bits, pool indices 16 bits, binary opcodes 5 bits, unary
+    opcodes 4 bits, intrinsic kinds 4 bits. *)
+
+(* --- opcode numbering (declaration order of Op.bin / Op.un) ---------- *)
+
+let bins =
+  [|
+    Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Rem; Op.And; Op.Or; Op.Xor; Op.Shl;
+    Op.Lshr; Op.Ashr; Op.Fadd; Op.Fsub; Op.Fmul; Op.Fdiv; Op.Eq; Op.Ne;
+    Op.Lt; Op.Le; Op.Gt; Op.Ge; Op.Feq; Op.Fne; Op.Flt; Op.Fle; Op.Fgt;
+    Op.Fge; Op.Imin; Op.Imax; Op.Fmin; Op.Fmax;
+  |]
+
+let uns =
+  [|
+    Op.Neg; Op.Not; Op.Fneg; Op.Fabs; Op.Fsqrt; Op.Fsin; Op.Fcos; Op.Trunc32;
+    Op.FloatOfInt; Op.IntOfFloat; Op.F32round;
+  |]
+
+let index_of (type a) (arr : a array) (x : a) : int =
+  let rec go i = if arr.(i) = x then i else go (i + 1) in
+  go 0
+
+(* form tags *)
+let t_const = 0
+and t_bin = 1
+and t_un = 2
+and t_load = 3
+and t_store = 4
+and t_jmp = 5
+and t_bnz = 6
+and t_call = 7
+and t_ret = 8
+and t_intr = 9
+and t_mark = 10
+
+(* intrinsic kinds *)
+let k_randlc = 0
+and k_print = 1
+and k_mpi_send = 2
+and k_mpi_recv = 3
+and k_mpi_allreduce = 4
+and k_mpi_barrier = 5
+and k_mpi_rank = 6
+and k_mpi_size = 7
+and k_illegal = 8
+
+(* --- bit-field plumbing ---------------------------------------------- *)
+
+let field (w : int64) ~off ~bits : int =
+  Int64.to_int
+    (Int64.logand
+       (Int64.shift_right_logical w off)
+       (Int64.sub (Int64.shift_left 1L bits) 1L))
+
+let put (acc : int64) (v : int) ~off ~bits ~what : int64 =
+  if v < 0 || (bits < 63 && v >= 1 lsl bits) then
+    invalid_arg
+      (Printf.sprintf "Icodec.encode: %s = %d does not fit in %d bits" what v
+         bits);
+  Int64.logor acc (Int64.shift_left (Int64.of_int v) off)
+
+(* --- per-function constant pools ------------------------------------- *)
+
+type pool = { imms : int64 array; strs : string array; regsets : int array array }
+
+type efun = { words : int64 array; pool : pool; nregs : int; code_len : int }
+
+type t = {
+  funs : efun array;
+  fun_nregs : int array;  (** callee register counts, for Call validation *)
+  starts : int array;  (** global word offset of each function *)
+  total : int;
+}
+
+let total_words t = t.total
+
+let locate t idx =
+  if idx < 0 || idx >= t.total then invalid_arg "Icodec.locate: out of range";
+  let fidx = ref 0 in
+  while
+    !fidx + 1 < Array.length t.starts && t.starts.(!fidx + 1) <= idx
+  do
+    incr fidx
+  done;
+  (!fidx, idx - t.starts.(!fidx))
+
+let word t ~fidx ~pc = t.funs.(fidx).words.(pc)
+
+(* --- encode ----------------------------------------------------------- *)
+
+type pool_builder = {
+  imm_tbl : (int64, int) Hashtbl.t;
+  mutable imm_rev : int64 list;
+  mutable imm_n : int;
+  str_tbl : (string, int) Hashtbl.t;
+  mutable str_rev : string list;
+  mutable str_n : int;
+  set_tbl : (int list, int) Hashtbl.t;
+  mutable set_rev : int array list;
+  mutable set_n : int;
+}
+
+let pool_builder () =
+  {
+    imm_tbl = Hashtbl.create 64;
+    imm_rev = [];
+    imm_n = 0;
+    str_tbl = Hashtbl.create 8;
+    str_rev = [];
+    str_n = 0;
+    set_tbl = Hashtbl.create 16;
+    set_rev = [];
+    set_n = 0;
+  }
+
+let intern_imm b v =
+  match Hashtbl.find_opt b.imm_tbl v with
+  | Some i -> i
+  | None ->
+      let i = b.imm_n in
+      Hashtbl.add b.imm_tbl v i;
+      b.imm_rev <- v :: b.imm_rev;
+      b.imm_n <- i + 1;
+      i
+
+let intern_str b s =
+  match Hashtbl.find_opt b.str_tbl s with
+  | Some i -> i
+  | None ->
+      let i = b.str_n in
+      Hashtbl.add b.str_tbl s i;
+      b.str_rev <- s :: b.str_rev;
+      b.str_n <- i + 1;
+      i
+
+let intern_set b (rs : int array) =
+  let key = Array.to_list rs in
+  match Hashtbl.find_opt b.set_tbl key with
+  | Some i -> i
+  | None ->
+      let i = b.set_n in
+      Hashtbl.add b.set_tbl key i;
+      b.set_rev <- Array.copy rs :: b.set_rev;
+      b.set_n <- i + 1;
+      i
+
+let encode_instr b (ins : Instr.t) : int64 =
+  let reg = 12 and target = 20 and pidx = 16 in
+  match ins with
+  | Instr.Const (d, v) ->
+      put
+        (put (Int64.of_int t_const) d ~off:4 ~bits:reg ~what:"register")
+        (intern_imm b v) ~off:16 ~bits:pidx ~what:"immediate pool index"
+  | Instr.Bin (op, d, a, bb) ->
+      let w = put (Int64.of_int t_bin) (index_of bins op) ~off:4 ~bits:5 ~what:"binop" in
+      let w = put w d ~off:9 ~bits:reg ~what:"register" in
+      let w = put w a ~off:21 ~bits:reg ~what:"register" in
+      put w bb ~off:33 ~bits:reg ~what:"register"
+  | Instr.Un (op, d, a) ->
+      let w = put (Int64.of_int t_un) (index_of uns op) ~off:4 ~bits:4 ~what:"unop" in
+      let w = put w d ~off:8 ~bits:reg ~what:"register" in
+      put w a ~off:20 ~bits:reg ~what:"register"
+  | Instr.Load (d, a) ->
+      put
+        (put (Int64.of_int t_load) d ~off:4 ~bits:reg ~what:"register")
+        a ~off:16 ~bits:reg ~what:"register"
+  | Instr.Store (s, a) ->
+      put
+        (put (Int64.of_int t_store) s ~off:4 ~bits:reg ~what:"register")
+        a ~off:16 ~bits:reg ~what:"register"
+  | Instr.Jmp l -> put (Int64.of_int t_jmp) l ~off:4 ~bits:target ~what:"target"
+  | Instr.Bnz (c, l1, l2) ->
+      let w = put (Int64.of_int t_bnz) c ~off:4 ~bits:reg ~what:"register" in
+      let w = put w l1 ~off:16 ~bits:target ~what:"target" in
+      put w l2 ~off:36 ~bits:target ~what:"target"
+  | Instr.Call (fidx, args, ret) ->
+      let w = put (Int64.of_int t_call) fidx ~off:4 ~bits:reg ~what:"callee" in
+      let w = put w (intern_set b args) ~off:16 ~bits:pidx ~what:"regset pool index" in
+      let w =
+        put w (if ret = None then 0 else 1) ~off:32 ~bits:1 ~what:"has_ret"
+      in
+      put w (match ret with Some r -> r | None -> 0) ~off:33 ~bits:reg
+        ~what:"register"
+  | Instr.Ret r ->
+      let w =
+        put (Int64.of_int t_ret) (if r = None then 0 else 1) ~off:4 ~bits:1
+          ~what:"has_val"
+      in
+      put w (match r with Some r -> r | None -> 0) ~off:5 ~bits:reg
+        ~what:"register"
+  | Instr.Intr (i, args, ret) ->
+      let kind, str =
+        match i with
+        | Instr.Randlc -> (k_randlc, None)
+        | Instr.Print f -> (k_print, Some f)
+        | Instr.MpiSend -> (k_mpi_send, None)
+        | Instr.MpiRecv -> (k_mpi_recv, None)
+        | Instr.MpiAllreduceSum -> (k_mpi_allreduce, None)
+        | Instr.MpiBarrier -> (k_mpi_barrier, None)
+        | Instr.MpiRank -> (k_mpi_rank, None)
+        | Instr.MpiSize -> (k_mpi_size, None)
+        | Instr.Illegal m -> (k_illegal, Some m)
+      in
+      let w = put (Int64.of_int t_intr) kind ~off:4 ~bits:4 ~what:"intr kind" in
+      let w = put w (intern_set b args) ~off:8 ~bits:pidx ~what:"regset pool index" in
+      let w =
+        put w (if ret = None then 0 else 1) ~off:24 ~bits:1 ~what:"has_ret"
+      in
+      let w =
+        put w (match ret with Some r -> r | None -> 0) ~off:25 ~bits:reg
+          ~what:"register"
+      in
+      put w
+        (match str with Some s -> intern_str b s | None -> 0)
+        ~off:37 ~bits:pidx ~what:"string pool index"
+  | Instr.Mark m -> put (Int64.of_int t_mark) m ~off:4 ~bits:16 ~what:"mark"
+
+let encode (prog : Prog.t) : t =
+  let funs =
+    Array.map
+      (fun (f : Prog.func) ->
+        if f.nregs > 1 lsl 12 then
+          invalid_arg ("Icodec.encode: too many registers in " ^ f.fname);
+        if Array.length f.code > 1 lsl 20 then
+          invalid_arg ("Icodec.encode: function too long: " ^ f.fname);
+        let b = pool_builder () in
+        let words = Array.map (encode_instr b) f.code in
+        {
+          words;
+          pool =
+            {
+              imms = Array.of_list (List.rev b.imm_rev);
+              strs = Array.of_list (List.rev b.str_rev);
+              regsets = Array.of_list (List.rev b.set_rev);
+            };
+          nregs = f.nregs;
+          code_len = Array.length f.code;
+        })
+      prog.Prog.funcs
+  in
+  let starts = Array.make (Array.length funs) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i ef ->
+      starts.(i) <- !total;
+      total := !total + Array.length ef.words)
+    funs;
+  {
+    funs;
+    fun_nregs = Array.map (fun (f : Prog.func) -> f.nregs) prog.Prog.funcs;
+    starts;
+    total = !total;
+  }
+
+(* --- decode ----------------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* Validation makes decoded instructions safe to execute on either
+   backend: register indices within the function's frame, branch
+   targets within [0, code_len] (= code_len halts), callee regsets no
+   wider than the callee's frame, and intrinsic arities matching what
+   the interpreter reads — so the only trap a corrupted-but-legal
+   instruction can raise is a classified VM trap, never an escaping
+   [Invalid_argument]. *)
+let decode (t : t) ~(fidx : int) (w : int64) : (Instr.t, string) result =
+  let ef = t.funs.(fidx) in
+  let reg ~off ~what =
+    let r = field w ~off ~bits:12 in
+    if r >= ef.nregs then bad "%s r%d out of range (nregs %d)" what r ef.nregs;
+    r
+  in
+  let target ~off =
+    let l = field w ~off ~bits:20 in
+    if l > ef.code_len then bad "branch target %d out of range" l;
+    l
+  in
+  let opt ~flag_off ~off ~what =
+    if field w ~off:flag_off ~bits:1 = 1 then Some (reg ~off ~what) else None
+  in
+  let regset ~off =
+    let i = field w ~off ~bits:16 in
+    if i >= Array.length ef.pool.regsets then bad "regset index %d out of range" i;
+    let rs = ef.pool.regsets.(i) in
+    Array.iter
+      (fun r -> if r >= ef.nregs then bad "regset register r%d out of range" r)
+      rs;
+    rs
+  in
+  try
+    let ins =
+      match field w ~off:0 ~bits:4 with
+      | k when k = t_const ->
+          let d = reg ~off:4 ~what:"const dst" in
+          let i = field w ~off:16 ~bits:16 in
+          if i >= Array.length ef.pool.imms then
+            bad "immediate index %d out of range" i;
+          Instr.Const (d, ef.pool.imms.(i))
+      | k when k = t_bin ->
+          let op = field w ~off:4 ~bits:5 in
+          if op >= Array.length bins then bad "binop %d out of range" op;
+          Instr.Bin
+            ( bins.(op),
+              reg ~off:9 ~what:"bin dst",
+              reg ~off:21 ~what:"bin lhs",
+              reg ~off:33 ~what:"bin rhs" )
+      | k when k = t_un ->
+          let op = field w ~off:4 ~bits:4 in
+          if op >= Array.length uns then bad "unop %d out of range" op;
+          Instr.Un (uns.(op), reg ~off:8 ~what:"un dst", reg ~off:20 ~what:"un src")
+      | k when k = t_load ->
+          Instr.Load (reg ~off:4 ~what:"load dst", reg ~off:16 ~what:"load addr")
+      | k when k = t_store ->
+          Instr.Store (reg ~off:4 ~what:"store src", reg ~off:16 ~what:"store addr")
+      | k when k = t_jmp -> Instr.Jmp (target ~off:4)
+      | k when k = t_bnz ->
+          Instr.Bnz (reg ~off:4 ~what:"bnz cond", target ~off:16, target ~off:36)
+      | k when k = t_call ->
+          let callee = field w ~off:4 ~bits:12 in
+          if callee >= Array.length t.fun_nregs then
+            bad "callee f%d out of range" callee;
+          let args = regset ~off:16 in
+          if Array.length args > t.fun_nregs.(callee) then
+            bad "call passes %d args to f%d (%d registers)" (Array.length args)
+              callee
+              t.fun_nregs.(callee);
+          Instr.Call (callee, args, opt ~flag_off:32 ~off:33 ~what:"call ret")
+      | k when k = t_ret -> Instr.Ret (opt ~flag_off:4 ~off:5 ~what:"ret val")
+      | k when k = t_intr ->
+          let kind = field w ~off:4 ~bits:4 in
+          let args = regset ~off:8 in
+          let ret = opt ~flag_off:24 ~off:25 ~what:"intr ret" in
+          let str () =
+            let i = field w ~off:37 ~bits:16 in
+            if i >= Array.length ef.pool.strs then
+              bad "string index %d out of range" i;
+            ef.pool.strs.(i)
+          in
+          let arity n name =
+            if Array.length args <> n then
+              bad "%s takes %d args, regset has %d" name n (Array.length args)
+          in
+          let i =
+            if kind = k_randlc then begin
+              arity 2 "randlc";
+              Instr.Randlc
+            end
+            else if kind = k_print then Instr.Print (str ())
+            else if kind = k_mpi_send then begin
+              arity 3 "mpi_send";
+              Instr.MpiSend
+            end
+            else if kind = k_mpi_recv then begin
+              arity 2 "mpi_recv";
+              Instr.MpiRecv
+            end
+            else if kind = k_mpi_allreduce then begin
+              arity 1 "mpi_allreduce_sum";
+              Instr.MpiAllreduceSum
+            end
+            else if kind = k_mpi_barrier then Instr.MpiBarrier
+            else if kind = k_mpi_rank then Instr.MpiRank
+            else if kind = k_mpi_size then Instr.MpiSize
+            else if kind = k_illegal then Instr.Illegal (str ())
+            else bad "intrinsic kind %d out of range" kind
+          in
+          Instr.Intr (i, args, ret)
+      | k when k = t_mark -> Instr.Mark (field w ~off:4 ~bits:16)
+      | k -> bad "form tag %d out of range" k
+    in
+    Ok ins
+  with Bad m -> Error m
+
+(* --- mutation ---------------------------------------------------------- *)
+
+let instr_of_word t ~fidx (w : int64) : Instr.t =
+  match decode t ~fidx w with
+  | Ok i -> i
+  | Error m -> Instr.Intr (Instr.Illegal m, [||], None)
+
+let mutate (prog : Prog.t) (t : t) ~(fidx : int) ~(pc : int) ~(word : int64) :
+    Prog.t =
+  let ins = instr_of_word t ~fidx word in
+  let funcs =
+    Array.mapi
+      (fun i (f : Prog.func) ->
+        if i <> fidx then f
+        else
+          let code = Array.copy f.code in
+          code.(pc) <- ins;
+          { f with Prog.code })
+      prog.Prog.funcs
+  in
+  { prog with Prog.funcs }
+
+let roundtrip_check (prog : Prog.t) : unit =
+  let t = encode prog in
+  Array.iteri
+    (fun fidx (f : Prog.func) ->
+      Array.iteri
+        (fun pc ins ->
+          match decode t ~fidx t.funs.(fidx).words.(pc) with
+          | Ok ins' when ins' = ins -> ()
+          | Ok _ -> invalid_arg (Printf.sprintf "Icodec: %s@%d decodes differently" f.fname pc)
+          | Error m -> invalid_arg (Printf.sprintf "Icodec: %s@%d: %s" f.fname pc m))
+        f.code)
+    prog.Prog.funcs

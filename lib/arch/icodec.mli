@@ -1,0 +1,55 @@
+(** Compact binary encoding of the instruction store.
+
+    Each {!Instr.t} is one 64-bit word; wide operands (immediates,
+    format strings, argument-register sets) live in per-function
+    constant pools behind 16-bit indices, so the injectable surface is
+    exactly the fixed-width words.  Encode/decode round-trips exactly,
+    and {!decode} is total: any bit pattern yields a legal instruction
+    — validated against the decoding context so either backend can
+    execute it without an escaping exception — or an error that
+    {!mutate} materializes as the structured [Instr.Illegal] trap.
+    Unused high bits of a form are don't-care bits: flips there decode
+    to the same instruction. *)
+
+type pool = {
+  imms : int64 array;
+  strs : string array;
+  regsets : int array array;
+}
+
+type efun = { words : int64 array; pool : pool; nregs : int; code_len : int }
+
+type t = {
+  funs : efun array;
+  fun_nregs : int array;
+  starts : int array;
+  total : int;
+}
+
+val encode : Prog.t -> t
+(** Raises [Invalid_argument] only when a program exceeds the format's
+    capacity (4096 registers, 2^20 instructions per function, 2^16
+    pool entries) — far above anything the front end emits. *)
+
+val total_words : t -> int
+(** The injectable population: one word per static instruction. *)
+
+val locate : t -> int -> int * int
+(** Map a global word index in [0, total_words) to [(fidx, pc)]. *)
+
+val word : t -> fidx:int -> pc:int -> int64
+
+val decode : t -> fidx:int -> int64 -> (Instr.t, string) result
+(** Total: never raises, for any 64-bit input. *)
+
+val instr_of_word : t -> fidx:int -> int64 -> Instr.t
+(** {!decode}, with errors materialized as
+    [Intr (Illegal reason, [||], None)]. *)
+
+val mutate : Prog.t -> t -> fidx:int -> pc:int -> word:int64 -> Prog.t
+(** A copy of [prog] whose instruction at [(fidx, pc)] is replaced by
+    the decoding of [word]; all other functions are shared. *)
+
+val roundtrip_check : Prog.t -> unit
+(** Encode then decode every word, raising [Invalid_argument] on any
+    mismatch — a self-check hook for tests. *)

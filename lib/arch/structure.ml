@@ -1,0 +1,31 @@
+(** Named microarchitectural structures a campaign can target.
+
+    [Reg] is the architected register file: the historical FlipTracker
+    surface (destinations of dynamic instructions), kept as the default
+    so every previously recorded campaign reproduces bit-for-bit.  The
+    other structures come from the gpuFI-4 direction: the cache layered
+    over flat memory (metadata and data lines injected separately) and
+    the instruction store holding the program's binary encoding. *)
+
+type t = Reg | Cache_tag | Cache_data | Istore
+
+let default = Reg
+let all = [ Reg; Cache_tag; Cache_data; Istore ]
+
+let to_string = function
+  | Reg -> "reg"
+  | Cache_tag -> "cache-tag"
+  | Cache_data -> "cache-data"
+  | Istore -> "istore"
+
+let names = List.map to_string all
+
+let of_string s =
+  match List.find_opt (fun t -> String.equal (to_string t) s) all with
+  | Some t -> Ok t
+  | None ->
+      Error
+        (Printf.sprintf "unknown structure %S (expected %s)" s
+           (String.concat ", " names))
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,22 @@
+(** Named microarchitectural structures a campaign can target. *)
+
+type t =
+  | Reg  (** the architected register file: the historical fault surface *)
+  | Cache_tag  (** cache metadata: tag, valid and dirty bits *)
+  | Cache_data  (** cache data lines *)
+  | Istore  (** the binary-encoded instruction store *)
+
+val default : t
+(** [Reg] — keeps every previously recorded campaign reproducible. *)
+
+val all : t list
+
+val names : string list
+(** Spellings accepted by {!of_string}, in {!all} order. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** The error message lists the accepted spellings. *)
+
+val pp : Format.formatter -> t -> unit

@@ -44,6 +44,8 @@ let untyped = function
               (fun (s : Campaign.input_site) -> { s with Campaign.bits = 64 })
               sites;
         }
+  (* structural surfaces carry no per-site width annotations *)
+  | (Campaign.Cache_struct _ | Campaign.Istore_struct _) as t -> t
 
 (** Ablation 1: IS under typed vs uniform-64-bit flips. *)
 let typed_bits ?(trials = 150) () : campaign_pair =

@@ -91,21 +91,21 @@ let machine_recover = function
   | Rollback { max_restores } ->
       Some { Machine.default_recover with max_restores }
 
-(** The classification kernel over a {e resolved} execution function:
-    {!trial_fun} resolves the backend runner once (compiling the plan
-    before trials fan out to domains or forked workers) and classifies
-    every trial through this. *)
-let run_one_with (run : Machine.config -> Machine.result) ~(budget : int)
+(** The classification kernel over a {e resolved} execution function
+    and an optional VM fault.  [None] is the instruction-store case:
+    the corruption already lives in the (mutated) program the runner
+    was resolved for, so the run itself is fault-free. *)
+let classify_run (run : Machine.config -> Machine.result) ~(budget : int)
     ?(watchdog : Watchdog.t option) ?(recovery = No_recovery)
-    ~(verify : Machine.result -> bool) (fault : Machine.fault) : outcome_class
-    =
+    ~(verify : Machine.result -> bool) (fault : Machine.fault option) :
+    outcome_class =
   let tick = Option.map (fun w () -> Watchdog.check w) watchdog in
   match
     run
       {
         Machine.default_config with
         budget;
-        fault = Some fault;
+        fault;
         tick;
         recover = machine_recover recovery;
       }
@@ -118,6 +118,14 @@ let run_one_with (run : Machine.config -> Machine.result) ~(budget : int)
           else Success
       | Machine.Trapped _ | Machine.Budget_exceeded -> Crashed)
   | exception Watchdog.Timeout _ -> Crashed
+
+(** {!classify_run} with a mandatory VM fault: the historical kernel
+    {!trial_fun} classifies register/memory-surface trials through. *)
+let run_one_with (run : Machine.config -> Machine.result) ~(budget : int)
+    ?(watchdog : Watchdog.t option) ?(recovery = No_recovery)
+    ~(verify : Machine.result -> bool) (fault : Machine.fault) : outcome_class
+    =
+  classify_run run ~budget ?watchdog ~recovery ~verify (Some fault)
 
 (** Run one faulty execution and classify it.  [verify] receives the
     machine result of a {e finished} run and decides Success/Failed;
@@ -197,6 +205,32 @@ type target =
   | Mem_over_time of { seqs : int array; sites : input_site array }
       (** flip a bit of one of these memory words at a random point of
           an execution window (soft errors in resident data) *)
+  | Cache_struct of {
+      geom : Cache_model.geometry;
+      meta : bool;
+          (** [true]: the metadata surface (tag/valid/dirty per line);
+              [false]: the data words of the lines *)
+      seq_hi : int;
+          (** the corruption lands at a uniform dynamic seq in
+              [0, seq_hi) — the whole-run window, kept as a range
+              rather than an explicit seq array so the population
+              stays O(1) in memory *)
+      mem_words : int;  (** program memory size, fixes the tag width *)
+    }
+      (** microarchitectural cache-structure faults; trials arm a
+          [Machine.Cache_fault], which routes the run through the
+          simulated cache *)
+  | Istore_struct of { enc : Icodec.t }
+      (** bit flips in the binary-encoded instruction store: persistent
+          (present from the first instruction), so the population has
+          no time dimension — one site per bit of every encoded word *)
+
+(* injectable bits per cache line under each surface: tag + valid +
+   dirty for the metadata, 64 per data word otherwise *)
+let cache_line_bits ~(geom : Cache_model.geometry) ~(mem_words : int)
+    ~(meta : bool) : int =
+  if meta then Cache_model.tag_bits geom ~mem_words + 2
+  else 64 * geom.Cache_model.line_words
 
 let target_population = function
   | Internal { sites } ->
@@ -206,6 +240,9 @@ let target_population = function
   | Mem_over_time { seqs; sites } ->
       Array.length seqs
       * Array.fold_left (fun a (s : input_site) -> a + s.bits) 0 sites
+  | Cache_struct { geom; meta; seq_hi; mem_words } ->
+      seq_hi * Cache_model.lines geom * cache_line_bits ~geom ~mem_words ~meta
+  | Istore_struct { enc } -> 64 * Icodec.total_words enc
 
 (** Phantom-site detector.  Sites are harvested from {e traced} runs
     and injected into {e untraced} ones, so the contract is that both
@@ -225,6 +262,10 @@ let unreachable_sites (t : target) ~(instructions : int) : int list =
             if bad s.seq then Some s.seq else None)
     | Input { entry_seq; _ } -> if bad entry_seq then [ entry_seq ] else []
     | Mem_over_time { seqs; _ } -> Array.to_list seqs |> List.filter bad
+    | Cache_struct { seq_hi; _ } ->
+        (* the window is a range: its last seq is the only candidate *)
+        if seq_hi > 0 && bad (seq_hi - 1) then [ seq_hi - 1 ] else []
+    | Istore_struct _ -> []  (* persistent faults carry no seqs *)
   in
   List.sort_uniq compare seqs
 
@@ -259,6 +300,75 @@ let sample_fault ?(model = Fault_model.Single_bit) (rng : Rng.t) (t : target) :
       | Fault_model.Bit bit -> Machine.Flip_mem { seq; addr = s.addr; bit }
       | Fault_model.Masks { and_mask; or_mask; xor_mask } ->
           Machine.Mask_mem { seq; addr = s.addr; and_mask; or_mask; xor_mask })
+  | Cache_struct { geom; meta; seq_hi; mem_words } ->
+      (* draw order (pinned for these structures from their first
+         release): set, way, field slot / data word, corruption, seq.
+         Metadata slots are uniform over the line's injectable bits, so
+         the tag is hit [tag_bits] times as often as valid or dirty —
+         matching the flat bits-are-sites design of every other
+         surface. *)
+      let set = Rng.int rng geom.Cache_model.sets in
+      let way = Rng.int rng geom.Cache_model.ways in
+      let field, bits =
+        if meta then begin
+          let tb = Cache_model.tag_bits geom ~mem_words in
+          let slot = Rng.int rng (tb + 2) in
+          if slot < tb then (Cache_model.Tag, tb)
+          else if slot = tb then (Cache_model.Valid, 1)
+          else (Cache_model.Dirty, 1)
+        end
+        else (Cache_model.Word (Rng.int rng geom.Cache_model.line_words), 64)
+      in
+      let and_mask, or_mask, xor_mask =
+        match Fault_model.sample model rng ~bits with
+        | Fault_model.Bit bit -> (-1L, 0L, Int64.shift_left 1L bit)
+        | Fault_model.Masks { and_mask; or_mask; xor_mask } ->
+            (and_mask, or_mask, xor_mask)
+      in
+      let seq = Rng.int rng (max 1 seq_hi) in
+      Machine.Cache_fault
+        {
+          seq;
+          geom;
+          loc = { Cache_model.set; way; field };
+          and_mask;
+          or_mask;
+          xor_mask;
+        }
+  | Istore_struct _ ->
+      invalid_arg
+        "Campaign.sample_fault: instruction-store faults mutate the program, \
+         not the VM; use sample_injection"
+
+(** A sampled corruption, generalized over how it is delivered: as a
+    VM fault armed on the unmodified program, or as a persistent flip
+    of one encoded instruction word — the instruction-store case, where
+    the corrupted program is re-baked per trial. *)
+type injection =
+  | Vm_fault of Machine.fault
+  | Istore_flip of {
+      widx : int;  (** global word index into the encoded program *)
+      and_mask : int64;
+      or_mask : int64;
+      xor_mask : int64;
+    }
+
+(** {!sample_fault} generalized to every target.  Draw order for the
+    instruction store: word index, then corruption over all 64 bits. *)
+let sample_injection ?(model = Fault_model.Single_bit) (rng : Rng.t)
+    (t : target) : injection =
+  match t with
+  | Istore_struct { enc } ->
+      let widx = Rng.int rng (Icodec.total_words enc) in
+      let and_mask, or_mask, xor_mask =
+        match Fault_model.sample model rng ~bits:64 with
+        | Fault_model.Bit bit -> (-1L, 0L, Int64.shift_left 1L bit)
+        | Fault_model.Masks { and_mask; or_mask; xor_mask } ->
+            (and_mask, or_mask, xor_mask)
+      in
+      Istore_flip { widx; and_mask; or_mask; xor_mask }
+  | Internal _ | Input _ | Mem_over_time _ | Cache_struct _ ->
+      Vm_fault (sample_fault ~model rng t)
 
 (** Derive the internal-location target of a region instance. *)
 let internal_target (prog : Prog.t) (trace : Trace.t)
@@ -352,6 +462,37 @@ let memory_during_function_target (prog : Prog.t) (trace : Trace.t)
   in
   Mem_over_time { seqs = Array.of_list !seqs; sites = Array.of_list sites }
 
+(* --- microarchitectural structure targets ------------------------------ *)
+
+(** Cache-structure target over the whole run: the corruption lands at
+    a uniform dynamic seq in [0, clean_instructions). *)
+let cache_target ?(geom = Cache_model.default_geometry) ~(meta : bool)
+    (prog : Prog.t) ~(clean_instructions : int) : target =
+  Cache_struct
+    {
+      geom;
+      meta;
+      seq_hi = max 1 clean_instructions;
+      mem_words = prog.Prog.mem_size;
+    }
+
+(** Instruction-store target: every bit of the program's binary
+    encoding. *)
+let istore_target (prog : Prog.t) : target =
+  Istore_struct { enc = Icodec.encode prog }
+
+(** The whole-program target of a named structure.  [Structure.Reg] is
+    the historical register-file surface — byte-for-byte the same
+    target (and RNG stream) as {!whole_program_target}. *)
+let structure_target ?geom (s : Structure.t) (prog : Prog.t) (trace : Trace.t)
+    ~(clean_instructions : int) : target =
+  match s with
+  | Structure.Reg -> whole_program_target prog trace
+  | Structure.Cache_tag -> cache_target ?geom ~meta:true prog ~clean_instructions
+  | Structure.Cache_data ->
+      cache_target ?geom ~meta:false prog ~clean_instructions
+  | Structure.Istore -> istore_target prog
+
 (* --- site levels and target translation -------------------------------- *)
 
 (** The IR level a target's dynamic sequence numbers refer to.
@@ -412,6 +553,13 @@ let translate_target ~(map_seq : int -> int option) (t : target) : target =
     | Input { entry_seq; sites } -> Input { entry_seq = tr entry_seq; sites }
     | Mem_over_time { seqs; sites } ->
         Mem_over_time { seqs = Array.map tr seqs; sites }
+    | Cache_struct _ | Istore_struct _ ->
+        (* structure targets are sampled from the program being injected
+           (a seq range / its own encoding) — there is no reference
+           level to translate from *)
+        invalid_arg
+          "Campaign.translate_target: microarchitectural structure targets \
+           are native-level only"
   in
   match List.rev !failures with
   | [] -> t'
@@ -433,6 +581,11 @@ type config = {
   site_level : site_level;
       (** which IR level the target's seqs were sampled at; [Native]
           keeps historical behavior and journal tags *)
+  structure : Structure.t;
+      (** which microarchitectural structure the campaign injects into.
+          Informational for the journal tag (the target determines the
+          actual sites — build it with {!structure_target} so the two
+          agree); [Structure.Reg] keeps historical tags byte-identical *)
 }
 
 let default_config =
@@ -445,6 +598,7 @@ let default_config =
     model = Fault_model.Single_bit;
     recovery = No_recovery;
     site_level = Native;
+    structure = Structure.Reg;
   }
 
 (** Number of trials the configuration implies for a target. *)
@@ -550,6 +704,11 @@ let campaign_tag (cfg : config) ~(population : int) ~(trials : int) : string =
         Printf.sprintf "%s:model=%s:recover=%s" base (Fault_model.to_string m)
           (recovery_to_string r)
   in
+  let base =
+    match cfg.structure with
+    | Structure.Reg -> base
+    | s -> Printf.sprintf "%s:structure=%s" base (Structure.to_string s)
+  in
   match cfg.site_level with
   | Native -> base
   | Reference ->
@@ -574,11 +733,30 @@ let trial_fun ?(backend = Backend.default) (prog : Prog.t)
   let run = Backend.runner backend prog in
   fun i ->
     let rng = Rng.derive ~seed:cfg.seed ~index:i in
-    let fault = sample_fault ~model:cfg.model rng t in
+    let injection = sample_injection ~model:cfg.model rng t in
     let watchdog =
       Option.map (fun s -> Watchdog.create ~seconds:s ()) watchdog_s
     in
-    run_one_with run ~budget ?watchdog ~recovery:cfg.recovery ~verify fault
+    match injection with
+    | Vm_fault fault ->
+        run_one_with run ~budget ?watchdog ~recovery:cfg.recovery ~verify fault
+    | Istore_flip { widx; and_mask; or_mask; xor_mask } ->
+        (* re-bake the mutated program and run it fault-free: under the
+           compiled backend the mutant re-keys the content-addressed
+           plan cache; the corrupted word decodes to a different legal
+           instruction or the structured Illegal trap *)
+        let enc =
+          match t with Istore_struct { enc } -> enc | _ -> assert false
+        in
+        let fidx, pc = Icodec.locate enc widx in
+        let word =
+          Machine.apply_masks (Icodec.word enc ~fidx ~pc) ~and_mask ~or_mask
+            ~xor_mask
+        in
+        let mutated = Icodec.mutate prog enc ~fidx ~pc ~word in
+        classify_run
+          (Backend.runner backend mutated)
+          ~budget ?watchdog ~recovery:cfg.recovery ~verify None
 
 let counts_of_outcomes (outcomes : outcome_class Executor.outcome array) :
     counts =
@@ -671,6 +849,7 @@ type spec = {
   sp_trials : int option;  (** [max_trials]; [None] = full design *)
   sp_model : Fault_model.t;
   sp_recovery : recovery;
+  sp_structure : Structure.t;
 }
 
 let default_spec =
@@ -680,6 +859,7 @@ let default_spec =
     sp_trials = Some 500;
     sp_model = Fault_model.Single_bit;
     sp_recovery = No_recovery;
+    sp_structure = Structure.Reg;
   }
 
 (** The statistical design a submission stands for. *)
@@ -690,45 +870,70 @@ let config_of_spec (s : spec) : config =
     max_trials = s.sp_trials;
     model = s.sp_model;
     recovery = s.sp_recovery;
+    structure = s.sp_structure;
   }
 
+(* The structure atom is appended only when non-default, so default
+   submissions keep their historical byte encoding; the decoder accepts
+   both widths. *)
 let spec_to_csexp (s : spec) : Csexp.t =
   Csexp.(
     List
-      [
-        Atom "campaign-spec";
-        Atom s.sp_app;
-        Atom (string_of_int s.sp_seed);
-        Atom
-          (match s.sp_trials with Some n -> string_of_int n | None -> "full");
-        Atom (Fault_model.to_string s.sp_model);
-        Atom (recovery_to_string s.sp_recovery);
-      ])
+      ([
+         Atom "campaign-spec";
+         Atom s.sp_app;
+         Atom (string_of_int s.sp_seed);
+         Atom
+           (match s.sp_trials with Some n -> string_of_int n | None -> "full");
+         Atom (Fault_model.to_string s.sp_model);
+         Atom (recovery_to_string s.sp_recovery);
+       ]
+      @
+      match s.sp_structure with
+      | Structure.Reg -> []
+      | st -> [ Atom (Structure.to_string st) ]))
 
 let spec_of_csexp (c : Csexp.t) : (spec, string) result =
   match c with
   | Csexp.List
-      [
-        Csexp.Atom "campaign-spec";
-        Csexp.Atom app;
-        Csexp.Atom seed;
-        Csexp.Atom trials;
-        Csexp.Atom model;
-        Csexp.Atom recovery;
-      ] -> (
+      (Csexp.Atom "campaign-spec"
+      :: Csexp.Atom app
+      :: Csexp.Atom seed
+      :: Csexp.Atom trials
+      :: Csexp.Atom model
+      :: Csexp.Atom recovery
+      :: rest)
+    when rest = []
+         || match rest with [ Csexp.Atom _ ] -> true | _ -> false -> (
+      let structure =
+        match rest with
+        | [ Csexp.Atom s ] -> Structure.of_string s
+        | _ -> Ok Structure.Reg
+      in
       match
         ( int_of_string_opt seed,
           (if String.equal trials "full" then Some None
            else Option.map Option.some (int_of_string_opt trials)),
           Fault_model.of_string model,
-          recovery_of_string recovery )
+          recovery_of_string recovery,
+          structure )
       with
-      | Some sp_seed, Some sp_trials, Ok sp_model, Ok sp_recovery ->
-          Ok { sp_app = app; sp_seed; sp_trials; sp_model; sp_recovery }
-      | None, _, _, _ -> Error (Printf.sprintf "bad campaign seed %S" seed)
-      | _, None, _, _ -> Error (Printf.sprintf "bad trial cap %S" trials)
-      | _, _, Error e, _ -> Error e
-      | _, _, _, Error e -> Error e)
+      | Some sp_seed, Some sp_trials, Ok sp_model, Ok sp_recovery,
+        Ok sp_structure ->
+          Ok
+            {
+              sp_app = app;
+              sp_seed;
+              sp_trials;
+              sp_model;
+              sp_recovery;
+              sp_structure;
+            }
+      | None, _, _, _, _ -> Error (Printf.sprintf "bad campaign seed %S" seed)
+      | _, None, _, _, _ -> Error (Printf.sprintf "bad trial cap %S" trials)
+      | _, _, Error e, _, _ -> Error e
+      | _, _, _, Error e, _ -> Error e
+      | _, _, _, _, Error e -> Error e)
   | _ -> Error "not a campaign-spec record"
 
 (** Counts on the wire, field-ordered and versioned: the streaming

@@ -73,6 +73,20 @@ val run_one_with :
     function (see {!Backend.runner}); what {!trial_fun} uses so the
     compiled plan is resolved once, not per trial. *)
 
+val classify_run :
+  (Machine.config -> Machine.result) ->
+  budget:int ->
+  ?watchdog:Watchdog.t ->
+  ?recovery:recovery ->
+  verify:(Machine.result -> bool) ->
+  Machine.fault option ->
+  outcome_class
+(** The same kernel over an {e optional} VM fault: [None] means the
+    corruption is already baked into the program being run (the
+    instruction-store surface, where a flipped encoding word is decoded
+    back into a mutated program).  [run_one_with] is [classify_run]
+    with the fault always present. *)
+
 (** A fault site carries the width of the datum it corrupts: the
     paper's subjects are C programs whose integers are 32-bit, so
     integer-typed destinations expose 32 candidate bits while doubles
@@ -95,6 +109,22 @@ type target =
   | Mem_over_time of { seqs : int array; sites : input_site array }
       (** flip a bit of one of these memory words at a random point of
           an execution window (soft errors in resident data) *)
+  | Cache_struct of {
+      geom : Cache_model.geometry;
+      meta : bool;
+          (** [true]: corrupt line metadata (tag, valid, dirty);
+              [false]: corrupt a data word of a line *)
+      seq_hi : int;
+          (** faults fire uniformly in [\[0, seq_hi)] dynamic
+              instructions (the fault-free instruction count) *)
+      mem_words : int;  (** program memory size, for tag-width sizing *)
+    }
+      (** corrupt one cache line (any set, any way) of a write-back
+          cache of [geom] at a uniform point of the execution *)
+  | Istore_struct of { enc : Icodec.t }
+      (** flip bits of the program's binary instruction encoding; the
+          mutated word decodes into a different legal instruction or an
+          [Illegal] trap, and the trial runs the re-baked program *)
 
 val target_population : target -> int
 
@@ -110,7 +140,26 @@ val sample_fault : ?model:Fault_model.t -> Rng.t -> target -> Machine.fault
 (** Sample a fault under a fault model (default [Single_bit], whose RNG
     draw sequence is pinned to the historical code, keeping
     default-model campaigns count-identical).  Site selection is shared
-    by all models; only the corruption differs. *)
+    by all models; only the corruption differs.
+    @raise Invalid_argument on [Istore_struct] — an istore corruption
+    is not a VM fault; use {!sample_injection}. *)
+
+(** One sampled corruption, of either kind: a seq-keyed VM fault, or a
+    bit flip in the program's binary encoding (word index + masks) that
+    the trial bakes into a mutated program before running. *)
+type injection =
+  | Vm_fault of Machine.fault
+  | Istore_flip of {
+      widx : int;  (** global word index into the {!Icodec.t} encoding *)
+      and_mask : int64;
+      or_mask : int64;
+      xor_mask : int64;
+    }
+
+val sample_injection : ?model:Fault_model.t -> Rng.t -> target -> injection
+(** Total over every target kind; on non-istore targets this is
+    [Vm_fault (sample_fault ~model rng t)] with the identical RNG draw
+    sequence, so it is a drop-in generalization of {!sample_fault}. *)
 
 val internal_target : Prog.t -> Trace.t -> Region.instance -> target
 val input_target : Prog.t -> Trace.t -> Access.t -> Region.instance -> target
@@ -131,6 +180,32 @@ val memory_during_function_target :
 (** Soft errors in the memory of named variables while [fname] runs —
     the Use Case 1 scenario (v/iv corruption during sprnvc).
     @raise Unknown_symbol when a variable is not a known symbol. *)
+
+val cache_target :
+  ?geom:Cache_model.geometry ->
+  meta:bool ->
+  Prog.t ->
+  clean_instructions:int ->
+  target
+(** Cache-structure target (default geometry
+    {!Cache_model.default_geometry}): [meta] picks the metadata surface
+    (tag/valid/dirty) over the data-word surface. *)
+
+val istore_target : Prog.t -> target
+(** Instruction-store target: every bit of the program's binary
+    encoding (see {!Icodec.encode}). *)
+
+val structure_target :
+  ?geom:Cache_model.geometry ->
+  Structure.t ->
+  Prog.t ->
+  Trace.t ->
+  clean_instructions:int ->
+  target
+(** The whole-program target of a named microarchitectural structure.
+    [Structure.Reg] is the historical register-file surface —
+    byte-for-byte the same target (and RNG stream) as
+    {!whole_program_target}. *)
 
 (** The IR level a target's dynamic sequence numbers refer to:
     [Native] (historical default) means sites were sampled from the
@@ -160,6 +235,12 @@ type config = {
   site_level : site_level;
       (** declared sampling level; anything but [Native] marks the
           journal tag so mixed-level resumes are impossible *)
+  structure : Structure.t;
+      (** the microarchitectural surface this campaign declares; the
+          {e target} determines the actual sites (build it with
+          {!structure_target} so the two agree).  Anything but
+          [Structure.Reg] suffixes the journal tag, so per-structure
+          journals can never silently resume one another. *)
 }
 
 val default_config : config
@@ -292,11 +373,13 @@ type spec = {
   sp_trials : int option;  (** [max_trials]; [None] = full design *)
   sp_model : Fault_model.t;
   sp_recovery : recovery;
+  sp_structure : Structure.t;
+      (** fault surface; the server builds the matching target *)
 }
 
 val default_spec : spec
 (** App [IS], the default seed, a 500-trial cap, single-bit flips, no
-    recovery. *)
+    recovery, the register-file surface. *)
 
 val config_of_spec : spec -> config
 (** The statistical design a submission stands for ([default_config]

@@ -27,6 +27,11 @@ type intr =
   | MpiBarrier
   | MpiRank   (** returns the executing rank *)
   | MpiSize   (** returns the number of ranks *)
+  | Illegal of string
+      (** an undecodable instruction word: produced by instruction-store
+          bit flips whose corrupted encoding no longer denotes a legal
+          instruction.  Executing it traps (the structured
+          illegal-instruction fault), in both backends. *)
 
 type t =
   | Const of reg * int64        (** dst <- immediate bit pattern *)
@@ -51,6 +56,7 @@ let intr_to_string = function
   | MpiBarrier -> "mpi_barrier"
   | MpiRank -> "mpi_rank"
   | MpiSize -> "mpi_size"
+  | Illegal m -> Printf.sprintf "illegal %S" m
 
 let pp ppf = function
   | Const (d, v) -> Fmt.pf ppf "r%d <- const 0x%Lx" d v

@@ -20,6 +20,9 @@ type intr =
   | MpiBarrier
   | MpiRank
   | MpiSize
+  | Illegal of string
+      (** an undecodable instruction word (instruction-store bit flip);
+          executing it traps in both backends *)
 
 type t =
   | Const of reg * int64

@@ -467,7 +467,10 @@ type plan = {
   pl_golden_output : string;
 }
 
-let plan_key (app : string) : string = Cache.key ("plan:v1:" ^ app)
+(* v2: the marshaled [Campaign.target] and [Instr.intr] types grew
+   constructors for the microarchitectural surfaces; a v1 cache entry
+   must not be deserialized under the new layout. *)
+let plan_key (app : string) : string = Cache.key ("plan:v2:" ^ app)
 
 let plan_of_app ?(cache_dir : string option) (appname : string) :
     (plan, string) result =
@@ -504,15 +507,31 @@ let plan_of_app ?(cache_dir : string option) (appname : string) :
                 cache_dir;
               Ok plan))
 
+(** The injection target a plan exposes for a declared structure: the
+    cached whole-program (register-file) target for [Reg], or a
+    structural target rebuilt from the plan's program — cheap relative
+    to baking, and never trace-dependent. *)
+let target_of_plan (plan : plan) (s : Structure.t) : Campaign.target =
+  match s with
+  | Structure.Reg -> plan.pl_target
+  | Structure.Cache_tag ->
+      Campaign.cache_target ~meta:true plan.pl_prog
+        ~clean_instructions:plan.pl_clean_instructions
+  | Structure.Cache_data ->
+      Campaign.cache_target ~meta:false plan.pl_prog
+        ~clean_instructions:plan.pl_clean_instructions
+  | Structure.Istore -> Campaign.istore_target plan.pl_prog
+
 (** The executor spec of a campaign over a plan — built {e exactly} the
     way {!Campaign.run_report} builds its own (same tag, same trial
     kernel, same outcome codec), which is the byte-identity contract
     with [--jobs 1]. *)
 let campaign_spec (plan : plan) (ccfg : Campaign.config) :
     Campaign.outcome_class Executor.spec =
-  let population = Campaign.target_population plan.pl_target in
+  let target = target_of_plan plan ccfg.Campaign.structure in
+  let population = Campaign.target_population target in
   let trials =
-    if population = 0 then 0 else Campaign.trials_for ccfg plan.pl_target
+    if population = 0 then 0 else Campaign.trials_for ccfg target
   in
   let verify r = App.verified r.Machine.output in
   {
@@ -520,7 +539,7 @@ let campaign_spec (plan : plan) (ccfg : Campaign.config) :
     total = trials;
     run_trial =
       Campaign.trial_fun plan.pl_prog ~verify
-        ~clean_instructions:plan.pl_clean_instructions ~cfg:ccfg plan.pl_target;
+        ~clean_instructions:plan.pl_clean_instructions ~cfg:ccfg target;
     encode = Campaign.encode_outcome;
     decode = Campaign.decode_outcome;
     should_stop = None;

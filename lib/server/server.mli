@@ -79,10 +79,16 @@ val plan_of_app : ?cache_dir:string -> string -> (plan, string) result
 (** Resolve, bake, trace and (when [cache_dir] is given) cache the
     plan for an app spelling ([CG], [IS@all], [MG@opt], ...). *)
 
+val target_of_plan : plan -> Structure.t -> Campaign.target
+(** The injection target a plan exposes for a declared structure:
+    [pl_target] (the register-file surface) for [Structure.Reg],
+    otherwise a structural target rebuilt from the plan's program. *)
+
 val campaign_spec : plan -> Campaign.config -> Campaign.outcome_class Executor.spec
 (** The executor spec of a campaign over a plan — built exactly the way
     {!Campaign.run_report} builds its own (same tag, same trial kernel,
-    same outcome codec): the byte-identity contract with [--jobs 1]. *)
+    same outcome codec): the byte-identity contract with [--jobs 1].
+    The target follows the config's declared [structure]. *)
 
 val run_campaign :
   ?cfg:config ->

@@ -1248,7 +1248,16 @@ let compile_step ~(call_exec : rt -> int -> int64 array -> int -> int64 option)
                 let _ = pre rt in
                 ignore (read_args rt bp);
                 (if jfuse then ignore (pre rt));
-        (Array.unsafe_get steps jnext) rt bp depth))
+        (Array.unsafe_get steps jnext) rt bp depth)
+      | Instr.Illegal msg ->
+          (* the structured trap of an undecodable instruction-store
+             word; mirrors the interpreter exactly (argument registers
+             are read first, then the trap) *)
+          let m = "illegal instruction: " ^ msg in
+          fun rt bp _ ->
+            let _ = pre rt in
+            ignore (read_args rt bp);
+            raise (Machine.Vm_trap m))
   | Instr.Mark m ->
       fun rt bp depth ->
         let _ = pre rt in
@@ -1319,6 +1328,13 @@ let cache : (string, plan) Hashtbl.t = Hashtbl.create 16
 let cache_mutex = Mutex.create ()
 let last : (Prog.t * plan) option Atomic.t = Atomic.make None
 
+(* Instruction-store campaigns bake one mutated program per trial, each
+   re-keying the cache with a distinct digest; without a bound a long
+   campaign would retain every mutant's plan.  Plans are pure values, so
+   resetting the cache only costs recompiles — the steady-state working
+   set (the registry apps and their variants) is far below the cap. *)
+let cache_cap = 1024
+
 let digest (prog : Prog.t) : string = Digest.string (Marshal.to_string prog [])
 
 let plan_for (prog : Prog.t) : plan =
@@ -1334,6 +1350,7 @@ let plan_for (prog : Prog.t) : plan =
             match Hashtbl.find_opt cache key with
             | Some pl -> pl
             | None ->
+                if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
                 let pl = compile prog in
                 Hashtbl.add cache key pl;
                 pl)
@@ -1347,14 +1364,23 @@ let supported (cfg : Machine.config) : bool =
   match
     (cfg.Machine.trace, cfg.Machine.sink, cfg.Machine.mpi, cfg.Machine.recover)
   with
-  | None, None, None, None -> true
+  | None, None, None, None -> (
+      (* cache faults need the simulated cache between every memory
+         access — only the interpreter carries one *)
+      match cfg.Machine.fault with
+      | Some (Machine.Cache_fault _) -> false
+      | Some
+          ( Machine.Flip_write _ | Machine.Flip_mem _ | Machine.Mask_write _
+          | Machine.Mask_mem _ )
+      | None ->
+          true)
   | _ -> false
 
 let run (p : plan) (cfg : Machine.config) : Machine.result =
   if not (supported cfg) then
     invalid_arg
       "Compiled.run: config needs the interpreter (trace, sink, MPI hooks, \
-       or recovery attached)";
+       recovery, or a cache fault attached)";
   let prog = p.p_prog in
   let mem_len = prog.Prog.mem_size in
   let mem = Array.make mem_len 0L in
@@ -1365,7 +1391,9 @@ let run (p : plan) (cfg : Machine.config) : Machine.result =
         (seq, fun v -> Value.flip_bit v bit)
     | Some (Machine.Mask_write { seq; and_mask; or_mask; xor_mask }) ->
         (seq, fun v -> Machine.apply_masks v ~and_mask ~or_mask ~xor_mask)
-    | Some (Machine.Flip_mem _ | Machine.Mask_mem _) | None -> (min_int, Fun.id)
+    | Some (Machine.Flip_mem _ | Machine.Mask_mem _ | Machine.Cache_fault _)
+    | None ->
+        (min_int, Fun.id)
   in
   let mf_seq, mf_addr, mf =
     match cfg.Machine.fault with
@@ -1373,7 +1401,9 @@ let run (p : plan) (cfg : Machine.config) : Machine.result =
         (seq, addr, fun v -> Value.flip_bit v bit)
     | Some (Machine.Mask_mem { seq; addr; and_mask; or_mask; xor_mask }) ->
         (seq, addr, fun v -> Machine.apply_masks v ~and_mask ~or_mask ~xor_mask)
-    | Some (Machine.Flip_write _ | Machine.Mask_write _) | None ->
+    | Some
+        (Machine.Flip_write _ | Machine.Mask_write _ | Machine.Cache_fault _)
+    | None ->
         (min_int, 0, Fun.id)
   in
   let tick, has_tick =

@@ -32,6 +32,22 @@ type fault =
       or_mask : int64;
       xor_mask : int64;
     }  (** the memory-resident counterpart of [Mask_write] *)
+  | Cache_fault of {
+      seq : int;
+      geom : Cache_model.geometry;
+      loc : Cache_model.loc;
+      and_mask : int64;
+      or_mask : int64;
+      xor_mask : int64;
+    }
+      (** corrupt one cache metadata field or data word just before
+          instruction [seq] runs.  Arming this fault makes the VM route
+          every memory access through a {!Cache_model.t} of [geom];
+          the cache is semantically transparent until the corruption
+          fires, so the pre-fault execution is identical to an uncached
+          run.  Only the interpreter simulates the cache — the compiled
+          backend reports such configs unsupported and [Backend] falls
+          back. *)
 
 type outcome =
   | Finished
@@ -58,6 +74,12 @@ let fault_to_string = function
       Printf.sprintf
         "corrupt memory word %d before instruction %d (and=%Lx or=%Lx xor=%Lx)"
         addr seq and_mask or_mask xor_mask
+  | Cache_fault { seq; geom; loc; and_mask; or_mask; xor_mask } ->
+      Printf.sprintf
+        "corrupt cache (%s) %s before instruction %d (and=%Lx or=%Lx xor=%Lx)"
+        (Cache_model.geometry_to_string geom)
+        (Cache_model.loc_to_string loc)
+        seq and_mask or_mask xor_mask
 
 type recover = {
   max_restores : int;
@@ -232,13 +254,32 @@ let run (prog : Prog.t) (cfg : config) : result =
     check_addr a;
     a
   in
+  (* the cache is only simulated when a cache fault is armed: fault-free
+     it is semantically transparent, so plain runs (and every historical
+     campaign count) keep the direct flat-memory path *)
+  let cache =
+    match cfg.fault with
+    | Some (Cache_fault { geom; _ }) -> Some (Cache_model.create geom)
+    | Some (Flip_write _ | Flip_mem _ | Mask_write _ | Mask_mem _) | None ->
+        None
+  in
+  let mread a =
+    match cache with None -> mem.(a) | Some c -> Cache_model.read c mem a
+  in
+  let mwrite a v =
+    match cache with
+    | None -> mem.(a) <- v
+    | Some c -> Cache_model.write c mem a v
+  in
   let maybe_flip seq v =
     match cfg.fault with
     | Some (Flip_write { seq = s; bit }) when s = seq -> Value.flip_bit v bit
     | Some (Mask_write { seq = s; and_mask; or_mask; xor_mask }) when s = seq
       ->
         apply_masks v ~and_mask ~or_mask ~xor_mask
-    | Some (Flip_write _ | Flip_mem _ | Mask_write _ | Mask_mem _) | None -> v
+    | Some (Flip_write _ | Flip_mem _ | Mask_write _ | Mask_mem _ | Cache_fault _)
+    | None ->
+        v
   in
   let apply_mem_fault seq =
     match cfg.fault with
@@ -249,7 +290,16 @@ let run (prog : Prog.t) (cfg : config) : result =
       when s = seq ->
         check_addr addr;
         mem.(addr) <- apply_masks mem.(addr) ~and_mask ~or_mask ~xor_mask
-    | Some (Flip_mem _ | Flip_write _ | Mask_write _ | Mask_mem _) | None -> ()
+    | Some (Cache_fault { seq = s; loc; and_mask; or_mask; xor_mask; _ })
+      when s = seq -> (
+        match cache with
+        | Some c ->
+            Cache_model.corrupt c loc ~f:(fun v ->
+                apply_masks v ~and_mask ~or_mask ~xor_mask)
+        | None -> ())
+    | Some (Flip_mem _ | Flip_write _ | Mask_write _ | Mask_mem _ | Cache_fault _)
+    | None ->
+        ()
   in
   let trace = cfg.trace in
   (* when neither a retained trace nor a sink consumes events, skip
@@ -297,6 +347,9 @@ let run (prog : Prog.t) (cfg : config) : result =
     let snap_taken = ref false in
     let last_snap_seq = ref min_int in
     let take_snapshot seq =
+      (* dirty cache lines must land in [mem] before it is copied, or a
+         restore would resurrect pre-writeback values *)
+      (match cache with Some c -> Cache_model.flush c mem | None -> ());
       Array.blit mem 0 snap_mem 0 (Array.length mem);
       Array.blit regs 0 snap_regs 0 (Array.length regs);
       Array.blit inst_counters 0 snap_counters 0 (Array.length inst_counters);
@@ -311,6 +364,9 @@ let run (prog : Prog.t) (cfg : config) : result =
     let try_restore () =
       if !snap_taken && !restores < max_restores then begin
         incr restores;
+        (* rollback: buffered (possibly corrupted) lines die with the
+           discarded state — the restored memory is the truth *)
+        (match cache with Some c -> Cache_model.invalidate c | None -> ());
         Array.blit snap_mem 0 mem 0 (Array.length mem);
         Array.blit snap_regs 0 regs 0 (Array.length regs);
         Array.blit snap_counters 0 inst_counters 0 (Array.length inst_counters);
@@ -397,18 +453,19 @@ let run (prog : Prog.t) (cfg : config) : result =
       | Load (d, a) ->
           let va = regs.(a) in
           let addr = addr_of_value va in
-          let v = maybe_flip seq mem.(addr) in
+          let v0 = mread addr in
+          let v = maybe_flip seq v0 in
           regs.(d) <- v;
           if recording then
             record Trace.OLoad
-              [| (Loc.Reg (act, a), va); (Loc.Mem addr, mem.(addr)) |]
+              [| (Loc.Reg (act, a), va); (Loc.Mem addr, v0) |]
               [| (Loc.Reg (act, d), v) |];
           incr pc
       | Store (s, a) ->
           let vs = regs.(s) and va = regs.(a) in
           let addr = addr_of_value va in
           let v = maybe_flip seq vs in
-          mem.(addr) <- v;
+          mwrite addr v;
           if recording then
             record Trace.OStore
               [| (Loc.Reg (act, s), vs); (Loc.Reg (act, a), va) |]
@@ -479,9 +536,9 @@ let run (prog : Prog.t) (cfg : config) : result =
           | Randlc ->
               let saddr = addr_of_value argv.(0) in
               let a = Value.to_float argv.(1) in
-              let x = Value.to_float mem.(saddr) in
+              let x = Value.to_float (mread saddr) in
               let x', r = randlc_step x a in
-              mem.(saddr) <- Value.of_float x';
+              mwrite saddr (Value.of_float x');
               set_ret "randlc" (Value.of_float r)
                 [| (Loc.Mem saddr, Value.of_float x) |]
                 [| (Loc.Mem saddr, Value.of_float x') |]
@@ -518,7 +575,8 @@ let run (prog : Prog.t) (cfg : config) : result =
               set_ret "mpi_rank" (Value.of_int r) [||] [||]
           | MpiSize ->
               let s = match cfg.mpi with None -> 1 | Some m -> m.size in
-              set_ret "mpi_size" (Value.of_int s) [||] [||]);
+              set_ret "mpi_size" (Value.of_int s) [||] [||]
+          | Illegal msg -> raise (Vm_trap ("illegal instruction: " ^ msg)));
           incr pc
       | Mark m ->
           if m = cfg.iter_mark then incr iter;
@@ -544,6 +602,10 @@ let run (prog : Prog.t) (cfg : config) : result =
     | Vm_trap msg -> Trapped msg
     | Op.Trap msg -> Trapped msg
   in
+  (* surface buffered stores in the returned memory image; with a
+     corrupted tag this is where a lost or misdirected writeback becomes
+     visible to verification *)
+  (match cache with Some c -> Cache_model.flush c mem | None -> ());
   {
     outcome;
     instructions = !count;

@@ -20,6 +20,21 @@ type fault =
       or_mask : int64;
       xor_mask : int64;
     }  (** the memory-resident counterpart of [Mask_write] *)
+  | Cache_fault of {
+      seq : int;
+      geom : Cache_model.geometry;
+      loc : Cache_model.loc;
+      and_mask : int64;
+      or_mask : int64;
+      xor_mask : int64;
+    }
+      (** corrupt one cache metadata field (tag/valid/dirty) or data
+          word just before instruction [seq] runs.  Arming this fault
+          routes every memory access through a write-back
+          {!Cache_model.t} of [geom]; the cache is transparent until
+          the corruption fires, so the pre-fault execution matches an
+          uncached run exactly.  Interpreter-only: the compiled backend
+          reports these configs unsupported and [Backend] falls back. *)
 
 val apply_masks :
   int64 -> and_mask:int64 -> or_mask:int64 -> xor_mask:int64 -> int64

@@ -31,4 +31,5 @@ let () =
       Test_integration.suite;
       Test_opt.suite;
       Test_differential.suite;
+      Test_arch.suite;
     ]

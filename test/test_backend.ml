@@ -113,7 +113,7 @@ let test_fallback () =
   Alcotest.check_raises "Compiled.run refuses a traced config"
     (Invalid_argument
        "Compiled.run: config needs the interpreter (trace, sink, MPI hooks, \
-        or recovery attached)")
+        recovery, or a cache fault attached)")
     (fun () ->
       ignore
         (Compiled.run (Compiled.plan_for prog)

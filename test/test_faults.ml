@@ -130,6 +130,43 @@ let test_mean_stddev () =
   Alcotest.(check (float 1e-12)) "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |]);
   Alcotest.(check (float 0.0)) "empty mean" 0.0 (Stats.mean [||])
 
+(* every fault model confines its corruption to the low [bits] bits of
+   the datum — the contract that keeps 32-bit-typed sites 32-bit under
+   every model, including the widest burst at full width *)
+let prop_fault_model_confined =
+  QCheck.Test.make ~count:500
+    ~name:"Fault_model.sample: corruption confined to the low bits"
+    QCheck.(triple small_int (int_range 1 64) (int_range 0 100_000))
+    (fun (seed, bits, index) ->
+      let models =
+        [
+          Fault_model.Single_bit;
+          Fault_model.Double_adjacent;
+          Fault_model.Burst 2;
+          Fault_model.Burst 8;
+          Fault_model.Burst 64;
+          Fault_model.Stuck_at;
+        ]
+      in
+      let high = if bits >= 64 then 0L else Int64.shift_left (-1L) bits in
+      (* [apply_masks] is bitwise, so invariance on the all-zeros and
+         all-ones inputs implies invariance on every input *)
+      let confined ~and_mask ~or_mask ~xor_mask =
+        List.for_all
+          (fun v ->
+            let v' = Machine.apply_masks v ~and_mask ~or_mask ~xor_mask in
+            Int64.logand (Int64.logxor v v') high = 0L)
+          [ 0L; -1L ]
+      in
+      List.for_all
+        (fun model ->
+          let rng = Rng.derive ~seed ~index in
+          match Fault_model.sample model rng ~bits with
+          | Fault_model.Bit b -> b >= 0 && b < bits
+          | Fault_model.Masks { and_mask; or_mask; xor_mask } ->
+              confined ~and_mask ~or_mask ~xor_mask)
+        models)
+
 let prop_wilson_shrinks_with_trials =
   QCheck.Test.make ~count:100 ~name:"wilson interval narrows with more trials"
     QCheck.(int_range 1 500)
@@ -250,8 +287,7 @@ let test_input_target_types () =
           Alcotest.(check bool) "width is 32 or 64" true
             (s.Campaign.bits = 32 || s.Campaign.bits = 64))
         sites
-  | Campaign.Internal _ | Campaign.Mem_over_time _ ->
-      Alcotest.fail "expected Input target"
+  | _ -> Alcotest.fail "expected Input target"
 
 let test_success_rate () =
   let c =
@@ -499,6 +535,7 @@ let suite =
         test_sample_size_monotone_in_margin;
       Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
       Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+      QCheck_alcotest.to_alcotest prop_fault_model_confined;
       QCheck_alcotest.to_alcotest prop_wilson_shrinks_with_trials;
       Alcotest.test_case "dead region fully resilient" `Quick
         test_campaign_dead_region_fully_resilient;

@@ -157,6 +157,7 @@ let test_proto_roundtrips () =
         sp_trials = None;
         sp_model = Fault_model.Single_bit;
         sp_recovery = Campaign.Rollback { max_restores = 2 };
+        sp_structure = Structure.Reg;
       };
     ]
   in
