@@ -1111,8 +1111,26 @@ let serve_cmd =
              ~doc:"Lease failures tolerated per batch before the campaign \
                    is poisoned.")
   in
+  let max_active =
+    Arg.(value & opt int Server.default_config.Server.max_active
+         & info [ "max-active" ] ~docv:"N"
+             ~doc:"Campaigns scheduled concurrently; further submissions \
+                   wait in the admission queue.")
+  in
+  let worker_bind =
+    Arg.(value & opt (some string) None & info [ "worker-bind" ]
+           ~docv:"HOST:PORT"
+           ~doc:"Additionally listen here for remote TCP workers \
+                 ($(b,ft worker --connect)); port 0 picks an ephemeral \
+                 port.")
+  in
+  let worker_port_file =
+    Arg.(value & opt (some string) None & info [ "worker-port-file" ]
+           ~docv:"PATH"
+           ~doc:"Write the bound worker port here (useful with port 0).")
+  in
   let run socket workers batch shards journal_dir cache_dir heartbeat
-      max_lease_attempts metrics =
+      max_lease_attempts max_active worker_bind worker_port_file metrics =
     let obs = Obs.create () in
     let cfg =
       {
@@ -1123,23 +1141,65 @@ let serve_cmd =
         journal_dir;
         heartbeat_s = heartbeat;
         max_lease_attempts;
+        max_active;
         metrics = (if metrics then Some obs else None);
       }
     in
-    Printf.eprintf "campaign server listening on %s (%d workers)\n%!" socket
-      workers;
-    Server.serve ~cfg ?cache_dir ~socket ();
+    Printf.eprintf "campaign server listening on %s (%d workers%s)\n%!" socket
+      workers
+      (match worker_bind with
+      | Some b -> ", remote workers on " ^ b
+      | None -> "");
+    Server.serve ~cfg ?cache_dir ?worker_bind ?worker_port_file ~socket ();
     if metrics then print_string (Obs.report obs)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the campaign server: a long-lived process that accepts \
-          campaign submissions over a Unix socket and schedules trial \
-          batches across forked workers under heartbeat-guarded leases, \
-          with sharded journals and deterministic worker-failure recovery.")
+         "Run the campaign server: a long-lived multi-tenant process that \
+          queues campaign submissions over a Unix socket and interleaves \
+          their trial batches across one shared pool of forked and remote \
+          TCP workers under heartbeat-guarded leases, with per-campaign \
+          sharded journals, fault isolation, and deterministic \
+          worker-failure recovery.")
     Term.(const run $ socket_arg $ workers $ batch $ shards $ journal_dir
-          $ cache_dir $ heartbeat $ max_lease_attempts $ metrics_arg)
+          $ cache_dir $ heartbeat $ max_lease_attempts $ max_active
+          $ worker_bind $ worker_port_file $ metrics_arg)
+
+let worker_cmd =
+  let connect =
+    Arg.(required & opt (some string) None & info [ "connect" ]
+           ~docv:"HOST:PORT"
+           ~doc:"Campaign server's worker port to attach to.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Content-addressed plan cache (campaigns rebuild warm).")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 600.0 & info [ "idle-timeout" ] ~docv:"S"
+           ~doc:"Exit after $(docv) seconds without a command from the \
+                 server (a worker must never outlive its server).")
+  in
+  let run addr cache_dir idle_timeout =
+    Printf.eprintf "worker %d attaching to %s\n%!" (Unix.getpid ()) addr;
+    match
+      Worker.run_remote ~recv_timeout_s:idle_timeout ?cache_dir ~addr ()
+    with
+    | Ok () -> Printf.eprintf "worker: server closed the session\n%!"
+    | Error e ->
+        Printf.eprintf "worker: %s\n" e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Attach to a campaign server over TCP as a remote worker and \
+          serve leases for any campaign it hosts; trial records stream \
+          back under the same checksummed, resend-capable framing forked \
+          workers use, so a vanished remote costs at most one in-flight \
+          trial.")
+    Term.(const run $ connect $ cache_dir $ idle_timeout)
 
 let submit_cmd =
   let trials =
@@ -1152,7 +1212,12 @@ let submit_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress stream.")
   in
-  let run name socket trials seed model recovery structure quiet =
+  let resume =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"ID"
+           ~doc:"Re-attach to a live campaign or resume an interrupted \
+                 one's journal under this campaign id.")
+  in
+  let run name socket trials seed model recovery structure quiet resume =
     let spec =
       {
         Campaign.sp_app = name;
@@ -1163,19 +1228,26 @@ let submit_cmd =
         sp_structure = structure;
       }
     in
-    let on_progress ~completed ~planned =
+    let on_progress ~completed ~planned ~stolen =
       if not quiet then begin
-        Printf.eprintf "\rsubmit: %d/%d trials   " completed planned;
+        Printf.eprintf "\rsubmit: %d/%d trials (%d leases stolen)   "
+          completed planned stolen;
         flush stderr
       end
     in
-    match Client.submit ~on_progress ~socket spec with
-    | Ok counts ->
+    let on_accepted id =
+      if not quiet then Printf.eprintf "submit: accepted as %s\n%!" id
+    in
+    match
+      Client.submit ~on_progress ~on_accepted ?resume_id:resume ~socket spec
+    with
+    | Ok (id, counts) ->
         if not quiet then prerr_newline ();
+        Printf.printf "campaign: %s\n" id;
         Fmt.pr "%a@." Campaign.pp_counts counts
     | Error e ->
         if not quiet then prerr_newline ();
-        Printf.eprintf "submit: %s\n" e;
+        Printf.eprintf "submit: %s\n" (Client.error_message e);
         exit 1
   in
   Cmd.v
@@ -1185,36 +1257,99 @@ let submit_cmd =
           stream its progress; counts are byte-identical to running the \
           same campaign locally with --jobs 1.")
     Term.(const run $ app_arg $ socket_arg $ trials $ seed $ fault_model_arg
-          $ recover_arg $ structure_arg $ quiet)
+          $ recover_arg $ structure_arg $ quiet $ resume)
 
 let status_cmd =
   let run socket =
     match Client.status ~socket () with
     | Ok s ->
-        Printf.printf "state: %s\ncompleted: %d/%d\ncampaigns finished: %d\n"
+        Printf.printf
+          "state: %s\ncompleted: %d/%d\ncampaigns finished: %d\nqueued: %d  \
+           active: %d  workers: %d\n"
           s.Proto.st_state s.Proto.st_completed s.Proto.st_planned
-          s.Proto.st_campaigns
+          s.Proto.st_campaigns s.Proto.st_queued s.Proto.st_active
+          s.Proto.st_workers;
+        List.iter
+          (fun t ->
+            Printf.printf "  %-18s %-10s %-9s %d/%d  leases=%d steals=%d\n"
+              t.Proto.tn_id t.Proto.tn_app t.Proto.tn_state t.Proto.tn_completed
+              t.Proto.tn_planned t.Proto.tn_leases t.Proto.tn_steals)
+          s.Proto.st_tenants
     | Error e ->
-        Printf.eprintf "status: %s\n" e;
+        Printf.eprintf "status: %s\n" (Client.error_message e);
         exit 1
   in
   Cmd.v
     (Cmd.info "status"
-       ~doc:"Probe a running campaign server (live even mid-campaign).")
+       ~doc:"Probe a running campaign server: global state plus one row \
+             per campaign (queued, active, done, or poisoned).")
     Term.(const run $ socket_arg)
+
+let id_arg =
+  Cmdliner.Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ID" ~doc:"Campaign id (as printed by submit/status).")
+
+let fetch_cmd =
+  let run socket id =
+    match Client.fetch ~socket ~id () with
+    | Ok (Client.Finished counts) -> Fmt.pr "%a@." Campaign.pp_counts counts
+    | Ok (Client.Running { completed; planned; stolen }) ->
+        Printf.printf "running: %d/%d trials (%d leases stolen)\n" completed
+          planned stolen
+    | Ok (Client.Queued { position }) ->
+        Printf.printf "queued: position %d\n" position
+    | Error e ->
+        Printf.eprintf "fetch: %s\n" (Client.error_message e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fetch"
+       ~doc:
+         "Retrieve a campaign's state by id: final counts for a finished \
+          campaign (persisted — works long after the submitting connection \
+          died), live progress for a running one, queue position for a \
+          waiting one.")
+    Term.(const run $ socket_arg $ id_arg)
+
+let watch_cmd =
+  let run socket id =
+    let on_progress ~completed ~planned ~stolen =
+      Printf.eprintf "\rwatch: %d/%d trials (%d leases stolen)   " completed
+        planned stolen;
+      flush stderr
+    in
+    match Client.watch ~on_progress ~socket ~id () with
+    | Ok counts ->
+        prerr_newline ();
+        Fmt.pr "%a@." Campaign.pp_counts counts
+    | Error e ->
+        prerr_newline ();
+        Printf.eprintf "watch: %s\n" (Client.error_message e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Attach to a campaign by id and stream its progress until the \
+          verdict; a dropped connection re-attaches instead of losing the \
+          campaign.")
+    Term.(const run $ socket_arg $ id_arg)
 
 let shutdown_cmd =
   let run socket =
     match Client.shutdown ~socket () with
     | Ok () -> print_endline "server shut down"
     | Error e ->
-        Printf.eprintf "shutdown: %s\n" e;
+        Printf.eprintf "shutdown: %s\n" (Client.error_message e);
         exit 1
   in
   Cmd.v
     (Cmd.info "shutdown"
-       ~doc:"Ask a running campaign server to exit (finishes any campaign \
-             in flight first).")
+       ~doc:"Ask a running campaign server to exit; in-flight campaigns' \
+             journals are synced so resubmitting with --resume continues \
+             them.")
     Term.(const run $ socket_arg)
 
 let () =
@@ -1227,6 +1362,6 @@ let () =
             list_cmd; trace_cmd; inject_cmd; campaign_cmd; patterns_cmd;
             rates_cmd; acl_cmd; lint_cmd; static_rank_cmd; harden_cmd;
             optimize_cmd; mpi_campaign_cmd; recovery_eval_cmd;
-            arch_campaign_cmd; serve_cmd; submit_cmd; status_cmd;
-            shutdown_cmd;
+            arch_campaign_cmd; serve_cmd; worker_cmd; submit_cmd; status_cmd;
+            fetch_cmd; watch_cmd; shutdown_cmd;
           ]))

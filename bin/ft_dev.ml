@@ -375,6 +375,226 @@ let chaos_campaign (name : string) ~(workers : int) ~(kills : int list)
         exit 1
       end
 
+(* Multi-tenant mode of the same gate ([--tenants K], [--tcp N]):
+   K campaigns over one fair-share scheduler and a mixed pool of
+   forked and remote-TCP workers, with chaos kills landing on whoever
+   delivered last.  Tenants 0 and 1 submit byte-identical specs (same
+   tag — the journal-directory-collision regression: their ids and
+   journal directories must still be distinct); the rest shrink the
+   trial design.  Every tenant's counts must be byte-identical to its
+   own in-process [--jobs 1] run. *)
+let chaos_multi (name : string) ~(workers : int) ~(tcp : int)
+    ~(tenants : int) ~(kills : int list) ~(trials : int) =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let tmp = Filename.get_temp_dir_name () in
+  let pid = Unix.getpid () in
+  let cache_dir = Filename.concat tmp (Printf.sprintf "ft-chaos-cache-%d" pid) in
+  let journal_root =
+    Filename.concat tmp (Printf.sprintf "ft-chaos-journals-%d" pid)
+  in
+  let spec_of i =
+    let t =
+      if i <= 1 then trials else max 16 (trials - (trials / 4 * (i - 1)))
+    in
+    {
+      Campaign.default_spec with
+      Campaign.sp_app = name;
+      sp_trials = Some t;
+    }
+  in
+  (* one tenant record: typed outcome array + the erased accept hook *)
+  let tenant i =
+    let spec = spec_of i in
+    match Plan.spec_of_submission ~cache_dir spec with
+    | Error e ->
+        Printf.eprintf "chaos-campaign: tenant %d: %s\n" i e;
+        exit 2
+    | Ok ex_spec ->
+        let id =
+          Printf.sprintf "c%04d-%s" i
+            (String.sub (Cache.key ex_spec.Executor.tag) 0 10)
+        in
+        let outcomes = Array.make ex_spec.Executor.total None in
+        let accept j r =
+          match Executor.parse_trial ex_spec.Executor.decode r with
+          | Some (k, o) when k = j ->
+              outcomes.(j) <- Some o;
+              true
+          | Some _ | None -> false
+        in
+        let should_stop =
+          Option.map
+            (fun p boundary ->
+              let pre =
+                Array.init boundary (fun j ->
+                    match outcomes.(j) with Some o -> o | None -> assert false)
+              in
+              p pre boundary)
+            ex_spec.Executor.should_stop
+        in
+        let reference =
+          Executor.run
+            ~cfg:{ Executor.default_config with Executor.jobs = 1 }
+            ex_spec
+        in
+        let job =
+          {
+            Sched.jb_id = id;
+            jb_app = name;
+            jb_total = ex_spec.Executor.total;
+            jb_header = Executor.header_record ex_spec;
+            jb_journal = Some (Filename.concat journal_root id);
+            jb_resume = false;
+            jb_spec = Some spec;
+            jb_accept = accept;
+            jb_should_stop = should_stop;
+          }
+        in
+        (id, job, outcomes, reference)
+  in
+  let rows = List.init tenants tenant in
+  let total_trials =
+    List.fold_left (fun a (_, j, _, _) -> a + j.Sched.jb_total) 0 rows
+  in
+  let kills =
+    if kills <> [] then kills else [ total_trials / 4; total_trials / 2 ]
+  in
+  let obs = Obs.create () in
+  let finished : (string, Sched.event) Hashtbl.t = Hashtbl.create 8 in
+  let on_event id = function
+    | Sched.Progress _ -> ()
+    | e -> Hashtbl.replace finished id e
+  in
+  (* mixed pool: a TCP listener the remote workers dial into, plus the
+     forked workers the engine keeps at strength *)
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 8;
+  let port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let addr = Printf.sprintf "127.0.0.1:%d" port in
+  let spawn ~close_fds =
+    Worker.spawn
+      ~close_fds:(lfd :: close_fds)
+      ~load:(Worker.plan_loader ~cache_dir)
+      ~retry:Executor.default_config ()
+  in
+  let cfg =
+    {
+      Sched.default_config with
+      Sched.workers;
+      chaos_kills = kills;
+      heartbeat_s = 10.0;
+      max_active = max 2 (tenants - 1);
+      metrics = Some obs;
+    }
+  in
+  let eng = Sched.create ~cfg ~spawn ~on_event () in
+  let remote_pids =
+    List.init tcp (fun _ -> Worker.spawn_remote ~cache_dir ~addr ())
+  in
+  List.iter
+    (fun _ ->
+      let fd, _ = Unix.accept lfd in
+      Sched.attach_remote eng (Wire.of_fd fd))
+    remote_pids;
+  List.iter
+    (fun (_, job, _, _) ->
+      match Sched.submit eng job with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "chaos-campaign: submit: %s\n" e;
+          exit 2)
+    rows;
+  (try Sched.drain eng
+   with e ->
+     Sched.abort eng;
+     raise e);
+  Sched.shutdown_workers eng;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (* remote children exit when their connection closes; reap bounded *)
+  List.iter
+    (fun rpid ->
+      let reaped = ref false in
+      let n = ref 0 in
+      while (not !reaped) && !n < 100 do
+        incr n;
+        match Unix.waitpid [ Unix.WNOHANG ] rpid with
+        | 0, _ -> Unix.sleepf 0.02
+        | _ -> reaped := true
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> reaped := true
+      done;
+      if not !reaped then begin
+        (try Unix.kill rpid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] rpid) with Unix.Unix_error _ -> ()
+      end)
+    remote_pids;
+  Printf.printf
+    "chaos-multi: %d tenants (%d trials total), %d forked + %d TCP workers, \
+     kills at %s\n"
+    tenants total_trials workers tcp
+    (String.concat "," (List.map string_of_int kills));
+  List.iter
+    (fun (s : Sched.tenant_stats) ->
+      Printf.printf "  %-16s %-8s %4d/%-4d leases %-3d stolen %d\n" s.Sched.ts_id
+        s.Sched.ts_state s.Sched.ts_completed s.Sched.ts_planned
+        s.Sched.ts_leases s.Sched.ts_steals)
+    (Sched.stats eng);
+  List.iter (fun (k, v) -> Printf.printf "  %-28s %d\n" k v) (Obs.counters obs);
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> incr failures; print_endline m) fmt in
+  let killed =
+    Option.value ~default:0 (Obs.counter_value obs "server/chaos-kills")
+  in
+  if killed = 0 then fail "chaos-multi: FAILED (no worker was killed)";
+  let enc c = Csexp.to_string (Campaign.counts_to_csexp c) in
+  List.iter
+    (fun (id, _, outcomes, (reference : _ Executor.report)) ->
+      match Hashtbl.find_opt finished id with
+      | Some (Sched.Finished { completed; _ }) ->
+          if completed <> reference.Executor.completed then
+            fail "chaos-multi: %s FAILED (completed %d vs %d)" id completed
+              reference.Executor.completed
+          else begin
+            let final =
+              Array.init completed (fun j ->
+                  match outcomes.(j) with Some o -> o | None -> assert false)
+            in
+            let counts = Campaign.counts_of_outcomes final in
+            let ref_counts =
+              Campaign.counts_of_outcomes reference.Executor.outcomes
+            in
+            if not (String.equal (enc counts) (enc ref_counts)) then
+              fail "chaos-multi: %s FAILED (counts diverge)\n  server    %s\n  reference %s"
+                id (enc counts) (enc ref_counts)
+          end;
+          if not (Sys.file_exists (Filename.concat journal_root id)) then
+            fail "chaos-multi: %s FAILED (journal directory missing)" id
+      | Some (Sched.Poisoned { batch; attempts; cause }) ->
+          fail "chaos-multi: %s FAILED (%s)" id
+            (Infra.poison_message ~batch ~attempts cause)
+      | Some (Sched.Failed { reason }) ->
+          fail "chaos-multi: %s FAILED (admission: %s)" id reason
+      | Some (Sched.Progress _) | None ->
+          fail "chaos-multi: %s FAILED (no terminal event)" id)
+    rows;
+  (* the collision regression: identical specs, distinct directories *)
+  (match rows with
+  | (id0, _, _, _) :: (id1, _, _, _) :: _ when tenants >= 2 ->
+      if String.equal id0 id1 then
+        fail "chaos-multi: FAILED (duplicate specs share a campaign id)"
+  | _ -> ());
+  if !failures = 0 then
+    print_endline "chaos-multi: OK (every tenant byte-identical to --jobs 1)"
+  else begin
+    Printf.printf "chaos-multi: %d check(s) FAILED\n" !failures;
+    exit 1
+  end
+
 (* [ft_dev seq-parity [APP...]] — the traced/untraced seq-contract
    gate.  Fault sites are harvested from traced runs and injected into
    untraced campaign runs, keyed by dynamic sequence number; if tracing
@@ -501,18 +721,25 @@ let () =
       exit 2
   | _ :: "chaos-campaign" :: rest ->
       let name = ref "IS" and workers = ref 2 and trials = ref 96 in
+      let tenants = ref 1 and tcp = ref 0 in
       let kills = ref [] in
       let rec parse = function
         | [] -> ()
         | "--workers" :: n :: r -> workers := int_of_string n; parse r
         | "--trials" :: n :: r -> trials := int_of_string n; parse r
+        | "--tenants" :: n :: r -> tenants := int_of_string n; parse r
+        | "--tcp" :: n :: r -> tcp := int_of_string n; parse r
         | "--kills" :: ks :: r ->
             kills := List.map int_of_string (String.split_on_char ',' ks);
             parse r
         | n :: r -> name := n; parse r
       in
       parse rest;
-      chaos_campaign !name ~workers:!workers ~kills:!kills ~trials:!trials
+      if !tenants > 1 || !tcp > 0 then
+        chaos_multi !name ~workers:!workers ~tcp:!tcp ~tenants:(max 1 !tenants)
+          ~kills:!kills ~trials:!trials
+      else
+        chaos_campaign !name ~workers:!workers ~kills:!kills ~trials:!trials
   | _ :: "seq-parity" :: rest ->
       seq_parity (match rest with [] -> [ "kmeans"; "kmeans@opt" ] | l -> l)
   | _ :: "sites" :: _ -> sites ()

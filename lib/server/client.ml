@@ -1,74 +1,226 @@
 (** Client side of the campaign service: connect to the server's
     Unix-domain socket, speak one request per connection, and (for
-    submissions) consume the progress stream until the final verdict.
-    Every call is synchronous and deadline-bounded; a dead or absent
-    server surfaces as [Error], never a hang. *)
+    submissions and watches) consume the progress stream until the
+    final verdict.
 
-let connect (socket : string) : (Wire.conn, string) result =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | () -> Ok (Wire.of_fd fd)
-  | exception Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error
-        (Printf.sprintf "cannot reach campaign server at %s: %s" socket
-          (Unix.error_message e))
+    Transport failures are first-class: connecting to a server that
+    is not up yet (ECONNREFUSED, a missing socket) or that hangs up
+    before reading the request retries under the executor's own
+    jittered-backoff policy ({!Executor.backoff_s}), bounded by its
+    [max_retries]; exhausting the attempts surfaces a structured
+    {!error}, never a hang.  A submission whose connection drops
+    {e after} the server accepted it does not lose the campaign: the
+    client re-attaches by id ([Watch]) and keeps streaming. *)
 
-let request (socket : string) (msg : Proto.client_msg)
-    (k : Wire.conn -> ('a, string) result) : ('a, string) result =
-  match connect socket with
-  | Error e -> Error e
-  | Ok conn ->
-      Fun.protect
-        ~finally:(fun () -> Wire.close conn)
-        (fun () ->
-          match
-            Wire.send conn (Proto.client_to_csexp msg);
-            k conn
-          with
-          | r -> r
-          | exception Wire.Closed -> Error "server hung up"
-          | exception Wire.Timeout { after_s; _ } ->
-              Error (Printf.sprintf "server did not answer within %.1fs" after_s)
-          | exception Wire.Corrupt m -> Error ("wire corruption: " ^ m))
+type error =
+  | Unreachable of { socket : string; attempts : int; last : string }
+      (** connect/send kept failing; [last] is the final errno text *)
+  | Refused of { reason : string }  (** the server said no *)
+  | Poisoned of { id : string; reason : string }
+      (** the campaign died of infrastructure, not of faults *)
+  | Protocol of { message : string }
+      (** unexpected frame, timeout or corruption mid-conversation *)
 
-let status ?(timeout_s = 5.0) ~(socket : string) () :
-    (Proto.status_info, string) result =
-  request socket Proto.Status (fun conn ->
+let error_message = function
+  | Unreachable { socket; attempts; last } ->
+      Printf.sprintf "cannot reach campaign server at %s after %d attempts: %s"
+        socket attempts last
+  | Refused { reason } -> reason
+  | Poisoned { id; reason } ->
+      Printf.sprintf "campaign %s poisoned: %s" id reason
+  | Protocol { message } -> message
+
+(** What [Fetch] finds under a campaign id. *)
+type fetched =
+  | Finished of Campaign.counts
+  | Running of { completed : int; planned : int; stolen : int }
+  | Queued of { position : int }
+
+let retryable_errno = function
+  | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EPIPE -> true
+  | _ -> false
+
+let connect ?(retry = Executor.default_config) (socket : string) :
+    (Wire.conn, error) result =
+  let attempts = max 1 retry.Executor.max_retries + 1 in
+  let rec go k last =
+    if k >= attempts then Error (Unreachable { socket; attempts; last })
+    else begin
+      if k > 0 then Unix.sleepf (Executor.backoff_s retry 0 (k - 1));
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> Ok (Wire.of_fd fd)
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if retryable_errno e then go (k + 1) (Unix.error_message e)
+          else
+            Error
+              (Unreachable
+                 { socket; attempts = k + 1; last = Unix.error_message e })
+    end
+  in
+  go 0 "never tried"
+
+(** One request.  Connect failures and a peer that hangs up {e before
+    the request frame is on the wire} are retried (the server cannot
+    have acted on anything); once [k] is running the conversation has
+    begun and its failures are final. *)
+let request ?(retry = Executor.default_config) (socket : string)
+    (msg : Proto.client_msg) (k : Wire.conn -> ('a, error) result) :
+    ('a, error) result =
+  let attempts = max 1 retry.Executor.max_retries + 1 in
+  let rec go n =
+    match connect ~retry socket with
+    | Error e -> Error e
+    | Ok conn -> (
+        match Wire.send conn (Proto.client_to_csexp msg) with
+        | () ->
+            Fun.protect
+              ~finally:(fun () -> Wire.close conn)
+              (fun () ->
+                match k conn with
+                | r -> r
+                | exception Wire.Closed ->
+                    Error (Protocol { message = "server hung up" })
+                | exception Wire.Timeout { after_s; _ } ->
+                    Error
+                      (Protocol
+                         {
+                           message =
+                             Printf.sprintf
+                               "server did not answer within %.1fs" after_s;
+                         })
+                | exception Wire.Corrupt m ->
+                    Error (Protocol { message = "wire corruption: " ^ m }))
+        | exception (Wire.Closed | Unix.Unix_error (Unix.EPIPE, _, _)) ->
+            Wire.close conn;
+            if n + 1 >= attempts then
+              Error
+                (Unreachable
+                   {
+                     socket;
+                     attempts = n + 1;
+                     last = "server hung up before reading the request";
+                   })
+            else begin
+              Unix.sleepf (Executor.backoff_s retry 0 n);
+              go (n + 1)
+            end)
+  in
+  go 0
+
+let status ?retry ?(timeout_s = 5.0) ~(socket : string) () :
+    (Proto.status_info, error) result =
+  request ?retry socket Proto.Status (fun conn ->
       match Proto.server_of_csexp (Wire.recv conn ~timeout_s) with
       | Ok (Proto.Status_reply s) -> Ok s
-      | Ok _ -> Error "unexpected reply to a status probe"
-      | Error e -> Error e)
+      | Ok _ -> Error (Protocol { message = "unexpected reply to a status probe" })
+      | Error e -> Error (Protocol { message = e }))
 
-let shutdown ?(timeout_s = 5.0) ~(socket : string) () : (unit, string) result =
-  request socket Proto.Shutdown (fun conn ->
+let shutdown ?(timeout_s = 5.0) ~(socket : string) () : (unit, error) result =
+  (* no retry: shutting down an absent server should fail fast *)
+  request ~retry:{ Executor.default_config with Executor.max_retries = 0 }
+    socket Proto.Shutdown (fun conn ->
       match Proto.server_of_csexp (Wire.recv conn ~timeout_s) with
       | Ok Proto.Bye -> Ok ()
-      | Ok _ -> Error "unexpected reply to a shutdown request"
-      | Error e -> Error e)
+      | Ok _ ->
+          Error (Protocol { message = "unexpected reply to a shutdown request" })
+      | Error e -> Error (Protocol { message = e }))
 
-(** Submit a campaign and block until its verdict.  [timeout_s] bounds
-    the {e silence}, not the campaign: every progress frame resets it.
-    [on_progress] sees each streamed progress report. *)
-let submit ?(timeout_s = 300.0)
-    ?(on_progress : (completed:int -> planned:int -> unit) option)
+let fetch ?retry ?(timeout_s = 5.0) ~(socket : string) ~(id : string) () :
+    (fetched, error) result =
+  request ?retry socket (Proto.Fetch { id }) (fun conn ->
+      match Proto.server_of_csexp (Wire.recv conn ~timeout_s) with
+      | Ok (Proto.Result { counts; _ }) -> Ok (Finished counts)
+      | Ok (Proto.Progress { completed; planned; stolen; _ }) ->
+          Ok (Running { completed; planned; stolen })
+      | Ok (Proto.Queued_reply { position; _ }) -> Ok (Queued { position })
+      | Ok (Proto.Poisoned { id; reason }) -> Error (Poisoned { id; reason })
+      | Ok (Proto.Rejected { reason }) -> Error (Refused { reason })
+      | Ok _ -> Error (Protocol { message = "unexpected reply to a fetch" })
+      | Error e -> Error (Protocol { message = e }))
+
+(* consume a progress stream until the verdict; [`Dropped] means the
+   transport died mid-stream — the caller decides whether to re-attach *)
+let stream conn ~timeout_s
+    ~(on_progress :
+       (completed:int -> planned:int -> stolen:int -> unit) option) :
+    [ `Final of (Campaign.counts, error) result | `Dropped ] =
+  let rec await () =
+    match Proto.server_of_csexp (Wire.recv conn ~timeout_s) with
+    | Ok (Proto.Accepted _) -> await ()
+    | Ok (Proto.Progress { completed; planned; stolen; _ }) ->
+        (match on_progress with
+        | Some f -> f ~completed ~planned ~stolen
+        | None -> ());
+        await ()
+    | Ok (Proto.Result { counts; _ }) -> `Final (Ok counts)
+    | Ok (Proto.Poisoned { id; reason }) ->
+        `Final (Error (Poisoned { id; reason }))
+    | Ok (Proto.Rejected { reason }) -> `Final (Error (Refused { reason }))
+    | Ok (Proto.Queued_reply _ | Proto.Status_reply _ | Proto.Bye) ->
+        `Final
+          (Error (Protocol { message = "unexpected frame in a progress stream" }))
+    | Error e -> `Final (Error (Protocol { message = e }))
+    | exception (Wire.Closed | Wire.Timeout _ | Wire.Corrupt _) -> `Dropped
+  in
+  await ()
+
+(** Attach to a campaign by id and stream until its verdict.  A
+    connection that drops mid-stream re-attaches (the server keeps the
+    campaign and its result either way); the re-attach budget refills
+    on every received frame, so only a {e persistently} dead server
+    exhausts it. *)
+let watch ?(retry = Executor.default_config) ?(timeout_s = 300.0)
+    ?(on_progress : (completed:int -> planned:int -> stolen:int -> unit) option)
+    ~(socket : string) ~(id : string) () : (Campaign.counts, error) result =
+  let budget = max 1 retry.Executor.max_retries in
+  let rec attach remaining =
+    match
+      request ~retry socket (Proto.Watch { id }) (fun conn ->
+          Ok (stream conn ~timeout_s ~on_progress))
+    with
+    | Error e -> Error e
+    | Ok (`Final r) -> r
+    | Ok `Dropped ->
+        if remaining <= 0 then
+          Error
+            (Protocol
+               { message = "connection to the campaign server kept dropping" })
+        else attach (remaining - 1)
+  in
+  attach budget
+
+(** Submit a campaign and block until its verdict; returns the
+    campaign id with the counts.  [timeout_s] bounds the {e silence},
+    not the campaign: every progress frame resets it.  [resume_id]
+    re-attaches to a live campaign or resumes an interrupted one's
+    journal.  Once the server has said [Accepted] ([on_accepted] sees
+    the id), a dropped connection re-attaches by id instead of
+    resubmitting — the campaign is never lost or duplicated. *)
+let submit ?(retry = Executor.default_config) ?(timeout_s = 300.0)
+    ?(on_progress : (completed:int -> planned:int -> stolen:int -> unit) option)
+    ?(on_accepted : (string -> unit) option) ?(resume_id : string option)
     ~(socket : string) (spec : Campaign.spec) :
-    (Campaign.counts, string) result =
-  request socket (Proto.Submit spec) (fun conn ->
-      let rec await () =
+    (string * Campaign.counts, error) result =
+  let outcome =
+    request ~retry socket (Proto.Submit { spec; resume_id }) (fun conn ->
         match Proto.server_of_csexp (Wire.recv conn ~timeout_s) with
-        | Ok (Proto.Accepted _) -> await ()
-        | Ok (Proto.Progress { completed; planned; _ }) ->
-            (match on_progress with
-            | Some f -> f ~completed ~planned
-            | None -> ());
-            await ()
-        | Ok (Proto.Result { counts; _ }) -> Ok counts
-        | Ok (Proto.Poisoned { reason; _ }) ->
-            Error ("campaign poisoned: " ^ reason)
-        | Ok (Proto.Rejected { reason }) -> Error reason
-        | Ok (Proto.Status_reply _ | Proto.Bye) ->
-            Error "unexpected reply to a submission"
-        | Error e -> Error e
-      in
-      await ())
+        | Ok (Proto.Accepted { id }) -> (
+            (match on_accepted with Some f -> f id | None -> ());
+            match stream conn ~timeout_s ~on_progress with
+            | `Final r -> Ok (`Done (id, r))
+            | `Dropped -> Ok (`Reattach id))
+        | Ok (Proto.Rejected { reason }) -> Error (Refused { reason })
+        | Ok _ ->
+            Error (Protocol { message = "unexpected reply to a submission" })
+        | Error e -> Error (Protocol { message = e }))
+  in
+  match outcome with
+  | Error e -> Error e
+  | Ok (`Done (id, Ok counts)) -> Ok (id, counts)
+  | Ok (`Done (_, Error e)) -> Error e
+  | Ok (`Reattach id) -> (
+      match watch ~retry ~timeout_s ?on_progress ~socket ~id () with
+      | Ok counts -> Ok (id, counts)
+      | Error e -> Error e)

@@ -1,18 +1,69 @@
 (** Client side of the campaign service: one deadline-bounded request
-    per connection; a dead server is an [Error], never a hang. *)
+    per connection; a dead server is a structured {!error}, never a
+    hang.  Connect failures (server not up yet, socket missing, peer
+    hung up before reading the request) retry under the executor's
+    jittered-backoff policy, bounded by its [max_retries].  A
+    submission accepted by the server survives a dropped connection:
+    the client re-attaches by campaign id and keeps streaming. *)
 
-val connect : string -> (Wire.conn, string) result
+type error =
+  | Unreachable of { socket : string; attempts : int; last : string }
+  | Refused of { reason : string }
+  | Poisoned of { id : string; reason : string }
+  | Protocol of { message : string }
+
+val error_message : error -> string
+
+type fetched =
+  | Finished of Campaign.counts
+  | Running of { completed : int; planned : int; stolen : int }
+  | Queued of { position : int }
+
+val connect : ?retry:Executor.config -> string -> (Wire.conn, error) result
 
 val status :
-  ?timeout_s:float -> socket:string -> unit -> (Proto.status_info, string) result
+  ?retry:Executor.config ->
+  ?timeout_s:float ->
+  socket:string ->
+  unit ->
+  (Proto.status_info, error) result
 
-val shutdown : ?timeout_s:float -> socket:string -> unit -> (unit, string) result
+val shutdown : ?timeout_s:float -> socket:string -> unit -> (unit, error) result
+(** No retry: shutting down an absent server fails fast. *)
+
+val fetch :
+  ?retry:Executor.config ->
+  ?timeout_s:float ->
+  socket:string ->
+  id:string ->
+  unit ->
+  (fetched, error) result
+(** One shot: a finished campaign's counts, a live one's progress, or
+    a queued one's position — by id, long after the submitting
+    connection died. *)
+
+val watch :
+  ?retry:Executor.config ->
+  ?timeout_s:float ->
+  ?on_progress:(completed:int -> planned:int -> stolen:int -> unit) ->
+  socket:string ->
+  id:string ->
+  unit ->
+  (Campaign.counts, error) result
+(** Attach to a campaign by id and stream progress until its verdict;
+    drops mid-stream re-attach (budget refilled by every received
+    frame). *)
 
 val submit :
+  ?retry:Executor.config ->
   ?timeout_s:float ->
-  ?on_progress:(completed:int -> planned:int -> unit) ->
+  ?on_progress:(completed:int -> planned:int -> stolen:int -> unit) ->
+  ?on_accepted:(string -> unit) ->
+  ?resume_id:string ->
   socket:string ->
   Campaign.spec ->
-  (Campaign.counts, string) result
-(** Submit and block until the verdict.  [timeout_s] bounds the
-    {e silence} between frames, not the whole campaign. *)
+  (string * Campaign.counts, error) result
+(** Submit and block until the verdict; returns the campaign id with
+    the counts.  [timeout_s] bounds the {e silence} between frames,
+    not the whole campaign.  After [Accepted] a dropped connection
+    re-attaches by id instead of resubmitting. *)

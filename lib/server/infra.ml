@@ -20,12 +20,15 @@ type cause =
       (** a worker stopped heartbeating before its wall-clock deadline *)
   | Wire_fault of { message : string }
       (** the transport gave up: corruption past the resend window *)
+  | Load_failed of { cid : string; reason : string }
+      (** no worker can rebuild this campaign from its wire spec *)
 
 let kind = function
   | Trial_raised _ -> "trial"
   | Worker_lost _ -> "worker-lost"
   | Lease_expired _ -> "lease-expired"
   | Wire_fault _ -> "wire"
+  | Load_failed _ -> "load-failed"
 
 let to_message (c : cause) : string =
   match c with
@@ -42,6 +45,8 @@ let to_message (c : cause) : string =
          deadline"
         batch pid heartbeat_s
   | Wire_fault { message } -> Printf.sprintf "infra/wire: %s" message
+  | Load_failed { cid; reason } ->
+      Printf.sprintf "infra/load-failed: campaign %s: %s" cid reason
 
 (** The [<kind>] token of a journaled infra message.  Messages written
     before the taxonomy existed (bare ["trial %d: ..."] strings from

@@ -9,9 +9,10 @@ type cause =
   | Worker_lost of { pid : int; batch : int option }
   | Lease_expired of { batch : int; pid : int; heartbeat_s : float }
   | Wire_fault of { message : string }
+  | Load_failed of { cid : string; reason : string }
 
 val kind : cause -> string
-(** [trial], [worker-lost], [lease-expired], or [wire]. *)
+(** [trial], [worker-lost], [lease-expired], [wire], or [load-failed]. *)
 
 val to_message : cause -> string
 (** The journal/report rendering: [infra/<kind>: <details>]. *)

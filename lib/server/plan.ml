@@ -1,0 +1,109 @@
+(** Campaign plans: everything a campaign needs that is expensive to
+    compute and a pure function of the app spelling — the baked
+    program, the golden (fault-free) run's instruction count and
+    output, and the whole-program fault-site population.
+
+    Plans used to live inside {!Server}; they moved here so that
+    {e workers} can rebuild them too.  A multi-tenant pool cannot rely
+    on the fork-time copy-on-write image any more (a worker outlives
+    any single campaign and serves campaigns submitted after it was
+    forked — or, for a TCP worker, runs in a different process on a
+    different machine entirely), so every worker reconstructs the trial
+    kernel from the ~hundred-byte {!Campaign.spec} on the wire, warmed
+    by the same content-addressed {!Cache} the server uses.  Because a
+    plan is a pure function of the app spelling, and the trial kernel a
+    pure function of (plan, config, index), a trial computes the same
+    outcome no matter which process — server, forked worker, remote
+    worker — evaluates it; that is the byte-identity contract. *)
+
+type plan = {
+  pl_app : string;
+  pl_prog : Prog.t;
+  pl_target : Campaign.target;
+  pl_clean_instructions : int;
+  pl_golden_output : string;
+}
+
+(* v2: the marshaled [Campaign.target] and [Instr.intr] types grew
+   constructors for the microarchitectural surfaces; a v1 cache entry
+   must not be deserialized under the new layout. *)
+let plan_key (app : string) : string = Cache.key ("plan:v2:" ^ app)
+
+let plan_of_app ?(cache_dir : string option) (appname : string) :
+    (plan, string) result =
+  let cached =
+    Option.bind cache_dir (fun dir ->
+        (Cache.load ~dir ~key:(plan_key appname) : plan option))
+  in
+  match cached with
+  | Some p -> Ok p
+  | None -> (
+      match Fliptracker.resolve_app appname with
+      | Error e -> Error e
+      | Ok app -> (
+          match
+            let clean, trace = App.trace app in
+            let prog = App.program app in
+            let target = Campaign.whole_program_target prog trace in
+            {
+              pl_app = appname;
+              pl_prog = prog;
+              pl_target = target;
+              pl_clean_instructions = clean.Machine.instructions;
+              pl_golden_output = clean.Machine.output;
+            }
+          with
+          | exception e ->
+              Error
+                (Printf.sprintf "baking %s failed: %s" appname
+                   (Printexc.to_string e))
+          | plan ->
+              Option.iter
+                (fun dir ->
+                  ignore (Cache.store ~dir ~key:(plan_key appname) plan))
+                cache_dir;
+              Ok plan))
+
+(** The injection target a plan exposes for a declared structure: the
+    cached whole-program (register-file) target for [Reg], or a
+    structural target rebuilt from the plan's program — cheap relative
+    to baking, and never trace-dependent. *)
+let target_of_plan (plan : plan) (s : Structure.t) : Campaign.target =
+  match s with
+  | Structure.Reg -> plan.pl_target
+  | Structure.Cache_tag ->
+      Campaign.cache_target ~meta:true plan.pl_prog
+        ~clean_instructions:plan.pl_clean_instructions
+  | Structure.Cache_data ->
+      Campaign.cache_target ~meta:false plan.pl_prog
+        ~clean_instructions:plan.pl_clean_instructions
+  | Structure.Istore -> Campaign.istore_target plan.pl_prog
+
+(** The executor spec of a campaign over a plan — built {e exactly} the
+    way {!Campaign.run_report} builds its own (same tag, same trial
+    kernel, same outcome codec), which is the byte-identity contract
+    with [--jobs 1]. *)
+let campaign_spec (plan : plan) (ccfg : Campaign.config) :
+    Campaign.outcome_class Executor.spec =
+  let target = target_of_plan plan ccfg.Campaign.structure in
+  let population = Campaign.target_population target in
+  let trials =
+    if population = 0 then 0 else Campaign.trials_for ccfg target
+  in
+  let verify r = App.verified r.Machine.output in
+  {
+    Executor.tag = Campaign.campaign_tag ccfg ~population ~trials;
+    total = trials;
+    run_trial =
+      Campaign.trial_fun plan.pl_prog ~verify
+        ~clean_instructions:plan.pl_clean_instructions ~cfg:ccfg target;
+    encode = Campaign.encode_outcome;
+    decode = Campaign.decode_outcome;
+    should_stop = None;
+  }
+
+let spec_of_submission ?cache_dir (spec : Campaign.spec) :
+    (Campaign.outcome_class Executor.spec, string) result =
+  match plan_of_app ?cache_dir spec.Campaign.sp_app with
+  | Error e -> Error e
+  | Ok plan -> Ok (campaign_spec plan (Campaign.config_of_spec spec))

@@ -1,47 +1,48 @@
-(** The campaign server: a crash-tolerant multi-process scheduler for
-    deterministic trial campaigns.
+(** The campaign server: a crash-tolerant, {e multi-tenant} scheduler
+    for deterministic trial campaigns.
 
-    The server runs an {!Executor.spec} — the same abstraction the
-    in-process executor runs — but fans the fixed contiguous batches
-    out to forked worker processes under {e leases}: a batch is leased
-    to one worker with a refreshable wall-clock deadline
-    ({!Watchdog.deadline}); every worker message (heartbeat, trial
-    record, batch-done) refreshes it.  A worker that dies or stops
-    heartbeating is SIGKILLed, its lease is {e stolen} — returned to
-    the queue after a jittered exponential backoff
-    ({!Executor.backoff_s}, the same policy trials use) — and a
-    replacement worker is forked from the warm server image.  A batch
-    whose lease keeps failing poisons the campaign
-    ({!Infra.Campaign_poisoned}): the server refuses rather than
-    fabricate counts.
+    The scheduling core lives in {!Sched}: an admission queue feeding
+    a fair-share lease engine over one shared worker pool — forked
+    children and remote TCP attachments together.  This module keeps
+    the two front doors:
 
-    Durability is a {!Shard}ed append-only journal: each batch's trial
-    records go to shard [batch mod shards], fsync'd at batch-done, each
-    shard healing its own torn tail on resume and compacting in place
-    once enough records accumulate.  Records are byte-compatible with
-    the in-process executor's journal, so either engine can resume the
-    other's campaign.
+    {ul
+    {- {!run} executes one {!Executor.spec} to completion on a private
+       engine — the drop-in, same-semantics replacement for the
+       original single-campaign server.  Workers are forked with the
+       spec's trial closure preloaded (a closure cannot travel on a
+       wire).}
+    {- {!serve} is the long-running socket service: wire-submitted
+       campaigns are planned ({!Plan}), queued, and interleaved across
+       the pool; each runs under a deterministic campaign id, journals
+       under its own id-derived directory, and its finished verdict is
+       persisted so a client can [fetch] it long after the submitting
+       connection died.}}
 
-    Determinism: trials depend only on their index, outcomes are
-    accumulated in index order, and duplicate deliveries (a stolen
-    batch recomputed by the thief) are suppressed first-write-wins — so
-    the outcome sequence, and therefore the counts, are byte-identical
-    to a [--jobs 1] run no matter how many workers die mid-flight.
-    The [chaos_kills] knob turns that claim into a test: it SIGKILLs
-    the most recently delivering worker each time the total delivered
-    count crosses a threshold. *)
+    Determinism is per-tenant and unchanged from the single-campaign
+    server: trials depend only on their index, records are accumulated
+    first-write-wins in index order, so every campaign's counts are
+    byte-identical to its own [--jobs 1] run no matter how many
+    tenants interleave or how many workers die.  [chaos_kills] turns
+    that claim into a test. *)
 
 type config = {
   workers : int;  (** forked worker processes *)
   batch : int;  (** trials per lease; fixed boundaries like the executor *)
   shards : int;  (** journal shards (batch [b] logs to [b mod shards]) *)
-  journal_dir : string option;  (** sharded journal directory *)
+  journal_dir : string option;
+      (** {!run}: the campaign's shard directory.  {!serve}: the root —
+          each campaign journals under [<root>/<campaign-id>] and
+          finished verdicts persist under [<root>/results]. *)
   resume : bool;  (** heal + load the journal, skip completed trials *)
   heartbeat_s : float;  (** per-worker lease deadline between messages *)
   max_lease_attempts : int;
       (** lease failures tolerated per batch before the campaign is
           poisoned *)
   compact_every : int;  (** records appended to a shard before compaction *)
+  max_active : int;
+      (** campaigns scheduled concurrently by {!serve}; the rest wait
+          in the admission queue *)
   chaos_kills : int list;
       (** SIGKILL the most recent deliverer when the delivered-trial
           count crosses each threshold (ascending); the determinism
@@ -68,6 +69,7 @@ let default_config =
     heartbeat_s = 30.0;
     max_lease_attempts = 3;
     compact_every = 4096;
+    max_active = 4;
     chaos_kills = [];
     chaos_stall_done_s = 0.0;
     retry = Executor.default_config;
@@ -75,21 +77,21 @@ let default_config =
     on_progress = None;
   }
 
-(* --- the lease scheduler ------------------------------------------------ *)
+let sched_config (cfg : config) : Sched.config =
+  {
+    Sched.workers = cfg.workers;
+    batch = cfg.batch;
+    shards = cfg.shards;
+    heartbeat_s = cfg.heartbeat_s;
+    max_lease_attempts = cfg.max_lease_attempts;
+    compact_every = cfg.compact_every;
+    max_active = cfg.max_active;
+    chaos_kills = cfg.chaos_kills;
+    retry = cfg.retry;
+    metrics = cfg.metrics;
+  }
 
-type lease = Todo | Leased of int  (** worker slot *) | Done_
-
-type wslot = {
-  w_pid : int;
-  w_conn : Wire.conn;
-  mutable w_batch : int option;
-  w_dl : Watchdog.deadline;
-}
-
-let trial_key (r : Csexp.t) : string option =
-  match r with
-  | Csexp.List (Csexp.Atom "t" :: Csexp.Atom idx :: _) -> Some idx
-  | _ -> None
+(* --- the single-spec front door ------------------------------------------ *)
 
 let run ?(cfg = default_config) ?(idle = fun () -> ())
     ?(child_close : Unix.file_descr list = []) (spec : 'a Executor.spec) :
@@ -98,368 +100,127 @@ let run ?(cfg = default_config) ?(idle = fun () -> ())
   if cfg.workers < 1 then invalid_arg "Server.run: need at least one worker";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let t0 = Unix.gettimeofday () in
-  let obs_count name n =
-    match cfg.metrics with Some m -> Obs.count m name n | None -> ()
-  in
   let total = spec.Executor.total in
-  let batch = max 1 cfg.batch in
-  let nbatches = (total + batch - 1) / batch in
   let outcomes : 'a Executor.outcome option array = Array.make total None in
-  (* journal: create fresh or heal-and-resume the shard directory *)
-  let header = Executor.header_record spec in
-  let journal, resumed =
-    match cfg.journal_dir with
-    | None -> (None, 0)
-    | Some dir ->
-        if cfg.resume && Sys.file_exists dir then begin
-          let sh, records =
-            Shard.open_resume ~dir ~shards:cfg.shards ~header
-          in
-          List.iter
-            (fun r ->
-              match Executor.parse_trial spec.Executor.decode r with
-              | Some (i, o) when i >= 0 && i < total -> outcomes.(i) <- Some o
-              | Some _ | None -> ())
-            records;
-          ( Some sh,
-            Array.fold_left
-              (fun n -> function Some _ -> n + 1 | None -> n)
-              0 outcomes )
-        end
-        else (Some (Shard.create ~dir ~shards:cfg.shards ~header), 0)
-  in
-  let lease = Array.make nbatches Todo in
-  let attempts = Array.make nbatches 0 in
-  let eligible = Array.make nbatches 0.0 in
-  let batch_range b = (b * batch, min total ((b + 1) * batch)) in
-  let first_unfilled b =
-    let lo, hi = batch_range b in
-    let rec go i = if i >= hi then None else
-        match outcomes.(i) with None -> Some i | Some _ -> go (i + 1)
-    in
-    go lo
-  in
-  let open_batches = ref 0 in
-  for b = 0 to nbatches - 1 do
-    match first_unfilled b with
-    | None -> lease.(b) <- Done_
-    | Some _ -> incr open_batches
-  done;
-  let workers : wslot option array = Array.make cfg.workers None in
-  let fork_slot s =
-    (* every fd the server holds that this child must not inherit:
-       sibling workers' server-end sockets plus whatever the caller
-       added (the serve front-end's listening socket) *)
-    let inherited =
-      child_close
-      @ List.filter_map
-          (Option.map (fun w -> Wire.fd w.w_conn))
-          (Array.to_list workers)
-    in
-    let pid, conn =
-      Worker.spawn ~stall_batch_done_s:cfg.chaos_stall_done_s
-        ~close_fds:inherited
-        ~retry:{ cfg.retry with Executor.metrics = None }
-        ~trial:spec.Executor.run_trial ~encode:spec.Executor.encode ()
-    in
-    obs_count "server/workers-forked" 1;
-    workers.(s) <-
-      Some
-        { w_pid = pid; w_conn = conn; w_batch = None;
-          w_dl = Watchdog.arm ~seconds:cfg.heartbeat_s }
-  in
-  let sigkill pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> () in
-  let reap ?(force = false) pid =
-    if force then sigkill pid;
-    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
-  in
-  let poisoned : (int * Infra.cause) option ref = ref None in
-  (* a dead or stalled worker: kill, reap, steal its lease (with the
-     jittered backoff before re-assignment), drop the slot *)
-  let worker_down s (cause : Infra.cause) =
-    match workers.(s) with
-    | None -> ()
-    | Some w ->
-        Wire.close w.w_conn;
-        reap ~force:true w.w_pid;
-        (match w.w_batch with
-        | Some b when lease.(b) = Leased s ->
-            attempts.(b) <- attempts.(b) + 1;
-            obs_count "server/leases-stolen" 1;
-            lease.(b) <- Todo;
-            eligible.(b) <-
-              Unix.gettimeofday ()
-              +. Executor.backoff_s cfg.retry b (attempts.(b) - 1);
-            if attempts.(b) > cfg.max_lease_attempts then
-              poisoned := Some (b, cause)
-        | _ -> ());
-        workers.(s) <- None
-  in
-  let shutdown_workers () =
-    Array.iteri
-      (fun s w ->
-        match w with
-        | None -> ()
-        | Some w ->
-            (try Wire.send w.w_conn (Proto.to_worker_to_csexp Proto.Quit)
-             with Wire.Closed | Unix.Unix_error _ -> ());
-            Wire.close w.w_conn;
-            (* grace period, then force *)
-            let rec wait k =
-              match Unix.waitpid [ Unix.WNOHANG ] w.w_pid with
-              | 0, _ ->
-                  if k = 0 then reap ~force:true w.w_pid
-                  else (Unix.sleepf 0.02; wait (k - 1))
-              | _ -> ()
-              | exception Unix.Unix_error _ -> ()
-            in
-            wait 100;
-            workers.(s) <- None)
-      workers
-  in
-  (* chaos: thresholds on total delivered trials, ascending *)
-  let kills = ref (List.sort compare cfg.chaos_kills) in
-  let delivered = ref 0 in
-  let fresh = ref 0 in
-  (* early-stop bookkeeping mirrors the executor: the predicate sees
-     contiguous completed prefixes at fixed batch boundaries, in order *)
-  let prefix = ref 0 in
-  let checked = ref 0 in
-  let stop_at = ref None in
-  let advance_prefix () =
-    while !prefix < total && outcomes.(!prefix) <> None do incr prefix done;
-    match spec.Executor.should_stop with
-    | None -> ()
-    | Some p ->
-        let continue_ = ref true in
-        while !continue_ && !stop_at = None && !checked < nbatches do
-          let boundary = min total ((!checked + 1) * batch) in
-          if !prefix >= boundary then begin
-            incr checked;
-            let pre =
-              Array.init boundary (fun i ->
-                  match outcomes.(i) with Some o -> o | None -> assert false)
-            in
-            if p pre boundary then stop_at := Some boundary
-          end
-          else continue_ := false
-        done
-  in
-  advance_prefix ();
-  let progress () =
-    match cfg.on_progress with
-    | None -> ()
-    | Some f ->
-        let completed =
-          Array.fold_left
-            (fun n -> function Some _ -> n + 1 | None -> n)
-            0 outcomes
-        in
-        let elapsed_s = Unix.gettimeofday () -. t0 in
-        let eta_s =
-          if !fresh = 0 then 0.0
-          else
-            elapsed_s /. Float.of_int !fresh
-            *. Float.of_int (total - completed)
-        in
-        f { Executor.completed; planned = total; elapsed_s; eta_s }
-  in
-  (* accept one worker message; true = keep draining this worker *)
-  let handle s (w : wslot) (msg : Csexp.t) : bool =
-    Watchdog.refresh w.w_dl;
-    match Proto.from_worker_of_csexp msg with
-    | Error _ -> true
-    | Ok (Proto.Ready _) | Ok (Proto.Heartbeat _) -> true
-    | Ok (Proto.Trial r) -> (
-        match Executor.parse_trial spec.Executor.decode r with
-        | Some (i, o) when i >= 0 && i < total && outcomes.(i) = None ->
-            outcomes.(i) <- Some o;
-            incr fresh;
-            (match o with
-            | Executor.Infra_error _ -> obs_count "server/infra-errors" 1
-            | Executor.Done _ -> ());
-            (match journal with
-            | Some sh -> Shard.append sh ~shard:(i / batch) r
-            | None -> ());
-            incr delivered;
-            (match !kills with
-            | k :: rest when !delivered >= k ->
-                kills := rest;
-                obs_count "server/chaos-kills" 1;
-                sigkill w.w_pid;
-                false  (* EOF will surface next round and steal the lease *)
-            | _ -> true)
-        | Some _ -> true  (* duplicate from a stolen batch: first write wins *)
-        | None -> true)
-    | Ok (Proto.Batch_done { batch = b; retries }) ->
-        obs_count "server/retries" retries;
-        if b >= 0 && b < nbatches && lease.(b) = Leased s then begin
-          lease.(b) <- Done_;
-          decr open_batches;
-          w.w_batch <- None;
-          (match journal with
-          | Some sh ->
-              Shard.sync sh ~shard:b;
-              if Shard.appended sh ~shard:b >= cfg.compact_every then begin
-                ignore (Shard.compact sh ~key:trial_key ~shard:b);
-                obs_count "server/compactions" 1
-              end
-          | None -> ());
-          advance_prefix ();
-          progress ()
-        end;
+  let cid = "job" in
+  let accept i r =
+    match Executor.parse_trial spec.Executor.decode r with
+    | Some (j, o) when j = i ->
+        outcomes.(i) <- Some o;
         true
+    | Some _ | None -> false
   in
-  let assign () =
-    Array.iteri
-      (fun s w ->
-        match w with
-        | Some w when w.w_batch = None ->
-            let now = Unix.gettimeofday () in
-            let rec find b =
-              if b >= nbatches then None
-              else if lease.(b) = Todo && eligible.(b) <= now then Some b
-              else find (b + 1)
+  let should_stop =
+    Option.map
+      (fun p boundary ->
+        let pre =
+          Array.init boundary (fun i ->
+              match outcomes.(i) with Some o -> o | None -> assert false)
+        in
+        p pre boundary)
+      spec.Executor.should_stop
+  in
+  let finished = ref None in
+  let poisoned = ref None in
+  let failed = ref None in
+  let resumed_n = ref 0 in
+  let on_event _ = function
+    | Sched.Progress { completed; planned; stolen = _ } -> (
+        match cfg.on_progress with
+        | None -> ()
+        | Some f ->
+            let elapsed_s = Unix.gettimeofday () -. t0 in
+            let fresh = completed - !resumed_n in
+            let eta_s =
+              if fresh <= 0 then 0.0
+              else
+                elapsed_s /. Float.of_int fresh
+                *. Float.of_int (planned - completed)
             in
-            (match find 0 with
-            | None -> ()
-            | Some b -> (
-                match first_unfilled b with
-                | None ->
-                    (* a stolen batch whose records all arrived before
-                       the thief ran: nothing left to compute — but the
-                       boundary still closes here, so the prefix (and
-                       the early-stop predicate) must advance exactly as
-                       it would on Batch_done, or a campaign whose last
-                       open batch dies this way reports a stale,
-                       truncated prefix *)
-                    lease.(b) <- Done_;
-                    decr open_batches;
-                    advance_prefix ();
-                    progress ()
-                | Some lo ->
-                    let _, hi = batch_range b in
-                    (try
-                       Wire.send w.w_conn
-                         (Proto.to_worker_to_csexp (Proto.Lease { batch = b; lo; hi }));
-                       lease.(b) <- Leased s;
-                       w.w_batch <- Some b;
-                       Watchdog.refresh w.w_dl
-                     with Wire.Closed ->
-                       worker_down s
-                         (Infra.Worker_lost { pid = w.w_pid; batch = None }))))
-        | _ -> ())
-      workers
+            f { Executor.completed; planned; elapsed_s; eta_s })
+    | Sched.Finished { completed; stopped_early; resumed } ->
+        resumed_n := resumed;
+        finished := Some (completed, stopped_early, resumed)
+    | Sched.Poisoned { batch; attempts; cause } ->
+        poisoned := Some (batch, attempts, cause)
+    | Sched.Failed { reason } -> failed := Some reason
   in
-  if total > 0 && !open_batches > 0 then begin
-    for s = 0 to cfg.workers - 1 do fork_slot s done;
-    (try
-       while !open_batches > 0 && !poisoned = None && !stop_at = None do
-         assign ();
-         (* wait for worker traffic; select just bounds the idle sleep —
-            every live worker is drained below regardless *)
-         (match
-            Unix.select
-              (List.filter_map
-                 (Option.map (fun w -> Wire.fd w.w_conn))
-                 (Array.to_list workers))
-              [] [] 0.05
-          with
-         | _ -> ()
-         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-         Array.iteri
-           (fun s w ->
-             match w with
-             | None -> ()
-             | Some w -> (
-                 try
-                   let continue_ = ref true in
-                   let rec drain () =
-                     if !continue_ then
-                       match Wire.try_recv w.w_conn with
-                       | Some msg ->
-                           continue_ := handle s w msg;
-                           drain ()
-                       | None -> ()
-                   in
-                   drain ()
-                 with
-                 | Wire.Closed ->
-                     worker_down s
-                       (Infra.Worker_lost { pid = w.w_pid; batch = w.w_batch })
-                 | Wire.Corrupt m ->
-                     worker_down s (Infra.Wire_fault { message = m })))
-           workers;
-         (* heartbeat deadlines: a leased worker that went quiet *)
-         Array.iteri
-           (fun s w ->
-             match w with
-             | Some w when w.w_batch <> None && Watchdog.deadline_expired w.w_dl
-               ->
-                 obs_count "server/heartbeats-missed" 1;
-                 worker_down s
-                   (Infra.Lease_expired
-                      {
-                        batch = Option.value ~default:(-1) w.w_batch;
-                        pid = w.w_pid;
-                        heartbeat_s = cfg.heartbeat_s;
-                      })
-             | _ -> ())
-           workers;
-         (* keep the pool at strength while work remains *)
-         if !poisoned = None then
-           Array.iteri
-             (fun s w ->
-               if w = None && !open_batches > 0 then fork_slot s)
-             workers;
-         idle ()
-       done
-     with e ->
-       shutdown_workers ();
-       (match journal with Some sh -> Shard.sync_all sh; Shard.close sh | None -> ());
-       raise e);
-    shutdown_workers ()
-  end;
-  (match journal with
-  | Some sh ->
-      Shard.sync_all sh;
-      Shard.close sh
+  (* workers carry the spec's trial closure in their fork image: a
+     closure cannot travel on a wire, so this campaign only runs on
+     workers forked here (which is all of them) *)
+  let preload = [ (cid, fun retry -> Worker.runner_of_exec_spec ~retry spec) ] in
+  let spawn ~close_fds =
+    Worker.spawn ~stall_batch_done_s:cfg.chaos_stall_done_s
+      ~close_fds:(child_close @ close_fds)
+      ~preload
+      ~retry:{ cfg.retry with Executor.metrics = None }
+      ()
+  in
+  let eng =
+    Sched.create ~cfg:(sched_config cfg) ~spawn ~preloaded:(String.equal cid)
+      ~on_event ()
+  in
+  (* a resumed journal fills [outcomes] through [accept] before the
+     Finished/first-Progress event fires, so count resumed fills here *)
+  let job =
+    {
+      Sched.jb_id = cid;
+      jb_app = spec.Executor.tag;
+      jb_total = total;
+      jb_header = Executor.header_record spec;
+      jb_journal = cfg.journal_dir;
+      jb_resume = cfg.resume;
+      jb_spec = None;
+      jb_accept = accept;
+      jb_should_stop = should_stop;
+    }
+  in
+  (match Sched.submit eng job with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Server.run: " ^ e));
+  (try
+     while Sched.busy eng do
+       Sched.step eng ~idle_s:0.05;
+       idle ()
+     done
+   with e ->
+     Sched.abort eng;
+     raise e);
+  Sched.shutdown_workers eng;
+  (match !failed with
+  | Some reason -> failwith ("Server.run: " ^ reason)
   | None -> ());
   (match !poisoned with
-  | Some (b, cause) ->
-      raise
-        (Infra.Campaign_poisoned { batch = b; attempts = attempts.(b); cause })
+  | Some (b, attempts, cause) ->
+      raise (Infra.Campaign_poisoned { batch = b; attempts; cause })
   | None -> ());
-  (* idempotent: guards `completed` against any future path that marks
-     a batch Done_ without advancing the prefix *)
-  advance_prefix ();
-  let completed = match !stop_at with Some n -> n | None -> !prefix in
-  let final =
-    Array.init completed (fun i ->
-        match outcomes.(i) with Some o -> o | None -> assert false)
-  in
-  let infra_errors =
-    Array.fold_left
-      (fun a -> function Executor.Infra_error _ -> a + 1 | Executor.Done _ -> a)
-      0 final
-  in
-  {
-    Executor.outcomes = final;
-    planned = total;
-    completed;
-    infra_errors;
-    stopped_early = !stop_at <> None;
-    resumed;
-    wall_s = Unix.gettimeofday () -. t0;
-  }
+  match !finished with
+  | None -> assert false (* drain only returns with a terminal event *)
+  | Some (completed, stopped_early, resumed) ->
+      let final =
+        Array.init completed (fun i ->
+            match outcomes.(i) with Some o -> o | None -> assert false)
+      in
+      let infra_errors =
+        Array.fold_left
+          (fun a -> function
+            | Executor.Infra_error _ -> a + 1
+            | Executor.Done _ -> a)
+          0 final
+      in
+      {
+        Executor.outcomes = final;
+        planned = total;
+        completed;
+        infra_errors;
+        stopped_early;
+        resumed;
+        wall_s = Unix.gettimeofday () -. t0;
+      }
 
-(* --- campaign plans (content-addressed warm start) ---------------------- *)
+(* --- campaign plans (re-exported from Plan) ------------------------------ *)
 
-(** Everything a campaign needs that is expensive to compute and a pure
-    function of the app spelling: the baked program, the golden
-    (fault-free) run's instruction count and output, and the
-    whole-program fault-site population. *)
-type plan = {
+type plan = Plan.plan = {
   pl_app : string;
   pl_prog : Prog.t;
   pl_target : Campaign.target;
@@ -467,236 +228,469 @@ type plan = {
   pl_golden_output : string;
 }
 
-(* v2: the marshaled [Campaign.target] and [Instr.intr] types grew
-   constructors for the microarchitectural surfaces; a v1 cache entry
-   must not be deserialized under the new layout. *)
-let plan_key (app : string) : string = Cache.key ("plan:v2:" ^ app)
-
-let plan_of_app ?(cache_dir : string option) (appname : string) :
-    (plan, string) result =
-  let cached =
-    Option.bind cache_dir (fun dir ->
-        (Cache.load ~dir ~key:(plan_key appname) : plan option))
-  in
-  match cached with
-  | Some p -> Ok p
-  | None -> (
-      match Fliptracker.resolve_app appname with
-      | Error e -> Error e
-      | Ok app -> (
-          match
-            let clean, trace = App.trace app in
-            let prog = App.program app in
-            let target = Campaign.whole_program_target prog trace in
-            {
-              pl_app = appname;
-              pl_prog = prog;
-              pl_target = target;
-              pl_clean_instructions = clean.Machine.instructions;
-              pl_golden_output = clean.Machine.output;
-            }
-          with
-          | exception e ->
-              Error
-                (Printf.sprintf "baking %s failed: %s" appname
-                   (Printexc.to_string e))
-          | plan ->
-              Option.iter
-                (fun dir ->
-                  ignore (Cache.store ~dir ~key:(plan_key appname) plan))
-                cache_dir;
-              Ok plan))
-
-(** The injection target a plan exposes for a declared structure: the
-    cached whole-program (register-file) target for [Reg], or a
-    structural target rebuilt from the plan's program — cheap relative
-    to baking, and never trace-dependent. *)
-let target_of_plan (plan : plan) (s : Structure.t) : Campaign.target =
-  match s with
-  | Structure.Reg -> plan.pl_target
-  | Structure.Cache_tag ->
-      Campaign.cache_target ~meta:true plan.pl_prog
-        ~clean_instructions:plan.pl_clean_instructions
-  | Structure.Cache_data ->
-      Campaign.cache_target ~meta:false plan.pl_prog
-        ~clean_instructions:plan.pl_clean_instructions
-  | Structure.Istore -> Campaign.istore_target plan.pl_prog
-
-(** The executor spec of a campaign over a plan — built {e exactly} the
-    way {!Campaign.run_report} builds its own (same tag, same trial
-    kernel, same outcome codec), which is the byte-identity contract
-    with [--jobs 1]. *)
-let campaign_spec (plan : plan) (ccfg : Campaign.config) :
-    Campaign.outcome_class Executor.spec =
-  let target = target_of_plan plan ccfg.Campaign.structure in
-  let population = Campaign.target_population target in
-  let trials =
-    if population = 0 then 0 else Campaign.trials_for ccfg target
-  in
-  let verify r = App.verified r.Machine.output in
-  {
-    Executor.tag = Campaign.campaign_tag ccfg ~population ~trials;
-    total = trials;
-    run_trial =
-      Campaign.trial_fun plan.pl_prog ~verify
-        ~clean_instructions:plan.pl_clean_instructions ~cfg:ccfg target;
-    encode = Campaign.encode_outcome;
-    decode = Campaign.decode_outcome;
-    should_stop = None;
-  }
+let plan_key = Plan.plan_key
+let plan_of_app = Plan.plan_of_app
+let target_of_plan = Plan.target_of_plan
+let campaign_spec = Plan.campaign_spec
 
 let run_campaign ?(cfg = default_config) ?idle (plan : plan)
-    (ccfg : Campaign.config) : Campaign.counts * Campaign.outcome_class Executor.report =
+    (ccfg : Campaign.config) :
+    Campaign.counts * Campaign.outcome_class Executor.report =
   let spec = campaign_spec plan ccfg in
   let report = run ~cfg ?idle spec in
   (Campaign.counts_of_outcomes report.Executor.outcomes, report)
 
-(* --- the socket front-end ----------------------------------------------- *)
+(* --- the socket front-end ------------------------------------------------ *)
 
-type serve_state = {
-  mutable ss_running : bool;  (** a campaign is in flight *)
-  mutable ss_completed : int;
-  mutable ss_planned : int;
-  mutable ss_campaigns : int;
-  mutable ss_shutdown : bool;
+(** Campaign ids are deterministic: the admission ordinal plus a hash
+    of the campaign tag.  Two submissions of the same spec get
+    {e distinct} ids (and therefore distinct journal directories) —
+    the tag-derived journal collision the single-campaign server had. *)
+let campaign_id (ordinal : int) (tag : string) : string =
+  let h = Cache.key tag in
+  Printf.sprintf "c%04d-%s" ordinal (String.sub h 0 (min 10 (String.length h)))
+
+let id_ok (id : string) : bool =
+  String.length id > 0
+  && String.length id <= 64
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '-' -> true | _ -> false)
+       id
+
+(** The next free ordinal in a journal root that already holds
+    [cNNNN-*] directories from a previous server life. *)
+let next_ordinal (root : string option) : int =
+  match root with
+  | None -> 1
+  | Some dir when Sys.file_exists dir && Sys.is_directory dir ->
+      Array.fold_left
+        (fun acc name ->
+          if
+            String.length name >= 5
+            && name.[0] = 'c'
+            && String.for_all
+                 (function '0' .. '9' -> true | _ -> false)
+                 (String.sub name 1 4)
+          then max acc (1 + int_of_string (String.sub name 1 4))
+          else acc)
+        1 (Sys.readdir dir)
+  | Some _ -> 1
+
+(* one watcher/submitter connection of a campaign *)
+type watcher = { wt_conn : Wire.conn; mutable wt_dead : bool }
+
+type tenant_entry = {
+  te_id : string;
+  te_app : string;
+  te_outcomes : Campaign.outcome_class Executor.outcome option array;
+  mutable te_watchers : watcher list;
 }
 
-let answer_status (conn : Wire.conn) (st : serve_state) : unit =
-  Wire.send conn
-    (Proto.server_to_csexp
-       (Proto.Status_reply
-          {
-            Proto.st_state = (if st.ss_running then "running" else "idle");
-            st_completed = st.ss_completed;
-            st_planned = st.ss_planned;
-            st_campaigns = st.ss_campaigns;
-          }))
+let safe_send (conn : Wire.conn) (m : Proto.server_msg) : bool =
+  try
+    Wire.send conn (Proto.server_to_csexp m);
+    true
+  with Wire.Closed | Unix.Unix_error _ -> false
+
+let result_path (root : string) (id : string) =
+  Filename.concat (Filename.concat root "results") id
+
+let persist_result (root : string option) (id : string)
+    (m : Proto.server_msg) : unit =
+  match root with
+  | None -> ()
+  | Some root -> (
+      try
+        let dir = Filename.concat root "results" in
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        let path = result_path root id in
+        let tmp = path ^ ".tmp" in
+        let oc = open_out_bin tmp in
+        output_string oc (Csexp.to_string (Proto.server_to_csexp m));
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error _ | Unix.Unix_error _ -> ())
+
+let load_result (root : string option) (id : string) :
+    Proto.server_msg option =
+  match root with
+  | None -> None
+  | Some root -> (
+      let path = result_path root id in
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception (Sys_error _ | End_of_file) -> None
+      | raw -> (
+          match Option.map Proto.server_of_csexp (Csexp.of_string raw) with
+          | Some (Ok m) -> Some m
+          | Some (Error _) | None -> None))
 
 let serve ?(cfg = default_config) ?(cache_dir : string option)
+    ?(worker_bind : string option) ?(worker_port_file : string option)
     ~(socket : string) () : unit =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* workers rebuild campaigns from wire specs through a shared
+     content-addressed plan cache; give them one even when the caller
+     didn't, so every fork after the first starts warm *)
+  let cache_dir =
+    match cache_dir with
+    | Some d -> Some d
+    | None ->
+        let d =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ft-plan-cache-%d" (Unix.getpid ()))
+        in
+        (try if not (Sys.file_exists d) then Unix.mkdir d 0o755
+         with Unix.Unix_error _ -> ());
+        Some d
+  in
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind lfd (Unix.ADDR_UNIX socket);
-  Unix.listen lfd 8;
-  let st =
-    { ss_running = false; ss_completed = 0; ss_planned = 0; ss_campaigns = 0;
-      ss_shutdown = false }
+  Unix.listen lfd 16;
+  (* the remote-worker door: plain TCP; [ft worker --connect] attaches *)
+  let wfd =
+    match worker_bind with
+    | None -> None
+    | Some addr -> (
+        match Worker.parse_addr addr with
+        | Error e -> invalid_arg ("Server.serve: " ^ e)
+        | Ok sockaddr ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.setsockopt fd Unix.SO_REUSEADDR true;
+            Unix.bind fd sockaddr;
+            Unix.listen fd 16;
+            (match (worker_port_file, Unix.getsockname fd) with
+            | Some path, Unix.ADDR_INET (_, port) ->
+                let oc = open_out path in
+                output_string oc (string_of_int port);
+                close_out oc
+            | _ -> ());
+            Some fd)
   in
-  let next_id = ref 0 in
-  let accept_one timeout =
-    match Unix.select [ lfd ] [] [] timeout with
-    | [], _, _ -> None
-    | _ :: _, _, _ ->
-        let fd, _ = Unix.accept lfd in
-        Some (Wire.of_fd fd)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+  let root = cfg.journal_dir in
+  let entries : (string, tenant_entry) Hashtbl.t = Hashtbl.create 8 in
+  let results : (string, Proto.server_msg) Hashtbl.t = Hashtbl.create 8 in
+  let pending : (Wire.conn * float) list ref = ref [] in
+  let shutdown = ref false in
+  let campaigns_done = ref 0 in
+  let ordinal = ref (next_ordinal root) in
+  let client_fds () =
+    List.map (fun (c, _) -> Wire.fd c) !pending
+    @ Hashtbl.fold
+        (fun _ e acc ->
+          List.filter_map
+            (fun w -> if w.wt_dead then None else Some (Wire.fd w.wt_conn))
+            e.te_watchers
+          @ acc)
+        entries []
   in
-  (* answer a secondary client while a campaign runs: status is served
-     live; a concurrent submit is refused, not queued *)
-  let quick_answer conn =
-    (try
-       match Proto.client_of_csexp (Wire.recv conn ~timeout_s:2.0) with
-       | Ok Proto.Status -> answer_status conn st
-       | Ok (Proto.Submit _) ->
-           Wire.send conn
-             (Proto.server_to_csexp
-                (Proto.Rejected { reason = "busy: a campaign is running" }))
-       | Ok Proto.Shutdown ->
-           st.ss_shutdown <- true;
-           Wire.send conn (Proto.server_to_csexp Proto.Bye)
-       | Error e ->
-           Wire.send conn (Proto.server_to_csexp (Proto.Rejected { reason = e }))
-     with
-    | Wire.Closed | Wire.Timeout _ | Wire.Corrupt _ -> ()
-    | e ->
-        (* one bad client must never take the server down mid-campaign *)
-        Printf.eprintf "ft_server: dropping client connection: %s\n%!"
-          (Printexc.to_string e));
-    Wire.close conn
+  let spawn ~close_fds =
+    let extra = (lfd :: Option.to_list wfd) @ client_fds () in
+    Worker.spawn ~recv_timeout_s:3600.0
+      ~stall_batch_done_s:cfg.chaos_stall_done_s
+      ~close_fds:(extra @ close_fds)
+      ~load:(Worker.plan_loader ?cache_dir)
+      ~retry:{ cfg.retry with Executor.metrics = None }
+      ()
   in
-  let submit conn (spec : Campaign.spec) =
-    incr next_id;
-    let id = !next_id in
-    let safe_send m =
-      try Wire.send conn (Proto.server_to_csexp m)
-      with Wire.Closed | Unix.Unix_error _ -> ()
-    in
-    match plan_of_app ?cache_dir spec.Campaign.sp_app with
-    | Error e -> safe_send (Proto.Rejected { reason = e })
-    | Ok plan -> (
-        safe_send (Proto.Accepted { id });
-        let ccfg = Campaign.config_of_spec spec in
-        let ex_spec = campaign_spec plan ccfg in
-        st.ss_running <- true;
-        st.ss_completed <- 0;
-        st.ss_planned <- ex_spec.Executor.total;
-        Fun.protect ~finally:(fun () -> st.ss_running <- false) @@ fun () ->
-        (* each campaign journals under its own tag-derived directory,
-           so one server can host many campaigns without mixing logs *)
-        let cfg =
-          {
-            cfg with
-            journal_dir =
-              Option.map
-                (fun dir ->
-                  Filename.concat dir
-                    ("campaign-" ^ Cache.key ex_spec.Executor.tag))
-                cfg.journal_dir;
-            resume = true;
-            on_progress =
-              Some
-                (fun (p : Executor.progress) ->
-                  st.ss_completed <- p.Executor.completed;
-                  safe_send
-                    (Proto.Progress
-                       {
-                         id;
-                         completed = p.Executor.completed;
-                         planned = p.Executor.planned;
-                         stolen = 0;
-                       }));
-          }
-        in
-        let idle () =
-          match accept_one 0.0 with Some c -> quick_answer c | None -> ()
-        in
-        match run ~cfg ~idle ~child_close:[ lfd; Wire.fd conn ] ex_spec with
-        | report ->
-            let counts = Campaign.counts_of_outcomes report.Executor.outcomes in
-            st.ss_campaigns <- st.ss_campaigns + 1;
-            safe_send (Proto.Result { id; counts })
-        | exception Infra.Campaign_poisoned { batch; attempts; cause } ->
-            safe_send
+  let broadcast (e : tenant_entry) (m : Proto.server_msg) =
+    List.iter
+      (fun w -> if not w.wt_dead then w.wt_dead <- not (safe_send w.wt_conn m))
+      e.te_watchers
+  in
+  let finish_entry (e : tenant_entry) (m : Proto.server_msg) =
+    Hashtbl.replace results e.te_id m;
+    persist_result root e.te_id m;
+    incr campaigns_done;
+    broadcast e m;
+    List.iter (fun w -> Wire.close w.wt_conn) e.te_watchers;
+    e.te_watchers <- []
+  in
+  let on_event id (ev : Sched.event) =
+    match Hashtbl.find_opt entries id with
+    | None -> ()
+    | Some e -> (
+        match ev with
+        | Sched.Progress { completed; planned; stolen } ->
+            broadcast e (Proto.Progress { id; completed; planned; stolen })
+        | Sched.Finished { completed; _ } ->
+            let final =
+              Array.init completed (fun i ->
+                  match e.te_outcomes.(i) with
+                  | Some o -> o
+                  | None -> assert false)
+            in
+            let counts = Campaign.counts_of_outcomes final in
+            finish_entry e (Proto.Result { id; counts })
+        | Sched.Poisoned { batch; attempts; cause } ->
+            finish_entry e
               (Proto.Poisoned
                  { id; reason = Infra.poison_message ~batch ~attempts cause })
-        | exception e ->
-            safe_send (Proto.Rejected { reason = Printexc.to_string e }))
+        | Sched.Failed { reason } ->
+            finish_entry e
+              (Proto.Poisoned { id; reason = "admission failed: " ^ reason }))
   in
-  while not st.ss_shutdown do
-    match accept_one 0.2 with
-    | None -> ()
-    | Some conn ->
-        (try
-           match Proto.client_of_csexp (Wire.recv conn ~timeout_s:5.0) with
-           | Ok Proto.Status -> answer_status conn st
-           | Ok Proto.Shutdown ->
-               st.ss_shutdown <- true;
-               Wire.send conn (Proto.server_to_csexp Proto.Bye)
-           | Ok (Proto.Submit spec) -> submit conn spec
-           | Error e ->
-               Wire.send conn
-                 (Proto.server_to_csexp (Proto.Rejected { reason = e }))
-         with
-        | Wire.Closed | Wire.Timeout _ | Wire.Corrupt _ -> ()
-        | e ->
-            (* catch-all: a client whose handling raises anything else
-               (an unexpected [Unix_error] on a reply write, a journal
-               exception surfacing outside [run]'s own handlers, ...)
-               costs that connection, never the server *)
-            Printf.eprintf "ft_server: dropping client connection: %s\n%!"
-              (Printexc.to_string e));
+  let eng = Sched.create ~cfg:(sched_config cfg) ~spawn ~on_event () in
+  let tenant_state id =
+    List.find_opt (fun s -> s.Sched.ts_id = id) (Sched.stats eng)
+  in
+  let final_of id =
+    match Hashtbl.find_opt results id with
+    | Some m -> Some m
+    | None -> (
+        match load_result root id with
+        | Some m ->
+            Hashtbl.replace results id m;
+            Some m
+        | None -> None)
+  in
+  let watch_entry id conn =
+    match Hashtbl.find_opt entries id with
+    | Some e ->
+        e.te_watchers <- { wt_conn = conn; wt_dead = false } :: e.te_watchers
+    | None -> Wire.close conn
+  in
+  (* enqueue one wire submission: plan (cache-warm), mint the id, hand
+     the engine a job whose journal lives under the id's own directory *)
+  let submit conn (spec : Campaign.spec) (resume_id : string option) =
+    let reject reason =
+      ignore (safe_send conn (Proto.Rejected { reason }));
+      Wire.close conn
+    in
+    match resume_id with
+    | Some id when not (id_ok id) ->
+        reject (Printf.sprintf "bad campaign id %S" id)
+    | _ -> (
+        let already =
+          match resume_id with
+          | Some id when Hashtbl.mem entries id ->
+              (* the campaign is live (or queued): re-attach instead of
+                 resubmitting *)
+              Some id
+          | _ -> None
+        in
+        match already with
+        | Some id ->
+            if safe_send conn (Proto.Accepted { id }) then (
+              match final_of id with
+              | Some m ->
+                  ignore (safe_send conn m);
+                  Wire.close conn
+              | None -> watch_entry id conn)
+            else Wire.close conn
+        | None -> (
+            match Plan.plan_of_app ?cache_dir spec.Campaign.sp_app with
+            | Error e -> reject e
+            | Ok plan -> (
+                let ccfg = Campaign.config_of_spec spec in
+                let ex_spec = Plan.campaign_spec plan ccfg in
+                let id =
+                  match resume_id with
+                  | Some id -> id
+                  | None ->
+                      let id = campaign_id !ordinal ex_spec.Executor.tag in
+                      incr ordinal;
+                      id
+                in
+                let entry =
+                  {
+                    te_id = id;
+                    te_app = spec.Campaign.sp_app;
+                    te_outcomes = Array.make ex_spec.Executor.total None;
+                    te_watchers = [];
+                  }
+                in
+                let accept i r =
+                  match Executor.parse_trial ex_spec.Executor.decode r with
+                  | Some (j, o) when j = i ->
+                      entry.te_outcomes.(i) <- Some o;
+                      true
+                  | Some _ | None -> false
+                in
+                let job =
+                  {
+                    Sched.jb_id = id;
+                    jb_app = entry.te_app;
+                    jb_total = ex_spec.Executor.total;
+                    jb_header = Executor.header_record ex_spec;
+                    jb_journal =
+                      Option.map (fun d -> Filename.concat d id) root;
+                    jb_resume = true;
+                    jb_spec = Some spec;
+                    jb_accept = accept;
+                    jb_should_stop = None;
+                  }
+                in
+                match Sched.submit eng job with
+                | Error e -> reject e
+                | Ok () ->
+                    Hashtbl.replace entries id entry;
+                    if safe_send conn (Proto.Accepted { id }) then
+                      watch_entry id conn
+                    else Wire.close conn)))
+  in
+  let answer_status conn =
+    let stats = Sched.stats eng in
+    let tenants =
+      List.map
+        (fun s ->
+          {
+            Proto.tn_id = s.Sched.ts_id;
+            tn_app = s.Sched.ts_app;
+            tn_state = s.Sched.ts_state;
+            tn_completed = s.Sched.ts_completed;
+            tn_planned = s.Sched.ts_planned;
+            tn_leases = s.Sched.ts_leases;
+            tn_steals = s.Sched.ts_steals;
+          })
+        stats
+    in
+    let active = List.filter (fun s -> s.Sched.ts_state = "active") stats in
+    let sum f = List.fold_left (fun a s -> a + f s) 0 active in
+    ignore
+      (safe_send conn
+         (Proto.Status_reply
+            {
+              Proto.st_state =
+                (if active <> [] then "running" else "idle");
+              st_completed = sum (fun s -> s.Sched.ts_completed);
+              st_planned = sum (fun s -> s.Sched.ts_planned);
+              st_campaigns = !campaigns_done;
+              st_queued = Sched.queue_depth eng;
+              st_active = Sched.active_count eng;
+              st_workers = Sched.worker_count eng;
+              st_tenants = tenants;
+            }));
+    Wire.close conn
+  in
+  let answer_fetch conn id =
+    (match final_of id with
+    | Some m -> ignore (safe_send conn m)
+    | None -> (
+        match tenant_state id with
+        | Some s when s.Sched.ts_state = "queued" ->
+            let position =
+              let rec pos n = function
+                | [] -> n
+                | s' :: rest ->
+                    if s'.Sched.ts_id = id then n
+                    else if s'.Sched.ts_state = "queued" then pos (n + 1) rest
+                    else pos n rest
+              in
+              pos 1 (Sched.stats eng)
+            in
+            ignore (safe_send conn (Proto.Queued_reply { id; position }))
+        | Some s ->
+            ignore
+              (safe_send conn
+                 (Proto.Progress
+                    {
+                      id;
+                      completed = s.Sched.ts_completed;
+                      planned = s.Sched.ts_planned;
+                      stolen = s.Sched.ts_steals;
+                    }))
+        | None ->
+            ignore
+              (safe_send conn
+                 (Proto.Rejected
+                    { reason = Printf.sprintf "unknown campaign id %s" id }))));
+    Wire.close conn
+  in
+  let answer_watch conn id =
+    match final_of id with
+    | Some m ->
+        ignore (safe_send conn m);
         Wire.close conn
+    | None ->
+        if Hashtbl.mem entries id then watch_entry id conn
+        else begin
+          ignore
+            (safe_send conn
+               (Proto.Rejected
+                  { reason = Printf.sprintf "unknown campaign id %s" id }));
+          Wire.close conn
+        end
+  in
+  let dispatch conn (m : Proto.client_msg) =
+    match m with
+    | Proto.Submit { spec; resume_id } -> submit conn spec resume_id
+    | Proto.Status -> answer_status conn
+    | Proto.Fetch { id } -> answer_fetch conn id
+    | Proto.Watch { id } -> answer_watch conn id
+    | Proto.Shutdown ->
+        shutdown := true;
+        ignore (safe_send conn Proto.Bye);
+        Wire.close conn
+  in
+  let accept_ready fd =
+    match Unix.select [ fd ] [] [] 0.0 with
+    | [], _, _ -> None
+    | _ :: _, _, _ ->
+        let c, _ = Unix.accept fd in
+        Some c
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+  in
+  while not !shutdown do
+    (* one scheduling round; the engine's select bounds the idle sleep *)
+    Sched.step eng ~idle_s:0.02;
+    (* new clients *)
+    (match accept_ready lfd with
+    | Some fd ->
+        pending := (Wire.of_fd fd, Unix.gettimeofday () +. 5.0) :: !pending
+    | None -> ());
+    (* new remote workers *)
+    (match Option.map accept_ready wfd with
+    | Some (Some fd) ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        Sched.attach_remote eng (Wire.of_fd fd)
+    | Some None | None -> ());
+    (* poll pending clients for their (single) request; one bad client
+       must never take the server down *)
+    let now = Unix.gettimeofday () in
+    pending :=
+      List.filter
+        (fun (conn, deadline) ->
+          match Wire.try_recv conn with
+          | Some raw -> (
+              (match Proto.client_of_csexp raw with
+              | Ok m -> dispatch conn m
+              | Error e ->
+                  ignore (safe_send conn (Proto.Rejected { reason = e }));
+                  Wire.close conn);
+              false)
+          | None ->
+              if now > deadline then begin
+                Wire.close conn;
+                false
+              end
+              else true
+          | exception (Wire.Closed | Wire.Corrupt _) ->
+              Wire.close conn;
+              false
+          | exception e ->
+              Printf.eprintf "ft_server: dropping client connection: %s\n%!"
+                (Printexc.to_string e);
+              Wire.close conn;
+              false)
+        !pending
   done;
+  (* graceful exit: journals synced + closed (resumable), pool killed;
+     anyone still watching hears the door close as EOF *)
+  Sched.abort eng;
+  List.iter (fun (c, _) -> Wire.close c) !pending;
+  Hashtbl.iter
+    (fun _ e -> List.iter (fun w -> Wire.close w.wt_conn) e.te_watchers)
+    entries;
   (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (match wfd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
   try Unix.unlink socket with Unix.Unix_error _ -> ()

@@ -1,25 +1,31 @@
-(** The campaign server: a crash-tolerant multi-process scheduler that
-    runs an {!Executor.spec} by leasing fixed contiguous trial batches
-    to forked worker processes.  Workers heartbeat under a refreshable
-    wall-clock deadline; a dead or stalled worker is SIGKILLed, its
-    lease stolen back (after a jittered backoff) and re-run by a
-    replacement forked from the warm server image.  Trial records
-    stream into a {!Shard}ed journal byte-compatible with the
-    in-process executor's, and outcomes accumulate in index order with
-    first-write-wins deduplication — so the counts are byte-identical
-    to a [--jobs 1] run no matter how many workers die mid-flight. *)
+(** The campaign server: a crash-tolerant, {e multi-tenant} scheduler
+    for deterministic trial campaigns.  The fair-share lease engine
+    lives in {!Sched}; this module keeps the two front doors — {!run}
+    (one {!Executor.spec} on a private engine, the drop-in
+    single-campaign path) and {!serve} (the long-running socket
+    service: wire-submitted campaigns queued, interleaved across one
+    shared pool of forked and remote TCP workers, each under a
+    deterministic campaign id with its own journal directory and a
+    persisted, fetchable verdict).  Every campaign's counts stay
+    byte-identical to its own [--jobs 1] run no matter how tenants
+    interleave or how many workers die. *)
 
 type config = {
   workers : int;  (** forked worker processes *)
   batch : int;  (** trials per lease; fixed boundaries like the executor *)
   shards : int;  (** journal shards (batch [b] logs to [b mod shards]) *)
   journal_dir : string option;
+      (** {!run}: the campaign's shard directory.  {!serve}: the root —
+          each campaign journals under [<root>/<campaign-id>] and
+          finished verdicts persist under [<root>/results]. *)
   resume : bool;  (** heal + load the journal, skip completed trials *)
   heartbeat_s : float;  (** per-worker lease deadline between messages *)
   max_lease_attempts : int;
       (** lease failures tolerated per batch before the campaign is
           poisoned *)
   compact_every : int;  (** records appended to a shard before compaction *)
+  max_active : int;
+      (** campaigns {!serve} schedules concurrently; the rest queue *)
   chaos_kills : int list;
       (** SIGKILL the most recent deliverer when the delivered-trial
           count crosses each threshold — the determinism harness *)
@@ -32,16 +38,18 @@ type config = {
       (** worker-side trial retry and the lease re-assignment backoff
           share this policy *)
   metrics : Obs.t option;
-      (** per-worker scheduler metrics: [server/workers-forked],
-          [server/leases-stolen], [server/heartbeats-missed],
-          [server/retries], [server/compactions], [server/chaos-kills],
-          [server/infra-errors] *)
+      (** scheduler metrics: [server/workers-forked],
+          [server/workers-attached], [server/leases-stolen],
+          [server/heartbeats-missed], [server/retries],
+          [server/compactions], [server/chaos-kills],
+          [server/infra-errors], [server/tenants-*] *)
   on_progress : (Executor.progress -> unit) option;
 }
 
 val default_config : config
 (** 2 workers, batch 16, 4 shards, no journal, 30 s heartbeats, 3 lease
-    attempts, compaction every 4096 records, no chaos. *)
+    attempts, compaction every 4096 records, 4 concurrent campaigns,
+    no chaos. *)
 
 val run :
   ?cfg:config ->
@@ -49,22 +57,20 @@ val run :
   ?child_close:Unix.file_descr list ->
   'a Executor.spec ->
   'a Executor.report
-(** Run a spec across the worker pool.  [idle] is called once per
-    scheduler iteration (the socket front-end answers status probes
-    there).  [child_close] lists caller-held descriptors (a listening
-    socket, a client connection) that forked workers must close rather
-    than inherit; the scheduler adds sibling workers' sockets itself.
+(** Run a spec across a private worker pool.  [idle] is called once
+    per scheduler iteration.  [child_close] lists caller-held
+    descriptors (a listening socket, a client connection) that forked
+    workers must close rather than inherit; the scheduler adds sibling
+    workers' sockets itself.
     @raise Infra.Campaign_poisoned when a batch exhausts its lease
     attempts — the campaign is infrastructure-broken. *)
 
 (** {2 Campaign plans}
 
-    Everything a campaign needs that is expensive to compute and a pure
-    function of the app spelling: the baked program, the golden run,
-    and the fault-site population.  Plans are cached content-addressed
-    so a restarted server (or a cold CLI) warm-starts. *)
+    Re-exported from {!Plan} (where workers also find them): the
+    expensive, content-addressed artifacts of an app spelling. *)
 
-type plan = {
+type plan = Plan.plan = {
   pl_app : string;
   pl_prog : Prog.t;
   pl_target : Campaign.target;
@@ -99,10 +105,31 @@ val run_campaign :
 
 (** {2 The socket front-end} *)
 
-val serve : ?cfg:config -> ?cache_dir:string -> socket:string -> unit -> unit
+val campaign_id : int -> string -> string
+(** Deterministic campaign id: admission ordinal + tag hash
+    ([c0007-1a2b3c4d5e]).  Distinct submissions of the same spec get
+    distinct ids — and therefore distinct journal directories. *)
+
+val serve :
+  ?cfg:config ->
+  ?cache_dir:string ->
+  ?worker_bind:string ->
+  ?worker_port_file:string ->
+  socket:string ->
+  unit ->
+  unit
 (** Listen on a Unix-domain [socket] and serve {!Proto.client_msg}
-    requests until a shutdown: submissions run one at a time (status
-    stays live mid-campaign; concurrent submits are refused as busy),
-    each campaign journaling under its own tag-derived subdirectory of
-    [cfg.journal_dir] with [resume] forced on, so resubmitting an
-    interrupted campaign continues it. *)
+    requests until a shutdown.  Submissions are {e queued}, up to
+    [cfg.max_active] running interleaved on the shared pool; each
+    campaign journals under [<journal_dir>/<campaign-id>] with resume
+    forced on, and its final verdict persists under
+    [<journal_dir>/results/<campaign-id>] where [Fetch]/[Watch] can
+    find it after the submitting connection is gone.  [Submit] with a
+    [resume_id] re-attaches to a live campaign or resumes an
+    interrupted one's journal under its old id.
+
+    [worker_bind] ([HOST:PORT], port [0] for ephemeral) additionally
+    listens for remote TCP workers ([ft worker --connect]); the bound
+    port is written to [worker_port_file] when given.  A vanished
+    remote worker is handled exactly like a SIGKILLed fork: its lease
+    is stolen and the pool degrades gracefully. *)

@@ -132,6 +132,7 @@ let test_infra_kinds_roundtrip () =
       Infra.Worker_lost { pid = 123; batch = Some 7 };
       Infra.Lease_expired { batch = 7; pid = 123; heartbeat_s = 5.0 };
       Infra.Wire_fault { message = "unframed bytes" };
+      Infra.Load_failed { cid = "c0003-aabbccddee"; reason = "no such app" };
     ]
   in
   List.iter
@@ -175,7 +176,15 @@ let test_proto_roundtrips () =
   | Ok c -> Alcotest.(check bool) "counts roundtrip" true (c = counts)
   | Error e -> Alcotest.fail e);
   let client_msgs =
-    [ Proto.Submit Campaign.default_spec; Proto.Status; Proto.Shutdown ]
+    [
+      Proto.Submit { spec = Campaign.default_spec; resume_id = None };
+      Proto.Submit
+        { spec = Campaign.default_spec; resume_id = Some "c0002-1a2b3c4d5e" };
+      Proto.Status;
+      Proto.Fetch { id = "c0000-0011223344" };
+      Proto.Watch { id = "c0001-5566778899" };
+      Proto.Shutdown;
+    ]
   in
   List.iter
     (fun m ->
@@ -183,16 +192,32 @@ let test_proto_roundtrips () =
       | Ok m' -> Alcotest.(check bool) "client msg" true (m = m')
       | Error e -> Alcotest.fail e)
     client_msgs;
+  let tenants =
+    [
+      { Proto.tn_id = "c0000-0011223344"; tn_app = "IS"; tn_state = "done";
+        tn_completed = 48; tn_planned = 48; tn_leases = 0; tn_steals = 1 };
+      { Proto.tn_id = "c0001-5566778899"; tn_app = "CG@all";
+        tn_state = "active"; tn_completed = 5; tn_planned = 96; tn_leases = 2;
+        tn_steals = 0 };
+    ]
+  in
   let server_msgs =
     [
-      Proto.Accepted { id = 1 };
+      Proto.Accepted { id = "c0000-0011223344" };
       Proto.Rejected { reason = "busy" };
-      Proto.Progress { id = 1; completed = 5; planned = 10; stolen = 1 };
-      Proto.Result { id = 1; counts };
-      Proto.Poisoned { id = 1; reason = "batch 3 kept dying" };
+      Proto.Progress
+        { id = "c0000-0011223344"; completed = 5; planned = 10; stolen = 1 };
+      Proto.Result { id = "c0000-0011223344"; counts };
+      Proto.Poisoned { id = "c0000-0011223344"; reason = "batch 3 kept dying" };
+      Proto.Queued_reply { id = "c0002-1a2b3c4d5e"; position = 3 };
       Proto.Status_reply
         { Proto.st_state = "running"; st_completed = 5; st_planned = 10;
-          st_campaigns = 2 };
+          st_campaigns = 2; st_queued = 1; st_active = 2; st_workers = 4;
+          st_tenants = tenants };
+      Proto.Status_reply
+        { Proto.st_state = "idle"; st_completed = 0; st_planned = 0;
+          st_campaigns = 0; st_queued = 0; st_active = 0; st_workers = 2;
+          st_tenants = [] };
       Proto.Bye;
     ]
   in
@@ -205,9 +230,15 @@ let test_proto_roundtrips () =
   let worker_msgs =
     [
       Proto.Ready { pid = 42 };
+      Proto.Loaded { cid = "c0000-0011223344" };
+      Proto.Load_failed { cid = "c0000-0011223344"; reason = "no such app" };
       Proto.Heartbeat { idx = 17 };
-      Proto.Trial (Executor.trial_record string_of_int 3 (Executor.Done 99));
-      Proto.Batch_done { batch = 2; retries = 1 };
+      Proto.Trial
+        {
+          cid = "c0000-0011223344";
+          record = Executor.trial_record string_of_int 3 (Executor.Done 99);
+        };
+      Proto.Batch_done { cid = "c0000-0011223344"; batch = 2; retries = 1 };
     ]
   in
   List.iter
@@ -221,7 +252,11 @@ let test_proto_roundtrips () =
       match Proto.to_worker_of_csexp (Proto.to_worker_to_csexp m) with
       | Ok m' -> Alcotest.(check bool) "to-worker msg" true (m = m')
       | Error e -> Alcotest.fail e)
-    [ Proto.Lease { batch = 0; lo = 0; hi = 16 }; Proto.Quit ]
+    [
+      Proto.Load { cid = "c0000-0011223344"; spec = Campaign.default_spec };
+      Proto.Lease { cid = "c0000-0011223344"; batch = 0; lo = 0; hi = 16 };
+      Proto.Quit;
+    ]
 
 (* --- shard journals ------------------------------------------------------ *)
 
@@ -452,6 +487,262 @@ let test_server_poisons_unrunnable_campaign () =
         (Option.value ~default:0 (Obs.counter_value obs "server/heartbeats-missed")
          >= 2)
 
+(* --- the multi-tenant scheduler ------------------------------------------ *)
+
+(* A typed tenant over a closure spec: preloaded into every forked
+   worker's image (closure kernels cannot travel on a wire), accepted
+   back into its own outcome array. *)
+let closure_tenant cid s =
+  let outcomes = Array.make s.Executor.total None in
+  let accept i r =
+    match Executor.parse_trial s.Executor.decode r with
+    | Some (j, o) when j = i ->
+        outcomes.(i) <- Some o;
+        true
+    | Some _ | None -> false
+  in
+  let job =
+    {
+      Sched.jb_id = cid;
+      jb_app = s.Executor.tag;
+      jb_total = s.Executor.total;
+      jb_header = Executor.header_record s;
+      jb_journal = None;
+      jb_resume = false;
+      jb_spec = None;
+      jb_accept = accept;
+      jb_should_stop = None;
+    }
+  in
+  (job, outcomes)
+
+let reference_outcomes s =
+  (Executor.run ~cfg:{ Executor.default_config with jobs = 1 } s)
+    .Executor.outcomes
+
+let final_outcomes outcomes n =
+  Array.init n (fun i ->
+      match outcomes.(i) with Some o -> o | None -> Alcotest.fail "hole")
+
+let test_sched_multi_tenant_interleaving () =
+  (* three campaigns interleaved on one pool of two workers, chaos
+     SIGKILLs landing mid-flight, max_active 2 so the third queues:
+     every tenant's outcome sequence must equal its own --jobs 1 run *)
+  let mk tag total = spec ~total ~tag (fun i -> Unix.sleepf 0.001; pure_trial i) in
+  let specs =
+    [ ("ten-a", mk "ten-a:v1" 48); ("ten-b", mk "ten-b:v1" 40);
+      ("ten-c", mk "ten-c:v1" 32) ]
+  in
+  let tenants = List.map (fun (cid, s) -> (cid, s, closure_tenant cid s)) specs in
+  let refs =
+    List.map (fun (cid, s) -> (cid, reference_outcomes (spec ~total:s.Executor.total ~tag:s.Executor.tag pure_trial))) specs
+  in
+  let preload =
+    List.map
+      (fun (cid, s) -> (cid, fun retry -> Worker.runner_of_exec_spec ~retry s))
+      specs
+  in
+  let spawn ~close_fds =
+    Worker.spawn ~close_fds ~preload ~retry:Executor.default_config ()
+  in
+  let finished : (string, Sched.event) Hashtbl.t = Hashtbl.create 8 in
+  let on_event id = function Sched.Progress _ -> () | e -> Hashtbl.replace finished id e in
+  let obs = Obs.create () in
+  let cfg =
+    {
+      Sched.default_config with
+      Sched.workers = 2;
+      batch = 8;
+      chaos_kills = [ 15; 60 ];
+      heartbeat_s = 10.0;
+      max_active = 2;
+      metrics = Some obs;
+    }
+  in
+  let eng =
+    Sched.create ~cfg ~spawn
+      ~preloaded:(fun cid -> List.mem_assoc cid preload)
+      ~on_event ()
+  in
+  List.iter
+    (fun (_, _, (job, _)) ->
+      match Sched.submit eng job with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    tenants;
+  (* duplicate ids are refused at the door *)
+  (match tenants with
+  | (_, _, (job, _)) :: _ ->
+      Alcotest.(check bool) "duplicate id refused" true
+        (Result.is_error (Sched.submit eng job))
+  | [] -> ());
+  Sched.drain eng;
+  Sched.shutdown_workers eng;
+  let counter n = Option.value ~default:0 (Obs.counter_value obs n) in
+  Alcotest.(check int) "both chaos kills fired" 2 (counter "server/chaos-kills");
+  Alcotest.(check int) "three tenants admitted" 3
+    (counter "server/tenants-admitted");
+  List.iter
+    (fun (cid, s, (_, outcomes)) ->
+      (match Hashtbl.find_opt finished cid with
+      | Some (Sched.Finished { completed; _ }) ->
+          Alcotest.(check int) (cid ^ " completed") s.Executor.total completed
+      | _ -> Alcotest.fail (cid ^ " did not finish"));
+      Alcotest.(check bool) (cid ^ " byte-identical to --jobs 1") true
+        (outcomes_equal
+           (List.assoc cid refs)
+           (final_outcomes outcomes s.Executor.total)))
+    tenants;
+  List.iter
+    (fun (st : Sched.tenant_stats) ->
+      Alcotest.(check string) (st.Sched.ts_id ^ " state") "done"
+        st.Sched.ts_state)
+    (Sched.stats eng)
+
+let test_sched_poison_isolation () =
+  (* a tenant whose batch 0 stalls forever is poisoned after its lease
+     attempts are exhausted — and ONLY that tenant: its pool-mate keeps
+     its workers and finishes byte-identical *)
+  let sick_trial i = if i < 4 then Unix.sleep 30; pure_trial i in
+  let sick = spec ~total:8 ~tag:"sick:v1" sick_trial in
+  let well = spec ~total:32 ~tag:"well:v1" (fun i -> Unix.sleepf 0.002; pure_trial i) in
+  let well_ref = reference_outcomes (spec ~total:32 ~tag:"well:v1" pure_trial) in
+  let sick_job, _ = closure_tenant "sick" sick in
+  let well_job, well_out = closure_tenant "well" well in
+  let preload =
+    [ ("sick", fun retry -> Worker.runner_of_exec_spec ~retry sick);
+      ("well", fun retry -> Worker.runner_of_exec_spec ~retry well) ]
+  in
+  let spawn ~close_fds =
+    Worker.spawn ~close_fds ~preload ~retry:Executor.default_config ()
+  in
+  let finished : (string, Sched.event) Hashtbl.t = Hashtbl.create 8 in
+  let on_event id = function Sched.Progress _ -> () | e -> Hashtbl.replace finished id e in
+  let cfg =
+    {
+      Sched.default_config with
+      Sched.workers = 2;
+      batch = 4;
+      heartbeat_s = 0.3;
+      max_lease_attempts = 1;
+      max_active = 2;
+    }
+  in
+  let eng =
+    Sched.create ~cfg ~spawn
+      ~preloaded:(fun cid -> List.mem_assoc cid preload)
+      ~on_event ()
+  in
+  (match Sched.submit eng sick_job with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Sched.submit eng well_job with Ok () -> () | Error e -> Alcotest.fail e);
+  Sched.drain eng;
+  Sched.shutdown_workers eng;
+  (match Hashtbl.find_opt finished "sick" with
+  | Some (Sched.Poisoned { batch; cause; _ }) ->
+      Alcotest.(check int) "the stalling batch" 0 batch;
+      Alcotest.(check string) "classified as a lease expiry" "lease-expired"
+        (Infra.kind cause)
+  | _ -> Alcotest.fail "sick tenant was not poisoned");
+  (match Hashtbl.find_opt finished "well" with
+  | Some (Sched.Finished { completed; _ }) ->
+      Alcotest.(check int) "well tenant unharmed" 32 completed
+  | _ -> Alcotest.fail "well tenant did not finish");
+  Alcotest.(check bool) "well tenant byte-identical to --jobs 1" true
+    (outcomes_equal well_ref (final_outcomes well_out 32));
+  let states =
+    List.map (fun (s : Sched.tenant_stats) -> (s.Sched.ts_id, s.Sched.ts_state))
+      (Sched.stats eng)
+  in
+  Alcotest.(check bool) "stats isolate the poison" true
+    (List.assoc "sick" states = "poisoned" && List.assoc "well" states = "done")
+
+let test_sched_remote_worker_vanishes () =
+  (* a remote-only pool: two attached workers serving a spec-driven
+     campaign; a chaos kill drops one connection exactly the way a
+     vanished machine would, the survivor steals the lease, and the
+     counts still match --jobs 1 *)
+  with_temp_dir (fun dir ->
+      let cache_dir = Filename.concat dir "cache" in
+      let cspec =
+        { Campaign.default_spec with Campaign.sp_app = "IS"; sp_trials = Some 32 }
+      in
+      let ex_spec =
+        match Plan.spec_of_submission ~cache_dir cspec with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let reference = reference_outcomes ex_spec in
+      let outcomes = Array.make ex_spec.Executor.total None in
+      let accept i r =
+        match Executor.parse_trial ex_spec.Executor.decode r with
+        | Some (j, o) when j = i ->
+            outcomes.(i) <- Some o;
+            true
+        | Some _ | None -> false
+      in
+      let job =
+        {
+          Sched.jb_id = "remote-job";
+          jb_app = "IS";
+          jb_total = ex_spec.Executor.total;
+          jb_header = Executor.header_record ex_spec;
+          jb_journal = None;
+          jb_resume = false;
+          jb_spec = Some cspec;
+          jb_accept = accept;
+          jb_should_stop = None;
+        }
+      in
+      let finished : (string, Sched.event) Hashtbl.t = Hashtbl.create 4 in
+      let on_event id = function
+        | Sched.Progress _ -> ()
+        | e -> Hashtbl.replace finished id e
+      in
+      let obs = Obs.create () in
+      let cfg =
+        {
+          Sched.default_config with
+          Sched.workers = 0;
+          batch = 8;
+          chaos_kills = [ 10 ];
+          heartbeat_s = 10.0;
+          metrics = Some obs;
+        }
+      in
+      (* no [spawn]: the pool is exactly the two attached workers *)
+      let eng = Sched.create ~cfg ~on_event () in
+      let pids =
+        List.init 2 (fun _ ->
+            let pid, conn =
+              Worker.spawn
+                ~load:(Worker.plan_loader ~cache_dir)
+                ~retry:Executor.default_config ()
+            in
+            Sched.attach_remote eng conn;
+            pid)
+      in
+      Alcotest.(check int) "two remotes attached" 2 (Sched.worker_count eng);
+      (match Sched.submit eng job with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Sched.drain eng;
+      Sched.shutdown_workers eng;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        pids;
+      let counter n = Option.value ~default:0 (Obs.counter_value obs n) in
+      Alcotest.(check int) "one remote vanished" 1 (counter "server/chaos-kills");
+      Alcotest.(check bool) "its lease was stolen" true
+        (counter "server/leases-stolen" >= 1);
+      (match Hashtbl.find_opt finished "remote-job" with
+      | Some (Sched.Finished { completed; _ }) ->
+          Alcotest.(check int) "all trials ran" ex_spec.Executor.total completed
+      | _ -> Alcotest.fail "campaign did not finish");
+      Alcotest.(check bool) "byte-identical to --jobs 1" true
+        (outcomes_equal reference (final_outcomes outcomes ex_spec.Executor.total)))
+
 (* --- the acceptance gate: a real campaign under worker SIGKILL ----------- *)
 
 let test_chaos_campaign_counts_byte_identical () =
@@ -490,6 +781,138 @@ let test_chaos_campaign_counts_byte_identical () =
       Alcotest.(check string) "counts byte-identical to --jobs 1"
         (Csexp.to_string (Campaign.counts_to_csexp ref_counts))
         (Csexp.to_string (Campaign.counts_to_csexp counts))
+
+(* --- the socket service end to end --------------------------------------- *)
+
+let test_serve_two_tenants_fetch_by_id () =
+  (* a forked server, two concurrent submissions of the SAME spec (the
+     journal-collision regression: distinct ids, distinct directories),
+     then the results fetched by id over fresh connections *)
+  with_temp_dir (fun dir ->
+      let socket = Filename.concat dir "ft.sock" in
+      let cache_dir = Filename.concat dir "cache" in
+      let jroot = Filename.concat dir "journals" in
+      let cfg =
+        {
+          Server.default_config with
+          Server.workers = 2;
+          batch = 8;
+          journal_dir = Some jroot;
+          heartbeat_s = 10.0;
+        }
+      in
+      let server_pid = Unix.fork () in
+      if server_pid = 0 then begin
+        (try Server.serve ~cfg ~cache_dir ~socket () with _ -> ());
+        Unix._exit 0
+      end;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill server_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] server_pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          let cspec =
+            {
+              Campaign.default_spec with
+              Campaign.sp_app = "IS";
+              sp_trials = Some 24;
+            }
+          in
+          let retry =
+            {
+              Executor.default_config with
+              Executor.max_retries = 8;
+              retry_backoff_s = 0.25;
+            }
+          in
+          (* the second tenant submits from a child process, concurrently *)
+          let sub_pid = Unix.fork () in
+          if sub_pid = 0 then
+            Unix._exit
+              (match Client.submit ~retry ~timeout_s:120.0 ~socket cspec with
+              | Ok _ -> 0
+              | Error _ -> 1);
+          (match Client.submit ~retry ~timeout_s:120.0 ~socket cspec with
+          | Ok (id, counts) ->
+              Alcotest.(check bool) "a campaign id was minted" true
+                (String.length id >= 6);
+              Alcotest.(check int) "all trials counted" 24
+                counts.Campaign.trials
+          | Error e -> Alcotest.fail (Client.error_message e));
+          let _, st = Unix.waitpid [] sub_pid in
+          Alcotest.(check bool) "concurrent submit succeeded" true
+            (st = Unix.WEXITED 0);
+          (match Client.status ~retry ~socket () with
+          | Ok s ->
+              let ids =
+                List.map (fun t -> t.Proto.tn_id) s.Proto.st_tenants
+              in
+              Alcotest.(check int) "two tenants served" 2 (List.length ids);
+              (match ids with
+              | [ a; b ] ->
+                  Alcotest.(check bool) "identical specs, distinct ids" true
+                    (not (String.equal a b))
+              | _ -> ());
+              List.iter
+                (fun id ->
+                  Alcotest.(check bool) (id ^ " has its own journal dir") true
+                    (Sys.is_directory (Filename.concat jroot id)))
+                ids;
+              (* fetch on fresh connections: the verdicts outlive the
+                 submitting connections *)
+              let encs =
+                List.map
+                  (fun id ->
+                    match Client.fetch ~retry ~socket ~id () with
+                    | Ok (Client.Finished c) ->
+                        Csexp.to_string (Campaign.counts_to_csexp c)
+                    | Ok _ -> Alcotest.fail "expected a finished verdict"
+                    | Error e -> Alcotest.fail (Client.error_message e))
+                  ids
+              in
+              (match encs with
+              | [ a; b ] ->
+                  Alcotest.(check string)
+                    "identical specs, byte-identical counts" a b
+              | _ -> ());
+              (* watch on a finished campaign returns immediately *)
+              (match
+                 Client.watch ~retry ~socket ~id:(List.hd ids) ()
+               with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail (Client.error_message e))
+          | Error e -> Alcotest.fail (Client.error_message e));
+          (match Client.fetch ~retry ~socket ~id:"c9999-doesnotexis" () with
+          | Error (Client.Refused _) -> ()
+          | Ok _ | Error _ -> Alcotest.fail "unknown id must be refused");
+          (match Client.shutdown ~socket () with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (Client.error_message e));
+          ignore (Unix.waitpid [] server_pid)))
+
+let test_client_retry_bounded_unreachable () =
+  (* no server at all: the client retries under the jittered-backoff
+     policy and then fails with a structured error, never a hang *)
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ft-nosock-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  let retry =
+    {
+      Executor.default_config with
+      Executor.max_retries = 2;
+      retry_backoff_s = 0.02;
+      retry_jitter = 0.5;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  (match Client.status ~retry ~socket () with
+  | Ok _ -> Alcotest.fail "expected Unreachable"
+  | Error (Client.Unreachable { attempts; _ }) ->
+      Alcotest.(check int) "attempts bounded by max_retries + 1" 3 attempts
+  | Error e -> Alcotest.fail (Client.error_message e));
+  Alcotest.(check bool) "slept between attempts" true
+    (Unix.gettimeofday () -. t0 >= 0.02)
 
 (* --- jittered backoff (satellite) ---------------------------------------- *)
 
@@ -543,8 +966,18 @@ let suite =
         test_server_journal_resume;
       Alcotest.test_case "unrunnable campaign poisons" `Quick
         test_server_poisons_unrunnable_campaign;
+      Alcotest.test_case "multi-tenant interleaving is deterministic" `Quick
+        test_sched_multi_tenant_interleaving;
+      Alcotest.test_case "poison is isolated to its tenant" `Quick
+        test_sched_poison_isolation;
+      Alcotest.test_case "vanished remote worker degrades gracefully" `Slow
+        test_sched_remote_worker_vanishes;
       Alcotest.test_case "chaos campaign counts byte-identical" `Slow
         test_chaos_campaign_counts_byte_identical;
+      Alcotest.test_case "serve: two tenants, fetch by id" `Slow
+        test_serve_two_tenants_fetch_by_id;
+      Alcotest.test_case "client retry is bounded and structured" `Quick
+        test_client_retry_bounded_unreachable;
       Alcotest.test_case "backoff jitter bounds + determinism" `Quick
         test_backoff_jitter_bounds_and_determinism;
     ] )
